@@ -1,0 +1,142 @@
+//! One Criterion bench per table/figure: each prints its (scaled-down)
+//! series once, then measures the cost of one representative simulation
+//! point so regressions in simulator throughput are caught.
+//!
+//! Full-scale regeneration lives in the `fig*`/`table1` binaries
+//! (`FTNOC_SCALE=paper cargo run -p ftnoc-bench --bin all_experiments`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftnoc_bench::{render_series_table, render_table1, Scale};
+use ftnoc_fault::FaultRates;
+use ftnoc_sim::{ErrorScheme, RoutingAlgorithm, SimConfig, Simulator};
+use std::hint::black_box;
+
+fn tiny(b: &mut ftnoc_sim::SimConfigBuilder) -> SimConfig {
+    b.warmup_packets(100)
+        .measure_packets(500)
+        .max_cycles(200_000)
+        .build()
+        .expect("valid config")
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let points = ftnoc_bench::figure5(Scale::Quick);
+    println!(
+        "\n{}",
+        render_series_table(
+            "Figure 5 (quick scale)",
+            "error",
+            &points,
+            |r| r.avg_latency,
+            "cycles"
+        )
+    );
+    c.bench_function("fig5_point_hbh_1e-2", |bench| {
+        bench.iter(|| {
+            let mut b = SimConfig::builder();
+            b.scheme(ErrorScheme::Hbh)
+                .faults(FaultRates::link_only(1e-2))
+                .injection_rate(0.25);
+            black_box(Simulator::new(tiny(&mut b)).run().avg_latency)
+        })
+    });
+}
+
+fn bench_fig6_7(c: &mut Criterion) {
+    let points = ftnoc_bench::figure6(Scale::Quick);
+    println!(
+        "\n{}",
+        render_series_table(
+            "Figure 6 (quick scale)",
+            "error",
+            &points,
+            |r| r.avg_latency,
+            "cycles"
+        )
+    );
+    println!(
+        "{}",
+        render_series_table(
+            "Figure 7 (quick scale)",
+            "error",
+            &points,
+            |r| r.energy_per_packet_nj,
+            "nJ"
+        )
+    );
+    c.bench_function("fig6_point_tornado_1e-2", |bench| {
+        bench.iter(|| {
+            let mut b = SimConfig::builder();
+            b.pattern(ftnoc_traffic::TrafficPattern::Tornado)
+                .faults(FaultRates::link_only(1e-2))
+                .injection_rate(0.25);
+            black_box(Simulator::new(tiny(&mut b)).run().avg_latency)
+        })
+    });
+}
+
+fn bench_fig8_9(c: &mut Criterion) {
+    let points = ftnoc_bench::figure8_9(Scale::Quick);
+    println!(
+        "\n{}",
+        render_series_table(
+            "Figure 8 (quick scale)",
+            "inj",
+            &points,
+            |r| r.tx_utilization,
+            "fraction"
+        )
+    );
+    println!(
+        "{}",
+        render_series_table(
+            "Figure 9 (quick scale)",
+            "inj",
+            &points,
+            |r| r.retx_utilization,
+            "fraction"
+        )
+    );
+    c.bench_function("fig8_point_ad_0.5", |bench| {
+        bench.iter(|| {
+            let mut b = SimConfig::builder();
+            b.routing(RoutingAlgorithm::WestFirstAdaptive)
+                .injection_rate(0.5);
+            black_box(Simulator::new(tiny(&mut b)).run().tx_utilization)
+        })
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let points = ftnoc_bench::figure13(Scale::Quick);
+    println!("\nFigure 13 (quick scale): corrected / energy");
+    for (class, rate, report) in &points {
+        println!(
+            "  {:>9} rate {rate:>7.0e}: corrected {:>6}, {:.4} nJ/packet",
+            class.label(),
+            class.corrected(report),
+            report.energy_per_packet_nj
+        );
+    }
+    c.bench_function("fig13_point_sa_1e-3", |bench| {
+        bench.iter(|| {
+            let mut b = SimConfig::builder();
+            b.faults(FaultRates::sa_only(1e-3)).injection_rate(0.25);
+            black_box(Simulator::new(tiny(&mut b)).run().errors.sa_corrected)
+        })
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n{}", render_table1());
+    c.bench_function("table1_model", |bench| {
+        bench.iter(|| black_box(ftnoc_bench::table1().area_overhead_percent()))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5, bench_fig6_7, bench_fig8_9, bench_fig13, bench_table1
+);
+criterion_main!(figures);

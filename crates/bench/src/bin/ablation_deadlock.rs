@@ -1,0 +1,79 @@
+//! Ablation: deadlock-recovery effectiveness vs retransmission-buffer
+//! depth — the operational content of the Eq. (1) theorem.
+//!
+//! A 4×4 mesh with fully adaptive routing and one VC per port receives a
+//! finite bursty workload that reliably wedges it. For each
+//! retransmission depth R we report how much of the workload drains with
+//! recovery enabled. Unaligned packets make the worst case per §3.2.1's
+//! Figure 11: a 4-deep transmission buffer can straddle two 4-flit
+//! packets (N = 2), so Eq. (1) wants T + R > 2M, i.e. R ≥ 5 here — and
+//! that is exactly where the drain fraction saturates at 1.0.
+//!
+//! ```sh
+//! cargo run -p ftnoc-bench --bin ablation_deadlock --release
+//! ```
+
+use ftnoc_core::deadlock::DeadlockCycleSpec;
+use ftnoc_sim::{DeadlockConfig, RoutingAlgorithm, SimConfig, Simulator};
+use ftnoc_traffic::InjectionProcess;
+use ftnoc_types::config::RouterConfig;
+use ftnoc_types::geom::Topology;
+
+fn drain_fraction(retrans_depth: usize, recovery: bool, seeds: std::ops::Range<u64>) -> f64 {
+    let mut total = 0.0;
+    let n = (seeds.end - seeds.start) as f64;
+    for seed in seeds {
+        let mut b = SimConfig::builder();
+        b.topology(Topology::mesh(4, 4))
+            .router(
+                RouterConfig::builder()
+                    .vcs_per_port(1)
+                    .buffer_depth(4)
+                    .retrans_depth(retrans_depth)
+                    .build()
+                    .expect("valid router"),
+            )
+            .routing(RoutingAlgorithm::FullyAdaptive)
+            .injection(InjectionProcess::Bernoulli)
+            .injection_rate(0.25)
+            .seed(seed)
+            .deadlock(DeadlockConfig {
+                enabled: recovery,
+                cthres: 32,
+            })
+            .warmup_packets(0)
+            .measure_packets(u64::MAX)
+            .max_cycles(100_000)
+            .stop_injection_after(20_000);
+        let mut sim = Simulator::new(b.build().expect("valid config"));
+        for _ in 0..100_000 {
+            sim.network_mut().step();
+        }
+        total += sim.network().packets_ejected() as f64 / sim.network().packets_injected() as f64;
+    }
+    total / n
+}
+
+fn main() {
+    println!("Deadlock-recovery drain fraction vs retransmission depth");
+    println!("(4x4 mesh, fully adaptive, 1 VC, T=4, M=4; finite bursty workload)");
+    println!();
+    println!(
+        "{:>6} {:>18} {:>12} {:>12}",
+        "R", "Eq.1 (worst N=2)", "no recovery", "recovery"
+    );
+    for r in [3usize, 4, 5, 6, 8] {
+        let spec = DeadlockCycleSpec::uniform(4, 4, r, 4);
+        let guaranteed = if spec.recovery_guaranteed_unaligned() {
+            "guaranteed"
+        } else {
+            "not guaranteed"
+        };
+        let off = drain_fraction(r, false, 1..5);
+        let on = drain_fraction(r, true, 1..5);
+        println!("{r:>6} {guaranteed:>18} {off:>12.2} {on:>12.2}");
+    }
+    println!();
+    println!("Eq. (1): sum(T+R) must exceed M x sum(N). Depth 3 suffices for link");
+    println!("protection alone (S3.1); recovery wants the worst-case margin.");
+}

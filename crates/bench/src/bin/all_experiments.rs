@@ -1,0 +1,98 @@
+//! Runs every table and figure back to back and prints the complete
+//! paper-vs-measured record (the source of `EXPERIMENTS.md`).
+//!
+//! ```sh
+//! cargo run -p ftnoc-bench --bin all_experiments --release            # quick
+//! FTNOC_SCALE=paper cargo run -p ftnoc-bench --bin all_experiments --release
+//! ```
+
+use ftnoc_bench::{
+    figure13, figure5, figure6, figure8_9, render_series_table, render_table1, Fig13Class, Scale,
+    FIG13_RATES,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+    println!("ftnoc experiment suite — scale {scale:?}\n");
+
+    let f5 = figure5(scale);
+    println!(
+        "{}",
+        render_series_table(
+            "Figure 5: Latency vs. Error rate (Inj. 0.25)",
+            "error",
+            &f5,
+            |r| r.avg_latency,
+            "cycles",
+        )
+    );
+
+    let f6 = figure6(scale);
+    println!(
+        "{}",
+        render_series_table(
+            "Figure 6: HBH latency vs. Error rate",
+            "error",
+            &f6,
+            |r| r.avg_latency,
+            "cycles",
+        )
+    );
+    println!(
+        "{}",
+        render_series_table(
+            "Figure 7: HBH energy per message vs. Error rate",
+            "error",
+            &f6,
+            |r| r.energy_per_packet_nj,
+            "nJ",
+        )
+    );
+
+    let f89 = figure8_9(scale);
+    println!(
+        "{}",
+        render_series_table(
+            "Figure 8: Transmission-buffer utilization vs. Injection rate",
+            "inj",
+            &f89,
+            |r| r.tx_utilization,
+            "fraction",
+        )
+    );
+    println!(
+        "{}",
+        render_series_table(
+            "Figure 9: Retransmission-buffer utilization vs. Injection rate",
+            "inj",
+            &f89,
+            |r| r.retx_utilization,
+            "fraction",
+        )
+    );
+
+    let f13 = figure13(scale);
+    println!("Figure 13(a): corrected errors [count] / 13(b): energy [nJ]");
+    print!("{:>10}", "error");
+    for class in Fig13Class::ALL {
+        print!(" {:>16}", class.label());
+    }
+    println!();
+    for &rate in &FIG13_RATES {
+        print!("{rate:>10.0e}");
+        for class in Fig13Class::ALL {
+            let (count, energy) = f13
+                .iter()
+                .find(|(c, x, _)| *c == class && (*x - rate).abs() < 1e-15)
+                .map(|(c, _, r)| (c.corrected(r), r.energy_per_packet_nj))
+                .unwrap_or((0, f64::NAN));
+            print!(" {count:>8}/{energy:>6.4}");
+        }
+        println!();
+    }
+    println!();
+
+    print!("{}", render_table1());
+    println!("\ntotal wall time: {:.1?}", t0.elapsed());
+}

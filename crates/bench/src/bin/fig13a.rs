@@ -1,0 +1,28 @@
+//! Regenerates Figure 13(a): number of corrected errors vs error rate
+//! for the LINK-HBH, RT-Logic and SA-Logic fault classes.
+
+use ftnoc_bench::{figure13, Fig13Class, Scale, FIG13_RATES};
+
+fn main() {
+    let points = figure13(Scale::from_env());
+    println!("Figure 13(a): Number of corrected errors [count]");
+    print!("{:>10}", "error");
+    for class in Fig13Class::ALL {
+        print!(" {:>10}", class.label());
+    }
+    println!();
+    for &rate in &FIG13_RATES {
+        print!("{rate:>10.0e}");
+        for class in Fig13Class::ALL {
+            let v = points
+                .iter()
+                .find(|(c, x, _)| *c == class && (*x - rate).abs() < 1e-15)
+                .map(|(c, _, r)| c.corrected(r))
+                .unwrap_or(0);
+            print!(" {v:>10}");
+        }
+        println!();
+    }
+    println!("\npaper: SA-Logic > LINK-HBH > RT-Logic (arbitrations per flit > link");
+    println!("traversals per flit > route computations per flit)");
+}

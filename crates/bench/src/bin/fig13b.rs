@@ -1,0 +1,27 @@
+//! Regenerates Figure 13(b): energy per packet vs error rate under the
+//! LINK-HBH, RT-Logic and SA-Logic fault classes.
+
+use ftnoc_bench::{figure13, Fig13Class, Scale, FIG13_RATES};
+
+fn main() {
+    let points = figure13(Scale::from_env());
+    println!("Figure 13(b): Energy per packet [nJ]");
+    print!("{:>10}", "error");
+    for class in Fig13Class::ALL {
+        print!(" {:>10}", class.label());
+    }
+    println!();
+    for &rate in &FIG13_RATES {
+        print!("{rate:>10.0e}");
+        for class in Fig13Class::ALL {
+            let v = points
+                .iter()
+                .find(|(c, x, _)| *c == class && (*x - rate).abs() < 1e-15)
+                .map(|(_, _, r)| r.energy_per_packet_nj)
+                .unwrap_or(f64::NAN);
+            print!(" {v:>10.4}");
+        }
+        println!();
+    }
+    println!("\npaper: all under ~0.3 nJ; LINK-HBH marginally higher (retransmissions)");
+}

@@ -1,0 +1,37 @@
+//! Regenerates Figure 5: latency of the HBH / E2E / FEC error-handling
+//! schemes vs link error rate (injection 0.25 flits/node/cycle).
+//!
+//! `FTNOC_SCALE=paper cargo run -p ftnoc-bench --bin fig5 --release`
+//! reproduces the paper's full 300 000-message runs.
+
+use ftnoc_bench::chart::{render, series_from_points, ChartSpec};
+use ftnoc_bench::{figure5, render_series_table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let points = figure5(scale);
+    print!(
+        "{}",
+        render_series_table(
+            "Figure 5: Latency vs. Error rate (Inj. Rate: 0.25 flits/node/cycle)",
+            "error",
+            &points,
+            |r| r.avg_latency,
+            "cycles",
+        )
+    );
+    println!();
+    let spec = ChartSpec {
+        title: "latency (cycles, log scale; log-x error rate)".into(),
+        y_label: "cycles".into(),
+        x_label: " error rate ".into(),
+        log_x: true,
+        log_y: true,
+        ..ChartSpec::default()
+    };
+    print!(
+        "{}",
+        render(&spec, &series_from_points(&points, |r| r.avg_latency))
+    );
+    println!("\npaper: HBH flat near ~20; FEC moderate growth; E2E exceeds 140 at 0.1");
+}

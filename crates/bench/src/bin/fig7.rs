@@ -1,0 +1,36 @@
+//! Regenerates Figure 7: energy per message of the HBH scheme vs error
+//! rate for the NR / BC / TN traffic patterns.
+
+use ftnoc_bench::chart::{render, series_from_points, ChartSpec};
+use ftnoc_bench::{figure7, render_series_table, Scale};
+
+fn main() {
+    let points = figure7(Scale::from_env());
+    print!(
+        "{}",
+        render_series_table(
+            "Figure 7: HBH energy per message vs. Error rate (Inj. 0.25)",
+            "error",
+            &points,
+            |r| r.energy_per_packet_nj,
+            "nJ",
+        )
+    );
+    let spec = ChartSpec {
+        title: "HBH energy/message by pattern (log-x error rate)".into(),
+        y_label: "nJ".into(),
+        x_label: " error rate ".into(),
+        log_x: true,
+        log_y: false,
+        ..ChartSpec::default()
+    };
+    println!();
+    print!(
+        "{}",
+        render(
+            &spec,
+            &series_from_points(&points, |r| r.energy_per_packet_nj)
+        )
+    );
+    println!("\npaper: sub-1 nJ per message, essentially flat across error rates");
+}

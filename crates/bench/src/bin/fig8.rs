@@ -1,0 +1,33 @@
+//! Regenerates Figure 8: transmission-buffer utilization vs injection
+//! rate for the adaptive (AD) and deterministic (DT) algorithms.
+
+use ftnoc_bench::chart::{render, series_from_points, ChartSpec};
+use ftnoc_bench::{figure8_9, render_series_table, Scale};
+
+fn main() {
+    let points = figure8_9(Scale::from_env());
+    print!(
+        "{}",
+        render_series_table(
+            "Figure 8: Transmission-buffer utilization vs. Injection rate",
+            "inj",
+            &points,
+            |r| r.tx_utilization,
+            "fraction",
+        )
+    );
+    let spec = ChartSpec {
+        title: "transmission-buffer utilization".into(),
+        y_label: "fraction".into(),
+        x_label: " injection rate ".into(),
+        log_x: false,
+        log_y: false,
+        ..ChartSpec::default()
+    };
+    println!();
+    print!(
+        "{}",
+        render(&spec, &series_from_points(&points, |r| r.tx_utilization))
+    );
+    println!("\npaper: rises with load and saturates past the network's capacity");
+}

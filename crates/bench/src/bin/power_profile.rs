@@ -1,0 +1,46 @@
+//! The §2.2 power profile: run the platform and itemize where the
+//! network's energy goes, per micro-architectural event class — the
+//! simulator-side counterpart of importing synthesized power numbers.
+//!
+//! ```sh
+//! cargo run -p ftnoc-bench --bin power_profile --release
+//! ```
+
+use ftnoc_fault::FaultRates;
+use ftnoc_power::EnergyModel;
+use ftnoc_sim::{SimConfig, Simulator};
+
+fn main() {
+    let mut b = SimConfig::builder();
+    b.injection_rate(0.25)
+        .faults(FaultRates::link_only(0.01))
+        .warmup_packets(1_000)
+        .measure_packets(5_000);
+    let report = Simulator::new(b.build().expect("valid config")).run();
+    let model = EnergyModel::new();
+
+    let rows = report.events.energy_breakdown(&model);
+    let total: f64 = rows.iter().map(|(_, _, e)| e.raw()).sum();
+
+    println!("Network power profile (8x8 mesh, HBH, 1% link errors, inj 0.25)");
+    println!(
+        "{} packets over {} cycles\n",
+        report.packets_ejected, report.cycles
+    );
+    println!(
+        "{:<24} {:>12} {:>14} {:>8}",
+        "event class", "count", "energy", "share"
+    );
+    for (name, count, energy) in &rows {
+        println!(
+            "{name:<24} {count:>12} {:>11.1} pJ {:>7.2}%",
+            energy.raw(),
+            energy.raw() / total * 100.0
+        );
+    }
+    println!(
+        "\ntotal {:.1} pJ = {:.4} nJ/packet (Figure 7's metric)",
+        total,
+        total / 1000.0 / report.packets_ejected as f64
+    );
+}

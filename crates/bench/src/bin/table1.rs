@@ -1,0 +1,7 @@
+//! Regenerates Table 1: power and area of the Allocation Comparator
+//! against the generic 5-PC x 4-VC router, from the calibrated 90 nm
+//! component model.
+
+fn main() {
+    print!("{}", ftnoc_bench::render_table1());
+}

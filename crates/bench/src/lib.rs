@@ -1,0 +1,356 @@
+//! The experiment harness: one function per table/figure of the paper,
+//! shared by the regeneration binaries (`src/bin/fig*.rs`) and the
+//! Criterion benches (`benches/`).
+//!
+//! Every experiment supports two scales:
+//!
+//! - **quick** (default): thousands of packets per point — seconds per
+//!   figure, same qualitative shapes;
+//! - **paper** (`FTNOC_SCALE=paper` or [`Scale::Paper`]): the paper's
+//!   300 000 ejected messages per point (100 000 warm-up).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+
+use ftnoc_fault::FaultRates;
+use ftnoc_power::{report::table1_report, Table1};
+use ftnoc_sim::{ErrorScheme, RoutingAlgorithm, SimConfig, SimReport, Simulator};
+use ftnoc_traffic::TrafficPattern;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down runs for CI and `cargo bench`.
+    Quick,
+    /// The paper's full 300 000-message runs.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `FTNOC_SCALE=paper` from the environment (default quick).
+    pub fn from_env() -> Scale {
+        match std::env::var("FTNOC_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    fn apply(self, b: &mut ftnoc_sim::SimConfigBuilder) {
+        match self {
+            Scale::Quick => {
+                b.warmup_packets(1_000)
+                    .measure_packets(5_000)
+                    .max_cycles(2_000_000);
+            }
+            Scale::Paper => {
+                // A collapsed scheme (E2E at a 10 % error rate) would
+                // otherwise grind toward the generic 20M-cycle cap; 1.5M
+                // cycles is ~20x what any completing point needs and the
+                // capped points still report their (enormous) latency.
+                b.paper_scale().max_cycles(1_500_000);
+            }
+        }
+    }
+}
+
+/// The error rates swept by Figures 5-7 (per flit-traversal).
+pub const ERROR_RATES: [f64; 5] = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// The error rates swept by Figure 13.
+pub const FIG13_RATES: [f64; 4] = [1e-5, 1e-4, 1e-3, 1e-2];
+
+/// The injection rates swept by Figures 8-9 (flits/node/cycle).
+pub const INJECTION_RATES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Series label (scheme / pattern / algorithm name).
+    pub series: String,
+    /// X value (error rate or injection rate).
+    pub x: f64,
+    /// The full run report.
+    pub report: SimReport,
+}
+
+fn base_config(scale: Scale) -> ftnoc_sim::SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.injection_rate(0.25);
+    scale.apply(&mut b);
+    b
+}
+
+/// Figure 5: average latency vs link error rate for HBH, E2E and FEC
+/// (uniform traffic, 0.25 flits/node/cycle).
+pub fn figure5(scale: Scale) -> Vec<Point> {
+    let mut points = Vec::new();
+    for scheme in [ErrorScheme::Hbh, ErrorScheme::E2e, ErrorScheme::Fec] {
+        for &rate in &ERROR_RATES {
+            let mut b = base_config(scale);
+            b.scheme(scheme).faults(FaultRates::link_only(rate));
+            let t = std::time::Instant::now();
+            let report = Simulator::new(b.build().expect("valid config")).run();
+            eprintln!(
+                "[fig5] {} rate {rate:.0e}: {:.1} cycles ({:.1?})",
+                scheme.short_name(),
+                report.avg_latency,
+                t.elapsed()
+            );
+            points.push(Point {
+                series: scheme.short_name().to_string(),
+                x: rate,
+                report,
+            });
+        }
+    }
+    points
+}
+
+/// Figure 6: HBH latency vs error rate for the NR, BC and TN patterns.
+pub fn figure6(scale: Scale) -> Vec<Point> {
+    let mut points = Vec::new();
+    for pattern in TrafficPattern::PAPER_PATTERNS {
+        for &rate in &ERROR_RATES {
+            let mut b = base_config(scale);
+            b.pattern(pattern.clone())
+                .faults(FaultRates::link_only(rate));
+            let t = std::time::Instant::now();
+            let report = Simulator::new(b.build().expect("valid config")).run();
+            eprintln!(
+                "[fig6/7] {} rate {rate:.0e}: {:.1} cycles ({:.1?})",
+                pattern.short_name(),
+                report.avg_latency,
+                t.elapsed()
+            );
+            points.push(Point {
+                series: pattern.short_name().to_string(),
+                x: rate,
+                report,
+            });
+        }
+    }
+    points
+}
+
+/// Figure 7: HBH energy per message vs error rate for NR, BC and TN —
+/// the same sweep as Figure 6 read through the energy model.
+pub fn figure7(scale: Scale) -> Vec<Point> {
+    figure6(scale)
+}
+
+/// Figures 8 and 9: transmission- and retransmission-buffer utilization
+/// vs injection rate for the adaptive (AD) and deterministic (DT)
+/// routing algorithms.
+pub fn figure8_9(scale: Scale) -> Vec<Point> {
+    let mut points = Vec::new();
+    for routing in [
+        RoutingAlgorithm::WestFirstAdaptive,
+        RoutingAlgorithm::XyDeterministic,
+    ] {
+        for &inj in &INJECTION_RATES {
+            let mut b = base_config(scale);
+            b.routing(routing).injection_rate(inj);
+            if scale == Scale::Quick {
+                // Above saturation, ejection-count targets stretch out;
+                // a fixed cycle budget measures the same utilization.
+                b.warmup_packets(500)
+                    .measure_packets(3_000)
+                    .max_cycles(150_000);
+            }
+            let t = std::time::Instant::now();
+            let report = Simulator::new(b.build().expect("valid config")).run();
+            eprintln!(
+                "[fig8/9] {} inj {inj}: tx {:.3} ({:.1?})",
+                routing.short_name(),
+                report.tx_utilization,
+                t.elapsed()
+            );
+            points.push(Point {
+                series: routing.short_name().to_string(),
+                x: inj,
+                report,
+            });
+        }
+    }
+    points
+}
+
+/// Figure 13's three fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig13Class {
+    /// Link soft errors handled by HBH (LINK-HBH).
+    LinkHbh,
+    /// Routing-unit logic errors (RT-Logic).
+    RtLogic,
+    /// Switch-allocator logic errors (SA-Logic).
+    SaLogic,
+}
+
+impl Fig13Class {
+    /// All three classes in the paper's legend order.
+    pub const ALL: [Fig13Class; 3] = [
+        Fig13Class::LinkHbh,
+        Fig13Class::RtLogic,
+        Fig13Class::SaLogic,
+    ];
+
+    /// The legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig13Class::LinkHbh => "LINK-HBH",
+            Fig13Class::RtLogic => "RT-Logic",
+            Fig13Class::SaLogic => "SA-Logic",
+        }
+    }
+
+    fn rates(self, rate: f64) -> FaultRates {
+        match self {
+            Fig13Class::LinkHbh => FaultRates::link_only(rate),
+            Fig13Class::RtLogic => FaultRates::rt_only(rate),
+            Fig13Class::SaLogic => FaultRates::sa_only(rate),
+        }
+    }
+
+    /// Extracts "number of errors corrected" for this class from a run.
+    pub fn corrected(self, report: &SimReport) -> u64 {
+        match self {
+            Fig13Class::LinkHbh => report.errors.link_total_corrected(),
+            Fig13Class::RtLogic => report.errors.rt_corrected,
+            Fig13Class::SaLogic => report.errors.sa_corrected,
+        }
+    }
+}
+
+/// Figure 13: each fault class simulated independently across error
+/// rates; (a) reads corrected-error counts, (b) reads energy per packet.
+pub fn figure13(scale: Scale) -> Vec<(Fig13Class, f64, SimReport)> {
+    let mut points = Vec::new();
+    for class in Fig13Class::ALL {
+        for &rate in &FIG13_RATES {
+            let mut b = base_config(scale);
+            b.faults(class.rates(rate));
+            let t = std::time::Instant::now();
+            let report = Simulator::new(b.build().expect("valid config")).run();
+            eprintln!(
+                "[fig13] {} rate {rate:.0e}: corrected {} ({:.1?})",
+                class.label(),
+                class.corrected(&report),
+                t.elapsed()
+            );
+            points.push((class, rate, report));
+        }
+    }
+    points
+}
+
+/// Table 1: the calibrated area/power model.
+pub fn table1() -> Table1 {
+    Table1::compute()
+}
+
+/// Renders a latency (or other metric) sweep as an aligned text table,
+/// series as columns.
+pub fn render_series_table(
+    title: &str,
+    x_label: &str,
+    points: &[Point],
+    metric: impl Fn(&SimReport) -> f64,
+    unit: &str,
+) -> String {
+    use std::fmt::Write as _;
+    let mut series: Vec<String> = Vec::new();
+    for p in points {
+        if !series.contains(&p.series) {
+            series.push(p.series.clone());
+        }
+    }
+    let mut xs: Vec<f64> = Vec::new();
+    for p in points {
+        if !xs.iter().any(|x| (x - p.x).abs() < 1e-12) {
+            xs.push(p.x);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} [{unit}]");
+    let _ = write!(out, "{x_label:>10}");
+    for s in &series {
+        let _ = write!(out, " {s:>10}");
+    }
+    let _ = writeln!(out);
+    for &x in &xs {
+        let _ = write!(out, "{x:>10.0e}");
+        for s in &series {
+            let v = points
+                .iter()
+                .find(|p| &p.series == s && (p.x - x).abs() < 1e-12)
+                .map(|p| metric(&p.report))
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, " {v:>10.3}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Table 1 with the paper's reference values.
+pub fn render_table1() -> String {
+    table1_report(&table1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        assert_eq!(Scale::from_env(), Scale::Quick);
+    }
+
+    #[test]
+    fn fig13_class_labels() {
+        assert_eq!(Fig13Class::LinkHbh.label(), "LINK-HBH");
+        assert_eq!(Fig13Class::ALL.len(), 3);
+    }
+
+    #[test]
+    fn render_series_table_aligns_series() {
+        let report = Simulator::new(
+            {
+                let mut b = SimConfig::builder();
+                b.injection_rate(0.1)
+                    .warmup_packets(50)
+                    .measure_packets(200)
+                    .max_cycles(100_000);
+                b
+            }
+            .build()
+            .unwrap(),
+        )
+        .run();
+        let points = vec![
+            Point {
+                series: "HBH".into(),
+                x: 1e-3,
+                report: report.clone(),
+            },
+            Point {
+                series: "E2E".into(),
+                x: 1e-3,
+                report,
+            },
+        ];
+        let table = render_series_table("t", "rate", &points, |r| r.avg_latency, "cycles");
+        assert!(table.contains("HBH"));
+        assert!(table.contains("E2E"));
+        assert!(table.contains("1e-3"));
+    }
+
+    #[test]
+    fn table1_render_includes_overheads() {
+        let s = render_table1();
+        assert!(s.contains("119.55"));
+        assert!(s.contains("AC"));
+    }
+}

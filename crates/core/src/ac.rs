@@ -1,0 +1,448 @@
+//! The Allocation Comparator (AC) unit of Figure 12 / §4.
+//!
+//! The AC is purely combinational: every cycle it cross-checks the state
+//! tables of the routing unit (RT), the VC allocator (VA) and the switch
+//! allocator (SA) and raises an error flag that invalidates the previous
+//! cycle's allocation. Three comparisons run in parallel:
+//!
+//! 1. **VA vs RT agreement** — the output VC the VA assigned must lie in
+//!    the physical channel returned by the routing function (catches
+//!    scenario 4b of §4.1, a mis-directed but otherwise valid VC);
+//! 2. **VA state validity** — no invalid output-VC ids (scenario 1) and
+//!    no output VC assigned to two input VCs (scenarios 2 and 3);
+//! 3. **SA state validity** — no invalid output port, no two grants to
+//!    one output (crossbar conflict), and no input granted several
+//!    outputs (multicast), per §4.3 cases (b)–(d).
+
+use std::fmt;
+
+use ftnoc_types::geom::Direction;
+
+/// Reference to one virtual channel of one physical port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VcRef {
+    /// The physical port.
+    pub port: Direction,
+    /// VC index within the port.
+    pub vc: u8,
+}
+
+impl VcRef {
+    /// Creates a VC reference.
+    pub const fn new(port: Direction, vc: u8) -> Self {
+        VcRef { port, vc }
+    }
+}
+
+impl fmt::Display for VcRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.port, self.vc)
+    }
+}
+
+/// One row of the routing-unit state: the valid output PC for an input VC
+/// (the routing function returns all VCs of a single PC, `R ⇒ P`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtEntry {
+    /// The packet's input VC.
+    pub input_vc: VcRef,
+    /// The physical channel the routing function selected.
+    pub valid_out_port: Direction,
+}
+
+/// One row of the VC-allocator state: a reserved pairing between an input
+/// VC and an allocated output VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VaEntry {
+    /// The packet's input VC.
+    pub input_vc: VcRef,
+    /// The allocated output VC (port + VC id as driven by the VA — the id
+    /// may be invalid if a soft error struck).
+    pub out_port: Direction,
+    /// Output VC id within `out_port`.
+    pub out_vc: u8,
+}
+
+/// One row of the switch-allocator state: a crossbar grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaEntry {
+    /// Input port granted access.
+    pub input_port: Direction,
+    /// VC within the input port that won arbitration.
+    pub winning_vc: u8,
+    /// Output port the grant connects to.
+    pub out_port: Direction,
+}
+
+/// A defect found by the comparator, with enough context to invalidate
+/// the offending allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcFinding {
+    /// VA assigned an output VC outside the PC chosen by the routing
+    /// function (§4.1 scenario 4b).
+    VaDisagreesWithRt {
+        /// The affected input VC.
+        input_vc: VcRef,
+        /// Port the VA drove.
+        va_port: Direction,
+        /// Port the routing function required.
+        rt_port: Direction,
+    },
+    /// VA assigned an out-of-range output VC id (§4.1 scenario 1).
+    InvalidOutputVc {
+        /// The affected input VC.
+        input_vc: VcRef,
+        /// The invalid id.
+        out_vc: u8,
+    },
+    /// Two input VCs hold the same output VC (§4.1 scenarios 2 and 3).
+    DuplicateOutputVc {
+        /// First claimant.
+        first: VcRef,
+        /// Second claimant.
+        second: VcRef,
+        /// The double-booked output VC.
+        out: VcRef,
+    },
+    /// SA granted two inputs to one output port (§4.3 case c).
+    DuplicateOutputPort {
+        /// First granted input.
+        first: Direction,
+        /// Second granted input.
+        second: Direction,
+        /// The double-booked output.
+        out_port: Direction,
+    },
+    /// SA granted one input several outputs — multicast (§4.3 case d).
+    Multicast {
+        /// The multicasting input port.
+        input_port: Direction,
+    },
+    /// SA granted a VC id that does not exist (defensive check).
+    InvalidWinningVc {
+        /// The granting input port.
+        input_port: Direction,
+        /// The invalid VC id.
+        vc: u8,
+    },
+}
+
+/// The Allocation Comparator.
+///
+/// Stateless apart from its error census: each call to
+/// [`AllocationComparator::check`] is one combinational evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct AllocationComparator {
+    checks: u64,
+    errors_flagged: u64,
+}
+
+impl AllocationComparator {
+    /// Creates a comparator.
+    pub fn new() -> Self {
+        AllocationComparator::default()
+    }
+
+    /// Evaluations performed.
+    pub fn check_count(&self) -> u64 {
+        self.checks
+    }
+
+    /// Evaluations that flagged at least one defect.
+    pub fn errors_flagged(&self) -> u64 {
+        self.errors_flagged
+    }
+
+    /// One combinational evaluation over the three state tables.
+    ///
+    /// `vcs_per_port` bounds valid VC ids. Findings are returned in
+    /// check order (agreement, VA validity, SA validity); an empty vector
+    /// means the error flag stays low.
+    pub fn check(
+        &mut self,
+        rt: &[RtEntry],
+        va: &[VaEntry],
+        sa: &[SaEntry],
+        vcs_per_port: usize,
+    ) -> Vec<AcFinding> {
+        self.checks += 1;
+        let mut findings = Vec::new();
+
+        // (1) VA vs RT agreement.
+        for v in va {
+            if let Some(r) = rt.iter().find(|r| r.input_vc == v.input_vc) {
+                if r.valid_out_port != v.out_port {
+                    findings.push(AcFinding::VaDisagreesWithRt {
+                        input_vc: v.input_vc,
+                        va_port: v.out_port,
+                        rt_port: r.valid_out_port,
+                    });
+                }
+            }
+        }
+
+        // (2) VA validity: invalid ids and duplicates.
+        for v in va {
+            if v.out_vc as usize >= vcs_per_port {
+                findings.push(AcFinding::InvalidOutputVc {
+                    input_vc: v.input_vc,
+                    out_vc: v.out_vc,
+                });
+            }
+        }
+        for (i, a) in va.iter().enumerate() {
+            for b in va.iter().skip(i + 1) {
+                if a.out_port == b.out_port && a.out_vc == b.out_vc {
+                    findings.push(AcFinding::DuplicateOutputVc {
+                        first: a.input_vc,
+                        second: b.input_vc,
+                        out: VcRef::new(a.out_port, a.out_vc),
+                    });
+                }
+            }
+        }
+
+        // (3) SA validity: invalid winners, duplicate outputs, multicast.
+        for s in sa {
+            if s.winning_vc as usize >= vcs_per_port {
+                findings.push(AcFinding::InvalidWinningVc {
+                    input_port: s.input_port,
+                    vc: s.winning_vc,
+                });
+            }
+        }
+        for (i, a) in sa.iter().enumerate() {
+            for b in sa.iter().skip(i + 1) {
+                if a.out_port == b.out_port {
+                    findings.push(AcFinding::DuplicateOutputPort {
+                        first: a.input_port,
+                        second: b.input_port,
+                        out_port: a.out_port,
+                    });
+                }
+                if a.input_port == b.input_port {
+                    // One input connected to two outputs in the same cycle.
+                    findings.push(AcFinding::Multicast {
+                        input_port: a.input_port,
+                    });
+                }
+            }
+        }
+
+        if !findings.is_empty() {
+            self.errors_flagged += 1;
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Direction::{East, Local, North, South, West};
+
+    fn vc(port: Direction, vc: u8) -> VcRef {
+        VcRef::new(port, vc)
+    }
+
+    /// The healthy running example from Figure 12: N_1→S_2 and W_3→E_2.
+    fn figure12_tables() -> (Vec<RtEntry>, Vec<VaEntry>, Vec<SaEntry>) {
+        let rt = vec![
+            RtEntry {
+                input_vc: vc(North, 1),
+                valid_out_port: South,
+            },
+            RtEntry {
+                input_vc: vc(West, 3),
+                valid_out_port: East,
+            },
+        ];
+        let va = vec![
+            VaEntry {
+                input_vc: vc(North, 1),
+                out_port: South,
+                out_vc: 2,
+            },
+            VaEntry {
+                input_vc: vc(West, 3),
+                out_port: East,
+                out_vc: 2,
+            },
+        ];
+        let sa = vec![
+            SaEntry {
+                input_port: North,
+                winning_vc: 2,
+                out_port: South,
+            },
+            SaEntry {
+                input_port: West,
+                winning_vc: 2,
+                out_port: East,
+            },
+        ];
+        (rt, va, sa)
+    }
+
+    #[test]
+    fn healthy_figure12_state_raises_no_flag() {
+        let (rt, va, sa) = figure12_tables();
+        let mut ac = AllocationComparator::new();
+        assert!(ac.check(&rt, &va, &sa, 4).is_empty());
+        assert_eq!(ac.check_count(), 1);
+        assert_eq!(ac.errors_flagged(), 0);
+    }
+
+    #[test]
+    fn scenario_1_invalid_output_vc() {
+        // 3 VCs (00,01,10); a soft error assigns invalid VC 11.
+        let (rt, mut va, sa) = figure12_tables();
+        va[0].out_vc = 3;
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &sa, 3);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, AcFinding::InvalidOutputVc { out_vc: 3, .. })));
+        assert_eq!(ac.errors_flagged(), 1);
+    }
+
+    #[test]
+    fn scenario_2_unreserved_vc_assigned_twice() {
+        // Packets from North and West both assigned the same South VC.
+        let (rt, mut va, sa) = figure12_tables();
+        va[1].out_port = South;
+        va[1].out_vc = 2;
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &sa, 4);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, AcFinding::DuplicateOutputVc { .. })));
+    }
+
+    #[test]
+    fn scenario_3_reserved_vc_reassigned() {
+        // The VA state already pairs N_1 -> S_2; a new allocation hands
+        // S_2 to another requester — visible as a duplicate in the state.
+        let (rt, mut va, sa) = figure12_tables();
+        va.push(VaEntry {
+            input_vc: vc(East, 0),
+            out_port: South,
+            out_vc: 2,
+        });
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &sa, 4);
+        let dup = findings
+            .iter()
+            .find_map(|f| match f {
+                AcFinding::DuplicateOutputVc { first, second, out } => {
+                    Some((*first, *second, *out))
+                }
+                _ => None,
+            })
+            .expect("duplicate must be found");
+        assert_eq!(dup.2, vc(South, 2));
+    }
+
+    #[test]
+    fn scenario_4a_wrong_vc_same_pc_is_benign() {
+        // The wrong output VC but the intended PC: the packet still goes
+        // the right way; the AC correctly stays quiet.
+        let (rt, mut va, sa) = figure12_tables();
+        va[0].out_vc = 0; // intended was 2, still within South
+        let mut sa2 = sa.clone();
+        sa2[0].winning_vc = 0;
+        let mut ac = AllocationComparator::new();
+        assert!(ac.check(&rt, &va, &sa2, 4).is_empty());
+    }
+
+    #[test]
+    fn scenario_4b_wrong_pc_caught_by_rt_comparison() {
+        // VA assigns a North VC while the RT unit said South.
+        let (rt, mut va, sa) = figure12_tables();
+        va[0].out_port = North;
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &sa, 4);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            AcFinding::VaDisagreesWithRt {
+                va_port: North,
+                rt_port: South,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn sa_case_c_two_grants_to_one_output() {
+        let (rt, va, mut sa) = figure12_tables();
+        sa[1].out_port = South; // both inputs now drive South
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &sa, 4);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            AcFinding::DuplicateOutputPort {
+                out_port: South,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn sa_case_d_multicast_detected() {
+        let (rt, va, mut sa) = figure12_tables();
+        sa.push(SaEntry {
+            input_port: North,
+            winning_vc: 2,
+            out_port: West,
+        }); // North granted to South AND West
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &sa, 4);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, AcFinding::Multicast { input_port: North })));
+    }
+
+    #[test]
+    fn invalid_winning_vc_detected() {
+        let (rt, va, mut sa) = figure12_tables();
+        sa[0].winning_vc = 9;
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &sa, 4);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, AcFinding::InvalidWinningVc { vc: 9, .. })));
+    }
+
+    #[test]
+    fn multiple_defects_reported_together() {
+        let (rt, mut va, mut sa) = figure12_tables();
+        va[0].out_vc = 7;
+        sa[1].out_port = South;
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &sa, 4);
+        assert!(findings.len() >= 2);
+        assert_eq!(ac.errors_flagged(), 1, "one flag per cycle");
+    }
+
+    #[test]
+    fn local_port_entries_participate() {
+        // Ejection (Local) port allocations are checked like any other.
+        let rt = vec![RtEntry {
+            input_vc: vc(East, 0),
+            valid_out_port: Local,
+        }];
+        let va = vec![VaEntry {
+            input_vc: vc(East, 0),
+            out_port: Local,
+            out_vc: 0,
+        }];
+        let mut ac = AllocationComparator::new();
+        assert!(ac.check(&rt, &va, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn vcref_display() {
+        assert_eq!(vc(North, 1).to_string(), "N_1");
+        assert_eq!(vc(South, 2).to_string(), "S_2");
+    }
+}

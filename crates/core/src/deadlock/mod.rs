@@ -1,0 +1,20 @@
+//! Deadlock detection and recovery via retransmission buffers (§3.2).
+//!
+//! Three pieces:
+//!
+//! - [`bound`]: the buffer-sizing theorem of Eq. (1) with the paper's two
+//!   worked examples (Figures 10 and 11);
+//! - [`probe`]: the probing protocol of §3.2.2 (Rules 1–4) that confirms
+//!   real deadlocks with no false positives before recovery is invoked;
+//! - [`recovery`]: the recovery procedure of §3.2.1 / Figure 10 — a
+//!   deadlocked cycle drains by absorbing flits into the idle
+//!   retransmission buffers, creating the single free slot that lets
+//!   every packet advance.
+
+pub mod bound;
+pub mod probe;
+pub mod recovery;
+
+pub use bound::DeadlockCycleSpec;
+pub use probe::{ActivationAction, ActivationSignal, ProbeAction, ProbeProtocol, ProbeSignal};
+pub use recovery::{RecoveryRing, RingNode};

@@ -1,0 +1,552 @@
+//! The transmission/retransmission buffer architecture of Figure 3.
+//!
+//! Each virtual channel owns a simple FIFO **transmission buffer** and a
+//! barrel-shifter **retransmission buffer**. On every link transmission a
+//! copy of the flit enters the back of the barrel shifter; it reaches the
+//! front exactly when a NACK for it could arrive (3 cycles later: link +
+//! error check + NACK propagation) and silently expires if none does. On
+//! a NACK, the shifter replays its contents front-to-back, re-recording
+//! each replayed flit so that repeated errors are survivable.
+//!
+//! The same buffer doubles as the deadlock-recovery resource of §3.2:
+//! recovery mode *absorbs* flits from the transmission buffer into free
+//! retransmission slots ([`RetransmissionBuffer::absorb`]), and the
+//! probing machinery injects probe flits directly ([`Figure 3`]'s
+//! "direct input").
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ftnoc_types::flit::Flit;
+
+/// State of one barrel-shifter slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Copy of a flit already transmitted on the link at the given cycle;
+    /// expires `depth` cycles later unless a NACK arrives first.
+    Sent { sent_at: u64 },
+    /// A flit absorbed for deadlock recovery (or a probe awaiting
+    /// injection); never expires, leaves only via [`RetransmissionBuffer::send_held`].
+    Held,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Slot {
+    flit: Flit,
+    state: SlotState,
+}
+
+/// The barrel-shifter retransmission buffer (Figure 3, §3.1).
+///
+/// # Examples
+///
+/// ```
+/// use ftnoc_core::retransmission::RetransmissionBuffer;
+/// use ftnoc_types::{Flit, FlitKind, Header, NodeId, PacketId};
+///
+/// let mut buf = RetransmissionBuffer::new(3);
+/// let flit = Flit::new(
+///     PacketId::new(1), 0, FlitKind::Head,
+///     Header::new(NodeId::new(0), NodeId::new(5)), 0, 0,
+/// );
+/// buf.record_transmission(flit, 10);
+/// assert_eq!(buf.occupancy(), 1);
+///
+/// // No NACK within 3 cycles: the copy expires.
+/// buf.expire(13);
+/// assert_eq!(buf.occupancy(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetransmissionBuffer {
+    depth: usize,
+    slots: VecDeque<Slot>,
+    replay_pending: usize,
+    /// Total flits ever recorded (statistics).
+    recorded: u64,
+    /// Total replay transmissions performed (statistics).
+    replayed: u64,
+}
+
+impl RetransmissionBuffer {
+    /// Creates a buffer of `depth` slots (§3.1 requires ≥ 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "retransmission buffer depth must be non-zero");
+        RetransmissionBuffer {
+            depth,
+            slots: VecDeque::with_capacity(depth),
+            replay_pending: 0,
+            recorded: 0,
+            replayed: 0,
+        }
+    }
+
+    /// Buffer depth in flits.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.depth
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether a NACK-triggered replay is in progress.
+    pub fn is_replaying(&self) -> bool {
+        self.replay_pending > 0
+    }
+
+    /// Flits recorded over the buffer's lifetime.
+    pub fn recorded_count(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Replay transmissions over the buffer's lifetime.
+    pub fn replayed_count(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Records a copy of a flit transmitted on the link at cycle `now`.
+    ///
+    /// Call [`RetransmissionBuffer::expire`] with the current cycle before
+    /// recording; a correctly sized buffer (depth ≥ NACK round trip) then
+    /// always has room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — with per-§3.1 timing this indicates
+    /// the caller transmitted faster than copies can expire.
+    pub fn record_transmission(&mut self, flit: Flit, now: u64) {
+        assert!(
+            !self.is_full(),
+            "retransmission buffer overflow at cycle {now}; expire() not called or \
+             transmissions outpace the {}-cycle window",
+            self.depth
+        );
+        self.slots.push_back(Slot {
+            flit,
+            state: SlotState::Sent { sent_at: now },
+        });
+        self.recorded += 1;
+    }
+
+    /// Drops copies whose NACK window has closed. No expiry happens
+    /// during a replay: the contents are needed until the replay ends.
+    ///
+    /// Expired copies are reclaimed wherever they sit: during deadlock
+    /// recovery a held (unsent) flit can rotate in front of still-ticking
+    /// copies of its successors, and those copies must not waste slots
+    /// once their windows close (the Eq. 1 bound counts every slot).
+    pub fn expire(&mut self, now: u64) {
+        if self.replay_pending > 0 {
+            return;
+        }
+        let depth = self.depth as u64;
+        self.slots.retain(|slot| match slot.state {
+            SlotState::Sent { sent_at } => now < sent_at + depth,
+            SlotState::Held => true,
+        });
+    }
+
+    /// Handles an incoming NACK: every current slot becomes pending
+    /// replay, front (oldest, the corrupted flit) first.
+    ///
+    /// A NACK arriving while a previous replay is still in progress
+    /// restarts the replay over the current contents.
+    pub fn on_nack(&mut self) {
+        self.replay_pending = self.slots.len();
+    }
+
+    /// Produces the next replayed flit. The slot rotates to the back with
+    /// a fresh timestamp, so the replayed copy is itself protected.
+    ///
+    /// Returns `None` when no replay is pending.
+    pub fn next_replay(&mut self, now: u64) -> Option<Flit> {
+        if self.replay_pending == 0 {
+            return None;
+        }
+        let mut slot = self.slots.pop_front()?;
+        let mut flit = slot.flit;
+        flit.retransmissions = flit.retransmissions.saturating_add(1);
+        slot.flit = flit;
+        slot.state = SlotState::Sent { sent_at: now };
+        self.slots.push_back(slot);
+        self.replay_pending -= 1;
+        self.replayed += 1;
+        Some(flit)
+    }
+
+    /// Absorbs a flit from the transmission buffer during deadlock
+    /// recovery (§3.2.1) or injects a probe flit via the direct input
+    /// (Figure 3). Held flits never expire.
+    ///
+    /// Returns `false` (and does nothing) when no slot is free.
+    pub fn absorb(&mut self, flit: Flit) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.slots.push_back(Slot {
+            flit,
+            state: SlotState::Held,
+        });
+        true
+    }
+
+    /// Number of held (absorbed, unsent) flits.
+    pub fn held_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Held)
+            .count()
+    }
+
+    /// The flit a recovery transmission would send next, if any: the
+    /// oldest held flit, which per the recovery procedure is always at
+    /// the front once sent copies have expired.
+    pub fn front_held(&self) -> Option<&Flit> {
+        self.slots
+            .front()
+            .filter(|s| s.state == SlotState::Held)
+            .map(|s| &s.flit)
+    }
+
+    /// Sends the front held flit during deadlock recovery: the slot
+    /// rotates to the back as a sent copy (Figure 10's thick-square
+    /// flits), expiring `depth` cycles later as usual.
+    pub fn send_held(&mut self, now: u64) -> Option<Flit> {
+        if self.front_held().is_none() {
+            return None;
+        }
+        let mut slot = self.slots.pop_front().expect("front exists");
+        slot.state = SlotState::Sent { sent_at: now };
+        self.slots.push_back(slot);
+        Some(slot.flit)
+    }
+
+    /// Iterates over buffered flits, front (oldest) first.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.slots.iter().map(|s| &s.flit)
+    }
+}
+
+impl fmt::Display for RetransmissionBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retrans[{}/{}{}]",
+            self.slots.len(),
+            self.depth,
+            if self.replay_pending > 0 {
+                " replaying"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// The simple FIFO transmission buffer of Figure 3.
+///
+/// One input port, one output port, simple control logic — deliberately
+/// unlike the pointer-tracked shared buffers of prior work (§3.1).
+#[derive(Debug, Clone)]
+pub struct TransmissionFifo {
+    capacity: usize,
+    flits: VecDeque<Flit>,
+    /// Cumulative occupancy integral (for utilization statistics).
+    occupancy_sum: u64,
+    samples: u64,
+}
+
+impl TransmissionFifo {
+    /// Creates a FIFO of `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "transmission buffer capacity must be non-zero"
+        );
+        TransmissionFifo {
+            capacity,
+            flits: VecDeque::with_capacity(capacity),
+            occupancy_sum: 0,
+            samples: 0,
+        }
+    }
+
+    /// Buffer capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy in flits.
+    pub fn len(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.flits.len() >= self.capacity
+    }
+
+    /// Free slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.flits.len()
+    }
+
+    /// Pushes a flit at the back.
+    ///
+    /// Returns `false` (and drops nothing) when full; credit-based flow
+    /// control should prevent that from ever happening.
+    pub fn push(&mut self, flit: Flit) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.flits.push_back(flit);
+        true
+    }
+
+    /// The flit at the head, if any.
+    pub fn front(&self) -> Option<&Flit> {
+        self.flits.front()
+    }
+
+    /// Pops the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.flits.pop_front()
+    }
+
+    /// Records an occupancy sample (call once per cycle for Figure 8
+    /// utilization statistics).
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy_sum += self.flits.len() as u64;
+        self.samples += 1;
+    }
+
+    /// Mean utilization in `[0, 1]` over the sampled cycles.
+    pub fn utilization(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.occupancy_sum as f64 / (self.samples as f64 * self.capacity as f64)
+    }
+
+    /// Iterates front (oldest) to back.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.flits.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftnoc_types::flit::FlitKind;
+    use ftnoc_types::geom::NodeId;
+    use ftnoc_types::packet::PacketId;
+    use ftnoc_types::Header;
+
+    fn flit(seq: u8) -> Flit {
+        let kind = match seq {
+            0 => FlitKind::Head,
+            3 => FlitKind::Tail,
+            _ => FlitKind::Body,
+        };
+        Flit::new(
+            PacketId::new(9),
+            seq,
+            kind,
+            Header::new(NodeId::new(0), NodeId::new(7)),
+            seq as u16,
+            0,
+        )
+    }
+
+    #[test]
+    fn copies_expire_after_depth_cycles() {
+        let mut buf = RetransmissionBuffer::new(3);
+        buf.record_transmission(flit(0), 100);
+        buf.expire(101);
+        assert_eq!(buf.occupancy(), 1);
+        buf.expire(102);
+        assert_eq!(buf.occupancy(), 1);
+        buf.expire(103);
+        assert_eq!(buf.occupancy(), 0);
+    }
+
+    #[test]
+    fn window_holds_exactly_depth_flits_at_full_rate() {
+        let mut buf = RetransmissionBuffer::new(3);
+        for t in 0..10u64 {
+            buf.expire(t);
+            buf.record_transmission(flit((t % 4) as u8), t);
+            assert!(buf.occupancy() <= 3);
+        }
+        assert_eq!(buf.occupancy(), 3);
+        assert_eq!(buf.recorded_count(), 10);
+    }
+
+    #[test]
+    fn nack_replays_contents_oldest_first() {
+        let mut buf = RetransmissionBuffer::new(3);
+        for t in 0..3u64 {
+            buf.expire(t);
+            buf.record_transmission(flit(t as u8), t);
+        }
+        // NACK arrives at cycle 3, targeting the flit sent at cycle 0.
+        buf.on_nack();
+        assert!(buf.is_replaying());
+        let r0 = buf.next_replay(3).unwrap();
+        let r1 = buf.next_replay(4).unwrap();
+        let r2 = buf.next_replay(5).unwrap();
+        assert_eq!([r0.seq, r1.seq, r2.seq], [0, 1, 2]);
+        assert!(!buf.is_replaying());
+        assert_eq!(buf.next_replay(6), None);
+        assert_eq!(buf.replayed_count(), 3);
+        // Replayed copies are re-protected and expire on their own clock.
+        assert_eq!(buf.occupancy(), 3);
+        buf.expire(6);
+        assert_eq!(buf.occupancy(), 2); // copy re-sent at 3 expired
+        buf.expire(8);
+        assert_eq!(buf.occupancy(), 0);
+    }
+
+    #[test]
+    fn replay_marks_retransmission_count() {
+        let mut buf = RetransmissionBuffer::new(3);
+        buf.record_transmission(flit(0), 0);
+        buf.on_nack();
+        let replayed = buf.next_replay(3).unwrap();
+        assert_eq!(replayed.retransmissions, 1);
+        // A second NACK replays the same flit again.
+        buf.on_nack();
+        let replayed = buf.next_replay(6).unwrap();
+        assert_eq!(replayed.retransmissions, 2);
+    }
+
+    #[test]
+    fn no_expiry_during_replay() {
+        let mut buf = RetransmissionBuffer::new(3);
+        for t in 0..3u64 {
+            buf.expire(t);
+            buf.record_transmission(flit(t as u8), t);
+        }
+        buf.on_nack();
+        // Even far in the future, contents survive until replayed.
+        buf.expire(100);
+        assert_eq!(buf.occupancy(), 3);
+        assert!(buf.next_replay(100).is_some());
+    }
+
+    #[test]
+    fn absorb_and_send_held_rotate_like_figure_10() {
+        let mut buf = RetransmissionBuffer::new(3);
+        // Deadlocked node: buffer idle/empty, absorb 3 flits.
+        assert!(buf.absorb(flit(1)));
+        assert!(buf.absorb(flit(2)));
+        assert!(buf.absorb(flit(3)));
+        assert!(!buf.absorb(flit(0)), "full buffer rejects absorption");
+        assert_eq!(buf.held_count(), 3);
+
+        // Space opens downstream: send held flits one per cycle.
+        let s1 = buf.send_held(10).unwrap();
+        assert_eq!(s1.seq, 1);
+        assert_eq!(buf.held_count(), 2);
+        assert_eq!(buf.occupancy(), 3, "sent copy rotates to the back");
+        let s2 = buf.send_held(11).unwrap();
+        assert_eq!(s2.seq, 2);
+        let s3 = buf.send_held(12).unwrap();
+        assert_eq!(s3.seq, 3);
+        assert_eq!(buf.held_count(), 0);
+        assert_eq!(buf.send_held(13), None);
+
+        // Three cycles later the buffer is empty again (Figure 10 step 7).
+        buf.expire(15);
+        assert_eq!(buf.occupancy(), 0);
+    }
+
+    #[test]
+    fn held_flits_do_not_expire() {
+        let mut buf = RetransmissionBuffer::new(3);
+        buf.absorb(flit(1));
+        buf.expire(1_000_000);
+        assert_eq!(buf.occupancy(), 1);
+    }
+
+    #[test]
+    fn held_behind_sent_becomes_front_after_expiry() {
+        let mut buf = RetransmissionBuffer::new(3);
+        buf.record_transmission(flit(0), 5);
+        buf.absorb(flit(1));
+        // Held flit is not at the front yet.
+        assert!(buf.front_held().is_none());
+        assert_eq!(buf.send_held(6), None);
+        buf.expire(8); // sent copy expires
+        assert_eq!(buf.front_held().map(|f| f.seq), Some(1));
+        assert!(buf.send_held(8).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut buf = RetransmissionBuffer::new(3);
+        for t in 0..4u64 {
+            buf.record_transmission(flit(0), t); // no expire() calls
+        }
+    }
+
+    #[test]
+    fn fifo_push_pop_order() {
+        let mut fifo = TransmissionFifo::new(4);
+        for s in 0..4 {
+            assert!(fifo.push(flit(s)));
+        }
+        assert!(fifo.is_full());
+        assert!(!fifo.push(flit(0)));
+        assert_eq!(fifo.pop().unwrap().seq, 0);
+        assert_eq!(fifo.front().unwrap().seq, 1);
+        assert_eq!(fifo.free_slots(), 1);
+    }
+
+    #[test]
+    fn fifo_utilization_tracks_occupancy() {
+        let mut fifo = TransmissionFifo::new(4);
+        fifo.push(flit(0));
+        fifo.push(flit(1));
+        for _ in 0..10 {
+            fifo.sample_occupancy();
+        }
+        assert!((fifo.utilization() - 0.5).abs() < 1e-12);
+        let empty = TransmissionFifo::new(4);
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn display_summarises_state() {
+        let mut buf = RetransmissionBuffer::new(3);
+        buf.record_transmission(flit(0), 0);
+        assert_eq!(buf.to_string(), "retrans[1/3]");
+        buf.on_nack();
+        assert_eq!(buf.to_string(), "retrans[1/3 replaying]");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests of the Allocation Comparator: under the paper's
+//! single-event-upset model, every harmful VA corruption is flagged and
+//! every benign state passes — the exhaustive version of §4.1's
+//! case analysis.
+
+use ftnoc_core::ac::{AllocationComparator, RtEntry, VaEntry, VcRef};
+use ftnoc_types::geom::Direction;
+use proptest::prelude::*;
+
+const VCS: usize = 4;
+
+fn dir(i: usize) -> Direction {
+    Direction::from_index(i % 5).expect("0..5")
+}
+
+/// Builds a healthy allocation state: `n` entries with distinct input
+/// VCs, distinct output VCs, and VA agreeing with RT.
+fn healthy_state(n: usize, seed: usize) -> (Vec<RtEntry>, Vec<VaEntry>) {
+    let mut rt = Vec::new();
+    let mut va = Vec::new();
+    for k in 0..n {
+        let input_vc = VcRef::new(dir(k % 5), (k / 5) as u8 % VCS as u8);
+        // Distinct output VCs: spread over ports and vc ids by index.
+        let out_port = dir((k + seed) % 5);
+        let out_vc = (k % VCS) as u8;
+        // Avoid accidental duplicates: (port, vc) pairs must be unique.
+        if va
+            .iter()
+            .any(|v: &VaEntry| v.out_port == out_port && v.out_vc == out_vc)
+        {
+            continue;
+        }
+        rt.push(RtEntry {
+            input_vc,
+            valid_out_port: out_port,
+        });
+        va.push(VaEntry {
+            input_vc,
+            out_port,
+            out_vc,
+        });
+    }
+    (rt, va)
+}
+
+proptest! {
+    /// A healthy state never raises the error flag (no false positives
+    /// from the comparator logic itself).
+    #[test]
+    fn healthy_states_pass(n in 1usize..12, seed in 0usize..5) {
+        let (rt, va) = healthy_state(n, seed);
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &[], VCS);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    /// Corrupting one entry's output VC id to an invalid value is always
+    /// caught (§4.1 scenario 1).
+    #[test]
+    fn invalid_vc_always_caught(n in 1usize..12, seed in 0usize..5, victim in 0usize..12) {
+        let (rt, mut va) = healthy_state(n, seed);
+        prop_assume!(!va.is_empty());
+        let victim = victim % va.len();
+        va[victim].out_vc = VCS as u8; // out of range
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &[], VCS);
+        prop_assert!(!findings.is_empty());
+    }
+
+    /// Corrupting one entry's output port away from the routing
+    /// function's choice is always caught (§4.1 scenario 4b).
+    #[test]
+    fn wrong_port_always_caught(
+        n in 1usize..12,
+        seed in 0usize..5,
+        victim in 0usize..12,
+        shift in 1usize..5,
+    ) {
+        let (rt, mut va) = healthy_state(n, seed);
+        prop_assume!(!va.is_empty());
+        let victim = victim % va.len();
+        let old = va[victim].out_port;
+        va[victim].out_port = dir(old.index() + shift);
+        prop_assume!(va[victim].out_port != old);
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &[], VCS);
+        prop_assert!(!findings.is_empty());
+    }
+
+    /// Duplicating another entry's (port, vc) is always caught
+    /// (§4.1 scenarios 2/3).
+    #[test]
+    fn duplicate_always_caught(
+        n in 2usize..12,
+        seed in 0usize..5,
+        a in 0usize..12,
+        b in 0usize..12,
+    ) {
+        let (rt, mut va) = healthy_state(n, seed);
+        prop_assume!(va.len() >= 2);
+        let a = a % va.len();
+        let b = b % va.len();
+        prop_assume!(a != b);
+        va[a].out_port = va[b].out_port;
+        va[a].out_vc = va[b].out_vc;
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &[], VCS);
+        prop_assert!(!findings.is_empty());
+    }
+
+    /// The benign case (§4.1 scenario 4a): a different but *valid and
+    /// unreserved* VC within the intended physical channel raises no
+    /// flag — the AC correctly does not punish harmless upsets.
+    #[test]
+    fn benign_vc_swap_passes(n in 1usize..8, seed in 0usize..5, victim in 0usize..8) {
+        let (rt, mut va) = healthy_state(n, seed);
+        prop_assume!(!va.is_empty());
+        let victim = victim % va.len();
+        let port = va[victim].out_port;
+        // Find an unreserved vc id on the same port.
+        let free = (0..VCS as u8).find(|cand| {
+            !va.iter().any(|v| v.out_port == port && v.out_vc == *cand)
+        });
+        prop_assume!(free.is_some());
+        va[victim].out_vc = free.expect("checked");
+        let mut ac = AllocationComparator::new();
+        let findings = ac.check(&rt, &va, &[], VCS);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Cyclic redundancy checks: detection-only baselines.
+//!
+//! CRC codes detect burst errors that SEC/DED cannot, at the cost of
+//! offering no correction. The benchmark harness uses them to compare the
+//! detection strength and cost of coding choices; the router data path
+//! itself uses Hamming SEC/DED as in the paper.
+
+/// CRC-8 with polynomial `x^8 + x^2 + x + 1` (0x07, ATM HEC).
+///
+/// # Examples
+///
+/// ```
+/// use ftnoc_ecc::crc::crc8;
+///
+/// let word = 0xDEAD_BEEF_u64.to_le_bytes();
+/// let c = crc8(&word);
+/// assert_ne!(crc8(&0xDEAD_BEEE_u64.to_le_bytes()), c);
+/// ```
+pub fn crc8(bytes: &[u8]) -> u8 {
+    const POLY: u8 = 0x07;
+    let mut crc: u8 = 0;
+    for &byte in bytes {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-16-CCITT (polynomial 0x1021, initial value 0xFFFF).
+pub fn crc16_ccitt(bytes: &[u8]) -> u16 {
+    const POLY: u16 = 0x1021;
+    let mut crc: u16 = 0xFFFF;
+    for &byte in bytes {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Convenience: CRC-8 of a flit data word.
+pub fn crc8_word(word: u64) -> u8 {
+    crc8(&word.to_le_bytes())
+}
+
+/// Convenience: CRC-16 of a flit data word.
+pub fn crc16_word(word: u64) -> u16 {
+    crc16_ccitt(&word.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc8_known_vector() {
+        // "123456789" is the conventional check string; CRC-8/ATM = 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE of "123456789" = 0x29B1.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc8_detects_all_single_bit_flips() {
+        let word = 0xCAFE_BABE_DEAD_F00Du64;
+        let c = crc8_word(word);
+        for bit in 0..64 {
+            assert_ne!(crc8_word(word ^ (1u64 << bit)), c, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn crc16_detects_all_double_bit_flips() {
+        let word = 0x0F0F_F0F0_A5A5_5A5Au64;
+        let c = crc16_word(word);
+        for a in 0..64 {
+            for b in (a + 1)..64 {
+                let corrupted = word ^ (1u64 << a) ^ (1u64 << b);
+                assert_ne!(crc16_word(corrupted), c, "bits ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_stable() {
+        assert_eq!(crc8(&[]), 0);
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+    }
+}

@@ -1,0 +1,59 @@
+//! Single even-parity protection: detects any odd number of bit flips.
+//!
+//! Used as a cheap detection-only baseline when comparing code strengths,
+//! and by the handshake machinery for narrow side-band fields.
+
+/// Computes the even-parity bit of a 64-bit word.
+///
+/// # Examples
+///
+/// ```
+/// use ftnoc_ecc::parity::{check, parity_bit};
+///
+/// let word = 0b1011_u64;
+/// let p = parity_bit(word);
+/// assert!(check(word, p));
+/// assert!(!check(word ^ 1, p)); // single flip detected
+/// ```
+pub fn parity_bit(word: u64) -> u8 {
+    (word.count_ones() & 1) as u8
+}
+
+/// Verifies a word against its stored parity bit.
+pub fn check(word: u64, parity: u8) -> bool {
+    parity_bit(word) == (parity & 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_of_zero_is_zero() {
+        assert_eq!(parity_bit(0), 0);
+        assert!(check(0, 0));
+    }
+
+    #[test]
+    fn parity_of_all_ones_is_even() {
+        assert_eq!(parity_bit(u64::MAX), 0);
+    }
+
+    #[test]
+    fn single_flip_always_detected() {
+        let word = 0xDEAD_BEEF_u64;
+        let p = parity_bit(word);
+        for bit in 0..64 {
+            assert!(!check(word ^ (1 << bit), p), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn double_flip_never_detected() {
+        // Parity's known blind spot: even numbers of flips pass.
+        let word = 0x1234_5678_u64;
+        let p = parity_bit(word);
+        assert!(check(word ^ 0b11, p));
+        assert!(check(word ^ ((1 << 63) | 1), p));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests of the SEC/DED guarantees.
+
+use ftnoc_ecc::hamming::{decode, encode, DecodeOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    /// Encoding then decoding with no corruption is the identity.
+    #[test]
+    fn clean_round_trip(data: u64) {
+        let check = encode(data);
+        prop_assert_eq!(decode(data, check), DecodeOutcome::Clean { data });
+    }
+
+    /// Any single bit flip anywhere in the 72-bit word is corrected back
+    /// to the original data.
+    #[test]
+    fn single_flip_corrected(data: u64, bit in 0u32..72) {
+        let check = encode(data);
+        let (mut d, mut c) = (data, check);
+        if bit < 64 {
+            d ^= 1u64 << bit;
+        } else {
+            c ^= 1u8 << (bit - 64);
+        }
+        match decode(d, c) {
+            DecodeOutcome::Corrected { data: fixed, check: fixed_check, .. } => {
+                prop_assert_eq!(fixed, data);
+                prop_assert_eq!(fixed_check, check);
+            }
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    /// Any double bit flip is detected (never silently accepted, never
+    /// "corrected" into a wrong word).
+    #[test]
+    fn double_flip_detected(data: u64, a in 0u32..72, b in 0u32..72) {
+        prop_assume!(a != b);
+        let check = encode(data);
+        let (mut d, mut c) = (data, check);
+        for bit in [a, b] {
+            if bit < 64 {
+                d ^= 1u64 << bit;
+            } else {
+                c ^= 1u8 << (bit - 64);
+            }
+        }
+        prop_assert_eq!(decode(d, c), DecodeOutcome::Detected);
+    }
+
+    /// The syndrome of distinct single-bit data errors is distinct (the
+    /// code can always identify which bit flipped).
+    #[test]
+    fn syndromes_identify_positions(data: u64, a in 0u32..64, b in 0u32..64) {
+        prop_assume!(a != b);
+        let check = encode(data);
+        let pos_a = match decode(data ^ (1u64 << a), check) {
+            DecodeOutcome::Corrected { position, .. } => position,
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        let pos_b = match decode(data ^ (1u64 << b), check) {
+            DecodeOutcome::Corrected { position, .. } => position,
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        prop_assert_ne!(pos_a, pos_b);
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-site fault-rate configuration.
+
+/// Mixture of single- vs multi-bit upsets within one link error event.
+///
+/// Crosstalk makes adjacent-wire double flips non-negligible (§3.1); the
+/// paper treats single upsets as the common case. The default sends 90 %
+/// of error events through the correctable single-bit path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorMix {
+    single_bit: f64,
+}
+
+impl ErrorMix {
+    /// Creates a mixture; `single_bit` is clamped into `[0, 1]`.
+    pub fn new(single_bit: f64) -> Self {
+        ErrorMix {
+            single_bit: single_bit.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Probability that an error event flips exactly one bit.
+    pub fn single_bit(&self) -> f64 {
+        self.single_bit
+    }
+
+    /// Probability that an error event flips two bits.
+    pub fn multi_bit(&self) -> f64 {
+        1.0 - self.single_bit
+    }
+}
+
+impl Default for ErrorMix {
+    fn default() -> Self {
+        ErrorMix { single_bit: 0.9 }
+    }
+}
+
+/// Per-event fault probabilities for every fault site of §3–§4.
+///
+/// All rates are probabilities per *opportunity*: per flit-link-traversal
+/// for `link`, per route computation for `rt`, per VC allocation for
+/// `va`, per switch grant for `sa`, per crossbar flit traversal for
+/// `crossbar`, per retransmission-buffer residency cycle for
+/// `retrans_buffer`, and per handshake transfer for `handshake`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Link (inter-router wire) soft-error rate.
+    pub link: f64,
+    /// Routing-unit logic soft-error rate (§4.2).
+    pub rt: f64,
+    /// VC-allocator logic soft-error rate (§4.1).
+    pub va: f64,
+    /// Switch-allocator logic soft-error rate (§4.3).
+    pub sa: f64,
+    /// Crossbar single-bit upset rate (§4.4).
+    pub crossbar: f64,
+    /// Retransmission-buffer cell upset rate (§4.5).
+    pub retrans_buffer: f64,
+    /// Handshake-wire upset rate (§4.6).
+    pub handshake: f64,
+    /// Single- vs multi-bit mixture for link and buffer upsets.
+    pub mix: ErrorMix,
+}
+
+impl FaultRates {
+    /// No faults anywhere (baseline runs).
+    pub fn none() -> Self {
+        FaultRates::default()
+    }
+
+    /// Link errors only, as in Figures 5–7.
+    pub fn link_only(rate: f64) -> Self {
+        FaultRates {
+            link: rate,
+            ..FaultRates::default()
+        }
+    }
+
+    /// Routing-logic errors only (Figure 13, "RT-Logic").
+    pub fn rt_only(rate: f64) -> Self {
+        FaultRates {
+            rt: rate,
+            ..FaultRates::default()
+        }
+    }
+
+    /// VC-allocator errors only (§4.1 analysis).
+    pub fn va_only(rate: f64) -> Self {
+        FaultRates {
+            va: rate,
+            ..FaultRates::default()
+        }
+    }
+
+    /// Switch-allocator errors only (Figure 13, "SA-Logic").
+    pub fn sa_only(rate: f64) -> Self {
+        FaultRates {
+            sa: rate,
+            ..FaultRates::default()
+        }
+    }
+
+    /// Whether every rate is zero.
+    pub fn is_fault_free(&self) -> bool {
+        self.link == 0.0
+            && self.rt == 0.0
+            && self.va == 0.0
+            && self.sa == 0.0
+            && self.crossbar == 0.0
+            && self.retrans_buffer == 0.0
+            && self.handshake == 0.0
+    }
+
+    /// Validates that every rate is a probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]` or NaN.
+    pub fn assert_valid(&self) {
+        for (name, r) in [
+            ("link", self.link),
+            ("rt", self.rt),
+            ("va", self.va),
+            ("sa", self.sa),
+            ("crossbar", self.crossbar),
+            ("retrans_buffer", self.retrans_buffer),
+            ("handshake", self.handshake),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "fault rate `{name}` = {r} is not a probability"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_ninety_ten() {
+        let mix = ErrorMix::default();
+        assert!((mix.single_bit() - 0.9).abs() < 1e-12);
+        assert!((mix.multi_bit() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_clamps_out_of_range() {
+        assert_eq!(ErrorMix::new(1.5).single_bit(), 1.0);
+        assert_eq!(ErrorMix::new(-0.3).single_bit(), 0.0);
+    }
+
+    #[test]
+    fn scenario_constructors_set_one_site() {
+        assert!(FaultRates::none().is_fault_free());
+        let r = FaultRates::link_only(0.01);
+        assert_eq!(r.link, 0.01);
+        assert_eq!(r.sa, 0.0);
+        assert!(!r.is_fault_free());
+        assert_eq!(FaultRates::rt_only(0.5).rt, 0.5);
+        assert_eq!(FaultRates::va_only(0.5).va, 0.5);
+        assert_eq!(FaultRates::sa_only(0.5).sa, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn assert_valid_rejects_out_of_range() {
+        FaultRates::link_only(1.5).assert_valid();
+    }
+
+    #[test]
+    fn assert_valid_accepts_bounds() {
+        FaultRates::link_only(1.0).assert_valid();
+        FaultRates::none().assert_valid();
+    }
+}

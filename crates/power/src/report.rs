@@ -1,0 +1,117 @@
+//! Human-readable component tables.
+
+use std::fmt::Write as _;
+
+use crate::area::{AcUnitModel, RouterModel, Table1};
+
+/// Renders the per-component raw inventory of a router model.
+pub fn component_table(model: &RouterModel) -> String {
+    let comps = model.components();
+    let total_area: f64 = comps.iter().map(|c| c.area_um2).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>8}",
+        "component", "area (um2)", "share"
+    );
+    for c in &comps {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.0} {:>7.1}%",
+            c.name,
+            c.area_um2,
+            c.area_um2 / total_area * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12.0} {:>8}",
+        "total (pre-overhead)", total_area, ""
+    );
+    out
+}
+
+/// Renders the Table 1 reproduction side by side with the paper's values.
+pub fn table1_report(t: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: Power and Area Overhead of the AC Unit (measured vs paper)"
+    );
+    let _ = writeln!(out, "{:<28} {:>12} {:>14}", "Component", "Power", "Area");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9.2} mW {:>11.6} mm2",
+        "Generic NoC Router (5PC,4VC)",
+        t.router.power.raw(),
+        t.router.area.raw()
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9.2} mW {:>11.6} mm2",
+        "Allocation Comparator (AC)",
+        t.ac.power.raw(),
+        t.ac.area.raw()
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10.2} % {:>12.2} %",
+        "AC overhead (measured)",
+        t.power_overhead_percent(),
+        t.area_overhead_percent()
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10.2} % {:>12.2} %",
+        "AC overhead (paper)", 1.69, 1.19
+    );
+    out
+}
+
+/// Renders the AC model's gate budget.
+pub fn ac_report(model: &AcUnitModel) -> String {
+    format!(
+        "AC unit: {:.0} NAND2-equivalent gates, {:.0} flip-flops, raw {:.0} um2\n",
+        model.gate_count(),
+        model.flipflop_count(),
+        model.raw_area_um2()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::table1_router_config;
+
+    #[test]
+    fn component_table_lists_every_component() {
+        let model = RouterModel::new(table1_router_config());
+        let table = component_table(&model);
+        for name in [
+            "input buffers",
+            "retransmission buffers",
+            "crossbar",
+            "vc allocator",
+            "switch allocator",
+            "routing unit",
+            "ecc codecs",
+        ] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn table1_report_includes_paper_reference() {
+        let report = table1_report(&Table1::compute());
+        assert!(report.contains("119.55"));
+        assert!(report.contains("0.374862"));
+        assert!(report.contains("paper"));
+    }
+
+    #[test]
+    fn ac_report_is_single_line_summary() {
+        let model = AcUnitModel::new(table1_router_config());
+        let report = ac_report(&model);
+        assert!(report.contains("gates"));
+    }
+}

@@ -1,0 +1,389 @@
+//! Simulation configuration.
+
+use ftnoc_fault::{FaultRates, HardFaults};
+use ftnoc_traffic::{InjectionProcess, TrafficPattern};
+use ftnoc_types::config::RouterConfig;
+use ftnoc_types::error::ConfigError;
+use ftnoc_types::geom::Topology;
+
+/// The routing algorithms evaluated by the paper and this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingAlgorithm {
+    /// XY dimension-order routing — the paper's deterministic ("DT")
+    /// algorithm. Deadlock-free on a mesh.
+    #[default]
+    XyDeterministic,
+    /// West-first turn-model routing — partially adaptive and
+    /// deadlock-free; the default adaptive ("AD") algorithm.
+    WestFirstAdaptive,
+    /// Minimal fully adaptive routing with free VC selection. **Not**
+    /// deadlock-free: exercises the probing + retransmission-buffer
+    /// recovery machinery of §3.2.
+    FullyAdaptive,
+    /// Odd-even turn-model routing (extension; deadlock-free).
+    OddEven,
+}
+
+impl RoutingAlgorithm {
+    /// Whether the algorithm can reach cyclic channel dependency
+    /// (and therefore needs deadlock recovery).
+    pub fn can_deadlock(self) -> bool {
+        matches!(self, RoutingAlgorithm::FullyAdaptive)
+    }
+
+    /// Whether the algorithm may choose among several output ports.
+    pub fn is_adaptive(self) -> bool {
+        !matches!(self, RoutingAlgorithm::XyDeterministic)
+    }
+
+    /// Short label used in tables (`DT`, `AD`, …).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            RoutingAlgorithm::XyDeterministic => "DT",
+            RoutingAlgorithm::WestFirstAdaptive => "AD",
+            RoutingAlgorithm::FullyAdaptive => "FA",
+            RoutingAlgorithm::OddEven => "OE",
+        }
+    }
+}
+
+/// Link-error handling scheme (§3, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorScheme {
+    /// Flit-based hop-by-hop retransmission with per-hop SEC/DED — the
+    /// paper's proposal (§3.1).
+    #[default]
+    Hbh,
+    /// End-to-end retransmission: detection only, at the destination;
+    /// NACK/ACK control packets; source-side packet buffer with timeout.
+    E2e,
+    /// Forward error correction only: per-hop single-bit correction,
+    /// end-to-end recovery for uncorrectable upsets.
+    Fec,
+    /// No protection at all (baseline for tests; packets may be lost or
+    /// misdelivered silently).
+    Unprotected,
+}
+
+impl ErrorScheme {
+    /// Short label used in tables.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ErrorScheme::Hbh => "HBH",
+            ErrorScheme::E2e => "E2E",
+            ErrorScheme::Fec => "FEC",
+            ErrorScheme::Unprotected => "NONE",
+        }
+    }
+
+    /// Whether the scheme checks/repairs flits at every hop.
+    pub fn checks_per_hop(self) -> bool {
+        matches!(self, ErrorScheme::Hbh | ErrorScheme::Fec)
+    }
+
+    /// Whether end-to-end ACK/NACK control traffic is generated.
+    pub fn uses_end_to_end_control(self) -> bool {
+        matches!(self, ErrorScheme::E2e | ErrorScheme::Fec)
+    }
+}
+
+/// Deadlock detection/recovery knobs (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlockConfig {
+    /// Whether probing + recovery are active.
+    pub enabled: bool,
+    /// Blocking threshold `Cthres` before a probe is sent (§3.2.2).
+    pub cthres: u64,
+}
+
+impl Default for DeadlockConfig {
+    fn default() -> Self {
+        DeadlockConfig {
+            enabled: false,
+            cthres: 64,
+        }
+    }
+}
+
+/// Complete configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Network topology (default: the paper's 8×8 mesh).
+    pub topology: Topology,
+    /// Router micro-architecture (default: 5 PCs × 3 VCs, 4-deep buffers,
+    /// 3-stage pipeline, 3-deep retransmission buffers).
+    pub router: RouterConfig,
+    /// Routing algorithm.
+    pub routing: RoutingAlgorithm,
+    /// Link-error handling scheme.
+    pub scheme: ErrorScheme,
+    /// Whether the Allocation Comparator protects VA/SA state (§4).
+    pub ac_enabled: bool,
+    /// Traffic destination distribution.
+    pub pattern: TrafficPattern,
+    /// Injection process (regular intervals per §2.2).
+    pub injection: InjectionProcess,
+    /// Injection rate in flits/node/cycle.
+    pub injection_rate: f64,
+    /// Soft-fault rates per site.
+    pub faults: FaultRates,
+    /// Permanent link/router failures.
+    pub hard_faults: HardFaults,
+    /// Deadlock detection/recovery.
+    pub deadlock: DeadlockConfig,
+    /// RNG seed (traffic and faults).
+    pub seed: u64,
+    /// Packets ejected before statistics reset (paper: 100 000).
+    pub warmup_packets: u64,
+    /// Packets ejected, after warm-up, before the run ends
+    /// (paper: 200 000 more, 300 000 total).
+    pub measure_packets: u64,
+    /// Hard cycle cap (guards against saturated or wedged networks).
+    pub max_cycles: u64,
+    /// E2E/FEC source timeout in cycles.
+    pub e2e_timeout: u64,
+    /// E2E/FEC maximum retransmission attempts per packet.
+    pub e2e_max_attempts: u32,
+    /// Stop generating new traffic after this cycle (closed/drain
+    /// workloads, e.g. the deadlock-recovery experiments). `None` keeps
+    /// the open-loop source running for the whole run.
+    pub stop_injection_after: Option<u64>,
+}
+
+impl SimConfig {
+    /// Starts building a configuration from the paper's defaults, scaled
+    /// to a laptop-friendly packet count (use
+    /// [`SimConfigBuilder::paper_scale`] for the full 300 000-message
+    /// runs).
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+
+    /// Flits per packet (delegates to the router configuration).
+    pub fn flits_per_packet(&self) -> usize {
+        self.router.flits_per_packet()
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::builder()
+            .build()
+            .expect("default config is valid")
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Paper defaults with scaled-down packet counts.
+    pub fn new() -> Self {
+        SimConfigBuilder {
+            config: SimConfig {
+                topology: Topology::mesh(8, 8),
+                router: RouterConfig::default(),
+                routing: RoutingAlgorithm::XyDeterministic,
+                scheme: ErrorScheme::Hbh,
+                ac_enabled: true,
+                pattern: TrafficPattern::Uniform,
+                injection: InjectionProcess::Regular,
+                injection_rate: 0.25,
+                faults: FaultRates::none(),
+                hard_faults: HardFaults::new(),
+                deadlock: DeadlockConfig::default(),
+                seed: 0xF7_0C,
+                warmup_packets: 2_000,
+                measure_packets: 8_000,
+                max_cycles: 2_000_000,
+                e2e_timeout: 400,
+                e2e_max_attempts: 16,
+                stop_injection_after: None,
+            },
+        }
+    }
+
+    /// The paper's full experiment scale: 100 000 warm-up messages and
+    /// 300 000 total ejected messages.
+    pub fn paper_scale(&mut self) -> &mut Self {
+        self.config.warmup_packets = 100_000;
+        self.config.measure_packets = 200_000;
+        self.config.max_cycles = 20_000_000;
+        self
+    }
+
+    /// Sets the topology.
+    pub fn topology(&mut self, topology: Topology) -> &mut Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Sets the router micro-architecture.
+    pub fn router(&mut self, router: RouterConfig) -> &mut Self {
+        self.config.router = router;
+        self
+    }
+
+    /// Sets the routing algorithm.
+    pub fn routing(&mut self, routing: RoutingAlgorithm) -> &mut Self {
+        self.config.routing = routing;
+        self
+    }
+
+    /// Sets the link-error handling scheme.
+    pub fn scheme(&mut self, scheme: ErrorScheme) -> &mut Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    /// Enables or disables the Allocation Comparator.
+    pub fn ac_enabled(&mut self, enabled: bool) -> &mut Self {
+        self.config.ac_enabled = enabled;
+        self
+    }
+
+    /// Sets the traffic pattern.
+    pub fn pattern(&mut self, pattern: TrafficPattern) -> &mut Self {
+        self.config.pattern = pattern;
+        self
+    }
+
+    /// Sets the injection process.
+    pub fn injection(&mut self, injection: InjectionProcess) -> &mut Self {
+        self.config.injection = injection;
+        self
+    }
+
+    /// Sets the injection rate in flits/node/cycle.
+    pub fn injection_rate(&mut self, rate: f64) -> &mut Self {
+        self.config.injection_rate = rate;
+        self
+    }
+
+    /// Sets the soft-fault rates.
+    pub fn faults(&mut self, faults: FaultRates) -> &mut Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Sets permanent failures.
+    pub fn hard_faults(&mut self, hard_faults: HardFaults) -> &mut Self {
+        self.config.hard_faults = hard_faults;
+        self
+    }
+
+    /// Configures deadlock detection/recovery.
+    pub fn deadlock(&mut self, deadlock: DeadlockConfig) -> &mut Self {
+        self.config.deadlock = deadlock;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the warm-up packet count.
+    pub fn warmup_packets(&mut self, packets: u64) -> &mut Self {
+        self.config.warmup_packets = packets;
+        self
+    }
+
+    /// Sets the measured packet count.
+    pub fn measure_packets(&mut self, packets: u64) -> &mut Self {
+        self.config.measure_packets = packets;
+        self
+    }
+
+    /// Sets the hard cycle cap.
+    pub fn max_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.config.max_cycles = cycles;
+        self
+    }
+
+    /// Sets the E2E/FEC source timeout.
+    pub fn e2e_timeout(&mut self, cycles: u64) -> &mut Self {
+        self.config.e2e_timeout = cycles;
+        self
+    }
+
+    /// Stops traffic generation after `cycle` (closed/drain workloads).
+    pub fn stop_injection_after(&mut self, cycle: u64) -> &mut Self {
+        self.config.stop_injection_after = Some(cycle);
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid injection rates; fault rates
+    /// and router knobs are validated by their own types.
+    pub fn build(&self) -> Result<SimConfig, ConfigError> {
+        let c = &self.config;
+        if !(c.injection_rate > 0.0 && c.injection_rate <= 1.0) {
+            return Err(ConfigError::InvalidInjectionRate(c.injection_rate));
+        }
+        c.faults.assert_valid();
+        Ok(c.clone())
+    }
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_platform() {
+        let c = SimConfig::default();
+        assert_eq!(c.topology.node_count(), 64);
+        assert_eq!(c.router.vcs_per_port(), 3);
+        assert_eq!(c.router.flits_per_packet(), 4);
+        assert_eq!(c.routing, RoutingAlgorithm::XyDeterministic);
+        assert_eq!(c.scheme, ErrorScheme::Hbh);
+        assert!(c.ac_enabled);
+    }
+
+    #[test]
+    fn paper_scale_sets_300k_messages() {
+        let c = SimConfig::builder().paper_scale().build().unwrap();
+        assert_eq!(c.warmup_packets + c.measure_packets, 300_000);
+    }
+
+    #[test]
+    fn invalid_injection_rate_rejected() {
+        assert!(SimConfig::builder().injection_rate(0.0).build().is_err());
+        assert!(SimConfig::builder().injection_rate(1.2).build().is_err());
+    }
+
+    #[test]
+    fn algorithm_properties() {
+        assert!(!RoutingAlgorithm::XyDeterministic.can_deadlock());
+        assert!(!RoutingAlgorithm::WestFirstAdaptive.can_deadlock());
+        assert!(RoutingAlgorithm::FullyAdaptive.can_deadlock());
+        assert!(RoutingAlgorithm::WestFirstAdaptive.is_adaptive());
+        assert_eq!(RoutingAlgorithm::XyDeterministic.short_name(), "DT");
+        assert_eq!(RoutingAlgorithm::WestFirstAdaptive.short_name(), "AD");
+    }
+
+    #[test]
+    fn scheme_properties() {
+        assert!(ErrorScheme::Hbh.checks_per_hop());
+        assert!(ErrorScheme::Fec.checks_per_hop());
+        assert!(!ErrorScheme::E2e.checks_per_hop());
+        assert!(ErrorScheme::E2e.uses_end_to_end_control());
+        assert!(ErrorScheme::Fec.uses_end_to_end_control());
+        assert!(!ErrorScheme::Hbh.uses_end_to_end_control());
+        assert_eq!(ErrorScheme::Hbh.short_name(), "HBH");
+    }
+}

@@ -1,0 +1,211 @@
+//! Inter-router channels: the forward flit wire plus the reverse credit
+//! and NACK side-bands.
+//!
+//! Timing contract (§3.1):
+//!
+//! - a flit driven at cycle `t` is delivered (and error-checked) at `t+1`;
+//! - a credit released at cycle `t` is visible to the sender at `t+1`;
+//! - a NACK raised at check-cycle `c` is acted on by the sender at `c+2`
+//!   (one cycle of wire propagation, processed at the start of the next
+//!   cycle) — which makes the replayed flit re-arrive exactly 3 cycles
+//!   after the corrupted one, Figure 4's schedule.
+//!
+//! The handshake side-bands (credits, NACK strobes) are TMR-protected per
+//! §4.6; [`LinkChannel::deliver_nacks`] routes each strobe through a
+//! voter so injected handshake upsets are masked (and counted).
+
+use std::collections::VecDeque;
+
+use ftnoc_ecc::tmr::TmrLine;
+use ftnoc_types::flit::Flit;
+
+/// One directed inter-router channel.
+#[derive(Debug, Clone, Default)]
+pub struct LinkChannel {
+    /// The flit in flight, with its VC tag and delivery cycle.
+    in_flight: Option<(Flit, u8, u64)>,
+    /// Credits in flight: (vc, visible_at).
+    credits: VecDeque<(u8, u64)>,
+    /// NACKs in flight: (vc, visible_at).
+    nacks: VecDeque<(u8, u64)>,
+    /// Flits carried over the lifetime of the channel (statistics).
+    pub flits_carried: u64,
+}
+
+impl LinkChannel {
+    /// Creates an idle channel.
+    pub fn new() -> Self {
+        LinkChannel::default()
+    }
+
+    /// Whether the forward wire is free at cycle `now` (nothing queued
+    /// for delivery after `now`).
+    pub fn forward_free(&self) -> bool {
+        self.in_flight.is_none()
+    }
+
+    /// Drives a flit onto the wire at cycle `now`; it is delivered at
+    /// `now + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is already carrying a flit — the ST stage must
+    /// arbitrate one flit per port per cycle.
+    pub fn send_flit(&mut self, flit: Flit, vc: u8, now: u64) {
+        assert!(
+            self.in_flight.is_none(),
+            "link driven twice in one cycle at {now}"
+        );
+        self.in_flight = Some((flit, vc, now + 1));
+        self.flits_carried += 1;
+    }
+
+    /// Takes the flit due for delivery at cycle `now`, if any.
+    pub fn deliver_flit(&mut self, now: u64) -> Option<(Flit, u8)> {
+        match self.in_flight {
+            Some((flit, vc, at)) if at <= now => {
+                self.in_flight = None;
+                Some((flit, vc))
+            }
+            _ => None,
+        }
+    }
+
+    /// Releases one credit for `vc` at cycle `now` (visible `now + 1`).
+    pub fn send_credit(&mut self, vc: u8, now: u64) {
+        self.credits.push_back((vc, now + 1));
+    }
+
+    /// Takes every credit visible at cycle `now`.
+    pub fn deliver_credits(&mut self, now: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        while let Some(&(vc, at)) = self.credits.front() {
+            if at <= now {
+                self.credits.pop_front();
+                out.push(vc);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Raises a NACK for `vc` at check-cycle `now` (acted on at
+    /// `now + 2`).
+    pub fn send_nack(&mut self, vc: u8, now: u64) {
+        self.nacks.push_back((vc, now + 2));
+    }
+
+    /// Takes every NACK visible at cycle `now`, passing each strobe
+    /// through a TMR voter. `upset` flips one replica of one strobe (the
+    /// §4.6 handshake-fault model); the voter masks it.
+    ///
+    /// Returns `(vcs, masked_upsets)`.
+    pub fn deliver_nacks(&mut self, now: u64, upset: bool) -> (Vec<u8>, u64) {
+        let mut out = Vec::new();
+        let mut masked = 0;
+        let mut first = true;
+        while let Some(&(vc, at)) = self.nacks.front() {
+            if at <= now {
+                self.nacks.pop_front();
+                let mut line = TmrLine::new(true);
+                if upset && first {
+                    line.upset(1);
+                    first = false;
+                }
+                if line.has_disagreement() {
+                    masked += 1;
+                }
+                // The voted strobe is still asserted: the NACK survives.
+                if line.read() {
+                    out.push(vc);
+                }
+            } else {
+                break;
+            }
+        }
+        (out, masked)
+    }
+
+    /// Whether any reverse-channel activity is pending (for tests).
+    pub fn reverse_idle(&self) -> bool {
+        self.credits.is_empty() && self.nacks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftnoc_types::flit::FlitKind;
+    use ftnoc_types::geom::NodeId;
+    use ftnoc_types::packet::PacketId;
+    use ftnoc_types::Header;
+
+    fn flit() -> Flit {
+        Flit::new(
+            PacketId::new(1),
+            0,
+            FlitKind::Head,
+            Header::new(NodeId::new(0), NodeId::new(1)),
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn flit_takes_one_cycle() {
+        let mut ch = LinkChannel::new();
+        ch.send_flit(flit(), 2, 10);
+        assert!(ch.deliver_flit(10).is_none());
+        let (f, vc) = ch.deliver_flit(11).unwrap();
+        assert_eq!(f.seq, 0);
+        assert_eq!(vc, 2);
+        assert!(ch.deliver_flit(12).is_none());
+        assert_eq!(ch.flits_carried, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "driven twice")]
+    fn double_drive_panics() {
+        let mut ch = LinkChannel::new();
+        ch.send_flit(flit(), 0, 5);
+        ch.send_flit(flit(), 1, 5);
+    }
+
+    #[test]
+    fn credits_take_one_cycle_and_batch() {
+        let mut ch = LinkChannel::new();
+        ch.send_credit(0, 10);
+        ch.send_credit(1, 10);
+        assert!(ch.deliver_credits(10).is_empty());
+        assert_eq!(ch.deliver_credits(11), vec![0, 1]);
+        assert!(ch.deliver_credits(12).is_empty());
+    }
+
+    #[test]
+    fn nack_arrives_two_cycles_after_check() {
+        let mut ch = LinkChannel::new();
+        ch.send_nack(1, 7);
+        assert!(ch.deliver_nacks(8, false).0.is_empty());
+        assert_eq!(ch.deliver_nacks(9, false).0, vec![1]);
+    }
+
+    #[test]
+    fn handshake_upset_is_masked_by_tmr() {
+        let mut ch = LinkChannel::new();
+        ch.send_nack(2, 0);
+        let (vcs, masked) = ch.deliver_nacks(2, true);
+        assert_eq!(vcs, vec![2], "voted strobe still asserted");
+        assert_eq!(masked, 1, "the upset was observed and outvoted");
+    }
+
+    #[test]
+    fn reverse_idle_tracks_queues() {
+        let mut ch = LinkChannel::new();
+        assert!(ch.reverse_idle());
+        ch.send_credit(0, 0);
+        assert!(!ch.reverse_idle());
+        let _ = ch.deliver_credits(1);
+        assert!(ch.reverse_idle());
+    }
+}

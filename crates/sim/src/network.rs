@@ -1,0 +1,777 @@
+//! The full network: routers, inter-router channels, processing elements
+//! (traffic endpoints) and the deadlock-probe transport.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ftnoc_core::deadlock::probe::{ActivationAction, ActivationSignal, ProbeAction, ProbeSignal};
+use ftnoc_core::e2e::{E2eDestination, E2eSource, E2eVerdict};
+use ftnoc_ecc::protect_flit;
+use ftnoc_fault::FaultInjector;
+use ftnoc_traffic::Injector;
+use ftnoc_types::flit::Flit;
+use ftnoc_types::geom::{Direction, NodeId, Topology};
+use ftnoc_types::packet::{Packet, PacketId};
+use ftnoc_types::Header;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{ErrorScheme, SimConfig};
+
+/// Cached `FTNOC_TRACE_NODE` value (diagnostic tracing, read once).
+fn trace_node() -> Option<&'static str> {
+    use std::sync::OnceLock;
+    static TRACE: OnceLock<Option<String>> = OnceLock::new();
+    TRACE
+        .get_or_init(|| std::env::var("FTNOC_TRACE_NODE").ok())
+        .as_deref()
+}
+use crate::link::LinkChannel;
+use crate::router::{ArrivalAction, Ctx, Router};
+use crate::stats::NetworkStats;
+
+/// Message classes carried in the packed header.
+const CLASS_DATA: u8 = 0;
+const CLASS_ACK: u8 = 1;
+const CLASS_NACK: u8 = 2;
+
+/// Open-loop saturation guard: past this source-queue depth a node stops
+/// generating new packets. Below saturation the queues hover near zero,
+/// so this only bounds memory in above-capacity sweeps (e.g. the
+/// Figure 8/9 utilization curves at injection rates up to 1.0).
+const SOURCE_QUEUE_CAP: usize = 512;
+
+/// Per-node processing element: open-loop source + protocol endpoints.
+struct ProcessingElement {
+    injector: Injector,
+    /// Packets awaiting injection (unbounded open-loop source queue).
+    source_queue: VecDeque<Packet>,
+    /// Wormhole progress of the packet currently entering the network:
+    /// remaining flits (front next) and the local VC in use.
+    injecting: Option<(usize, VecDeque<Flit>)>,
+    /// E2E/FEC source-side retransmission tracker.
+    e2e_source: E2eSource,
+    /// E2E/FEC destination-side checker.
+    e2e_dest: E2eDestination,
+}
+
+/// A deadlock probe in flight on the side-band.
+struct ProbeFlight {
+    signal: ProbeSignal,
+    to: NodeId,
+    deliver_at: u64,
+    path: Vec<NodeId>,
+}
+
+/// A recovery-activation signal walking the recorded probe path.
+struct ActivationFlight {
+    origin: NodeId,
+    path: Vec<NodeId>,
+    next_index: usize,
+    deliver_at: u64,
+}
+
+/// The simulated network.
+pub struct Network {
+    config: SimConfig,
+    topo: Topology,
+    routers: Vec<Router>,
+    /// `channels[n][d]`: the link leaving node `n` in direction `d`
+    /// (flits forward; credits/NACKs for that link flow back to `n`).
+    channels: Vec<[Option<LinkChannel>; 4]>,
+    pes: Vec<ProcessingElement>,
+    fi: FaultInjector,
+    rng: StdRng,
+    now: u64,
+    next_packet: u64,
+    probes: Vec<ProbeFlight>,
+    activations: Vec<ActivationFlight>,
+    /// Maps control packets to (class, referenced data packet).
+    control_refs: HashMap<PacketId, (u8, PacketId)>,
+    /// Data packets already delivered clean (duplicate suppression).
+    delivered: HashSet<PacketId>,
+    /// Cumulative counters (reset via snapshots at warm-up).
+    packets_injected: u64,
+    packets_ejected: u64,
+    flits_ejected: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    latency_hist: crate::stats::LatencyHistogram,
+    measuring: bool,
+    /// Peak per-node E2E/FEC source-buffer occupancy in flits.
+    e2e_peak_source_flits: u64,
+    stats: NetworkStats,
+    warmup_snapshot: Option<(crate::stats::EventCounts, crate::stats::ErrorStats)>,
+    warmup_counts: (u64, u64, u64, u64, u64), // injected, ejected, flits, lat_sum, lat_max
+}
+
+impl Network {
+    /// Builds the network for a validated configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let topo = config.topology;
+        let n = topo.node_count();
+        let routers: Vec<Router> = topo
+            .nodes()
+            .map(|id| {
+                let coord = topo.coord_of(id);
+                let mut exists = [false; 4];
+                for d in Direction::CARDINAL {
+                    exists[d.index()] = topo.neighbor(coord, d).is_some();
+                }
+                Router::new(id, &config, exists)
+            })
+            .collect();
+        let channels = topo
+            .nodes()
+            .map(|id| {
+                let coord = topo.coord_of(id);
+                let mut chans: [Option<LinkChannel>; 4] = [None, None, None, None];
+                for d in Direction::CARDINAL {
+                    if topo.neighbor(coord, d).is_some() {
+                        chans[d.index()] = Some(LinkChannel::new());
+                    }
+                }
+                chans
+            })
+            .collect();
+        let pes = (0..n)
+            .map(|_| ProcessingElement {
+                injector: Injector::new(
+                    config.injection_rate,
+                    config.flits_per_packet(),
+                    config.injection,
+                )
+                .expect("validated rate"),
+                source_queue: VecDeque::new(),
+                injecting: None,
+                e2e_source: E2eSource::new(config.e2e_timeout, config.e2e_max_attempts),
+                e2e_dest: E2eDestination::new(),
+            })
+            .collect();
+        let fi = FaultInjector::new(config.faults, config.seed ^ 0xFA17);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Network {
+            topo,
+            routers,
+            channels,
+            pes,
+            fi,
+            rng,
+            now: 0,
+            next_packet: 1,
+            probes: Vec::new(),
+            activations: Vec::new(),
+            control_refs: HashMap::new(),
+            delivered: HashSet::new(),
+            packets_injected: 0,
+            packets_ejected: 0,
+            flits_ejected: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            latency_hist: crate::stats::LatencyHistogram::new(),
+            measuring: false,
+            e2e_peak_source_flits: 0,
+            stats: NetworkStats::default(),
+            warmup_snapshot: None,
+            warmup_counts: (0, 0, 0, 0, 0),
+            config,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Packets ejected since construction.
+    pub fn packets_ejected(&self) -> u64 {
+        self.packets_ejected
+    }
+
+    /// Packets injected since construction.
+    pub fn packets_injected(&self) -> u64 {
+        self.packets_injected
+    }
+
+    /// The fault injector's census (injected faults).
+    pub fn fault_counts(&self) -> ftnoc_fault::FaultCounts {
+        self.fi.counts()
+    }
+
+    /// Direct read access to a router (tests and probing tools).
+    pub fn router(&self, id: NodeId) -> &Router {
+        &self.routers[id.index()]
+    }
+
+    /// Marks the beginning of the measurement window: snapshots every
+    /// cumulative counter so reported statistics exclude warm-up.
+    pub fn start_measurement(&mut self) {
+        let mut events = crate::stats::EventCounts::default();
+        let mut errors = crate::stats::ErrorStats::default();
+        for r in &self.routers {
+            events = sum_events(&events, &r.events);
+            errors = sum_errors(&errors, &r.errors);
+        }
+        self.warmup_snapshot = Some((events, errors));
+        self.warmup_counts = (
+            self.packets_injected,
+            self.packets_ejected,
+            self.flits_ejected,
+            self.latency_sum,
+            self.latency_max,
+        );
+        self.stats = NetworkStats::default();
+        self.latency_hist = crate::stats::LatencyHistogram::new();
+        self.measuring = true;
+    }
+
+    /// Aggregated statistics for the measurement window.
+    pub fn stats(&self) -> NetworkStats {
+        let mut events = crate::stats::EventCounts::default();
+        let mut errors = crate::stats::ErrorStats::default();
+        for r in &self.routers {
+            events = sum_events(&events, &r.events);
+            errors = sum_errors(&errors, &r.errors);
+        }
+        let (snap_ev, snap_err) = self.warmup_snapshot.unwrap_or((
+            crate::stats::EventCounts::default(),
+            crate::stats::ErrorStats::default(),
+        ));
+        let (wi, we, wf, wl, _wm) = self.warmup_counts;
+        NetworkStats {
+            events: events.delta_since(&snap_ev),
+            errors: errors.delta_since(&snap_err),
+            latency_sum: self.latency_sum - wl,
+            latency_max: self.latency_max,
+            latency_hist: self.latency_hist.clone(),
+            packets_ejected: self.packets_ejected - we,
+            packets_injected: self.packets_injected - wi,
+            flits_ejected: self.flits_ejected - wf,
+            cycles: self.stats.cycles,
+            tx_occupancy_sum: self.stats.tx_occupancy_sum,
+            retx_occupancy_sum: self.stats.retx_occupancy_sum,
+            tx_capacity: self.stats.tx_capacity,
+            retx_capacity: self.stats.retx_capacity,
+        }
+    }
+
+    /// Advances the network by one clock cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+
+        // 1. Reverse channels: NACKs first (they must beat window expiry),
+        //    then credits.
+        for n in 0..self.routers.len() {
+            for d in Direction::CARDINAL {
+                let Some(ch) = self.channels[n][d.index()].as_mut() else {
+                    continue;
+                };
+                let upset = self.fi.handshake_upset();
+                let (nacks, masked) = ch.deliver_nacks(now, upset);
+                self.routers[n].errors.handshake_masked += masked;
+                for vc in nacks {
+                    self.routers[n].handle_nack(d, vc);
+                }
+                for vc in ch.deliver_credits(now) {
+                    self.routers[n].handle_credit(d, vc);
+                }
+            }
+        }
+
+        // 2. Window expiry and per-cycle reset.
+        for r in &mut self.routers {
+            r.begin_cycle(now);
+        }
+
+        // 3. Flit delivery + arrival checking.
+        for n in 0..self.routers.len() {
+            for d in Direction::CARDINAL {
+                let Some(ch) = self.channels[n][d.index()].as_mut() else {
+                    continue;
+                };
+                let Some((flit, vc)) = ch.deliver_flit(now) else {
+                    continue;
+                };
+                let m = self
+                    .topo
+                    .neighbor(self.topo.coord_of(NodeId::new(n as u16)), d)
+                    .map(|c| self.topo.id_of(c))
+                    .expect("channel implies neighbor");
+                let ctx = Ctx {
+                    config: &self.config,
+                    topo: self.topo,
+                    now,
+                };
+                let action = self.routers[m.index()].accept_flit(&ctx, d.opposite(), vc, flit);
+                if action == ArrivalAction::NackUpstream {
+                    self.channels[n][d.index()]
+                        .as_mut()
+                        .expect("channel exists")
+                        .send_nack(vc, now);
+                }
+            }
+        }
+
+        // 4. Injection and E2E timeout scans.
+        self.inject_phase(now);
+
+        // 5-7. Router control, VC allocation, switch allocation.
+        let ctx = Ctx {
+            config: &self.config,
+            topo: self.topo,
+            now,
+        };
+        for r in &mut self.routers {
+            r.control_phase(&ctx, &mut self.fi);
+        }
+        // Recovery-mode status of every node (a per-link handshake wire in
+        // hardware): gates admission of new packets toward recovering
+        // neighbours.
+        let recovering: Vec<bool> = self.routers.iter().map(|r| r.probe.in_recovery()).collect();
+        for n in 0..self.routers.len() {
+            let coord = self.topo.coord_of(NodeId::new(n as u16));
+            let mut neighbor_recovering = [false; 4];
+            for d in Direction::CARDINAL {
+                if let Some(nc) = self.topo.neighbor(coord, d) {
+                    neighbor_recovering[d.index()] = recovering[self.topo.id_of(nc).index()];
+                }
+            }
+            self.routers[n].va_phase(&ctx, &mut self.fi, neighbor_recovering);
+        }
+        for r in &mut self.routers {
+            r.sa_phase(&ctx, &mut self.fi);
+        }
+
+        // 8. Switch traversal → links (with link/crossbar fault injection),
+        //    ejection, credit returns.
+        for n in 0..self.routers.len() {
+            let ctx = Ctx {
+                config: &self.config,
+                topo: self.topo,
+                now,
+            };
+            let drives = self.routers[n].st_phase(&ctx);
+            for mut drive in drives {
+                // §4.4: crossbar single-bit upsets (corrected downstream).
+                if self.fi.crossbar_upset() {
+                    let bit = self.fi.random_bit();
+                    drive.flit.payload.flip_bit(bit);
+                    self.routers[n].errors.crossbar_corrected += 1;
+                }
+                // Link soft errors.
+                if self.fi.corrupt_on_link(&mut drive.flit.payload).is_some() {
+                    // Injection counted by the fault injector census.
+                }
+                if let Some(target) = trace_node() {
+                    if target == n.to_string() {
+                        eprintln!(
+                            "cyc {now}: n{n} drives {} dir {} vc {} replay={}",
+                            drive.flit, drive.dir, drive.vc, drive.is_replay
+                        );
+                    }
+                }
+                self.channels[n][drive.dir.index()]
+                    .as_mut()
+                    .expect("drive targets an existing link")
+                    .send_flit(drive.flit, drive.vc, now);
+            }
+            let ejected: Vec<Flit> = self.routers[n].ejected.drain(..).collect();
+            for flit in ejected {
+                self.eject_flit(NodeId::new(n as u16), flit, now);
+            }
+            let freed: Vec<(Direction, u8)> = self.routers[n].freed_credits.drain(..).collect();
+            for (dir_in, vc) in freed {
+                let up = self
+                    .topo
+                    .neighbor(self.topo.coord_of(NodeId::new(n as u16)), dir_in)
+                    .map(|c| self.topo.id_of(c))
+                    .expect("credit for an existing link");
+                self.channels[up.index()][dir_in.opposite().index()]
+                    .as_mut()
+                    .expect("reverse channel exists")
+                    .send_credit(vc, now);
+            }
+        }
+
+        // 9. Blocked tracking, probe launches and side-band transport.
+        for n in 0..self.routers.len() {
+            let ctx = Ctx {
+                config: &self.config,
+                topo: self.topo,
+                now,
+            };
+            if let Some((via, named)) = self.routers[n].end_cycle(&ctx) {
+                let origin = NodeId::new(n as u16);
+                let to = self
+                    .topo
+                    .neighbor(self.topo.coord_of(origin), via)
+                    .map(|c| self.topo.id_of(c))
+                    .expect("probe follows an existing link");
+                self.probes.push(ProbeFlight {
+                    signal: ProbeSignal { origin, vc: named },
+                    to,
+                    deliver_at: now + 1,
+                    path: vec![origin],
+                });
+            }
+        }
+        self.deliver_probes(now);
+        self.deliver_activations(now);
+
+        // 10. Statistics sampling.
+        if self.config.scheme.uses_end_to_end_control() && now % 16 == 0 {
+            for pe in &self.pes {
+                let occ = pe.e2e_source.occupancy_flits() as u64;
+                if occ > self.e2e_peak_source_flits {
+                    self.e2e_peak_source_flits = occ;
+                }
+            }
+        }
+        if self.measuring {
+            let mut tx_occ = 0;
+            let mut tx_cap = 0;
+            let mut rx_occ = 0;
+            let mut rx_cap = 0;
+            for r in &self.routers {
+                let (a, b, c, d) = r.sample_occupancy();
+                tx_occ += a;
+                tx_cap += b;
+                rx_occ += c;
+                rx_cap += d;
+            }
+            self.stats.tx_occupancy_sum += tx_occ;
+            self.stats.retx_occupancy_sum += rx_occ;
+            self.stats.tx_capacity = tx_cap;
+            self.stats.retx_capacity = rx_cap;
+            self.stats.cycles += 1;
+        }
+
+        self.now += 1;
+    }
+
+    /// Open-loop injection: create new packets, push flits of the packet
+    /// currently entering, run E2E timeout scans.
+    fn inject_phase(&mut self, now: u64) {
+        let scheme = self.config.scheme;
+        let vcs = self.config.router.vcs_per_port();
+        let source_open = self
+            .config
+            .stop_injection_after
+            .is_none_or(|stop| now < stop);
+        for n in 0..self.pes.len() {
+            // New traffic.
+            let count = if source_open && self.pes[n].source_queue.len() < SOURCE_QUEUE_CAP {
+                self.pes[n].injector.packets_this_cycle(&mut self.rng)
+            } else {
+                0
+            };
+            for _ in 0..count {
+                let src = NodeId::new(n as u16);
+                let dest = self
+                    .config
+                    .pattern
+                    .destination(src, self.topo, &mut self.rng);
+                let id = PacketId::new(self.next_packet);
+                self.next_packet += 1;
+                let mut packet = Packet::new(
+                    id,
+                    Header::with_class(src, dest, CLASS_DATA),
+                    self.config.flits_per_packet(),
+                    now,
+                );
+                for f in packet.flits_mut() {
+                    protect_flit(f);
+                }
+                if scheme.uses_end_to_end_control() {
+                    self.pes[n].e2e_source.on_send(packet.clone(), now);
+                }
+                self.pes[n].source_queue.push_back(packet);
+                self.packets_injected += 1;
+            }
+
+            // E2E/FEC timeouts (scanned every 32 cycles to bound cost).
+            if scheme.uses_end_to_end_control() && now % 32 == 0 {
+                let expired = self.pes[n].e2e_source.take_expired(now);
+                for packet in expired {
+                    self.routers[n].errors.e2e_retransmissions += 1;
+                    self.pes[n].source_queue.push_back(packet);
+                }
+            }
+
+            // Continue or start a wormhole into the local port. New
+            // packets are not admitted while the router is in deadlock
+            // recovery (§3.2.1).
+            if self.pes[n].injecting.is_none() && !self.routers[n].probe.in_recovery() {
+                if let Some(vc) = (0..vcs).find(|&v| self.routers[n].local_vc_idle(v)) {
+                    if let Some(packet) = self.pes[n].source_queue.pop_front() {
+                        let flits: VecDeque<Flit> = packet.into_flits().into();
+                        self.pes[n].injecting = Some((vc, flits));
+                    }
+                }
+            }
+            if let Some((vc, mut flits)) = self.pes[n].injecting.take() {
+                if self.routers[n].local_free_slots(vc) > 0 {
+                    if let Some(flit) = flits.pop_front() {
+                        self.routers[n].inject_local(vc, flit);
+                    }
+                }
+                if !flits.is_empty() {
+                    self.pes[n].injecting = Some((vc, flits));
+                }
+            }
+        }
+    }
+
+    /// Handles one flit leaving the network at `node`.
+    fn eject_flit(&mut self, node: NodeId, flit: Flit, now: u64) {
+        self.flits_ejected += 1;
+        let scheme = self.config.scheme;
+        let fields = ftnoc_types::flit::PackedFields::unpack(flit.payload.data());
+        let class = match scheme {
+            ErrorScheme::Hbh | ErrorScheme::Fec => flit.header.class,
+            _ => fields.class,
+        };
+
+        if class == CLASS_ACK || class == CLASS_NACK {
+            // Control packets are single flits; resolve their reference.
+            if let Some((kind, data_id)) = self.control_refs.remove(&flit.packet) {
+                let pe = &mut self.pes[node.index()];
+                if kind == CLASS_ACK {
+                    pe.e2e_source.on_ack(data_id);
+                } else if let Some(packet) = pe.e2e_source.on_nack(data_id, now) {
+                    self.routers[node.index()].errors.e2e_retransmissions += 1;
+                    pe.source_queue.push_back(packet);
+                }
+            }
+            return;
+        }
+
+        match scheme {
+            ErrorScheme::Hbh => {
+                if flit.kind.is_tail() {
+                    if flit.header.dest == node {
+                        self.complete_packet(flit, now);
+                    } else {
+                        self.routers[node.index()].errors.misdelivered += 1;
+                    }
+                }
+            }
+            ErrorScheme::Unprotected => {
+                if flit.kind.is_tail() {
+                    if fields.dest == node {
+                        self.complete_packet(flit, now);
+                    } else {
+                        self.routers[node.index()].errors.misdelivered += 1;
+                    }
+                }
+            }
+            ErrorScheme::E2e | ErrorScheme::Fec => {
+                let verdict = self.pes[node.index()].e2e_dest.on_flit(node, &flit);
+                match verdict {
+                    Some(E2eVerdict::AcceptAndAck) => {
+                        let fresh = self.delivered.insert(flit.packet);
+                        if fresh {
+                            self.complete_packet(flit, now);
+                        }
+                        self.send_control(node, flit.header.src, CLASS_ACK, flit.packet, now);
+                    }
+                    Some(E2eVerdict::RejectAndNack { src }) => {
+                        self.send_control(node, src, CLASS_NACK, flit.packet, now);
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    /// Books a completed data packet into the latency statistics.
+    fn complete_packet(&mut self, tail: Flit, now: u64) {
+        self.packets_ejected += 1;
+        let latency = now.saturating_sub(tail.inject_cycle);
+        self.latency_sum += latency;
+        if self.measuring {
+            self.latency_hist.record(latency);
+            if latency > self.latency_max {
+                self.latency_max = latency;
+            }
+        }
+    }
+
+    /// Emits a single-flit ACK/NACK control packet from `from` to `to`.
+    fn send_control(&mut self, from: NodeId, to: NodeId, class: u8, about: PacketId, now: u64) {
+        if from == to {
+            // Degenerate (corrupted source == here): treat as delivered.
+            if class == CLASS_ACK {
+                self.pes[from.index()].e2e_source.on_ack(about);
+            }
+            return;
+        }
+        let id = PacketId::new(self.next_packet);
+        self.next_packet += 1;
+        let mut packet = Packet::new(id, Header::with_class(from, to, class), 1, now);
+        for f in packet.flits_mut() {
+            protect_flit(f);
+        }
+        self.control_refs.insert(id, (class, about));
+        // Control traffic jumps the source queue: reliability signalling
+        // should not wait behind data.
+        self.pes[from.index()].source_queue.push_front(packet);
+    }
+
+    /// Probe side-band delivery (1 hop per cycle).
+    fn deliver_probes(&mut self, now: u64) {
+        let mut pending = std::mem::take(&mut self.probes);
+        let mut keep = Vec::new();
+        for mut flight in pending.drain(..) {
+            if flight.deliver_at > now {
+                keep.push(flight);
+                continue;
+            }
+            let at = flight.to;
+            // Probes travel as regular flits: charge a link traversal.
+            self.routers[at.index()].events.link += 1;
+            let (blocked, fwd) = self.routers[at.index()].probe_forward_info(flight.signal.vc);
+            let action = self.routers[at.index()].probe.on_probe(
+                flight.signal,
+                blocked,
+                fwd.map(|(_, vc)| vc),
+            );
+            match action {
+                ProbeAction::Forward(sig) => {
+                    let (dir, _) = fwd.expect("forward implies a next hop");
+                    let next = self
+                        .topo
+                        .neighbor(self.topo.coord_of(at), dir)
+                        .map(|c| self.topo.id_of(c));
+                    match next {
+                        Some(next) if flight.path.len() <= 4 * self.routers.len() => {
+                            flight.path.push(at);
+                            keep.push(ProbeFlight {
+                                signal: sig,
+                                to: next,
+                                deliver_at: now + 1,
+                                path: flight.path,
+                            });
+                        }
+                        _ => {
+                            self.routers[flight.signal.origin.index()]
+                                .probe
+                                .probe_lost();
+                            self.routers[flight.signal.origin.index()]
+                                .errors
+                                .probes_discarded += 1;
+                        }
+                    }
+                }
+                ProbeAction::Discard => {
+                    if std::env::var_os("FTNOC_PROBE_DEBUG").is_some() {
+                        eprintln!(
+                            "cyc {now}: probe from {} died at {} named {} (blocked={blocked}, fwd={fwd:?}, path={:?})",
+                            flight.signal.origin, at, flight.signal.vc, flight.path
+                        );
+                    }
+                    self.routers[flight.signal.origin.index()]
+                        .probe
+                        .probe_lost();
+                    self.routers[flight.signal.origin.index()]
+                        .errors
+                        .probes_discarded += 1;
+                }
+                ProbeAction::Confirmed => {
+                    self.routers[at.index()].errors.deadlocks_confirmed += 1;
+                    flight.path.push(at); // back at the origin
+                    self.activations.push(ActivationFlight {
+                        origin: flight.signal.origin,
+                        path: flight.path,
+                        next_index: 1,
+                        deliver_at: now + 1,
+                    });
+                }
+            }
+        }
+        self.probes = keep;
+    }
+
+    /// Activation delivery along the recorded probe path.
+    fn deliver_activations(&mut self, now: u64) {
+        let mut pending = std::mem::take(&mut self.activations);
+        let mut keep = Vec::new();
+        for mut flight in pending.drain(..) {
+            if flight.deliver_at > now {
+                keep.push(flight);
+                continue;
+            }
+            let Some(&at) = flight.path.get(flight.next_index) else {
+                continue;
+            };
+            self.routers[at.index()].events.link += 1;
+            let action = self.routers[at.index()]
+                .probe
+                .on_activation(ActivationSignal {
+                    origin: flight.origin,
+                });
+            match action {
+                ActivationAction::EnterRecoveryAndForward => {
+                    flight.next_index += 1;
+                    flight.deliver_at = now + 1;
+                    keep.push(flight);
+                }
+                ActivationAction::RecoveryComplete | ActivationAction::Discard => {}
+            }
+        }
+        self.activations = keep;
+    }
+
+    /// Peak per-node source-side retransmission-buffer occupancy (flits)
+    /// observed so far — the buffer-size cost of end-to-end schemes the
+    /// paper contrasts with HBH's fixed 3 flits per VC.
+    pub fn e2e_peak_source_flits(&self) -> u64 {
+        self.e2e_peak_source_flits
+    }
+
+    /// Whether any node is currently in deadlock-recovery mode.
+    pub fn any_in_recovery(&self) -> bool {
+        self.routers.iter().any(|r| r.probe.in_recovery())
+    }
+}
+
+fn sum_events(
+    a: &crate::stats::EventCounts,
+    b: &crate::stats::EventCounts,
+) -> crate::stats::EventCounts {
+    crate::stats::EventCounts {
+        buffer_write: a.buffer_write + b.buffer_write,
+        buffer_read: a.buffer_read + b.buffer_read,
+        crossbar: a.crossbar + b.crossbar,
+        link: a.link + b.link,
+        route: a.route + b.route,
+        va: a.va + b.va,
+        sa: a.sa + b.sa,
+        retrans_shift: a.retrans_shift + b.retrans_shift,
+        retransmission: a.retransmission + b.retransmission,
+        ecc_check: a.ecc_check + b.ecc_check,
+        nack: a.nack + b.nack,
+        ac_check: a.ac_check + b.ac_check,
+    }
+}
+
+fn sum_errors(
+    a: &crate::stats::ErrorStats,
+    b: &crate::stats::ErrorStats,
+) -> crate::stats::ErrorStats {
+    crate::stats::ErrorStats {
+        link_corrected_inline: a.link_corrected_inline + b.link_corrected_inline,
+        link_recovered_by_replay: a.link_recovered_by_replay + b.link_recovered_by_replay,
+        flits_dropped: a.flits_dropped + b.flits_dropped,
+        rt_corrected: a.rt_corrected + b.rt_corrected,
+        va_corrected: a.va_corrected + b.va_corrected,
+        sa_corrected: a.sa_corrected + b.sa_corrected,
+        crossbar_corrected: a.crossbar_corrected + b.crossbar_corrected,
+        handshake_masked: a.handshake_masked + b.handshake_masked,
+        e2e_retransmissions: a.e2e_retransmissions + b.e2e_retransmissions,
+        misdelivered: a.misdelivered + b.misdelivered,
+        stranded_flits: a.stranded_flits + b.stranded_flits,
+        probes_sent: a.probes_sent + b.probes_sent,
+        deadlocks_confirmed: a.deadlocks_confirmed + b.deadlocks_confirmed,
+        probes_discarded: a.probes_discarded + b.probes_discarded,
+    }
+}

@@ -1,0 +1,1329 @@
+//! The pipelined virtual-channel wormhole router (Figure 1), with every
+//! §3/§4 protection mechanism wired into its stages.
+//!
+//! Pipeline model (3-stage default, §2.2): a head flit arriving at cycle
+//! `t` is VC-allocated at `t+1`, switch-allocated at `t+2` and traverses
+//! the crossbar onto the link at `t+3` (look-ahead routing folds RC into
+//! the arrival/VA stage). Body flits skip RC/VA. A 4-stage router adds
+//! one RC cycle; 2-stage combines VA+SA (speculation assumed
+//! successful); 1-stage also combines the crossbar traversal.
+//!
+//! Per-cycle phase order (driven by the network):
+//!
+//! 1. reverse-channel processing: NACKs (before window expiry — a NACK
+//!    arrives exactly as its flit's window closes and must win), credits;
+//! 2. `begin_cycle`: retransmission-window expiry;
+//! 3. arrival: link delivery + per-scheme error check ([`Router::accept_flit`]);
+//! 4. `control_phase`: packet bring-up (RT + §4.2 fault handling),
+//!    deadlock-recovery absorption;
+//! 5. `va_phase`: VC allocation + §4.1 fault injection + AC check;
+//! 6. `sa_phase`: switch allocation + §4.3 fault injection + AC check;
+//! 7. `st_phase`: crossbar/link traversal — replays first, then
+//!    deadlock-recovery held flits, then granted flits;
+//! 8. `end_cycle`: blocked tracking, probe launching, statistics.
+
+use std::collections::VecDeque;
+
+use ftnoc_core::ac::{AllocationComparator, RtEntry, SaEntry, VaEntry, VcRef};
+use ftnoc_core::deadlock::probe::ProbeProtocol;
+use ftnoc_core::fec::{FecHop, FecOutcome};
+use ftnoc_core::hbh::{HbhReceiver, HbhSender, ReceiverVerdict};
+use ftnoc_core::recovery::{recovery_latency, LogicFaultKind};
+use ftnoc_core::retransmission::TransmissionFifo;
+use ftnoc_fault::FaultInjector;
+use ftnoc_types::config::{PipelineDepth, RouterConfig};
+use ftnoc_types::flit::{Flit, PackedFields};
+use ftnoc_types::geom::{Direction, NodeId, Topology};
+
+use crate::arbiter::RoundRobinArbiter;
+use crate::config::{ErrorScheme, RoutingAlgorithm, SimConfig};
+use crate::routing::{route_candidates, xy_minimal_progress};
+use crate::stats::{ErrorStats, EventCounts};
+
+/// Cached `FTNOC_TRACE_NODE` value (diagnostic tracing, read once).
+fn trace_node() -> Option<&'static str> {
+    use std::sync::OnceLock;
+    static TRACE: OnceLock<Option<String>> = OnceLock::new();
+    TRACE
+        .get_or_init(|| std::env::var("FTNOC_TRACE_NODE").ok())
+        .as_deref()
+}
+
+/// Immutable per-cycle context shared by the router phases.
+pub struct Ctx<'a> {
+    /// The run configuration.
+    pub config: &'a SimConfig,
+    /// The network topology.
+    pub topo: Topology,
+    /// Current cycle.
+    pub now: u64,
+}
+
+/// Wormhole progress of one input VC.
+#[derive(Debug, Clone, PartialEq)]
+enum VcState {
+    /// No packet in flight on this VC.
+    Idle,
+    /// Head at the buffer front, awaiting VC allocation from `ready_at`;
+    /// `candidates` is the routing function's output (all VCs of these
+    /// PCs are acceptable, preference-ordered).
+    VaWait {
+        candidates: Vec<Direction>,
+        ready_at: u64,
+    },
+    /// Wormhole open: flits stream toward `(out_port, out_vc)`.
+    Active {
+        out_port: usize,
+        out_vc: usize,
+        sa_ready_at: u64,
+    },
+}
+
+/// One input virtual channel.
+#[derive(Debug)]
+struct InputVc {
+    buffer: TransmissionFifo,
+    state: VcState,
+    receiver: HbhReceiver,
+    fec: FecHop,
+    blocked_cycles: u64,
+    progressed: bool,
+    /// No new probe for this VC before this cycle (re-suspicion cooldown).
+    probe_cooldown_until: u64,
+}
+
+impl InputVc {
+    fn new(depth: usize) -> Self {
+        InputVc {
+            buffer: TransmissionFifo::new(depth),
+            state: VcState::Idle,
+            receiver: HbhReceiver::new(),
+            fec: FecHop::new(),
+            blocked_cycles: 0,
+            progressed: false,
+            probe_cooldown_until: 0,
+        }
+    }
+}
+
+/// A granted flit waiting for its crossbar/link cycle.
+#[derive(Debug, Clone, Copy)]
+struct StEntry {
+    flit: Flit,
+    out_vc: u8,
+    execute_at: u64,
+}
+
+/// One output port: per-VC retransmission senders, credits, wormhole
+/// reservations and the switch-traversal queue.
+#[derive(Debug)]
+struct OutputPort {
+    exists: bool,
+    senders: Vec<HbhSender>,
+    credits: Vec<u32>,
+    /// `allocated[v]` = the input VC currently owning output VC `v`.
+    allocated: Vec<Option<(usize, usize)>>,
+    st_queue: VecDeque<StEntry>,
+}
+
+impl OutputPort {
+    fn new(exists: bool, vcs: usize, retrans_depth: usize, credits: u32) -> Self {
+        OutputPort {
+            exists,
+            senders: (0..vcs).map(|_| HbhSender::new(retrans_depth)).collect(),
+            credits: vec![credits; vcs],
+            allocated: vec![None; vcs],
+            st_queue: VecDeque::new(),
+        }
+    }
+
+    fn any_replaying(&self) -> bool {
+        self.senders.iter().any(|s| s.is_replaying())
+    }
+
+    fn any_held(&self) -> bool {
+        self.senders.iter().any(|s| s.buffer().held_count() > 0)
+    }
+}
+
+/// What arrival processing decided (the network acts on NACKs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalAction {
+    /// The flit entered the input buffer.
+    Accepted,
+    /// The flit was dropped; a NACK must be sent upstream on this VC.
+    NackUpstream,
+    /// The flit was dropped silently (inside a drop window).
+    Dropped,
+}
+
+/// A flit leaving the router this cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkDrive {
+    /// Output direction.
+    pub dir: Direction,
+    /// The flit.
+    pub flit: Flit,
+    /// VC tag on the wire.
+    pub vc: u8,
+    /// Whether this is a replayed (retransmitted) flit — replays do not
+    /// consume fresh credits.
+    pub is_replay: bool,
+}
+
+/// The router.
+pub struct Router {
+    id: NodeId,
+    cfg: RouterConfig,
+    inputs: Vec<Vec<InputVc>>,
+    outputs: Vec<OutputPort>,
+    va_arbiters: Vec<RoundRobinArbiter>,
+    sa_in_arbiters: Vec<RoundRobinArbiter>,
+    sa_out_arbiters: Vec<RoundRobinArbiter>,
+    replay_rr: Vec<RoundRobinArbiter>,
+    ac: AllocationComparator,
+    /// Deadlock-probing state machine (§3.2.2).
+    pub probe: ProbeProtocol,
+    probe_scan_offset: usize,
+    recovery_stall: u64,
+    /// Flits ejected to the local PE this cycle (drained by the network).
+    pub ejected: Vec<Flit>,
+    /// Upstream credits freed this cycle: (input port, vc).
+    pub freed_credits: Vec<(Direction, u8)>,
+    /// Event census (energy accounting).
+    pub events: EventCounts,
+    /// Error-handling census.
+    pub errors: ErrorStats,
+    va_vc_offset: usize,
+}
+
+impl Router {
+    /// Builds the router for node `id`; `port_exists[d]` says which
+    /// cardinal links exist (mesh edges lack some).
+    pub fn new(id: NodeId, config: &SimConfig, port_exists: [bool; 4]) -> Self {
+        let cfg = config.router;
+        let v = cfg.vcs_per_port();
+        let p = cfg.ports();
+        let inputs = (0..p)
+            .map(|_| (0..v).map(|_| InputVc::new(cfg.buffer_depth())).collect())
+            .collect();
+        let outputs = (0..p)
+            .map(|port| {
+                let dir = Direction::from_index(port).expect("port index");
+                let exists = if dir == Direction::Local {
+                    true
+                } else {
+                    port_exists[port]
+                };
+                // Ejection is always consumable: effectively infinite credit.
+                let credits = if dir == Direction::Local {
+                    u32::MAX / 2
+                } else {
+                    cfg.buffer_depth() as u32
+                };
+                OutputPort::new(exists, v, cfg.retrans_depth(), credits)
+            })
+            .collect();
+        Router {
+            id,
+            cfg,
+            inputs,
+            outputs,
+            va_arbiters: (0..p * v).map(|_| RoundRobinArbiter::new(p * v)).collect(),
+            sa_in_arbiters: (0..p).map(|_| RoundRobinArbiter::new(v)).collect(),
+            sa_out_arbiters: (0..p).map(|_| RoundRobinArbiter::new(p)).collect(),
+            replay_rr: (0..p).map(|_| RoundRobinArbiter::new(v)).collect(),
+            ac: AllocationComparator::new(),
+            probe: ProbeProtocol::new(id, config.deadlock.cthres),
+            probe_scan_offset: 0,
+            recovery_stall: 0,
+            ejected: Vec::new(),
+            freed_credits: Vec::new(),
+            events: EventCounts::default(),
+            errors: ErrorStats::default(),
+            va_vc_offset: 0,
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Handles a NACK from the downstream router on `(dir, vc)`.
+    /// Must run before [`Router::begin_cycle`] of the same cycle.
+    pub fn handle_nack(&mut self, dir: Direction, vc: u8) {
+        self.outputs[dir.index()].senders[vc as usize].on_nack();
+        self.errors.link_recovered_by_replay += 1;
+    }
+
+    /// Handles a returned credit from downstream.
+    pub fn handle_credit(&mut self, dir: Direction, vc: u8) {
+        self.outputs[dir.index()].credits[vc as usize] += 1;
+    }
+
+    /// Expires retransmission windows; call once per cycle after NACK
+    /// processing.
+    pub fn begin_cycle(&mut self, now: u64) {
+        self.ejected.clear();
+        self.freed_credits.clear();
+        for port in &mut self.outputs {
+            for sender in &mut port.senders {
+                sender.tick(now);
+            }
+        }
+        for port in &mut self.inputs {
+            for vc in port.iter_mut() {
+                vc.progressed = false;
+            }
+        }
+    }
+
+    /// Arrival processing for a flit delivered on input `(dir, vc)`:
+    /// per-scheme error checking, then buffering.
+    pub fn accept_flit(
+        &mut self,
+        ctx: &Ctx<'_>,
+        dir: Direction,
+        vc: u8,
+        mut flit: Flit,
+    ) -> ArrivalAction {
+        let input = &mut self.inputs[dir.index()][vc as usize];
+        match ctx.config.scheme {
+            ErrorScheme::Hbh => {
+                self.events.ecc_check += 1;
+                match input.receiver.check_arrival(&mut flit, ctx.now) {
+                    ReceiverVerdict::Accept => {}
+                    ReceiverVerdict::AcceptCorrected => {
+                        self.errors.link_corrected_inline += 1;
+                    }
+                    ReceiverVerdict::NackAndDrop => {
+                        self.errors.flits_dropped += 1;
+                        self.events.nack += 1;
+                        return ArrivalAction::NackUpstream;
+                    }
+                    ReceiverVerdict::DropInWindow => {
+                        self.errors.flits_dropped += 1;
+                        return ArrivalAction::Dropped;
+                    }
+                }
+            }
+            ErrorScheme::Fec => {
+                self.events.ecc_check += 1;
+                match input.fec.process(&mut flit) {
+                    FecOutcome::Clean => {}
+                    FecOutcome::Corrected => {
+                        self.errors.link_corrected_inline += 1;
+                    }
+                    FecOutcome::PassedCorrupted => {}
+                }
+            }
+            ErrorScheme::E2e | ErrorScheme::Unprotected => {}
+        }
+        let pushed = input.buffer.push(flit);
+        debug_assert!(pushed, "credit flow control violated at {}", self.id);
+        self.events.buffer_write += 1;
+        ArrivalAction::Accepted
+    }
+
+    /// The destination field a router actually routes on: schemes without
+    /// per-hop checking latch it from the raw (possibly corrupted) word.
+    fn routed_dest(scheme: ErrorScheme, flit: &Flit) -> NodeId {
+        match scheme {
+            ErrorScheme::Hbh | ErrorScheme::Fec => flit.header.dest,
+            ErrorScheme::E2e | ErrorScheme::Unprotected => {
+                PackedFields::unpack(flit.payload.data()).dest
+            }
+        }
+    }
+
+    /// Packet bring-up and deadlock-recovery absorption.
+    pub fn control_phase(&mut self, ctx: &Ctx<'_>, fi: &mut FaultInjector) {
+        let ports = self.cfg.ports();
+        let vcs = self.cfg.vcs_per_port();
+        for p in 0..ports {
+            for v in 0..vcs {
+                let front_info = {
+                    let input = &self.inputs[p][v];
+                    if input.state != VcState::Idle {
+                        continue;
+                    }
+                    input.buffer.front().copied()
+                };
+                let Some(front) = front_info else { continue };
+                if !front.kind.is_head() {
+                    // Stranded flit: no wormhole to follow (possible only
+                    // under corruption without full protection). Discard.
+                    if std::env::var_os("FTNOC_STRAND_DEBUG").is_some() {
+                        eprintln!(
+                            "cyc {}: stranded {} at {} port {} vc {v}",
+                            ctx.now,
+                            front,
+                            self.id,
+                            Direction::from_index(p).expect("port")
+                        );
+                    }
+                    self.inputs[p][v].buffer.pop();
+                    self.errors.stranded_flits += 1;
+                    if Direction::from_index(p) != Some(Direction::Local) {
+                        self.freed_credits
+                            .push((Direction::from_index(p).expect("port"), v as u8));
+                    }
+                    continue;
+                }
+                // Route computation (look-ahead folded into this stage for
+                // depths < 4; an extra cycle for the canonical 4-stage).
+                let dest = Self::routed_dest(ctx.config.scheme, &front);
+                let mut candidates = route_candidates(
+                    ctx.config.routing,
+                    ctx.topo,
+                    self.id,
+                    dest,
+                    &ctx.config.hard_faults,
+                );
+                self.events.route += 1;
+                let rc_extra = u64::from(ctx.config.router.pipeline() == PipelineDepth::Four);
+                let mut ready_at = ctx.now + rc_extra + 1;
+
+                // §4.2: routing-unit soft error.
+                if fi.rt_upset() && !candidates.is_empty() {
+                    let correct = candidates[0].index();
+                    let wrong = Direction::from_index(fi.corrupt_choice(correct, ports))
+                        .expect("port index");
+                    let came_from = Direction::from_index(p).expect("port");
+                    let link_missing = wrong != Direction::Local
+                        && !self.outputs[wrong.index()].exists
+                        || ctx.config.hard_faults.link_is_dead(self.id, wrong);
+                    let wrong_ejection = wrong == Direction::Local && dest != self.id;
+                    if link_missing || wrong_ejection {
+                        // Caught by the VA's link-state knowledge: re-route.
+                        let penalty = recovery_latency(
+                            LogicFaultKind::RtMisdirectBlocked,
+                            ctx.config.router.pipeline(),
+                        );
+                        ready_at += penalty.raw();
+                        self.errors.rt_corrected += 1;
+                        self.events.route += 1;
+                    } else if ctx.config.routing == RoutingAlgorithm::FullyAdaptive
+                        && wrong != Direction::Local
+                    {
+                        // Adaptive routing absorbs the detour (§4.2): the
+                        // packet really goes the wrong way and re-routes
+                        // minimally from there. Undetected by design.
+                        candidates = vec![wrong];
+                        let _ = came_from;
+                    } else if wrong != Direction::Local {
+                        // Deterministic (or turn-model) routing: the next
+                        // router detects the illegal move and NACKs; the
+                        // header is still in this router's retransmission
+                        // buffer, so recovery costs 1 + n cycles. Modelled
+                        // as a stall + corrected route (the misdirected
+                        // transmission and its NACK are charged).
+                        debug_assert!(
+                            !xy_minimal_progress(
+                                ctx.topo,
+                                ctx.topo
+                                    .neighbor(ctx.topo.coord_of(self.id), wrong)
+                                    .map(|c| ctx.topo.id_of(c))
+                                    .unwrap_or(self.id),
+                                wrong.opposite(),
+                                dest
+                            ) || ctx.config.routing != RoutingAlgorithm::XyDeterministic
+                                || dest == self.id
+                        );
+                        let penalty = recovery_latency(
+                            LogicFaultKind::RtMisdirectOpenDeterministic,
+                            ctx.config.router.pipeline(),
+                        );
+                        ready_at += penalty.raw();
+                        self.errors.rt_corrected += 1;
+                        self.events.link += 2; // wrong-way hop + NACK path
+                        self.events.nack += 1;
+                        self.events.route += 1;
+                    } else {
+                        // `wrong == Local` at the destination: benign.
+                        self.errors.rt_corrected += 1;
+                    }
+                }
+
+                self.inputs[p][v].state = VcState::VaWait {
+                    candidates,
+                    ready_at,
+                };
+            }
+        }
+
+        if self.probe.in_recovery() {
+            self.recovery_absorb(ctx);
+        }
+    }
+
+    /// Blocking level at which recovery absorbs a VC (and below which a
+    /// recovering node considers its deadlock resolved).
+    fn stuck_threshold(&self, ctx: &Ctx<'_>) -> u64 {
+        (ctx.config.deadlock.cthres / 4).max(2)
+    }
+
+    /// §3.2.1: move blocked flits from transmission buffers into idle
+    /// retransmission slots, freeing space (and upstream credits).
+    fn recovery_absorb(&mut self, ctx: &Ctx<'_>) {
+        let ports = self.cfg.ports();
+        let vcs = self.cfg.vcs_per_port();
+        let stuck = self.stuck_threshold(ctx);
+
+        // A head stuck in VC allocation may take over an output VC whose
+        // previous owner was fully absorbed and is merely draining held
+        // flits (a stale reservation): the new packet's flits simply
+        // queue behind the old packet's in the same barrel shifter, so
+        // stream order per VC is preserved. This is the input-buffered
+        // analogue of the paper's "move flits into the retransmission
+        // buffer to create space": without it, rings of stale
+        // reservations and waiting heads stay wedged forever.
+        for p in 0..ports {
+            for v in 0..vcs {
+                if self.inputs[p][v].blocked_cycles < stuck {
+                    continue;
+                }
+                let VcState::VaWait { ref candidates, .. } = self.inputs[p][v].state else {
+                    continue;
+                };
+                let candidates = candidates.clone();
+                let mut takeover = None;
+                'search: for cand in &candidates {
+                    if *cand == Direction::Local {
+                        continue;
+                    }
+                    let op = cand.index();
+                    if !self.outputs[op].exists {
+                        continue;
+                    }
+                    for ov in 0..vcs {
+                        let stale = match self.outputs[op].allocated[ov] {
+                            Some((ip, iv)) => !matches!(
+                                self.inputs[ip][iv].state,
+                                VcState::Active { out_port, out_vc, .. }
+                                    if out_port == op && out_vc == ov
+                            ),
+                            None => true,
+                        };
+                        if stale {
+                            takeover = Some((op, ov));
+                            break 'search;
+                        }
+                    }
+                }
+                if let Some((op, ov)) = takeover {
+                    if trace_node().is_some_and(|t| t == self.id.index().to_string()) {
+                        eprintln!("cyc {}: {} TAKEOVER in ({p},{v}) head {} -> out ({op},{ov}) old_alloc {:?}", ctx.now, self.id, self.inputs[p][v].buffer.front().map(|f| f.to_string()).unwrap_or_default(), self.outputs[op].allocated[ov]);
+                    }
+                    self.outputs[op].allocated[ov] = Some((p, v));
+                    self.inputs[p][v].state = VcState::Active {
+                        out_port: op,
+                        out_vc: ov,
+                        sa_ready_at: ctx.now + 1,
+                    };
+                    self.events.va += 1;
+                }
+            }
+        }
+
+        for p in 0..ports {
+            for v in 0..vcs {
+                let (op, ov) = match self.inputs[p][v].state {
+                    VcState::Active {
+                        out_port, out_vc, ..
+                    } if self.inputs[p][v].blocked_cycles >= stuck && out_vc < vcs => {
+                        (out_port, out_vc)
+                    }
+                    _ => continue,
+                };
+                if Direction::from_index(op) == Some(Direction::Local) {
+                    continue;
+                }
+                // A switch-granted flit of this VC may still be queued for
+                // traversal; absorbing now would overtake it and reorder
+                // the stream. Wait until the queue drains.
+                if self.outputs[op]
+                    .st_queue
+                    .iter()
+                    .any(|e| e.out_vc as usize == ov)
+                {
+                    continue;
+                }
+                loop {
+                    if self.outputs[op].senders[ov].buffer().is_full() {
+                        break;
+                    }
+                    let Some(front) = self.inputs[p][v].buffer.front().copied() else {
+                        break;
+                    };
+                    let flit = self.inputs[p][v].buffer.pop().expect("front exists");
+                    if trace_node().is_some_and(|t| t == self.id.index().to_string()) {
+                        eprintln!(
+                            "cyc {}: {} ABSORB {} from ({p},{v}) into out ({op},{ov})",
+                            ctx.now, self.id, flit
+                        );
+                    }
+                    let absorbed = self.outputs[op].senders[ov].buffer_mut().absorb(flit);
+                    debug_assert!(absorbed);
+                    self.inputs[p][v].progressed = true;
+                    self.events.retrans_shift += 1;
+                    if let Some(dir) = Direction::from_index(p) {
+                        if dir != Direction::Local {
+                            self.freed_credits.push((dir, v as u8));
+                        }
+                    }
+                    if front.kind.is_tail() {
+                        // Whole packet absorbed; the input VC is free. The
+                        // output VC stays reserved until the tail is sent.
+                        self.inputs[p][v].state = VcState::Idle;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// VC allocation (§4.1 faults + AC protection).
+    ///
+    /// `neighbor_recovering[d]` gates admission: no **new** packet may be
+    /// steered toward a neighbour in deadlock-recovery mode (§3.2.1:
+    /// "no new packets are allowed to enter the transmission buffers that
+    /// are involved in the deadlock recovery"). Flits of already-admitted
+    /// packets keep flowing — they are the recovery's working set.
+    pub fn va_phase(
+        &mut self,
+        ctx: &Ctx<'_>,
+        fi: &mut FaultInjector,
+        neighbor_recovering: [bool; 4],
+    ) {
+        let ports = self.cfg.ports();
+        let vcs = self.cfg.vcs_per_port();
+        let total = ports * vcs;
+
+        // Stage 1: each waiting input VC nominates one free output VC.
+        // (input index, output port, output vc, rt port for the AC table)
+        let mut requests: Vec<(usize, usize, usize, Direction)> = Vec::new();
+        for p in 0..ports {
+            for v in 0..vcs {
+                let VcState::VaWait {
+                    ref candidates,
+                    ready_at,
+                } = self.inputs[p][v].state
+                else {
+                    continue;
+                };
+                if ready_at > ctx.now {
+                    continue;
+                }
+                'cand: for &cand in candidates {
+                    let op = cand.index();
+                    if !self.outputs[op].exists {
+                        continue;
+                    }
+                    if cand != Direction::Local && neighbor_recovering[op] {
+                        continue;
+                    }
+                    for dv in 0..vcs {
+                        let ov = (dv + self.va_vc_offset) % vcs;
+                        if self.outputs[op].allocated[ov].is_none()
+                            && self.outputs[op].senders[ov].buffer().is_empty()
+                        {
+                            requests.push((p * vcs + v, op, ov, cand));
+                            break 'cand;
+                        }
+                    }
+                }
+            }
+        }
+        self.va_vc_offset = (self.va_vc_offset + 1) % vcs;
+
+        // Stage 2: arbitrate per output VC.
+        let mut winners: Vec<(usize, usize, usize, Direction)> = Vec::new();
+        for op in 0..ports {
+            for ov in 0..vcs {
+                let mut lines = vec![false; total];
+                for &(input, rop, rov, _) in &requests {
+                    if rop == op && rov == ov {
+                        lines[input] = true;
+                    }
+                }
+                if let Some(winner) = self.va_arbiters[op * vcs + ov].grant(&lines) {
+                    let rt_port = requests
+                        .iter()
+                        .find(|r| r.0 == winner && r.1 == op && r.2 == ov)
+                        .map(|r| r.3)
+                        .expect("winner requested this VC");
+                    winners.push((winner, op, ov, rt_port));
+                }
+            }
+        }
+
+        // §4.1: VC-allocator soft errors corrupt committed pairings.
+        let mut corrupted: Vec<bool> = vec![false; winners.len()];
+        for (i, w) in winners.iter_mut().enumerate() {
+            if !fi.va_upset() {
+                continue;
+            }
+            corrupted[i] = true;
+            // Scenario mix: invalid id (1), duplicate/reserved (2, 3),
+            // wrong PC (4b). Drawn uniformly via the corrupted field.
+            let kind = fi.corrupt_choice(0, 3);
+            match kind {
+                1 => w.2 = vcs, // invalid output VC id
+                2 => {
+                    // Wrong physical channel.
+                    let wrong = fi.corrupt_choice(w.1, ports);
+                    w.1 = wrong;
+                    w.2 = w.2.min(vcs - 1);
+                }
+                _ => {
+                    // Duplicate: point at a VC that is already reserved,
+                    // if one exists.
+                    if let Some(res) =
+                        (0..vcs).find(|&ov| self.outputs[w.1].allocated[ov].is_some())
+                    {
+                        w.2 = res;
+                    } else {
+                        w.2 = vcs; // fall back to an invalid id
+                    }
+                }
+            }
+        }
+
+        // Allocation Comparator: evaluate the RT/VA/SA state (Figure 12).
+        if ctx.config.ac_enabled {
+            self.events.ac_check += 1;
+            let rt_entries: Vec<RtEntry> = winners
+                .iter()
+                .map(|&(input, _, _, rt_port)| RtEntry {
+                    input_vc: self.input_vcref(input),
+                    valid_out_port: rt_port,
+                })
+                .collect();
+            let mut va_entries: Vec<VaEntry> = Vec::new();
+            for op in 0..ports {
+                for ov in 0..vcs {
+                    if let Some((ip, iv)) = self.outputs[op].allocated[ov] {
+                        va_entries.push(VaEntry {
+                            input_vc: self.input_vcref(ip * vcs + iv),
+                            out_port: Direction::from_index(op).expect("port"),
+                            out_vc: ov as u8,
+                        });
+                    }
+                }
+            }
+            for &(input, op, ov, _) in &winners {
+                va_entries.push(VaEntry {
+                    input_vc: self.input_vcref(input),
+                    out_port: Direction::from_index(op).expect("port"),
+                    out_vc: ov as u8,
+                });
+            }
+            let findings = self.ac.check(&rt_entries, &va_entries, &[], vcs);
+            if !findings.is_empty() {
+                // Invalidate this cycle's (corrupted) allocations: the
+                // affected inputs retry next cycle — 1-cycle penalty.
+                let flagged: Vec<usize> = (0..winners.len()).filter(|&i| corrupted[i]).collect();
+                self.errors.va_corrected += flagged.len() as u64;
+                for i in flagged.iter().rev() {
+                    winners.remove(*i);
+                }
+            }
+        }
+
+        // Commit.
+        for (input, op, ov, _) in winners {
+            let (p, v) = (input / vcs, input % vcs);
+            if trace_node().is_some_and(|t| t == self.id.index().to_string()) {
+                eprintln!(
+                    "cyc {}: {} VA ({p},{v}) head {} -> out ({op},{ov})",
+                    ctx.now,
+                    self.id,
+                    self.inputs[p][v]
+                        .buffer
+                        .front()
+                        .map(|f| f.to_string())
+                        .unwrap_or_default()
+                );
+            }
+            if ov < vcs {
+                self.outputs[op].allocated[ov] = Some((p, v));
+            }
+            let sa_gap = match ctx.config.router.pipeline() {
+                PipelineDepth::One | PipelineDepth::Two => 0,
+                _ => 1,
+            };
+            self.inputs[p][v].state = VcState::Active {
+                out_port: op,
+                out_vc: ov,
+                sa_ready_at: ctx.now + sa_gap,
+            };
+            self.events.va += 1;
+        }
+    }
+
+    fn input_vcref(&self, input: usize) -> VcRef {
+        let vcs = self.cfg.vcs_per_port();
+        VcRef::new(
+            Direction::from_index(input / vcs).expect("port"),
+            (input % vcs) as u8,
+        )
+    }
+
+    /// Switch allocation (§4.3 faults + AC protection).
+    pub fn sa_phase(&mut self, ctx: &Ctx<'_>, fi: &mut FaultInjector) {
+        let ports = self.cfg.ports();
+        let vcs = self.cfg.vcs_per_port();
+        let scheme = ctx.config.scheme;
+
+        // Stage 1: per input port, pick one eligible VC.
+        let mut port_winner: Vec<Option<(usize, usize, usize)>> = vec![None; ports];
+        for p in 0..ports {
+            let mut lines = vec![false; vcs];
+            for v in 0..vcs {
+                let VcState::Active {
+                    out_port,
+                    out_vc,
+                    sa_ready_at,
+                } = self.inputs[p][v].state
+                else {
+                    continue;
+                };
+                if sa_ready_at > ctx.now
+                    || out_vc >= vcs
+                    || !self.outputs[out_port].exists
+                    || self.inputs[p][v].buffer.is_empty()
+                    || self.outputs[out_port].credits[out_vc] == 0
+                    || self.outputs[out_port].any_replaying()
+                    || self.outputs[out_port].any_held()
+                    || self.outputs[out_port].st_queue.len() >= 2
+                {
+                    continue;
+                }
+                if scheme == ErrorScheme::Hbh
+                    && Direction::from_index(out_port) != Some(Direction::Local)
+                    && !self.outputs[out_port].senders[out_vc].can_send_new()
+                {
+                    continue;
+                }
+                lines[v] = true;
+            }
+            if let Some(v) = self.sa_in_arbiters[p].grant(&lines) {
+                if let VcState::Active {
+                    out_port, out_vc, ..
+                } = self.inputs[p][v].state
+                {
+                    port_winner[p] = Some((v, out_port, out_vc));
+                }
+            }
+        }
+
+        // Stage 2: per output port, pick one input port.
+        let mut grants: Vec<(usize, usize, usize, usize)> = Vec::new(); // (p, v, op, ov)
+        for op in 0..ports {
+            let mut lines = vec![false; ports];
+            for (p, w) in port_winner.iter().enumerate() {
+                if let Some((_, wop, _)) = w {
+                    if *wop == op {
+                        lines[p] = true;
+                    }
+                }
+            }
+            if let Some(p) = self.sa_out_arbiters[op].grant(&lines) {
+                let (v, _, ov) = port_winner[p].expect("winner recorded");
+                grants.push((p, v, op, ov));
+            }
+        }
+
+        // §4.3: switch-allocator soft errors.
+        let mut i = 0;
+        while i < grants.len() {
+            if !fi.sa_upset() {
+                i += 1;
+                continue;
+            }
+            let kind = fi.corrupt_choice(0, 4);
+            match kind {
+                1 => {
+                    // (a) grant suppressed: the flit retries next cycle.
+                    grants.remove(i);
+                    self.errors.sa_corrected += 1;
+                }
+                2 | 3 => {
+                    // (b)/(d): wrong output / multicast — caught by the AC
+                    // (grant disagrees with the VA state); without the AC
+                    // the flit departs the wrong way and strands.
+                    if ctx.config.ac_enabled {
+                        self.events.ac_check += 1;
+                        let sa_entries: Vec<SaEntry> = grants
+                            .iter()
+                            .map(|&(p, v, op, _)| SaEntry {
+                                input_port: Direction::from_index(p).expect("port"),
+                                winning_vc: v as u8,
+                                out_port: Direction::from_index(op).expect("port"),
+                            })
+                            .collect();
+                        let _ = self.ac.check(&[], &[], &sa_entries, vcs);
+                        grants.remove(i);
+                        self.errors.sa_corrected += 1;
+                    } else {
+                        let wrong = fi.corrupt_choice(grants[i].2, self.cfg.ports());
+                        grants[i].2 = wrong;
+                        i += 1;
+                    }
+                }
+                _ => {
+                    // (c) collision: the flit is corrupted in the crossbar;
+                    // the AC catches the duplicate grant, otherwise the
+                    // next router's ECC detects it (NACK + replay, 2
+                    // cycles).
+                    if ctx.config.ac_enabled {
+                        self.events.ac_check += 1;
+                        grants.remove(i);
+                        self.errors.sa_corrected += 1;
+                    } else {
+                        let flit = &mut grants[i];
+                        let _ = flit;
+                        // Corrupt the flit payload at commit below.
+                        grants[i].1 |= 1 << 31; // mark via high bit
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // Commit grants: pop flits, reserve credits, queue for ST.
+        let st_gap = u64::from(ctx.config.router.pipeline() != PipelineDepth::One);
+        for (p, v_marked, op, ov) in grants {
+            let collide = v_marked & (1 << 31) != 0;
+            let v = v_marked & !(1 << 31);
+            if !self.outputs[op].exists || ov >= vcs {
+                continue;
+            }
+            let Some(mut flit) = self.inputs[p][v].buffer.pop() else {
+                continue;
+            };
+            self.inputs[p][v].progressed = true;
+            self.events.buffer_read += 1;
+            self.events.sa += 1;
+            if collide {
+                // §4.3(c) without AC: two flits collided in the crossbar.
+                let (a, b) = (fi.random_bit(), fi.random_bit());
+                flit.payload.flip_bit(a);
+                if b != a {
+                    flit.payload.flip_bit(b);
+                }
+            }
+            if let Some(dir) = Direction::from_index(p) {
+                if dir != Direction::Local {
+                    self.freed_credits.push((dir, v as u8));
+                }
+            }
+            self.outputs[op].credits[ov] = self.outputs[op].credits[ov].saturating_sub(1);
+            self.outputs[op].st_queue.push_back(StEntry {
+                flit,
+                out_vc: ov as u8,
+                execute_at: ctx.now + st_gap,
+            });
+            if flit.kind.is_tail() {
+                if self.outputs[op].allocated[ov] == Some((p, v)) {
+                    self.outputs[op].allocated[ov] = None;
+                }
+                self.inputs[p][v].state = VcState::Idle;
+            }
+        }
+    }
+
+    /// Crossbar/link traversal: replays, then recovery held flits, then
+    /// granted flits. Returns the link drives for the network to carry.
+    pub fn st_phase(&mut self, ctx: &Ctx<'_>) -> Vec<LinkDrive> {
+        let vcs = self.cfg.vcs_per_port();
+        let mut drives = Vec::new();
+        for port in 0..self.cfg.ports() {
+            let dir = Direction::from_index(port).expect("port");
+            if !self.outputs[port].exists {
+                continue;
+            }
+            if dir != Direction::Local {
+                // Priority 1: NACK-triggered replay.
+                let replay_lines: Vec<bool> = (0..vcs)
+                    .map(|v| self.outputs[port].senders[v].is_replaying())
+                    .collect();
+                if replay_lines.iter().any(|&b| b) {
+                    let v = self.replay_rr[port]
+                        .grant(&replay_lines)
+                        .expect("a replaying VC exists");
+                    if let Some(flit) = self.outputs[port].senders[v].next_replay(ctx.now) {
+                        self.events.retransmission += 1;
+                        self.events.link += 1;
+                        drives.push(LinkDrive {
+                            dir,
+                            flit,
+                            vc: v as u8,
+                            is_replay: true,
+                        });
+                    }
+                    continue;
+                }
+                // Priority 2: deadlock-recovery held flits.
+                let held_lines: Vec<bool> = (0..vcs)
+                    .map(|v| {
+                        self.outputs[port].senders[v]
+                            .buffer()
+                            .front_held()
+                            .is_some()
+                            && self.outputs[port].credits[v] > 0
+                    })
+                    .collect();
+                if held_lines.iter().any(|&b| b) {
+                    let v = self.replay_rr[port].grant(&held_lines).expect("held VC");
+                    if let Some(flit) = self.outputs[port].senders[v]
+                        .buffer_mut()
+                        .send_held(ctx.now)
+                    {
+                        self.outputs[port].credits[v] -= 1;
+                        if flit.kind.is_tail() {
+                            // Release the reservation — unless a recovery
+                            // takeover already handed this VC to a new
+                            // packet that queued behind the departing one
+                            // (its owner is Active on this VC and must
+                            // keep it).
+                            let reassigned =
+                                self.outputs[port].allocated[v].is_some_and(|(ip, iv)| {
+                                    matches!(
+                                        self.inputs[ip][iv].state,
+                                        VcState::Active { out_port, out_vc, .. }
+                                            if out_port == port && out_vc == v
+                                    )
+                                });
+                            if !reassigned {
+                                self.outputs[port].allocated[v] = None;
+                            }
+                        }
+                        self.events.link += 1;
+                        self.events.crossbar += 1;
+                        drives.push(LinkDrive {
+                            dir,
+                            flit,
+                            vc: v as u8,
+                            is_replay: false,
+                        });
+                    }
+                    continue;
+                }
+            }
+            // Priority 3: the switch-allocated flit whose cycle has come.
+            // Under HBH the protective copy needs a free window slot; a
+            // recovery absorption may have filled it after the grant —
+            // stall the entry until a slot expires.
+            let due = self.outputs[port].st_queue.front().is_some_and(|e| {
+                e.execute_at <= ctx.now
+                    && (dir == Direction::Local
+                        || ctx.config.scheme != ErrorScheme::Hbh
+                        || !self.outputs[port].senders[e.out_vc as usize]
+                            .buffer()
+                            .is_full())
+            });
+            if due {
+                let entry = self.outputs[port].st_queue.pop_front().expect("due entry");
+                self.events.crossbar += 1;
+                if dir == Direction::Local {
+                    self.ejected.push(entry.flit);
+                } else {
+                    if ctx.config.scheme == ErrorScheme::Hbh {
+                        self.outputs[port].senders[entry.out_vc as usize]
+                            .buffer_mut()
+                            .record_transmission(entry.flit, ctx.now);
+                        self.events.retrans_shift += 1;
+                    }
+                    self.events.link += 1;
+                    drives.push(LinkDrive {
+                        dir,
+                        flit: entry.flit,
+                        vc: entry.out_vc,
+                        is_replay: false,
+                    });
+                }
+            }
+        }
+        drives
+    }
+
+    /// End-of-cycle blocked tracking and statistics sampling. Returns a
+    /// probe request `(origin, named VC at the downstream node, via
+    /// direction)` when Rule 1 fires.
+    pub fn end_cycle(&mut self, ctx: &Ctx<'_>) -> Option<(Direction, VcRef)> {
+        let vcs = self.cfg.vcs_per_port();
+        let mut probe_request = None;
+        for p in 0..self.cfg.ports() {
+            for v in 0..vcs {
+                let input = &mut self.inputs[p][v];
+                let waiting = !matches!(input.state, VcState::Idle)
+                    && !input.buffer.is_empty()
+                    && !input.progressed;
+                if waiting {
+                    input.blocked_cycles += 1;
+                } else {
+                    input.blocked_cycles = 0;
+                }
+            }
+        }
+        if ctx.config.deadlock.enabled && !self.probe.in_recovery() {
+            // Rotate the scan start so successive suspicions probe
+            // different blocked VCs (the deadlock cycle may not pass
+            // through the first one).
+            let total = self.cfg.ports() * vcs;
+            let start = self.probe_scan_offset;
+            'outer: for k in 0..total {
+                let idx = (start + k) % total;
+                let (p, v) = (idx / vcs, idx % vcs);
+                let blocked = self.inputs[p][v].blocked_cycles;
+                if blocked < self.probe.cthres() || self.inputs[p][v].probe_cooldown_until > ctx.now
+                {
+                    continue;
+                }
+                // The suspected flit's onward dependency: the downstream
+                // VC it streams toward (Active), or the busy output VC a
+                // waiting head needs (VaWait).
+                let edge = match &self.inputs[p][v].state {
+                    VcState::Active {
+                        out_port, out_vc, ..
+                    } => {
+                        let dir = Direction::from_index(*out_port).expect("port");
+                        if dir == Direction::Local || *out_vc >= vcs {
+                            None
+                        } else {
+                            Some((dir, VcRef::new(dir.opposite(), *out_vc as u8)))
+                        }
+                    }
+                    VcState::VaWait { candidates, .. } => self.va_wait_edge(candidates),
+                    VcState::Idle => None,
+                };
+                let Some((dir, named)) = edge else { continue };
+                if self.probe.should_probe(blocked) {
+                    self.errors.probes_sent += 1;
+                    // Cool down: this VC is not re-suspected until another
+                    // Cthres window has passed.
+                    self.inputs[p][v].probe_cooldown_until = ctx.now + self.probe.cthres();
+                    self.probe_scan_offset = (idx + 1) % total;
+                    probe_request = Some((dir, named));
+                    break 'outer;
+                }
+            }
+        }
+        // Leave recovery once the held flits drained AND no channel is
+        // stuck any more. Mid-shuffle waits (a few cycles between drain
+        // epochs) must not end recovery, so the exit threshold matches
+        // the absorb threshold: a VC that still cannot move will climb
+        // back above it and keep the node recovering.
+        if self.probe.in_recovery() {
+            let stuck = self.stuck_threshold(ctx);
+            let drained = self.outputs.iter().all(|o| !o.any_held());
+            let unblocked = self
+                .inputs
+                .iter()
+                .flatten()
+                .all(|i| i.blocked_cycles < stuck || i.buffer.is_empty());
+            // Track whether this recovery round is still making progress.
+            if self.inputs.iter().flatten().any(|i| i.progressed) {
+                self.recovery_stall = 0;
+            } else {
+                self.recovery_stall += 1;
+            }
+            if drained && unblocked {
+                self.probe.exit_recovery();
+                self.recovery_stall = 0;
+            } else if self.recovery_stall >= 2 * ctx.config.deadlock.cthres {
+                // This round drained what it could but the residual knot
+                // needs a fresh detection pass (the dependency graph has
+                // changed): leave recovery so Rule 1 re-arms. Held flits
+                // keep draining opportunistically either way.
+                self.probe.exit_recovery();
+                self.recovery_stall = 0;
+            }
+        } else {
+            self.recovery_stall = 0;
+        }
+        probe_request
+    }
+
+    /// Probe Rule 2 support: whether the named input VC is blocked here,
+    /// and where the probe should travel next.
+    pub fn probe_forward_info(&self, named: VcRef) -> (bool, Option<(Direction, VcRef)>) {
+        let vcs = self.cfg.vcs_per_port();
+        let p = named.port.index();
+        let v = named.vc as usize;
+        if p >= self.inputs.len() || v >= vcs {
+            return (false, None);
+        }
+        let input = &self.inputs[p][v];
+        let blocked = input.blocked_cycles > 0 && !input.buffer.is_empty();
+        let forward = match &input.state {
+            VcState::Active {
+                out_port, out_vc, ..
+            } => {
+                let dir = Direction::from_index(*out_port).expect("port");
+                if dir == Direction::Local || *out_vc >= vcs {
+                    None
+                } else {
+                    Some((dir, VcRef::new(dir.opposite(), *out_vc as u8)))
+                }
+            }
+            VcState::VaWait { candidates, .. } => self.va_wait_edge(candidates),
+            VcState::Idle => None,
+        };
+        (blocked, forward)
+    }
+
+    /// Full human-readable state dump (diagnostics and tests).
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let vcs = self.cfg.vcs_per_port();
+        let mut s = format!("router {} recovery={}\n", self.id, self.probe.in_recovery());
+        for p in 0..self.cfg.ports() {
+            let dir = Direction::from_index(p).expect("port");
+            for v in 0..vcs {
+                let i = &self.inputs[p][v];
+                if i.buffer.is_empty() && matches!(i.state, VcState::Idle) {
+                    continue;
+                }
+                let _ = writeln!(
+                    s,
+                    "  in {dir}_{v}: buf {}/{} blocked {} state {:?}",
+                    i.buffer.len(),
+                    i.buffer.capacity(),
+                    i.blocked_cycles,
+                    i.state
+                );
+            }
+        }
+        for p in 0..self.cfg.ports() {
+            let dir = Direction::from_index(p).expect("port");
+            let o = &self.outputs[p];
+            if !o.exists {
+                continue;
+            }
+            for v in 0..vcs {
+                let occ = o.senders[v].buffer().occupancy();
+                let held = o.senders[v].buffer().held_count();
+                if occ == 0
+                    && o.allocated[v].is_none()
+                    && o.credits[v] == self.cfg.buffer_depth() as u32
+                {
+                    continue;
+                }
+                let _ = writeln!(
+                    s,
+                    "  out {dir}_{v}: credits {} alloc {:?} retx occ {occ} held {held} stq {}",
+                    o.credits[v],
+                    o.allocated[v],
+                    o.st_queue.len()
+                );
+            }
+        }
+        s
+    }
+
+    /// Diagnostic view of every input VC: its reference, blocked-cycle
+    /// count and onward dependency edge (as the probe chase sees it).
+    pub fn blocked_summary(&self) -> Vec<(VcRef, u64, bool, Option<(Direction, VcRef)>)> {
+        let vcs = self.cfg.vcs_per_port();
+        let mut out = Vec::new();
+        for p in 0..self.cfg.ports() {
+            for v in 0..vcs {
+                let named = VcRef::new(Direction::from_index(p).expect("port"), v as u8);
+                let (blocked, fwd) = self.probe_forward_info(named);
+                out.push((named, self.inputs[p][v].blocked_cycles, blocked, fwd));
+            }
+        }
+        out
+    }
+
+    /// The onward dependency edge of a head waiting for VC allocation: a
+    /// busy output VC of a wanted port. The head is waiting for that
+    /// channel to drain into the downstream input buffer — which holds
+    /// whether the reservation's owner is still streaming (Active), has
+    /// been fully absorbed by deadlock recovery (stale reservation with
+    /// held flits), or anything in between.
+    fn va_wait_edge(&self, candidates: &[Direction]) -> Option<(Direction, VcRef)> {
+        let vcs = self.cfg.vcs_per_port();
+        for cand in candidates {
+            if *cand == Direction::Local {
+                continue;
+            }
+            let op = cand.index();
+            if !self.outputs[op].exists {
+                continue;
+            }
+            for ov in 0..vcs {
+                let busy = self.outputs[op].allocated[ov].is_some()
+                    || self.outputs[op].senders[ov].buffer().occupancy() > 0;
+                if busy {
+                    return Some((*cand, VcRef::new(cand.opposite(), ov as u8)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Occupancy sampling for Figures 8 and 9. Returns
+    /// `(tx_occupied, tx_capacity, retx_occupied, retx_capacity)` over the
+    /// inter-router (non-local) channels.
+    pub fn sample_occupancy(&self) -> (u64, u64, u64, u64) {
+        let vcs = self.cfg.vcs_per_port();
+        let mut tx_occ = 0;
+        let mut tx_cap = 0;
+        let mut rx_occ = 0;
+        let mut rx_cap = 0;
+        for p in 0..self.cfg.ports() {
+            let dir = Direction::from_index(p).expect("port");
+            if dir == Direction::Local {
+                continue;
+            }
+            for v in 0..vcs {
+                tx_occ += self.inputs[p][v].buffer.len() as u64;
+                tx_cap += self.inputs[p][v].buffer.capacity() as u64;
+            }
+            if self.outputs[p].exists {
+                for v in 0..vcs {
+                    rx_occ += self.outputs[p].senders[v].buffer().occupancy() as u64;
+                    rx_cap += self.outputs[p].senders[v].buffer().depth() as u64;
+                }
+            }
+        }
+        (tx_occ, tx_cap, rx_occ, rx_cap)
+    }
+
+    /// Whether any flit is resident in this router (drain checks).
+    pub fn is_drained(&self) -> bool {
+        self.inputs.iter().flatten().all(|i| i.buffer.is_empty())
+            && self.outputs.iter().all(|o| {
+                o.st_queue.is_empty() && o.senders.iter().all(|s| s.buffer().held_count() == 0)
+            })
+    }
+
+    /// Free slots in the local-port VC `v`'s buffer (injection gate).
+    pub fn local_free_slots(&self, v: usize) -> usize {
+        self.inputs[Direction::Local.index()][v].buffer.free_slots()
+    }
+
+    /// Injects a flit from the local PE into local VC `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — the network must check
+    /// [`Router::local_free_slots`] first.
+    pub fn inject_local(&mut self, v: usize, flit: Flit) {
+        let pushed = self.inputs[Direction::Local.index()][v].buffer.push(flit);
+        assert!(pushed, "local injection into a full VC buffer");
+        self.events.buffer_write += 1;
+    }
+
+    /// The state of local VC `v` for the injection policy: `true` when a
+    /// new packet may start on it (idle and empty).
+    pub fn local_vc_idle(&self, v: usize) -> bool {
+        let input = &self.inputs[Direction::Local.index()][v];
+        input.state == VcState::Idle && input.buffer.is_empty()
+    }
+}

@@ -1,0 +1,304 @@
+//! The simulation driver: warm-up, measurement, stop conditions and the
+//! run report.
+
+use ftnoc_power::EnergyModel;
+
+use crate::config::SimConfig;
+use crate::network::Network;
+use crate::stats::{ErrorStats, EventCounts};
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Cycles simulated in total (warm-up + measurement).
+    pub cycles: u64,
+    /// Packets ejected during the measurement window.
+    pub packets_ejected: u64,
+    /// Packets injected during the measurement window.
+    pub packets_injected: u64,
+    /// Mean packet latency (cycles), measurement window.
+    pub avg_latency: f64,
+    /// Maximum packet latency observed in the window.
+    pub max_latency: u64,
+    /// (p50, p95, p99) latency bucket bounds for the window.
+    pub latency_percentiles: (u64, u64, u64),
+    /// Throughput in flits/node/cycle.
+    pub throughput: f64,
+    /// Mean energy per packet in nanojoules (Figures 7 / 13b).
+    pub energy_per_packet_nj: f64,
+    /// Mean transmission-buffer utilization (Figure 8).
+    pub tx_utilization: f64,
+    /// Mean retransmission-buffer utilization (Figure 9).
+    pub retx_utilization: f64,
+    /// Event census of the window.
+    pub events: EventCounts,
+    /// Error-handling census of the window.
+    pub errors: ErrorStats,
+    /// Injected-fault census (whole run).
+    pub faults_injected: ftnoc_fault::FaultCounts,
+    /// Peak per-node E2E/FEC source-buffer occupancy in flits (0 for
+    /// schemes without end-to-end control). HBH needs exactly
+    /// `retrans_depth` flits per VC instead — the §3 buffer-cost
+    /// comparison.
+    pub e2e_peak_source_buffer_flits: u64,
+    /// Whether the run ended by reaching the packet target (vs the
+    /// cycle cap — a capped saturated/wedged run reports `false`).
+    pub completed: bool,
+}
+
+/// Drives a [`Network`] through warm-up and measurement.
+pub struct Simulator {
+    config: SimConfig,
+    network: Network,
+}
+
+impl Simulator {
+    /// Builds a simulator for a validated configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let network = Network::new(config.clone());
+        Simulator { config, network }
+    }
+
+    /// Read access to the network (tests).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the network (scenario scripting in tests).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Runs to completion: warm-up until `warmup_packets` ejections, then
+    /// measurement until `measure_packets` more (or the cycle cap).
+    pub fn run(mut self) -> SimReport {
+        let warmup_target = self.config.warmup_packets;
+        let mut total_target = self.config.warmup_packets + self.config.measure_packets;
+        let mut measuring = warmup_target == 0;
+        if measuring {
+            self.network.start_measurement();
+        }
+        while self.network.now() < self.config.max_cycles {
+            self.network.step();
+            if !measuring && self.network.packets_ejected() >= warmup_target {
+                self.network.start_measurement();
+                // Anchor the window at the actual crossing point so the
+                // measured packet count is exact.
+                total_target = self.network.packets_ejected() + self.config.measure_packets;
+                measuring = true;
+            }
+            if measuring && self.network.packets_ejected() >= total_target {
+                break;
+            }
+        }
+        let completed = self.network.packets_ejected() >= total_target;
+        self.report(completed)
+    }
+
+    /// Runs exactly `cycles` cycles with measurement from cycle 0
+    /// (used by utilization sweeps and tests).
+    pub fn run_cycles(mut self, cycles: u64) -> SimReport {
+        self.network.start_measurement();
+        for _ in 0..cycles {
+            self.network.step();
+        }
+        self.report(true)
+    }
+
+    fn report(self, completed: bool) -> SimReport {
+        let stats = self.network.stats();
+        let model = EnergyModel::new();
+        let nodes = self.config.topology.node_count();
+        SimReport {
+            cycles: self.network.now(),
+            packets_ejected: stats.packets_ejected,
+            packets_injected: stats.packets_injected,
+            avg_latency: stats.avg_latency(),
+            max_latency: stats.latency_max,
+            latency_percentiles: stats.latency_hist.percentiles(),
+            throughput: stats.throughput(nodes),
+            energy_per_packet_nj: stats.energy_per_packet(&model).raw(),
+            tx_utilization: stats.tx_utilization(),
+            retx_utilization: stats.retx_utilization(),
+            events: stats.events,
+            errors: stats.errors,
+            faults_injected: self.network.fault_counts(),
+            e2e_peak_source_buffer_flits: self.network.e2e_peak_source_flits(),
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ErrorScheme, RoutingAlgorithm};
+    use ftnoc_fault::FaultRates;
+    use ftnoc_traffic::TrafficPattern;
+
+    fn small_config() -> crate::config::SimConfigBuilder {
+        let mut b = SimConfig::builder();
+        b.injection_rate(0.1)
+            .warmup_packets(200)
+            .measure_packets(800)
+            .max_cycles(200_000);
+        b
+    }
+
+    #[test]
+    fn fault_free_run_delivers_everything() {
+        let report = Simulator::new(small_config().build().unwrap()).run();
+        assert!(report.completed, "run hit the cycle cap");
+        assert!(report.packets_ejected >= 800);
+        // Zero-load-ish latency: a few pipeline hops, far below 100.
+        assert!(
+            report.avg_latency > 5.0 && report.avg_latency < 60.0,
+            "latency {}",
+            report.avg_latency
+        );
+        assert_eq!(report.errors.flits_dropped, 0);
+        assert_eq!(report.errors.misdelivered, 0);
+        assert_eq!(report.faults_injected.total(), 0);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let low = Simulator::new(small_config().injection_rate(0.05).build().unwrap()).run();
+        let high = Simulator::new(small_config().injection_rate(0.4).build().unwrap()).run();
+        assert!(
+            high.avg_latency > low.avg_latency,
+            "low {} high {}",
+            low.avg_latency,
+            high.avg_latency
+        );
+    }
+
+    #[test]
+    fn hbh_survives_link_errors() {
+        let report = Simulator::new(
+            small_config()
+                .faults(FaultRates::link_only(0.01))
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(report.completed);
+        assert!(report.errors.link_total_corrected() > 0);
+        assert_eq!(report.errors.misdelivered, 0, "HBH must not misroute");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Simulator::new(small_config().build().unwrap()).run();
+        let b = Simulator::new(small_config().build().unwrap()).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.packets_ejected, b.packets_ejected);
+        assert!((a.avg_latency - b.avg_latency).abs() < 1e-12);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn adaptive_routing_completes() {
+        let report = Simulator::new(
+            small_config()
+                .routing(RoutingAlgorithm::WestFirstAdaptive)
+                .pattern(TrafficPattern::Tornado)
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn e2e_scheme_completes_fault_free() {
+        let report = Simulator::new(small_config().scheme(ErrorScheme::E2e).build().unwrap()).run();
+        assert!(report.completed);
+        assert_eq!(report.errors.e2e_retransmissions, 0);
+    }
+
+    #[test]
+    fn deadlock_recovery_drains_a_wedged_network() {
+        // Fully adaptive routing with a single VC deadlocks readily under
+        // bursty traffic. A finite workload then cannot drain without the
+        // §3.2 machinery — and fully drains with it, provided the
+        // retransmission buffers satisfy the Eq. (1) worst case
+        // (T + R > 2M for unaligned packets: R ≥ 6 here).
+        use crate::config::DeadlockConfig;
+        use ftnoc_traffic::InjectionProcess;
+        use ftnoc_types::config::RouterConfig;
+        use ftnoc_types::geom::Topology;
+
+        let build = |recovery: bool| {
+            let mut b = SimConfig::builder();
+            b.topology(Topology::mesh(4, 4))
+                .router(
+                    RouterConfig::builder()
+                        .vcs_per_port(1)
+                        .buffer_depth(4)
+                        .retrans_depth(6)
+                        .build()
+                        .unwrap(),
+                )
+                .routing(RoutingAlgorithm::FullyAdaptive)
+                .injection(InjectionProcess::Bernoulli)
+                .injection_rate(0.25)
+                .seed(2)
+                .deadlock(DeadlockConfig {
+                    enabled: recovery,
+                    cthres: 32,
+                })
+                .warmup_packets(0)
+                .measure_packets(u64::MAX)
+                .max_cycles(60_000)
+                .stop_injection_after(5_000);
+            b.build().unwrap()
+        };
+
+        let mut wedged = Simulator::new(build(false));
+        for _ in 0..60_000 {
+            wedged.network_mut().step();
+        }
+        let (inj_off, ej_off) = (
+            wedged.network().packets_injected(),
+            wedged.network().packets_ejected(),
+        );
+        assert!(
+            ej_off < inj_off,
+            "expected a deadlock without recovery ({ej_off}/{inj_off})"
+        );
+
+        let mut recovered = Simulator::new(build(true));
+        for _ in 0..60_000 {
+            recovered.network_mut().step();
+        }
+        let (inj_on, ej_on) = (
+            recovered.network().packets_injected(),
+            recovered.network().packets_ejected(),
+        );
+        assert_eq!(
+            ej_on, inj_on,
+            "recovery must drain every packet ({ej_on}/{inj_on})"
+        );
+        let confirmed: u64 = build(true)
+            .topology
+            .nodes()
+            .map(|id| recovered.network().router(id).errors.deadlocks_confirmed)
+            .sum();
+        assert!(confirmed > 0, "the probe protocol confirmed no deadlock");
+    }
+
+    #[test]
+    fn fec_scheme_corrects_single_bit_errors_inline() {
+        let report = Simulator::new(
+            small_config()
+                .scheme(ErrorScheme::Fec)
+                .faults(FaultRates::link_only(0.005))
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(report.completed);
+        assert!(report.errors.link_corrected_inline > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Network-level behavioural tests: pipeline timing, topologies,
+//! scheme contrasts and buffer-cost claims.
+
+use ftnoc_fault::FaultRates;
+use ftnoc_sim::{ErrorScheme, RoutingAlgorithm, SimConfig, Simulator};
+use ftnoc_traffic::{InjectionProcess, TrafficPattern};
+use ftnoc_types::config::{PipelineDepth, RouterConfig};
+use ftnoc_types::geom::Topology;
+
+fn quick() -> ftnoc_sim::SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.injection_rate(0.05)
+        .warmup_packets(200)
+        .measure_packets(1_000)
+        .max_cycles(300_000);
+    b
+}
+
+/// Zero-load latency scales with pipeline depth: every extra stage costs
+/// about one cycle per hop (§2.1).
+#[test]
+fn zero_load_latency_tracks_pipeline_depth() {
+    let mut latencies = Vec::new();
+    for p in PipelineDepth::ALL {
+        let report = Simulator::new(
+            quick()
+                .router(RouterConfig::builder().pipeline(p).build().unwrap())
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(report.completed, "{p:?}");
+        latencies.push(report.avg_latency);
+    }
+    // Strictly increasing with depth…
+    for w in latencies.windows(2) {
+        assert!(w[0] < w[1], "latencies {latencies:?}");
+    }
+    // …by roughly one cycle per average hop (~5.3 hops + ejection on an
+    // 8×8 mesh under uniform traffic): between 3 and 9 cycles per stage.
+    let per_stage = (latencies[3] - latencies[0]) / 3.0;
+    assert!(
+        (3.0..9.0).contains(&per_stage),
+        "per-stage cost {per_stage} (latencies {latencies:?})"
+    );
+}
+
+/// A torus topology simulates and delivers (wrap-around links work).
+#[test]
+fn torus_topology_completes() {
+    let report = Simulator::new(
+        quick()
+            .topology(Topology::torus(4, 4))
+            .pattern(TrafficPattern::Tornado)
+            .build()
+            .unwrap(),
+    )
+    .run();
+    assert!(report.completed);
+    assert_eq!(report.errors.misdelivered, 0);
+}
+
+/// Tornado on a torus exploits wrap links: its average latency must beat
+/// tornado on an equal-size mesh (where wrap traffic crosses the middle).
+#[test]
+fn torus_beats_mesh_for_tornado_traffic() {
+    let mesh = Simulator::new(
+        quick()
+            .topology(Topology::mesh(8, 8))
+            .pattern(TrafficPattern::Tornado)
+            .build()
+            .unwrap(),
+    )
+    .run();
+    let torus = Simulator::new(
+        quick()
+            .topology(Topology::torus(8, 8))
+            .pattern(TrafficPattern::Tornado)
+            .build()
+            .unwrap(),
+    )
+    .run();
+    assert!(mesh.completed && torus.completed);
+    assert!(
+        torus.avg_latency < mesh.avg_latency,
+        "torus {} !< mesh {}",
+        torus.avg_latency,
+        mesh.avg_latency
+    );
+}
+
+/// The unprotected baseline loses or misdelivers traffic under link
+/// errors — the contrast every scheme in §3 is measured against.
+#[test]
+fn unprotected_network_corrupts_traffic() {
+    let mut b = quick();
+    b.scheme(ErrorScheme::Unprotected)
+        .faults(FaultRates::link_only(2e-2))
+        .injection_rate(0.1)
+        .measure_packets(2_000);
+    let report = Simulator::new(b.build().unwrap()).run();
+    let damage = report.errors.misdelivered > 0 || report.errors.stranded_flits > 0;
+    assert!(
+        damage,
+        "2% link errors must visibly corrupt an unprotected run"
+    );
+}
+
+/// E2E needs source-side buffering proportional to the in-flight window,
+/// while HBH needs exactly 3 slots per VC (§3: "E2E schemes also require
+/// larger retransmission buffers"). We check the structural claim: E2E
+/// generates control traffic that HBH does not.
+#[test]
+fn e2e_pays_control_traffic_overhead() {
+    let hbh = Simulator::new(quick().scheme(ErrorScheme::Hbh).build().unwrap()).run();
+    let e2e = Simulator::new(quick().scheme(ErrorScheme::E2e).build().unwrap()).run();
+    assert!(hbh.completed && e2e.completed);
+    // Same data delivered, but E2E moves more flits (ACKs) per packet.
+    let hbh_flits_per_packet = hbh.events.link as f64 / hbh.packets_ejected as f64;
+    let e2e_flits_per_packet = e2e.events.link as f64 / e2e.packets_ejected as f64;
+    assert!(
+        e2e_flits_per_packet > hbh_flits_per_packet * 1.1,
+        "HBH {hbh_flits_per_packet:.2} vs E2E {e2e_flits_per_packet:.2} link events/packet"
+    );
+}
+
+/// The §3 buffer-size claim, measured: E2E must provision source-side
+/// retransmission buffers for a worst-case round trip, while HBH needs a
+/// fixed 3 flits per VC. Under errors the E2E peak grows well past one
+/// packet per node.
+#[test]
+fn e2e_source_buffers_exceed_hbh_fixed_cost() {
+    let hbh = Simulator::new(
+        quick()
+            .scheme(ErrorScheme::Hbh)
+            .faults(FaultRates::link_only(1e-2))
+            .build()
+            .unwrap(),
+    )
+    .run();
+    let e2e = Simulator::new(
+        quick()
+            .scheme(ErrorScheme::E2e)
+            .faults(FaultRates::link_only(1e-2))
+            .build()
+            .unwrap(),
+    )
+    .run();
+    assert_eq!(
+        hbh.e2e_peak_source_buffer_flits, 0,
+        "HBH holds no source copies"
+    );
+    // HBH's whole per-VC cost is the 3-deep barrel shifter; E2E's peak
+    // source buffering must exceed several packets.
+    assert!(
+        e2e.e2e_peak_source_buffer_flits > 12,
+        "E2E peak source buffering only {} flits",
+        e2e.e2e_peak_source_buffer_flits
+    );
+}
+
+/// Bernoulli injection reaches the same mean load as regular injection.
+#[test]
+fn bernoulli_and_regular_injection_agree_on_throughput() {
+    let regular = Simulator::new(
+        quick()
+            .injection(InjectionProcess::Regular)
+            .injection_rate(0.2)
+            .build()
+            .unwrap(),
+    )
+    .run();
+    let bernoulli = Simulator::new(
+        quick()
+            .injection(InjectionProcess::Bernoulli)
+            .injection_rate(0.2)
+            .build()
+            .unwrap(),
+    )
+    .run();
+    assert!(regular.completed && bernoulli.completed);
+    let ratio = regular.throughput / bernoulli.throughput;
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "throughputs diverge: {} vs {}",
+        regular.throughput,
+        bernoulli.throughput
+    );
+}
+
+/// Odd-even turn-model routing delivers everything (extension algorithm).
+#[test]
+fn odd_even_routing_completes() {
+    let report = Simulator::new(
+        quick()
+            .routing(RoutingAlgorithm::OddEven)
+            .pattern(TrafficPattern::Transpose)
+            .build()
+            .unwrap(),
+    )
+    .run();
+    assert!(report.completed);
+    assert_eq!(report.errors.misdelivered, 0);
+}
+
+/// Saturation throughput under uniform traffic: XY must sustain at least
+/// 0.3 flits/node/cycle on the paper platform (sanity anchor for the
+/// Figure 8 curves).
+#[test]
+fn xy_saturation_throughput_is_reasonable() {
+    let mut b = SimConfig::builder();
+    b.injection_rate(0.9)
+        .warmup_packets(500)
+        .measure_packets(3_000)
+        .max_cycles(200_000);
+    let report = Simulator::new(b.build().unwrap()).run();
+    assert!(
+        report.throughput > 0.3,
+        "XY saturation throughput {}",
+        report.throughput
+    );
+}
+
+/// Mixed fault environment at once: link + RT + SA + crossbar +
+/// handshake upsets together, everything survives.
+#[test]
+fn combined_fault_environment_survives() {
+    let faults = FaultRates {
+        link: 1e-3,
+        rt: 1e-3,
+        va: 1e-3,
+        sa: 1e-3,
+        crossbar: 1e-4,
+        handshake: 1e-4,
+        ..FaultRates::none()
+    };
+    let mut b = quick();
+    b.faults(faults).measure_packets(2_000);
+    let report = Simulator::new(b.build().unwrap()).run();
+    assert!(report.completed);
+    assert_eq!(report.errors.misdelivered, 0);
+    assert_eq!(report.errors.stranded_flits, 0);
+    assert!(report.faults_injected.total() > 0);
+}

@@ -1,0 +1,241 @@
+//! Single-router micro-tests: drive one router's phases by hand and pin
+//! pipeline timing, credit flow and wormhole exclusivity.
+
+use ftnoc_ecc::protect_flit;
+use ftnoc_fault::{FaultInjector, FaultRates};
+use ftnoc_sim::router::{Ctx, LinkDrive, Router};
+use ftnoc_sim::SimConfig;
+use ftnoc_types::flit::FlitKind;
+use ftnoc_types::geom::{Direction, NodeId, Topology};
+use ftnoc_types::packet::PacketId;
+use ftnoc_types::{Flit, Header};
+
+/// A single-router bench: node 9 of the 8×8 mesh (all four links exist).
+struct Harness {
+    router: Router,
+    config: SimConfig,
+    fi: FaultInjector,
+    now: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let config = SimConfig::builder().build().expect("valid config");
+        Harness {
+            router: Router::new(NodeId::new(9), &config, [true; 4]),
+            fi: FaultInjector::new(FaultRates::none(), 1),
+            config,
+            now: 0,
+        }
+    }
+
+    fn step(&mut self) -> Vec<LinkDrive> {
+        let ctx = Ctx {
+            config: &self.config,
+            topo: Topology::mesh(8, 8),
+            now: self.now,
+        };
+        self.router.begin_cycle(self.now);
+        self.router.control_phase(&ctx, &mut self.fi);
+        self.router.va_phase(&ctx, &mut self.fi, [false; 4]);
+        self.router.sa_phase(&ctx, &mut self.fi);
+        let drives = self.router.st_phase(&ctx);
+        let _ = self.router.end_cycle(&ctx);
+        self.now += 1;
+        drives
+    }
+}
+
+fn flit(packet: u64, seq: u8, len: u8, dest: u16) -> Flit {
+    let kind = if len == 1 {
+        FlitKind::Single
+    } else if seq == 0 {
+        FlitKind::Head
+    } else if seq == len - 1 {
+        FlitKind::Tail
+    } else {
+        FlitKind::Body
+    };
+    let mut f = Flit::new(
+        PacketId::new(packet),
+        seq,
+        kind,
+        Header::new(NodeId::new(9), NodeId::new(dest)),
+        seq as u16,
+        0,
+    );
+    protect_flit(&mut f);
+    f
+}
+
+/// 3-stage pipeline timing: a head injected at cycle 0 is VC-allocated
+/// at 1, switch-allocated at 2 and drives the link at cycle 3.
+#[test]
+fn head_flit_drives_link_at_cycle_three() {
+    let mut h = Harness::new();
+    // Node 9 = (1,1); dest node 14 = (6,1): XY says East.
+    h.router.inject_local(0, flit(1, 0, 4, 14));
+    for now in 0..3 {
+        let drives = h.step();
+        assert!(drives.is_empty(), "premature drive at cycle {now}");
+    }
+    let drives = h.step(); // cycle 3
+    assert_eq!(drives.len(), 1);
+    assert_eq!(drives[0].dir, Direction::East);
+    assert_eq!(drives[0].flit.seq, 0);
+    assert!(!drives[0].is_replay);
+}
+
+/// Body flits stream one per cycle behind the head.
+#[test]
+fn packet_streams_one_flit_per_cycle() {
+    let mut h = Harness::new();
+    for seq in 0..4 {
+        h.router.inject_local(0, flit(1, seq, 4, 14));
+    }
+    let mut sent = Vec::new();
+    for _ in 0..10 {
+        for d in h.step() {
+            sent.push((d.flit.seq, h.now - 1));
+        }
+    }
+    assert_eq!(
+        sent,
+        vec![(0, 3), (1, 4), (2, 5), (3, 6)],
+        "flits must stream back to back after the 3-cycle ramp"
+    );
+}
+
+/// Credit exhaustion stalls the stream: the downstream buffer depth (4)
+/// bounds in-flight flits until credits return.
+#[test]
+fn credit_exhaustion_stalls_at_buffer_depth() {
+    let mut h = Harness::new();
+    let mut queued = 0u8;
+    let mut sent = 0;
+    let mut out_vc = None;
+    for _ in 0..16 {
+        // Feed the 6-flit packet in as local buffer space allows.
+        while queued < 6 && h.router.local_free_slots(0) > 0 {
+            h.router.inject_local(0, flit(1, queued, 6, 14));
+            queued += 1;
+        }
+        for d in h.step() {
+            out_vc = Some(d.vc);
+            sent += 1;
+        }
+    }
+    assert_eq!(sent, 4, "exactly buffer-depth flits may be in flight");
+    // Return two credits on the wire VC: two more flits flow.
+    let vc = out_vc.expect("a flit was driven");
+    h.router.handle_credit(Direction::East, vc);
+    h.router.handle_credit(Direction::East, vc);
+    let mut more = 0;
+    for _ in 0..8 {
+        while queued < 6 && h.router.local_free_slots(0) > 0 {
+            h.router.inject_local(0, flit(1, queued, 6, 14));
+            queued += 1;
+        }
+        more += h.step().len();
+    }
+    assert_eq!(more, 2);
+}
+
+/// Two packets contending for one output port interleave across VCs on
+/// the link but never share a VC mid-wormhole.
+#[test]
+fn wormholes_never_share_a_vc() {
+    let mut h = Harness::new();
+    // Both packets go East (dest 14), injected on different local VCs.
+    for seq in 0..4 {
+        h.router.inject_local(0, flit(1, seq, 4, 14));
+        h.router.inject_local(1, flit(2, seq, 4, 14));
+    }
+    let mut per_vc: std::collections::HashMap<u8, Vec<u64>> = std::collections::HashMap::new();
+    for _ in 0..30 {
+        for d in h.step() {
+            per_vc.entry(d.vc).or_default().push(d.flit.packet.raw());
+        }
+    }
+    // Each output VC carried exactly one packet id (possibly repeated).
+    for (vc, packets) in &per_vc {
+        let first = packets[0];
+        assert!(
+            packets.iter().all(|&p| p == first),
+            "VC {vc} interleaved packets {packets:?}"
+        );
+    }
+    // And both packets got through in full.
+    let total: usize = per_vc.values().map(|v| v.len()).sum();
+    assert_eq!(total, 8);
+}
+
+/// After a tail passes, the output VC is released and a new packet can
+/// claim it.
+#[test]
+fn tail_releases_output_vc() {
+    let mut h = Harness::new();
+    for seq in 0..4 {
+        h.router.inject_local(0, flit(1, seq, 4, 14));
+    }
+    for _ in 0..10 {
+        h.step();
+    }
+    // Second packet on the same local VC reuses the path.
+    for seq in 0..4 {
+        h.router.inject_local(0, flit(2, seq, 4, 14));
+    }
+    // Return credits on every VC so it can flow wherever allocated.
+    for vc in 0..3 {
+        for _ in 0..4 {
+            h.router.handle_credit(Direction::East, vc);
+        }
+    }
+    let mut sent = 0;
+    for _ in 0..12 {
+        sent += h.step().len();
+    }
+    assert_eq!(sent, 4, "second packet must flow after the first released");
+}
+
+/// A NACK triggers replay with priority over new traffic, and replayed
+/// drives are marked as such.
+#[test]
+fn nack_replay_preempts_new_traffic() {
+    let mut h = Harness::new();
+    for seq in 0..4 {
+        h.router.inject_local(0, flit(1, seq, 4, 14));
+    }
+    // Let the head and one body go out (cycles 3 and 4).
+    let mut out_vc = None;
+    for _ in 0..5 {
+        for d in h.step() {
+            out_vc = Some(d.vc);
+        }
+    }
+    // NACK for the stream's VC arrives before cycle 5's expiry.
+    h.router
+        .handle_nack(Direction::East, out_vc.expect("flits were driven"));
+    let drives = h.step();
+    assert_eq!(drives.len(), 1);
+    assert!(drives[0].is_replay, "replay must win the link");
+    assert_eq!(drives[0].flit.seq, 0, "oldest window flit first");
+    assert_eq!(drives[0].flit.retransmissions, 1);
+}
+
+/// The ejection port delivers to the PE queue instead of a link.
+#[test]
+fn local_delivery_ejects() {
+    let mut h = Harness::new();
+    // Packet destined to this very node.
+    for seq in 0..4 {
+        h.router.inject_local(0, flit(1, seq, 4, 9));
+    }
+    let mut ejected = 0;
+    for _ in 0..12 {
+        let drives = h.step();
+        assert!(drives.is_empty(), "nothing must leave on a link");
+        ejected += h.router.ejected.len();
+    }
+    assert_eq!(ejected, 4);
+}

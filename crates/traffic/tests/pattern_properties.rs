@@ -1,0 +1,86 @@
+//! Property tests on traffic patterns: validity over arbitrary grids
+//! and statistical behaviour of the injectors.
+
+use ftnoc_traffic::{InjectionProcess, Injector, TrafficPattern};
+use ftnoc_types::geom::{NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_patterns(node_count: usize) -> Vec<TrafficPattern> {
+    vec![
+        TrafficPattern::Uniform,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Tornado,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitReverse,
+        TrafficPattern::Shuffle,
+        TrafficPattern::Neighbor,
+        TrafficPattern::Hotspot {
+            hotspot: NodeId::new((node_count / 2) as u16),
+            fraction: 0.3,
+        },
+    ]
+}
+
+proptest! {
+    /// Every pattern returns an in-range, non-self destination on every
+    /// grid from 1x2 up to 16x16.
+    #[test]
+    fn destinations_valid_on_any_grid(
+        w in 1u8..=16,
+        h in 1u8..=16,
+        seed: u64,
+    ) {
+        prop_assume!(w as usize * h as usize >= 2);
+        let topo = Topology::mesh(w, h);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for pattern in all_patterns(topo.node_count()) {
+            for src in topo.nodes() {
+                let d = pattern.destination(src, topo, &mut rng);
+                prop_assert!(d.index() < topo.node_count(), "{pattern:?}");
+                prop_assert_ne!(d, src, "{:?} self-addressed", pattern);
+            }
+        }
+    }
+
+    /// Deterministic patterns give the same destination on every call.
+    #[test]
+    fn deterministic_patterns_are_stable(seed: u64, src_raw in 0u16..64) {
+        let topo = Topology::mesh(8, 8);
+        let src = NodeId::new(src_raw);
+        for pattern in [
+            TrafficPattern::BitComplement,
+            TrafficPattern::Tornado,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitReverse,
+            TrafficPattern::Shuffle,
+            TrafficPattern::Neighbor,
+        ] {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed.wrapping_add(1));
+            prop_assert_eq!(
+                pattern.destination(src, topo, &mut r1),
+                pattern.destination(src, topo, &mut r2),
+                "{:?}", pattern
+            );
+        }
+    }
+
+    /// The regular injector emits within one packet of the exact mean
+    /// over any window, at any rate.
+    #[test]
+    fn regular_injector_tracks_exact_rate(
+        rate in 0.01f64..=1.0,
+        cycles in 100u64..20_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut inj = Injector::new(rate, 4, InjectionProcess::Regular).unwrap();
+        let total: u32 = (0..cycles).map(|_| inj.packets_this_cycle(&mut rng)).sum();
+        let expect = rate / 4.0 * cycles as f64;
+        prop_assert!(
+            (total as f64 - expect).abs() <= 1.0,
+            "rate {rate}: got {total}, expected {expect}"
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Router micro-architecture configuration.
+//!
+//! [`RouterConfig`] captures the geometry knobs of the paper's generic
+//! virtual-channel wormhole router (Figure 1): physical channels, virtual
+//! channels per channel, buffer depths, pipeline depth and packet length.
+//! The defaults reproduce §2.2 — 5 PCs, 3 VCs per PC, 4-flit packets,
+//! 3-stage pipeline, 3-deep retransmission buffers.
+
+use crate::error::ConfigError;
+
+/// Number of physical channels of a 2-D mesh router (N, E, S, W, PE).
+pub const MESH_PORTS: usize = 5;
+
+/// Minimum retransmission-buffer depth: link traversal (1) + error check
+/// (1) + NACK propagation (1), per §3.1.
+pub const MIN_RETRANS_DEPTH: usize = 3;
+
+/// Router pipeline organisations analysed in §4 of the paper.
+///
+/// The number of stages determines both baseline per-hop latency and the
+/// recovery latency of the logic-error counter-measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum PipelineDepth {
+    /// Fully parallel single-stage router (Mullins et al.).
+    One = 1,
+    /// Two stages via aggressive speculation.
+    Two = 2,
+    /// Three stages: look-ahead routing folds RT into the VA stage
+    /// (the paper's evaluation platform, §2.2).
+    #[default]
+    Three = 3,
+    /// Canonical four stages: RT → VA → SA → crossbar (Figure 2).
+    Four = 4,
+}
+
+impl PipelineDepth {
+    /// Number of pipeline stages.
+    pub const fn stages(self) -> u32 {
+        self as u32
+    }
+
+    /// Per-hop latency in cycles for a header flit under zero contention
+    /// (pipeline stages; the link adds one more cycle).
+    pub const fn header_latency(self) -> u32 {
+        self.stages()
+    }
+
+    /// Whether routing for the *next* hop is computed at the current hop
+    /// (look-ahead routing, used by 1-3 stage organisations).
+    pub const fn uses_lookahead_routing(self) -> bool {
+        !matches!(self, PipelineDepth::Four)
+    }
+
+    /// All four organisations.
+    pub const ALL: [PipelineDepth; 4] = [
+        PipelineDepth::One,
+        PipelineDepth::Two,
+        PipelineDepth::Three,
+        PipelineDepth::Four,
+    ];
+}
+
+/// Static configuration of one router (and, by replication, the network).
+///
+/// Construct via [`RouterConfig::builder`]; [`RouterConfig::default`]
+/// reproduces the paper's platform.
+///
+/// # Examples
+///
+/// ```
+/// use ftnoc_types::config::{PipelineDepth, RouterConfig};
+///
+/// let cfg = RouterConfig::builder()
+///     .vcs_per_port(4)
+///     .buffer_depth(8)
+///     .pipeline(PipelineDepth::Two)
+///     .build()?;
+/// assert_eq!(cfg.vcs_per_port(), 4);
+/// assert_eq!(cfg.total_vcs(), 20);
+/// # Ok::<(), ftnoc_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouterConfig {
+    ports: usize,
+    vcs_per_port: usize,
+    buffer_depth: usize,
+    retrans_depth: usize,
+    flits_per_packet: usize,
+    pipeline: PipelineDepth,
+    link_width_bits: u32,
+}
+
+impl RouterConfig {
+    /// Starts building a configuration from the paper's defaults.
+    pub fn builder() -> RouterConfigBuilder {
+        RouterConfigBuilder::new()
+    }
+
+    /// Number of physical channels (ports), including the PE port.
+    pub const fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Virtual channels per physical channel.
+    pub const fn vcs_per_port(&self) -> usize {
+        self.vcs_per_port
+    }
+
+    /// Total VCs across all ports (`P × V`).
+    pub const fn total_vcs(&self) -> usize {
+        self.ports * self.vcs_per_port
+    }
+
+    /// Per-VC input (transmission) buffer depth in flits.
+    pub const fn buffer_depth(&self) -> usize {
+        self.buffer_depth
+    }
+
+    /// Per-VC retransmission buffer depth in flits (barrel shifter).
+    pub const fn retrans_depth(&self) -> usize {
+        self.retrans_depth
+    }
+
+    /// Flits per packet (the paper's message length, 4).
+    pub const fn flits_per_packet(&self) -> usize {
+        self.flits_per_packet
+    }
+
+    /// Pipeline organisation.
+    pub const fn pipeline(&self) -> PipelineDepth {
+        self.pipeline
+    }
+
+    /// Physical link width in bits (data + check).
+    pub const fn link_width_bits(&self) -> u32 {
+        self.link_width_bits
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfigBuilder::new()
+            .build()
+            .expect("default configuration is valid")
+    }
+}
+
+/// Builder for [`RouterConfig`].
+#[derive(Debug, Clone)]
+pub struct RouterConfigBuilder {
+    vcs_per_port: usize,
+    buffer_depth: usize,
+    retrans_depth: usize,
+    flits_per_packet: usize,
+    pipeline: PipelineDepth,
+}
+
+impl RouterConfigBuilder {
+    /// Creates a builder initialised to the paper's §2.2 platform.
+    pub fn new() -> Self {
+        RouterConfigBuilder {
+            vcs_per_port: 3,
+            buffer_depth: 4,
+            retrans_depth: MIN_RETRANS_DEPTH,
+            flits_per_packet: 4,
+            pipeline: PipelineDepth::Three,
+        }
+    }
+
+    /// Sets the number of virtual channels per physical channel.
+    pub fn vcs_per_port(&mut self, vcs: usize) -> &mut Self {
+        self.vcs_per_port = vcs;
+        self
+    }
+
+    /// Sets the per-VC input buffer depth in flits.
+    pub fn buffer_depth(&mut self, depth: usize) -> &mut Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Sets the per-VC retransmission buffer depth in flits.
+    pub fn retrans_depth(&mut self, depth: usize) -> &mut Self {
+        self.retrans_depth = depth;
+        self
+    }
+
+    /// Sets the packet length in flits.
+    pub fn flits_per_packet(&mut self, flits: usize) -> &mut Self {
+        self.flits_per_packet = flits;
+        self
+    }
+
+    /// Sets the pipeline organisation.
+    pub fn pipeline(&mut self, pipeline: PipelineDepth) -> &mut Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when any knob is outside its valid range
+    /// (zero buffers, VC count outside `1..=64`, retransmission depth below
+    /// the 3-cycle NACK round trip, packet length outside `1..=256`).
+    pub fn build(&self) -> Result<RouterConfig, ConfigError> {
+        if self.vcs_per_port == 0 || self.vcs_per_port > 64 {
+            return Err(ConfigError::InvalidVcCount(self.vcs_per_port));
+        }
+        if self.buffer_depth == 0 {
+            return Err(ConfigError::ZeroBufferDepth);
+        }
+        if self.retrans_depth < MIN_RETRANS_DEPTH {
+            return Err(ConfigError::RetransmissionDepthTooSmall {
+                requested: self.retrans_depth,
+                minimum: MIN_RETRANS_DEPTH,
+            });
+        }
+        if self.flits_per_packet == 0 || self.flits_per_packet > 256 {
+            return Err(ConfigError::InvalidPacketLength(self.flits_per_packet));
+        }
+        Ok(RouterConfig {
+            ports: MESH_PORTS,
+            vcs_per_port: self.vcs_per_port,
+            buffer_depth: self.buffer_depth,
+            retrans_depth: self.retrans_depth,
+            flits_per_packet: self.flits_per_packet,
+            pipeline: self.pipeline,
+            link_width_bits: crate::flit::FLIT_TOTAL_BITS,
+        })
+    }
+}
+
+impl Default for RouterConfigBuilder {
+    fn default() -> Self {
+        RouterConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let cfg = RouterConfig::default();
+        assert_eq!(cfg.ports(), 5);
+        assert_eq!(cfg.vcs_per_port(), 3);
+        assert_eq!(cfg.buffer_depth(), 4);
+        assert_eq!(cfg.retrans_depth(), 3);
+        assert_eq!(cfg.flits_per_packet(), 4);
+        assert_eq!(cfg.pipeline(), PipelineDepth::Three);
+        assert_eq!(cfg.total_vcs(), 15);
+        assert_eq!(cfg.link_width_bits(), 72);
+    }
+
+    #[test]
+    fn builder_rejects_zero_vcs() {
+        let err = RouterConfig::builder().vcs_per_port(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::InvalidVcCount(0));
+    }
+
+    #[test]
+    fn builder_rejects_oversized_vcs() {
+        let err = RouterConfig::builder()
+            .vcs_per_port(65)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidVcCount(65));
+    }
+
+    #[test]
+    fn builder_rejects_zero_buffer() {
+        let err = RouterConfig::builder().buffer_depth(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBufferDepth);
+    }
+
+    #[test]
+    fn builder_rejects_shallow_retransmission_buffer() {
+        let err = RouterConfig::builder()
+            .retrans_depth(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::RetransmissionDepthTooSmall {
+                requested: 2,
+                minimum: 3
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_packet_length() {
+        let err = RouterConfig::builder()
+            .flits_per_packet(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidPacketLength(0));
+        let err = RouterConfig::builder()
+            .flits_per_packet(300)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidPacketLength(300));
+    }
+
+    #[test]
+    fn pipeline_depth_properties() {
+        assert_eq!(PipelineDepth::One.stages(), 1);
+        assert_eq!(PipelineDepth::Four.stages(), 4);
+        assert!(PipelineDepth::Three.uses_lookahead_routing());
+        assert!(!PipelineDepth::Four.uses_lookahead_routing());
+        assert_eq!(PipelineDepth::ALL.len(), 4);
+    }
+
+    #[test]
+    fn builder_accepts_larger_retransmission_buffers() {
+        // Deadlock recovery may require deeper buffers (Eq. 1).
+        let cfg = RouterConfig::builder().retrans_depth(6).build().unwrap();
+        assert_eq!(cfg.retrans_depth(), 6);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while validating a router or topology configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A grid dimension was zero.
+    ZeroDimension,
+    /// The number of virtual channels per port was zero or above 64.
+    InvalidVcCount(usize),
+    /// The per-VC buffer depth was zero.
+    ZeroBufferDepth,
+    /// The retransmission buffer depth does not cover the NACK round trip.
+    RetransmissionDepthTooSmall {
+        /// Requested depth.
+        requested: usize,
+        /// Minimum required depth (link + check + NACK = 3).
+        minimum: usize,
+    },
+    /// Packet length outside `1..=256`.
+    InvalidPacketLength(usize),
+    /// Injection rate outside `(0, 1]` flits/node/cycle.
+    InvalidInjectionRate(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroDimension => write!(f, "grid dimensions must be non-zero"),
+            ConfigError::InvalidVcCount(n) => {
+                write!(f, "virtual channel count {n} outside 1..=64")
+            }
+            ConfigError::ZeroBufferDepth => write!(f, "per-VC buffer depth must be non-zero"),
+            ConfigError::RetransmissionDepthTooSmall { requested, minimum } => write!(
+                f,
+                "retransmission depth {requested} below the NACK round-trip minimum {minimum}"
+            ),
+            ConfigError::InvalidPacketLength(n) => {
+                write!(f, "packet length {n} outside 1..=256")
+            }
+            ConfigError::InvalidInjectionRate(r) => {
+                write!(f, "injection rate {r} outside (0, 1] flits/node/cycle")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            ConfigError::ZeroDimension.to_string(),
+            ConfigError::InvalidVcCount(0).to_string(),
+            ConfigError::ZeroBufferDepth.to_string(),
+            ConfigError::RetransmissionDepthTooSmall {
+                requested: 2,
+                minimum: 3,
+            }
+            .to_string(),
+            ConfigError::InvalidPacketLength(0).to_string(),
+            ConfigError::InvalidInjectionRate(1.5).to_string(),
+        ];
+        for msg in msgs {
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+    }
+}

@@ -1,0 +1,539 @@
+//! Network geometry: node identifiers, 2-D coordinates, port directions and
+//! the mesh/torus topology of the simulated network.
+//!
+//! The paper evaluates an 8×8 MESH (§2.2); [`Topology`] also supports a
+//! torus so that the tornado traffic pattern and wrap-around studies can be
+//! expressed.
+
+use std::fmt;
+
+use crate::error::ConfigError;
+
+/// Identifier of a network node (router + attached processing element).
+///
+/// Node ids enumerate the grid row-major: `id = y * width + x`.
+///
+/// # Examples
+///
+/// ```
+/// use ftnoc_types::geom::{NodeId, Topology};
+///
+/// let topo = Topology::mesh(8, 8);
+/// let id = NodeId::new(9);
+/// assert_eq!(topo.coord_of(id).x(), 1);
+/// assert_eq!(topo.coord_of(id).y(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a raw row-major index.
+    pub const fn new(raw: u16) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw row-major index.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the index as `usize`, convenient for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(raw: u16) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// A 2-D grid coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord {
+    x: u8,
+    y: u8,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(x: u8, y: u8) -> Self {
+        Coord { x, y }
+    }
+
+    /// The column (0 = west edge).
+    pub const fn x(self) -> u8 {
+        self.x
+    }
+
+    /// The row (0 = north edge).
+    pub const fn y(self) -> u8 {
+        self.y
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// One of the five physical-channel directions of a mesh router.
+///
+/// `Local` is the PE-to-router channel; the remaining four connect to the
+/// neighbouring routers. The discriminants are the port indices used by the
+/// router data path (`0..=4`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Direction {
+    /// Toward decreasing `y`.
+    North = 0,
+    /// Toward increasing `x`.
+    East = 1,
+    /// Toward increasing `y`.
+    South = 2,
+    /// Toward decreasing `x`.
+    West = 3,
+    /// The processing-element (ejection/injection) port.
+    Local = 4,
+}
+
+impl Direction {
+    /// All five directions, in port-index order.
+    pub const ALL: [Direction; 5] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// The four inter-router directions (everything but [`Direction::Local`]).
+    pub const CARDINAL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// Returns the port index (`0..=4`) of this direction.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a direction from a port index.
+    ///
+    /// Returns `None` when `index > 4`.
+    pub const fn from_index(index: usize) -> Option<Direction> {
+        match index {
+            0 => Some(Direction::North),
+            1 => Some(Direction::East),
+            2 => Some(Direction::South),
+            3 => Some(Direction::West),
+            4 => Some(Direction::Local),
+            _ => None,
+        }
+    }
+
+    /// The direction a received flit came *from*, as seen by the receiver.
+    ///
+    /// A flit leaving through `East` arrives at the neighbour's `West` port.
+    /// `Local` is its own opposite.
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::Local => Direction::Local,
+        }
+    }
+
+    /// Whether the direction crosses an inter-router link.
+    pub const fn is_cardinal(self) -> bool {
+        !matches!(self, Direction::Local)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The connectivity rule of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyKind {
+    /// No wrap-around links; edge routers have fewer neighbours.
+    #[default]
+    Mesh,
+    /// Wrap-around links in both dimensions.
+    Torus,
+}
+
+/// A rectangular grid topology (mesh or torus).
+///
+/// # Examples
+///
+/// ```
+/// use ftnoc_types::geom::{Coord, Direction, Topology};
+///
+/// let torus = Topology::torus(4, 4);
+/// // Wrap-around on a torus:
+/// assert_eq!(
+///     torus.neighbor(Coord::new(0, 0), Direction::West),
+///     Some(Coord::new(3, 0)),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    width: u8,
+    height: u8,
+    kind: TopologyKind,
+}
+
+impl Topology {
+    /// Creates a mesh of `width × height` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; use [`Topology::try_new`] for a
+    /// fallible constructor.
+    pub fn mesh(width: u8, height: u8) -> Self {
+        Topology::try_new(width, height, TopologyKind::Mesh).expect("dimensions must be non-zero")
+    }
+
+    /// Creates a torus of `width × height` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; use [`Topology::try_new`] for a
+    /// fallible constructor.
+    pub fn torus(width: u8, height: u8) -> Self {
+        Topology::try_new(width, height, TopologyKind::Torus).expect("dimensions must be non-zero")
+    }
+
+    /// Fallible constructor validating the dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroDimension`] when `width == 0 || height == 0`.
+    pub fn try_new(width: u8, height: u8, kind: TopologyKind) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::ZeroDimension);
+        }
+        Ok(Topology {
+            width,
+            height,
+            kind,
+        })
+    }
+
+    /// Grid width (number of columns).
+    pub const fn width(self) -> u8 {
+        self.width
+    }
+
+    /// Grid height (number of rows).
+    pub const fn height(self) -> u8 {
+        self.height
+    }
+
+    /// Mesh or torus.
+    pub const fn kind(self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Total number of nodes.
+    pub const fn node_count(self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Iterates over every node id in row-major order.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u16).map(NodeId::new)
+    }
+
+    /// Whether `coord` lies inside the grid.
+    pub const fn contains(self, coord: Coord) -> bool {
+        coord.x() < self.width && coord.y() < self.height
+    }
+
+    /// Converts a node id to its coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this topology.
+    pub fn coord_of(self, id: NodeId) -> Coord {
+        assert!(
+            id.index() < self.node_count(),
+            "node id {id} out of range for {}x{} grid",
+            self.width,
+            self.height
+        );
+        Coord::new(
+            (id.raw() % self.width as u16) as u8,
+            (id.raw() / self.width as u16) as u8,
+        )
+    }
+
+    /// Converts a coordinate to its node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid.
+    pub fn id_of(self, coord: Coord) -> NodeId {
+        assert!(
+            self.contains(coord),
+            "coordinate {coord} out of range for {}x{} grid",
+            self.width,
+            self.height
+        );
+        NodeId::new(coord.y() as u16 * self.width as u16 + coord.x() as u16)
+    }
+
+    /// The neighbouring coordinate in `dir`, or `None` when the link does
+    /// not exist (mesh edge, or `dir == Local`).
+    pub fn neighbor(self, coord: Coord, dir: Direction) -> Option<Coord> {
+        let (x, y) = (coord.x() as i16, coord.y() as i16);
+        let (nx, ny) = match dir {
+            Direction::North => (x, y - 1),
+            Direction::East => (x + 1, y),
+            Direction::South => (x, y + 1),
+            Direction::West => (x - 1, y),
+            Direction::Local => return None,
+        };
+        match self.kind {
+            TopologyKind::Mesh => {
+                if nx < 0 || ny < 0 || nx >= self.width as i16 || ny >= self.height as i16 {
+                    None
+                } else {
+                    Some(Coord::new(nx as u8, ny as u8))
+                }
+            }
+            TopologyKind::Torus => Some(Coord::new(
+                nx.rem_euclid(self.width as i16) as u8,
+                ny.rem_euclid(self.height as i16) as u8,
+            )),
+        }
+    }
+
+    /// Minimal hop distance between two coordinates.
+    ///
+    /// On a torus the per-dimension distance wraps.
+    pub fn hop_distance(self, a: Coord, b: Coord) -> u32 {
+        let dx = (a.x() as i32 - b.x() as i32).unsigned_abs();
+        let dy = (a.y() as i32 - b.y() as i32).unsigned_abs();
+        match self.kind {
+            TopologyKind::Mesh => dx + dy,
+            TopologyKind::Torus => {
+                let wx = self.width as u32;
+                let wy = self.height as u32;
+                dx.min(wx - dx) + dy.min(wy - dy)
+            }
+        }
+    }
+
+    /// The directions a minimal route may take from `from` toward `to`.
+    ///
+    /// Returns up to two cardinal directions (one per dimension with
+    /// remaining offset). An empty vector means `from == to`.
+    pub fn minimal_directions(self, from: Coord, to: Coord) -> Vec<Direction> {
+        let mut dirs = Vec::with_capacity(2);
+        let (fx, fy) = (from.x() as i16, from.y() as i16);
+        let (tx, ty) = (to.x() as i16, to.y() as i16);
+        match self.kind {
+            TopologyKind::Mesh => {
+                if tx > fx {
+                    dirs.push(Direction::East);
+                } else if tx < fx {
+                    dirs.push(Direction::West);
+                }
+                if ty > fy {
+                    dirs.push(Direction::South);
+                } else if ty < fy {
+                    dirs.push(Direction::North);
+                }
+            }
+            TopologyKind::Torus => {
+                let w = self.width as i16;
+                let h = self.height as i16;
+                let dx = (tx - fx).rem_euclid(w);
+                if dx != 0 {
+                    if dx <= w - dx {
+                        dirs.push(Direction::East);
+                    } else {
+                        dirs.push(Direction::West);
+                    }
+                }
+                let dy = (ty - fy).rem_euclid(h);
+                if dy != 0 {
+                    if dy <= h - dy {
+                        dirs.push(Direction::South);
+                    } else {
+                        dirs.push(Direction::North);
+                    }
+                }
+            }
+        }
+        dirs
+    }
+}
+
+impl Default for Topology {
+    /// The paper's 8×8 mesh.
+    fn default() -> Self {
+        Topology::mesh(8, 8)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
+        };
+        write!(f, "{}x{} {kind}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_coord() {
+        let topo = Topology::mesh(8, 8);
+        for id in topo.nodes() {
+            assert_eq!(topo.id_of(topo.coord_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn direction_indices_are_stable() {
+        for (i, dir) in Direction::ALL.iter().enumerate() {
+            assert_eq!(dir.index(), i);
+            assert_eq!(Direction::from_index(i), Some(*dir));
+        }
+        assert_eq!(Direction::from_index(5), None);
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for dir in Direction::ALL {
+            assert_eq!(dir.opposite().opposite(), dir);
+        }
+    }
+
+    #[test]
+    fn mesh_edges_have_no_neighbors() {
+        let topo = Topology::mesh(4, 4);
+        assert_eq!(topo.neighbor(Coord::new(0, 0), Direction::North), None);
+        assert_eq!(topo.neighbor(Coord::new(0, 0), Direction::West), None);
+        assert_eq!(topo.neighbor(Coord::new(3, 3), Direction::South), None);
+        assert_eq!(topo.neighbor(Coord::new(3, 3), Direction::East), None);
+        assert_eq!(
+            topo.neighbor(Coord::new(1, 1), Direction::North),
+            Some(Coord::new(1, 0))
+        );
+    }
+
+    #[test]
+    fn torus_wraps_in_both_dimensions() {
+        let topo = Topology::torus(4, 3);
+        assert_eq!(
+            topo.neighbor(Coord::new(0, 0), Direction::West),
+            Some(Coord::new(3, 0))
+        );
+        assert_eq!(
+            topo.neighbor(Coord::new(0, 0), Direction::North),
+            Some(Coord::new(0, 2))
+        );
+        assert_eq!(
+            topo.neighbor(Coord::new(3, 2), Direction::East),
+            Some(Coord::new(0, 2))
+        );
+    }
+
+    #[test]
+    fn local_direction_has_no_neighbor() {
+        let topo = Topology::torus(4, 4);
+        assert_eq!(topo.neighbor(Coord::new(2, 2), Direction::Local), None);
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let topo = Topology::mesh(8, 8);
+        assert_eq!(topo.hop_distance(Coord::new(0, 0), Coord::new(7, 7)), 14);
+        assert_eq!(topo.hop_distance(Coord::new(3, 4), Coord::new(3, 4)), 0);
+    }
+
+    #[test]
+    fn torus_distance_wraps() {
+        let topo = Topology::torus(8, 8);
+        assert_eq!(topo.hop_distance(Coord::new(0, 0), Coord::new(7, 0)), 1);
+        assert_eq!(topo.hop_distance(Coord::new(0, 0), Coord::new(4, 4)), 8);
+    }
+
+    #[test]
+    fn minimal_directions_mesh() {
+        let topo = Topology::mesh(8, 8);
+        let dirs = topo.minimal_directions(Coord::new(0, 0), Coord::new(3, 3));
+        assert_eq!(dirs, vec![Direction::East, Direction::South]);
+        let dirs = topo.minimal_directions(Coord::new(3, 3), Coord::new(3, 0));
+        assert_eq!(dirs, vec![Direction::North]);
+        assert!(topo
+            .minimal_directions(Coord::new(2, 2), Coord::new(2, 2))
+            .is_empty());
+    }
+
+    #[test]
+    fn minimal_directions_torus_prefers_short_way() {
+        let topo = Topology::torus(8, 8);
+        let dirs = topo.minimal_directions(Coord::new(0, 0), Coord::new(7, 0));
+        assert_eq!(dirs, vec![Direction::West]);
+        let dirs = topo.minimal_directions(Coord::new(0, 0), Coord::new(3, 0));
+        assert_eq!(dirs, vec![Direction::East]);
+    }
+
+    #[test]
+    fn zero_dimension_is_rejected() {
+        assert_eq!(
+            Topology::try_new(0, 4, TopologyKind::Mesh),
+            Err(ConfigError::ZeroDimension)
+        );
+        assert_eq!(
+            Topology::try_new(4, 0, TopologyKind::Torus),
+            Err(ConfigError::ZeroDimension)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_of_panics_out_of_range() {
+        let topo = Topology::mesh(2, 2);
+        let _ = topo.coord_of(NodeId::new(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(Coord::new(1, 2).to_string(), "(1,2)");
+        assert_eq!(Direction::North.to_string(), "N");
+        assert_eq!(Topology::mesh(8, 8).to_string(), "8x8 mesh");
+    }
+}

@@ -1,0 +1,37 @@
+//! Base types shared by every crate in the `ftnoc` workspace.
+//!
+//! This crate defines the vocabulary of the reproduction of Park et al.,
+//! *"Exploring Fault-Tolerant Network-on-Chip Architectures"* (DSN 2006):
+//! flits and packets ([`flit`], [`packet`]), mesh/torus geometry ([`geom`]),
+//! router/network configuration ([`config`]) and small unit newtypes
+//! ([`units`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ftnoc_types::geom::{Coord, Direction, Topology};
+//!
+//! let topo = Topology::mesh(8, 8);
+//! let a = Coord::new(0, 0);
+//! let b = Coord::new(7, 7);
+//! assert_eq!(topo.hop_distance(a, b), 14);
+//! assert_eq!(topo.neighbor(a, Direction::East), Some(Coord::new(1, 0)));
+//! assert_eq!(topo.neighbor(a, Direction::West), None); // mesh edge
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod flit;
+pub mod geom;
+pub mod packet;
+pub mod units;
+
+pub use config::{RouterConfig, RouterConfigBuilder};
+pub use error::ConfigError;
+pub use flit::{Flit, FlitKind, FlitPayload, Header};
+pub use geom::{Coord, Direction, NodeId, Topology, TopologyKind};
+pub use packet::{Packet, PacketId};
+pub use units::{Cycles, Millimeters2, Milliwatts, Nanojoules, Picojoules};

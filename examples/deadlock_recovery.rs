@@ -1,0 +1,127 @@
+//! Deadlock recovery via retransmission buffers (§3.2), twice over:
+//!
+//! 1. the Figure 10 walk-through on a standalone 3-node dependency ring;
+//! 2. a full-network demonstration: a 4×4 mesh with fully adaptive
+//!    routing and one VC per port wedges under bursty traffic, and the
+//!    probing protocol (Rules 1–4) plus buffer recovery drains it.
+//!
+//! ```sh
+//! cargo run --example deadlock_recovery --release
+//! ```
+
+use ftnoc::prelude::*;
+use ftnoc_ecc::protect_flit;
+
+fn make_flit(stream: u64, seq: u8) -> Flit {
+    let kind = match seq {
+        0 => FlitKind::Head,
+        3 => FlitKind::Tail,
+        _ => FlitKind::Body,
+    };
+    let mut f = Flit::new(
+        PacketId::new(stream),
+        seq,
+        kind,
+        Header::new(NodeId::new(stream as u16), NodeId::new(15)),
+        seq as u16,
+        0,
+    );
+    protect_flit(&mut f);
+    f
+}
+
+fn figure10_walkthrough() {
+    println!("== Figure 10: three deadlocked nodes, 4-flit buffers, 3-deep barrels ==");
+    let spec = DeadlockCycleSpec::uniform(3, 4, 3, 4);
+    println!(
+        "Eq. (1): total buffering {} > required {} -> recovery guaranteed: {}",
+        spec.total_buffer_size(),
+        spec.required_size(),
+        spec.recovery_is_guaranteed()
+    );
+
+    let mut ring = RecoveryRing::new(3, 4, 3);
+    for stream in 0..3u64 {
+        ring.preload(stream as usize, (0..4).map(|s| make_flit(stream, s)));
+    }
+
+    // Without recovery the ring is frozen.
+    ring.run(20);
+    assert_eq!(ring.advancements(), 0);
+    println!("20 cycles without recovery: 0 flits advanced (deadlocked)");
+
+    ring.activate_recovery();
+    for step in 1..=7u64 {
+        ring.step();
+        let node0 = ring.node(0);
+        println!(
+            "step {step}: node0 tx {:>2} flits, barrel {} ({} held) | {} link crossings so far",
+            node0.tx.len(),
+            node0.retx.occupancy(),
+            node0.retx.held_count(),
+            ring.advancements()
+        );
+    }
+    assert!(ring.advancements() >= 9);
+    assert_eq!(ring.total_flits(), 12, "no flit lost or duplicated");
+    println!("=> every flit advanced by 3 buffer slots per epoch, Figure 10's step 7\n");
+}
+
+fn full_network_demo() {
+    println!("== Full network: wedge and drain a 4x4 mesh ==");
+    let build = |recovery: bool| {
+        let mut b = SimConfig::builder();
+        b.topology(Topology::mesh(4, 4))
+            .router(
+                RouterConfig::builder()
+                    .vcs_per_port(1)
+                    .buffer_depth(4)
+                    .retrans_depth(6) // Eq. (1) worst case: T + R > 2M
+                    .build()
+                    .unwrap(),
+            )
+            .routing(RoutingAlgorithm::FullyAdaptive)
+            .injection(InjectionProcess::Bernoulli)
+            .injection_rate(0.25)
+            .seed(2)
+            .deadlock(DeadlockConfig {
+                enabled: recovery,
+                cthres: 32,
+            })
+            .warmup_packets(0)
+            .measure_packets(u64::MAX)
+            .max_cycles(60_000)
+            .stop_injection_after(5_000);
+        b.build().unwrap()
+    };
+
+    for recovery in [false, true] {
+        let mut sim = Simulator::new(build(recovery));
+        for _ in 0..60_000 {
+            sim.network_mut().step();
+        }
+        let n = sim.network();
+        let confirmed: u64 = Topology::mesh(4, 4)
+            .nodes()
+            .map(|id| n.router(id).errors.deadlocks_confirmed)
+            .sum();
+        println!(
+            "recovery {:>5}: {}/{} packets drained, {} deadlocks confirmed by probes",
+            recovery,
+            n.packets_ejected(),
+            n.packets_injected(),
+            confirmed
+        );
+        if recovery {
+            assert_eq!(n.packets_ejected(), n.packets_injected());
+        } else {
+            assert!(n.packets_ejected() < n.packets_injected());
+        }
+    }
+    println!("=> identical workload: wedged without recovery, fully drained with it");
+}
+
+fn main() {
+    figure10_walkthrough();
+    full_network_demo();
+}

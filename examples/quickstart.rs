@@ -1,0 +1,59 @@
+//! Quickstart: simulate the paper's evaluation platform and print a run
+//! report.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use ftnoc::prelude::*;
+
+fn main() -> Result<(), ftnoc::types::ConfigError> {
+    // The §2.2 platform: 8×8 mesh, 3-stage routers, 5 PCs × 3 VCs,
+    // 4-flit packets, hop-by-hop retransmission, 0.25 flits/node/cycle.
+    let config = SimConfig::builder()
+        .injection_rate(0.25)
+        .pattern(TrafficPattern::Uniform)
+        .scheme(ErrorScheme::Hbh)
+        .faults(FaultRates::link_only(0.01)) // 1 % per flit-traversal
+        .warmup_packets(2_000)
+        .measure_packets(8_000)
+        .build()?;
+
+    println!("simulating 8x8 mesh, HBH retransmission, 1% link error rate...");
+    let report = Simulator::new(config).run();
+
+    println!();
+    println!("cycles simulated      : {}", report.cycles);
+    println!("packets delivered     : {}", report.packets_ejected);
+    println!("avg message latency   : {:.2} cycles", report.avg_latency);
+    println!("max message latency   : {} cycles", report.max_latency);
+    println!(
+        "throughput            : {:.3} flits/node/cycle",
+        report.throughput
+    );
+    println!(
+        "energy per packet     : {:.4} nJ",
+        report.energy_per_packet_nj
+    );
+    println!("tx buffer utilization : {:.3}", report.tx_utilization);
+    println!("retx buffer util      : {:.3}", report.retx_utilization);
+    println!();
+    println!(
+        "link errors corrected inline (SEC)   : {}",
+        report.errors.link_corrected_inline
+    );
+    println!(
+        "link errors recovered by HBH replay  : {}",
+        report.errors.link_recovered_by_replay
+    );
+    println!(
+        "flits dropped & replayed             : {}",
+        report.errors.flits_dropped
+    );
+    println!(
+        "packets misdelivered                 : {}",
+        report.errors.misdelivered
+    );
+    assert_eq!(report.errors.misdelivered, 0, "HBH keeps headers clean");
+    Ok(())
+}

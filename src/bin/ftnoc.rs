@@ -1,0 +1,93 @@
+//! The `ftnoc` command-line simulator: run any configuration of the
+//! reproduced platform from flags.
+//!
+//! ```sh
+//! cargo run --bin ftnoc --release -- run --scheme hbh --error-rate 0.01
+//! cargo run --bin ftnoc --release -- run --topology 4x4 --routing fa \
+//!     --vcs 1 --retrans 6 --deadlock-recovery --inj 0.2
+//! cargo run --bin ftnoc --release -- table1
+//! ```
+
+use ftnoc::cli::{parse, Command, HELP};
+use ftnoc_power::EnergyModel;
+use ftnoc_sim::Simulator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `ftnoc --help`");
+            std::process::exit(2);
+        }
+        Ok(Command::Help) => print!("{HELP}"),
+        Ok(Command::Table1) => {
+            print!(
+                "{}",
+                ftnoc_power::report::table1_report(&ftnoc_power::Table1::compute())
+            );
+        }
+        Ok(Command::Run { config, profile }) => {
+            let report = Simulator::new(config).run();
+            println!("cycles                : {}", report.cycles);
+            println!("packets (measured)    : {}", report.packets_ejected);
+            println!("avg latency           : {:.2} cycles", report.avg_latency);
+            println!("max latency           : {} cycles", report.max_latency);
+            let (p50, p95, p99) = report.latency_percentiles;
+            println!("latency p50/p95/p99   : <={p50} / <={p95} / <={p99} cycles");
+            println!(
+                "throughput            : {:.4} flits/node/cycle",
+                report.throughput
+            );
+            println!(
+                "energy per packet     : {:.4} nJ",
+                report.energy_per_packet_nj
+            );
+            println!(
+                "tx / retx utilization : {:.3} / {:.3}",
+                report.tx_utilization, report.retx_utilization
+            );
+            let e = &report.errors;
+            println!(
+                "link corrected/replayed: {} / {}",
+                e.link_corrected_inline, e.link_recovered_by_replay
+            );
+            println!(
+                "rt / va / sa corrected : {} / {} / {}",
+                e.rt_corrected, e.va_corrected, e.sa_corrected
+            );
+            println!(
+                "misdelivered / stranded: {} / {}",
+                e.misdelivered, e.stranded_flits
+            );
+            if e.probes_sent > 0 {
+                println!(
+                    "probes sent/confirmed  : {} / {}",
+                    e.probes_sent, e.deadlocks_confirmed
+                );
+            }
+            if !report.completed {
+                println!(
+                    "NOTE: run hit the cycle cap before the packet target (saturated or wedged)"
+                );
+            }
+            if profile {
+                println!();
+                let model = EnergyModel::new();
+                let rows = report.events.energy_breakdown(&model);
+                let total: f64 = rows.iter().map(|(_, _, e)| e.raw()).sum();
+                println!(
+                    "{:<24} {:>12} {:>14} {:>7}",
+                    "event class", "count", "energy", "share"
+                );
+                for (name, count, energy) in &rows {
+                    println!(
+                        "{name:<24} {count:>12} {:>11.1} pJ {:>6.2}%",
+                        energy.raw(),
+                        energy.raw() / total * 100.0
+                    );
+                }
+            }
+        }
+    }
+}

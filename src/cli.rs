@@ -1,0 +1,309 @@
+//! Argument parsing for the `ftnoc` command-line simulator.
+//!
+//! Hand-rolled (no external dependencies): `--key value` flags mapped
+//! onto [`SimConfig`]. See `ftnoc --help` or [`HELP`].
+
+use ftnoc_fault::FaultRates;
+use ftnoc_sim::{DeadlockConfig, ErrorScheme, RoutingAlgorithm, SimConfig};
+use ftnoc_traffic::TrafficPattern;
+use ftnoc_types::config::{PipelineDepth, RouterConfig};
+use ftnoc_types::geom::{NodeId, Topology, TopologyKind};
+
+/// The `--help` text.
+pub const HELP: &str = "\
+ftnoc — cycle-accurate fault-tolerant NoC simulator (Park et al., DSN 2006)
+
+USAGE:
+    ftnoc run [OPTIONS]     simulate and print a run report
+    ftnoc table1            print the Table 1 power/area reproduction
+    ftnoc --help            this text
+
+OPTIONS (run):
+    --topology WxH      grid size, e.g. 8x8 (default 8x8)
+    --torus             wrap-around links (default: mesh)
+    --scheme S          hbh | e2e | fec | none        (default hbh)
+    --routing R         dt | ad | fa | oe             (default dt)
+    --pattern P         nr | bc | tn | tp | br | sh | nn | hs (default nr)
+    --inj F             injection rate, flits/node/cycle (default 0.25)
+    --error-rate F      link soft-error rate per flit traversal (default 0)
+    --rt-rate F         routing-logic soft-error rate (default 0)
+    --va-rate F         VC-allocator soft-error rate (default 0)
+    --sa-rate F         switch-allocator soft-error rate (default 0)
+    --no-ac             disable the Allocation Comparator
+    --vcs N             virtual channels per port (default 3)
+    --buffer N          per-VC buffer depth in flits (default 4)
+    --retrans N         retransmission-buffer depth (default 3)
+    --pipeline N        router pipeline stages 1-4 (default 3)
+    --packet-len N      flits per packet (default 4)
+    --packets N         measured packets (default 5000)
+    --warmup N          warm-up packets (default 1000)
+    --seed N            RNG seed (default 0xF70C)
+    --deadlock-recovery enable probing + recovery (Cthres 32)
+    --profile           print the per-event energy breakdown
+";
+
+/// A parsed CLI invocation.
+#[derive(Debug)]
+pub enum Command {
+    /// Run a simulation; `profile` requests the energy breakdown.
+    Run {
+        /// The assembled configuration.
+        config: SimConfig,
+        /// Whether to print the power profile.
+        profile: bool,
+    },
+    /// Print the Table 1 reproduction.
+    Table1,
+    /// Print the help text.
+    Help,
+}
+
+/// A CLI parsing failure (message for the user).
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first malformed flag or value.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().peekable();
+    match it.next().map(String::as_str) {
+        None | Some("--help") | Some("-h") | Some("help") => return Ok(Command::Help),
+        Some("table1") => return Ok(Command::Table1),
+        Some("run") => {}
+        Some(other) => return Err(err(format!("unknown command `{other}`; try --help"))),
+    }
+
+    let mut topo = (8u8, 8u8, TopologyKind::Mesh);
+    let mut scheme = ErrorScheme::Hbh;
+    let mut routing = RoutingAlgorithm::XyDeterministic;
+    let mut pattern = TrafficPattern::Uniform;
+    let mut inj = 0.25f64;
+    let mut faults = FaultRates::none();
+    let mut ac = true;
+    let mut vcs = 3usize;
+    let mut buffer = 4usize;
+    let mut retrans = 3usize;
+    let mut pipeline = PipelineDepth::Three;
+    let mut packet_len = 4usize;
+    let mut packets = 5_000u64;
+    let mut warmup = 1_000u64;
+    let mut seed = 0xF7_0Cu64;
+    let mut deadlock = false;
+    let mut profile = false;
+
+    fn value<'a>(
+        it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
+        flag: &str,
+    ) -> Result<&'a str, CliError> {
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| err(format!("{flag} needs a value")))
+    }
+    fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, CliError> {
+        v.parse()
+            .map_err(|_| err(format!("{flag}: cannot parse `{v}`")))
+    }
+
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--topology" => {
+                let v = value(&mut it, flag)?;
+                let (w, h) = v
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| err(format!("--topology expects WxH, got `{v}`")))?;
+                topo.0 = num(w, flag)?;
+                topo.1 = num(h, flag)?;
+            }
+            "--torus" => topo.2 = TopologyKind::Torus,
+            "--scheme" => {
+                scheme = match value(&mut it, flag)? {
+                    "hbh" => ErrorScheme::Hbh,
+                    "e2e" => ErrorScheme::E2e,
+                    "fec" => ErrorScheme::Fec,
+                    "none" => ErrorScheme::Unprotected,
+                    v => return Err(err(format!("unknown scheme `{v}`"))),
+                }
+            }
+            "--routing" => {
+                routing = match value(&mut it, flag)? {
+                    "dt" | "xy" => RoutingAlgorithm::XyDeterministic,
+                    "ad" | "wf" => RoutingAlgorithm::WestFirstAdaptive,
+                    "fa" => RoutingAlgorithm::FullyAdaptive,
+                    "oe" => RoutingAlgorithm::OddEven,
+                    v => return Err(err(format!("unknown routing `{v}`"))),
+                }
+            }
+            "--pattern" => {
+                pattern = match value(&mut it, flag)? {
+                    "nr" | "uniform" => TrafficPattern::Uniform,
+                    "bc" => TrafficPattern::BitComplement,
+                    "tn" => TrafficPattern::Tornado,
+                    "tp" => TrafficPattern::Transpose,
+                    "br" => TrafficPattern::BitReverse,
+                    "sh" => TrafficPattern::Shuffle,
+                    "nn" => TrafficPattern::Neighbor,
+                    "hs" => TrafficPattern::Hotspot {
+                        hotspot: NodeId::new(0),
+                        fraction: 0.2,
+                    },
+                    v => return Err(err(format!("unknown pattern `{v}`"))),
+                }
+            }
+            "--inj" => inj = num(value(&mut it, flag)?, flag)?,
+            "--error-rate" => faults.link = num(value(&mut it, flag)?, flag)?,
+            "--rt-rate" => faults.rt = num(value(&mut it, flag)?, flag)?,
+            "--va-rate" => faults.va = num(value(&mut it, flag)?, flag)?,
+            "--sa-rate" => faults.sa = num(value(&mut it, flag)?, flag)?,
+            "--no-ac" => ac = false,
+            "--vcs" => vcs = num(value(&mut it, flag)?, flag)?,
+            "--buffer" => buffer = num(value(&mut it, flag)?, flag)?,
+            "--retrans" => retrans = num(value(&mut it, flag)?, flag)?,
+            "--pipeline" => {
+                pipeline = match value(&mut it, flag)? {
+                    "1" => PipelineDepth::One,
+                    "2" => PipelineDepth::Two,
+                    "3" => PipelineDepth::Three,
+                    "4" => PipelineDepth::Four,
+                    v => return Err(err(format!("--pipeline expects 1-4, got `{v}`"))),
+                }
+            }
+            "--packet-len" => packet_len = num(value(&mut it, flag)?, flag)?,
+            "--packets" => packets = num(value(&mut it, flag)?, flag)?,
+            "--warmup" => warmup = num(value(&mut it, flag)?, flag)?,
+            "--seed" => seed = num(value(&mut it, flag)?, flag)?,
+            "--deadlock-recovery" => deadlock = true,
+            "--profile" => profile = true,
+            other => return Err(err(format!("unknown flag `{other}`; try --help"))),
+        }
+    }
+
+    let topology =
+        Topology::try_new(topo.0, topo.1, topo.2).map_err(|e| err(format!("--topology: {e}")))?;
+    let router = RouterConfig::builder()
+        .vcs_per_port(vcs)
+        .buffer_depth(buffer)
+        .retrans_depth(retrans)
+        .flits_per_packet(packet_len)
+        .pipeline(pipeline)
+        .build()
+        .map_err(|e| err(format!("router config: {e}")))?;
+    let mut b = SimConfig::builder();
+    b.topology(topology)
+        .router(router)
+        .scheme(scheme)
+        .routing(routing)
+        .pattern(pattern)
+        .injection_rate(inj)
+        .faults(faults)
+        .ac_enabled(ac)
+        .seed(seed)
+        .warmup_packets(warmup)
+        .measure_packets(packets)
+        .deadlock(DeadlockConfig {
+            enabled: deadlock,
+            cthres: 32,
+        });
+    let config = b.build().map_err(|e| err(format!("config: {e}")))?;
+    Ok(Command::Run { config, profile })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+        assert!(matches!(parse(&args("--help")).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn table1_command() {
+        assert!(matches!(parse(&args("table1")).unwrap(), Command::Table1));
+    }
+
+    #[test]
+    fn run_defaults_match_paper_platform() {
+        let Command::Run { config, profile } = parse(&args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!profile);
+        assert_eq!(config.topology.node_count(), 64);
+        assert_eq!(config.scheme, ErrorScheme::Hbh);
+        assert_eq!(config.injection_rate, 0.25);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let cmd = parse(&args(
+            "run --topology 4x6 --torus --scheme fec --routing fa --pattern tn \
+             --inj 0.1 --error-rate 0.01 --rt-rate 0.001 --no-ac --vcs 2 \
+             --buffer 8 --retrans 6 --pipeline 2 --packet-len 8 --packets 100 \
+             --warmup 10 --seed 42 --deadlock-recovery --profile",
+        ))
+        .unwrap();
+        let Command::Run { config, profile } = cmd else {
+            panic!("expected run");
+        };
+        assert!(profile);
+        assert_eq!(config.topology.node_count(), 24);
+        assert_eq!(config.topology.kind(), TopologyKind::Torus);
+        assert_eq!(config.scheme, ErrorScheme::Fec);
+        assert_eq!(config.routing, RoutingAlgorithm::FullyAdaptive);
+        assert_eq!(config.faults.link, 0.01);
+        assert_eq!(config.faults.rt, 0.001);
+        assert!(!config.ac_enabled);
+        assert_eq!(config.router.vcs_per_port(), 2);
+        assert_eq!(config.router.retrans_depth(), 6);
+        assert_eq!(config.router.pipeline(), PipelineDepth::Two);
+        assert_eq!(config.seed, 42);
+        assert!(config.deadlock.enabled);
+    }
+
+    #[test]
+    fn bad_values_report_the_flag() {
+        let e = parse(&args("run --inj banana")).unwrap_err();
+        assert!(e.0.contains("--inj"), "{e}");
+        let e = parse(&args("run --topology 8")).unwrap_err();
+        assert!(e.0.contains("WxH"), "{e}");
+        let e = parse(&args("run --scheme quantum")).unwrap_err();
+        assert!(e.0.contains("quantum"), "{e}");
+        let e = parse(&args("run --pipeline 7")).unwrap_err();
+        assert!(e.0.contains("1-4"), "{e}");
+        let e = parse(&args("bogus")).unwrap_err();
+        assert!(e.0.contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_with_context() {
+        let e = parse(&args("run --inj 2.0")).unwrap_err();
+        assert!(e.0.contains("config"), "{e}");
+        let e = parse(&args("run --retrans 1")).unwrap_err();
+        assert!(e.0.contains("router config"), "{e}");
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        let e = parse(&args("run --seed")).unwrap_err();
+        assert!(e.0.contains("needs a value"), "{e}");
+    }
+}

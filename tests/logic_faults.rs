@@ -1,0 +1,123 @@
+//! §4 integration: intra-router logic upsets, the Allocation Comparator
+//! and the Figure 13a orderings.
+
+use ftnoc::prelude::*;
+
+fn run_with(faults: FaultRates, ac: bool) -> SimReport {
+    let mut b = SimConfig::builder();
+    b.faults(faults)
+        .ac_enabled(ac)
+        .injection_rate(0.25)
+        .warmup_packets(500)
+        .measure_packets(3_000)
+        .max_cycles(500_000);
+    Simulator::new(b.build().expect("valid config")).run()
+}
+
+/// Figure 13a: corrected-error counts order as SA-Logic > LINK-HBH >
+/// RT-Logic at equal per-opportunity rates (SA arbitrates every flit
+/// repeatedly; links carry each flit once per hop; RT runs once per
+/// packet per hop).
+#[test]
+fn figure13a_ordering() {
+    let rate = 1e-2;
+    let link = run_with(FaultRates::link_only(rate), true);
+    let rt = run_with(FaultRates::rt_only(rate), true);
+    let sa = run_with(FaultRates::sa_only(rate), true);
+    assert!(link.completed && rt.completed && sa.completed);
+    let link_c = link.errors.link_total_corrected();
+    let rt_c = rt.errors.rt_corrected;
+    let sa_c = sa.errors.sa_corrected;
+    assert!(sa_c > link_c, "SA {sa_c} !> LINK {link_c}");
+    assert!(link_c > rt_c, "LINK {link_c} !> RT {rt_c}");
+}
+
+/// With the AC enabled, VA upsets are caught and no packet is lost.
+#[test]
+fn ac_neutralizes_va_upsets() {
+    let report = run_with(FaultRates::va_only(5e-3), true);
+    assert!(report.completed);
+    assert!(report.errors.va_corrected > 0, "no VA errors corrected");
+    assert_eq!(report.errors.stranded_flits, 0);
+    assert_eq!(report.errors.misdelivered, 0);
+}
+
+/// With the AC enabled, SA upsets are caught and no packet is lost.
+#[test]
+fn ac_neutralizes_sa_upsets() {
+    let report = run_with(FaultRates::sa_only(5e-3), true);
+    assert!(report.completed);
+    assert!(report.errors.sa_corrected > 0, "no SA errors corrected");
+    assert_eq!(report.errors.stranded_flits, 0);
+    assert_eq!(report.errors.misdelivered, 0);
+}
+
+/// Without the AC, VA upsets corrupt allocation state and the network
+/// degrades (stranded flits / wedged packets / lost traffic) — the
+/// failure the AC exists to prevent (§4.1).
+#[test]
+fn va_upsets_without_ac_cause_damage() {
+    let protected = run_with(FaultRates::va_only(5e-3), true);
+    let unprotected = run_with(FaultRates::va_only(5e-3), false);
+    assert!(protected.completed);
+    let damage = !unprotected.completed
+        || unprotected.errors.stranded_flits > 0
+        || unprotected.errors.misdelivered > 0
+        || unprotected.packets_ejected < unprotected.packets_injected / 2;
+    assert!(damage, "expected visible damage without the AC");
+}
+
+/// RT upsets under deterministic routing are detected and charged per
+/// §4.2; packets still arrive at the right place.
+#[test]
+fn rt_upsets_are_neutralized_under_xy() {
+    let report = run_with(FaultRates::rt_only(1e-2), true);
+    assert!(report.completed);
+    assert!(report.errors.rt_corrected > 0);
+    assert_eq!(report.errors.misdelivered, 0);
+}
+
+/// RT upsets under fully adaptive routing are absorbed as detours
+/// (§4.2: "a misdirection fault is not catastrophic").
+#[test]
+fn rt_upsets_become_detours_under_adaptive() {
+    let mut b = SimConfig::builder();
+    b.faults(FaultRates::rt_only(1e-2))
+        .routing(RoutingAlgorithm::FullyAdaptive)
+        .injection_rate(0.15)
+        .warmup_packets(500)
+        .measure_packets(2_000)
+        .max_cycles(500_000);
+    let report = Simulator::new(b.build().unwrap()).run();
+    assert!(report.completed);
+    assert_eq!(report.errors.misdelivered, 0);
+    assert_eq!(report.errors.stranded_flits, 0);
+}
+
+/// Crossbar upsets are single-bit and repaired by the downstream ECC
+/// blanket (§4.4).
+#[test]
+fn crossbar_upsets_corrected_by_ecc() {
+    let faults = FaultRates {
+        crossbar: 1e-3,
+        ..FaultRates::none()
+    };
+    let report = run_with(faults, true);
+    assert!(report.completed);
+    assert!(report.errors.crossbar_corrected > 0);
+    assert_eq!(report.errors.misdelivered, 0);
+}
+
+/// Handshake upsets are masked by TMR (§4.6) without disturbing
+/// delivery.
+#[test]
+fn handshake_upsets_masked_by_tmr() {
+    let faults = FaultRates {
+        handshake: 1e-3,
+        link: 1e-3, // generate NACK traffic for the voters to protect
+        ..FaultRates::none()
+    };
+    let report = run_with(faults, true);
+    assert!(report.completed);
+    assert_eq!(report.errors.misdelivered, 0);
+}

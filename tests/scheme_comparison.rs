@@ -1,0 +1,119 @@
+//! Cross-crate integration: the Figure 5/6 claims as assertions.
+//!
+//! These runs are scaled down from the paper's 300 000 messages but keep
+//! the platform (8×8 mesh, 3-stage routers, 0.25 flits/node/cycle); the
+//! *ordering* and *shape* claims they check are load-independent.
+
+use ftnoc::prelude::*;
+
+fn run(scheme: ErrorScheme, pattern: TrafficPattern, rate: f64) -> SimReport {
+    run_at(scheme, pattern, rate, 0.25)
+}
+
+fn run_at(scheme: ErrorScheme, pattern: TrafficPattern, rate: f64, injection: f64) -> SimReport {
+    let mut b = SimConfig::builder();
+    b.scheme(scheme)
+        .pattern(pattern)
+        .injection_rate(injection)
+        .faults(FaultRates::link_only(rate))
+        .warmup_packets(500)
+        .measure_packets(2_500)
+        .max_cycles(800_000);
+    Simulator::new(b.build().expect("valid config")).run()
+}
+
+/// §3.1 / Figure 6: HBH latency stays essentially flat up to a 10 %
+/// error rate.
+#[test]
+fn hbh_latency_flat_to_ten_percent() {
+    let base = run(ErrorScheme::Hbh, TrafficPattern::Uniform, 1e-5);
+    let stressed = run(ErrorScheme::Hbh, TrafficPattern::Uniform, 1e-1);
+    assert!(base.completed && stressed.completed);
+    assert!(
+        stressed.avg_latency < base.avg_latency * 1.25,
+        "HBH latency should stay near-flat: {} -> {}",
+        base.avg_latency,
+        stressed.avg_latency
+    );
+}
+
+/// Figure 5: at a 1 % error rate the scheme ordering is
+/// HBH < FEC < E2E in average latency.
+#[test]
+fn scheme_ordering_at_one_percent() {
+    let hbh = run(ErrorScheme::Hbh, TrafficPattern::Uniform, 1e-2);
+    let fec = run(ErrorScheme::Fec, TrafficPattern::Uniform, 1e-2);
+    let e2e = run(ErrorScheme::E2e, TrafficPattern::Uniform, 1e-2);
+    assert!(hbh.completed && fec.completed && e2e.completed);
+    assert!(
+        hbh.avg_latency < fec.avg_latency,
+        "HBH {} !< FEC {}",
+        hbh.avg_latency,
+        fec.avg_latency
+    );
+    assert!(
+        fec.avg_latency < e2e.avg_latency,
+        "FEC {} !< E2E {}",
+        fec.avg_latency,
+        e2e.avg_latency
+    );
+}
+
+/// Figure 5: E2E latency collapses as the error rate climbs toward 10 %.
+#[test]
+fn e2e_collapses_at_high_error_rates() {
+    let low = run(ErrorScheme::E2e, TrafficPattern::Uniform, 1e-4);
+    let high = run(ErrorScheme::E2e, TrafficPattern::Uniform, 1e-1);
+    assert!(
+        high.avg_latency > low.avg_latency * 3.0,
+        "E2E should blow up: {} -> {}",
+        low.avg_latency,
+        high.avg_latency
+    );
+}
+
+/// Figure 6: the flatness holds for all three paper traffic patterns.
+/// Bit-complement saturates earlier than uniform on our router, so this
+/// runs slightly below the knee (0.2 flits/node/cycle) where the
+/// flatness claim is about the scheme rather than about congestion
+/// amplification.
+#[test]
+fn hbh_flat_for_all_paper_patterns() {
+    for pattern in TrafficPattern::PAPER_PATTERNS {
+        let base = run_at(ErrorScheme::Hbh, pattern.clone(), 1e-5, 0.2);
+        let stressed = run_at(ErrorScheme::Hbh, pattern.clone(), 5e-2, 0.2);
+        assert!(base.completed && stressed.completed, "{pattern}");
+        assert!(
+            stressed.avg_latency < base.avg_latency * 1.3,
+            "{pattern}: {} -> {}",
+            base.avg_latency,
+            stressed.avg_latency
+        );
+    }
+}
+
+/// Figure 7: HBH energy per packet is insensitive to the error rate
+/// (retransmissions are single-hop and rare).
+#[test]
+fn hbh_energy_flat_with_error_rate() {
+    let base = run(ErrorScheme::Hbh, TrafficPattern::Uniform, 1e-5);
+    let stressed = run(ErrorScheme::Hbh, TrafficPattern::Uniform, 1e-1);
+    assert!(
+        stressed.energy_per_packet_nj < base.energy_per_packet_nj * 1.3,
+        "energy should stay near-flat: {} -> {} nJ",
+        base.energy_per_packet_nj,
+        stressed.energy_per_packet_nj
+    );
+}
+
+/// No scheme may misdeliver under HBH (headers are checked every hop),
+/// and packet accounting must balance in a completed run.
+#[test]
+fn hbh_never_misdelivers() {
+    for rate in [1e-3, 1e-2, 1e-1] {
+        let report = run(ErrorScheme::Hbh, TrafficPattern::Uniform, rate);
+        assert!(report.completed);
+        assert_eq!(report.errors.misdelivered, 0, "rate {rate}");
+        assert_eq!(report.errors.stranded_flits, 0, "rate {rate}");
+    }
+}
