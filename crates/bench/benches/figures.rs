@@ -1,11 +1,11 @@
-//! One Criterion bench per table/figure: each prints its (scaled-down)
-//! series once, then measures the cost of one representative simulation
-//! point so regressions in simulator throughput are caught.
+//! One bench per table/figure: each prints its (scaled-down) series
+//! once, then measures the cost of one representative simulation point
+//! so regressions in simulator throughput are caught.
 //!
 //! Full-scale regeneration lives in the `fig*`/`table1` binaries
 //! (`FTNOC_SCALE=paper cargo run -p ftnoc-bench --bin all_experiments`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ftnoc_bench::harness::Harness;
 use ftnoc_bench::{render_series_table, render_table1, Scale};
 use ftnoc_fault::FaultRates;
 use ftnoc_sim::{ErrorScheme, RoutingAlgorithm, SimConfig, Simulator};
@@ -19,7 +19,7 @@ fn tiny(b: &mut ftnoc_sim::SimConfigBuilder) -> SimConfig {
         .expect("valid config")
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5(h: &mut Harness) {
     let points = ftnoc_bench::figure5(Scale::Quick);
     println!(
         "\n{}",
@@ -31,18 +31,16 @@ fn bench_fig5(c: &mut Criterion) {
             "cycles"
         )
     );
-    c.bench_function("fig5_point_hbh_1e-2", |bench| {
-        bench.iter(|| {
-            let mut b = SimConfig::builder();
-            b.scheme(ErrorScheme::Hbh)
-                .faults(FaultRates::link_only(1e-2))
-                .injection_rate(0.25);
-            black_box(Simulator::new(tiny(&mut b)).run().avg_latency)
-        })
+    h.bench("fig5_point_hbh_1e-2", || {
+        let mut b = SimConfig::builder();
+        b.scheme(ErrorScheme::Hbh)
+            .faults(FaultRates::link_only(1e-2))
+            .injection_rate(0.25);
+        black_box(Simulator::new(tiny(&mut b)).run().avg_latency);
     });
 }
 
-fn bench_fig6_7(c: &mut Criterion) {
+fn bench_fig6_7(h: &mut Harness) {
     let points = ftnoc_bench::figure6(Scale::Quick);
     println!(
         "\n{}",
@@ -64,18 +62,16 @@ fn bench_fig6_7(c: &mut Criterion) {
             "nJ"
         )
     );
-    c.bench_function("fig6_point_tornado_1e-2", |bench| {
-        bench.iter(|| {
-            let mut b = SimConfig::builder();
-            b.pattern(ftnoc_traffic::TrafficPattern::Tornado)
-                .faults(FaultRates::link_only(1e-2))
-                .injection_rate(0.25);
-            black_box(Simulator::new(tiny(&mut b)).run().avg_latency)
-        })
+    h.bench("fig6_point_tornado_1e-2", || {
+        let mut b = SimConfig::builder();
+        b.pattern(ftnoc_traffic::TrafficPattern::Tornado)
+            .faults(FaultRates::link_only(1e-2))
+            .injection_rate(0.25);
+        black_box(Simulator::new(tiny(&mut b)).run().avg_latency);
     });
 }
 
-fn bench_fig8_9(c: &mut Criterion) {
+fn bench_fig8_9(h: &mut Harness) {
     let points = ftnoc_bench::figure8_9(Scale::Quick);
     println!(
         "\n{}",
@@ -97,17 +93,15 @@ fn bench_fig8_9(c: &mut Criterion) {
             "fraction"
         )
     );
-    c.bench_function("fig8_point_ad_0.5", |bench| {
-        bench.iter(|| {
-            let mut b = SimConfig::builder();
-            b.routing(RoutingAlgorithm::WestFirstAdaptive)
-                .injection_rate(0.5);
-            black_box(Simulator::new(tiny(&mut b)).run().tx_utilization)
-        })
+    h.bench("fig8_point_ad_0.5", || {
+        let mut b = SimConfig::builder();
+        b.routing(RoutingAlgorithm::WestFirstAdaptive)
+            .injection_rate(0.5);
+        black_box(Simulator::new(tiny(&mut b)).run().tx_utilization);
     });
 }
 
-fn bench_fig13(c: &mut Criterion) {
+fn bench_fig13(h: &mut Harness) {
     let points = ftnoc_bench::figure13(Scale::Quick);
     println!("\nFigure 13 (quick scale): corrected / energy");
     for (class, rate, report) in &points {
@@ -118,25 +112,26 @@ fn bench_fig13(c: &mut Criterion) {
             report.energy_per_packet_nj
         );
     }
-    c.bench_function("fig13_point_sa_1e-3", |bench| {
-        bench.iter(|| {
-            let mut b = SimConfig::builder();
-            b.faults(FaultRates::sa_only(1e-3)).injection_rate(0.25);
-            black_box(Simulator::new(tiny(&mut b)).run().errors.sa_corrected)
-        })
+    h.bench("fig13_point_sa_1e-3", || {
+        let mut b = SimConfig::builder();
+        b.faults(FaultRates::sa_only(1e-3)).injection_rate(0.25);
+        black_box(Simulator::new(tiny(&mut b)).run().errors.sa_corrected);
     });
 }
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(h: &mut Harness) {
     println!("\n{}", render_table1());
-    c.bench_function("table1_model", |bench| {
-        bench.iter(|| black_box(ftnoc_bench::table1().area_overhead_percent()))
+    h.bench("table1_model", || {
+        black_box(ftnoc_bench::table1().area_overhead_percent());
     });
 }
 
-criterion_group!(
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig5, bench_fig6_7, bench_fig8_9, bench_fig13, bench_table1
-);
-criterion_main!(figures);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_fig5(&mut h);
+    bench_fig6_7(&mut h);
+    bench_fig8_9(&mut h);
+    bench_fig13(&mut h);
+    bench_table1(&mut h);
+    h.finish();
+}

@@ -2,7 +2,7 @@
 //! shifter, arbiter, Allocation Comparator and whole-network cycle
 //! throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ftnoc_bench::harness::Harness;
 use ftnoc_core::ac::{AllocationComparator, RtEntry, SaEntry, VaEntry, VcRef};
 use ftnoc_core::retransmission::RetransmissionBuffer;
 use ftnoc_ecc::hamming;
@@ -13,39 +13,29 @@ use ftnoc_types::packet::PacketId;
 use ftnoc_types::{Flit, Header};
 use std::hint::black_box;
 
-fn bench_hamming(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hamming");
-    g.throughput(Throughput::Bytes(8));
-    g.bench_function("encode", |b| {
-        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
-        b.iter(|| {
-            x = x.rotate_left(7);
-            black_box(hamming::encode(black_box(x)))
-        })
+fn bench_hamming(h: &mut Harness) {
+    let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+    h.bench("hamming/encode", || {
+        x = x.rotate_left(7);
+        black_box(hamming::encode(black_box(x)));
     });
-    g.bench_function("decode_clean", |b| {
-        let data = 0xDEAD_BEEF_CAFE_F00Du64;
-        let check = hamming::encode(data);
-        b.iter(|| black_box(hamming::decode(black_box(data), black_box(check))))
+    let data = 0xDEAD_BEEF_CAFE_F00Du64;
+    let check = hamming::encode(data);
+    h.bench("hamming/decode_clean", || {
+        black_box(hamming::decode(black_box(data), black_box(check)));
     });
-    g.bench_function("decode_correct_one_bit", |b| {
-        let data = 0xDEAD_BEEF_CAFE_F00Du64;
-        let check = hamming::encode(data);
-        b.iter(|| black_box(hamming::decode(black_box(data ^ 0x40), black_box(check))))
+    h.bench("hamming/decode_correct_one_bit", || {
+        black_box(hamming::decode(black_box(data ^ 0x40), black_box(check)));
     });
-    g.finish();
 }
 
-fn bench_crc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crc");
-    g.throughput(Throughput::Bytes(8));
-    g.bench_function("crc8_word", |b| {
-        b.iter(|| black_box(ftnoc_ecc::crc::crc8_word(black_box(0x0123_4567_89AB_CDEF))))
+fn bench_crc(h: &mut Harness) {
+    h.bench("crc/crc8_word", || {
+        black_box(ftnoc_ecc::crc::crc8_word(black_box(0x0123_4567_89AB_CDEF)));
     });
-    g.bench_function("crc16_word", |b| {
-        b.iter(|| black_box(ftnoc_ecc::crc::crc16_word(black_box(0x0123_4567_89AB_CDEF))))
+    h.bench("crc/crc16_word", || {
+        black_box(ftnoc_ecc::crc::crc16_word(black_box(0x0123_4567_89AB_CDEF)));
     });
-    g.finish();
 }
 
 fn flit(seq: u8) -> Flit {
@@ -59,33 +49,29 @@ fn flit(seq: u8) -> Flit {
     )
 }
 
-fn bench_barrel_shifter(c: &mut Criterion) {
-    c.bench_function("retransmission_buffer_record_expire", |b| {
-        let mut buf = RetransmissionBuffer::new(3);
-        let f = flit(0);
-        let mut now = 0u64;
-        b.iter(|| {
-            buf.expire(now);
-            buf.record_transmission(black_box(f), now);
-            now += 1;
-        })
+fn bench_barrel_shifter(h: &mut Harness) {
+    let mut buf = RetransmissionBuffer::new(3);
+    let f = flit(0);
+    let mut now = 0u64;
+    h.bench("retransmission_buffer_record_expire", || {
+        buf.expire(now);
+        buf.record_transmission(black_box(f), now);
+        now += 1;
     });
-    c.bench_function("retransmission_buffer_nack_replay", |b| {
-        b.iter(|| {
-            let mut buf = RetransmissionBuffer::new(3);
-            for t in 0..3 {
-                buf.expire(t);
-                buf.record_transmission(flit(t as u8), t);
-            }
-            buf.on_nack();
-            while let Some(f) = buf.next_replay(3) {
-                black_box(f);
-            }
-        })
+    h.bench("retransmission_buffer_nack_replay", || {
+        let mut buf = RetransmissionBuffer::new(3);
+        for t in 0..3 {
+            buf.expire(t);
+            buf.record_transmission(flit(t as u8), t);
+        }
+        buf.on_nack();
+        while let Some(f) = buf.next_replay(3) {
+            black_box(f);
+        }
     });
 }
 
-fn bench_ac(c: &mut Criterion) {
+fn bench_ac(h: &mut Harness) {
     // The Figure 12 tables scaled to a 5-port x 4-VC router under load.
     let rt: Vec<RtEntry> = (0..20)
         .map(|i| RtEntry {
@@ -107,39 +93,34 @@ fn bench_ac(c: &mut Criterion) {
             out_port: Direction::from_index((i + 2) % 5).unwrap(),
         })
         .collect();
-    c.bench_function("allocation_comparator_check_20_entries", |b| {
-        let mut ac = AllocationComparator::new();
-        b.iter(|| black_box(ac.check(&rt, &va, &sa, 4)))
+    let mut ac = AllocationComparator::new();
+    h.bench("allocation_comparator_check_20_entries", || {
+        black_box(ac.check(&rt, &va, &sa, 4));
     });
 }
 
-fn bench_network_cycles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network");
-    g.sample_size(10);
-    g.bench_function("simulate_8x8_mesh_1000_cycles_inj0.25", |b| {
-        b.iter(|| {
-            let mut builder = SimConfig::builder();
-            builder
-                .injection_rate(0.25)
-                .warmup_packets(0)
-                .measure_packets(u64::MAX)
-                .max_cycles(1_000);
-            let mut sim = Simulator::new(builder.build().unwrap());
-            for _ in 0..1_000 {
-                sim.network_mut().step();
-            }
-            black_box(sim.network().packets_ejected())
-        })
+fn bench_network_cycles(h: &mut Harness) {
+    h.bench("simulate_8x8_mesh_1000_cycles_inj0.25", || {
+        let mut builder = SimConfig::builder();
+        builder
+            .injection_rate(0.25)
+            .warmup_packets(0)
+            .measure_packets(u64::MAX)
+            .max_cycles(1_000);
+        let mut sim = Simulator::new(builder.build().unwrap());
+        for _ in 0..1_000 {
+            sim.network_mut().step();
+        }
+        black_box(sim.network().packets_ejected());
     });
-    g.finish();
 }
 
-criterion_group!(
-    micro,
-    bench_hamming,
-    bench_crc,
-    bench_barrel_shifter,
-    bench_ac,
-    bench_network_cycles
-);
-criterion_main!(micro);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_hamming(&mut h);
+    bench_crc(&mut h);
+    bench_barrel_shifter(&mut h);
+    bench_ac(&mut h);
+    bench_network_cycles(&mut h);
+    h.finish();
+}

@@ -1,0 +1,103 @@
+//! A minimal wall-clock benchmark harness for the `harness = false`
+//! bench targets, so `cargo bench` works without any registry-fetched
+//! benchmarking framework.
+//!
+//! Each benchmark is warmed up, then timed in batches until enough
+//! samples accumulate; the report prints the median, mean, and spread of
+//! per-iteration time. Absolute numbers are what matter here — the
+//! figures harness only needs regressions in simulator throughput to be
+//! visible run-over-run, not criterion-grade statistics.
+
+use std::time::{Duration, Instant};
+
+/// Target accumulated measurement time per benchmark.
+const TARGET_TIME: Duration = Duration::from_millis(300);
+/// Samples (batches) collected per benchmark.
+const SAMPLES: usize = 10;
+
+/// Runs registered benchmarks whose names match the CLI filter.
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`: the first argument that
+    /// is not a flag (cargo passes `--bench`) filters benchmarks by
+    /// substring.
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter, ran: 0 }
+    }
+
+    /// Times `f`, printing one summary line. The closure should consume
+    /// its result through [`std::hint::black_box`] to defeat dead-code
+    /// elimination.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ≥ ~1/SAMPLES of the target time.
+        let mut batch = 1u64;
+        let per_batch = TARGET_TIME / SAMPLES as u32;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= per_batch || batch >= 1 << 30 {
+                break;
+            }
+            // Aim straight for the per-batch budget, at least doubling.
+            let scale = (per_batch.as_nanos() / elapsed.as_nanos().max(1)) as u64;
+            batch = (batch * scale.clamp(2, 1024)).min(1 << 30);
+        }
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[SAMPLES / 2];
+        let mean = samples.iter().sum::<f64>() / SAMPLES as f64;
+        let spread = samples[SAMPLES - 1] - samples[0];
+        println!(
+            "bench {name:<44} {:>14}/iter (mean {}, spread {})",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(spread)
+        );
+    }
+
+    /// Prints the trailing summary; call once after all benchmarks.
+    pub fn finish(self) {
+        println!(
+            "\n{} benchmark{} run",
+            self.ran,
+            if self.ran == 1 { "" } else { "s" }
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}

@@ -1,6 +1,6 @@
 //! The experiment harness: one function per table/figure of the paper,
 //! shared by the regeneration binaries (`src/bin/fig*.rs`) and the
-//! Criterion benches (`benches/`).
+//! wall-clock benches (`benches/`).
 //!
 //! Every experiment supports two scales:
 //!
@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod harness;
 
 use ftnoc_fault::FaultRates;
 use ftnoc_power::{report::table1_report, Table1};

@@ -227,9 +227,7 @@ impl RetransmissionBuffer {
     /// rotates to the back as a sent copy (Figure 10's thick-square
     /// flits), expiring `depth` cycles later as usual.
     pub fn send_held(&mut self, now: u64) -> Option<Flit> {
-        if self.front_held().is_none() {
-            return None;
-        }
+        self.front_held()?;
         let mut slot = self.slots.pop_front().expect("front exists");
         slot.state = SlotState::Sent { sent_at: now };
         self.slots.push_back(slot);

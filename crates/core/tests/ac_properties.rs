@@ -1,11 +1,12 @@
-//! Property tests of the Allocation Comparator: under the paper's
+//! Exhaustive tests of the Allocation Comparator: under the paper's
 //! single-event-upset model, every harmful VA corruption is flagged and
 //! every benign state passes — the exhaustive version of §4.1's
-//! case analysis.
+//! case analysis. The parameter spaces are small enough to sweep
+//! completely, so these cover strictly more cases than the sampled
+//! property tests they replace.
 
 use ftnoc_core::ac::{AllocationComparator, RtEntry, VaEntry, VcRef};
 use ftnoc_types::geom::Direction;
-use proptest::prelude::*;
 
 const VCS: usize = 4;
 
@@ -43,88 +44,115 @@ fn healthy_state(n: usize, seed: usize) -> (Vec<RtEntry>, Vec<VaEntry>) {
     (rt, va)
 }
 
-proptest! {
-    /// A healthy state never raises the error flag (no false positives
-    /// from the comparator logic itself).
-    #[test]
-    fn healthy_states_pass(n in 1usize..12, seed in 0usize..5) {
-        let (rt, va) = healthy_state(n, seed);
-        let mut ac = AllocationComparator::new();
-        let findings = ac.check(&rt, &va, &[], VCS);
-        prop_assert!(findings.is_empty(), "{findings:?}");
+/// A healthy state never raises the error flag (no false positives
+/// from the comparator logic itself).
+#[test]
+fn healthy_states_pass() {
+    for n in 1usize..12 {
+        for seed in 0usize..5 {
+            let (rt, va) = healthy_state(n, seed);
+            let mut ac = AllocationComparator::new();
+            let findings = ac.check(&rt, &va, &[], VCS);
+            assert!(findings.is_empty(), "n {n} seed {seed}: {findings:?}");
+        }
     }
+}
 
-    /// Corrupting one entry's output VC id to an invalid value is always
-    /// caught (§4.1 scenario 1).
-    #[test]
-    fn invalid_vc_always_caught(n in 1usize..12, seed in 0usize..5, victim in 0usize..12) {
-        let (rt, mut va) = healthy_state(n, seed);
-        prop_assume!(!va.is_empty());
-        let victim = victim % va.len();
-        va[victim].out_vc = VCS as u8; // out of range
-        let mut ac = AllocationComparator::new();
-        let findings = ac.check(&rt, &va, &[], VCS);
-        prop_assert!(!findings.is_empty());
+/// Corrupting one entry's output VC id to an invalid value is always
+/// caught (§4.1 scenario 1).
+#[test]
+fn invalid_vc_always_caught() {
+    for n in 1usize..12 {
+        for seed in 0usize..5 {
+            let (rt, base) = healthy_state(n, seed);
+            for victim in 0..base.len() {
+                let mut va = base.clone();
+                va[victim].out_vc = VCS as u8; // out of range
+                let mut ac = AllocationComparator::new();
+                let findings = ac.check(&rt, &va, &[], VCS);
+                assert!(!findings.is_empty(), "n {n} seed {seed} victim {victim}");
+            }
+        }
     }
+}
 
-    /// Corrupting one entry's output port away from the routing
-    /// function's choice is always caught (§4.1 scenario 4b).
-    #[test]
-    fn wrong_port_always_caught(
-        n in 1usize..12,
-        seed in 0usize..5,
-        victim in 0usize..12,
-        shift in 1usize..5,
-    ) {
-        let (rt, mut va) = healthy_state(n, seed);
-        prop_assume!(!va.is_empty());
-        let victim = victim % va.len();
-        let old = va[victim].out_port;
-        va[victim].out_port = dir(old.index() + shift);
-        prop_assume!(va[victim].out_port != old);
-        let mut ac = AllocationComparator::new();
-        let findings = ac.check(&rt, &va, &[], VCS);
-        prop_assert!(!findings.is_empty());
+/// Corrupting one entry's output port away from the routing function's
+/// choice is always caught (§4.1 scenario 4b).
+#[test]
+fn wrong_port_always_caught() {
+    for n in 1usize..12 {
+        for seed in 0usize..5 {
+            let (rt, base) = healthy_state(n, seed);
+            for victim in 0..base.len() {
+                for shift in 1usize..5 {
+                    let mut va = base.clone();
+                    let old = va[victim].out_port;
+                    va[victim].out_port = dir(old.index() + shift);
+                    if va[victim].out_port == old {
+                        continue;
+                    }
+                    let mut ac = AllocationComparator::new();
+                    let findings = ac.check(&rt, &va, &[], VCS);
+                    assert!(
+                        !findings.is_empty(),
+                        "n {n} seed {seed} victim {victim} shift {shift}"
+                    );
+                }
+            }
+        }
     }
+}
 
-    /// Duplicating another entry's (port, vc) is always caught
-    /// (§4.1 scenarios 2/3).
-    #[test]
-    fn duplicate_always_caught(
-        n in 2usize..12,
-        seed in 0usize..5,
-        a in 0usize..12,
-        b in 0usize..12,
-    ) {
-        let (rt, mut va) = healthy_state(n, seed);
-        prop_assume!(va.len() >= 2);
-        let a = a % va.len();
-        let b = b % va.len();
-        prop_assume!(a != b);
-        va[a].out_port = va[b].out_port;
-        va[a].out_vc = va[b].out_vc;
-        let mut ac = AllocationComparator::new();
-        let findings = ac.check(&rt, &va, &[], VCS);
-        prop_assert!(!findings.is_empty());
+/// Duplicating another entry's (port, vc) is always caught
+/// (§4.1 scenarios 2/3).
+#[test]
+fn duplicate_always_caught() {
+    for n in 2usize..12 {
+        for seed in 0usize..5 {
+            let (rt, base) = healthy_state(n, seed);
+            if base.len() < 2 {
+                continue;
+            }
+            for a in 0..base.len() {
+                for b in 0..base.len() {
+                    if a == b {
+                        continue;
+                    }
+                    let mut va = base.clone();
+                    va[a].out_port = va[b].out_port;
+                    va[a].out_vc = va[b].out_vc;
+                    let mut ac = AllocationComparator::new();
+                    let findings = ac.check(&rt, &va, &[], VCS);
+                    assert!(!findings.is_empty(), "n {n} seed {seed} dup {a}<-{b}");
+                }
+            }
+        }
     }
+}
 
-    /// The benign case (§4.1 scenario 4a): a different but *valid and
-    /// unreserved* VC within the intended physical channel raises no
-    /// flag — the AC correctly does not punish harmless upsets.
-    #[test]
-    fn benign_vc_swap_passes(n in 1usize..8, seed in 0usize..5, victim in 0usize..8) {
-        let (rt, mut va) = healthy_state(n, seed);
-        prop_assume!(!va.is_empty());
-        let victim = victim % va.len();
-        let port = va[victim].out_port;
-        // Find an unreserved vc id on the same port.
-        let free = (0..VCS as u8).find(|cand| {
-            !va.iter().any(|v| v.out_port == port && v.out_vc == *cand)
-        });
-        prop_assume!(free.is_some());
-        va[victim].out_vc = free.expect("checked");
-        let mut ac = AllocationComparator::new();
-        let findings = ac.check(&rt, &va, &[], VCS);
-        prop_assert!(findings.is_empty(), "{findings:?}");
+/// The benign case (§4.1 scenario 4a): a different but *valid and
+/// unreserved* VC within the intended physical channel raises no flag —
+/// the AC correctly does not punish harmless upsets.
+#[test]
+fn benign_vc_swap_passes() {
+    for n in 1usize..8 {
+        for seed in 0usize..5 {
+            let (rt, base) = healthy_state(n, seed);
+            for victim in 0..base.len() {
+                let mut va = base.clone();
+                let port = va[victim].out_port;
+                // Find an unreserved vc id on the same port.
+                let free = (0..VCS as u8)
+                    .find(|cand| !va.iter().any(|v| v.out_port == port && v.out_vc == *cand));
+                let Some(free) = free else { continue };
+                va[victim].out_vc = free;
+                let mut ac = AllocationComparator::new();
+                let findings = ac.check(&rt, &va, &[], VCS);
+                assert!(
+                    findings.is_empty(),
+                    "n {n} seed {seed} victim {victim}: {findings:?}"
+                );
+            }
+        }
     }
 }

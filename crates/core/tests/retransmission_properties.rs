@@ -1,15 +1,17 @@
-//! Property-based tests of the retransmission buffer and HBH protocol:
-//! whatever the error pattern, the receiver sees every flit exactly
-//! once, in order, uncorrupted.
+//! Randomized (seeded, deterministic) tests of the retransmission
+//! buffer and HBH protocol: whatever the error pattern, the receiver
+//! sees every flit exactly once, in order, uncorrupted. Corruption and
+//! gap vectors are drawn from a fixed-seed [`ftnoc_rng::Rng`], so every
+//! case replays bit-for-bit.
 
 use ftnoc_core::hbh::{HbhReceiver, HbhSender, ReceiverVerdict};
 use ftnoc_core::retransmission::RetransmissionBuffer;
 use ftnoc_ecc::protect_flit;
+use ftnoc_rng::Rng;
 use ftnoc_types::flit::FlitKind;
 use ftnoc_types::geom::NodeId;
 use ftnoc_types::packet::PacketId;
 use ftnoc_types::{Flit, Header};
-use proptest::prelude::*;
 
 fn flit(seq: u8) -> Flit {
     let mut f = Flit::new(
@@ -24,16 +26,19 @@ fn flit(seq: u8) -> Flit {
     f
 }
 
-proptest! {
-    /// Single-link HBH delivery: a stream of flits crosses a link whose
-    /// per-cycle corruption pattern is arbitrary (none / 1-bit / 2-bit).
-    /// The receiver must end up with the exact stream, in order, no
-    /// duplicates, no corruption.
-    #[test]
-    fn hbh_link_delivers_exact_stream(
-        corruption in proptest::collection::vec(0u8..3, 0..120),
-        stream_len in 1usize..40,
-    ) {
+/// Single-link HBH delivery: a stream of flits crosses a link whose
+/// per-cycle corruption pattern is arbitrary (none / 1-bit / 2-bit).
+/// The receiver must end up with the exact stream, in order, no
+/// duplicates, no corruption.
+#[test]
+fn hbh_link_delivers_exact_stream() {
+    let mut rng = Rng::seed_from_u64(0xC02E_0001);
+    for case in 0..200 {
+        let stream_len = rng.gen_range(1..40usize);
+        let corruption: Vec<u8> = (0..rng.gen_range(0..120usize))
+            .map(|_| rng.gen_range(0..3u8))
+            .collect();
+
         let mut sender = HbhSender::new(3);
         let mut receiver = HbhReceiver::new();
         let mut to_send: Vec<Flit> = (0..stream_len).map(|s| flit(s as u8)).collect();
@@ -56,7 +61,7 @@ proptest! {
             if let Some(mut f) = wire.take() {
                 match receiver.check_arrival(&mut f, now) {
                     ReceiverVerdict::Accept | ReceiverVerdict::AcceptCorrected => {
-                        prop_assert!(f.is_consistent(), "corrupted flit accepted");
+                        assert!(f.is_consistent(), "case {case}: corrupted flit accepted");
                         delivered.push(f.seq);
                     }
                     ReceiverVerdict::NackAndDrop => {
@@ -89,23 +94,28 @@ proptest! {
         }
 
         let expected: Vec<u8> = (0..stream_len as u8).collect();
-        prop_assert_eq!(delivered, expected);
+        assert_eq!(delivered, expected, "case {case}");
     }
+}
 
-    /// The barrel shifter never exceeds its depth and conserves flits:
-    /// everything recorded is either replayed or expires, and replay
-    /// order equals record order.
-    #[test]
-    fn barrel_shifter_replays_in_record_order(
-        gap_pattern in proptest::collection::vec(0u64..3, 1..24),
-    ) {
+/// The barrel shifter never exceeds its depth and conserves flits:
+/// everything recorded is either replayed or expires, and replay order
+/// equals record order.
+#[test]
+fn barrel_shifter_replays_in_record_order() {
+    let mut rng = Rng::seed_from_u64(0xC02E_0002);
+    for case in 0..200 {
+        let gap_pattern: Vec<u64> = (0..rng.gen_range(1..24usize))
+            .map(|_| rng.gen_range(0..3u64))
+            .collect();
+
         let mut buf = RetransmissionBuffer::new(3);
         let mut now = 0u64;
         let mut recorded: Vec<u8> = Vec::new();
         for (i, gap) in gap_pattern.iter().enumerate() {
             now += 1 + gap;
             buf.expire(now);
-            prop_assert!(buf.occupancy() <= 3);
+            assert!(buf.occupancy() <= 3, "case {case}");
             buf.record_transmission(flit(i as u8), now);
             recorded.push(i as u8);
         }
@@ -116,16 +126,23 @@ proptest! {
         while let Some(f) = buf.next_replay(now) {
             replayed.push(f.seq);
         }
-        prop_assert!(!replayed.is_empty());
-        prop_assert!(replayed.len() <= 3);
+        assert!(!replayed.is_empty(), "case {case}");
+        assert!(replayed.len() <= 3, "case {case}");
         let suffix = &recorded[recorded.len() - replayed.len()..];
-        prop_assert_eq!(replayed.as_slice(), suffix);
+        assert_eq!(replayed.as_slice(), suffix, "case {case}");
     }
+}
 
-    /// Held (deadlock-recovery) flits leave in absorption order no matter
-    /// how sends and expiries interleave.
-    #[test]
-    fn held_flits_drain_in_order(send_gaps in proptest::collection::vec(0u64..5, 1..12)) {
+/// Held (deadlock-recovery) flits leave in absorption order no matter
+/// how sends and expiries interleave.
+#[test]
+fn held_flits_drain_in_order() {
+    let mut rng = Rng::seed_from_u64(0xC02E_0003);
+    for case in 0..200 {
+        let send_gaps: Vec<u64> = (0..rng.gen_range(1..12usize))
+            .map(|_| rng.gen_range(0..5u64))
+            .collect();
+
         let mut buf = RetransmissionBuffer::new(3);
         let mut next_seq = 0u8;
         let mut absorbed: Vec<u8> = Vec::new();
@@ -145,6 +162,6 @@ proptest! {
             }
         }
         // Everything sent so far is a prefix of the absorption order.
-        prop_assert_eq!(sent.as_slice(), &absorbed[..sent.len()]);
+        assert_eq!(sent.as_slice(), &absorbed[..sent.len()], "case {case}");
     }
 }

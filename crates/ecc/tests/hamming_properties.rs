@@ -1,67 +1,117 @@
-//! Property-based tests of the SEC/DED guarantees.
+//! Randomized (seeded, deterministic) tests of the SEC/DED guarantees.
+//!
+//! Each test sweeps every bit position exhaustively while sampling data
+//! words from a fixed-seed [`ftnoc_rng::Rng`], so failures reproduce
+//! bit-for-bit without a registry-fetched property-testing framework.
 
 use ftnoc_ecc::hamming::{decode, encode, DecodeOutcome};
-use proptest::prelude::*;
+use ftnoc_rng::Rng;
 
-proptest! {
-    /// Encoding then decoding with no corruption is the identity.
-    #[test]
-    fn clean_round_trip(data: u64) {
+fn sample_words(seed: u64, count: usize) -> Vec<u64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut words = vec![0, u64::MAX, 1, 1u64 << 63, 0xAAAA_AAAA_AAAA_AAAA];
+    words.extend((0..count).map(|_| rng.next_u64()));
+    words
+}
+
+/// Encoding then decoding with no corruption is the identity.
+#[test]
+fn clean_round_trip() {
+    for data in sample_words(0xEC_0001, 256) {
         let check = encode(data);
-        prop_assert_eq!(decode(data, check), DecodeOutcome::Clean { data });
+        assert_eq!(decode(data, check), DecodeOutcome::Clean { data });
     }
+}
 
-    /// Any single bit flip anywhere in the 72-bit word is corrected back
-    /// to the original data.
-    #[test]
-    fn single_flip_corrected(data: u64, bit in 0u32..72) {
+/// Any single bit flip anywhere in the 72-bit word is corrected back
+/// to the original data.
+#[test]
+fn single_flip_corrected() {
+    for data in sample_words(0xEC_0002, 64) {
         let check = encode(data);
-        let (mut d, mut c) = (data, check);
-        if bit < 64 {
-            d ^= 1u64 << bit;
-        } else {
-            c ^= 1u8 << (bit - 64);
-        }
-        match decode(d, c) {
-            DecodeOutcome::Corrected { data: fixed, check: fixed_check, .. } => {
-                prop_assert_eq!(fixed, data);
-                prop_assert_eq!(fixed_check, check);
-            }
-            other => prop_assert!(false, "expected correction, got {:?}", other),
-        }
-    }
-
-    /// Any double bit flip is detected (never silently accepted, never
-    /// "corrected" into a wrong word).
-    #[test]
-    fn double_flip_detected(data: u64, a in 0u32..72, b in 0u32..72) {
-        prop_assume!(a != b);
-        let check = encode(data);
-        let (mut d, mut c) = (data, check);
-        for bit in [a, b] {
+        for bit in 0u32..72 {
+            let (mut d, mut c) = (data, check);
             if bit < 64 {
                 d ^= 1u64 << bit;
             } else {
                 c ^= 1u8 << (bit - 64);
             }
+            match decode(d, c) {
+                DecodeOutcome::Corrected {
+                    data: fixed,
+                    check: fixed_check,
+                    ..
+                } => {
+                    assert_eq!(fixed, data, "data {data:#x} bit {bit}");
+                    assert_eq!(fixed_check, check, "data {data:#x} bit {bit}");
+                }
+                other => panic!("data {data:#x} bit {bit}: expected correction, got {other:?}"),
+            }
         }
-        prop_assert_eq!(decode(d, c), DecodeOutcome::Detected);
     }
+}
 
-    /// The syndrome of distinct single-bit data errors is distinct (the
-    /// code can always identify which bit flipped).
-    #[test]
-    fn syndromes_identify_positions(data: u64, a in 0u32..64, b in 0u32..64) {
-        prop_assume!(a != b);
+/// Any double bit flip is detected (never silently accepted, never
+/// "corrected" into a wrong word).
+#[test]
+fn double_flip_detected() {
+    let mut rng = Rng::seed_from_u64(0xEC_0003);
+    for data in sample_words(0xEC_0004, 16) {
         let check = encode(data);
-        let pos_a = match decode(data ^ (1u64 << a), check) {
-            DecodeOutcome::Corrected { position, .. } => position,
-            other => return Err(TestCaseError::fail(format!("{other:?}"))),
-        };
-        let pos_b = match decode(data ^ (1u64 << b), check) {
-            DecodeOutcome::Corrected { position, .. } => position,
-            other => return Err(TestCaseError::fail(format!("{other:?}"))),
-        };
-        prop_assert_ne!(pos_a, pos_b);
+        // All pairs is 72*71/2 = 2556 per word; sample words, sweep pairs.
+        for a in 0u32..72 {
+            for b in (a + 1)..72 {
+                let (mut d, mut c) = (data, check);
+                for bit in [a, b] {
+                    if bit < 64 {
+                        d ^= 1u64 << bit;
+                    } else {
+                        c ^= 1u8 << (bit - 64);
+                    }
+                }
+                assert_eq!(
+                    decode(d, c),
+                    DecodeOutcome::Detected,
+                    "data {data:#x} bits {a},{b}"
+                );
+            }
+        }
+        // Plus a few random distinct pairs for good measure.
+        for _ in 0..32 {
+            let a = rng.gen_range(0..72u32);
+            let mut b = rng.gen_range(0..71u32);
+            if b >= a {
+                b += 1;
+            }
+            let (mut d, mut c) = (data, check);
+            for bit in [a, b] {
+                if bit < 64 {
+                    d ^= 1u64 << bit;
+                } else {
+                    c ^= 1u8 << (bit - 64);
+                }
+            }
+            assert_eq!(decode(d, c), DecodeOutcome::Detected);
+        }
+    }
+}
+
+/// The syndrome of distinct single-bit data errors is distinct (the
+/// code can always identify which bit flipped).
+#[test]
+fn syndromes_identify_positions() {
+    for data in sample_words(0xEC_0005, 32) {
+        let check = encode(data);
+        let positions: Vec<u32> = (0u32..64)
+            .map(|bit| match decode(data ^ (1u64 << bit), check) {
+                DecodeOutcome::Corrected { position, .. } => position,
+                other => panic!("data {data:#x} bit {bit}: {other:?}"),
+            })
+            .collect();
+        for a in 0..64 {
+            for b in (a + 1)..64 {
+                assert_ne!(positions[a], positions[b], "bits {a},{b} collide");
+            }
+        }
     }
 }

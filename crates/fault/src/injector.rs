@@ -1,8 +1,7 @@
 //! The seeded fault injector and its census counters.
 
+use ftnoc_rng::Rng;
 use ftnoc_types::flit::{FlitPayload, FLIT_TOTAL_BITS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::rates::FaultRates;
 
@@ -56,7 +55,7 @@ impl FaultCounts {
 #[derive(Debug)]
 pub struct FaultInjector {
     rates: FaultRates,
-    rng: StdRng,
+    rng: Rng,
     counts: FaultCounts,
 }
 
@@ -71,7 +70,7 @@ impl FaultInjector {
         rates.assert_valid();
         FaultInjector {
             rates,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             counts: FaultCounts::default(),
         }
     }

@@ -40,7 +40,9 @@ pub struct AcNetlist {
 }
 
 fn bus(c: &mut Circuit, prefix: &str, width: usize) -> Vec<Node> {
-    (0..width).map(|b| c.input(&format!("{prefix}{b}"))).collect()
+    (0..width)
+        .map(|b| c.input(&format!("{prefix}{b}")))
+        .collect()
 }
 
 /// `value >= limit` for a little-endian bus compared against a constant,
@@ -203,9 +205,9 @@ impl AcNetlist {
 
         // Agreement and validity only for the new entries.
         let mut flags = Vec::new();
-        for k in 0..new_entries {
+        for (k, rt) in rts.iter().enumerate() {
             let i = state_entries + k;
-            let eq = c.bus_eq(&ports[i], &rts[k]);
+            let eq = c.bus_eq(&ports[i], rt);
             let ne = c.not(eq);
             flags.push(c.and(valid[i], ne));
             let inv = vc_invalid(&mut c, &vcs[i], vcs_per_port);
@@ -285,20 +287,12 @@ mod tests {
 
     /// Drives the netlist from behavioral-model tables and returns its
     /// `error` output.
-    fn netlist_error(
-        net: &AcNetlist,
-        rt: &[RtEntry],
-        va: &[VaEntry],
-        sa: &[SaEntry],
-    ) -> bool {
+    fn netlist_error(net: &AcNetlist, rt: &[RtEntry], va: &[VaEntry], sa: &[SaEntry]) -> bool {
         let mut owned: Vec<(String, bool)> = Vec::new();
         for (i, v) in va.iter().enumerate() {
             owned.push((format!("e{i}_valid"), true));
             for b in 0..PORT_BITS {
-                owned.push((
-                    format!("e{i}_port{b}"),
-                    v.out_port.index() >> b & 1 == 1,
-                ));
+                owned.push((format!("e{i}_port{b}"), v.out_port.index() >> b & 1 == 1));
                 let rt_port = rt
                     .iter()
                     .find(|r| r.input_vc == v.input_vc)
@@ -317,14 +311,10 @@ mod tests {
                 owned.push((format!("s{j}_out{b}"), s.out_port.index() >> b & 1 == 1));
             }
             for b in 0..VC_BITS {
-                owned.push((
-                    format!("s{j}_vc{b}"),
-                    (s.winning_vc as usize) >> b & 1 == 1,
-                ));
+                owned.push((format!("s{j}_vc{b}"), (s.winning_vc as usize) >> b & 1 == 1));
             }
         }
-        let assignment: Vec<(&str, bool)> =
-            owned.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let assignment: Vec<(&str, bool)> = owned.iter().map(|(n, v)| (n.as_str(), *v)).collect();
         net.circuit.evaluate(&assignment)["error"]
     }
 
@@ -334,15 +324,11 @@ mod tests {
         n_sa: usize,
         vcs: usize,
     ) -> (Vec<RtEntry>, Vec<VaEntry>, Vec<SaEntry>) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ftnoc_rng::Rng::seed_from_u64(seed);
         let mut rt = Vec::new();
         let mut va = Vec::new();
         for k in 0..n_va {
-            let input_vc = VcRef::new(
-                Direction::from_index(k % 5).unwrap(),
-                (k / 5) as u8,
-            );
+            let input_vc = VcRef::new(Direction::from_index(k % 5).unwrap(), (k / 5) as u8);
             let out_port = Direction::from_index(rng.gen_range(0..5)).unwrap();
             // Occasionally corrupt: wrong rt, invalid vc, duplicate-prone vc.
             let rt_port = if rng.gen_bool(0.8) {

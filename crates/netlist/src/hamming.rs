@@ -86,14 +86,19 @@ mod tests {
         let circuit = encoder();
         let mut x = 0x0123_4567_89AB_CDEFu64;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             assert_eq!(
                 encode_via_netlist(&circuit, x),
                 ftnoc_ecc::hamming::encode(x),
                 "word {x:#x}"
             );
         }
-        assert_eq!(encode_via_netlist(&circuit, 0), ftnoc_ecc::hamming::encode(0));
+        assert_eq!(
+            encode_via_netlist(&circuit, 0),
+            ftnoc_ecc::hamming::encode(0)
+        );
         assert_eq!(
             encode_via_netlist(&circuit, u64::MAX),
             ftnoc_ecc::hamming::encode(u64::MAX)

@@ -47,5 +47,6 @@ pub mod sim;
 pub mod stats;
 
 pub use config::{DeadlockConfig, ErrorScheme, RoutingAlgorithm, SimConfig, SimConfigBuilder};
+pub use network::Network;
 pub use sim::{SimReport, Simulator};
 pub use stats::NetworkStats;

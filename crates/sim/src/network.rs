@@ -7,13 +7,13 @@ use ftnoc_core::deadlock::probe::{ActivationAction, ActivationSignal, ProbeActio
 use ftnoc_core::e2e::{E2eDestination, E2eSource, E2eVerdict};
 use ftnoc_ecc::protect_flit;
 use ftnoc_fault::FaultInjector;
+use ftnoc_rng::Rng;
+use ftnoc_trace::{DropReason, NullSink, TraceEvent, TraceSink, Tracer};
 use ftnoc_traffic::Injector;
 use ftnoc_types::flit::Flit;
 use ftnoc_types::geom::{Direction, NodeId, Topology};
 use ftnoc_types::packet::{Packet, PacketId};
 use ftnoc_types::Header;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::config::{ErrorScheme, SimConfig};
 
@@ -71,7 +71,11 @@ struct ActivationFlight {
 }
 
 /// The simulated network.
-pub struct Network {
+///
+/// Generic over the trace sink `S`: with the default [`NullSink`] every
+/// instrumentation site constant-folds away, so the untraced simulator
+/// pays nothing for its observability.
+pub struct Network<S: TraceSink = NullSink> {
     config: SimConfig,
     topo: Topology,
     routers: Vec<Router>,
@@ -80,7 +84,7 @@ pub struct Network {
     channels: Vec<[Option<LinkChannel>; 4]>,
     pes: Vec<ProcessingElement>,
     fi: FaultInjector,
-    rng: StdRng,
+    rng: Rng,
     now: u64,
     next_packet: u64,
     probes: Vec<ProbeFlight>,
@@ -102,11 +106,22 @@ pub struct Network {
     stats: NetworkStats,
     warmup_snapshot: Option<(crate::stats::EventCounts, crate::stats::ErrorStats)>,
     warmup_counts: (u64, u64, u64, u64, u64), // injected, ejected, flits, lat_sum, lat_max
+    /// Structured-event instrumentation (free with [`NullSink`]).
+    tracer: Tracer<S>,
+    /// Per-node recovery state last cycle (transition-event edges).
+    prev_recovering: Vec<bool>,
 }
 
-impl Network {
-    /// Builds the network for a validated configuration.
+impl Network<NullSink> {
+    /// Builds an untraced network for a validated configuration.
     pub fn new(config: SimConfig) -> Self {
+        Network::with_tracer(config, Tracer::disabled())
+    }
+}
+
+impl<S: TraceSink> Network<S> {
+    /// Builds the network with a tracing front-end attached.
+    pub fn with_tracer(config: SimConfig, tracer: Tracer<S>) -> Self {
         let topo = config.topology;
         let n = topo.node_count();
         let routers: Vec<Router> = topo
@@ -148,7 +163,7 @@ impl Network {
             })
             .collect();
         let fi = FaultInjector::new(config.faults, config.seed ^ 0xFA17);
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = Rng::seed_from_u64(config.seed);
         Network {
             topo,
             routers,
@@ -173,8 +188,21 @@ impl Network {
             stats: NetworkStats::default(),
             warmup_snapshot: None,
             warmup_counts: (0, 0, 0, 0, 0),
+            tracer,
+            prev_recovering: vec![false; n],
             config,
         }
+    }
+
+    /// Read access to the tracing front-end (flight recorders).
+    pub fn tracer(&self) -> &Tracer<S> {
+        &self.tracer
+    }
+
+    /// Flushes and surrenders the tracer (post-run sink recovery).
+    pub fn into_tracer(mut self) -> Tracer<S> {
+        self.tracer.flush();
+        self.tracer
     }
 
     /// Current cycle.
@@ -270,6 +298,14 @@ impl Network {
                 self.routers[n].errors.handshake_masked += masked;
                 for vc in nacks {
                     self.routers[n].handle_nack(d, vc);
+                    self.tracer.emit(
+                        now,
+                        n as u16,
+                        TraceEvent::ReplayTriggered {
+                            port: d.index() as u8,
+                            vc,
+                        },
+                    );
                 }
                 for vc in ch.deliver_credits(now) {
                     self.routers[n].handle_credit(d, vc);
@@ -302,11 +338,41 @@ impl Network {
                     now,
                 };
                 let action = self.routers[m.index()].accept_flit(&ctx, d.opposite(), vc, flit);
-                if action == ArrivalAction::NackUpstream {
-                    self.channels[n][d.index()]
-                        .as_mut()
-                        .expect("channel exists")
-                        .send_nack(vc, now);
+                let port = d.opposite().index() as u8;
+                match action {
+                    ArrivalAction::Accepted => self.tracer.emit(
+                        now,
+                        m.index() as u16,
+                        TraceEvent::FlitReceived {
+                            packet: flit.packet.raw(),
+                            seq: flit.seq,
+                            port,
+                            vc,
+                        },
+                    ),
+                    ArrivalAction::NackUpstream | ArrivalAction::Dropped => {
+                        self.tracer.emit(
+                            now,
+                            m.index() as u16,
+                            TraceEvent::FlitDropped {
+                                packet: flit.packet.raw(),
+                                seq: flit.seq,
+                                port,
+                                reason: DropReason::Corrupt,
+                            },
+                        );
+                        if action == ArrivalAction::NackUpstream {
+                            self.tracer.emit(
+                                now,
+                                m.index() as u16,
+                                TraceEvent::NackSent { port, vc },
+                            );
+                            self.channels[n][d.index()]
+                                .as_mut()
+                                .expect("channel exists")
+                                .send_nack(vc, now);
+                        }
+                    }
                 }
             }
         }
@@ -320,8 +386,8 @@ impl Network {
             topo: self.topo,
             now,
         };
-        for r in &mut self.routers {
-            r.control_phase(&ctx, &mut self.fi);
+        for n in 0..self.routers.len() {
+            self.routers[n].control_phase(&ctx, &mut self.fi, &mut self.tracer);
         }
         // Recovery-mode status of every node (a per-link handshake wire in
         // hardware): gates admission of new packets toward recovering
@@ -335,10 +401,10 @@ impl Network {
                     neighbor_recovering[d.index()] = recovering[self.topo.id_of(nc).index()];
                 }
             }
-            self.routers[n].va_phase(&ctx, &mut self.fi, neighbor_recovering);
+            self.routers[n].va_phase(&ctx, &mut self.fi, neighbor_recovering, &mut self.tracer);
         }
-        for r in &mut self.routers {
-            r.sa_phase(&ctx, &mut self.fi);
+        for n in 0..self.routers.len() {
+            self.routers[n].sa_phase(&ctx, &mut self.fi, &mut self.tracer);
         }
 
         // 8. Switch traversal → links (with link/crossbar fault injection),
@@ -351,6 +417,17 @@ impl Network {
             };
             let drives = self.routers[n].st_phase(&ctx);
             for mut drive in drives {
+                self.tracer.emit(
+                    now,
+                    n as u16,
+                    TraceEvent::FlitSent {
+                        packet: drive.flit.packet.raw(),
+                        seq: drive.flit.seq,
+                        port: drive.dir.index() as u8,
+                        vc: drive.vc,
+                        replay: drive.is_replay,
+                    },
+                );
                 // §4.4: crossbar single-bit upsets (corrected downstream).
                 if self.fi.crossbar_upset() {
                     let bit = self.fi.random_bit();
@@ -412,13 +489,39 @@ impl Network {
                     deliver_at: now + 1,
                     path: vec![origin],
                 });
+                self.tracer.emit(
+                    now,
+                    n as u16,
+                    TraceEvent::ProbeLaunched {
+                        origin: n as u16,
+                        port: via.index() as u8,
+                        vc: named.vc,
+                    },
+                );
             }
         }
         self.deliver_probes(now);
         self.deliver_activations(now);
 
+        // Recovery-mode transition edges (entry via activation signals,
+        // exit in end_cycle) become start/end events.
+        if self.tracer.enabled() {
+            for n in 0..self.routers.len() {
+                let rec = self.routers[n].probe.in_recovery();
+                if rec != self.prev_recovering[n] {
+                    let event = if rec {
+                        TraceEvent::RecoveryStarted
+                    } else {
+                        TraceEvent::RecoveryEnded
+                    };
+                    self.tracer.emit(now, n as u16, event);
+                    self.prev_recovering[n] = rec;
+                }
+            }
+        }
+
         // 10. Statistics sampling.
-        if self.config.scheme.uses_end_to_end_control() && now % 16 == 0 {
+        if self.config.scheme.uses_end_to_end_control() && now.is_multiple_of(16) {
             for pe in &self.pes {
                 let occ = pe.e2e_source.occupancy_flits() as u64;
                 if occ > self.e2e_peak_source_flits {
@@ -486,10 +589,19 @@ impl Network {
                 }
                 self.pes[n].source_queue.push_back(packet);
                 self.packets_injected += 1;
+                self.tracer.emit(
+                    now,
+                    n as u16,
+                    TraceEvent::PacketInjected {
+                        packet: id.raw(),
+                        src: n as u16,
+                        dest: dest.index() as u16,
+                    },
+                );
             }
 
             // E2E/FEC timeouts (scanned every 32 cycles to bound cost).
-            if scheme.uses_end_to_end_control() && now % 32 == 0 {
+            if scheme.uses_end_to_end_control() && now.is_multiple_of(32) {
                 let expired = self.pes[n].e2e_source.take_expired(now);
                 for packet in expired {
                     self.routers[n].errors.e2e_retransmissions += 1;
@@ -549,18 +661,32 @@ impl Network {
             ErrorScheme::Hbh => {
                 if flit.kind.is_tail() {
                     if flit.header.dest == node {
-                        self.complete_packet(flit, now);
+                        self.complete_packet(node, flit, now);
                     } else {
                         self.routers[node.index()].errors.misdelivered += 1;
+                        self.tracer.emit(
+                            now,
+                            node.index() as u16,
+                            TraceEvent::Misdelivered {
+                                packet: flit.packet.raw(),
+                            },
+                        );
                     }
                 }
             }
             ErrorScheme::Unprotected => {
                 if flit.kind.is_tail() {
                     if fields.dest == node {
-                        self.complete_packet(flit, now);
+                        self.complete_packet(node, flit, now);
                     } else {
                         self.routers[node.index()].errors.misdelivered += 1;
+                        self.tracer.emit(
+                            now,
+                            node.index() as u16,
+                            TraceEvent::Misdelivered {
+                                packet: flit.packet.raw(),
+                            },
+                        );
                     }
                 }
             }
@@ -570,7 +696,7 @@ impl Network {
                     Some(E2eVerdict::AcceptAndAck) => {
                         let fresh = self.delivered.insert(flit.packet);
                         if fresh {
-                            self.complete_packet(flit, now);
+                            self.complete_packet(node, flit, now);
                         }
                         self.send_control(node, flit.header.src, CLASS_ACK, flit.packet, now);
                     }
@@ -584,9 +710,17 @@ impl Network {
     }
 
     /// Books a completed data packet into the latency statistics.
-    fn complete_packet(&mut self, tail: Flit, now: u64) {
+    fn complete_packet(&mut self, node: NodeId, tail: Flit, now: u64) {
         self.packets_ejected += 1;
         let latency = now.saturating_sub(tail.inject_cycle);
+        self.tracer.emit(
+            now,
+            node.index() as u16,
+            TraceEvent::PacketEjected {
+                packet: tail.packet.raw(),
+                latency,
+            },
+        );
         self.latency_sum += latency;
         if self.measuring {
             self.latency_hist.record(latency);
@@ -659,6 +793,13 @@ impl Network {
                             self.routers[flight.signal.origin.index()]
                                 .errors
                                 .probes_discarded += 1;
+                            self.tracer.emit(
+                                now,
+                                at.index() as u16,
+                                TraceEvent::ProbeDiscarded {
+                                    origin: flight.signal.origin.index() as u16,
+                                },
+                            );
                         }
                     }
                 }
@@ -675,9 +816,23 @@ impl Network {
                     self.routers[flight.signal.origin.index()]
                         .errors
                         .probes_discarded += 1;
+                    self.tracer.emit(
+                        now,
+                        at.index() as u16,
+                        TraceEvent::ProbeDiscarded {
+                            origin: flight.signal.origin.index() as u16,
+                        },
+                    );
                 }
                 ProbeAction::Confirmed => {
                     self.routers[at.index()].errors.deadlocks_confirmed += 1;
+                    self.tracer.emit(
+                        now,
+                        at.index() as u16,
+                        TraceEvent::DeadlockConfirmed {
+                            origin: flight.signal.origin.index() as u16,
+                        },
+                    );
                     flight.path.push(at); // back at the origin
                     self.activations.push(ActivationFlight {
                         origin: flight.signal.origin,

@@ -31,6 +31,7 @@ use ftnoc_core::hbh::{HbhReceiver, HbhSender, ReceiverVerdict};
 use ftnoc_core::recovery::{recovery_latency, LogicFaultKind};
 use ftnoc_core::retransmission::TransmissionFifo;
 use ftnoc_fault::FaultInjector;
+use ftnoc_trace::{AcStage, DropReason, TraceEvent, TraceSink, Tracer};
 use ftnoc_types::config::{PipelineDepth, RouterConfig};
 use ftnoc_types::flit::{Flit, PackedFields};
 use ftnoc_types::geom::{Direction, NodeId, Topology};
@@ -156,6 +157,11 @@ pub enum ArrivalAction {
     /// The flit was dropped silently (inside a drop window).
     Dropped,
 }
+
+/// One row of [`Router::blocked_summary`]: the VC, how long its head
+/// has been blocked, whether the probe chase considers it blocked, and
+/// its onward dependency edge.
+pub type BlockedVcSummary = (VcRef, u64, bool, Option<(Direction, VcRef)>);
 
 /// A flit leaving the router this cycle.
 #[derive(Debug, Clone, Copy)]
@@ -338,7 +344,12 @@ impl Router {
     }
 
     /// Packet bring-up and deadlock-recovery absorption.
-    pub fn control_phase(&mut self, ctx: &Ctx<'_>, fi: &mut FaultInjector) {
+    pub fn control_phase<S: TraceSink>(
+        &mut self,
+        ctx: &Ctx<'_>,
+        fi: &mut FaultInjector,
+        tracer: &mut Tracer<S>,
+    ) {
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
         for p in 0..ports {
@@ -365,6 +376,16 @@ impl Router {
                     }
                     self.inputs[p][v].buffer.pop();
                     self.errors.stranded_flits += 1;
+                    tracer.emit(
+                        ctx.now,
+                        self.id.index() as u16,
+                        TraceEvent::FlitDropped {
+                            packet: front.packet.raw(),
+                            seq: front.seq,
+                            port: p as u8,
+                            reason: DropReason::Stranded,
+                        },
+                    );
                     if Direction::from_index(p) != Some(Direction::Local) {
                         self.freed_credits
                             .push((Direction::from_index(p).expect("port"), v as u8));
@@ -386,6 +407,7 @@ impl Router {
                 let mut ready_at = ctx.now + rc_extra + 1;
 
                 // §4.2: routing-unit soft error.
+                let rt_before = self.errors.rt_corrected;
                 if fi.rt_upset() && !candidates.is_empty() {
                     let correct = candidates[0].index();
                     let wrong = Direction::from_index(fi.corrupt_choice(correct, ports))
@@ -444,6 +466,16 @@ impl Router {
                         // `wrong == Local` at the destination: benign.
                         self.errors.rt_corrected += 1;
                     }
+                }
+                if self.errors.rt_corrected > rt_before {
+                    tracer.emit(
+                        ctx.now,
+                        self.id.index() as u16,
+                        TraceEvent::AcFlagged {
+                            stage: AcStage::Rt,
+                            removed: (self.errors.rt_corrected - rt_before) as u32,
+                        },
+                    );
                 }
 
                 self.inputs[p][v].state = VcState::VaWait {
@@ -591,11 +623,12 @@ impl Router {
     /// "no new packets are allowed to enter the transmission buffers that
     /// are involved in the deadlock recovery"). Flits of already-admitted
     /// packets keep flowing — they are the recovery's working set.
-    pub fn va_phase(
+    pub fn va_phase<S: TraceSink>(
         &mut self,
         ctx: &Ctx<'_>,
         fi: &mut FaultInjector,
         neighbor_recovering: [bool; 4],
+        tracer: &mut Tracer<S>,
     ) {
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
@@ -726,6 +759,16 @@ impl Router {
                 // affected inputs retry next cycle — 1-cycle penalty.
                 let flagged: Vec<usize> = (0..winners.len()).filter(|&i| corrupted[i]).collect();
                 self.errors.va_corrected += flagged.len() as u64;
+                if !flagged.is_empty() {
+                    tracer.emit(
+                        ctx.now,
+                        self.id.index() as u16,
+                        TraceEvent::AcFlagged {
+                            stage: AcStage::Va,
+                            removed: flagged.len() as u32,
+                        },
+                    );
+                }
                 for i in flagged.iter().rev() {
                     winners.remove(*i);
                 }
@@ -772,16 +815,21 @@ impl Router {
     }
 
     /// Switch allocation (§4.3 faults + AC protection).
-    pub fn sa_phase(&mut self, ctx: &Ctx<'_>, fi: &mut FaultInjector) {
+    pub fn sa_phase<S: TraceSink>(
+        &mut self,
+        ctx: &Ctx<'_>,
+        fi: &mut FaultInjector,
+        tracer: &mut Tracer<S>,
+    ) {
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
         let scheme = ctx.config.scheme;
 
         // Stage 1: per input port, pick one eligible VC.
         let mut port_winner: Vec<Option<(usize, usize, usize)>> = vec![None; ports];
-        for p in 0..ports {
+        for (p, winner) in port_winner.iter_mut().enumerate() {
             let mut lines = vec![false; vcs];
-            for v in 0..vcs {
+            for (v, line) in lines.iter_mut().enumerate() {
                 let VcState::Active {
                     out_port,
                     out_vc,
@@ -807,14 +855,14 @@ impl Router {
                 {
                     continue;
                 }
-                lines[v] = true;
+                *line = true;
             }
             if let Some(v) = self.sa_in_arbiters[p].grant(&lines) {
                 if let VcState::Active {
                     out_port, out_vc, ..
                 } = self.inputs[p][v].state
                 {
-                    port_winner[p] = Some((v, out_port, out_vc));
+                    *winner = Some((v, out_port, out_vc));
                 }
             }
         }
@@ -837,6 +885,7 @@ impl Router {
         }
 
         // §4.3: switch-allocator soft errors.
+        let sa_before = self.errors.sa_corrected;
         let mut i = 0;
         while i < grants.len() {
             if !fi.sa_upset() {
@@ -891,6 +940,16 @@ impl Router {
                     }
                 }
             }
+        }
+        if self.errors.sa_corrected > sa_before {
+            tracer.emit(
+                ctx.now,
+                self.id.index() as u16,
+                TraceEvent::AcFlagged {
+                    stage: AcStage::Sa,
+                    removed: (self.errors.sa_corrected - sa_before) as u32,
+                },
+            );
         }
 
         // Commit grants: pop flits, reserve credits, queue for ST.
@@ -1227,7 +1286,7 @@ impl Router {
 
     /// Diagnostic view of every input VC: its reference, blocked-cycle
     /// count and onward dependency edge (as the probe chase sees it).
-    pub fn blocked_summary(&self) -> Vec<(VcRef, u64, bool, Option<(Direction, VcRef)>)> {
+    pub fn blocked_summary(&self) -> Vec<BlockedVcSummary> {
         let vcs = self.cfg.vcs_per_port();
         let mut out = Vec::new();
         for p in 0..self.cfg.ports() {

@@ -78,7 +78,7 @@ fn odd_even_candidates(
     dest: Coord,
     minimal: &[Direction],
 ) -> Vec<Direction> {
-    let even_col = here.x() % 2 == 0;
+    let even_col = here.x().is_multiple_of(2);
     let mut out = Vec::with_capacity(2);
     for &d in minimal {
         let keep = match d {

@@ -2,6 +2,7 @@
 //! run report.
 
 use ftnoc_power::EnergyModel;
+use ftnoc_trace::{NullSink, TraceSink, Tracer};
 
 use crate::config::SimConfig;
 use crate::network::Network;
@@ -46,32 +47,160 @@ pub struct SimReport {
     pub completed: bool,
 }
 
-/// Drives a [`Network`] through warm-up and measurement.
-pub struct Simulator {
-    config: SimConfig,
-    network: Network,
+impl SimReport {
+    /// Serializes the full report as one JSON object (the CLI's
+    /// `--report-json`).
+    ///
+    /// Hand-rolled, dependency-free: integers, booleans and finite
+    /// floats only. A non-finite float (e.g. the average latency of an
+    /// empty measurement window) becomes `null`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn fnum(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::with_capacity(1536);
+        let (p50, p95, p99) = self.latency_percentiles;
+        let _ = write!(
+            s,
+            "{{\"cycles\":{},\"packets_injected\":{},\"packets_ejected\":{},\
+             \"avg_latency\":{},\"max_latency\":{},\
+             \"latency_percentiles\":{{\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}},\
+             \"throughput\":{},\"energy_per_packet_nj\":{},\
+             \"tx_utilization\":{},\"retx_utilization\":{}",
+            self.cycles,
+            self.packets_injected,
+            self.packets_ejected,
+            fnum(self.avg_latency),
+            self.max_latency,
+            fnum(self.throughput),
+            fnum(self.energy_per_packet_nj),
+            fnum(self.tx_utilization),
+            fnum(self.retx_utilization),
+        );
+        let ev = &self.events;
+        let _ = write!(
+            s,
+            ",\"events\":{{\"buffer_write\":{},\"buffer_read\":{},\"crossbar\":{},\
+             \"link\":{},\"route\":{},\"va\":{},\"sa\":{},\"retrans_shift\":{},\
+             \"retransmission\":{},\"ecc_check\":{},\"nack\":{},\"ac_check\":{}}}",
+            ev.buffer_write,
+            ev.buffer_read,
+            ev.crossbar,
+            ev.link,
+            ev.route,
+            ev.va,
+            ev.sa,
+            ev.retrans_shift,
+            ev.retransmission,
+            ev.ecc_check,
+            ev.nack,
+            ev.ac_check,
+        );
+        let er = &self.errors;
+        let _ = write!(
+            s,
+            ",\"errors\":{{\"link_corrected_inline\":{},\"link_recovered_by_replay\":{},\
+             \"flits_dropped\":{},\"rt_corrected\":{},\"va_corrected\":{},\
+             \"sa_corrected\":{},\"crossbar_corrected\":{},\"handshake_masked\":{},\
+             \"e2e_retransmissions\":{},\"misdelivered\":{},\"stranded_flits\":{},\
+             \"probes_sent\":{},\"deadlocks_confirmed\":{},\"probes_discarded\":{}}}",
+            er.link_corrected_inline,
+            er.link_recovered_by_replay,
+            er.flits_dropped,
+            er.rt_corrected,
+            er.va_corrected,
+            er.sa_corrected,
+            er.crossbar_corrected,
+            er.handshake_masked,
+            er.e2e_retransmissions,
+            er.misdelivered,
+            er.stranded_flits,
+            er.probes_sent,
+            er.deadlocks_confirmed,
+            er.probes_discarded,
+        );
+        let fc = &self.faults_injected;
+        let _ = write!(
+            s,
+            ",\"faults_injected\":{{\"link\":{},\"link_multi_bit\":{},\"rt\":{},\
+             \"va\":{},\"sa\":{},\"crossbar\":{},\"retrans_buffer\":{},\"handshake\":{}}}",
+            fc.link,
+            fc.link_multi_bit,
+            fc.rt,
+            fc.va,
+            fc.sa,
+            fc.crossbar,
+            fc.retrans_buffer,
+            fc.handshake,
+        );
+        let _ = write!(
+            s,
+            ",\"e2e_peak_source_buffer_flits\":{},\"completed\":{}}}",
+            self.e2e_peak_source_buffer_flits, self.completed
+        );
+        s
+    }
 }
 
-impl Simulator {
-    /// Builds a simulator for a validated configuration.
+/// Drives a [`Network`] through warm-up and measurement.
+///
+/// Generic over the trace sink `S` (default: the free [`NullSink`]); use
+/// [`Simulator::with_tracer`] to attach instrumentation and
+/// [`Simulator::into_tracer`] to recover the sink after a run.
+pub struct Simulator<S: TraceSink = NullSink> {
+    config: SimConfig,
+    network: Network<S>,
+}
+
+impl Simulator<NullSink> {
+    /// Builds an untraced simulator for a validated configuration.
     pub fn new(config: SimConfig) -> Self {
-        let network = Network::new(config.clone());
+        Simulator::with_tracer(config, Tracer::disabled())
+    }
+}
+
+impl<S: TraceSink> Simulator<S> {
+    /// Builds a simulator with a tracing front-end attached.
+    pub fn with_tracer(config: SimConfig, tracer: Tracer<S>) -> Self {
+        let network = Network::with_tracer(config.clone(), tracer);
         Simulator { config, network }
     }
 
     /// Read access to the network (tests).
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &Network<S> {
         &self.network
     }
 
     /// Mutable access to the network (scenario scripting in tests).
-    pub fn network_mut(&mut self) -> &mut Network {
+    pub fn network_mut(&mut self) -> &mut Network<S> {
         &mut self.network
+    }
+
+    /// Flushes and surrenders the tracer (e.g. to read a memory sink's
+    /// records, or dump flight recorders, after a run).
+    pub fn into_tracer(self) -> Tracer<S> {
+        self.network.into_tracer()
     }
 
     /// Runs to completion: warm-up until `warmup_packets` ejections, then
     /// measurement until `measure_packets` more (or the cycle cap).
-    pub fn run(mut self) -> SimReport {
+    pub fn run(&mut self) -> SimReport {
+        self.run_observed(0, |_| {})
+    }
+
+    /// Runs like [`Simulator::run`], invoking `observer` every `every`
+    /// cycles (`0` disables it) — the CLI's `--stats-every` hook for
+    /// periodic interval metrics on long runs.
+    pub fn run_observed<F: FnMut(&Network<S>)>(
+        &mut self,
+        every: u64,
+        mut observer: F,
+    ) -> SimReport {
         let warmup_target = self.config.warmup_packets;
         let mut total_target = self.config.warmup_packets + self.config.measure_packets;
         let mut measuring = warmup_target == 0;
@@ -80,6 +209,9 @@ impl Simulator {
         }
         while self.network.now() < self.config.max_cycles {
             self.network.step();
+            if every > 0 && self.network.now().is_multiple_of(every) {
+                observer(&self.network);
+            }
             if !measuring && self.network.packets_ejected() >= warmup_target {
                 self.network.start_measurement();
                 // Anchor the window at the actual crossing point so the
@@ -97,7 +229,7 @@ impl Simulator {
 
     /// Runs exactly `cycles` cycles with measurement from cycle 0
     /// (used by utilization sweeps and tests).
-    pub fn run_cycles(mut self, cycles: u64) -> SimReport {
+    pub fn run_cycles(&mut self, cycles: u64) -> SimReport {
         self.network.start_measurement();
         for _ in 0..cycles {
             self.network.step();
@@ -105,7 +237,7 @@ impl Simulator {
         self.report(true)
     }
 
-    fn report(self, completed: bool) -> SimReport {
+    fn report(&self, completed: bool) -> SimReport {
         let stats = self.network.stats();
         let model = EnergyModel::new();
         let nodes = self.config.topology.node_count();

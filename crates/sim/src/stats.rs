@@ -327,18 +327,24 @@ mod tests {
     #[test]
     fn event_energy_is_linear() {
         let model = EnergyModel::new();
-        let mut a = EventCounts::default();
-        a.link = 10;
-        let mut b = EventCounts::default();
-        b.link = 20;
+        let a = EventCounts {
+            link: 10,
+            ..Default::default()
+        };
+        let b = EventCounts {
+            link: 20,
+            ..Default::default()
+        };
         assert!((b.energy(&model).raw() - 2.0 * a.energy(&model).raw()).abs() < 1e-9);
     }
 
     #[test]
     fn delta_subtracts_snapshots() {
-        let mut before = EventCounts::default();
-        before.link = 5;
-        before.va = 2;
+        let before = EventCounts {
+            link: 5,
+            va: 2,
+            ..Default::default()
+        };
         let mut after = before;
         after.link = 9;
         after.va = 3;

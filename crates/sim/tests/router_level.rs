@@ -5,6 +5,7 @@ use ftnoc_ecc::protect_flit;
 use ftnoc_fault::{FaultInjector, FaultRates};
 use ftnoc_sim::router::{Ctx, LinkDrive, Router};
 use ftnoc_sim::SimConfig;
+use ftnoc_trace::{NullSink, Tracer};
 use ftnoc_types::flit::FlitKind;
 use ftnoc_types::geom::{Direction, NodeId, Topology};
 use ftnoc_types::packet::PacketId;
@@ -35,10 +36,12 @@ impl Harness {
             topo: Topology::mesh(8, 8),
             now: self.now,
         };
+        let mut tracer: Tracer<NullSink> = Tracer::disabled();
         self.router.begin_cycle(self.now);
-        self.router.control_phase(&ctx, &mut self.fi);
-        self.router.va_phase(&ctx, &mut self.fi, [false; 4]);
-        self.router.sa_phase(&ctx, &mut self.fi);
+        self.router.control_phase(&ctx, &mut self.fi, &mut tracer);
+        self.router
+            .va_phase(&ctx, &mut self.fi, [false; 4], &mut tracer);
+        self.router.sa_phase(&ctx, &mut self.fi, &mut tracer);
         let drives = self.router.st_phase(&ctx);
         let _ = self.router.end_cycle(&ctx);
         self.now += 1;

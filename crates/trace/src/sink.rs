@@ -1,0 +1,155 @@
+//! Pluggable trace destinations.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::TraceRecord;
+
+/// A destination for trace records.
+///
+/// The sink is chosen at compile time (the simulator is generic over
+/// `S: TraceSink`), so with [`NullSink`] — whose `ENABLED` is `false` —
+/// every instrumentation site folds away to nothing: event construction
+/// is guarded behind `S::ENABLED`, a constant the optimizer eliminates.
+pub trait TraceSink {
+    /// Whether this sink observes events at all. Instrumentation sites
+    /// must check this before constructing events.
+    const ENABLED: bool = true;
+
+    /// Consumes one record.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Flushes buffered output (a no-op for most sinks).
+    fn flush(&mut self) {}
+}
+
+/// The do-nothing sink: compiles tracing out of the simulator entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _rec: &TraceRecord) {}
+}
+
+/// Collects every record in memory, for tests and programmatic analysis.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The records, in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The collected records serialized as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 96);
+        for rec in &self.records {
+            rec.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.records.push(*rec);
+    }
+}
+
+/// Streams records as JSON Lines to any writer (typically a buffered
+/// file — see [`JsonlSink::create`]).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    line: String,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Opens (truncating) a JSONL trace file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            line: String::with_capacity(128),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.line.clear();
+        rec.write_json(&mut self.line);
+        self.line.push('\n');
+        // A trace is diagnostic output; an I/O error here must not kill
+        // a simulation that is otherwise healthy.
+        let _ = self.writer.write_all(self.line.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(cycle: u64) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            node: 1,
+            event: TraceEvent::NackSent { port: 0, vc: 0 },
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        const { assert!(MemorySink::ENABLED) };
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        for c in 0..5 {
+            sink.record(&rec(c));
+        }
+        assert_eq!(sink.records.len(), 5);
+        assert!(sink.records.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        assert_eq!(sink.to_jsonl().lines().count(), 5);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(3));
+        sink.record(&rec(4));
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        assert_eq!(text.lines().next().unwrap(), rec(3).to_json());
+    }
+}

@@ -1,8 +1,7 @@
 //! Open-loop packet injection processes.
 
+use ftnoc_rng::Rng;
 use ftnoc_types::error::ConfigError;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// How injection instants are spaced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,7 +59,7 @@ impl Injector {
 
     /// Advances one cycle and returns how many packets to inject now
     /// (0 or 1 for all rates ≤ 1 flit/cycle).
-    pub fn packets_this_cycle(&mut self, rng: &mut StdRng) -> u32 {
+    pub fn packets_this_cycle(&mut self, rng: &mut Rng) -> u32 {
         match self.process {
             InjectionProcess::Regular => {
                 self.accumulator += self.packets_per_cycle;
@@ -79,10 +78,9 @@ impl Injector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(1)
     }
 
     #[test]

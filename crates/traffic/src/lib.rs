@@ -11,10 +11,9 @@
 //! ```
 //! use ftnoc_traffic::{InjectionProcess, Injector, TrafficPattern};
 //! use ftnoc_types::geom::{NodeId, Topology};
-//! use rand::SeedableRng;
 //!
 //! let topo = Topology::mesh(8, 8);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = ftnoc_rng::Rng::seed_from_u64(7);
 //!
 //! // Bit-complement is deterministic: node 0 always sends to node 63.
 //! let dest = TrafficPattern::BitComplement.destination(NodeId::new(0), topo, &mut rng);

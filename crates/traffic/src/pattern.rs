@@ -2,9 +2,8 @@
 
 use std::fmt;
 
+use ftnoc_rng::Rng;
 use ftnoc_types::geom::{Coord, NodeId, Topology};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// A weighted source→destination traffic matrix, for application-shaped
 /// workloads (SoC task graphs, client/server flows) rather than
@@ -15,7 +14,6 @@ use rand::Rng;
 /// ```
 /// use ftnoc_traffic::{FlowTable, TrafficPattern};
 /// use ftnoc_types::geom::{NodeId, Topology};
-/// use rand::SeedableRng;
 ///
 /// // A camera at node 0 streams to a filter at node 5; the filter
 /// // streams onward to memory at node 63.
@@ -24,7 +22,7 @@ use rand::Rng;
 ///     (NodeId::new(5), NodeId::new(63), 1.0),
 /// ])?;
 /// let pattern = TrafficPattern::Flows(flows);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = ftnoc_rng::Rng::seed_from_u64(1);
 /// let d = pattern.destination(NodeId::new(0), Topology::mesh(8, 8), &mut rng);
 /// assert_eq!(d, NodeId::new(5));
 /// # Ok::<(), ftnoc_types::ConfigError>(())
@@ -60,7 +58,7 @@ impl FlowTable {
 
     /// Weighted destination draw for `src`, or `None` when the node
     /// originates no flow.
-    fn pick(&self, src: NodeId, rng: &mut StdRng) -> Option<NodeId> {
+    fn pick(&self, src: NodeId, rng: &mut Rng) -> Option<NodeId> {
         let total: f64 = self.from_node(src).map(|(_, w)| w).sum();
         if total <= 0.0 {
             return None;
@@ -150,7 +148,7 @@ impl TrafficPattern {
     ///
     /// Panics if the topology has fewer than two nodes (no valid
     /// destination exists).
-    pub fn destination(&self, src: NodeId, topo: Topology, rng: &mut StdRng) -> NodeId {
+    pub fn destination(&self, src: NodeId, topo: Topology, rng: &mut Rng) -> NodeId {
         let n = topo.node_count();
         assert!(n >= 2, "traffic requires at least two nodes");
         let raw = match self {
@@ -237,10 +235,9 @@ impl fmt::Display for TrafficPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     fn topo() -> Topology {

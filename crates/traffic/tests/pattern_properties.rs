@@ -1,11 +1,11 @@
-//! Property tests on traffic patterns: validity over arbitrary grids
-//! and statistical behaviour of the injectors.
+//! Randomized (seeded, deterministic) tests on traffic patterns:
+//! validity over arbitrary grids and statistical behaviour of the
+//! injectors. Grid dimensions are swept exhaustively; random draws come
+//! from fixed-seed [`ftnoc_rng::Rng`] so failures replay exactly.
 
+use ftnoc_rng::Rng;
 use ftnoc_traffic::{InjectionProcess, Injector, TrafficPattern};
 use ftnoc_types::geom::{NodeId, Topology};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn all_patterns(node_count: usize) -> Vec<TrafficPattern> {
     vec![
@@ -23,62 +23,75 @@ fn all_patterns(node_count: usize) -> Vec<TrafficPattern> {
     ]
 }
 
-proptest! {
-    /// Every pattern returns an in-range, non-self destination on every
-    /// grid from 1x2 up to 16x16.
-    #[test]
-    fn destinations_valid_on_any_grid(
-        w in 1u8..=16,
-        h in 1u8..=16,
-        seed: u64,
-    ) {
-        prop_assume!(w as usize * h as usize >= 2);
-        let topo = Topology::mesh(w, h);
-        let mut rng = StdRng::seed_from_u64(seed);
-        for pattern in all_patterns(topo.node_count()) {
-            for src in topo.nodes() {
-                let d = pattern.destination(src, topo, &mut rng);
-                prop_assert!(d.index() < topo.node_count(), "{pattern:?}");
-                prop_assert_ne!(d, src, "{:?} self-addressed", pattern);
+/// Every pattern returns an in-range, non-self destination on every
+/// grid from 1x2 up to 16x16.
+#[test]
+fn destinations_valid_on_any_grid() {
+    let mut seed_rng = Rng::seed_from_u64(0x7AFF_1C01);
+    for w in 1u8..=16 {
+        for h in 1u8..=16 {
+            if (w as usize) * (h as usize) < 2 {
+                continue;
+            }
+            let topo = Topology::mesh(w, h);
+            let mut rng = Rng::seed_from_u64(seed_rng.next_u64());
+            for pattern in all_patterns(topo.node_count()) {
+                for src in topo.nodes() {
+                    let d = pattern.destination(src, topo, &mut rng);
+                    assert!(d.index() < topo.node_count(), "{pattern:?} on {w}x{h}");
+                    assert_ne!(d, src, "{pattern:?} self-addressed on {w}x{h}");
+                }
             }
         }
     }
+}
 
-    /// Deterministic patterns give the same destination on every call.
-    #[test]
-    fn deterministic_patterns_are_stable(seed: u64, src_raw in 0u16..64) {
-        let topo = Topology::mesh(8, 8);
-        let src = NodeId::new(src_raw);
-        for pattern in [
-            TrafficPattern::BitComplement,
-            TrafficPattern::Tornado,
-            TrafficPattern::Transpose,
-            TrafficPattern::BitReverse,
-            TrafficPattern::Shuffle,
-            TrafficPattern::Neighbor,
-        ] {
-            let mut r1 = StdRng::seed_from_u64(seed);
-            let mut r2 = StdRng::seed_from_u64(seed.wrapping_add(1));
-            prop_assert_eq!(
-                pattern.destination(src, topo, &mut r1),
-                pattern.destination(src, topo, &mut r2),
-                "{:?}", pattern
-            );
+/// Deterministic patterns give the same destination on every call,
+/// whatever the RNG state.
+#[test]
+fn deterministic_patterns_are_stable() {
+    let topo = Topology::mesh(8, 8);
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+        for src_raw in 0u16..64 {
+            let src = NodeId::new(src_raw);
+            for pattern in [
+                TrafficPattern::BitComplement,
+                TrafficPattern::Tornado,
+                TrafficPattern::Transpose,
+                TrafficPattern::BitReverse,
+                TrafficPattern::Shuffle,
+                TrafficPattern::Neighbor,
+            ] {
+                let mut r1 = Rng::seed_from_u64(seed);
+                let mut r2 = Rng::seed_from_u64(seed.wrapping_add(1));
+                assert_eq!(
+                    pattern.destination(src, topo, &mut r1),
+                    pattern.destination(src, topo, &mut r2),
+                    "{pattern:?} src {src_raw} seed {seed}"
+                );
+            }
         }
     }
+}
 
-    /// The regular injector emits within one packet of the exact mean
-    /// over any window, at any rate.
-    #[test]
-    fn regular_injector_tracks_exact_rate(
-        rate in 0.01f64..=1.0,
-        cycles in 100u64..20_000,
-    ) {
-        let mut rng = StdRng::seed_from_u64(7);
+/// The regular injector emits within one packet of the exact mean over
+/// any window, at any rate.
+#[test]
+fn regular_injector_tracks_exact_rate() {
+    let mut case_rng = Rng::seed_from_u64(0x7AFF_1C02);
+    let mut cases: Vec<(f64, u64)> = vec![(0.01, 100), (1.0, 20_000), (0.333, 12_345)];
+    cases.extend((0..60).map(|_| {
+        (
+            case_rng.gen_range(0.01..1.0f64),
+            case_rng.gen_range(100..20_000u64),
+        )
+    }));
+    for (rate, cycles) in cases {
+        let mut rng = Rng::seed_from_u64(7);
         let mut inj = Injector::new(rate, 4, InjectionProcess::Regular).unwrap();
         let total: u32 = (0..cycles).map(|_| inj.packets_this_cycle(&mut rng)).sum();
         let expect = rate / 4.0 * cycles as f64;
-        prop_assert!(
+        assert!(
             (total as f64 - expect).abs() <= 1.0,
             "rate {rate}: got {total}, expected {expect}"
         );

@@ -5,12 +5,14 @@
 //! cargo run --bin ftnoc --release -- run --scheme hbh --error-rate 0.01
 //! cargo run --bin ftnoc --release -- run --topology 4x4 --routing fa \
 //!     --vcs 1 --retrans 6 --deadlock-recovery --inj 0.2
+//! cargo run --bin ftnoc --release -- run --trace out.jsonl --report-json
 //! cargo run --bin ftnoc --release -- table1
 //! ```
 
 use ftnoc::cli::{parse, Command, HELP};
 use ftnoc_power::EnergyModel;
-use ftnoc_sim::Simulator;
+use ftnoc_sim::{Network, SimReport, Simulator};
+use ftnoc_trace::{JsonlSink, TraceSink, Tracer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,67 +29,137 @@ fn main() {
                 ftnoc_power::report::table1_report(&ftnoc_power::Table1::compute())
             );
         }
-        Ok(Command::Run { config, profile }) => {
-            let report = Simulator::new(config).run();
-            println!("cycles                : {}", report.cycles);
-            println!("packets (measured)    : {}", report.packets_ejected);
-            println!("avg latency           : {:.2} cycles", report.avg_latency);
-            println!("max latency           : {} cycles", report.max_latency);
-            let (p50, p95, p99) = report.latency_percentiles;
-            println!("latency p50/p95/p99   : <={p50} / <={p95} / <={p99} cycles");
-            println!(
-                "throughput            : {:.4} flits/node/cycle",
-                report.throughput
-            );
-            println!(
-                "energy per packet     : {:.4} nJ",
-                report.energy_per_packet_nj
-            );
-            println!(
-                "tx / retx utilization : {:.3} / {:.3}",
-                report.tx_utilization, report.retx_utilization
-            );
-            let e = &report.errors;
-            println!(
-                "link corrected/replayed: {} / {}",
-                e.link_corrected_inline, e.link_recovered_by_replay
-            );
-            println!(
-                "rt / va / sa corrected : {} / {} / {}",
-                e.rt_corrected, e.va_corrected, e.sa_corrected
-            );
-            println!(
-                "misdelivered / stranded: {} / {}",
-                e.misdelivered, e.stranded_flits
-            );
-            if e.probes_sent > 0 {
-                println!(
-                    "probes sent/confirmed  : {} / {}",
-                    e.probes_sent, e.deadlocks_confirmed
-                );
-            }
-            if !report.completed {
-                println!(
-                    "NOTE: run hit the cycle cap before the packet target (saturated or wedged)"
-                );
-            }
-            if profile {
-                println!();
-                let model = EnergyModel::new();
-                let rows = report.events.energy_breakdown(&model);
-                let total: f64 = rows.iter().map(|(_, _, e)| e.raw()).sum();
-                println!(
-                    "{:<24} {:>12} {:>14} {:>7}",
-                    "event class", "count", "energy", "share"
-                );
-                for (name, count, energy) in &rows {
-                    println!(
-                        "{name:<24} {count:>12} {:>11.1} pJ {:>6.2}%",
-                        energy.raw(),
-                        energy.raw() / total * 100.0
-                    );
+        Ok(Command::Run {
+            config,
+            profile,
+            trace,
+            flight_recorder,
+            stats_every,
+            report_json,
+        }) => {
+            let config = *config;
+            let report = match trace {
+                Some(path) => {
+                    let sink = match JsonlSink::create(&path) {
+                        Ok(sink) => sink,
+                        Err(e) => {
+                            eprintln!("error: cannot open trace file {}: {e}", path.display());
+                            std::process::exit(2);
+                        }
+                    };
+                    let nodes = config.topology.node_count();
+                    let mut sim =
+                        Simulator::with_tracer(config, Tracer::new(sink, nodes, flight_recorder));
+                    let report = run_observed(&mut sim, stats_every);
+                    let mut tracer = sim.into_tracer();
+                    tracer.flush();
+                    // Post-mortem: a wedged or misdelivering run dumps the
+                    // per-router flight recorders for offline diagnosis.
+                    if !report.completed || report.errors.misdelivered > 0 {
+                        dump_flight_recorders(&tracer);
+                    }
+                    report
                 }
+                None => run_observed(&mut Simulator::new(config), stats_every),
+            };
+            if report_json {
+                println!("{}", report.to_json());
+            } else {
+                print_human_report(&report, profile);
             }
+        }
+    }
+}
+
+/// Runs the simulation, printing interval progress to stderr every
+/// `every` cycles (0 disables it).
+fn run_observed<S: TraceSink>(sim: &mut Simulator<S>, every: u64) -> SimReport {
+    sim.run_observed(every, |net: &Network<S>| {
+        eprintln!(
+            "cycle {:>9}: injected {:>8} ejected {:>8}{}",
+            net.now(),
+            net.packets_injected(),
+            net.packets_ejected(),
+            if net.any_in_recovery() {
+                " [recovering]"
+            } else {
+                ""
+            }
+        );
+    })
+}
+
+/// Dumps every non-empty per-router flight recorder to stderr.
+fn dump_flight_recorders<S: TraceSink>(tracer: &Tracer<S>) {
+    for (node, fr) in tracer.recorders().iter().enumerate() {
+        if fr.is_empty() {
+            continue;
+        }
+        eprintln!(
+            "--- flight recorder node {node}: last {} of {} events ---",
+            fr.len(),
+            fr.total_seen()
+        );
+        eprint!("{}", fr.dump_jsonl());
+    }
+}
+
+fn print_human_report(report: &SimReport, profile: bool) {
+    println!("cycles                : {}", report.cycles);
+    println!("packets (measured)    : {}", report.packets_ejected);
+    println!("avg latency           : {:.2} cycles", report.avg_latency);
+    println!("max latency           : {} cycles", report.max_latency);
+    let (p50, p95, p99) = report.latency_percentiles;
+    println!("latency p50/p95/p99   : <={p50} / <={p95} / <={p99} cycles");
+    println!(
+        "throughput            : {:.4} flits/node/cycle",
+        report.throughput
+    );
+    println!(
+        "energy per packet     : {:.4} nJ",
+        report.energy_per_packet_nj
+    );
+    println!(
+        "tx / retx utilization : {:.3} / {:.3}",
+        report.tx_utilization, report.retx_utilization
+    );
+    let e = &report.errors;
+    println!(
+        "link corrected/replayed: {} / {}",
+        e.link_corrected_inline, e.link_recovered_by_replay
+    );
+    println!(
+        "rt / va / sa corrected : {} / {} / {}",
+        e.rt_corrected, e.va_corrected, e.sa_corrected
+    );
+    println!(
+        "misdelivered / stranded: {} / {}",
+        e.misdelivered, e.stranded_flits
+    );
+    if e.probes_sent > 0 {
+        println!(
+            "probes sent/confirmed  : {} / {}",
+            e.probes_sent, e.deadlocks_confirmed
+        );
+    }
+    if !report.completed {
+        println!("NOTE: run hit the cycle cap before the packet target (saturated or wedged)");
+    }
+    if profile {
+        println!();
+        let model = EnergyModel::new();
+        let rows = report.events.energy_breakdown(&model);
+        let total: f64 = rows.iter().map(|(_, _, e)| e.raw()).sum();
+        println!(
+            "{:<24} {:>12} {:>14} {:>7}",
+            "event class", "count", "energy", "share"
+        );
+        for (name, count, energy) in &rows {
+            println!(
+                "{name:<24} {count:>12} {:>11.1} pJ {:>6.2}%",
+                energy.raw(),
+                energy.raw() / total * 100.0
+            );
         }
     }
 }

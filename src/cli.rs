@@ -40,6 +40,14 @@ OPTIONS (run):
     --seed N            RNG seed (default 0xF70C)
     --deadlock-recovery enable probing + recovery (Cthres 32)
     --profile           print the per-event energy breakdown
+
+OBSERVABILITY (run):
+    --trace FILE        stream a cycle-stamped JSONL event trace to FILE
+    --flight-recorder N per-router post-mortem ring capacity (default 256;
+                        dumped to stderr when a traced run wedges or
+                        misdelivers)
+    --stats-every N     print interval progress to stderr every N cycles
+    --report-json       print the run report as a JSON object
 ";
 
 /// A parsed CLI invocation.
@@ -47,10 +55,19 @@ OPTIONS (run):
 pub enum Command {
     /// Run a simulation; `profile` requests the energy breakdown.
     Run {
-        /// The assembled configuration.
-        config: SimConfig,
+        /// The assembled configuration (boxed: it dwarfs the other
+        /// variants).
+        config: Box<SimConfig>,
         /// Whether to print the power profile.
         profile: bool,
+        /// JSONL event-trace destination (`--trace`).
+        trace: Option<std::path::PathBuf>,
+        /// Per-router flight-recorder capacity (with `--trace`).
+        flight_recorder: usize,
+        /// Interval-progress period in cycles (`--stats-every`, 0 = off).
+        stats_every: u64,
+        /// Whether to emit the report as JSON (`--report-json`).
+        report_json: bool,
     },
     /// Print the Table 1 reproduction.
     Table1,
@@ -105,6 +122,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut seed = 0xF7_0Cu64;
     let mut deadlock = false;
     let mut profile = false;
+    let mut trace: Option<std::path::PathBuf> = None;
+    let mut flight_recorder = 256usize;
+    let mut stats_every = 0u64;
+    let mut report_json = false;
 
     fn value<'a>(
         it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
@@ -188,6 +209,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--seed" => seed = num(value(&mut it, flag)?, flag)?,
             "--deadlock-recovery" => deadlock = true,
             "--profile" => profile = true,
+            "--trace" => trace = Some(std::path::PathBuf::from(value(&mut it, flag)?)),
+            "--flight-recorder" => flight_recorder = num(value(&mut it, flag)?, flag)?,
+            "--stats-every" => stats_every = num(value(&mut it, flag)?, flag)?,
+            "--report-json" => report_json = true,
             other => return Err(err(format!("unknown flag `{other}`; try --help"))),
         }
     }
@@ -218,8 +243,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             enabled: deadlock,
             cthres: 32,
         });
-    let config = b.build().map_err(|e| err(format!("config: {e}")))?;
-    Ok(Command::Run { config, profile })
+    let config = Box::new(b.build().map_err(|e| err(format!("config: {e}")))?);
+    Ok(Command::Run {
+        config,
+        profile,
+        trace,
+        flight_recorder,
+        stats_every,
+        report_json,
+    })
 }
 
 #[cfg(test)]
@@ -243,13 +275,25 @@ mod tests {
 
     #[test]
     fn run_defaults_match_paper_platform() {
-        let Command::Run { config, profile } = parse(&args("run")).unwrap() else {
+        let Command::Run {
+            config,
+            profile,
+            trace,
+            flight_recorder,
+            stats_every,
+            report_json,
+        } = parse(&args("run")).unwrap()
+        else {
             panic!("expected run");
         };
         assert!(!profile);
         assert_eq!(config.topology.node_count(), 64);
         assert_eq!(config.scheme, ErrorScheme::Hbh);
         assert_eq!(config.injection_rate, 0.25);
+        assert_eq!(trace, None);
+        assert_eq!(flight_recorder, 256);
+        assert_eq!(stats_every, 0);
+        assert!(!report_json);
     }
 
     #[test]
@@ -261,7 +305,10 @@ mod tests {
              --warmup 10 --seed 42 --deadlock-recovery --profile",
         ))
         .unwrap();
-        let Command::Run { config, profile } = cmd else {
+        let Command::Run {
+            config, profile, ..
+        } = cmd
+        else {
             panic!("expected run");
         };
         assert!(profile);
@@ -305,5 +352,29 @@ mod tests {
     fn missing_value_is_reported() {
         let e = parse(&args("run --seed")).unwrap_err();
         assert!(e.0.contains("needs a value"), "{e}");
+        let e = parse(&args("run --trace")).unwrap_err();
+        assert!(e.0.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let cmd = parse(&args(
+            "run --trace out.jsonl --flight-recorder 64 --stats-every 1000 --report-json",
+        ))
+        .unwrap();
+        let Command::Run {
+            trace,
+            flight_recorder,
+            stats_every,
+            report_json,
+            ..
+        } = cmd
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(trace.as_deref(), Some(std::path::Path::new("out.jsonl")));
+        assert_eq!(flight_recorder, 64);
+        assert_eq!(stats_every, 1000);
+        assert!(report_json);
     }
 }
