@@ -1,0 +1,189 @@
+//! The reproducible perf baseline for the two-phase cycle engine:
+//! times the paper-platform sweep points serially and on the worker
+//! pool, and writes the results as `BENCH_parallel.json`.
+//!
+//! ```sh
+//! cargo run -p ftnoc-bench --bin bench_parallel --release             # full
+//! cargo run -p ftnoc-bench --bin bench_parallel --release -- --smoke  # CI
+//! cargo run -p ftnoc-bench --bin bench_parallel --release -- \
+//!     --out target/BENCH_parallel.json
+//! ```
+//!
+//! Every (point, threads) cell reports wall time, cycles/sec and
+//! ejected flits/sec for an identical fixed-cycle run; the engine's
+//! parity guarantee (see `tests/parallel_parity.rs`) means every thread
+//! count simulates the *same* network, so the cells are directly
+//! comparable. The host's `available_parallelism` is recorded alongside
+//! — speedups are only meaningful relative to the cores that were
+//! actually there.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ftnoc_fault::FaultRates;
+use ftnoc_sim::{Network, SimConfig};
+
+/// Thread counts timed per sweep point.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// One sweep point: the paper's 8×8 HBH platform at a given load.
+struct SweepPoint {
+    name: &'static str,
+    injection_rate: f64,
+    link_error_rate: f64,
+}
+
+const POINTS: [SweepPoint; 4] = [
+    SweepPoint {
+        name: "8x8_inj0.10",
+        injection_rate: 0.10,
+        link_error_rate: 0.0,
+    },
+    SweepPoint {
+        name: "8x8_inj0.25",
+        injection_rate: 0.25,
+        link_error_rate: 0.0,
+    },
+    SweepPoint {
+        name: "8x8_inj0.40",
+        injection_rate: 0.40,
+        link_error_rate: 0.0,
+    },
+    SweepPoint {
+        name: "8x8_inj0.25_err1e-3",
+        injection_rate: 0.25,
+        link_error_rate: 1e-3,
+    },
+];
+
+/// One timed cell of the sweep.
+struct Cell {
+    point: &'static str,
+    threads: usize,
+    cycles: u64,
+    wall_secs: f64,
+    cycles_per_sec: f64,
+    flits_per_sec: f64,
+    packets_ejected: u64,
+}
+
+fn config(point: &SweepPoint) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.injection_rate(point.injection_rate)
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(u64::MAX);
+    if point.link_error_rate > 0.0 {
+        b.faults(FaultRates::link_only(point.link_error_rate));
+    }
+    b.build().expect("valid config")
+}
+
+/// Times `cycles` cycles of `point` on `threads` workers (best of
+/// `reps` runs, fresh network each rep so state never accumulates).
+fn run_cell(point: &'static SweepPoint, threads: usize, cycles: u64, reps: u32) -> Cell {
+    let flits_per_packet = config(point).router.flits_per_packet() as u64;
+    let mut best_wall = f64::INFINITY;
+    let mut packets_ejected = 0u64;
+    for _ in 0..reps {
+        let mut net = Network::new(config(point));
+        let t = Instant::now();
+        net.with_stepper(threads, |st| {
+            for _ in 0..cycles {
+                st.step();
+            }
+        });
+        let wall = t.elapsed().as_secs_f64();
+        packets_ejected = net.packets_ejected();
+        best_wall = best_wall.min(wall);
+    }
+    Cell {
+        point: point.name,
+        threads,
+        cycles,
+        wall_secs: best_wall,
+        cycles_per_sec: cycles as f64 / best_wall,
+        flits_per_sec: (packets_ejected * flits_per_packet) as f64 / best_wall,
+        packets_ejected,
+    }
+}
+
+fn json_report(cells: &[Cell], cores: usize, smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"bench_parallel\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"threads_swept\": [{}],",
+        THREADS.map(|t| t.to_string()).join(", ")
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"point\": \"{}\", \"threads\": {}, \"cycles\": {}, \
+             \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \
+             \"flits_per_sec\": {:.1}, \"packets_ejected\": {}}}",
+            c.point,
+            c.threads,
+            c.cycles,
+            c.wall_secs,
+            c.cycles_per_sec,
+            c.flits_per_sec,
+            c.packets_ejected
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
+    let (cycles, reps) = if smoke { (2_000, 1) } else { (20_000, 3) };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "bench_parallel: {} points x {:?} threads, {cycles} cycles/cell \
+         (best of {reps}), {cores} core(s) available",
+        POINTS.len(),
+        THREADS
+    );
+
+    let mut cells = Vec::new();
+    for point in &POINTS {
+        let mut serial_wall = None;
+        for &threads in &THREADS {
+            let cell = run_cell(point, threads, cycles, reps);
+            let speedup = serial_wall.map_or(1.0, |s: f64| s / cell.wall_secs);
+            if threads == 1 {
+                serial_wall = Some(cell.wall_secs);
+            }
+            eprintln!(
+                "  {:<22} threads {}: {:>9.1} cycles/s  {:>9.1} flits/s  \
+                 {:.3}s wall  ({speedup:.2}x vs serial)",
+                cell.point, cell.threads, cell.cycles_per_sec, cell.flits_per_sec, cell.wall_secs
+            );
+            cells.push(cell);
+        }
+    }
+
+    let json = json_report(&cells, cores, smoke);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

@@ -36,6 +36,19 @@ pub struct FaultCounts {
 }
 
 impl FaultCounts {
+    /// Adds another census into this one (aggregating the independent
+    /// per-router fault streams into a run total).
+    pub fn absorb(&mut self, other: &FaultCounts) {
+        self.link += other.link;
+        self.link_multi_bit += other.link_multi_bit;
+        self.rt += other.rt;
+        self.va += other.va;
+        self.sa += other.sa;
+        self.crossbar += other.crossbar;
+        self.retrans_buffer += other.retrans_buffer;
+        self.handshake += other.handshake;
+    }
+
     /// Total injected faults across all sites.
     pub fn total(&self) -> u64 {
         self.link

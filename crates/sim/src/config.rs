@@ -148,6 +148,10 @@ pub struct SimConfig {
     /// workloads, e.g. the deadlock-recovery experiments). `None` keeps
     /// the open-loop source running for the whole run.
     pub stop_injection_after: Option<u64>,
+    /// Worker threads for the per-cycle compute phase (`1` = serial).
+    /// Results are byte-identical for every value at the same seed —
+    /// this is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -202,6 +206,7 @@ impl SimConfigBuilder {
                 e2e_timeout: 400,
                 e2e_max_attempts: 16,
                 stop_injection_after: None,
+                threads: 1,
             },
         }
     }
@@ -314,6 +319,13 @@ impl SimConfigBuilder {
     /// Stops traffic generation after `cycle` (closed/drain workloads).
     pub fn stop_injection_after(&mut self, cycle: u64) -> &mut Self {
         self.config.stop_injection_after = Some(cycle);
+        self
+    }
+
+    /// Sets the compute-phase worker-thread count (`0` and `1` both
+    /// mean serial execution on the calling thread).
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = threads.max(1);
         self
     }
 

@@ -1,0 +1,224 @@
+//! The parallel cycle engine: a hand-rolled `std::thread::scope` worker
+//! pool that fans the compute phase of each cycle out across routers.
+//!
+//! Zero dependencies and zero `unsafe`: routers live in
+//! `Mutex<RouterCell>` cells (uncontended — each worker owns a disjoint
+//! contiguous chunk), the pool is synchronised with two [`Barrier`]s
+//! per cycle, and the serial pre/commit phases run on the calling
+//! thread in between. With `threads <= 1` no pool is spawned and
+//! [`Stepper::step`] degenerates to exactly the serial
+//! [`Network::step`] — and because the compute phase is
+//! cross-router-pure (see the determinism argument in
+//! [`crate::network`]), any thread count produces byte-identical
+//! results at the same seed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use ftnoc_trace::TraceSink;
+
+use crate::network::{compute_cell, NetCore, Network, Progress, RouterCell, RunEnv};
+
+/// Shared cycle-synchronisation state between the main thread and the
+/// compute workers.
+struct CycleSync {
+    /// Cycle-start barrier: main + workers. Workers block here between
+    /// cycles; the main thread's wait releases one compute round.
+    start: Barrier,
+    /// Cycle-done barrier: main + workers. Crossing it means every
+    /// router's compute phase for this cycle has finished.
+    done: Barrier,
+    /// The cycle the workers should compute (published before `start`).
+    now: AtomicU64,
+    /// Shutdown flag checked by workers right after `start`.
+    stop: AtomicBool,
+}
+
+/// Releases the worker pool on drop (normal exit *and* unwinding), so a
+/// panic in the driver body cannot leave workers parked on the start
+/// barrier and deadlock the scope join.
+struct StopGuard<'a> {
+    sync: &'a CycleSync,
+}
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.sync.stop.store(true, Ordering::Release);
+        self.sync.start.wait();
+    }
+}
+
+/// A cycle driver borrowed from [`Network::with_stepper`]: steps the
+/// simulation with the compute phase spread across the worker pool
+/// (or serially when no pool was requested).
+pub struct Stepper<'a, S: TraceSink> {
+    env: &'a RunEnv,
+    cells: &'a [Mutex<RouterCell>],
+    core: &'a mut NetCore<S>,
+    sync: Option<&'a CycleSync>,
+}
+
+impl<S: TraceSink> Stepper<'_, S> {
+    /// Advances the network by one clock cycle.
+    pub fn step(&mut self) {
+        let now = self.core.now;
+        self.core.pre(self.env, self.cells, now);
+        match self.sync {
+            None => {
+                for cell in self.cells {
+                    compute_cell(self.env, &mut cell.lock().unwrap(), now);
+                }
+            }
+            Some(sync) => {
+                sync.now.store(now, Ordering::Release);
+                sync.start.wait();
+                sync.done.wait();
+            }
+        }
+        self.core.commit(self.env, self.cells, now);
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.core.now
+    }
+
+    /// Packets ejected since construction.
+    pub fn packets_ejected(&self) -> u64 {
+        self.core.packets_ejected()
+    }
+
+    /// A [`Progress`] snapshot (what run observers receive).
+    pub fn progress(&self) -> Progress {
+        self.core.progress(self.cells)
+    }
+
+    /// Marks the beginning of the measurement window.
+    pub fn start_measurement(&mut self) {
+        self.core.start_measurement(self.cells);
+    }
+}
+
+impl<S: TraceSink> Network<S> {
+    /// Runs `body` with a [`Stepper`] whose compute phase executes on
+    /// `threads` worker threads (`<= 1` means serial, in-place, with no
+    /// pool spawned). The pool spans the whole call, so per-cycle cost
+    /// is two barrier crossings rather than thread spawns.
+    pub fn with_stepper<R>(
+        &mut self,
+        threads: usize,
+        body: impl FnOnce(&mut Stepper<'_, S>) -> R,
+    ) -> R {
+        let Network { env, cells, core } = self;
+        let threads = threads.min(cells.len());
+        if threads <= 1 {
+            let mut stepper = Stepper {
+                env,
+                cells,
+                core,
+                sync: None,
+            };
+            return body(&mut stepper);
+        }
+        let sync = CycleSync {
+            start: Barrier::new(threads + 1),
+            done: Barrier::new(threads + 1),
+            now: AtomicU64::new(core.now),
+            stop: AtomicBool::new(false),
+        };
+        let env: &RunEnv = env;
+        let cells: &[Mutex<RouterCell>] = cells;
+        std::thread::scope(|scope| {
+            let chunk = cells.len().div_ceil(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(cells.len());
+                let sync = &sync;
+                scope.spawn(move || loop {
+                    sync.start.wait();
+                    if sync.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let now = sync.now.load(Ordering::Acquire);
+                    for cell in &cells[lo..hi] {
+                        compute_cell(env, &mut cell.lock().unwrap(), now);
+                    }
+                    sync.done.wait();
+                });
+            }
+            let guard = StopGuard { sync: &sync };
+            let mut stepper = Stepper {
+                env,
+                cells,
+                core,
+                sync: Some(&sync),
+            };
+            let result = body(&mut stepper);
+            drop(guard);
+            result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SimConfig;
+    use crate::network::Network;
+
+    fn config() -> SimConfig {
+        let mut b = SimConfig::builder();
+        b.injection_rate(0.2).seed(7);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stepper_matches_network_step() {
+        let mut a = Network::new(config());
+        let mut b = Network::new(config());
+        for _ in 0..500 {
+            a.step();
+        }
+        b.with_stepper(1, |st| {
+            for _ in 0..500 {
+                st.step();
+            }
+        });
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.packets_injected(), b.packets_injected());
+        assert_eq!(a.packets_ejected(), b.packets_ejected());
+    }
+
+    #[test]
+    fn worker_pool_is_cycle_identical_to_serial() {
+        let mut a = Network::new(config());
+        let mut b = Network::new(config());
+        a.with_stepper(1, |st| {
+            for _ in 0..500 {
+                st.step();
+            }
+        });
+        b.with_stepper(4, |st| {
+            for _ in 0..500 {
+                st.step();
+            }
+        });
+        assert_eq!(a.packets_injected(), b.packets_injected());
+        assert_eq!(a.packets_ejected(), b.packets_ejected());
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(sa.events, sb.events);
+        assert_eq!(sa.errors, sb.errors);
+        assert_eq!(a.latency_percentiles(), b.latency_percentiles());
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_body() {
+        let mut net = Network::new(config());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.with_stepper(2, |st| {
+                st.step();
+                panic!("driver body panic");
+            })
+        }));
+        assert!(caught.is_err(), "panic must propagate, not deadlock");
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod arbiter;
 pub mod config;
+pub mod engine;
 pub mod link;
 pub mod network;
 pub mod router;
@@ -47,6 +48,7 @@ pub mod sim;
 pub mod stats;
 
 pub use config::{DeadlockConfig, ErrorScheme, RoutingAlgorithm, SimConfig, SimConfigBuilder};
-pub use network::Network;
+pub use engine::Stepper;
+pub use network::{Network, Progress};
 pub use sim::{SimReport, Simulator};
 pub use stats::NetworkStats;

@@ -1,5 +1,7 @@
-//! Inter-router channels: the forward flit wire plus the reverse credit
-//! and NACK side-bands.
+//! Inter-router wires: the forward flit wire plus the reverse credit
+//! and NACK side-bands, stored **receiver-side** so the two-phase cycle
+//! engine can hand every router exclusive ownership of the state it
+//! reads during its compute phase.
 //!
 //! Timing contract (§3.1):
 //!
@@ -11,35 +13,38 @@
 //!   after the corrupted one, Figure 4's schedule.
 //!
 //! The handshake side-bands (credits, NACK strobes) are TMR-protected per
-//! §4.6; [`LinkChannel::deliver_nacks`] routes each strobe through a
-//! voter so injected handshake upsets are masked (and counted).
+//! §4.6; [`RevWire::pop_nack`] routes each strobe through a voter so
+//! injected handshake upsets are masked (and counted).
+//!
+//! Ownership layout: a directed link `n --d--> m` is split into the
+//! forward [`FlitWire`] owned by the **downstream** router `m` (indexed
+//! by its arrival port `d.opposite()`) and the reverse [`RevWire`] owned
+//! by the **upstream** router `n` (indexed by its outgoing direction
+//! `d`). The commit phase is the only writer of another router's wires;
+//! the compute phase only ever pops its own — that split is what makes
+//! per-router parallel compute race-free by construction.
 
 use std::collections::VecDeque;
 
 use ftnoc_ecc::tmr::TmrLine;
 use ftnoc_types::flit::Flit;
 
-/// One directed inter-router channel.
+/// The forward half of a directed link: at most one flit in flight.
 #[derive(Debug, Clone, Default)]
-pub struct LinkChannel {
+pub struct FlitWire {
     /// The flit in flight, with its VC tag and delivery cycle.
     in_flight: Option<(Flit, u8, u64)>,
-    /// Credits in flight: (vc, visible_at).
-    credits: VecDeque<(u8, u64)>,
-    /// NACKs in flight: (vc, visible_at).
-    nacks: VecDeque<(u8, u64)>,
-    /// Flits carried over the lifetime of the channel (statistics).
+    /// Flits carried over the lifetime of the wire (statistics).
     pub flits_carried: u64,
 }
 
-impl LinkChannel {
-    /// Creates an idle channel.
+impl FlitWire {
+    /// Creates an idle wire.
     pub fn new() -> Self {
-        LinkChannel::default()
+        FlitWire::default()
     }
 
-    /// Whether the forward wire is free at cycle `now` (nothing queued
-    /// for delivery after `now`).
+    /// Whether the wire is free (nothing queued for delivery).
     pub fn forward_free(&self) -> bool {
         self.in_flight.is_none()
     }
@@ -61,6 +66,7 @@ impl LinkChannel {
     }
 
     /// Takes the flit due for delivery at cycle `now`, if any.
+    #[inline]
     pub fn deliver_flit(&mut self, now: u64) -> Option<(Flit, u8)> {
         match self.in_flight {
             Some((flit, vc, at)) if at <= now => {
@@ -70,24 +76,40 @@ impl LinkChannel {
             _ => None,
         }
     }
+}
+
+/// The reverse side-band of a directed link (owned by the sender):
+/// credits and NACK strobes flowing back from the downstream router.
+#[derive(Debug, Clone, Default)]
+pub struct RevWire {
+    /// Credits in flight: (vc, visible_at).
+    credits: VecDeque<(u8, u64)>,
+    /// NACKs in flight: (vc, visible_at).
+    nacks: VecDeque<(u8, u64)>,
+}
+
+impl RevWire {
+    /// Creates an idle side-band.
+    pub fn new() -> Self {
+        RevWire::default()
+    }
 
     /// Releases one credit for `vc` at cycle `now` (visible `now + 1`).
     pub fn send_credit(&mut self, vc: u8, now: u64) {
         self.credits.push_back((vc, now + 1));
     }
 
-    /// Takes every credit visible at cycle `now`.
-    pub fn deliver_credits(&mut self, now: u64) -> Vec<u8> {
-        let mut out = Vec::new();
-        while let Some(&(vc, at)) = self.credits.front() {
-            if at <= now {
+    /// Pops the next credit visible at cycle `now`, in arrival order.
+    /// Allocation-free: callers drain with `while let`.
+    #[inline]
+    pub fn pop_credit(&mut self, now: u64) -> Option<u8> {
+        match self.credits.front() {
+            Some(&(vc, at)) if at <= now => {
                 self.credits.pop_front();
-                out.push(vc);
-            } else {
-                break;
+                Some(vc)
             }
+            _ => None,
         }
-        out
     }
 
     /// Raises a NACK for `vc` at check-cycle `now` (acted on at
@@ -96,40 +118,61 @@ impl LinkChannel {
         self.nacks.push_back((vc, now + 2));
     }
 
-    /// Takes every NACK visible at cycle `now`, passing each strobe
-    /// through a TMR voter. `upset` flips one replica of one strobe (the
-    /// §4.6 handshake-fault model); the voter masks it.
+    /// Pops the next NACK visible at cycle `now`, passing the strobe
+    /// through a TMR voter. `upset` flips one replica (the §4.6
+    /// handshake-fault model); the voter masks it.
     ///
-    /// Returns `(vcs, masked_upsets)`.
-    pub fn deliver_nacks(&mut self, now: u64, upset: bool) -> (Vec<u8>, u64) {
-        let mut out = Vec::new();
-        let mut masked = 0;
-        let mut first = true;
-        while let Some(&(vc, at)) = self.nacks.front() {
-            if at <= now {
+    /// Returns `(vc, masked)` where `masked` says an upset was observed
+    /// and outvoted. The voted strobe is always still asserted, so the
+    /// NACK itself survives.
+    #[inline]
+    pub fn pop_nack(&mut self, now: u64, upset: bool) -> Option<(u8, bool)> {
+        match self.nacks.front() {
+            Some(&(vc, at)) if at <= now => {
                 self.nacks.pop_front();
                 let mut line = TmrLine::new(true);
-                if upset && first {
+                if upset {
                     line.upset(1);
-                    first = false;
                 }
-                if line.has_disagreement() {
-                    masked += 1;
-                }
-                // The voted strobe is still asserted: the NACK survives.
-                if line.read() {
-                    out.push(vc);
-                }
-            } else {
-                break;
+                let masked = line.has_disagreement();
+                debug_assert!(line.read(), "TMR must outvote a single upset");
+                Some((vc, masked))
             }
+            _ => None,
         }
-        (out, masked)
     }
 
     /// Whether any reverse-channel activity is pending (for tests).
     pub fn reverse_idle(&self) -> bool {
         self.credits.is_empty() && self.nacks.is_empty()
+    }
+}
+
+/// A router's receiver-side link state: one inbound [`FlitWire`] per
+/// arrival port and one [`RevWire`] per outgoing direction. Entries are
+/// `None` where the topology has no link (mesh edges).
+#[derive(Debug, Default)]
+pub struct PortIo {
+    /// `flit_in[p]`: the forward wire arriving on cardinal port `p`.
+    pub flit_in: [Option<FlitWire>; 4],
+    /// `rev_in[d]`: credits/NACKs returning for the link leaving in
+    /// cardinal direction `d`.
+    pub rev_in: [Option<RevWire>; 4],
+}
+
+impl PortIo {
+    /// Builds the wire set for a router whose cardinal links are
+    /// `exists[d]` (links are bidirectional, so the arrival wire and the
+    /// reverse side-band share the existence mask).
+    pub fn new(exists: [bool; 4]) -> Self {
+        let mut io = PortIo::default();
+        for (d, &present) in exists.iter().enumerate() {
+            if present {
+                io.flit_in[d] = Some(FlitWire::new());
+                io.rev_in[d] = Some(RevWire::new());
+            }
+        }
+        io
     }
 }
 
@@ -154,58 +197,68 @@ mod tests {
 
     #[test]
     fn flit_takes_one_cycle() {
-        let mut ch = LinkChannel::new();
-        ch.send_flit(flit(), 2, 10);
-        assert!(ch.deliver_flit(10).is_none());
-        let (f, vc) = ch.deliver_flit(11).unwrap();
+        let mut w = FlitWire::new();
+        w.send_flit(flit(), 2, 10);
+        assert!(w.deliver_flit(10).is_none());
+        let (f, vc) = w.deliver_flit(11).unwrap();
         assert_eq!(f.seq, 0);
         assert_eq!(vc, 2);
-        assert!(ch.deliver_flit(12).is_none());
-        assert_eq!(ch.flits_carried, 1);
+        assert!(w.deliver_flit(12).is_none());
+        assert_eq!(w.flits_carried, 1);
     }
 
     #[test]
     #[should_panic(expected = "driven twice")]
     fn double_drive_panics() {
-        let mut ch = LinkChannel::new();
-        ch.send_flit(flit(), 0, 5);
-        ch.send_flit(flit(), 1, 5);
+        let mut w = FlitWire::new();
+        w.send_flit(flit(), 0, 5);
+        w.send_flit(flit(), 1, 5);
     }
 
     #[test]
     fn credits_take_one_cycle_and_batch() {
-        let mut ch = LinkChannel::new();
-        ch.send_credit(0, 10);
-        ch.send_credit(1, 10);
-        assert!(ch.deliver_credits(10).is_empty());
-        assert_eq!(ch.deliver_credits(11), vec![0, 1]);
-        assert!(ch.deliver_credits(12).is_empty());
+        let mut w = RevWire::new();
+        w.send_credit(0, 10);
+        w.send_credit(1, 10);
+        assert!(w.pop_credit(10).is_none());
+        assert_eq!(w.pop_credit(11), Some(0));
+        assert_eq!(w.pop_credit(11), Some(1));
+        assert!(w.pop_credit(11).is_none());
+        assert!(w.pop_credit(12).is_none());
     }
 
     #[test]
     fn nack_arrives_two_cycles_after_check() {
-        let mut ch = LinkChannel::new();
-        ch.send_nack(1, 7);
-        assert!(ch.deliver_nacks(8, false).0.is_empty());
-        assert_eq!(ch.deliver_nacks(9, false).0, vec![1]);
+        let mut w = RevWire::new();
+        w.send_nack(1, 7);
+        assert!(w.pop_nack(8, false).is_none());
+        assert_eq!(w.pop_nack(9, false), Some((1, false)));
+        assert!(w.pop_nack(9, false).is_none());
     }
 
     #[test]
     fn handshake_upset_is_masked_by_tmr() {
-        let mut ch = LinkChannel::new();
-        ch.send_nack(2, 0);
-        let (vcs, masked) = ch.deliver_nacks(2, true);
-        assert_eq!(vcs, vec![2], "voted strobe still asserted");
-        assert_eq!(masked, 1, "the upset was observed and outvoted");
+        let mut w = RevWire::new();
+        w.send_nack(2, 0);
+        let (vc, masked) = w.pop_nack(2, true).unwrap();
+        assert_eq!(vc, 2, "voted strobe still asserted");
+        assert!(masked, "the upset was observed and outvoted");
     }
 
     #[test]
     fn reverse_idle_tracks_queues() {
-        let mut ch = LinkChannel::new();
-        assert!(ch.reverse_idle());
-        ch.send_credit(0, 0);
-        assert!(!ch.reverse_idle());
-        let _ = ch.deliver_credits(1);
-        assert!(ch.reverse_idle());
+        let mut w = RevWire::new();
+        assert!(w.reverse_idle());
+        w.send_credit(0, 0);
+        assert!(!w.reverse_idle());
+        let _ = w.pop_credit(1);
+        assert!(w.reverse_idle());
+    }
+
+    #[test]
+    fn port_io_mirrors_topology() {
+        let io = PortIo::new([true, false, true, false]);
+        assert!(io.flit_in[0].is_some() && io.rev_in[0].is_some());
+        assert!(io.flit_in[1].is_none() && io.rev_in[1].is_none());
     }
 }

@@ -1,12 +1,41 @@
-//! The full network: routers, inter-router channels, processing elements
-//! (traffic endpoints) and the deadlock-probe transport.
+//! The full network: routers, receiver-owned link wires, processing
+//! elements (traffic endpoints) and the deadlock-probe transport —
+//! organised as an explicit **two-phase (compute → commit) cycle
+//! engine**.
+//!
+//! Each cycle runs three steps:
+//!
+//! 1. **pre** (serial): snapshot per-node recovery state into each
+//!    router's `neighbor_recovering` mask, then run open-loop injection
+//!    and the E2E timeout scans (both touch only node-local state plus
+//!    the shared traffic RNG, which must stay serial for determinism).
+//! 2. **compute** (parallelisable): every router independently pops its
+//!    *own* inbound wires (NACKs, credits, flits), then runs
+//!    control/VA/SA/ST and end-of-cycle bookkeeping. No router writes
+//!    another router's state in this step — outputs are buffered in the
+//!    router (`drives`, `ejected`, `freed_credits`, trace events) or in
+//!    its cell (`arrival_nacks`, `probe_req`).
+//! 3. **commit** (serial, node order): route the buffered drives,
+//!    credits and NACKs onto the *receiving* router's wires, eject
+//!    flits to the PEs, move the probe/activation side-band, take the
+//!    statistics samples and advance the clock.
+//!
+//! Determinism argument: compute is side-effect-free across routers
+//! (each router owns the wires it pops, fault/trace state is
+//! per-router), and commit applies all cross-router effects in node
+//! order on a single thread. Therefore the simulation result is a pure
+//! function of the configuration and seed — **independent of thread
+//! count and scheduling** — and `--threads N` is byte-identical to the
+//! serial engine.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Mutex, MutexGuard};
 
+use ftnoc_core::ac::VcRef;
 use ftnoc_core::deadlock::probe::{ActivationAction, ActivationSignal, ProbeAction, ProbeSignal};
 use ftnoc_core::e2e::{E2eDestination, E2eSource, E2eVerdict};
 use ftnoc_ecc::protect_flit;
-use ftnoc_fault::FaultInjector;
+use ftnoc_fault::FaultCounts;
 use ftnoc_rng::Rng;
 use ftnoc_trace::{DropReason, NullSink, TraceEvent, TraceSink, Tracer};
 use ftnoc_traffic::Injector;
@@ -16,18 +45,9 @@ use ftnoc_types::packet::{Packet, PacketId};
 use ftnoc_types::Header;
 
 use crate::config::{ErrorScheme, SimConfig};
-
-/// Cached `FTNOC_TRACE_NODE` value (diagnostic tracing, read once).
-fn trace_node() -> Option<&'static str> {
-    use std::sync::OnceLock;
-    static TRACE: OnceLock<Option<String>> = OnceLock::new();
-    TRACE
-        .get_or_init(|| std::env::var("FTNOC_TRACE_NODE").ok())
-        .as_deref()
-}
-use crate::link::LinkChannel;
+use crate::link::PortIo;
 use crate::router::{ArrivalAction, Ctx, Router};
-use crate::stats::NetworkStats;
+use crate::stats::{ErrorStats, EventCounts, LatencyHistogram, NetworkStats};
 
 /// Message classes carried in the packed header.
 const CLASS_DATA: u8 = 0;
@@ -70,22 +90,39 @@ struct ActivationFlight {
     deliver_at: u64,
 }
 
-/// The simulated network.
-///
-/// Generic over the trace sink `S`: with the default [`NullSink`] every
-/// instrumentation site constant-folds away, so the untraced simulator
-/// pays nothing for its observability.
-pub struct Network<S: TraceSink = NullSink> {
-    config: SimConfig,
-    topo: Topology,
-    routers: Vec<Router>,
-    /// `channels[n][d]`: the link leaving node `n` in direction `d`
-    /// (flits forward; credits/NACKs for that link flow back to `n`).
-    channels: Vec<[Option<LinkChannel>; 4]>,
+/// One router plus everything only it touches during the compute phase:
+/// its receiver-owned link wires and the per-cycle outputs the commit
+/// phase drains. Wrapped in a `Mutex` so the worker pool can hand out
+/// exclusive access per cell without `unsafe`.
+pub(crate) struct RouterCell {
+    /// The router proper.
+    pub router: Router,
+    /// Inbound wires owned by this router (popped during compute,
+    /// pushed by the commit phase only).
+    pub io: PortIo,
+    /// Snapshot of each cardinal neighbour's recovery mode (refreshed
+    /// in the pre phase; a per-link handshake wire in hardware).
+    pub neighbor_recovering: [bool; 4],
+    /// Probe launch requested by `end_cycle` this cycle.
+    pub probe_req: Option<(Direction, VcRef)>,
+    /// Arrival NACKs to send upstream: (arrival port, vc).
+    pub arrival_nacks: Vec<(Direction, u8)>,
+}
+
+/// The immutable run context shared by every compute worker.
+pub(crate) struct RunEnv {
+    /// The run configuration.
+    pub config: SimConfig,
+    /// The network topology.
+    pub topo: Topology,
+}
+
+/// Serial state owned by the main thread: traffic endpoints, the
+/// side-band transports, statistics and the tracer back-end.
+pub(crate) struct NetCore<S: TraceSink> {
     pes: Vec<ProcessingElement>,
-    fi: FaultInjector,
     rng: Rng,
-    now: u64,
+    pub(crate) now: u64,
     next_packet: u64,
     probes: Vec<ProbeFlight>,
     activations: Vec<ActivationFlight>,
@@ -99,17 +136,142 @@ pub struct Network<S: TraceSink = NullSink> {
     flits_ejected: u64,
     latency_sum: u64,
     latency_max: u64,
-    latency_hist: crate::stats::LatencyHistogram,
+    latency_hist: LatencyHistogram,
     measuring: bool,
     /// Peak per-node E2E/FEC source-buffer occupancy in flits.
     e2e_peak_source_flits: u64,
     stats: NetworkStats,
-    warmup_snapshot: Option<(crate::stats::EventCounts, crate::stats::ErrorStats)>,
+    warmup_snapshot: Option<(EventCounts, ErrorStats)>,
     warmup_counts: (u64, u64, u64, u64, u64), // injected, ejected, flits, lat_sum, lat_max
     /// Structured-event instrumentation (free with [`NullSink`]).
     tracer: Tracer<S>,
     /// Per-node recovery state last cycle (transition-event edges).
     prev_recovering: Vec<bool>,
+    /// Reusable per-cycle recovery snapshot (pre phase).
+    recovering_scratch: Vec<bool>,
+}
+
+/// A periodic progress sample handed to run observers (the CLI's
+/// `--stats-every` heartbeat). A plain `Copy` snapshot so observers can
+/// run while the network is split across the worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Current cycle.
+    pub now: u64,
+    /// Packets injected since construction.
+    pub packets_injected: u64,
+    /// Packets ejected since construction.
+    pub packets_ejected: u64,
+    /// Whether any node is currently in deadlock-recovery mode.
+    pub any_in_recovery: bool,
+}
+
+/// Shared read access to one router (a lock guard that dereferences to
+/// [`Router`], so call sites read fields and methods directly).
+pub struct RouterRef<'a>(MutexGuard<'a, RouterCell>);
+
+impl std::ops::Deref for RouterRef<'_> {
+    type Target = Router;
+    fn deref(&self) -> &Router {
+        &self.0.router
+    }
+}
+
+/// The simulated network.
+///
+/// Generic over the trace sink `S`: with the default [`NullSink`] every
+/// instrumentation site constant-folds away, so the untraced simulator
+/// pays nothing for its observability.
+pub struct Network<S: TraceSink = NullSink> {
+    pub(crate) env: RunEnv,
+    pub(crate) cells: Vec<Mutex<RouterCell>>,
+    pub(crate) core: NetCore<S>,
+}
+
+/// The compute phase of one router: pop this router's own inbound
+/// wires, then run the full per-cycle pipeline. Touches nothing outside
+/// `cell`, which is what makes running it concurrently across cells
+/// race-free (and thread-count-independent) by construction.
+pub(crate) fn compute_cell(env: &RunEnv, cell: &mut RouterCell, now: u64) {
+    let ctx = Ctx {
+        config: &env.config,
+        topo: env.topo,
+        now,
+    };
+    let RouterCell {
+        router,
+        io,
+        neighbor_recovering,
+        probe_req,
+        arrival_nacks,
+    } = cell;
+    arrival_nacks.clear();
+
+    // 1. Reverse channels: NACKs first (they must beat window expiry),
+    //    then credits. One handshake-upset draw per direction per cycle,
+    //    applied to the first strobe (mirroring one wire sample).
+    for d in Direction::CARDINAL {
+        let Some(rw) = io.rev_in[d.index()].as_mut() else {
+            continue;
+        };
+        let mut upset = router.fi.handshake_upset();
+        while let Some((vc, masked)) = rw.pop_nack(now, upset) {
+            upset = false;
+            router.errors.handshake_masked += u64::from(masked);
+            router.handle_nack(d, vc);
+            router.trace.emit(|| TraceEvent::ReplayTriggered {
+                port: d.index() as u8,
+                vc,
+            });
+        }
+        while let Some(vc) = rw.pop_credit(now) {
+            router.handle_credit(d, vc);
+        }
+    }
+
+    // 2. Window expiry and per-cycle reset.
+    router.begin_cycle(now);
+
+    // 3. Flit delivery + arrival checking.
+    for d in Direction::CARDINAL {
+        let Some(fw) = io.flit_in[d.index()].as_mut() else {
+            continue;
+        };
+        let Some((flit, vc)) = fw.deliver_flit(now) else {
+            continue;
+        };
+        let action = router.accept_flit(&ctx, d, vc, flit);
+        let port = d.index() as u8;
+        match action {
+            ArrivalAction::Accepted => router.trace.emit(|| TraceEvent::FlitReceived {
+                packet: flit.packet.raw(),
+                seq: flit.seq,
+                port,
+                vc,
+            }),
+            ArrivalAction::NackUpstream | ArrivalAction::Dropped => {
+                router.trace.emit(|| TraceEvent::FlitDropped {
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                    port,
+                    reason: DropReason::Corrupt,
+                });
+                if action == ArrivalAction::NackUpstream {
+                    router.trace.emit(|| TraceEvent::NackSent { port, vc });
+                    arrival_nacks.push((d, vc));
+                }
+            }
+        }
+    }
+
+    // 4-7. Control, VC allocation, switch allocation, switch traversal.
+    router.control_phase(&ctx);
+    router.va_phase(&ctx, *neighbor_recovering);
+    router.sa_phase(&ctx);
+    router.st_phase(&ctx);
+
+    // 8. Blocked tracking, probe-launch decision, statistics.
+    *probe_req = router.end_cycle(&ctx);
 }
 
 impl Network<NullSink> {
@@ -124,7 +286,7 @@ impl<S: TraceSink> Network<S> {
     pub fn with_tracer(config: SimConfig, tracer: Tracer<S>) -> Self {
         let topo = config.topology;
         let n = topo.node_count();
-        let routers: Vec<Router> = topo
+        let cells: Vec<Mutex<RouterCell>> = topo
             .nodes()
             .map(|id| {
                 let coord = topo.coord_of(id);
@@ -132,20 +294,15 @@ impl<S: TraceSink> Network<S> {
                 for d in Direction::CARDINAL {
                     exists[d.index()] = topo.neighbor(coord, d).is_some();
                 }
-                Router::new(id, &config, exists)
-            })
-            .collect();
-        let channels = topo
-            .nodes()
-            .map(|id| {
-                let coord = topo.coord_of(id);
-                let mut chans: [Option<LinkChannel>; 4] = [None, None, None, None];
-                for d in Direction::CARDINAL {
-                    if topo.neighbor(coord, d).is_some() {
-                        chans[d.index()] = Some(LinkChannel::new());
-                    }
-                }
-                chans
+                let mut router = Router::new(id, &config, exists);
+                router.trace.enabled = tracer.enabled();
+                Mutex::new(RouterCell {
+                    router,
+                    io: PortIo::new(exists),
+                    neighbor_recovering: [false; 4],
+                    probe_req: None,
+                    arrival_nacks: Vec::new(),
+                })
             })
             .collect();
         let pes = (0..n)
@@ -162,82 +319,206 @@ impl<S: TraceSink> Network<S> {
                 e2e_dest: E2eDestination::new(),
             })
             .collect();
-        let fi = FaultInjector::new(config.faults, config.seed ^ 0xFA17);
         let rng = Rng::seed_from_u64(config.seed);
         Network {
-            topo,
-            routers,
-            channels,
-            pes,
-            fi,
-            rng,
-            now: 0,
-            next_packet: 1,
-            probes: Vec::new(),
-            activations: Vec::new(),
-            control_refs: HashMap::new(),
-            delivered: HashSet::new(),
-            packets_injected: 0,
-            packets_ejected: 0,
-            flits_ejected: 0,
-            latency_sum: 0,
-            latency_max: 0,
-            latency_hist: crate::stats::LatencyHistogram::new(),
-            measuring: false,
-            e2e_peak_source_flits: 0,
-            stats: NetworkStats::default(),
-            warmup_snapshot: None,
-            warmup_counts: (0, 0, 0, 0, 0),
-            tracer,
-            prev_recovering: vec![false; n],
-            config,
+            env: RunEnv { config, topo },
+            cells,
+            core: NetCore {
+                pes,
+                rng,
+                now: 0,
+                next_packet: 1,
+                probes: Vec::new(),
+                activations: Vec::new(),
+                control_refs: HashMap::new(),
+                delivered: HashSet::new(),
+                packets_injected: 0,
+                packets_ejected: 0,
+                flits_ejected: 0,
+                latency_sum: 0,
+                latency_max: 0,
+                latency_hist: LatencyHistogram::new(),
+                measuring: false,
+                e2e_peak_source_flits: 0,
+                stats: NetworkStats::default(),
+                warmup_snapshot: None,
+                warmup_counts: (0, 0, 0, 0, 0),
+                tracer,
+                prev_recovering: vec![false; n],
+                recovering_scratch: Vec::with_capacity(n),
+            },
         }
     }
 
     /// Read access to the tracing front-end (flight recorders).
     pub fn tracer(&self) -> &Tracer<S> {
-        &self.tracer
+        &self.core.tracer
     }
 
     /// Flushes and surrenders the tracer (post-run sink recovery).
     pub fn into_tracer(mut self) -> Tracer<S> {
-        self.tracer.flush();
-        self.tracer
+        self.core.tracer.flush();
+        self.core.tracer
     }
 
     /// Current cycle.
     pub fn now(&self) -> u64 {
-        self.now
+        self.core.now
     }
 
     /// Packets ejected since construction.
     pub fn packets_ejected(&self) -> u64 {
-        self.packets_ejected
+        self.core.packets_ejected
     }
 
     /// Packets injected since construction.
     pub fn packets_injected(&self) -> u64 {
-        self.packets_injected
+        self.core.packets_injected
     }
 
-    /// The fault injector's census (injected faults).
-    pub fn fault_counts(&self) -> ftnoc_fault::FaultCounts {
-        self.fi.counts()
+    /// Census of injected faults, summed over the per-router streams.
+    pub fn fault_counts(&self) -> FaultCounts {
+        let mut total = FaultCounts::default();
+        for cell in &self.cells {
+            total.absorb(&cell.lock().unwrap().router.fault_counts());
+        }
+        total
     }
 
     /// Direct read access to a router (tests and probing tools).
-    pub fn router(&self, id: NodeId) -> &Router {
-        &self.routers[id.index()]
+    pub fn router(&self, id: NodeId) -> RouterRef<'_> {
+        RouterRef(self.cells[id.index()].lock().unwrap())
     }
 
     /// Marks the beginning of the measurement window: snapshots every
     /// cumulative counter so reported statistics exclude warm-up.
     pub fn start_measurement(&mut self) {
-        let mut events = crate::stats::EventCounts::default();
-        let mut errors = crate::stats::ErrorStats::default();
-        for r in &self.routers {
-            events = sum_events(&events, &r.events);
-            errors = sum_errors(&errors, &r.errors);
+        let Network { cells, core, .. } = self;
+        core.start_measurement(cells);
+    }
+
+    /// Aggregated statistics for the measurement window.
+    pub fn stats(&self) -> NetworkStats {
+        let mut events = EventCounts::default();
+        let mut errors = ErrorStats::default();
+        for cell in &self.cells {
+            let cell = cell.lock().unwrap();
+            events = sum_events(&events, &cell.router.events);
+            errors = sum_errors(&errors, &cell.router.errors);
+        }
+        let core = &self.core;
+        let (snap_ev, snap_err) = core
+            .warmup_snapshot
+            .unwrap_or((EventCounts::default(), ErrorStats::default()));
+        let (wi, we, wf, wl, _wm) = core.warmup_counts;
+        NetworkStats {
+            events: events.delta_since(&snap_ev),
+            errors: errors.delta_since(&snap_err),
+            latency_sum: core.latency_sum - wl,
+            latency_max: core.latency_max,
+            packets_ejected: core.packets_ejected - we,
+            packets_injected: core.packets_injected - wi,
+            flits_ejected: core.flits_ejected - wf,
+            cycles: core.stats.cycles,
+            tx_occupancy_sum: core.stats.tx_occupancy_sum,
+            retx_occupancy_sum: core.stats.retx_occupancy_sum,
+            tx_capacity: core.stats.tx_capacity,
+            retx_capacity: core.stats.retx_capacity,
+        }
+    }
+
+    /// Borrowed view of the measurement-window latency histogram (the
+    /// allocation-free path heartbeats and reports read percentiles
+    /// from — [`Network::stats`] deliberately no longer clones it).
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.core.latency_hist
+    }
+
+    /// (p50, p95, p99) latency bucket bounds of the measurement window.
+    pub fn latency_percentiles(&self) -> (u64, u64, u64) {
+        self.core.latency_hist.percentiles()
+    }
+
+    /// A [`Progress`] snapshot (what run observers receive).
+    pub fn progress(&self) -> Progress {
+        let Network { cells, core, .. } = self;
+        core.progress(cells)
+    }
+
+    /// Advances the network by one clock cycle (the serial engine; the
+    /// worker pool in [`crate::engine`] drives the same three phases).
+    pub fn step(&mut self) {
+        let Network { env, cells, core } = self;
+        let now = core.now;
+        core.pre(env, cells, now);
+        for cell in cells.iter() {
+            compute_cell(env, &mut cell.lock().unwrap(), now);
+        }
+        core.commit(env, cells, now);
+    }
+
+    /// Peak per-node source-side retransmission-buffer occupancy (flits)
+    /// observed so far — the buffer-size cost of end-to-end schemes the
+    /// paper contrasts with HBH's fixed 3 flits per VC.
+    pub fn e2e_peak_source_flits(&self) -> u64 {
+        self.core.e2e_peak_source_flits
+    }
+
+    /// Whether any node is currently in deadlock-recovery mode.
+    pub fn any_in_recovery(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|c| c.lock().unwrap().router.probe.in_recovery())
+    }
+}
+
+impl<S: TraceSink> NetCore<S> {
+    /// Packets ejected since construction (cheap loop-condition read).
+    pub(crate) fn packets_ejected(&self) -> u64 {
+        self.packets_ejected
+    }
+
+    /// Pre phase (serial): refresh the `neighbor_recovering` snapshots,
+    /// then run injection and the E2E timeout scans.
+    pub(crate) fn pre(&mut self, env: &RunEnv, cells: &[Mutex<RouterCell>], now: u64) {
+        self.recovering_scratch.clear();
+        for cell in cells {
+            self.recovering_scratch
+                .push(cell.lock().unwrap().router.probe.in_recovery());
+        }
+        for (n, cell) in cells.iter().enumerate() {
+            let coord = env.topo.coord_of(NodeId::new(n as u16));
+            let mut mask = [false; 4];
+            for d in Direction::CARDINAL {
+                if let Some(nc) = env.topo.neighbor(coord, d) {
+                    mask[d.index()] = self.recovering_scratch[env.topo.id_of(nc).index()];
+                }
+            }
+            cell.lock().unwrap().neighbor_recovering = mask;
+        }
+        self.inject_phase(env, cells, now);
+    }
+
+    /// A [`Progress`] snapshot for observers.
+    pub(crate) fn progress(&self, cells: &[Mutex<RouterCell>]) -> Progress {
+        Progress {
+            now: self.now,
+            packets_injected: self.packets_injected,
+            packets_ejected: self.packets_ejected,
+            any_in_recovery: cells
+                .iter()
+                .any(|c| c.lock().unwrap().router.probe.in_recovery()),
+        }
+    }
+
+    /// Starts the measurement window (see [`Network::start_measurement`]).
+    pub(crate) fn start_measurement(&mut self, cells: &[Mutex<RouterCell>]) {
+        let mut events = EventCounts::default();
+        let mut errors = ErrorStats::default();
+        for cell in cells {
+            let cell = cell.lock().unwrap();
+            events = sum_events(&events, &cell.router.events);
+            errors = sum_errors(&errors, &cell.router.errors);
         }
         self.warmup_snapshot = Some((events, errors));
         self.warmup_counts = (
@@ -248,319 +529,20 @@ impl<S: TraceSink> Network<S> {
             self.latency_max,
         );
         self.stats = NetworkStats::default();
-        self.latency_hist = crate::stats::LatencyHistogram::new();
+        self.latency_hist = LatencyHistogram::new();
         self.measuring = true;
-    }
-
-    /// Aggregated statistics for the measurement window.
-    pub fn stats(&self) -> NetworkStats {
-        let mut events = crate::stats::EventCounts::default();
-        let mut errors = crate::stats::ErrorStats::default();
-        for r in &self.routers {
-            events = sum_events(&events, &r.events);
-            errors = sum_errors(&errors, &r.errors);
-        }
-        let (snap_ev, snap_err) = self.warmup_snapshot.unwrap_or((
-            crate::stats::EventCounts::default(),
-            crate::stats::ErrorStats::default(),
-        ));
-        let (wi, we, wf, wl, _wm) = self.warmup_counts;
-        NetworkStats {
-            events: events.delta_since(&snap_ev),
-            errors: errors.delta_since(&snap_err),
-            latency_sum: self.latency_sum - wl,
-            latency_max: self.latency_max,
-            latency_hist: self.latency_hist.clone(),
-            packets_ejected: self.packets_ejected - we,
-            packets_injected: self.packets_injected - wi,
-            flits_ejected: self.flits_ejected - wf,
-            cycles: self.stats.cycles,
-            tx_occupancy_sum: self.stats.tx_occupancy_sum,
-            retx_occupancy_sum: self.stats.retx_occupancy_sum,
-            tx_capacity: self.stats.tx_capacity,
-            retx_capacity: self.stats.retx_capacity,
-        }
-    }
-
-    /// Advances the network by one clock cycle.
-    pub fn step(&mut self) {
-        let now = self.now;
-
-        // 1. Reverse channels: NACKs first (they must beat window expiry),
-        //    then credits.
-        for n in 0..self.routers.len() {
-            for d in Direction::CARDINAL {
-                let Some(ch) = self.channels[n][d.index()].as_mut() else {
-                    continue;
-                };
-                let upset = self.fi.handshake_upset();
-                let (nacks, masked) = ch.deliver_nacks(now, upset);
-                self.routers[n].errors.handshake_masked += masked;
-                for vc in nacks {
-                    self.routers[n].handle_nack(d, vc);
-                    self.tracer.emit(
-                        now,
-                        n as u16,
-                        TraceEvent::ReplayTriggered {
-                            port: d.index() as u8,
-                            vc,
-                        },
-                    );
-                }
-                for vc in ch.deliver_credits(now) {
-                    self.routers[n].handle_credit(d, vc);
-                }
-            }
-        }
-
-        // 2. Window expiry and per-cycle reset.
-        for r in &mut self.routers {
-            r.begin_cycle(now);
-        }
-
-        // 3. Flit delivery + arrival checking.
-        for n in 0..self.routers.len() {
-            for d in Direction::CARDINAL {
-                let Some(ch) = self.channels[n][d.index()].as_mut() else {
-                    continue;
-                };
-                let Some((flit, vc)) = ch.deliver_flit(now) else {
-                    continue;
-                };
-                let m = self
-                    .topo
-                    .neighbor(self.topo.coord_of(NodeId::new(n as u16)), d)
-                    .map(|c| self.topo.id_of(c))
-                    .expect("channel implies neighbor");
-                let ctx = Ctx {
-                    config: &self.config,
-                    topo: self.topo,
-                    now,
-                };
-                let action = self.routers[m.index()].accept_flit(&ctx, d.opposite(), vc, flit);
-                let port = d.opposite().index() as u8;
-                match action {
-                    ArrivalAction::Accepted => self.tracer.emit(
-                        now,
-                        m.index() as u16,
-                        TraceEvent::FlitReceived {
-                            packet: flit.packet.raw(),
-                            seq: flit.seq,
-                            port,
-                            vc,
-                        },
-                    ),
-                    ArrivalAction::NackUpstream | ArrivalAction::Dropped => {
-                        self.tracer.emit(
-                            now,
-                            m.index() as u16,
-                            TraceEvent::FlitDropped {
-                                packet: flit.packet.raw(),
-                                seq: flit.seq,
-                                port,
-                                reason: DropReason::Corrupt,
-                            },
-                        );
-                        if action == ArrivalAction::NackUpstream {
-                            self.tracer.emit(
-                                now,
-                                m.index() as u16,
-                                TraceEvent::NackSent { port, vc },
-                            );
-                            self.channels[n][d.index()]
-                                .as_mut()
-                                .expect("channel exists")
-                                .send_nack(vc, now);
-                        }
-                    }
-                }
-            }
-        }
-
-        // 4. Injection and E2E timeout scans.
-        self.inject_phase(now);
-
-        // 5-7. Router control, VC allocation, switch allocation.
-        let ctx = Ctx {
-            config: &self.config,
-            topo: self.topo,
-            now,
-        };
-        for n in 0..self.routers.len() {
-            self.routers[n].control_phase(&ctx, &mut self.fi, &mut self.tracer);
-        }
-        // Recovery-mode status of every node (a per-link handshake wire in
-        // hardware): gates admission of new packets toward recovering
-        // neighbours.
-        let recovering: Vec<bool> = self.routers.iter().map(|r| r.probe.in_recovery()).collect();
-        for n in 0..self.routers.len() {
-            let coord = self.topo.coord_of(NodeId::new(n as u16));
-            let mut neighbor_recovering = [false; 4];
-            for d in Direction::CARDINAL {
-                if let Some(nc) = self.topo.neighbor(coord, d) {
-                    neighbor_recovering[d.index()] = recovering[self.topo.id_of(nc).index()];
-                }
-            }
-            self.routers[n].va_phase(&ctx, &mut self.fi, neighbor_recovering, &mut self.tracer);
-        }
-        for n in 0..self.routers.len() {
-            self.routers[n].sa_phase(&ctx, &mut self.fi, &mut self.tracer);
-        }
-
-        // 8. Switch traversal → links (with link/crossbar fault injection),
-        //    ejection, credit returns.
-        for n in 0..self.routers.len() {
-            let ctx = Ctx {
-                config: &self.config,
-                topo: self.topo,
-                now,
-            };
-            let drives = self.routers[n].st_phase(&ctx);
-            for mut drive in drives {
-                self.tracer.emit(
-                    now,
-                    n as u16,
-                    TraceEvent::FlitSent {
-                        packet: drive.flit.packet.raw(),
-                        seq: drive.flit.seq,
-                        port: drive.dir.index() as u8,
-                        vc: drive.vc,
-                        replay: drive.is_replay,
-                    },
-                );
-                // §4.4: crossbar single-bit upsets (corrected downstream).
-                if self.fi.crossbar_upset() {
-                    let bit = self.fi.random_bit();
-                    drive.flit.payload.flip_bit(bit);
-                    self.routers[n].errors.crossbar_corrected += 1;
-                }
-                // Link soft errors.
-                if self.fi.corrupt_on_link(&mut drive.flit.payload).is_some() {
-                    // Injection counted by the fault injector census.
-                }
-                if let Some(target) = trace_node() {
-                    if target == n.to_string() {
-                        eprintln!(
-                            "cyc {now}: n{n} drives {} dir {} vc {} replay={}",
-                            drive.flit, drive.dir, drive.vc, drive.is_replay
-                        );
-                    }
-                }
-                self.channels[n][drive.dir.index()]
-                    .as_mut()
-                    .expect("drive targets an existing link")
-                    .send_flit(drive.flit, drive.vc, now);
-            }
-            let ejected: Vec<Flit> = self.routers[n].ejected.drain(..).collect();
-            for flit in ejected {
-                self.eject_flit(NodeId::new(n as u16), flit, now);
-            }
-            let freed: Vec<(Direction, u8)> = self.routers[n].freed_credits.drain(..).collect();
-            for (dir_in, vc) in freed {
-                let up = self
-                    .topo
-                    .neighbor(self.topo.coord_of(NodeId::new(n as u16)), dir_in)
-                    .map(|c| self.topo.id_of(c))
-                    .expect("credit for an existing link");
-                self.channels[up.index()][dir_in.opposite().index()]
-                    .as_mut()
-                    .expect("reverse channel exists")
-                    .send_credit(vc, now);
-            }
-        }
-
-        // 9. Blocked tracking, probe launches and side-band transport.
-        for n in 0..self.routers.len() {
-            let ctx = Ctx {
-                config: &self.config,
-                topo: self.topo,
-                now,
-            };
-            if let Some((via, named)) = self.routers[n].end_cycle(&ctx) {
-                let origin = NodeId::new(n as u16);
-                let to = self
-                    .topo
-                    .neighbor(self.topo.coord_of(origin), via)
-                    .map(|c| self.topo.id_of(c))
-                    .expect("probe follows an existing link");
-                self.probes.push(ProbeFlight {
-                    signal: ProbeSignal { origin, vc: named },
-                    to,
-                    deliver_at: now + 1,
-                    path: vec![origin],
-                });
-                self.tracer.emit(
-                    now,
-                    n as u16,
-                    TraceEvent::ProbeLaunched {
-                        origin: n as u16,
-                        port: via.index() as u8,
-                        vc: named.vc,
-                    },
-                );
-            }
-        }
-        self.deliver_probes(now);
-        self.deliver_activations(now);
-
-        // Recovery-mode transition edges (entry via activation signals,
-        // exit in end_cycle) become start/end events.
-        if self.tracer.enabled() {
-            for n in 0..self.routers.len() {
-                let rec = self.routers[n].probe.in_recovery();
-                if rec != self.prev_recovering[n] {
-                    let event = if rec {
-                        TraceEvent::RecoveryStarted
-                    } else {
-                        TraceEvent::RecoveryEnded
-                    };
-                    self.tracer.emit(now, n as u16, event);
-                    self.prev_recovering[n] = rec;
-                }
-            }
-        }
-
-        // 10. Statistics sampling.
-        if self.config.scheme.uses_end_to_end_control() && now.is_multiple_of(16) {
-            for pe in &self.pes {
-                let occ = pe.e2e_source.occupancy_flits() as u64;
-                if occ > self.e2e_peak_source_flits {
-                    self.e2e_peak_source_flits = occ;
-                }
-            }
-        }
-        if self.measuring {
-            let mut tx_occ = 0;
-            let mut tx_cap = 0;
-            let mut rx_occ = 0;
-            let mut rx_cap = 0;
-            for r in &self.routers {
-                let (a, b, c, d) = r.sample_occupancy();
-                tx_occ += a;
-                tx_cap += b;
-                rx_occ += c;
-                rx_cap += d;
-            }
-            self.stats.tx_occupancy_sum += tx_occ;
-            self.stats.retx_occupancy_sum += rx_occ;
-            self.stats.tx_capacity = tx_cap;
-            self.stats.retx_capacity = rx_cap;
-            self.stats.cycles += 1;
-        }
-
-        self.now += 1;
     }
 
     /// Open-loop injection: create new packets, push flits of the packet
     /// currently entering, run E2E timeout scans.
-    fn inject_phase(&mut self, now: u64) {
-        let scheme = self.config.scheme;
-        let vcs = self.config.router.vcs_per_port();
-        let source_open = self
+    fn inject_phase(&mut self, env: &RunEnv, cells: &[Mutex<RouterCell>], now: u64) {
+        let scheme = env.config.scheme;
+        let vcs = env.config.router.vcs_per_port();
+        let source_open = env
             .config
             .stop_injection_after
             .is_none_or(|stop| now < stop);
-        for n in 0..self.pes.len() {
+        for (n, cell) in cells.iter().enumerate() {
             // New traffic.
             let count = if source_open && self.pes[n].source_queue.len() < SOURCE_QUEUE_CAP {
                 self.pes[n].injector.packets_this_cycle(&mut self.rng)
@@ -569,16 +551,13 @@ impl<S: TraceSink> Network<S> {
             };
             for _ in 0..count {
                 let src = NodeId::new(n as u16);
-                let dest = self
-                    .config
-                    .pattern
-                    .destination(src, self.topo, &mut self.rng);
+                let dest = env.config.pattern.destination(src, env.topo, &mut self.rng);
                 let id = PacketId::new(self.next_packet);
                 self.next_packet += 1;
                 let mut packet = Packet::new(
                     id,
                     Header::with_class(src, dest, CLASS_DATA),
-                    self.config.flits_per_packet(),
+                    env.config.flits_per_packet(),
                     now,
                 );
                 for f in packet.flits_mut() {
@@ -600,11 +579,13 @@ impl<S: TraceSink> Network<S> {
                 );
             }
 
+            let mut cell = cell.lock().unwrap();
+
             // E2E/FEC timeouts (scanned every 32 cycles to bound cost).
             if scheme.uses_end_to_end_control() && now.is_multiple_of(32) {
                 let expired = self.pes[n].e2e_source.take_expired(now);
                 for packet in expired {
-                    self.routers[n].errors.e2e_retransmissions += 1;
+                    cell.router.errors.e2e_retransmissions += 1;
                     self.pes[n].source_queue.push_back(packet);
                 }
             }
@@ -612,8 +593,8 @@ impl<S: TraceSink> Network<S> {
             // Continue or start a wormhole into the local port. New
             // packets are not admitted while the router is in deadlock
             // recovery (§3.2.1).
-            if self.pes[n].injecting.is_none() && !self.routers[n].probe.in_recovery() {
-                if let Some(vc) = (0..vcs).find(|&v| self.routers[n].local_vc_idle(v)) {
+            if self.pes[n].injecting.is_none() && !cell.router.probe.in_recovery() {
+                if let Some(vc) = (0..vcs).find(|&v| cell.router.local_vc_idle(v)) {
                     if let Some(packet) = self.pes[n].source_queue.pop_front() {
                         let flits: VecDeque<Flit> = packet.into_flits().into();
                         self.pes[n].injecting = Some((vc, flits));
@@ -621,9 +602,9 @@ impl<S: TraceSink> Network<S> {
                 }
             }
             if let Some((vc, mut flits)) = self.pes[n].injecting.take() {
-                if self.routers[n].local_free_slots(vc) > 0 {
+                if cell.router.local_free_slots(vc) > 0 {
                     if let Some(flit) = flits.pop_front() {
-                        self.routers[n].inject_local(vc, flit);
+                        cell.router.inject_local(vc, flit);
                     }
                 }
                 if !flits.is_empty() {
@@ -633,10 +614,159 @@ impl<S: TraceSink> Network<S> {
         }
     }
 
+    /// Commit phase (serial, node order): apply every cross-router
+    /// effect buffered during compute, move the side-bands, sample
+    /// statistics, advance the clock.
+    pub(crate) fn commit(&mut self, env: &RunEnv, cells: &[Mutex<RouterCell>], now: u64) {
+        let topo = env.topo;
+        for n in 0..cells.len() {
+            let mut cell = cells[n].lock().unwrap();
+
+            // Buffered trace events, in the phase order they occurred.
+            if self.tracer.enabled() {
+                for i in 0..cell.router.trace.events.len() {
+                    let ev = cell.router.trace.events[i];
+                    self.tracer.emit(now, n as u16, ev);
+                }
+            }
+            cell.router.trace.events.clear();
+
+            // Link drives onto the receiving router's forward wires.
+            for i in 0..cell.router.drives.len() {
+                let drive = cell.router.drives[i];
+                let m = topo
+                    .neighbor(topo.coord_of(NodeId::new(n as u16)), drive.dir)
+                    .map(|c| topo.id_of(c))
+                    .expect("drive targets an existing link");
+                cells[m.index()].lock().unwrap().io.flit_in[drive.dir.opposite().index()]
+                    .as_mut()
+                    .expect("forward wire exists")
+                    .send_flit(drive.flit, drive.vc, now);
+            }
+            cell.router.drives.clear();
+
+            // Ejections to the local PE.
+            for i in 0..cell.router.ejected.len() {
+                let flit = cell.router.ejected[i];
+                self.eject_flit(env, &mut cell.router, NodeId::new(n as u16), flit, now);
+            }
+            cell.router.ejected.clear();
+
+            // Freed credits back to the upstream routers.
+            for i in 0..cell.router.freed_credits.len() {
+                let (dir_in, vc) = cell.router.freed_credits[i];
+                let up = topo
+                    .neighbor(topo.coord_of(NodeId::new(n as u16)), dir_in)
+                    .map(|c| topo.id_of(c))
+                    .expect("credit for an existing link");
+                cells[up.index()].lock().unwrap().io.rev_in[dir_in.opposite().index()]
+                    .as_mut()
+                    .expect("reverse wire exists")
+                    .send_credit(vc, now);
+            }
+            cell.router.freed_credits.clear();
+
+            // Arrival NACKs back to the upstream routers.
+            for i in 0..cell.arrival_nacks.len() {
+                let (p, vc) = cell.arrival_nacks[i];
+                let up = topo
+                    .neighbor(topo.coord_of(NodeId::new(n as u16)), p)
+                    .map(|c| topo.id_of(c))
+                    .expect("nack for an existing link");
+                cells[up.index()].lock().unwrap().io.rev_in[p.opposite().index()]
+                    .as_mut()
+                    .expect("reverse wire exists")
+                    .send_nack(vc, now);
+            }
+            cell.arrival_nacks.clear();
+
+            // Probe launches onto the side-band.
+            if let Some((via, named)) = cell.probe_req.take() {
+                let origin = NodeId::new(n as u16);
+                let to = topo
+                    .neighbor(topo.coord_of(origin), via)
+                    .map(|c| topo.id_of(c))
+                    .expect("probe follows an existing link");
+                self.probes.push(ProbeFlight {
+                    signal: ProbeSignal { origin, vc: named },
+                    to,
+                    deliver_at: now + 1,
+                    path: vec![origin],
+                });
+                self.tracer.emit(
+                    now,
+                    n as u16,
+                    TraceEvent::ProbeLaunched {
+                        origin: n as u16,
+                        port: via.index() as u8,
+                        vc: named.vc,
+                    },
+                );
+            }
+        }
+
+        self.deliver_probes(env, cells, now);
+        self.deliver_activations(cells, now);
+
+        // Recovery-mode transition edges (entry via activation signals,
+        // exit in end_cycle) become start/end events.
+        if self.tracer.enabled() {
+            for (n, cell) in cells.iter().enumerate() {
+                let rec = cell.lock().unwrap().router.probe.in_recovery();
+                if rec != self.prev_recovering[n] {
+                    let event = if rec {
+                        TraceEvent::RecoveryStarted
+                    } else {
+                        TraceEvent::RecoveryEnded
+                    };
+                    self.tracer.emit(now, n as u16, event);
+                    self.prev_recovering[n] = rec;
+                }
+            }
+        }
+
+        // Statistics sampling.
+        if env.config.scheme.uses_end_to_end_control() && now.is_multiple_of(16) {
+            for pe in &self.pes {
+                let occ = pe.e2e_source.occupancy_flits() as u64;
+                if occ > self.e2e_peak_source_flits {
+                    self.e2e_peak_source_flits = occ;
+                }
+            }
+        }
+        if self.measuring {
+            let mut tx_occ = 0;
+            let mut tx_cap = 0;
+            let mut rx_occ = 0;
+            let mut rx_cap = 0;
+            for cell in cells {
+                let (a, b, c, d) = cell.lock().unwrap().router.sample_occupancy();
+                tx_occ += a;
+                tx_cap += b;
+                rx_occ += c;
+                rx_cap += d;
+            }
+            self.stats.tx_occupancy_sum += tx_occ;
+            self.stats.retx_occupancy_sum += rx_occ;
+            self.stats.tx_capacity = tx_cap;
+            self.stats.retx_capacity = rx_cap;
+            self.stats.cycles += 1;
+        }
+
+        self.now += 1;
+    }
+
     /// Handles one flit leaving the network at `node`.
-    fn eject_flit(&mut self, node: NodeId, flit: Flit, now: u64) {
+    fn eject_flit(
+        &mut self,
+        env: &RunEnv,
+        router: &mut Router,
+        node: NodeId,
+        flit: Flit,
+        now: u64,
+    ) {
         self.flits_ejected += 1;
-        let scheme = self.config.scheme;
+        let scheme = env.config.scheme;
         let fields = ftnoc_types::flit::PackedFields::unpack(flit.payload.data());
         let class = match scheme {
             ErrorScheme::Hbh | ErrorScheme::Fec => flit.header.class,
@@ -650,7 +780,7 @@ impl<S: TraceSink> Network<S> {
                 if kind == CLASS_ACK {
                     pe.e2e_source.on_ack(data_id);
                 } else if let Some(packet) = pe.e2e_source.on_nack(data_id, now) {
-                    self.routers[node.index()].errors.e2e_retransmissions += 1;
+                    router.errors.e2e_retransmissions += 1;
                     pe.source_queue.push_back(packet);
                 }
             }
@@ -663,7 +793,7 @@ impl<S: TraceSink> Network<S> {
                     if flit.header.dest == node {
                         self.complete_packet(node, flit, now);
                     } else {
-                        self.routers[node.index()].errors.misdelivered += 1;
+                        router.errors.misdelivered += 1;
                         self.tracer.emit(
                             now,
                             node.index() as u16,
@@ -679,7 +809,7 @@ impl<S: TraceSink> Network<S> {
                     if fields.dest == node {
                         self.complete_packet(node, flit, now);
                     } else {
-                        self.routers[node.index()].errors.misdelivered += 1;
+                        router.errors.misdelivered += 1;
                         self.tracer.emit(
                             now,
                             node.index() as u16,
@@ -751,35 +881,41 @@ impl<S: TraceSink> Network<S> {
         self.pes[from.index()].source_queue.push_front(packet);
     }
 
-    /// Probe side-band delivery (1 hop per cycle).
-    fn deliver_probes(&mut self, now: u64) {
-        let mut pending = std::mem::take(&mut self.probes);
-        let mut keep = Vec::new();
-        for mut flight in pending.drain(..) {
-            if flight.deliver_at > now {
-                keep.push(flight);
+    /// Probe side-band delivery (1 hop per cycle). In-place
+    /// `swap_remove` loop: flights not yet due (including the ones
+    /// re-pushed for `now + 1`) are skipped, so the pass allocates
+    /// nothing in the steady state.
+    fn deliver_probes(&mut self, env: &RunEnv, cells: &[Mutex<RouterCell>], now: u64) {
+        let mut i = 0;
+        while i < self.probes.len() {
+            if self.probes[i].deliver_at > now {
+                i += 1;
                 continue;
             }
+            let mut flight = self.probes.swap_remove(i);
             let at = flight.to;
-            // Probes travel as regular flits: charge a link traversal.
-            self.routers[at.index()].events.link += 1;
-            let (blocked, fwd) = self.routers[at.index()].probe_forward_info(flight.signal.vc);
-            let action = self.routers[at.index()].probe.on_probe(
-                flight.signal,
-                blocked,
-                fwd.map(|(_, vc)| vc),
-            );
+            let (blocked, fwd, action) = {
+                let mut cell = cells[at.index()].lock().unwrap();
+                // Probes travel as regular flits: charge a link traversal.
+                cell.router.events.link += 1;
+                let (blocked, fwd) = cell.router.probe_forward_info(flight.signal.vc);
+                let action =
+                    cell.router
+                        .probe
+                        .on_probe(flight.signal, blocked, fwd.map(|(_, vc)| vc));
+                (blocked, fwd, action)
+            };
             match action {
                 ProbeAction::Forward(sig) => {
                     let (dir, _) = fwd.expect("forward implies a next hop");
-                    let next = self
+                    let next = env
                         .topo
-                        .neighbor(self.topo.coord_of(at), dir)
-                        .map(|c| self.topo.id_of(c));
+                        .neighbor(env.topo.coord_of(at), dir)
+                        .map(|c| env.topo.id_of(c));
                     match next {
-                        Some(next) if flight.path.len() <= 4 * self.routers.len() => {
+                        Some(next) if flight.path.len() <= 4 * cells.len() => {
                             flight.path.push(at);
-                            keep.push(ProbeFlight {
+                            self.probes.push(ProbeFlight {
                                 signal: sig,
                                 to: next,
                                 deliver_at: now + 1,
@@ -787,12 +923,12 @@ impl<S: TraceSink> Network<S> {
                             });
                         }
                         _ => {
-                            self.routers[flight.signal.origin.index()]
-                                .probe
-                                .probe_lost();
-                            self.routers[flight.signal.origin.index()]
-                                .errors
-                                .probes_discarded += 1;
+                            {
+                                let mut origin =
+                                    cells[flight.signal.origin.index()].lock().unwrap();
+                                origin.router.probe.probe_lost();
+                                origin.router.errors.probes_discarded += 1;
+                            }
                             self.tracer.emit(
                                 now,
                                 at.index() as u16,
@@ -810,12 +946,11 @@ impl<S: TraceSink> Network<S> {
                             flight.signal.origin, at, flight.signal.vc, flight.path
                         );
                     }
-                    self.routers[flight.signal.origin.index()]
-                        .probe
-                        .probe_lost();
-                    self.routers[flight.signal.origin.index()]
-                        .errors
-                        .probes_discarded += 1;
+                    {
+                        let mut origin = cells[flight.signal.origin.index()].lock().unwrap();
+                        origin.router.probe.probe_lost();
+                        origin.router.errors.probes_discarded += 1;
+                    }
                     self.tracer.emit(
                         now,
                         at.index() as u16,
@@ -825,7 +960,12 @@ impl<S: TraceSink> Network<S> {
                     );
                 }
                 ProbeAction::Confirmed => {
-                    self.routers[at.index()].errors.deadlocks_confirmed += 1;
+                    cells[at.index()]
+                        .lock()
+                        .unwrap()
+                        .router
+                        .errors
+                        .deadlocks_confirmed += 1;
                     self.tracer.emit(
                         now,
                         at.index() as u16,
@@ -843,57 +983,42 @@ impl<S: TraceSink> Network<S> {
                 }
             }
         }
-        self.probes = keep;
     }
 
-    /// Activation delivery along the recorded probe path.
-    fn deliver_activations(&mut self, now: u64) {
-        let mut pending = std::mem::take(&mut self.activations);
-        let mut keep = Vec::new();
-        for mut flight in pending.drain(..) {
-            if flight.deliver_at > now {
-                keep.push(flight);
+    /// Activation delivery along the recorded probe path (in-place
+    /// `swap_remove` loop, same discipline as the probe transport).
+    fn deliver_activations(&mut self, cells: &[Mutex<RouterCell>], now: u64) {
+        let mut i = 0;
+        while i < self.activations.len() {
+            if self.activations[i].deliver_at > now {
+                i += 1;
                 continue;
             }
+            let mut flight = self.activations.swap_remove(i);
             let Some(&at) = flight.path.get(flight.next_index) else {
                 continue;
             };
-            self.routers[at.index()].events.link += 1;
-            let action = self.routers[at.index()]
-                .probe
-                .on_activation(ActivationSignal {
+            let action = {
+                let mut cell = cells[at.index()].lock().unwrap();
+                cell.router.events.link += 1;
+                cell.router.probe.on_activation(ActivationSignal {
                     origin: flight.origin,
-                });
+                })
+            };
             match action {
                 ActivationAction::EnterRecoveryAndForward => {
                     flight.next_index += 1;
                     flight.deliver_at = now + 1;
-                    keep.push(flight);
+                    self.activations.push(flight);
                 }
                 ActivationAction::RecoveryComplete | ActivationAction::Discard => {}
             }
         }
-        self.activations = keep;
-    }
-
-    /// Peak per-node source-side retransmission-buffer occupancy (flits)
-    /// observed so far — the buffer-size cost of end-to-end schemes the
-    /// paper contrasts with HBH's fixed 3 flits per VC.
-    pub fn e2e_peak_source_flits(&self) -> u64 {
-        self.e2e_peak_source_flits
-    }
-
-    /// Whether any node is currently in deadlock-recovery mode.
-    pub fn any_in_recovery(&self) -> bool {
-        self.routers.iter().any(|r| r.probe.in_recovery())
     }
 }
 
-fn sum_events(
-    a: &crate::stats::EventCounts,
-    b: &crate::stats::EventCounts,
-) -> crate::stats::EventCounts {
-    crate::stats::EventCounts {
+fn sum_events(a: &EventCounts, b: &EventCounts) -> EventCounts {
+    EventCounts {
         buffer_write: a.buffer_write + b.buffer_write,
         buffer_read: a.buffer_read + b.buffer_read,
         crossbar: a.crossbar + b.crossbar,
@@ -909,11 +1034,8 @@ fn sum_events(
     }
 }
 
-fn sum_errors(
-    a: &crate::stats::ErrorStats,
-    b: &crate::stats::ErrorStats,
-) -> crate::stats::ErrorStats {
-    crate::stats::ErrorStats {
+fn sum_errors(a: &ErrorStats, b: &ErrorStats) -> ErrorStats {
+    ErrorStats {
         link_corrected_inline: a.link_corrected_inline + b.link_corrected_inline,
         link_recovered_by_replay: a.link_recovered_by_replay + b.link_recovered_by_replay,
         flits_dropped: a.flits_dropped + b.flits_dropped,

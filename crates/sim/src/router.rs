@@ -30,8 +30,8 @@ use ftnoc_core::fec::{FecHop, FecOutcome};
 use ftnoc_core::hbh::{HbhReceiver, HbhSender, ReceiverVerdict};
 use ftnoc_core::recovery::{recovery_latency, LogicFaultKind};
 use ftnoc_core::retransmission::TransmissionFifo;
-use ftnoc_fault::FaultInjector;
-use ftnoc_trace::{AcStage, DropReason, TraceEvent, TraceSink, Tracer};
+use ftnoc_fault::{FaultCounts, FaultInjector};
+use ftnoc_trace::{AcStage, DropReason, TraceEvent};
 use ftnoc_types::config::{PipelineDepth, RouterConfig};
 use ftnoc_types::flit::{Flit, PackedFields};
 use ftnoc_types::geom::{Direction, NodeId, Topology};
@@ -163,6 +163,57 @@ pub enum ArrivalAction {
 /// its onward dependency edge.
 pub type BlockedVcSummary = (VcRef, u64, bool, Option<(Direction, VcRef)>);
 
+/// Per-router buffer of trace events produced during the compute phase
+/// and drained (in node order) by the network's commit phase. Buffering
+/// keeps the shared `Tracer` out of the parallel section while
+/// preserving a deterministic, thread-count-independent event order.
+#[derive(Debug, Default)]
+pub(crate) struct TraceBuf {
+    /// Mirror of `Tracer::enabled()`; `false` makes `emit` a no-op.
+    pub enabled: bool,
+    /// Events of the current cycle, in phase order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceBuf {
+    /// Records an event; the closure only runs when tracing is on.
+    #[inline]
+    pub fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.enabled {
+            self.events.push(f());
+        }
+    }
+}
+
+/// Reusable per-router scratch storage for the allocation phases.
+/// Cleared (not reallocated) every cycle, so the steady-state router
+/// pipeline performs no heap allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// VA stage 1 nominations: (input index, out port, out vc, rt port).
+    requests: Vec<(usize, usize, usize, Direction)>,
+    /// VA stage 2 winners (same layout as `requests`).
+    winners: Vec<(usize, usize, usize, Direction)>,
+    /// Which winners were corrupted by an injected VA upset.
+    corrupted: Vec<bool>,
+    /// Request lines fed to whichever arbiter is being consulted.
+    lines: Vec<bool>,
+    /// `any_req[op * vcs + ov]`: at least one VA request targets this
+    /// output VC (lets stage 2 skip idle arbiters without touching
+    /// their round-robin state — `grant` on all-false lines is a no-op).
+    any_req: Vec<bool>,
+    /// AC inputs rebuilt per check.
+    rt_entries: Vec<RtEntry>,
+    va_entries: Vec<VaEntry>,
+    sa_entries: Vec<SaEntry>,
+    /// Indices of winners flagged by the AC.
+    flagged: Vec<usize>,
+    /// SA stage 1 result per input port: (vc, out port, out vc).
+    port_winner: Vec<Option<(usize, usize, usize)>>,
+    /// SA grants: (input port, input vc, out port, out vc).
+    grants: Vec<(usize, usize, usize, usize)>,
+}
+
 /// A flit leaving the router this cycle.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkDrive {
@@ -196,11 +247,20 @@ pub struct Router {
     pub ejected: Vec<Flit>,
     /// Upstream credits freed this cycle: (input port, vc).
     pub freed_credits: Vec<(Direction, u8)>,
+    /// Flits driven onto outgoing links this cycle (drained at commit).
+    pub drives: Vec<LinkDrive>,
     /// Event census (energy accounting).
     pub events: EventCounts,
     /// Error-handling census.
     pub errors: ErrorStats,
     va_vc_offset: usize,
+    /// Per-router fault injector: an independent, node-seeded stream so
+    /// fault draws do not depend on router visitation order (the
+    /// property that makes the parallel compute phase deterministic).
+    pub(crate) fi: FaultInjector,
+    /// Buffered trace events of the current cycle.
+    pub(crate) trace: TraceBuf,
+    scratch: Scratch,
 }
 
 impl Router {
@@ -245,10 +305,26 @@ impl Router {
             recovery_stall: 0,
             ejected: Vec::new(),
             freed_credits: Vec::new(),
+            drives: Vec::new(),
             events: EventCounts::default(),
             errors: ErrorStats::default(),
             va_vc_offset: 0,
+            fi: FaultInjector::new(config.faults, Self::fault_seed(config.seed, id)),
+            trace: TraceBuf::default(),
+            scratch: Scratch::default(),
         }
+    }
+
+    /// The fault-stream seed for node `id`: the run's fault seed mixed
+    /// with a per-node odd multiplier so every router draws from an
+    /// independent stream.
+    fn fault_seed(seed: u64, id: NodeId) -> u64 {
+        (seed ^ 0xFA17) ^ (id.index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// This router's injected-fault census.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.fi.counts()
     }
 
     /// The node id.
@@ -273,6 +349,7 @@ impl Router {
     pub fn begin_cycle(&mut self, now: u64) {
         self.ejected.clear();
         self.freed_credits.clear();
+        self.drives.clear();
         for port in &mut self.outputs {
             for sender in &mut port.senders {
                 sender.tick(now);
@@ -344,12 +421,7 @@ impl Router {
     }
 
     /// Packet bring-up and deadlock-recovery absorption.
-    pub fn control_phase<S: TraceSink>(
-        &mut self,
-        ctx: &Ctx<'_>,
-        fi: &mut FaultInjector,
-        tracer: &mut Tracer<S>,
-    ) {
+    pub fn control_phase(&mut self, ctx: &Ctx<'_>) {
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
         for p in 0..ports {
@@ -376,16 +448,12 @@ impl Router {
                     }
                     self.inputs[p][v].buffer.pop();
                     self.errors.stranded_flits += 1;
-                    tracer.emit(
-                        ctx.now,
-                        self.id.index() as u16,
-                        TraceEvent::FlitDropped {
-                            packet: front.packet.raw(),
-                            seq: front.seq,
-                            port: p as u8,
-                            reason: DropReason::Stranded,
-                        },
-                    );
+                    self.trace.emit(|| TraceEvent::FlitDropped {
+                        packet: front.packet.raw(),
+                        seq: front.seq,
+                        port: p as u8,
+                        reason: DropReason::Stranded,
+                    });
                     if Direction::from_index(p) != Some(Direction::Local) {
                         self.freed_credits
                             .push((Direction::from_index(p).expect("port"), v as u8));
@@ -408,9 +476,9 @@ impl Router {
 
                 // §4.2: routing-unit soft error.
                 let rt_before = self.errors.rt_corrected;
-                if fi.rt_upset() && !candidates.is_empty() {
+                if self.fi.rt_upset() && !candidates.is_empty() {
                     let correct = candidates[0].index();
-                    let wrong = Direction::from_index(fi.corrupt_choice(correct, ports))
+                    let wrong = Direction::from_index(self.fi.corrupt_choice(correct, ports))
                         .expect("port index");
                     let came_from = Direction::from_index(p).expect("port");
                     let link_missing = wrong != Direction::Local
@@ -468,14 +536,11 @@ impl Router {
                     }
                 }
                 if self.errors.rt_corrected > rt_before {
-                    tracer.emit(
-                        ctx.now,
-                        self.id.index() as u16,
-                        TraceEvent::AcFlagged {
-                            stage: AcStage::Rt,
-                            removed: (self.errors.rt_corrected - rt_before) as u32,
-                        },
-                    );
+                    let removed = (self.errors.rt_corrected - rt_before) as u32;
+                    self.trace.emit(|| TraceEvent::AcFlagged {
+                        stage: AcStage::Rt,
+                        removed,
+                    });
                 }
 
                 self.inputs[p][v].state = VcState::VaWait {
@@ -516,34 +581,39 @@ impl Router {
                 if self.inputs[p][v].blocked_cycles < stuck {
                     continue;
                 }
-                let VcState::VaWait { ref candidates, .. } = self.inputs[p][v].state else {
-                    continue;
-                };
-                let candidates = candidates.clone();
-                let mut takeover = None;
-                'search: for cand in &candidates {
-                    if *cand == Direction::Local {
+                // The candidate walk only reads router state, so the
+                // borrow of the waiting VC's candidate list ends before
+                // the takeover commit below — no clone needed.
+                let takeover = {
+                    let VcState::VaWait { ref candidates, .. } = self.inputs[p][v].state else {
                         continue;
-                    }
-                    let op = cand.index();
-                    if !self.outputs[op].exists {
-                        continue;
-                    }
-                    for ov in 0..vcs {
-                        let stale = match self.outputs[op].allocated[ov] {
-                            Some((ip, iv)) => !matches!(
-                                self.inputs[ip][iv].state,
-                                VcState::Active { out_port, out_vc, .. }
-                                    if out_port == op && out_vc == ov
-                            ),
-                            None => true,
-                        };
-                        if stale {
-                            takeover = Some((op, ov));
-                            break 'search;
+                    };
+                    let mut takeover = None;
+                    'search: for cand in candidates {
+                        if *cand == Direction::Local {
+                            continue;
+                        }
+                        let op = cand.index();
+                        if !self.outputs[op].exists {
+                            continue;
+                        }
+                        for ov in 0..vcs {
+                            let stale = match self.outputs[op].allocated[ov] {
+                                Some((ip, iv)) => !matches!(
+                                    self.inputs[ip][iv].state,
+                                    VcState::Active { out_port, out_vc, .. }
+                                        if out_port == op && out_vc == ov
+                                ),
+                                None => true,
+                            };
+                            if stale {
+                                takeover = Some((op, ov));
+                                break 'search;
+                            }
                         }
                     }
-                }
+                    takeover
+                };
                 if let Some((op, ov)) = takeover {
                     if trace_node().is_some_and(|t| t == self.id.index().to_string()) {
                         eprintln!("cyc {}: {} TAKEOVER in ({p},{v}) head {} -> out ({op},{ov}) old_alloc {:?}", ctx.now, self.id, self.inputs[p][v].buffer.front().map(|f| f.to_string()).unwrap_or_default(), self.outputs[op].allocated[ov]);
@@ -623,20 +693,19 @@ impl Router {
     /// "no new packets are allowed to enter the transmission buffers that
     /// are involved in the deadlock recovery"). Flits of already-admitted
     /// packets keep flowing — they are the recovery's working set.
-    pub fn va_phase<S: TraceSink>(
-        &mut self,
-        ctx: &Ctx<'_>,
-        fi: &mut FaultInjector,
-        neighbor_recovering: [bool; 4],
-        tracer: &mut Tracer<S>,
-    ) {
+    pub fn va_phase(&mut self, ctx: &Ctx<'_>, neighbor_recovering: [bool; 4]) {
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
         let total = ports * vcs;
+        // Scratch moves out of `self` for the duration of the phase (a
+        // pointer move, not an allocation) so it can be filled while the
+        // router's own state is borrowed.
+        let mut sc = std::mem::take(&mut self.scratch);
 
         // Stage 1: each waiting input VC nominates one free output VC.
         // (input index, output port, output vc, rt port for the AC table)
-        let mut requests: Vec<(usize, usize, usize, Direction)> = Vec::new();
+        sc.requests.clear();
+        let requests = &mut sc.requests;
         for p in 0..ports {
             for v in 0..vcs {
                 let VcState::VaWait {
@@ -671,17 +740,30 @@ impl Router {
         }
         self.va_vc_offset = (self.va_vc_offset + 1) % vcs;
 
-        // Stage 2: arbitrate per output VC.
-        let mut winners: Vec<(usize, usize, usize, Direction)> = Vec::new();
+        // Stage 2: arbitrate per output VC. Only output VCs with at
+        // least one request consult their arbiter: `grant` leaves the
+        // round-robin pointer untouched on all-false lines, so skipping
+        // idle VCs is behavior-identical and saves the line scan.
+        sc.any_req.clear();
+        sc.any_req.resize(total, false);
+        for &(_, op, ov, _) in requests.iter() {
+            sc.any_req[op * vcs + ov] = true;
+        }
+        sc.winners.clear();
+        let winners = &mut sc.winners;
         for op in 0..ports {
             for ov in 0..vcs {
-                let mut lines = vec![false; total];
-                for &(input, rop, rov, _) in &requests {
+                if !sc.any_req[op * vcs + ov] {
+                    continue;
+                }
+                sc.lines.clear();
+                sc.lines.resize(total, false);
+                for &(input, rop, rov, _) in requests.iter() {
                     if rop == op && rov == ov {
-                        lines[input] = true;
+                        sc.lines[input] = true;
                     }
                 }
-                if let Some(winner) = self.va_arbiters[op * vcs + ov].grant(&lines) {
+                if let Some(winner) = self.va_arbiters[op * vcs + ov].grant(&sc.lines) {
                     let rt_port = requests
                         .iter()
                         .find(|r| r.0 == winner && r.1 == op && r.2 == ov)
@@ -693,20 +775,21 @@ impl Router {
         }
 
         // §4.1: VC-allocator soft errors corrupt committed pairings.
-        let mut corrupted: Vec<bool> = vec![false; winners.len()];
+        sc.corrupted.clear();
+        sc.corrupted.resize(winners.len(), false);
         for (i, w) in winners.iter_mut().enumerate() {
-            if !fi.va_upset() {
+            if !self.fi.va_upset() {
                 continue;
             }
-            corrupted[i] = true;
+            sc.corrupted[i] = true;
             // Scenario mix: invalid id (1), duplicate/reserved (2, 3),
             // wrong PC (4b). Drawn uniformly via the corrupted field.
-            let kind = fi.corrupt_choice(0, 3);
+            let kind = self.fi.corrupt_choice(0, 3);
             match kind {
                 1 => w.2 = vcs, // invalid output VC id
                 2 => {
                     // Wrong physical channel.
-                    let wrong = fi.corrupt_choice(w.1, ports);
+                    let wrong = self.fi.corrupt_choice(w.1, ports);
                     w.1 = wrong;
                     w.2 = w.2.min(vcs - 1);
                 }
@@ -727,18 +810,18 @@ impl Router {
         // Allocation Comparator: evaluate the RT/VA/SA state (Figure 12).
         if ctx.config.ac_enabled {
             self.events.ac_check += 1;
-            let rt_entries: Vec<RtEntry> = winners
-                .iter()
-                .map(|&(input, _, _, rt_port)| RtEntry {
+            sc.rt_entries.clear();
+            for &(input, _, _, rt_port) in winners.iter() {
+                sc.rt_entries.push(RtEntry {
                     input_vc: self.input_vcref(input),
                     valid_out_port: rt_port,
-                })
-                .collect();
-            let mut va_entries: Vec<VaEntry> = Vec::new();
+                });
+            }
+            sc.va_entries.clear();
             for op in 0..ports {
                 for ov in 0..vcs {
                     if let Some((ip, iv)) = self.outputs[op].allocated[ov] {
-                        va_entries.push(VaEntry {
+                        sc.va_entries.push(VaEntry {
                             input_vc: self.input_vcref(ip * vcs + iv),
                             out_port: Direction::from_index(op).expect("port"),
                             out_vc: ov as u8,
@@ -746,37 +829,37 @@ impl Router {
                     }
                 }
             }
-            for &(input, op, ov, _) in &winners {
-                va_entries.push(VaEntry {
+            for &(input, op, ov, _) in winners.iter() {
+                sc.va_entries.push(VaEntry {
                     input_vc: self.input_vcref(input),
                     out_port: Direction::from_index(op).expect("port"),
                     out_vc: ov as u8,
                 });
             }
-            let findings = self.ac.check(&rt_entries, &va_entries, &[], vcs);
+            let findings = self.ac.check(&sc.rt_entries, &sc.va_entries, &[], vcs);
             if !findings.is_empty() {
                 // Invalidate this cycle's (corrupted) allocations: the
                 // affected inputs retry next cycle — 1-cycle penalty.
-                let flagged: Vec<usize> = (0..winners.len()).filter(|&i| corrupted[i]).collect();
-                self.errors.va_corrected += flagged.len() as u64;
-                if !flagged.is_empty() {
-                    tracer.emit(
-                        ctx.now,
-                        self.id.index() as u16,
-                        TraceEvent::AcFlagged {
-                            stage: AcStage::Va,
-                            removed: flagged.len() as u32,
-                        },
-                    );
+                sc.flagged.clear();
+                let corrupted = &sc.corrupted;
+                sc.flagged
+                    .extend((0..winners.len()).filter(|&i| corrupted[i]));
+                self.errors.va_corrected += sc.flagged.len() as u64;
+                if !sc.flagged.is_empty() {
+                    let removed = sc.flagged.len() as u32;
+                    self.trace.emit(|| TraceEvent::AcFlagged {
+                        stage: AcStage::Va,
+                        removed,
+                    });
                 }
-                for i in flagged.iter().rev() {
+                for i in sc.flagged.iter().rev() {
                     winners.remove(*i);
                 }
             }
         }
 
         // Commit.
-        for (input, op, ov, _) in winners {
+        for &(input, op, ov, _) in winners.iter() {
             let (p, v) = (input / vcs, input % vcs);
             if trace_node().is_some_and(|t| t == self.id.index().to_string()) {
                 eprintln!(
@@ -804,6 +887,7 @@ impl Router {
             };
             self.events.va += 1;
         }
+        self.scratch = sc;
     }
 
     fn input_vcref(&self, input: usize) -> VcRef {
@@ -815,21 +899,19 @@ impl Router {
     }
 
     /// Switch allocation (§4.3 faults + AC protection).
-    pub fn sa_phase<S: TraceSink>(
-        &mut self,
-        ctx: &Ctx<'_>,
-        fi: &mut FaultInjector,
-        tracer: &mut Tracer<S>,
-    ) {
+    pub fn sa_phase(&mut self, ctx: &Ctx<'_>) {
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
         let scheme = ctx.config.scheme;
+        let mut sc = std::mem::take(&mut self.scratch);
 
         // Stage 1: per input port, pick one eligible VC.
-        let mut port_winner: Vec<Option<(usize, usize, usize)>> = vec![None; ports];
-        for (p, winner) in port_winner.iter_mut().enumerate() {
-            let mut lines = vec![false; vcs];
-            for (v, line) in lines.iter_mut().enumerate() {
+        sc.port_winner.clear();
+        sc.port_winner.resize(ports, None);
+        for p in 0..ports {
+            sc.lines.clear();
+            sc.lines.resize(vcs, false);
+            for v in 0..vcs {
                 let VcState::Active {
                     out_port,
                     out_vc,
@@ -855,44 +937,50 @@ impl Router {
                 {
                     continue;
                 }
-                *line = true;
+                sc.lines[v] = true;
             }
-            if let Some(v) = self.sa_in_arbiters[p].grant(&lines) {
+            if let Some(v) = self.sa_in_arbiters[p].grant(&sc.lines) {
                 if let VcState::Active {
                     out_port, out_vc, ..
                 } = self.inputs[p][v].state
                 {
-                    *winner = Some((v, out_port, out_vc));
+                    sc.port_winner[p] = Some((v, out_port, out_vc));
                 }
             }
         }
 
-        // Stage 2: per output port, pick one input port.
-        let mut grants: Vec<(usize, usize, usize, usize)> = Vec::new(); // (p, v, op, ov)
-        for op in 0..ports {
-            let mut lines = vec![false; ports];
-            for (p, w) in port_winner.iter().enumerate() {
-                if let Some((_, wop, _)) = w {
-                    if *wop == op {
-                        lines[p] = true;
+        // Stage 2: per output port, pick one input port. Skipped when no
+        // input port won anything (the idle-router common case; `grant`
+        // on all-false lines would be a no-op anyway).
+        sc.grants.clear();
+        if sc.port_winner.iter().any(|w| w.is_some()) {
+            for op in 0..ports {
+                sc.lines.clear();
+                sc.lines.resize(ports, false);
+                for (p, w) in sc.port_winner.iter().enumerate() {
+                    if let Some((_, wop, _)) = w {
+                        if *wop == op {
+                            sc.lines[p] = true;
+                        }
                     }
                 }
-            }
-            if let Some(p) = self.sa_out_arbiters[op].grant(&lines) {
-                let (v, _, ov) = port_winner[p].expect("winner recorded");
-                grants.push((p, v, op, ov));
+                if let Some(p) = self.sa_out_arbiters[op].grant(&sc.lines) {
+                    let (v, _, ov) = sc.port_winner[p].expect("winner recorded");
+                    sc.grants.push((p, v, op, ov));
+                }
             }
         }
+        let grants = &mut sc.grants;
 
         // §4.3: switch-allocator soft errors.
         let sa_before = self.errors.sa_corrected;
         let mut i = 0;
         while i < grants.len() {
-            if !fi.sa_upset() {
+            if !self.fi.sa_upset() {
                 i += 1;
                 continue;
             }
-            let kind = fi.corrupt_choice(0, 4);
+            let kind = self.fi.corrupt_choice(0, 4);
             match kind {
                 1 => {
                     // (a) grant suppressed: the flit retries next cycle.
@@ -905,19 +993,19 @@ impl Router {
                     // the flit departs the wrong way and strands.
                     if ctx.config.ac_enabled {
                         self.events.ac_check += 1;
-                        let sa_entries: Vec<SaEntry> = grants
-                            .iter()
-                            .map(|&(p, v, op, _)| SaEntry {
+                        sc.sa_entries.clear();
+                        for &(p, v, op, _) in grants.iter() {
+                            sc.sa_entries.push(SaEntry {
                                 input_port: Direction::from_index(p).expect("port"),
                                 winning_vc: v as u8,
                                 out_port: Direction::from_index(op).expect("port"),
-                            })
-                            .collect();
-                        let _ = self.ac.check(&[], &[], &sa_entries, vcs);
+                            });
+                        }
+                        let _ = self.ac.check(&[], &[], &sc.sa_entries, vcs);
                         grants.remove(i);
                         self.errors.sa_corrected += 1;
                     } else {
-                        let wrong = fi.corrupt_choice(grants[i].2, self.cfg.ports());
+                        let wrong = self.fi.corrupt_choice(grants[i].2, self.cfg.ports());
                         grants[i].2 = wrong;
                         i += 1;
                     }
@@ -942,19 +1030,16 @@ impl Router {
             }
         }
         if self.errors.sa_corrected > sa_before {
-            tracer.emit(
-                ctx.now,
-                self.id.index() as u16,
-                TraceEvent::AcFlagged {
-                    stage: AcStage::Sa,
-                    removed: (self.errors.sa_corrected - sa_before) as u32,
-                },
-            );
+            let removed = (self.errors.sa_corrected - sa_before) as u32;
+            self.trace.emit(|| TraceEvent::AcFlagged {
+                stage: AcStage::Sa,
+                removed,
+            });
         }
 
         // Commit grants: pop flits, reserve credits, queue for ST.
         let st_gap = u64::from(ctx.config.router.pipeline() != PipelineDepth::One);
-        for (p, v_marked, op, ov) in grants {
+        for &(p, v_marked, op, ov) in grants.iter() {
             let collide = v_marked & (1 << 31) != 0;
             let v = v_marked & !(1 << 31);
             if !self.outputs[op].exists || ov >= vcs {
@@ -968,7 +1053,7 @@ impl Router {
             self.events.sa += 1;
             if collide {
                 // §4.3(c) without AC: two flits collided in the crossbar.
-                let (a, b) = (fi.random_bit(), fi.random_bit());
+                let (a, b) = (self.fi.random_bit(), self.fi.random_bit());
                 flit.payload.flip_bit(a);
                 if b != a {
                     flit.payload.flip_bit(b);
@@ -992,13 +1077,16 @@ impl Router {
                 self.inputs[p][v].state = VcState::Idle;
             }
         }
+        self.scratch = sc;
     }
 
     /// Crossbar/link traversal: replays, then recovery held flits, then
-    /// granted flits. Returns the link drives for the network to carry.
-    pub fn st_phase(&mut self, ctx: &Ctx<'_>) -> Vec<LinkDrive> {
+    /// granted flits. Fills [`Router::drives`] with the link drives for
+    /// the network's commit phase to carry (crossbar and link fault
+    /// injection applied here, from this router's own fault stream).
+    pub fn st_phase(&mut self, ctx: &Ctx<'_>) {
         let vcs = self.cfg.vcs_per_port();
-        let mut drives = Vec::new();
+        let mut sc = std::mem::take(&mut self.scratch);
         for port in 0..self.cfg.ports() {
             let dir = Direction::from_index(port).expect("port");
             if !self.outputs[port].exists {
@@ -1006,37 +1094,39 @@ impl Router {
             }
             if dir != Direction::Local {
                 // Priority 1: NACK-triggered replay.
-                let replay_lines: Vec<bool> = (0..vcs)
-                    .map(|v| self.outputs[port].senders[v].is_replaying())
-                    .collect();
-                if replay_lines.iter().any(|&b| b) {
+                sc.lines.clear();
+                sc.lines
+                    .extend((0..vcs).map(|v| self.outputs[port].senders[v].is_replaying()));
+                if sc.lines.iter().any(|&b| b) {
                     let v = self.replay_rr[port]
-                        .grant(&replay_lines)
+                        .grant(&sc.lines)
                         .expect("a replaying VC exists");
                     if let Some(flit) = self.outputs[port].senders[v].next_replay(ctx.now) {
                         self.events.retransmission += 1;
                         self.events.link += 1;
-                        drives.push(LinkDrive {
-                            dir,
-                            flit,
-                            vc: v as u8,
-                            is_replay: true,
-                        });
+                        self.emit_drive(
+                            ctx.now,
+                            LinkDrive {
+                                dir,
+                                flit,
+                                vc: v as u8,
+                                is_replay: true,
+                            },
+                        );
                     }
                     continue;
                 }
                 // Priority 2: deadlock-recovery held flits.
-                let held_lines: Vec<bool> = (0..vcs)
-                    .map(|v| {
-                        self.outputs[port].senders[v]
-                            .buffer()
-                            .front_held()
-                            .is_some()
-                            && self.outputs[port].credits[v] > 0
-                    })
-                    .collect();
-                if held_lines.iter().any(|&b| b) {
-                    let v = self.replay_rr[port].grant(&held_lines).expect("held VC");
+                sc.lines.clear();
+                sc.lines.extend((0..vcs).map(|v| {
+                    self.outputs[port].senders[v]
+                        .buffer()
+                        .front_held()
+                        .is_some()
+                        && self.outputs[port].credits[v] > 0
+                }));
+                if sc.lines.iter().any(|&b| b) {
+                    let v = self.replay_rr[port].grant(&sc.lines).expect("held VC");
                     if let Some(flit) = self.outputs[port].senders[v]
                         .buffer_mut()
                         .send_held(ctx.now)
@@ -1062,12 +1152,15 @@ impl Router {
                         }
                         self.events.link += 1;
                         self.events.crossbar += 1;
-                        drives.push(LinkDrive {
-                            dir,
-                            flit,
-                            vc: v as u8,
-                            is_replay: false,
-                        });
+                        self.emit_drive(
+                            ctx.now,
+                            LinkDrive {
+                                dir,
+                                flit,
+                                vc: v as u8,
+                                is_replay: false,
+                            },
+                        );
                     }
                     continue;
                 }
@@ -1097,16 +1190,50 @@ impl Router {
                         self.events.retrans_shift += 1;
                     }
                     self.events.link += 1;
-                    drives.push(LinkDrive {
-                        dir,
-                        flit: entry.flit,
-                        vc: entry.out_vc,
-                        is_replay: false,
-                    });
+                    self.emit_drive(
+                        ctx.now,
+                        LinkDrive {
+                            dir,
+                            flit: entry.flit,
+                            vc: entry.out_vc,
+                            is_replay: false,
+                        },
+                    );
                 }
             }
         }
-        drives
+        self.scratch = sc;
+    }
+
+    /// Finalizes one outgoing flit: trace it, apply §4.4 crossbar upsets
+    /// and link soft errors from this router's fault stream, and queue
+    /// the drive for the commit phase.
+    fn emit_drive(&mut self, now: u64, mut drive: LinkDrive) {
+        self.trace.emit(|| TraceEvent::FlitSent {
+            packet: drive.flit.packet.raw(),
+            seq: drive.flit.seq,
+            port: drive.dir.index() as u8,
+            vc: drive.vc,
+            replay: drive.is_replay,
+        });
+        // §4.4: crossbar single-bit upsets (corrected downstream).
+        if self.fi.crossbar_upset() {
+            let bit = self.fi.random_bit();
+            drive.flit.payload.flip_bit(bit);
+            self.errors.crossbar_corrected += 1;
+        }
+        // Link soft errors (injection counted by the fault injector).
+        let _ = self.fi.corrupt_on_link(&mut drive.flit.payload);
+        if let Some(target) = trace_node() {
+            let n = self.id.index();
+            if target == n.to_string() {
+                eprintln!(
+                    "cyc {now}: n{n} drives {} dir {} vc {} replay={}",
+                    drive.flit, drive.dir, drive.vc, drive.is_replay
+                );
+            }
+        }
+        self.drives.push(drive);
     }
 
     /// End-of-cycle blocked tracking and statistics sampling. Returns a

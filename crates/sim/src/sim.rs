@@ -5,7 +5,7 @@ use ftnoc_power::EnergyModel;
 use ftnoc_trace::{NullSink, TraceSink, Tracer};
 
 use crate::config::SimConfig;
-use crate::network::Network;
+use crate::network::{Network, Progress};
 use crate::stats::{ErrorStats, EventCounts};
 
 /// The outcome of one simulation run.
@@ -193,47 +193,53 @@ impl<S: TraceSink> Simulator<S> {
         self.run_observed(0, |_| {})
     }
 
-    /// Runs like [`Simulator::run`], invoking `observer` every `every`
-    /// cycles (`0` disables it) — the CLI's `--stats-every` hook for
-    /// periodic interval metrics on long runs.
-    pub fn run_observed<F: FnMut(&Network<S>)>(
-        &mut self,
-        every: u64,
-        mut observer: F,
-    ) -> SimReport {
+    /// Runs like [`Simulator::run`], invoking `observer` with a
+    /// [`Progress`] snapshot every `every` cycles (`0` disables it) —
+    /// the CLI's `--stats-every` hook for periodic interval metrics on
+    /// long runs. The whole run executes under one worker-pool session
+    /// sized by [`SimConfig::threads`].
+    pub fn run_observed<F: FnMut(Progress)>(&mut self, every: u64, mut observer: F) -> SimReport {
         let warmup_target = self.config.warmup_packets;
-        let mut total_target = self.config.warmup_packets + self.config.measure_packets;
-        let mut measuring = warmup_target == 0;
-        if measuring {
-            self.network.start_measurement();
-        }
-        while self.network.now() < self.config.max_cycles {
-            self.network.step();
-            if every > 0 && self.network.now().is_multiple_of(every) {
-                observer(&self.network);
+        let measure_packets = self.config.measure_packets;
+        let max_cycles = self.config.max_cycles;
+        let threads = self.config.threads;
+        let completed = self.network.with_stepper(threads, |st| {
+            let mut total_target = warmup_target + measure_packets;
+            let mut measuring = warmup_target == 0;
+            if measuring {
+                st.start_measurement();
             }
-            if !measuring && self.network.packets_ejected() >= warmup_target {
-                self.network.start_measurement();
-                // Anchor the window at the actual crossing point so the
-                // measured packet count is exact.
-                total_target = self.network.packets_ejected() + self.config.measure_packets;
-                measuring = true;
+            while st.now() < max_cycles {
+                st.step();
+                if every > 0 && st.now().is_multiple_of(every) {
+                    observer(st.progress());
+                }
+                if !measuring && st.packets_ejected() >= warmup_target {
+                    st.start_measurement();
+                    // Anchor the window at the actual crossing point so
+                    // the measured packet count is exact.
+                    total_target = st.packets_ejected() + measure_packets;
+                    measuring = true;
+                }
+                if measuring && st.packets_ejected() >= total_target {
+                    break;
+                }
             }
-            if measuring && self.network.packets_ejected() >= total_target {
-                break;
-            }
-        }
-        let completed = self.network.packets_ejected() >= total_target;
+            st.packets_ejected() >= total_target
+        });
         self.report(completed)
     }
 
     /// Runs exactly `cycles` cycles with measurement from cycle 0
     /// (used by utilization sweeps and tests).
     pub fn run_cycles(&mut self, cycles: u64) -> SimReport {
-        self.network.start_measurement();
-        for _ in 0..cycles {
-            self.network.step();
-        }
+        let threads = self.config.threads;
+        self.network.with_stepper(threads, |st| {
+            st.start_measurement();
+            for _ in 0..cycles {
+                st.step();
+            }
+        });
         self.report(true)
     }
 
@@ -247,7 +253,7 @@ impl<S: TraceSink> Simulator<S> {
             packets_injected: stats.packets_injected,
             avg_latency: stats.avg_latency(),
             max_latency: stats.latency_max,
-            latency_percentiles: stats.latency_hist.percentiles(),
+            latency_percentiles: self.network.latency_percentiles(),
             throughput: stats.throughput(nodes),
             energy_per_packet_nj: stats.energy_per_packet(&model).raw(),
             tx_utilization: stats.tx_utilization(),

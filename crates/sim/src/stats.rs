@@ -253,8 +253,6 @@ pub struct NetworkStats {
     pub latency_sum: u64,
     /// Maximum observed packet latency.
     pub latency_max: u64,
-    /// Latency distribution (bucketed).
-    pub latency_hist: LatencyHistogram,
     /// Packets ejected in the window.
     pub packets_ejected: u64,
     /// Packets injected in the window.

@@ -2,10 +2,8 @@
 //! pipeline timing, credit flow and wormhole exclusivity.
 
 use ftnoc_ecc::protect_flit;
-use ftnoc_fault::{FaultInjector, FaultRates};
 use ftnoc_sim::router::{Ctx, LinkDrive, Router};
 use ftnoc_sim::SimConfig;
-use ftnoc_trace::{NullSink, Tracer};
 use ftnoc_types::flit::FlitKind;
 use ftnoc_types::geom::{Direction, NodeId, Topology};
 use ftnoc_types::packet::PacketId;
@@ -15,7 +13,6 @@ use ftnoc_types::{Flit, Header};
 struct Harness {
     router: Router,
     config: SimConfig,
-    fi: FaultInjector,
     now: u64,
 }
 
@@ -24,7 +21,6 @@ impl Harness {
         let config = SimConfig::builder().build().expect("valid config");
         Harness {
             router: Router::new(NodeId::new(9), &config, [true; 4]),
-            fi: FaultInjector::new(FaultRates::none(), 1),
             config,
             now: 0,
         }
@@ -36,16 +32,14 @@ impl Harness {
             topo: Topology::mesh(8, 8),
             now: self.now,
         };
-        let mut tracer: Tracer<NullSink> = Tracer::disabled();
         self.router.begin_cycle(self.now);
-        self.router.control_phase(&ctx, &mut self.fi, &mut tracer);
-        self.router
-            .va_phase(&ctx, &mut self.fi, [false; 4], &mut tracer);
-        self.router.sa_phase(&ctx, &mut self.fi, &mut tracer);
-        let drives = self.router.st_phase(&ctx);
+        self.router.control_phase(&ctx);
+        self.router.va_phase(&ctx, [false; 4]);
+        self.router.sa_phase(&ctx);
+        self.router.st_phase(&ctx);
         let _ = self.router.end_cycle(&ctx);
         self.now += 1;
-        drives
+        self.router.drives.clone()
     }
 }
 

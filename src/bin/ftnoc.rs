@@ -11,7 +11,7 @@
 
 use ftnoc::cli::{parse, Command, HELP};
 use ftnoc_power::EnergyModel;
-use ftnoc_sim::{Network, SimReport, Simulator};
+use ftnoc_sim::{Progress, SimReport, Simulator};
 use ftnoc_trace::{JsonlSink, TraceSink, Tracer};
 
 fn main() {
@@ -74,13 +74,13 @@ fn main() {
 /// Runs the simulation, printing interval progress to stderr every
 /// `every` cycles (0 disables it).
 fn run_observed<S: TraceSink>(sim: &mut Simulator<S>, every: u64) -> SimReport {
-    sim.run_observed(every, |net: &Network<S>| {
+    sim.run_observed(every, |p: Progress| {
         eprintln!(
             "cycle {:>9}: injected {:>8} ejected {:>8}{}",
-            net.now(),
-            net.packets_injected(),
-            net.packets_ejected(),
-            if net.any_in_recovery() {
+            p.now,
+            p.packets_injected,
+            p.packets_ejected,
+            if p.any_in_recovery {
                 " [recovering]"
             } else {
                 ""

@@ -39,6 +39,8 @@ OPTIONS (run):
     --warmup N          warm-up packets (default 1000)
     --seed N            RNG seed (default 0xF70C)
     --deadlock-recovery enable probing + recovery (Cthres 32)
+    --threads N         compute-phase worker threads (default 1; any N
+                        gives byte-identical results at the same seed)
     --profile           print the per-event energy breakdown
 
 OBSERVABILITY (run):
@@ -121,6 +123,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut warmup = 1_000u64;
     let mut seed = 0xF7_0Cu64;
     let mut deadlock = false;
+    let mut threads = 1usize;
     let mut profile = false;
     let mut trace: Option<std::path::PathBuf> = None;
     let mut flight_recorder = 256usize;
@@ -208,6 +211,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--warmup" => warmup = num(value(&mut it, flag)?, flag)?,
             "--seed" => seed = num(value(&mut it, flag)?, flag)?,
             "--deadlock-recovery" => deadlock = true,
+            "--threads" => threads = num(value(&mut it, flag)?, flag)?,
             "--profile" => profile = true,
             "--trace" => trace = Some(std::path::PathBuf::from(value(&mut it, flag)?)),
             "--flight-recorder" => flight_recorder = num(value(&mut it, flag)?, flag)?,
@@ -242,7 +246,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         .deadlock(DeadlockConfig {
             enabled: deadlock,
             cthres: 32,
-        });
+        })
+        .threads(threads);
     let config = Box::new(b.build().map_err(|e| err(format!("config: {e}")))?);
     Ok(Command::Run {
         config,
@@ -354,6 +359,20 @@ mod tests {
         assert!(e.0.contains("needs a value"), "{e}");
         let e = parse(&args("run --trace")).unwrap_err();
         assert!(e.0.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn threads_flag_parses_and_defaults_to_serial() {
+        let Command::Run { config, .. } = parse(&args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(config.threads, 1);
+        let Command::Run { config, .. } = parse(&args("run --threads 4")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(config.threads, 4);
+        let e = parse(&args("run --threads banana")).unwrap_err();
+        assert!(e.0.contains("--threads"), "{e}");
     }
 
     #[test]

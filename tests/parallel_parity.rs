@@ -1,0 +1,107 @@
+//! Serial/parallel parity: the worker-pool engine must be **byte
+//! identical** to the serial engine at the same seed — same JSONL event
+//! trace, same final report — across fault-free, link-fault and
+//! deadlock-recovery scenarios.
+//!
+//! This is the determinism contract of the two-phase cycle engine (see
+//! `ftnoc-sim`'s `network` module docs): the compute phase is
+//! cross-router-pure, so the thread count is purely a wall-clock knob.
+
+use ftnoc_fault::FaultRates;
+use ftnoc_sim::{DeadlockConfig, RoutingAlgorithm, SimConfig, SimConfigBuilder, Simulator};
+use ftnoc_trace::{MemorySink, Tracer};
+use ftnoc_traffic::InjectionProcess;
+use ftnoc_types::config::RouterConfig;
+use ftnoc_types::geom::Topology;
+
+/// A clean 4×4 mesh, no faults.
+fn fault_free(seed: u64) -> SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .injection_rate(0.2)
+        .seed(seed)
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(10_000);
+    b
+}
+
+/// HBH with link soft errors: drops, NACKs and replays in play.
+fn link_fault(seed: u64) -> SimConfigBuilder {
+    let mut b = fault_free(seed);
+    b.faults(FaultRates::link_only(0.01));
+    b
+}
+
+/// The single-VC fully-adaptive configuration that deadlocks under
+/// bursty traffic and drains through §3.2 recovery.
+fn deadlock_recovery(seed: u64) -> SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .router(
+            RouterConfig::builder()
+                .vcs_per_port(1)
+                .buffer_depth(4)
+                .retrans_depth(6)
+                .build()
+                .unwrap(),
+        )
+        .routing(RoutingAlgorithm::FullyAdaptive)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(0.25)
+        .seed(seed)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 32,
+        })
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(12_000)
+        .stop_injection_after(4_000);
+    b
+}
+
+/// Runs `cycles` cycles on `threads` workers and returns the full JSONL
+/// trace plus the JSON run report.
+fn run(mut builder: SimConfigBuilder, threads: usize, cycles: u64) -> (String, String) {
+    builder.threads(threads);
+    let config = builder.build().unwrap();
+    let nodes = config.topology.node_count();
+    let mut sim = Simulator::with_tracer(config, Tracer::new(MemorySink::new(), nodes, 0));
+    let report = sim.run_cycles(cycles);
+    (sim.into_tracer().into_sink().to_jsonl(), report.to_json())
+}
+
+fn assert_parity(name: &str, make: fn(u64) -> SimConfigBuilder, cycles: u64) {
+    for seed in [1u64, 42, 0xF70C] {
+        let (trace_1, report_1) = run(make(seed), 1, cycles);
+        let (trace_4, report_4) = run(make(seed), 4, cycles);
+        assert!(
+            trace_1.lines().count() > 50,
+            "{name}/seed {seed}: trace suspiciously short"
+        );
+        assert_eq!(
+            trace_1, trace_4,
+            "{name}/seed {seed}: 4-thread trace diverged from serial"
+        );
+        assert_eq!(
+            report_1, report_4,
+            "{name}/seed {seed}: 4-thread report diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn fault_free_runs_are_thread_count_invariant() {
+    assert_parity("fault-free", fault_free, 10_000);
+}
+
+#[test]
+fn link_fault_runs_are_thread_count_invariant() {
+    assert_parity("link-fault", link_fault, 10_000);
+}
+
+#[test]
+fn deadlock_recovery_runs_are_thread_count_invariant() {
+    assert_parity("deadlock-recovery", deadlock_recovery, 12_000);
+}
