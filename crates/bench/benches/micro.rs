@@ -64,7 +64,7 @@ fn bench_barrel_shifter(h: &mut Harness) {
             buf.expire(t);
             buf.record_transmission(flit(t as u8), t);
         }
-        buf.on_nack();
+        buf.on_nack(3);
         while let Some(f) = buf.next_replay(3) {
             black_box(f);
         }

@@ -1,0 +1,551 @@
+//! Deterministic fault-campaign fuzzing: thousands of short randomized
+//! simulations across the configuration × traffic × fault-rate × thread
+//! space, every cycle validated by the [`Oracle`]. On failure the
+//! campaign parameters are shrunk greedily and printed as a
+//! self-contained reproducer spec (`ftnoc fuzz --repro <spec>`).
+//!
+//! Everything is driven by [`ftnoc_rng::Rng`] from a single master
+//! seed, so a campaign index always maps to the same parameters and a
+//! reproducer spec replays bit-identically.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ftnoc_fault::FaultRates;
+use ftnoc_rng::Rng;
+use ftnoc_sim::config::{DeadlockConfig, ErrorScheme, RoutingAlgorithm};
+use ftnoc_sim::{Network, SimConfig};
+use ftnoc_traffic::{InjectionProcess, TrafficPattern};
+use ftnoc_types::config::{PipelineDepth, RouterConfig};
+use ftnoc_types::geom::Topology;
+use ftnoc_types::ConfigError;
+
+use crate::oracle::{Oracle, Violation};
+
+/// One campaign: a complete, self-describing simulation configuration.
+/// Round-trips through the `k=v,...` reproducer spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignParams {
+    /// Mesh width.
+    pub width: u8,
+    /// Mesh height.
+    pub height: u8,
+    /// VCs per port.
+    pub vcs: usize,
+    /// Input buffer depth in flits.
+    pub buffer: usize,
+    /// Retransmission buffer depth in flits.
+    pub retrans: usize,
+    /// Router pipeline depth (1–4).
+    pub pipeline: PipelineDepth,
+    /// Routing algorithm.
+    pub routing: RoutingAlgorithm,
+    /// Link-error handling scheme.
+    pub scheme: ErrorScheme,
+    /// Allocation Comparator on/off.
+    pub ac: bool,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Injection process.
+    pub injection: InjectionProcess,
+    /// Injection rate in flits/node/cycle.
+    pub rate: f64,
+    /// Link soft-error rate.
+    pub link: f64,
+    /// Handshake (reverse-wire) soft-error rate.
+    pub handshake: f64,
+    /// RT / VA / SA / crossbar / retrans-buffer logic upset rates.
+    pub logic: [f64; 5],
+    /// Deadlock detection enabled.
+    pub deadlock: bool,
+    /// Deadlock criticality threshold.
+    pub cthres: u64,
+    /// Stop injecting after this cycle (0 = never; drains the net).
+    pub stop_after: u64,
+    /// RNG seed for traffic and faults.
+    pub seed: u64,
+    /// Cycles to simulate.
+    pub cycles: u64,
+    /// Compute-phase worker threads.
+    pub threads: usize,
+}
+
+fn pattern_name(p: &TrafficPattern) -> &'static str {
+    match p {
+        TrafficPattern::Uniform => "uniform",
+        TrafficPattern::BitComplement => "bitcomp",
+        TrafficPattern::Tornado => "tornado",
+        TrafficPattern::Transpose => "transpose",
+        TrafficPattern::BitReverse => "bitrev",
+        TrafficPattern::Shuffle => "shuffle",
+        TrafficPattern::Hotspot { .. } => "hotspot",
+        _ => "other",
+    }
+}
+
+impl CampaignParams {
+    /// Deterministically samples campaign `index` of a fuzz run keyed
+    /// by `master` (an independent RNG stream per campaign).
+    pub fn sample(master: u64, index: u64) -> Self {
+        let mut r = Rng::seed_from_u64_stream(master, index);
+        let routing = match r.gen_range(0..10u32) {
+            0..=2 => RoutingAlgorithm::XyDeterministic,
+            3..=4 => RoutingAlgorithm::WestFirstAdaptive,
+            5 => RoutingAlgorithm::OddEven,
+            _ => RoutingAlgorithm::FullyAdaptive,
+        };
+        let scheme = match r.gen_range(0..10u32) {
+            0..=5 => ErrorScheme::Hbh,
+            6..=7 => ErrorScheme::E2e,
+            8 => ErrorScheme::Fec,
+            _ => ErrorScheme::Unprotected,
+        };
+        let (link, handshake, logic) = match r.gen_range(0..10u32) {
+            // Fault-free: every invariant armed, exact credit equality.
+            0..=2 => (0.0, 0.0, [0.0; 5]),
+            // Link faults: the HBH replay path under stress.
+            3..=6 => (10f64.powi(-(r.gen_range(2..4u64) as i32)), 0.0, [0.0; 5]),
+            // Link + handshake faults (TMR-voted NACK wires).
+            7 => (1e-2, 1e-3, [0.0; 5]),
+            // Logic upsets: RT/VA/SA/crossbar/retrans-buffer sites.
+            _ => {
+                let mut logic = [0.0; 5];
+                logic[r.gen_range(0..5usize)] = 1e-3;
+                (0.0, 0.0, logic)
+            }
+        };
+        let pattern = match r.gen_range(0..10u32) {
+            0..=3 => TrafficPattern::Uniform,
+            4..=5 => TrafficPattern::Transpose,
+            6 => TrafficPattern::BitComplement,
+            7 => TrafficPattern::Tornado,
+            8 => TrafficPattern::BitReverse,
+            _ => TrafficPattern::Shuffle,
+        };
+        let cycles = r.gen_range(300..2000u64);
+        CampaignParams {
+            width: r.gen_range(2..5u64) as u8,
+            height: r.gen_range(2..5u64) as u8,
+            vcs: r.gen_range(1..4u64) as usize,
+            buffer: r.gen_range(2..6u64) as usize,
+            retrans: r.gen_range(3..7u64) as usize,
+            pipeline: pipeline_from(r.gen_range(1..5u64)),
+            routing,
+            scheme,
+            ac: r.gen_bool(0.7),
+            pattern,
+            injection: if r.gen_bool(0.5) {
+                InjectionProcess::Regular
+            } else {
+                InjectionProcess::Bernoulli
+            },
+            rate: 0.05 + 0.4 * r.next_f64(),
+            link,
+            handshake,
+            logic,
+            deadlock: routing.can_deadlock() || r.gen_bool(0.2),
+            cthres: [8, 16, 32][r.gen_range(0..3usize)],
+            stop_after: if r.gen_bool(0.3) { cycles / 2 } else { 0 },
+            seed: r.next_u64(),
+            cycles,
+            threads: [1, 1, 1, 2, 4][r.gen_range(0..5usize)],
+        }
+    }
+
+    /// Builds the simulator configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] for out-of-range knobs (cannot happen
+    /// for sampled or shrunk parameters).
+    pub fn to_config(&self) -> Result<SimConfig, ConfigError> {
+        let mut router = RouterConfig::builder();
+        router
+            .vcs_per_port(self.vcs)
+            .buffer_depth(self.buffer)
+            .retrans_depth(self.retrans)
+            .pipeline(self.pipeline);
+        let mut b = SimConfig::builder();
+        b.topology(Topology::mesh(self.width, self.height))
+            .router(router.build()?)
+            .routing(self.routing)
+            .scheme(self.scheme)
+            .ac_enabled(self.ac)
+            .pattern(self.pattern.clone())
+            .injection(self.injection)
+            .injection_rate(self.rate)
+            .faults(FaultRates {
+                link: self.link,
+                rt: self.logic[0],
+                va: self.logic[1],
+                sa: self.logic[2],
+                crossbar: self.logic[3],
+                retrans_buffer: self.logic[4],
+                handshake: self.handshake,
+                ..FaultRates::none()
+            })
+            .deadlock(DeadlockConfig {
+                enabled: self.deadlock,
+                cthres: self.cthres,
+            })
+            .seed(self.seed)
+            .warmup_packets(0)
+            .measure_packets(u64::MAX)
+            .max_cycles(self.cycles.max(1));
+        if self.stop_after > 0 {
+            b.stop_injection_after(self.stop_after);
+        }
+        b.build()
+    }
+
+    /// Serialises to the `k=v,...` reproducer spec.
+    pub fn to_spec(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "w={},h={},vcs={},buf={},rtx={},pipe={},route={},scheme={},ac={},\
+             pat={},proc={},inj={},link={},hs={},rt={},va={},sa={},xbar={},rbuf={},\
+             dl={},cth={},stop={},seed={},cycles={},threads={}",
+            self.width,
+            self.height,
+            self.vcs,
+            self.buffer,
+            self.retrans,
+            self.pipeline as u8,
+            match self.routing {
+                RoutingAlgorithm::XyDeterministic => "xy",
+                RoutingAlgorithm::WestFirstAdaptive => "wf",
+                RoutingAlgorithm::FullyAdaptive => "fa",
+                RoutingAlgorithm::OddEven => "oe",
+            },
+            match self.scheme {
+                ErrorScheme::Hbh => "hbh",
+                ErrorScheme::E2e => "e2e",
+                ErrorScheme::Fec => "fec",
+                ErrorScheme::Unprotected => "none",
+            },
+            u8::from(self.ac),
+            pattern_name(&self.pattern),
+            match self.injection {
+                InjectionProcess::Regular => "reg",
+                InjectionProcess::Bernoulli => "bern",
+            },
+            self.rate,
+            self.link,
+            self.handshake,
+            self.logic[0],
+            self.logic[1],
+            self.logic[2],
+            self.logic[3],
+            self.logic[4],
+            u8::from(self.deadlock),
+            self.cthres,
+            self.stop_after,
+            self.seed,
+            self.cycles,
+            self.threads,
+        );
+        s
+    }
+
+    /// Parses a reproducer spec produced by [`CampaignParams::to_spec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed `k=v` entry.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        // Start from a fixed baseline so a spec may omit fields.
+        let mut p = CampaignParams::sample(0, 0);
+        p.logic = [0.0; 5];
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (k, v) = item
+                .split_once('=')
+                .ok_or_else(|| format!("malformed entry {item:?} (expected k=v)"))?;
+            macro_rules! bad {
+                () => {
+                    |_| format!("bad value for {k}: {v:?}")
+                };
+            }
+            match k {
+                "w" => p.width = v.parse().map_err(bad!())?,
+                "h" => p.height = v.parse().map_err(bad!())?,
+                "vcs" => p.vcs = v.parse().map_err(bad!())?,
+                "buf" => p.buffer = v.parse().map_err(bad!())?,
+                "rtx" => p.retrans = v.parse().map_err(bad!())?,
+                "pipe" => p.pipeline = pipeline_from(v.parse().map_err(bad!())?),
+                "route" => {
+                    p.routing = match v {
+                        "xy" => RoutingAlgorithm::XyDeterministic,
+                        "wf" => RoutingAlgorithm::WestFirstAdaptive,
+                        "fa" => RoutingAlgorithm::FullyAdaptive,
+                        "oe" => RoutingAlgorithm::OddEven,
+                        _ => return Err(format!("unknown routing {v:?}")),
+                    }
+                }
+                "scheme" => {
+                    p.scheme = match v {
+                        "hbh" => ErrorScheme::Hbh,
+                        "e2e" => ErrorScheme::E2e,
+                        "fec" => ErrorScheme::Fec,
+                        "none" => ErrorScheme::Unprotected,
+                        _ => return Err(format!("unknown scheme {v:?}")),
+                    }
+                }
+                "ac" => p.ac = v != "0",
+                "pat" => {
+                    p.pattern = match v {
+                        "uniform" => TrafficPattern::Uniform,
+                        "bitcomp" => TrafficPattern::BitComplement,
+                        "tornado" => TrafficPattern::Tornado,
+                        "transpose" => TrafficPattern::Transpose,
+                        "bitrev" => TrafficPattern::BitReverse,
+                        "shuffle" => TrafficPattern::Shuffle,
+                        _ => return Err(format!("unknown pattern {v:?}")),
+                    }
+                }
+                "proc" => {
+                    p.injection = match v {
+                        "reg" => InjectionProcess::Regular,
+                        "bern" => InjectionProcess::Bernoulli,
+                        _ => return Err(format!("unknown injection process {v:?}")),
+                    }
+                }
+                "inj" => p.rate = v.parse().map_err(bad!())?,
+                "link" => p.link = v.parse().map_err(bad!())?,
+                "hs" => p.handshake = v.parse().map_err(bad!())?,
+                "rt" => p.logic[0] = v.parse().map_err(bad!())?,
+                "va" => p.logic[1] = v.parse().map_err(bad!())?,
+                "sa" => p.logic[2] = v.parse().map_err(bad!())?,
+                "xbar" => p.logic[3] = v.parse().map_err(bad!())?,
+                "rbuf" => p.logic[4] = v.parse().map_err(bad!())?,
+                "dl" => p.deadlock = v != "0",
+                "cth" => p.cthres = v.parse().map_err(bad!())?,
+                "stop" => p.stop_after = v.parse().map_err(bad!())?,
+                "seed" => p.seed = v.parse().map_err(bad!())?,
+                "cycles" => p.cycles = v.parse().map_err(bad!())?,
+                "threads" => p.threads = v.parse().map_err(bad!())?,
+                _ => return Err(format!("unknown key {k:?}")),
+            }
+        }
+        Ok(p)
+    }
+}
+
+fn pipeline_from(depth: u64) -> PipelineDepth {
+    match depth {
+        1 => PipelineDepth::One,
+        2 => PipelineDepth::Two,
+        3 => PipelineDepth::Three,
+        _ => PipelineDepth::Four,
+    }
+}
+
+/// Runs one campaign under the oracle. `Ok` means every cycle passed;
+/// a panic anywhere in the engine (e.g. a violated `debug_assert!`) is
+/// converted into a `"panic"` violation rather than aborting the fuzz
+/// run.
+pub fn run_campaign(params: &CampaignParams) -> Result<(), Violation> {
+    let config = match params.to_config() {
+        Ok(c) => c,
+        Err(e) => {
+            return Err(Violation {
+                cycle: 0,
+                node: None,
+                invariant: "config",
+                detail: e.to_string(),
+            })
+        }
+    };
+    let mut oracle = Oracle::new(&config);
+    let cycles = params.cycles;
+    let threads = params.threads;
+    let mut net = Network::new(config);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        net.with_stepper(threads, |st| {
+            for _ in 0..cycles {
+                st.step();
+                oracle.check(&st.snapshot())?;
+            }
+            Ok(())
+        })
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Err(Violation {
+                cycle: 0,
+                node: None,
+                invariant: "panic",
+                detail: msg,
+            })
+        }
+    }
+}
+
+/// Greedily shrinks failing campaign parameters: each transform is kept
+/// only if the failure still reproduces, and passes repeat until a
+/// fixpoint (or the rerun budget runs out). Returns the smallest
+/// failing parameters and their violation.
+pub fn shrink(params: &CampaignParams, budget: usize) -> (CampaignParams, Violation) {
+    let mut best = params.clone();
+    let mut violation = run_campaign(&best).expect_err("shrink requires a failing campaign");
+    let mut runs = 0usize;
+    loop {
+        let mut improved = false;
+        let candidates: Vec<CampaignParams> = transforms(&best, &violation);
+        for cand in candidates {
+            if runs >= budget {
+                return (best, violation);
+            }
+            runs += 1;
+            if let Err(v) = run_campaign(&cand) {
+                best = cand;
+                violation = v;
+                improved = true;
+                break;
+            }
+        }
+        if !improved || runs >= budget {
+            return (best, violation);
+        }
+    }
+}
+
+/// Candidate one-step reductions of `p`, most valuable first.
+fn transforms(p: &CampaignParams, v: &Violation) -> Vec<CampaignParams> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut CampaignParams)| {
+        let mut c = p.clone();
+        f(&mut c);
+        if c != *p {
+            out.push(c);
+        }
+    };
+    push(&|c| c.threads = 1);
+    if v.cycle > 0 && v.cycle < p.cycles {
+        push(&|c| c.cycles = v.cycle);
+    }
+    push(&|c| c.cycles /= 2);
+    push(&|c| c.width = c.width.max(3) - 1);
+    push(&|c| c.height = c.height.max(3) - 1);
+    push(&|c| c.vcs = c.vcs.max(2) - 1);
+    push(&|c| c.buffer = c.buffer.max(3) - 1);
+    push(&|c| c.retrans = c.retrans.max(4) - 1);
+    push(&|c| c.handshake = 0.0);
+    push(&|c| c.logic = [0.0; 5]);
+    push(&|c| c.link = 0.0);
+    push(&|c| c.stop_after = 0);
+    push(&|c| c.pattern = TrafficPattern::Uniform);
+    push(&|c| c.injection = InjectionProcess::Regular);
+    push(&|c| c.rate = (c.rate / 2.0).max(0.05));
+    out
+}
+
+/// Options for a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Number of campaigns to run.
+    pub campaigns: u64,
+    /// Master seed (campaign `i` uses RNG stream `i` of this seed).
+    pub seed: u64,
+    /// Maximum failures to collect before stopping (≥ 1).
+    pub max_failures: usize,
+    /// Rerun budget for shrinking each failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            campaigns: 500,
+            seed: 0xF70C,
+            max_failures: 1,
+            shrink_budget: 80,
+        }
+    }
+}
+
+/// One collected (and shrunk) failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Index of the campaign that failed.
+    pub campaign: u64,
+    /// Violation observed on the shrunk parameters.
+    pub violation: Violation,
+    /// Shrunk reproducer spec (feed to `ftnoc fuzz --repro`).
+    pub spec: String,
+}
+
+/// Result of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Campaigns executed.
+    pub campaigns_run: u64,
+    /// Collected failures (shrunk).
+    pub failures: Vec<Failure>,
+}
+
+/// Runs `opts.campaigns` sampled campaigns, shrinking every failure.
+/// `log` receives human-readable progress lines.
+pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(String)) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    // Campaigns legitimately convert engine panics into violations;
+    // keep the default hook from spraying backtraces over the output.
+    let quiet = QuietPanics::install();
+    for i in 0..opts.campaigns {
+        let params = CampaignParams::sample(opts.seed, i);
+        report.campaigns_run += 1;
+        let Err(first) = run_campaign(&params) else {
+            continue;
+        };
+        log(format!("campaign {i}/{}: FAILED — {first}", opts.campaigns));
+        log(format!("  unshrunk spec: {}", params.to_spec()));
+        let (small, violation) = shrink(&params, opts.shrink_budget);
+        let spec = small.to_spec();
+        log(format!("  shrunk to: {violation}"));
+        log(format!("  reproduce with: ftnoc fuzz --repro \"{spec}\""));
+        report.failures.push(Failure {
+            campaign: i,
+            violation,
+            spec,
+        });
+        if report.failures.len() >= opts.max_failures {
+            break;
+        }
+    }
+    drop(quiet);
+    report
+}
+
+/// The previously installed panic hook, restored on drop.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// RAII guard that swaps in a no-op panic hook.
+struct QuietPanics {
+    prev: Option<PanicHook>,
+}
+
+impl QuietPanics {
+    fn install() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics { prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}

@@ -1,0 +1,717 @@
+//! The cycle-level invariant oracle.
+//!
+//! An [`Oracle`] is fed one [`NetSnapshot`] per cycle (taken at the
+//! commit boundary, i.e. right after [`ftnoc_sim::Stepper::step`]) and
+//! validates architectural invariants of the fault-tolerant router of
+//! Park et al. (DSN 2006). Which invariants are *armed* depends on the
+//! run configuration — a link-fault campaign legitimately loses flits
+//! until the HBH replay re-delivers them, so the strict conservation
+//! equality only holds for configurations where the paper's protection
+//! actually guarantees it (see [`ArmedInvariants::from_config`]).
+//!
+//! The oracle is a pure observer: it never mutates the simulation and
+//! draws no randomness, so oracle-on runs are byte-identical to
+//! oracle-off runs.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use ftnoc_core::ac::VcRef;
+use ftnoc_sim::config::ErrorScheme;
+use ftnoc_sim::router::BlockedVcSummary;
+use ftnoc_sim::snapshot::{NetSnapshot, VcStateView};
+use ftnoc_sim::SimConfig;
+use ftnoc_types::flit::Flit;
+use ftnoc_types::geom::Direction;
+
+/// A violated invariant, with enough context to debug the failure.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Cycle at which the violation was observed (snapshot `now`).
+    pub cycle: u64,
+    /// Node the violation is anchored to, if any.
+    pub node: Option<usize>,
+    /// Short stable name of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(cycle: u64, node: usize, invariant: &'static str, detail: String) -> Self {
+        Violation {
+            cycle,
+            node: Some(node),
+            invariant,
+            detail,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] cycle {}", self.invariant, self.cycle)?;
+        if let Some(n) = self.node {
+            write!(f, " node {n}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Which invariant families are armed for a given configuration.
+///
+/// | invariant | armed when |
+/// |---|---|
+/// | structural | always |
+/// | exclusivity (§4) | AC enabled, or no VA/SA upsets |
+/// | wormhole order | no logic upsets, and (HBH or no link upsets) |
+/// | arrival monotonicity (§3.1) | same as wormhole order |
+/// | flit conservation | no logic upsets, and (HBH or no link upsets) |
+/// | credit bound | no logic upsets |
+/// | credit equality | no logic or link upsets |
+/// | probe soundness (§3.2.2) | no logic upsets |
+#[derive(Debug, Clone, Copy)]
+pub struct ArmedInvariants {
+    /// Exclusivity of VC/crossbar allocations (the AC's §4 guarantees).
+    pub exclusivity: bool,
+    /// Head→body→tail adjacency inside every input buffer.
+    pub ordering: bool,
+    /// Per-VC arrivals advance monotonically through each packet
+    /// (go-back-N replay equivalence: exactly-once, in-order delivery).
+    pub arrival: bool,
+    /// Per-packet seq contiguity over the union of resident locations.
+    pub conservation: bool,
+    /// Per-link credit accounting never exceeds the buffer depth.
+    pub credit_bound: bool,
+    /// Credit accounting is an exact equality (fully fault-free runs).
+    pub credit_exact: bool,
+    /// Confirmed deadlocks imply a real channel-wait cycle (Rules 1–4).
+    pub probe: bool,
+}
+
+impl ArmedInvariants {
+    /// Derives the arming matrix from a run configuration.
+    pub fn from_config(config: &SimConfig) -> Self {
+        let f = &config.faults;
+        let logic_free = f.rt == 0.0
+            && f.va == 0.0
+            && f.sa == 0.0
+            && f.crossbar == 0.0
+            && f.retrans_buffer == 0.0;
+        let hbh = config.scheme == ErrorScheme::Hbh;
+        // Handshake upsets hit single replicas of a TMR-protected strobe
+        // and are always voted away (§3.1), so they never change delivery
+        // behaviour and do not gate any invariant.
+        let lossless = hbh || f.link == 0.0;
+        ArmedInvariants {
+            exclusivity: config.ac_enabled || (f.va == 0.0 && f.sa == 0.0),
+            ordering: logic_free && lossless,
+            arrival: logic_free && lossless,
+            conservation: logic_free && lossless,
+            credit_bound: logic_free,
+            credit_exact: logic_free && f.link == 0.0,
+            probe: logic_free,
+        }
+    }
+
+    /// Everything off (useful for targeted testing).
+    pub fn none() -> Self {
+        ArmedInvariants {
+            exclusivity: false,
+            ordering: false,
+            arrival: false,
+            conservation: false,
+            credit_bound: false,
+            credit_exact: false,
+            probe: false,
+        }
+    }
+}
+
+/// Identity of a flit for conservation/credit bookkeeping. `packet` and
+/// `seq` are simulation metadata — never corrupted by injected faults —
+/// so identity survives payload corruption.
+fn key(f: &Flit) -> (u64, u8) {
+    (f.packet.raw(), f.seq)
+}
+
+/// The invariant oracle. Feed it one snapshot per cycle via
+/// [`Oracle::check`]; the first violation is returned as an error.
+pub struct Oracle {
+    arm: ArmedInvariants,
+    /// Back-of-buffer identity per input VC last cycle (arrival
+    /// detection: a FIFO's back only changes on push).
+    prev_back: Vec<Option<(u64, u8)>>,
+    /// Last observed arrival per input VC: `(packet, seq, was_tail)`.
+    last_arrival: Vec<Option<(u64, u8, bool)>>,
+    /// `deadlocks_confirmed` per node last cycle.
+    prev_confirmed: Vec<u64>,
+    /// Blocking threshold of the run (probe Rule 1); launches below it
+    /// cannot explain a confirmation.
+    cthres: u64,
+    /// Recent wait-edge history, oldest first, for the temporal probe
+    /// chase (see [`Oracle::check_probe`]).
+    hist: VecDeque<WaitFrame>,
+    /// Scratch for conservation: packet → seq bitmask.
+    resident: HashMap<u64, u128>,
+    sized: bool,
+}
+
+/// One cycle of per-node probe-relevant state: `(in_recovery,
+/// wait-edge rows)` per node, plus the snapshot cycle.
+struct WaitFrame {
+    now: u64,
+    nodes: Vec<(bool, Vec<BlockedVcSummary>)>,
+}
+
+impl Oracle {
+    /// Creates an oracle armed for `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        let mut oracle = Oracle::with_arming(ArmedInvariants::from_config(config));
+        oracle.cthres = config.deadlock.cthres;
+        oracle
+    }
+
+    /// Creates an oracle with an explicit arming matrix. The probe
+    /// chase assumes the most permissive blocking threshold (1); use
+    /// [`Oracle::new`] to check against the configured `Cthres`.
+    pub fn with_arming(arm: ArmedInvariants) -> Self {
+        Oracle {
+            arm,
+            prev_back: Vec::new(),
+            last_arrival: Vec::new(),
+            prev_confirmed: Vec::new(),
+            cthres: 1,
+            hist: VecDeque::new(),
+            resident: HashMap::new(),
+            sized: false,
+        }
+    }
+
+    /// The arming matrix in effect.
+    pub fn arming(&self) -> &ArmedInvariants {
+        &self.arm
+    }
+
+    /// Validates one commit-boundary snapshot. Returns the first
+    /// violation found; internal tracking state is updated either way.
+    pub fn check(&mut self, snap: &NetSnapshot) -> Result<(), Violation> {
+        if !self.sized {
+            let slots = snap.routers.len() * 5 * snap.vcs_per_port;
+            self.prev_back = vec![None; slots];
+            self.last_arrival = vec![None; slots];
+            self.prev_confirmed = vec![0; snap.routers.len()];
+            self.sized = true;
+        }
+        let mut first = self.check_structural(snap).err();
+        if self.arm.exclusivity {
+            first = first.or_else(|| self.check_exclusivity(snap).err());
+        }
+        if self.arm.ordering {
+            first = first.or_else(|| self.check_ordering(snap).err());
+        }
+        if self.arm.credit_bound {
+            first = first.or_else(|| self.check_credits(snap).err());
+        }
+        if self.arm.conservation {
+            first = first.or_else(|| self.check_conservation(snap).err());
+        }
+        // These two update tracking state and must run every cycle even
+        // after an earlier check failed, so that a caller that logs and
+        // continues keeps getting coherent results.
+        if self.arm.arrival {
+            first = first.or(self.check_arrival(snap));
+        }
+        if self.arm.probe {
+            first = first.or(self.check_probe(snap));
+        }
+        match first {
+            Some(v) => Err(v),
+            None => Ok(()),
+        }
+    }
+
+    /// Capacity bounds that hold in every configuration.
+    fn check_structural(&self, snap: &NetSnapshot) -> Result<(), Violation> {
+        for (n, r) in snap.routers.iter().enumerate() {
+            for (p, port) in r.inputs.iter().enumerate() {
+                for (v, ivc) in port.iter().enumerate() {
+                    if ivc.flits.len() > ivc.capacity {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "structural",
+                            format!(
+                                "input {p}.{v} holds {} flits, capacity {}",
+                                ivc.flits.len(),
+                                ivc.capacity
+                            ),
+                        ));
+                    }
+                }
+            }
+            for (p, out) in r.outputs.iter().enumerate() {
+                if out.st_queue.len() > 2 {
+                    return Err(Violation::new(
+                        snap.now,
+                        n,
+                        "structural",
+                        format!("output {p} ST queue holds {}", out.st_queue.len()),
+                    ));
+                }
+                for (v, ovc) in out.vcs.iter().enumerate() {
+                    if ovc.sender.slots.len() > ovc.sender.depth {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "structural",
+                            format!(
+                                "sender {p}.{v} holds {} slots, depth {}",
+                                ovc.sender.slots.len(),
+                                ovc.sender.depth
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// §4 exclusivity: committed VC allocations are single-owner and
+    /// in-range, and reservations match their owners. Routers in
+    /// deadlock recovery are skipped — recovery takeovers legitimately
+    /// leave stale reservations while held flits drain.
+    fn check_exclusivity(&self, snap: &NetSnapshot) -> Result<(), Violation> {
+        let vcs = snap.vcs_per_port;
+        for (n, r) in snap.routers.iter().enumerate() {
+            if r.in_recovery {
+                continue;
+            }
+            let held = |op: usize, ov: usize| {
+                r.outputs[op].vcs[ov]
+                    .sender
+                    .slots
+                    .iter()
+                    .any(|(_, held)| *held)
+            };
+            let mut owners: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+            for (p, port) in r.inputs.iter().enumerate() {
+                for (v, ivc) in port.iter().enumerate() {
+                    let VcStateView::Active { out_port, out_vc } = ivc.state else {
+                        continue;
+                    };
+                    if out_port >= r.outputs.len() || !r.outputs[out_port].exists || out_vc >= vcs {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "exclusivity",
+                            format!("input {p}.{v} active toward invalid {out_port}.{out_vc}"),
+                        ));
+                    }
+                    if held(out_port, out_vc) {
+                        continue;
+                    }
+                    if let Some((q, w)) = owners.insert((out_port, out_vc), (p, v)) {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "exclusivity",
+                            format!(
+                                "output VC {out_port}.{out_vc} allocated to both \
+                                 {q}.{w} and {p}.{v}"
+                            ),
+                        ));
+                    }
+                    let alloc = r.outputs[out_port].vcs[out_vc].allocated;
+                    if alloc != Some((p, v)) {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "exclusivity",
+                            format!(
+                                "input {p}.{v} active toward {out_port}.{out_vc} but the \
+                                 reservation records {alloc:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            for (op, out) in r.outputs.iter().enumerate() {
+                for (ov, ovc) in out.vcs.iter().enumerate() {
+                    let Some((p, v)) = ovc.allocated else {
+                        continue;
+                    };
+                    if held(op, ov) {
+                        continue;
+                    }
+                    let owner_ok = p < r.inputs.len()
+                        && v < vcs
+                        && matches!(
+                            r.inputs[p][v].state,
+                            VcStateView::Active { out_port, out_vc }
+                                if out_port == op && out_vc == ov
+                        );
+                    if !owner_ok {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "exclusivity",
+                            format!(
+                                "reservation {op}.{ov} names {p}.{v}, which is not active on it"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Wormhole ordering: adjacent flits in every input buffer are
+    /// either consecutive flits of one packet or a tail→head boundary.
+    fn check_ordering(&self, snap: &NetSnapshot) -> Result<(), Violation> {
+        for (n, r) in snap.routers.iter().enumerate() {
+            for (p, port) in r.inputs.iter().enumerate() {
+                for (v, ivc) in port.iter().enumerate() {
+                    for pair in ivc.flits.windows(2) {
+                        let (a, b) = (&pair[0], &pair[1]);
+                        let continues = !a.kind.is_tail()
+                            && b.packet == a.packet
+                            && b.seq == a.seq.wrapping_add(1)
+                            && !b.kind.is_head();
+                        let boundary = a.kind.is_tail() && b.kind.is_head();
+                        if !continues && !boundary {
+                            return Err(Violation::new(
+                                snap.now,
+                                n,
+                                "wormhole-order",
+                                format!(
+                                    "input {p}.{v} holds {} {:?}#{} directly after {} {:?}#{}",
+                                    b.packet, b.kind, b.seq, a.packet, a.kind, a.seq
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Credit accounting per (node, direction, VC): available credits
+    /// plus every distinct flit holding one (ST queue, on the wire, in
+    /// the downstream buffer) plus credits in flight back can never
+    /// exceed the downstream buffer depth — and equal it exactly in
+    /// fault-free runs. Replay duplicates are deduplicated by flit
+    /// identity: a retransmitted copy shares its original's credit.
+    fn check_credits(&self, snap: &NetSnapshot) -> Result<(), Violation> {
+        let vcs = snap.vcs_per_port;
+        let depth = snap.buffer_depth;
+        let mut seen: Vec<(u64, u8)> = Vec::with_capacity(depth + 2);
+        for (n, r) in snap.routers.iter().enumerate() {
+            for d in Direction::CARDINAL {
+                let op = d.index();
+                let Some(m) = snap.neighbors[n][op] else {
+                    continue;
+                };
+                let q = d.opposite().index();
+                for v in 0..vcs {
+                    seen.clear();
+                    let mut add = |f: &Flit| {
+                        let k = key(f);
+                        if !seen.contains(&k) {
+                            seen.push(k);
+                        }
+                    };
+                    for e in &r.outputs[op].st_queue {
+                        if usize::from(e.out_vc) == v {
+                            add(&e.flit);
+                        }
+                    }
+                    // Replayed wire flits are skipped: the barrel shifter
+                    // replays every unexpired slot after a NACK, so a
+                    // retransmitted copy may duplicate a flit that was
+                    // already accepted, popped and credited downstream.
+                    // Skipping can only undercount, which keeps the bound
+                    // sound (and fault-free runs never retransmit).
+                    if let Some((f, wv, _)) = &snap.wires[m].flit_in[q] {
+                        if usize::from(*wv) == v && f.retransmissions == 0 {
+                            add(f);
+                        }
+                    }
+                    for f in &snap.routers[m].inputs[q][v].flits {
+                        add(f);
+                    }
+                    let pending = snap.wires[n].credits_in[op]
+                        .iter()
+                        .filter(|(cv, _)| usize::from(*cv) == v)
+                        .count();
+                    let credits = r.outputs[op].vcs[v].credits as usize;
+                    let lhs = credits + seen.len() + pending;
+                    if lhs > depth || (self.arm.credit_exact && lhs != depth) {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "credit-accounting",
+                            format!(
+                                "link {d:?} vc {v}: {credits} credits + {} resident + \
+                                 {pending} returning = {lhs}, buffer depth {depth}",
+                                seen.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flit conservation: for every packet, the union of resident
+    /// copies (injection front, input buffers, ST queues, wires,
+    /// retransmission slots) covers a contiguous seq range. A hole
+    /// means a flit was lost with no copy left anywhere to replay.
+    fn check_conservation(&mut self, snap: &NetSnapshot) -> Result<(), Violation> {
+        self.resident.clear();
+        let mut mark = |f: &Flit| {
+            if f.seq < 128 {
+                *self.resident.entry(f.packet.raw()).or_insert(0) |= 1u128 << f.seq;
+            }
+        };
+        for pe in &snap.pes {
+            for f in &pe.injecting {
+                mark(f);
+            }
+        }
+        for (r, w) in snap.routers.iter().zip(&snap.wires) {
+            for port in &r.inputs {
+                for ivc in port {
+                    for f in &ivc.flits {
+                        mark(f);
+                    }
+                }
+            }
+            for out in &r.outputs {
+                for e in &out.st_queue {
+                    mark(&e.flit);
+                }
+                for ovc in &out.vcs {
+                    for (f, _) in &ovc.sender.slots {
+                        mark(f);
+                    }
+                }
+            }
+            for slot in w.flit_in.iter().flatten() {
+                mark(&slot.0);
+            }
+        }
+        for (pkt, mask) in &self.resident {
+            let span = mask >> mask.trailing_zeros();
+            if !span.wrapping_add(1).is_power_of_two() {
+                return Err(Violation {
+                    cycle: snap.now,
+                    node: None,
+                    invariant: "conservation",
+                    detail: format!(
+                        "packet p{pkt} resident seq mask {mask:#b} has a hole — a flit \
+                         was lost with no retransmission copy left"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Arrival monotonicity (HBH go-back-N replay equivalence): every
+    /// flit accepted into an input VC either starts a packet (head) or
+    /// advances strictly forward through the packet whose wormhole is
+    /// open. Duplicates and reordering at the accept boundary are
+    /// violations. Arrivals are detected by back-of-FIFO identity
+    /// change; same-cycle arrive-and-depart flits are unobservable at
+    /// the commit boundary, hence monotone (`seq` strictly increasing)
+    /// rather than exact `seq + 1` succession.
+    fn check_arrival(&mut self, snap: &NetSnapshot) -> Option<Violation> {
+        let vcs = snap.vcs_per_port;
+        let mut first = None;
+        for (n, r) in snap.routers.iter().enumerate() {
+            for d in Direction::CARDINAL {
+                let p = d.index();
+                for v in 0..vcs {
+                    let idx = (n * 5 + p) * vcs + v;
+                    let back = r.inputs[p][v].flits.last();
+                    let cur = back.map(key);
+                    if cur.is_some() && cur != self.prev_back[idx] {
+                        let f = back.expect("non-empty back");
+                        let ok = match self.last_arrival[idx] {
+                            None => f.kind.is_head(),
+                            Some((_, _, true)) => f.kind.is_head(),
+                            Some((pkt, seq, false)) => {
+                                f.kind.is_head() || (f.packet.raw() == pkt && f.seq > seq)
+                            }
+                        };
+                        if !ok && first.is_none() {
+                            first = Some(Violation::new(
+                                snap.now,
+                                n,
+                                "arrival-order",
+                                format!(
+                                    "input {p}.{v} accepted {} {:?}#{} after {:?}",
+                                    f.packet, f.kind, f.seq, self.last_arrival[idx]
+                                ),
+                            ));
+                        }
+                        self.last_arrival[idx] = Some((f.packet.raw(), f.seq, f.kind.is_tail()));
+                    }
+                    self.prev_back[idx] = cur;
+                }
+            }
+        }
+        first
+    }
+
+    /// Probe soundness (§3.2.2): when a node's `deadlocks_confirmed`
+    /// counter advances, a *temporally consistent* chain of blocked
+    /// channels must explain it — some probe launch (a buffer blocked
+    /// for at least `Cthres` cycles) from this node, forwarded one hop
+    /// per cycle through buffers that were blocked (or routers in
+    /// recovery, Rule 2) *at the instant the probe traversed them*, and
+    /// closing back at this node exactly now.
+    ///
+    /// The probe side-band takes one cycle per hop, so the certificate a
+    /// returned probe carries is temporal, not a single-snapshot cycle:
+    /// each link was blocked when crossed. For a real deadlock the wait
+    /// graph is static and the two coincide; a confirmation that no
+    /// temporal chain supports would mean the Rules fired on a deadlock
+    /// that never existed in any form.
+    fn check_probe(&mut self, snap: &NetSnapshot) -> Option<Violation> {
+        // Record this cycle first: the chase for a confirmation observed
+        // at cycle `T` needs the frame of `T` itself. History must be
+        // contiguous (one frame per cycle) for hop timing to line up; a
+        // gap restarts it and confirmations near the restart are
+        // accepted unverified.
+        let window = 4 * snap.routers.len() + 4;
+        if self.hist.back().is_some_and(|f| f.now + 1 != snap.now) {
+            self.hist.clear();
+        }
+        self.hist.push_back(WaitFrame {
+            now: snap.now,
+            nodes: snap
+                .routers
+                .iter()
+                .map(|r| (r.in_recovery, r.wait_edges.clone()))
+                .collect(),
+        });
+        while self.hist.len() > window {
+            self.hist.pop_front();
+        }
+        let mut first = None;
+        for (n, r) in snap.routers.iter().enumerate() {
+            let confirmed = r.deadlocks_confirmed;
+            if confirmed > self.prev_confirmed[n]
+                && first.is_none()
+                && !self.confirmation_explained(snap, n)
+            {
+                first = Some(Violation::new(
+                    snap.now,
+                    n,
+                    "probe-soundness",
+                    format!(
+                        "deadlock confirmation #{confirmed} but no temporally \
+                         consistent blocked chain returns to this node"
+                    ),
+                ));
+            }
+            self.prev_confirmed[n] = confirmed;
+        }
+        first
+    }
+
+    /// Searches the wait-edge history for a probe chase that explains a
+    /// confirmation at `origin` at the current cycle (the newest frame).
+    ///
+    /// States are `(deliver_cycle, node, named VC)`. Each hop reads the
+    /// named row from the frame of its deliver cycle *or* the one
+    /// before: the engine processes probes mid-commit, so the state it
+    /// saw lies between the two commit-boundary frames. The tolerance
+    /// only widens the accepted set — the oracle must never flag a
+    /// confirmation the protocol legitimately produced.
+    fn confirmation_explained(&self, snap: &NetSnapshot, origin: usize) -> bool {
+        let t_max = snap.now;
+        let hop_cap = (4 * snap.routers.len()) as u64 + 1;
+        let Some(front) = self.hist.front() else {
+            return true;
+        };
+        // Launches before recorded history cannot be ruled out.
+        let unverifiable_horizon = front.now > t_max.saturating_sub(hop_cap);
+        let frame = |t: u64| -> Option<&WaitFrame> {
+            let back = self.hist.back()?.now;
+            let off = back.checked_sub(t)?;
+            self.hist
+                .len()
+                .checked_sub(1 + off as usize)
+                .map(|i| &self.hist[i])
+        };
+        let row_of = |f: &WaitFrame, node: usize, named: VcRef| -> Option<BlockedVcSummary> {
+            f.nodes[node].1.iter().find(|r| r.0 == named).copied()
+        };
+        // Seed with every launch the history can support: a row at the
+        // origin blocked for >= Cthres cycles with a known onward edge
+        // (Rule 1). The probe is delivered to the neighbor next cycle.
+        let mut queue: Vec<(u64, usize, VcRef)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for t0 in t_max.saturating_sub(hop_cap)..t_max.saturating_sub(1) {
+            for off in 0..2u64 {
+                let Some(f) = t0.checked_sub(off).and_then(&frame) else {
+                    continue;
+                };
+                for row in &f.nodes[origin].1 {
+                    let (_, blocked_cycles, blocked, fwd) = *row;
+                    if !blocked || blocked_cycles < self.cthres {
+                        continue;
+                    }
+                    let Some((via, named)) = fwd else { continue };
+                    let Some(next) = snap.neighbors[origin][via.index()] else {
+                        continue;
+                    };
+                    if seen.insert((t0 + 1, next, named)) {
+                        queue.push((t0 + 1, next, named));
+                    }
+                }
+            }
+        }
+        // Chase forward one hop per cycle until some branch re-enters
+        // the origin exactly at the confirmation cycle.
+        while let Some((t, node, named)) = queue.pop() {
+            if t > t_max {
+                continue;
+            }
+            if node == origin {
+                if t == t_max {
+                    return true;
+                }
+                continue;
+            }
+            for off in 0..2u64 {
+                let Some(f) = t.checked_sub(off).and_then(&frame) else {
+                    continue;
+                };
+                let Some((_, _, blocked, fwd)) = row_of(f, node, named) else {
+                    continue;
+                };
+                if !blocked && !f.nodes[node].0 {
+                    continue;
+                }
+                let Some((dir, next_named)) = fwd else {
+                    continue;
+                };
+                let Some(next) = snap.neighbors[node][dir.index()] else {
+                    continue;
+                };
+                if seen.insert((t + 1, next, next_named)) {
+                    queue.push((t + 1, next, next_named));
+                }
+            }
+        }
+        unverifiable_horizon
+    }
+}

@@ -180,6 +180,17 @@ impl ProbeProtocol {
             // Our probe came back around the cycle.
             if !self.probe_outstanding || self.in_recovery {
                 // Rule 4: recovery already activated by someone else.
+                self.probe_outstanding = false;
+                return ProbeAction::Discard;
+            }
+            if !target_blocked {
+                // Rule 2 applies at the origin like anywhere else: the
+                // probe names one of our own buffers on its final hop,
+                // and if that buffer drained while the probe was in
+                // flight the chain is broken here — a false suspicion,
+                // not a deadlock.
+                self.probe_outstanding = false;
+                self.false_suspicions += 1;
                 return ProbeAction::Discard;
             }
             self.probe_outstanding = false;

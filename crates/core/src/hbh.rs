@@ -54,9 +54,11 @@ impl HbhSender {
         self.buffer.expire(now);
     }
 
-    /// Handles a NACK from the downstream router.
-    pub fn on_nack(&mut self) {
-        self.buffer.on_nack();
+    /// Handles a NACK arriving from the downstream router at cycle
+    /// `now`: copies still inside their NACK window become pending
+    /// replay (see [`RetransmissionBuffer::on_nack`]).
+    pub fn on_nack(&mut self, now: u64) {
+        self.buffer.on_nack(now);
     }
 
     /// Whether the sender must replay instead of sending new flits.
@@ -244,7 +246,7 @@ mod tests {
             // NACK arrival at the sender (before expiry: the NACK for the
             // flit sent at T arrives exactly as its window closes).
             if link.nack_at == Some(now) {
-                sender.on_nack();
+                sender.on_nack(now);
                 link.nack_at = None;
             }
             sender.tick(now);
@@ -381,7 +383,7 @@ mod tests {
         let mut sender = HbhSender::new(3);
         sender.tick(0);
         sender.send_new(flit(0), 0);
-        sender.on_nack();
+        sender.on_nack(3);
         assert!(sender.is_replaying());
         assert!(!sender.can_send_new());
         assert!(sender.next_replay(3).is_some());
@@ -393,7 +395,7 @@ mod tests {
     fn send_new_during_replay_panics() {
         let mut sender = HbhSender::new(3);
         sender.send_new(flit(0), 0);
-        sender.on_nack();
+        sender.on_nack(1);
         sender.send_new(flit(1), 1);
     }
 

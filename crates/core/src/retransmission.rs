@@ -4,8 +4,9 @@
 //! barrel-shifter **retransmission buffer**. On every link transmission a
 //! copy of the flit enters the back of the barrel shifter; it reaches the
 //! front exactly when a NACK for it could arrive (3 cycles later: link +
-//! error check + NACK propagation) and silently expires if none does. On
-//! a NACK, the shifter replays its contents front-to-back, re-recording
+//! error check + NACK propagation) and silently expires if none does. A
+//! NACK marks every copy still inside its window — the corrupted flit
+//! and its in-flight successors — for replay front-to-back, re-recording
 //! each replayed flit so that repeated errors are survivable.
 //!
 //! The same buffer doubles as the deadlock-recovery resource of §3.2:
@@ -19,12 +20,26 @@ use std::fmt;
 
 use ftnoc_types::flit::Flit;
 
+/// Cycles a transmitted copy must stay replayable: link traversal +
+/// error check + NACK propagation (§3.1). This is a property of the
+/// *protocol timing*, not of the buffer size — a NACK for a flit sent at
+/// cycle `T` reaches the sender at `T + 3` or never. Deeper buffers
+/// (Eq. 1) add deadlock-recovery capacity, not a longer NACK window: if
+/// copies lingered for `depth` cycles, a NACK would replay predecessors
+/// the receiver already accepted, and its fixed 2-cycle drop window
+/// would let those duplicates through.
+pub const NACK_ROUND_TRIP: u64 = 3;
+
 /// State of one barrel-shifter slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
     /// Copy of a flit already transmitted on the link at the given cycle;
-    /// expires `depth` cycles later unless a NACK arrives first.
+    /// expires [`NACK_ROUND_TRIP`] cycles later unless a NACK arrives
+    /// first.
     Sent { sent_at: u64 },
+    /// Copy selected for replay by a NACK; survives expiry until
+    /// [`RetransmissionBuffer::next_replay`] retransmits it.
+    PendingReplay,
     /// A flit absorbed for deadlock recovery (or a probe awaiting
     /// injection); never expires, leaves only via [`RetransmissionBuffer::send_held`].
     Held,
@@ -60,7 +75,6 @@ struct Slot {
 pub struct RetransmissionBuffer {
     depth: usize,
     slots: VecDeque<Slot>,
-    replay_pending: usize,
     /// Total flits ever recorded (statistics).
     recorded: u64,
     /// Total replay transmissions performed (statistics).
@@ -78,7 +92,6 @@ impl RetransmissionBuffer {
         RetransmissionBuffer {
             depth,
             slots: VecDeque::with_capacity(depth),
-            replay_pending: 0,
             recorded: 0,
             replayed: 0,
         }
@@ -106,7 +119,9 @@ impl RetransmissionBuffer {
 
     /// Whether a NACK-triggered replay is in progress.
     pub fn is_replaying(&self) -> bool {
-        self.replay_pending > 0
+        self.slots
+            .iter()
+            .any(|s| s.state == SlotState::PendingReplay)
     }
 
     /// Flits recorded over the buffer's lifetime.
@@ -143,48 +158,56 @@ impl RetransmissionBuffer {
         self.recorded += 1;
     }
 
-    /// Drops copies whose NACK window has closed. No expiry happens
-    /// during a replay: the contents are needed until the replay ends.
+    /// Drops copies whose NACK window has closed. Pending-replay and
+    /// held slots never expire: their contents are still needed.
     ///
     /// Expired copies are reclaimed wherever they sit: during deadlock
     /// recovery a held (unsent) flit can rotate in front of still-ticking
     /// copies of its successors, and those copies must not waste slots
     /// once their windows close (the Eq. 1 bound counts every slot).
     pub fn expire(&mut self, now: u64) {
-        if self.replay_pending > 0 {
-            return;
-        }
-        let depth = self.depth as u64;
         self.slots.retain(|slot| match slot.state {
-            SlotState::Sent { sent_at } => now < sent_at + depth,
-            SlotState::Held => true,
+            SlotState::Sent { sent_at } => now < sent_at + NACK_ROUND_TRIP,
+            SlotState::PendingReplay | SlotState::Held => true,
         });
     }
 
-    /// Handles an incoming NACK: every current slot becomes pending
-    /// replay, front (oldest, the corrupted flit) first.
+    /// Handles a NACK arriving at cycle `now`: every copy still inside
+    /// its NACK window (the corrupted flit and the in-flight successors
+    /// the receiver is dropping) becomes pending replay, front (oldest,
+    /// the corrupted flit) first.
     ///
-    /// A NACK arriving while a previous replay is still in progress
-    /// restarts the replay over the current contents.
-    pub fn on_nack(&mut self) {
-        self.replay_pending = self.slots.len();
+    /// Copies whose window has closed are *not* re-armed: their NACK
+    /// deadline passed, so the receiver accepted them, and replaying an
+    /// accepted flit past the receiver's drop window would deliver a
+    /// duplicate. This matters when a second NACK lands while an earlier
+    /// replay burst is still rotating through the shifter.
+    pub fn on_nack(&mut self, now: u64) {
+        for slot in &mut self.slots {
+            if let SlotState::Sent { sent_at } = slot.state {
+                if now <= sent_at + NACK_ROUND_TRIP {
+                    slot.state = SlotState::PendingReplay;
+                }
+            }
+        }
     }
 
-    /// Produces the next replayed flit. The slot rotates to the back with
-    /// a fresh timestamp, so the replayed copy is itself protected.
+    /// Produces the next replayed flit (the oldest pending slot). The
+    /// slot rotates to the back with a fresh timestamp, so the replayed
+    /// copy is itself protected.
     ///
     /// Returns `None` when no replay is pending.
     pub fn next_replay(&mut self, now: u64) -> Option<Flit> {
-        if self.replay_pending == 0 {
-            return None;
-        }
-        let mut slot = self.slots.pop_front()?;
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.state == SlotState::PendingReplay)?;
+        let mut slot = self.slots.remove(idx).expect("index from position");
         let mut flit = slot.flit;
         flit.retransmissions = flit.retransmissions.saturating_add(1);
         slot.flit = flit;
         slot.state = SlotState::Sent { sent_at: now };
         self.slots.push_back(slot);
-        self.replay_pending -= 1;
         self.replayed += 1;
         Some(flit)
     }
@@ -238,6 +261,15 @@ impl RetransmissionBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &Flit> {
         self.slots.iter().map(|s| &s.flit)
     }
+
+    /// Iterates over buffered flits with their held flag (`true` for
+    /// recovery-absorbed slots that never expire), front first. Read-only
+    /// inspection for the invariant oracle.
+    pub fn iter_slots(&self) -> impl Iterator<Item = (&Flit, bool)> {
+        self.slots
+            .iter()
+            .map(|s| (&s.flit, s.state == SlotState::Held))
+    }
 }
 
 impl fmt::Display for RetransmissionBuffer {
@@ -247,7 +279,7 @@ impl fmt::Display for RetransmissionBuffer {
             "retrans[{}/{}{}]",
             self.slots.len(),
             self.depth,
-            if self.replay_pending > 0 {
+            if self.is_replaying() {
                 " replaying"
             } else {
                 ""
@@ -412,7 +444,7 @@ mod tests {
             buf.record_transmission(flit(t as u8), t);
         }
         // NACK arrives at cycle 3, targeting the flit sent at cycle 0.
-        buf.on_nack();
+        buf.on_nack(3);
         assert!(buf.is_replaying());
         let r0 = buf.next_replay(3).unwrap();
         let r1 = buf.next_replay(4).unwrap();
@@ -433,27 +465,66 @@ mod tests {
     fn replay_marks_retransmission_count() {
         let mut buf = RetransmissionBuffer::new(3);
         buf.record_transmission(flit(0), 0);
-        buf.on_nack();
+        buf.on_nack(3);
         let replayed = buf.next_replay(3).unwrap();
         assert_eq!(replayed.retransmissions, 1);
-        // A second NACK replays the same flit again.
-        buf.on_nack();
+        // The replayed copy is corrupted again: a second NACK replays it.
+        buf.on_nack(6);
         let replayed = buf.next_replay(6).unwrap();
         assert_eq!(replayed.retransmissions, 2);
     }
 
     #[test]
-    fn no_expiry_during_replay() {
+    fn pending_replay_copies_never_expire() {
         let mut buf = RetransmissionBuffer::new(3);
         for t in 0..3u64 {
             buf.expire(t);
             buf.record_transmission(flit(t as u8), t);
         }
-        buf.on_nack();
-        // Even far in the future, contents survive until replayed.
+        buf.on_nack(3);
+        // Even far in the future, pending contents survive until replayed.
         buf.expire(100);
         assert_eq!(buf.occupancy(), 3);
         assert!(buf.next_replay(100).is_some());
+    }
+
+    #[test]
+    fn nack_does_not_rearm_expired_window_copies() {
+        // A copy whose NACK deadline passed was accepted downstream;
+        // a later NACK (for a newer flit) must not replay it — the
+        // receiver's drop window no longer protects against the
+        // duplicate.
+        let mut buf = RetransmissionBuffer::new(6);
+        buf.record_transmission(flit(0), 0); // accepted (no NACK by 3)
+        buf.record_transmission(flit(1), 4); // corrupted on the link
+        buf.on_nack(7); // NACK for the flit sent at cycle 4
+        let replayed = buf.next_replay(7).unwrap();
+        assert_eq!(replayed.seq, 1, "only the in-window copy replays");
+        assert!(!buf.is_replaying());
+    }
+
+    #[test]
+    fn second_nack_mid_burst_skips_already_replayed_copies() {
+        // Replay in progress: the copy replayed at cycle 3 is accepted
+        // downstream (its fresh window closes at 6). A second NACK at
+        // cycle 8 — for the copy re-sent at 5 — must replay only
+        // in-window copies, not re-deliver the accepted one.
+        let mut buf = RetransmissionBuffer::new(6);
+        for t in 0..3u64 {
+            buf.expire(t);
+            buf.record_transmission(flit(t as u8), t);
+        }
+        buf.on_nack(3);
+        assert_eq!(buf.next_replay(3).unwrap().seq, 0);
+        assert_eq!(buf.next_replay(4).unwrap().seq, 1);
+        assert_eq!(buf.next_replay(5).unwrap().seq, 2);
+        // NACKs are drained before expiry, so the copies re-sent at 3
+        // and 4 are still present — but outside their windows (closed
+        // at 6 and 7), so they must not re-arm.
+        buf.on_nack(8);
+        let replayed = buf.next_replay(8).unwrap();
+        assert_eq!(replayed.seq, 2, "accepted copies stay retired");
+        assert!(!buf.is_replaying());
     }
 
     #[test]
@@ -544,7 +615,7 @@ mod tests {
         let mut buf = RetransmissionBuffer::new(3);
         buf.record_transmission(flit(0), 0);
         assert_eq!(buf.to_string(), "retrans[1/3]");
-        buf.on_nack();
+        buf.on_nack(3);
         assert_eq!(buf.to_string(), "retrans[1/3 replaying]");
     }
 }

@@ -1,0 +1,158 @@
+//! Property tests for Eq. (1), the §3.2.1 buffer-sizing theorem: the
+//! guarantee flips exactly at the minimum retransmission depth — a ring
+//! sized at the bound is guaranteed to drain, and one flit below it the
+//! adversarial schedule stalls (the guarantee is strict). The parameter
+//! space is small enough to sweep exhaustively.
+
+use ftnoc_core::deadlock::DeadlockCycleSpec;
+
+/// The guarantee holds at `min_uniform_retrans_depth` and fails one
+/// below it, for every (nodes, T, M) combination in range.
+#[test]
+fn guarantee_flips_exactly_at_the_minimum_depth() {
+    for nodes in 1..=8usize {
+        for t in 1..=10usize {
+            for m in 1..=6usize {
+                let min = DeadlockCycleSpec::min_uniform_retrans_depth(nodes, t, m);
+                let at = DeadlockCycleSpec::uniform(nodes, t, min.max(1), m);
+                assert!(
+                    at.recovery_is_guaranteed() || min == 0,
+                    "n={nodes} T={t} M={m}: min depth {min} does not satisfy the bound"
+                );
+                if min >= 1 {
+                    let below = DeadlockCycleSpec::uniform(nodes, t, min - 1, m).max_slack();
+                    assert!(
+                        below <= 0,
+                        "n={nodes} T={t} M={m}: depth {} still guaranteed (slack {below})",
+                        min - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Helper: signed slack of the bound, so the "one below" check can
+/// assert the inequality direction without re-deriving the arithmetic.
+trait Slack {
+    fn max_slack(&self) -> i64;
+}
+
+impl Slack for DeadlockCycleSpec {
+    fn max_slack(&self) -> i64 {
+        self.total_buffer_size() as i64 - self.required_size() as i64
+    }
+}
+
+/// Monotonicity: deepening any retransmission buffer never loses the
+/// guarantee, and the bound scales linearly when the ring grows by a
+/// uniform node.
+#[test]
+fn deeper_buffers_never_lose_the_guarantee() {
+    for nodes in 1..=6usize {
+        for t in 1..=8usize {
+            for m in 1..=5usize {
+                let mut guaranteed = false;
+                for r in 1..=(2 * m + t) {
+                    let spec = DeadlockCycleSpec::uniform(nodes, t, r, m);
+                    if guaranteed {
+                        assert!(
+                            spec.recovery_is_guaranteed(),
+                            "n={nodes} T={t} M={m}: guarantee lost going to R={r}"
+                        );
+                    }
+                    guaranteed |= spec.recovery_is_guaranteed();
+                }
+                assert!(
+                    guaranteed,
+                    "n={nodes} T={t} M={m}: no depth up to {} suffices",
+                    2 * m + t
+                );
+            }
+        }
+    }
+}
+
+/// For uniform rings the bound is per-node: the ring length cancels, so
+/// the minimum depth is independent of how many routers the cycle has.
+#[test]
+fn uniform_minimum_depth_is_ring_length_invariant() {
+    for t in 1..=10usize {
+        for m in 1..=6usize {
+            let base = DeadlockCycleSpec::min_uniform_retrans_depth(2, t, m);
+            for nodes in 3..=10usize {
+                assert_eq!(
+                    DeadlockCycleSpec::min_uniform_retrans_depth(nodes, t, m),
+                    base,
+                    "T={t} M={m}: minimum depth depends on ring length"
+                );
+            }
+        }
+    }
+}
+
+/// The unaligned (Figure 11) worst case never demands *less* buffering
+/// than the aligned accounting, and agrees with it exactly when buffers
+/// hold whole packets only (T < 2M, where a partial packet cannot share
+/// the buffer with a full one).
+#[test]
+fn unaligned_bound_dominates_aligned_bound() {
+    for nodes in 1..=6usize {
+        for t in 1..=12usize {
+            for m in 1..=6usize {
+                for r in 1..=8usize {
+                    let spec = DeadlockCycleSpec::uniform(nodes, t, r, m);
+                    assert!(
+                        spec.max_packets_unaligned() >= spec.max_packets(),
+                        "n={nodes} T={t} M={m}: unaligned count below aligned"
+                    );
+                    if spec.recovery_guaranteed_unaligned() {
+                        assert!(
+                            spec.recovery_is_guaranteed(),
+                            "n={nodes} T={t} M={m} R={r}: unaligned guarantee \
+                             without the aligned one"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Heterogeneous rings: the bound is the sum of per-node contributions,
+/// so splitting a uniform ring into an equivalent heterogeneous listing
+/// changes nothing.
+#[test]
+fn heterogeneous_listing_matches_uniform() {
+    for nodes in 1..=6usize {
+        for t in 1..=8usize {
+            for m in 1..=5usize {
+                for r in 1..=6usize {
+                    let uniform = DeadlockCycleSpec::uniform(nodes, t, r, m);
+                    let hetero =
+                        DeadlockCycleSpec::heterogeneous(&vec![t; nodes], &vec![r; nodes], m);
+                    assert_eq!(uniform.total_buffer_size(), hetero.total_buffer_size());
+                    assert_eq!(uniform.required_size(), hetero.required_size());
+                    assert_eq!(
+                        uniform.recovery_is_guaranteed(),
+                        hetero.recovery_is_guaranteed()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The paper's two worked examples, pinned as end-to-end anchors for
+/// the sweeps above.
+#[test]
+fn paper_examples_are_inside_the_guaranteed_region() {
+    // Figure 10: n=3, T=4, R=3, M=4.
+    let fig10 = DeadlockCycleSpec::uniform(3, 4, 3, 4);
+    assert!(fig10.recovery_is_guaranteed());
+    // Figure 11: n=4, T=6, R=3, M=4 — guaranteed even against the
+    // unaligned worst case the figure illustrates.
+    let fig11 = DeadlockCycleSpec::uniform(4, 6, 3, 4);
+    assert!(fig11.recovery_is_guaranteed());
+    assert_eq!(fig11.max_packets_unaligned(), 8);
+}

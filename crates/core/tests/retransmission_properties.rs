@@ -54,7 +54,7 @@ fn hbh_link_delivers_exact_stream() {
         let budget = corruption.len() as u64 * 6 + stream_len as u64 * 8 + 64;
         for now in 0u64..budget {
             if nack_at == Some(now) {
-                sender.on_nack();
+                sender.on_nack(now);
                 nack_at = None;
             }
             sender.tick(now);
@@ -121,7 +121,7 @@ fn barrel_shifter_replays_in_record_order() {
         }
         // NACK immediately: the replay must be the most recent window,
         // oldest first — a suffix of the record order.
-        buf.on_nack();
+        buf.on_nack(now);
         let mut replayed = Vec::new();
         while let Some(f) = buf.next_replay(now) {
             replayed.push(f.seq);

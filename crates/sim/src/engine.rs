@@ -93,6 +93,13 @@ impl<S: TraceSink> Stepper<'_, S> {
         self.core.progress(self.cells)
     }
 
+    /// A full [`crate::snapshot::NetSnapshot`] of the commit-boundary
+    /// state, for per-cycle invariant checking between steps. Pure read
+    /// — taking snapshots does not perturb the simulation.
+    pub fn snapshot(&self) -> crate::snapshot::NetSnapshot {
+        crate::network::build_snapshot(self.env, self.cells, self.core)
+    }
+
     /// Marks the beginning of the measurement window.
     pub fn start_measurement(&mut self) {
         self.core.start_measurement(self.cells);

@@ -45,10 +45,12 @@ pub mod network;
 pub mod router;
 pub mod routing;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 
 pub use config::{DeadlockConfig, ErrorScheme, RoutingAlgorithm, SimConfig, SimConfigBuilder};
 pub use engine::Stepper;
 pub use network::{Network, Progress};
 pub use sim::{SimReport, Simulator};
+pub use snapshot::NetSnapshot;
 pub use stats::NetworkStats;

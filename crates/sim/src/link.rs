@@ -65,6 +65,12 @@ impl FlitWire {
         self.flits_carried += 1;
     }
 
+    /// Read-only view of the flit in flight: `(flit, vc, deliver_at)`.
+    /// Inspection hook for the invariant oracle; never consumes.
+    pub fn peek(&self) -> Option<(Flit, u8, u64)> {
+        self.in_flight
+    }
+
     /// Takes the flit due for delivery at cycle `now`, if any.
     #[inline]
     pub fn deliver_flit(&mut self, now: u64) -> Option<(Flit, u8)> {
@@ -140,6 +146,18 @@ impl RevWire {
             }
             _ => None,
         }
+    }
+
+    /// Read-only view of the credits in flight: `(vc, visible_at)` in
+    /// arrival order. Inspection hook for the invariant oracle.
+    pub fn pending_credits(&self) -> impl Iterator<Item = (u8, u64)> + '_ {
+        self.credits.iter().copied()
+    }
+
+    /// Read-only view of the NACKs in flight: `(vc, visible_at)` in
+    /// arrival order. Inspection hook for the invariant oracle.
+    pub fn pending_nacks(&self) -> impl Iterator<Item = (u8, u64)> + '_ {
+        self.nacks.iter().copied()
     }
 
     /// Whether any reverse-channel activity is pending (for tests).

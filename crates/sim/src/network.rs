@@ -218,7 +218,7 @@ pub(crate) fn compute_cell(env: &RunEnv, cell: &mut RouterCell, now: u64) {
         while let Some((vc, masked)) = rw.pop_nack(now, upset) {
             upset = false;
             router.errors.handshake_masked += u64::from(masked);
-            router.handle_nack(d, vc);
+            router.handle_nack(d, vc, now);
             router.trace.emit(|| TraceEvent::ReplayTriggered {
                 port: d.index() as u8,
                 vc,
@@ -470,6 +470,87 @@ impl<S: TraceSink> Network<S> {
             .iter()
             .any(|c| c.lock().unwrap().router.probe.in_recovery())
     }
+
+    /// Flits ejected to the local PEs since construction.
+    pub fn flits_ejected(&self) -> u64 {
+        self.core.flits_ejected
+    }
+
+    /// Whether every flit has left the network (buffers, ST queues and
+    /// recovery-held slots empty everywhere; in-flight wires may still
+    /// carry expired-replica traffic).
+    pub fn is_drained(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.lock().unwrap().router.is_drained())
+    }
+
+    /// A full [`crate::snapshot::NetSnapshot`] of the commit-boundary
+    /// state (the invariant oracle's inspection surface). Pure read.
+    pub fn snapshot(&self) -> crate::snapshot::NetSnapshot {
+        let Network { env, cells, core } = self;
+        build_snapshot(env, cells, core)
+    }
+}
+
+/// Builds a [`crate::snapshot::NetSnapshot`] from the engine's parts
+/// (shared by [`Network::snapshot`] and [`crate::Stepper::snapshot`]).
+pub(crate) fn build_snapshot<S: TraceSink>(
+    env: &RunEnv,
+    cells: &[Mutex<RouterCell>],
+    core: &NetCore<S>,
+) -> crate::snapshot::NetSnapshot {
+    use crate::snapshot::{NetSnapshot, PeSnapshot, WireSnapshot};
+    let topo = env.topo;
+    let mut routers = Vec::with_capacity(cells.len());
+    let mut wires = Vec::with_capacity(cells.len());
+    let mut neighbors = Vec::with_capacity(cells.len());
+    for (n, cell) in cells.iter().enumerate() {
+        let cell = cell.lock().unwrap();
+        routers.push(cell.router.snapshot());
+        let mut wire = WireSnapshot::default();
+        for d in Direction::CARDINAL {
+            if let Some(fw) = cell.io.flit_in[d.index()].as_ref() {
+                wire.flit_in[d.index()] = fw.peek();
+            }
+            if let Some(rw) = cell.io.rev_in[d.index()].as_ref() {
+                wire.credits_in[d.index()] = rw.pending_credits().collect();
+                wire.nacks_in[d.index()] = rw.pending_nacks().collect();
+            }
+        }
+        wires.push(wire);
+        let coord = topo.coord_of(NodeId::new(n as u16));
+        let mut mask = [None; 4];
+        for d in Direction::CARDINAL {
+            mask[d.index()] = topo.neighbor(coord, d).map(|c| topo.id_of(c).index());
+        }
+        neighbors.push(mask);
+    }
+    let pes = core
+        .pes
+        .iter()
+        .map(|pe| PeSnapshot {
+            queued: pe.source_queue.iter().map(|p| (p.id(), p.len())).collect(),
+            injecting: pe
+                .injecting
+                .as_ref()
+                .map(|(_, flits)| flits.iter().copied().collect())
+                .unwrap_or_default(),
+        })
+        .collect();
+    NetSnapshot {
+        now: core.now,
+        scheme: env.config.scheme,
+        vcs_per_port: env.config.router.vcs_per_port(),
+        buffer_depth: env.config.router.buffer_depth(),
+        packets_injected: core.packets_injected,
+        packets_ejected: core.packets_ejected,
+        flits_ejected: core.flits_ejected,
+        neighbors,
+        routers,
+        wires,
+        pes,
+    }
 }
 
 impl<S: TraceSink> NetCore<S> {
@@ -683,25 +764,41 @@ impl<S: TraceSink> NetCore<S> {
             // Probe launches onto the side-band.
             if let Some((via, named)) = cell.probe_req.take() {
                 let origin = NodeId::new(n as u16);
-                let to = topo
+                match topo
                     .neighbor(topo.coord_of(origin), via)
                     .map(|c| topo.id_of(c))
-                    .expect("probe follows an existing link");
-                self.probes.push(ProbeFlight {
-                    signal: ProbeSignal { origin, vc: named },
-                    to,
-                    deliver_at: now + 1,
-                    path: vec![origin],
-                });
-                self.tracer.emit(
-                    now,
-                    n as u16,
-                    TraceEvent::ProbeLaunched {
-                        origin: n as u16,
-                        port: via.index() as u8,
-                        vc: named.vc,
-                    },
-                );
+                {
+                    Some(to) => {
+                        self.probes.push(ProbeFlight {
+                            signal: ProbeSignal { origin, vc: named },
+                            to,
+                            deliver_at: now + 1,
+                            path: vec![origin],
+                        });
+                        self.tracer.emit(
+                            now,
+                            n as u16,
+                            TraceEvent::ProbeLaunched {
+                                origin: n as u16,
+                                port: via.index() as u8,
+                                vc: named.vc,
+                            },
+                        );
+                    }
+                    None => {
+                        // A logic upset (unprotected VA/RT) can leave the
+                        // suspected VC waiting on a port with no link —
+                        // the probe is driven into an unconnected wire
+                        // and silently lost, like any mid-path discard.
+                        cell.router.probe.probe_lost();
+                        cell.router.errors.probes_discarded += 1;
+                        self.tracer.emit(
+                            now,
+                            n as u16,
+                            TraceEvent::ProbeDiscarded { origin: n as u16 },
+                        );
+                    }
+                }
             }
         }
 
@@ -960,6 +1057,12 @@ impl<S: TraceSink> NetCore<S> {
                     );
                 }
                 ProbeAction::Confirmed => {
+                    if std::env::var_os("FTNOC_PROBE_DEBUG").is_some() {
+                        eprintln!(
+                            "cyc {now}: probe from {} CONFIRMED at {} named {} (blocked={blocked}, fwd={fwd:?}, path={:?})",
+                            flight.signal.origin, at, flight.signal.vc, flight.path
+                        );
+                    }
                     cells[at.index()]
                         .lock()
                         .unwrap()

@@ -41,6 +41,17 @@ use crate::config::{ErrorScheme, RoutingAlgorithm, SimConfig};
 use crate::routing::{route_candidates, xy_minimal_progress};
 use crate::stats::{ErrorStats, EventCounts};
 
+/// Cached `FTNOC_DEMO_SKIP_CREDIT` flag: a deliberately planted
+/// credit-accounting bug (the SA stage stops decrementing credits) used
+/// to validate the invariant oracle end to end — `ftnoc fuzz` must catch
+/// it with a shrunk reproducer. Off unless the variable is set, so
+/// normal runs are unaffected.
+fn demo_skip_credit() -> bool {
+    use std::sync::OnceLock;
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("FTNOC_DEMO_SKIP_CREDIT").is_some())
+}
+
 /// Cached `FTNOC_TRACE_NODE` value (diagnostic tracing, read once).
 fn trace_node() -> Option<&'static str> {
     use std::sync::OnceLock;
@@ -332,10 +343,11 @@ impl Router {
         self.id
     }
 
-    /// Handles a NACK from the downstream router on `(dir, vc)`.
+    /// Handles a NACK arriving at cycle `now` from the downstream
+    /// router on `(dir, vc)`.
     /// Must run before [`Router::begin_cycle`] of the same cycle.
-    pub fn handle_nack(&mut self, dir: Direction, vc: u8) {
-        self.outputs[dir.index()].senders[vc as usize].on_nack();
+    pub fn handle_nack(&mut self, dir: Direction, vc: u8, now: u64) {
+        self.outputs[dir.index()].senders[vc as usize].on_nack(now);
         self.errors.link_recovered_by_replay += 1;
     }
 
@@ -1064,7 +1076,9 @@ impl Router {
                     self.freed_credits.push((dir, v as u8));
                 }
             }
-            self.outputs[op].credits[ov] = self.outputs[op].credits[ov].saturating_sub(1);
+            if !demo_skip_credit() {
+                self.outputs[op].credits[ov] = self.outputs[op].credits[ov].saturating_sub(1);
+            }
             self.outputs[op].st_queue.push_back(StEntry {
                 flit,
                 out_vc: ov as u8,
@@ -1511,5 +1525,74 @@ impl Router {
     pub fn local_vc_idle(&self, v: usize) -> bool {
         let input = &self.inputs[Direction::Local.index()][v];
         input.state == VcState::Idle && input.buffer.is_empty()
+    }
+
+    /// A plain-data copy of every architecturally observable piece of
+    /// router state (the invariant oracle's inspection surface). Pure
+    /// read — no RNG draws, no mutation.
+    pub fn snapshot(&self) -> crate::snapshot::RouterSnapshot {
+        use crate::snapshot::{
+            InputVcView, OutputPortView, OutputVcView, RouterSnapshot, SenderView, StEntryView,
+            VcStateView,
+        };
+        let inputs = self
+            .inputs
+            .iter()
+            .map(|port| {
+                port.iter()
+                    .map(|vc| InputVcView {
+                        flits: vc.buffer.iter().copied().collect(),
+                        capacity: vc.buffer.capacity(),
+                        state: match vc.state {
+                            VcState::Idle => VcStateView::Idle,
+                            VcState::VaWait { .. } => VcStateView::VaWait,
+                            VcState::Active {
+                                out_port, out_vc, ..
+                            } => VcStateView::Active { out_port, out_vc },
+                        },
+                        blocked_cycles: vc.blocked_cycles,
+                    })
+                    .collect()
+            })
+            .collect();
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|port| OutputPortView {
+                exists: port.exists,
+                vcs: (0..port.senders.len())
+                    .map(|v| OutputVcView {
+                        credits: port.credits[v],
+                        allocated: port.allocated[v],
+                        sender: SenderView {
+                            slots: port.senders[v]
+                                .buffer()
+                                .iter_slots()
+                                .map(|(f, held)| (*f, held))
+                                .collect(),
+                            depth: port.senders[v].buffer().depth(),
+                            replaying: port.senders[v].is_replaying(),
+                        },
+                    })
+                    .collect(),
+                st_queue: port
+                    .st_queue
+                    .iter()
+                    .map(|e| StEntryView {
+                        flit: e.flit,
+                        out_vc: e.out_vc,
+                        execute_at: e.execute_at,
+                    })
+                    .collect(),
+            })
+            .collect();
+        RouterSnapshot {
+            id: self.id,
+            in_recovery: self.probe.in_recovery(),
+            deadlocks_confirmed: self.errors.deadlocks_confirmed,
+            inputs,
+            outputs,
+            wait_edges: self.blocked_summary(),
+        }
     }
 }

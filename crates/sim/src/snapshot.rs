@@ -1,0 +1,171 @@
+//! Structured, read-only state snapshots of the whole network at a
+//! commit boundary — the inspection surface consumed by the
+//! `ftnoc-check` invariant oracle.
+//!
+//! A [`NetSnapshot`] is a plain-data copy of everything architecturally
+//! observable at the end of a cycle: every input VC buffer (flits, state,
+//! blocked count), every output port (credits, reservations, ST queue,
+//! retransmission-sender slots), every link wire (flits, credits and
+//! NACKs in flight), every processing element (queued and partially
+//! injected packets) and the per-node probe/recovery state.
+//!
+//! Snapshots are built **only on demand** ([`crate::Network::snapshot`] /
+//! [`crate::Stepper::snapshot`]): a run that never asks for one pays
+//! nothing, which is what makes the oracle zero-cost when disabled. The
+//! builders only read — no RNG draws, no mutation — so taking snapshots
+//! cannot perturb the simulation (oracle-on runs stay byte-identical to
+//! oracle-off runs).
+
+use ftnoc_types::flit::Flit;
+use ftnoc_types::geom::NodeId;
+use ftnoc_types::packet::PacketId;
+
+use crate::config::ErrorScheme;
+use crate::router::BlockedVcSummary;
+
+/// Mirror of the private wormhole VC state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcStateView {
+    /// No packet in flight on this VC.
+    Idle,
+    /// Head waiting for VC allocation.
+    VaWait,
+    /// Wormhole open toward `(out_port, out_vc)`.
+    Active {
+        /// Allocated output port index.
+        out_port: usize,
+        /// Allocated output VC index (may be out of range after an
+        /// uncaught VA upset — that is what the oracle checks).
+        out_vc: usize,
+    },
+}
+
+/// One input virtual channel: buffer contents plus control state.
+#[derive(Debug, Clone)]
+pub struct InputVcView {
+    /// Buffered flits, front (oldest) first.
+    pub flits: Vec<Flit>,
+    /// Buffer capacity in flits.
+    pub capacity: usize,
+    /// Wormhole state.
+    pub state: VcStateView,
+    /// Consecutive cycles the head has failed to progress.
+    pub blocked_cycles: u64,
+}
+
+/// One per-VC retransmission sender on an output port.
+#[derive(Debug, Clone)]
+pub struct SenderView {
+    /// Buffered flit copies, front (oldest) first, with the held flag
+    /// (`true` = recovery-absorbed slot that never expires).
+    pub slots: Vec<(Flit, bool)>,
+    /// Barrel-shifter depth.
+    pub depth: usize,
+    /// Whether a NACK-triggered replay burst is in progress.
+    pub replaying: bool,
+}
+
+/// One output VC of an output port.
+#[derive(Debug, Clone)]
+pub struct OutputVcView {
+    /// Credits available for the downstream buffer.
+    pub credits: u32,
+    /// The input VC holding this output VC's wormhole reservation.
+    pub allocated: Option<(usize, usize)>,
+    /// The HBH retransmission sender.
+    pub sender: SenderView,
+}
+
+/// A switch-granted flit waiting in the switch-traversal queue.
+#[derive(Debug, Clone)]
+pub struct StEntryView {
+    /// The flit.
+    pub flit: Flit,
+    /// Output VC it will be tagged with.
+    pub out_vc: u8,
+    /// Cycle at which it may traverse.
+    pub execute_at: u64,
+}
+
+/// One output port.
+#[derive(Debug, Clone)]
+pub struct OutputPortView {
+    /// Whether the link exists (mesh edges lack some).
+    pub exists: bool,
+    /// Per-VC state.
+    pub vcs: Vec<OutputVcView>,
+    /// The switch-traversal queue, front first.
+    pub st_queue: Vec<StEntryView>,
+}
+
+/// One router at a commit boundary.
+#[derive(Debug, Clone)]
+pub struct RouterSnapshot {
+    /// The node id.
+    pub id: NodeId,
+    /// Whether the node is in deadlock-recovery mode.
+    pub in_recovery: bool,
+    /// Deadlocks confirmed by this node's own probes (cumulative).
+    pub deadlocks_confirmed: u64,
+    /// `inputs[port][vc]` input VC views.
+    pub inputs: Vec<Vec<InputVcView>>,
+    /// `outputs[port]` output port views.
+    pub outputs: Vec<OutputPortView>,
+    /// Channel-wait edges as the probe chase sees them (one row per
+    /// input VC).
+    pub wait_edges: Vec<BlockedVcSummary>,
+}
+
+/// Link wires owned by one router (receiver side).
+#[derive(Debug, Clone, Default)]
+pub struct WireSnapshot {
+    /// `flit_in[p]`: the flit in flight toward arrival port `p`, as
+    /// `(flit, vc, deliver_at)`.
+    pub flit_in: [Option<(Flit, u8, u64)>; 4],
+    /// `credits_in[d]`: credits in flight back for the link leaving in
+    /// direction `d`, as `(vc, visible_at)`.
+    pub credits_in: [Vec<(u8, u64)>; 4],
+    /// `nacks_in[d]`: NACKs in flight back for the link leaving in
+    /// direction `d`, as `(vc, visible_at)`.
+    pub nacks_in: [Vec<(u8, u64)>; 4],
+}
+
+/// One processing element (traffic endpoint).
+#[derive(Debug, Clone, Default)]
+pub struct PeSnapshot {
+    /// Packets queued at the source: `(id, flit count)`. Their flits
+    /// have not entered the network yet.
+    pub queued: Vec<(PacketId, usize)>,
+    /// Remaining flits of the packet currently entering the network
+    /// (front next).
+    pub injecting: Vec<Flit>,
+}
+
+/// The whole network at a commit boundary.
+#[derive(Debug, Clone)]
+pub struct NetSnapshot {
+    /// The cycle that just committed (snapshots are taken after
+    /// `step()`, so state reflects the end of cycle `now - 1`).
+    pub now: u64,
+    /// The link-error handling scheme of the run.
+    pub scheme: ErrorScheme,
+    /// VCs per port.
+    pub vcs_per_port: usize,
+    /// Input buffer depth in flits.
+    pub buffer_depth: usize,
+    /// Packets injected since construction.
+    pub packets_injected: u64,
+    /// Packets ejected since construction.
+    pub packets_ejected: u64,
+    /// Flits ejected since construction.
+    pub flits_ejected: u64,
+    /// `neighbors[n][d]`: the node index reached from node `n` in
+    /// cardinal direction `d`, if the link exists.
+    pub neighbors: Vec<[Option<usize>; 4]>,
+    /// Per-router state.
+    pub routers: Vec<RouterSnapshot>,
+    /// Per-router receiver-owned wires.
+    pub wires: Vec<WireSnapshot>,
+    /// Per-node traffic endpoints.
+    pub pes: Vec<PeSnapshot>,
+}

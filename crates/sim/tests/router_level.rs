@@ -212,7 +212,7 @@ fn nack_replay_preempts_new_traffic() {
     }
     // NACK for the stream's VC arrives before cycle 5's expiry.
     h.router
-        .handle_nack(Direction::East, out_vc.expect("flits were driven"));
+        .handle_nack(Direction::East, out_vc.expect("flits were driven"), h.now);
     let drives = h.step();
     assert_eq!(drives.len(), 1);
     assert!(drives[0].is_replay, "replay must win the link");

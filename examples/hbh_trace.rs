@@ -59,7 +59,7 @@ fn main() {
         let mut r_act = String::from("-");
 
         if nack_at == Some(now) {
-            sender.on_nack();
+            sender.on_nack(now);
             nack_at = None;
             s_act = "NACK received".into();
         }

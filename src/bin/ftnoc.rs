@@ -23,6 +23,11 @@ fn main() {
             std::process::exit(2);
         }
         Ok(Command::Help) => print!("{HELP}"),
+        Ok(Command::Fuzz {
+            options,
+            repro,
+            failures_out,
+        }) => run_fuzz_command(options, repro, failures_out),
         Ok(Command::Table1) => {
             print!(
                 "{}",
@@ -69,6 +74,64 @@ fn main() {
             }
         }
     }
+}
+
+/// The `ftnoc fuzz` subcommand: replay a single reproducer spec, or run
+/// a sampled campaign sweep with shrinking. Exits non-zero when any
+/// invariant was violated.
+fn run_fuzz_command(
+    options: ftnoc_check::FuzzOptions,
+    repro: Option<String>,
+    failures_out: Option<std::path::PathBuf>,
+) {
+    use ftnoc_check::{run_campaign, run_fuzz, CampaignParams};
+    if let Some(spec) = repro {
+        let params = match CampaignParams::from_spec(&spec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: bad --repro spec: {e}");
+                std::process::exit(2);
+            }
+        };
+        match run_campaign(&params) {
+            Ok(()) => println!("repro: all invariants held for {} cycles", params.cycles),
+            Err(v) => {
+                println!("repro: {v}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    println!(
+        "fuzz: {} campaigns, master seed {:#x}",
+        options.campaigns, options.seed
+    );
+    let report = run_fuzz(&options, &mut |line| println!("{line}"));
+    if report.failures.is_empty() {
+        println!(
+            "fuzz: {} campaigns passed, no invariant violations",
+            report.campaigns_run
+        );
+        return;
+    }
+    if let Some(path) = failures_out {
+        let mut body = String::new();
+        for f in &report.failures {
+            body.push_str(&format!(
+                "campaign {}: {}\nftnoc fuzz --repro \"{}\"\n",
+                f.campaign, f.violation, f.spec
+            ));
+        }
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+        }
+    }
+    eprintln!(
+        "fuzz: {} failure(s) in {} campaigns",
+        report.failures.len(),
+        report.campaigns_run
+    );
+    std::process::exit(1);
 }
 
 /// Runs the simulation, printing interval progress to stderr every

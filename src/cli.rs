@@ -15,6 +15,7 @@ ftnoc — cycle-accurate fault-tolerant NoC simulator (Park et al., DSN 2006)
 
 USAGE:
     ftnoc run [OPTIONS]     simulate and print a run report
+    ftnoc fuzz [OPTIONS]    run invariant-checked fault campaigns
     ftnoc table1            print the Table 1 power/area reproduction
     ftnoc --help            this text
 
@@ -50,6 +51,19 @@ OBSERVABILITY (run):
                         misdelivers)
     --stats-every N     print interval progress to stderr every N cycles
     --report-json       print the run report as a JSON object
+
+OPTIONS (fuzz):
+    --campaigns N       randomized campaigns to run (default 500)
+    --seed N            master seed; campaign i uses RNG stream i (default 0xF70C)
+    --max-failures N    stop after collecting N shrunk failures (default 1)
+    --shrink-budget N   rerun budget for shrinking each failure (default 80)
+    --repro SPEC        replay one campaign from a `k=v,...` reproducer spec
+    --failures-out FILE append shrunk reproducer specs to FILE (CI artifact)
+
+Every campaign is a short simulation whose every cycle is validated by
+the invariant oracle (flit conservation, credit accounting, wormhole
+ordering, allocation exclusivity, deadlock-probe soundness). Failures
+are shrunk to a minimal spec and printed as a replayable command.
 ";
 
 /// A parsed CLI invocation.
@@ -70,6 +84,15 @@ pub enum Command {
         stats_every: u64,
         /// Whether to emit the report as JSON (`--report-json`).
         report_json: bool,
+    },
+    /// Run invariant-checked fault campaigns (`ftnoc fuzz`).
+    Fuzz {
+        /// Fuzzing options (campaign count, master seed, shrink budget).
+        options: ftnoc_check::FuzzOptions,
+        /// Replay this reproducer spec instead of sampling campaigns.
+        repro: Option<String>,
+        /// Append shrunk reproducer specs to this file.
+        failures_out: Option<std::path::PathBuf>,
     },
     /// Print the Table 1 reproduction.
     Table1,
@@ -103,6 +126,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match it.next().map(String::as_str) {
         None | Some("--help") | Some("-h") | Some("help") => return Ok(Command::Help),
         Some("table1") => return Ok(Command::Table1),
+        Some("fuzz") => return parse_fuzz(&mut it),
         Some("run") => {}
         Some(other) => return Err(err(format!("unknown command `{other}`; try --help"))),
     }
@@ -256,6 +280,47 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         flight_recorder,
         stats_every,
         report_json,
+    })
+}
+
+/// Parses the `fuzz` subcommand's flags.
+fn parse_fuzz(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<Command, CliError> {
+    fn value<'a>(
+        it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
+        flag: &str,
+    ) -> Result<&'a str, CliError> {
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| err(format!("{flag} needs a value")))
+    }
+    fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, CliError> {
+        v.parse()
+            .map_err(|_| err(format!("{flag}: cannot parse `{v}`")))
+    }
+    let mut options = ftnoc_check::FuzzOptions::default();
+    let mut repro = None;
+    let mut failures_out = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--campaigns" => options.campaigns = num(value(it, flag)?, flag)?,
+            "--seed" => options.seed = num(value(it, flag)?, flag)?,
+            "--max-failures" => {
+                options.max_failures = num::<usize>(value(it, flag)?, flag)?.max(1);
+            }
+            "--shrink-budget" => options.shrink_budget = num(value(it, flag)?, flag)?,
+            "--repro" => repro = Some(value(it, flag)?.to_string()),
+            "--failures-out" => {
+                failures_out = Some(std::path::PathBuf::from(value(it, flag)?));
+            }
+            other => return Err(err(format!("unknown fuzz flag `{other}`; try --help"))),
+        }
+    }
+    Ok(Command::Fuzz {
+        options,
+        repro,
+        failures_out,
     })
 }
 

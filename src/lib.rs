@@ -19,6 +19,7 @@
 //! | [`power`] | `ftnoc-power` | 90 nm energy/area models, Table 1 |
 //! | [`core`] | `ftnoc-core` | HBH/E2E/FEC schemes, deadlock recovery, AC |
 //! | [`sim`] | `ftnoc-sim` | the cycle-accurate network simulator |
+//! | [`check`] | `ftnoc-check` | cycle-level invariant oracle, fault-campaign fuzzer |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@
 
 pub mod cli;
 
+pub use ftnoc_check as check;
 pub use ftnoc_core as core;
 pub use ftnoc_ecc as ecc;
 pub use ftnoc_fault as fault;

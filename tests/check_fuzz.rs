@@ -1,0 +1,92 @@
+//! End-to-end exercise of the `ftnoc fuzz` campaign runner through the
+//! real binary: a healthy engine survives a capped sweep, and the
+//! deliberately planted credit-skip bug (behind the hidden
+//! `FTNOC_DEMO_SKIP_CREDIT` flag) is caught, shrunk, and reported with
+//! a replayable reproducer.
+
+use std::process::{Command, Output};
+
+/// Campaign budget: debug builds simulate an order of magnitude slower,
+/// so the smoke sweep shrinks with the profile (release CI runs the
+/// full 500 via the `check-smoke` job).
+const CAMPAIGNS: &str = if cfg!(debug_assertions) { "25" } else { "150" };
+
+fn ftnoc(args: &[&str], planted_bug: bool) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ftnoc"));
+    cmd.args(args);
+    // The flag is cached per process, so each invocation chooses.
+    if planted_bug {
+        cmd.env("FTNOC_DEMO_SKIP_CREDIT", "1");
+    } else {
+        cmd.env_remove("FTNOC_DEMO_SKIP_CREDIT");
+    }
+    cmd.output().expect("spawn ftnoc")
+}
+
+/// A capped sweep over the sampled campaign space passes on the real
+/// engine: no invariant violations, exit code 0.
+#[test]
+fn healthy_engine_survives_a_capped_sweep() {
+    let out = ftnoc(&["fuzz", "--campaigns", CAMPAIGNS], false);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "fuzz sweep failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("no invariant violations"),
+        "unexpected output:\n{stdout}"
+    );
+}
+
+/// The planted credit-decrement skip is caught by the oracle, shrunk,
+/// and printed as a reproducer — the acceptance demo for the whole
+/// tooling chain.
+#[test]
+fn planted_credit_bug_is_caught_and_shrunk() {
+    let out = ftnoc(&["fuzz", "--campaigns", CAMPAIGNS], true);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "planted bug escaped the sweep:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("credit"),
+        "violation should name the credit invariant:\n{stdout}"
+    );
+    let spec = stdout
+        .lines()
+        .find_map(|l| {
+            let l = l.trim();
+            l.strip_prefix("reproduce with: ftnoc fuzz --repro \"")
+                .and_then(|rest| rest.strip_suffix('"'))
+        })
+        .unwrap_or_else(|| panic!("no reproducer printed:\n{stdout}"))
+        .to_string();
+
+    // The reproducer replays the violation deterministically...
+    let replay = ftnoc(&["fuzz", "--repro", &spec], true);
+    assert_eq!(
+        replay.status.code(),
+        Some(1),
+        "reproducer did not replay:\n{}",
+        String::from_utf8_lossy(&replay.stdout)
+    );
+    // ...and the same spec is clean once the bug is gone (flag unset).
+    let clean = ftnoc(&["fuzz", "--repro", &spec], false);
+    assert!(
+        clean.status.success(),
+        "spec fails even without the planted bug:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+}
+
+/// A malformed reproducer spec is rejected with exit code 2 (operator
+/// error, not an invariant violation).
+#[test]
+fn malformed_spec_is_rejected() {
+    let out = ftnoc(&["fuzz", "--repro", "w=3,route=warp-drive"], false);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,156 @@
+//! Simulation-level validation of Eq. (1), the §3.2.1 buffer-sizing
+//! theorem, on the adversarial single-VC fully-adaptive mesh that
+//! deadlocks under bursty traffic.
+//!
+//! For uniform nodes the unaligned (Figure 11) form of the bound is
+//! per-node and the ring length cancels: `T + R > M·N_u` with
+//! `N_u = 1 + ⌈(T − M + 1)/M⌉`. At `T = M = 4` that demands `R ≥ 5`.
+//! The engine deliberately survives undersized buffers by re-running
+//! detection rounds (exit-and-reprobe instead of livelock), so "below
+//! the bound" shows up as recovery thrash and — far enough below — as
+//! a workload that no longer drains inside any reasonable budget:
+//!
+//! - `R = 5` (meets the bound): every confirmed deadlock drains in one
+//!   recovery round; the network fully empties after injection stops.
+//! - `R = 4` (one below): still drains, but only through an order of
+//!   magnitude more recovery rounds.
+//! - `R = 3` (the Figure 3 HBH minimum, two below): the knot re-forms
+//!   faster than recovery clears it and packets remain stuck long after
+//!   injection stopped.
+//!
+//! Debug builds run a reduced version (fewer seeds); the full sweep
+//! rides in release CI (see DESIGN.md §11).
+
+use ftnoc_core::deadlock::DeadlockCycleSpec;
+use ftnoc_sim::{DeadlockConfig, RoutingAlgorithm, SimConfig, SimConfigBuilder, Simulator};
+use ftnoc_traffic::InjectionProcess;
+use ftnoc_types::config::RouterConfig;
+use ftnoc_types::geom::Topology;
+
+const BUFFER_DEPTH: usize = 4;
+const FLITS_PER_PACKET: usize = 4;
+/// Smallest uniform retransmission depth meeting the unaligned bound.
+const MIN_SOUND_DEPTH: usize = 5;
+const CYCLES: u64 = 40_000;
+
+/// Seeds whose runs are known to deadlock (recovery actually fires).
+fn seeds() -> &'static [u64] {
+    if cfg!(debug_assertions) {
+        &[1]
+    } else {
+        &[1, 7]
+    }
+}
+
+fn mesh_config(retrans_depth: usize, seed: u64) -> SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .router(
+            RouterConfig::builder()
+                .vcs_per_port(1)
+                .buffer_depth(BUFFER_DEPTH)
+                .flits_per_packet(FLITS_PER_PACKET)
+                .retrans_depth(retrans_depth)
+                .build()
+                .unwrap(),
+        )
+        .routing(RoutingAlgorithm::FullyAdaptive)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(0.25)
+        .seed(seed)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 32,
+        })
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(CYCLES)
+        .stop_injection_after(4_000);
+    b
+}
+
+/// (injected, ejected, deadlocks_confirmed, misdelivered) after the
+/// drain window.
+fn run(retrans_depth: usize, seed: u64) -> (u64, u64, u64, u64) {
+    let config = mesh_config(retrans_depth, seed).build().unwrap();
+    let mut sim = Simulator::new(config);
+    let report = sim.run_cycles(CYCLES);
+    (
+        report.packets_injected,
+        report.packets_ejected,
+        report.errors.deadlocks_confirmed,
+        report.errors.misdelivered,
+    )
+}
+
+/// The static arithmetic behind the sweep: depth 5 meets the unaligned
+/// bound, 4 misses it by one, and the theorem's guarantee is strict.
+#[test]
+fn unaligned_bound_flips_at_depth_five() {
+    for nodes in 2..=12 {
+        let at = DeadlockCycleSpec::uniform(nodes, BUFFER_DEPTH, MIN_SOUND_DEPTH, FLITS_PER_PACKET);
+        let below =
+            DeadlockCycleSpec::uniform(nodes, BUFFER_DEPTH, MIN_SOUND_DEPTH - 1, FLITS_PER_PACKET);
+        assert!(at.recovery_guaranteed_unaligned(), "n={nodes} at bound");
+        assert!(!below.recovery_guaranteed_unaligned(), "n={nodes} below");
+    }
+}
+
+/// At the Eq. (1) minimum the deadlocking workload always drains: every
+/// injected packet is eventually ejected, without misdelivery, and
+/// confirmed deadlocks stay in the single digits (one recovery round
+/// per knot).
+#[test]
+fn at_bound_deadlocks_drain_completely() {
+    for &seed in seeds() {
+        let (injected, ejected, deadlocks, misdelivered) = run(MIN_SOUND_DEPTH, seed);
+        assert!(deadlocks > 0, "seed {seed}: workload no longer deadlocks");
+        assert_eq!(
+            ejected,
+            injected,
+            "seed {seed}: {} packets stuck at the Eq. 1 depth",
+            injected - ejected
+        );
+        assert_eq!(misdelivered, 0, "seed {seed}");
+        assert!(
+            deadlocks <= 10,
+            "seed {seed}: {deadlocks} recovery rounds at a depth that should need one per knot"
+        );
+    }
+}
+
+/// One flit below the bound recovery still converges but only by
+/// re-detecting the same knot over and over: an order of magnitude more
+/// confirmations for the same traffic.
+#[test]
+fn one_below_bound_recovery_thrashes() {
+    for &seed in seeds() {
+        let (injected, ejected, below, _) = run(MIN_SOUND_DEPTH - 1, seed);
+        let (_, _, at, _) = run(MIN_SOUND_DEPTH, seed);
+        assert_eq!(ejected, injected, "seed {seed}: undersized run stuck");
+        assert!(
+            below >= 3 * at.max(1),
+            "seed {seed}: expected recovery thrash below the bound \
+             ({below} confirmations vs {at} at the bound)"
+        );
+    }
+}
+
+/// Far enough below the bound (the Figure 3 HBH minimum of 3) the knot
+/// re-forms faster than recovery clears it: packets remain stuck long
+/// after injection stopped.
+#[test]
+fn far_below_bound_the_network_wedges() {
+    for &seed in seeds() {
+        let (injected, ejected, deadlocks, _) = run(3, seed);
+        assert!(
+            ejected < injected,
+            "seed {seed}: expected a wedged network at depth 3, but all \
+             {injected} packets drained"
+        );
+        assert!(
+            deadlocks > 100,
+            "seed {seed}: wedged run should show unbounded re-detection, saw {deadlocks}"
+        );
+    }
+}

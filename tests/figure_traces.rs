@@ -40,7 +40,7 @@ fn figure4_schedule_is_exact() {
 
     for now in 0u64..10 {
         if nack_at == Some(now) {
-            sender.on_nack();
+            sender.on_nack(now);
         }
         sender.tick(now);
         if let Some((mut f, _)) = wire.take() {

@@ -7,8 +7,11 @@
 //! `ftnoc-sim`'s `network` module docs): the compute phase is
 //! cross-router-pure, so the thread count is purely a wall-clock knob.
 
+use ftnoc_check::Oracle;
 use ftnoc_fault::FaultRates;
-use ftnoc_sim::{DeadlockConfig, RoutingAlgorithm, SimConfig, SimConfigBuilder, Simulator};
+use ftnoc_sim::{
+    DeadlockConfig, Network, RoutingAlgorithm, SimConfig, SimConfigBuilder, Simulator,
+};
 use ftnoc_trace::{MemorySink, Tracer};
 use ftnoc_traffic::InjectionProcess;
 use ftnoc_types::config::RouterConfig;
@@ -104,4 +107,72 @@ fn link_fault_runs_are_thread_count_invariant() {
 #[test]
 fn deadlock_recovery_runs_are_thread_count_invariant() {
     assert_parity("deadlock-recovery", deadlock_recovery, 12_000);
+}
+
+/// Steps the network cycle by cycle, optionally validating every commit
+/// boundary with the invariant oracle, and returns the full JSONL trace.
+fn run_stepped(mut builder: SimConfigBuilder, threads: usize, cycles: u64, oracle: bool) -> String {
+    builder.threads(threads);
+    let config = builder.build().unwrap();
+    let mut checker = oracle.then(|| Oracle::new(&config));
+    let nodes = config.topology.node_count();
+    let mut net = Network::with_tracer(config, Tracer::new(MemorySink::new(), nodes, 0));
+    net.with_stepper(threads, |st| {
+        for _ in 0..cycles {
+            st.step();
+            if let Some(oracle) = checker.as_mut() {
+                oracle
+                    .check(&st.snapshot())
+                    .unwrap_or_else(|v| panic!("oracle violation during parity run: {v}"));
+            }
+        }
+    });
+    net.into_tracer().into_sink().to_jsonl()
+}
+
+/// The oracle is an observer, not a participant: enabling it must leave
+/// the simulation byte-identical — same trace, any thread count. This is
+/// the "zero perturbation" contract that lets fuzz findings transfer
+/// 1:1 to unchecked production runs.
+fn assert_oracle_transparent(name: &str, make: fn(u64) -> SimConfigBuilder, cycles: u64) {
+    for seed in [1u64, 0xF70C] {
+        let plain_1 = run_stepped(make(seed), 1, cycles, false);
+        assert!(
+            plain_1.lines().count() > 50,
+            "{name}/seed {seed}: trace suspiciously short"
+        );
+        for threads in [1usize, 4] {
+            let checked = run_stepped(make(seed), threads, cycles, true);
+            assert_eq!(
+                plain_1, checked,
+                "{name}/seed {seed}: oracle-on @{threads}t trace diverged from oracle-off"
+            );
+        }
+    }
+}
+
+/// Debug builds step an order of magnitude slower; the byte-identity
+/// contract is cycle-for-cycle, so a shorter window loses no coverage
+/// class (release CI runs the full-length windows).
+const fn dbg_capped(cycles: u64) -> u64 {
+    if cfg!(debug_assertions) {
+        cycles / 2
+    } else {
+        cycles
+    }
+}
+
+#[test]
+fn oracle_is_transparent_on_fault_free_runs() {
+    assert_oracle_transparent("fault-free", fault_free, dbg_capped(6_000));
+}
+
+#[test]
+fn oracle_is_transparent_on_link_fault_runs() {
+    assert_oracle_transparent("link-fault", link_fault, dbg_capped(6_000));
+}
+
+#[test]
+fn oracle_is_transparent_on_deadlock_recovery_runs() {
+    assert_oracle_transparent("deadlock-recovery", deadlock_recovery, dbg_capped(12_000));
 }

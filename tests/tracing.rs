@@ -39,7 +39,7 @@ fn deadlock_config() -> SimConfig {
         .routing(RoutingAlgorithm::FullyAdaptive)
         .injection(InjectionProcess::Bernoulli)
         .injection_rate(0.25)
-        .seed(2)
+        .seed(4)
         .deadlock(DeadlockConfig {
             enabled: true,
             cthres: 32,
