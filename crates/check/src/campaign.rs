@@ -16,7 +16,7 @@ use ftnoc_rng::Rng;
 use ftnoc_sim::config::{DeadlockConfig, ErrorScheme, RoutingAlgorithm};
 use ftnoc_sim::{Network, SimConfig};
 use ftnoc_traffic::{InjectionProcess, TrafficPattern};
-use ftnoc_types::config::{PipelineDepth, RouterConfig};
+use ftnoc_types::config::{BufferOrg, PipelineDepth, RouterConfig};
 use ftnoc_types::geom::Topology;
 use ftnoc_types::ConfigError;
 
@@ -68,6 +68,9 @@ pub struct CampaignParams {
     pub cycles: u64,
     /// Compute-phase worker threads.
     pub threads: usize,
+    /// DAMQ shared-pool size in flits per input port (`0` = static
+    /// per-VC partition, the paper's platform).
+    pub damq_pool: usize,
 }
 
 fn pattern_name(p: &TrafficPattern) -> &'static str {
@@ -123,7 +126,7 @@ impl CampaignParams {
             _ => TrafficPattern::Shuffle,
         };
         let cycles = r.gen_range(300..2000u64);
-        CampaignParams {
+        let mut p = CampaignParams {
             width: r.gen_range(2..5u64) as u8,
             height: r.gen_range(2..5u64) as u8,
             vcs: r.gen_range(1..4u64) as usize,
@@ -149,7 +152,19 @@ impl CampaignParams {
             seed: r.next_u64(),
             cycles,
             threads: [1, 1, 1, 2, 4][r.gen_range(0..5usize)],
+            damq_pool: 0,
+        };
+        // The buffer-organisation dimension is drawn last so every
+        // earlier parameter of a given (seed, index) is unchanged from
+        // pre-DAMQ fuzz runs. About a third of campaigns exercise the
+        // shared pool, anywhere from the minimum viable size up to a
+        // little beyond the equal-budget point (vcs × buffer).
+        if r.gen_bool(0.35) {
+            let lo = (p.vcs + 1) as u64;
+            let hi = (p.vcs * p.buffer + 5) as u64;
+            p.damq_pool = r.gen_range(lo..hi) as usize;
         }
+        p
     }
 
     /// Builds the simulator configuration.
@@ -165,6 +180,11 @@ impl CampaignParams {
             .buffer_depth(self.buffer)
             .retrans_depth(self.retrans)
             .pipeline(self.pipeline);
+        if self.damq_pool > 0 {
+            router.buffer_org(BufferOrg::Damq {
+                pool_size: self.damq_pool,
+            });
+        }
         let mut b = SimConfig::builder();
         b.topology(Topology::mesh(self.width, self.height))
             .router(router.build()?)
@@ -205,7 +225,7 @@ impl CampaignParams {
             s,
             "w={},h={},vcs={},buf={},rtx={},pipe={},route={},scheme={},ac={},\
              pat={},proc={},inj={},link={},hs={},rt={},va={},sa={},xbar={},rbuf={},\
-             dl={},cth={},stop={},seed={},cycles={},threads={}",
+             dl={},cth={},stop={},seed={},cycles={},threads={},pool={}",
             self.width,
             self.height,
             self.vcs,
@@ -244,6 +264,7 @@ impl CampaignParams {
             self.seed,
             self.cycles,
             self.threads,
+            self.damq_pool,
         );
         s
     }
@@ -257,6 +278,7 @@ impl CampaignParams {
         // Start from a fixed baseline so a spec may omit fields.
         let mut p = CampaignParams::sample(0, 0);
         p.logic = [0.0; 5];
+        p.damq_pool = 0;
         for item in spec.split(',') {
             let item = item.trim();
             if item.is_empty() {
@@ -328,6 +350,7 @@ impl CampaignParams {
                 "seed" => p.seed = v.parse().map_err(bad!())?,
                 "cycles" => p.cycles = v.parse().map_err(bad!())?,
                 "threads" => p.threads = v.parse().map_err(bad!())?,
+                "pool" => p.damq_pool = v.parse().map_err(bad!())?,
                 _ => return Err(format!("unknown key {k:?}")),
             }
         }
@@ -438,6 +461,7 @@ fn transforms(p: &CampaignParams, v: &Violation) -> Vec<CampaignParams> {
     push(&|c| c.width = c.width.max(3) - 1);
     push(&|c| c.height = c.height.max(3) - 1);
     push(&|c| c.vcs = c.vcs.max(2) - 1);
+    push(&|c| c.damq_pool = 0); // reduce toward the static partition
     push(&|c| c.buffer = c.buffer.max(3) - 1);
     push(&|c| c.retrans = c.retrans.max(4) - 1);
     push(&|c| c.handshake = 0.0);
@@ -448,6 +472,19 @@ fn transforms(p: &CampaignParams, v: &Violation) -> Vec<CampaignParams> {
     push(&|c| c.injection = InjectionProcess::Regular);
     push(&|c| c.rate = (c.rate / 2.0).max(0.05));
     out
+}
+
+/// Coerces every sampled campaign onto one buffer organisation —
+/// lets CI shard its fuzz budget across both organisations with
+/// disjoint, fully-covered halves instead of relying on the sampler's
+/// mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrgFilter {
+    /// Force the static per-VC partition (`damq_pool = 0`).
+    Static,
+    /// Force a DAMQ; campaigns sampled as static get an equal-budget
+    /// pool (`vcs × buffer` flits).
+    Damq,
 }
 
 /// Options for a fuzz run.
@@ -461,6 +498,9 @@ pub struct FuzzOptions {
     pub max_failures: usize,
     /// Rerun budget for shrinking each failure.
     pub shrink_budget: usize,
+    /// Coerce every campaign onto one buffer organisation (`None`
+    /// keeps the sampler's natural static/DAMQ mix).
+    pub org: Option<OrgFilter>,
 }
 
 impl Default for FuzzOptions {
@@ -470,6 +510,7 @@ impl Default for FuzzOptions {
             seed: 0xF70C,
             max_failures: 1,
             shrink_budget: 80,
+            org: None,
         }
     }
 }
@@ -502,7 +543,14 @@ pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(String)) -> FuzzReport {
     // keep the default hook from spraying backtraces over the output.
     let quiet = QuietPanics::install();
     for i in 0..opts.campaigns {
-        let params = CampaignParams::sample(opts.seed, i);
+        let mut params = CampaignParams::sample(opts.seed, i);
+        match opts.org {
+            Some(OrgFilter::Static) => params.damq_pool = 0,
+            Some(OrgFilter::Damq) if params.damq_pool == 0 => {
+                params.damq_pool = params.vcs * params.buffer;
+            }
+            _ => {}
+        }
         report.campaigns_run += 1;
         let Err(first) = run_campaign(&params) else {
             continue;

@@ -28,6 +28,6 @@ pub mod campaign;
 pub mod oracle;
 
 pub use campaign::{
-    run_campaign, run_fuzz, shrink, CampaignParams, Failure, FuzzOptions, FuzzReport,
+    run_campaign, run_fuzz, shrink, CampaignParams, Failure, FuzzOptions, FuzzReport, OrgFilter,
 };
 pub use oracle::{ArmedInvariants, Oracle, Violation};

@@ -21,6 +21,7 @@ use ftnoc_sim::config::ErrorScheme;
 use ftnoc_sim::router::BlockedVcSummary;
 use ftnoc_sim::snapshot::{NetSnapshot, VcStateView};
 use ftnoc_sim::SimConfig;
+use ftnoc_types::config::BufferOrg;
 use ftnoc_types::flit::Flit;
 use ftnoc_types::geom::Direction;
 
@@ -249,6 +250,25 @@ impl Oracle {
                         ));
                     }
                 }
+                // DAMQ reserved-slot floor: counting every empty VC's
+                // reserved slot, the pool can never be oversubscribed —
+                // Σ_v max(len(v), 1) ≤ pool. This is the structural form
+                // of the liveness guarantee that an empty VC can always
+                // accept one flit (wormhole atomicity / §3.2 recovery).
+                if let BufferOrg::Damq { pool_size } = snap.buffer_org {
+                    let floor: usize = port.iter().map(|ivc| ivc.flits.len().max(1)).sum();
+                    if floor > pool_size {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "structural",
+                            format!(
+                                "input port {p} breaks the damq reserved-slot floor: \
+                                 Σ max(len, 1) = {floor} > pool {pool_size}"
+                            ),
+                        ));
+                    }
+                }
             }
             for (p, out) in r.outputs.iter().enumerate() {
                 if out.st_queue.len() > 2 {
@@ -399,12 +419,25 @@ impl Oracle {
         Ok(())
     }
 
-    /// Credit accounting per (node, direction, VC): available credits
-    /// plus every distinct flit holding one (ST queue, on the wire, in
-    /// the downstream buffer) plus credits in flight back can never
-    /// exceed the downstream buffer depth — and equal it exactly in
-    /// fault-free runs. Replay duplicates are deduplicated by flit
-    /// identity: a retransmitted copy shares its original's credit.
+    /// Credit accounting per (node, direction, VC), interpreted per the
+    /// run's buffer organisation.
+    ///
+    /// **Static partition** — available credits plus every distinct
+    /// flit holding one (ST queue, on the wire, in the downstream
+    /// buffer) plus credits in flight back can never exceed the
+    /// downstream buffer depth — and equal it exactly in fault-free
+    /// runs.
+    ///
+    /// **DAMQ** — the snapshot's credit counter is the sender's
+    /// *outstanding* count (flits sent, not yet credited). Every flit
+    /// it covers is either still travelling/resident or has its credit
+    /// in flight back, so `resident + returning ≤ outstanding` — with
+    /// equality in fault-free runs. An under-counted `outstanding`
+    /// (a lost credit decrement or skipped increment) shows up as the
+    /// left side exceeding it.
+    ///
+    /// Replay duplicates are deduplicated by flit identity in both
+    /// organisations: a retransmitted copy shares its original's credit.
     fn check_credits(&self, snap: &NetSnapshot) -> Result<(), Violation> {
         let vcs = snap.vcs_per_port;
         let depth = snap.buffer_depth;
@@ -448,18 +481,40 @@ impl Oracle {
                         .filter(|(cv, _)| usize::from(*cv) == v)
                         .count();
                     let credits = r.outputs[op].vcs[v].credits as usize;
-                    let lhs = credits + seen.len() + pending;
-                    if lhs > depth || (self.arm.credit_exact && lhs != depth) {
-                        return Err(Violation::new(
-                            snap.now,
-                            n,
-                            "credit-accounting",
-                            format!(
-                                "link {d:?} vc {v}: {credits} credits + {} resident + \
-                                 {pending} returning = {lhs}, buffer depth {depth}",
-                                seen.len()
-                            ),
-                        ));
+                    match snap.buffer_org {
+                        BufferOrg::StaticPartition => {
+                            let lhs = credits + seen.len() + pending;
+                            if lhs > depth || (self.arm.credit_exact && lhs != depth) {
+                                return Err(Violation::new(
+                                    snap.now,
+                                    n,
+                                    "credit-accounting",
+                                    format!(
+                                        "link {d:?} vc {v}: {credits} credits + {} resident + \
+                                         {pending} returning = {lhs}, buffer depth {depth}",
+                                        seen.len()
+                                    ),
+                                ));
+                            }
+                        }
+                        BufferOrg::Damq { .. } => {
+                            let accounted = seen.len() + pending;
+                            if accounted > credits
+                                || (self.arm.credit_exact && accounted != credits)
+                            {
+                                return Err(Violation::new(
+                                    snap.now,
+                                    n,
+                                    "credit-accounting",
+                                    format!(
+                                        "link {d:?} vc {v}: {} resident + {pending} \
+                                         returning = {accounted}, but the sender tracks \
+                                         only {credits} outstanding",
+                                        seen.len()
+                                    ),
+                                ));
+                            }
+                        }
                     }
                 }
             }

@@ -6,6 +6,8 @@
 //!
 //! - [`retransmission`]: the transmission FIFO and the 3-deep
 //!   barrel-shifter retransmission buffer of Figure 3;
+//! - [`buffers`]: pluggable input-buffer organisations (static per-VC
+//!   partition vs. DAMQ shared pool) with matching credit ledgers;
 //! - [`hbh`]: the flit-based hop-by-hop retransmission protocol of §3.1
 //!   (sender replay + receiver drop-window, Figure 4);
 //! - [`e2e`]: the end-to-end retransmission baseline (source-side packet
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ac;
+pub mod buffers;
 pub mod deadlock;
 pub mod e2e;
 pub mod fec;
@@ -45,6 +48,9 @@ pub mod recovery;
 pub mod retransmission;
 
 pub use ac::{AcFinding, AllocationComparator, SaEntry, VaEntry, VcRef};
+pub use buffers::{
+    BufferOrganization, CreditLedger, DamqBuffer, PortBuffer, StaticPartitionBuffer,
+};
 pub use hbh::{HbhReceiver, HbhSender, ReceiverVerdict};
 pub use recovery::{recovery_latency, LogicFaultKind};
 pub use retransmission::{RetransmissionBuffer, TransmissionFifo};

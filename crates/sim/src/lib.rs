@@ -53,4 +53,4 @@ pub use engine::Stepper;
 pub use network::{Network, Progress};
 pub use sim::{SimReport, Simulator};
 pub use snapshot::NetSnapshot;
-pub use stats::NetworkStats;
+pub use stats::{NetworkStats, OccupancyHistogram};

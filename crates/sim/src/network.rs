@@ -424,6 +424,7 @@ impl<S: TraceSink> Network<S> {
             retx_occupancy_sum: core.stats.retx_occupancy_sum,
             tx_capacity: core.stats.tx_capacity,
             retx_capacity: core.stats.retx_capacity,
+            port_occupancy: core.stats.port_occupancy,
         }
     }
 
@@ -543,6 +544,7 @@ pub(crate) fn build_snapshot<S: TraceSink>(
         scheme: env.config.scheme,
         vcs_per_port: env.config.router.vcs_per_port(),
         buffer_depth: env.config.router.buffer_depth(),
+        buffer_org: env.config.router.buffer_org(),
         packets_injected: core.packets_injected,
         packets_ejected: core.packets_ejected,
         flits_ejected: core.flits_ejected,
@@ -837,11 +839,14 @@ impl<S: TraceSink> NetCore<S> {
             let mut rx_occ = 0;
             let mut rx_cap = 0;
             for cell in cells {
-                let (a, b, c, d) = cell.lock().unwrap().router.sample_occupancy();
+                let cell = cell.lock().unwrap();
+                let (a, b, c, d) = cell.router.sample_occupancy();
                 tx_occ += a;
                 tx_cap += b;
                 rx_occ += c;
                 rx_cap += d;
+                cell.router
+                    .record_port_occupancy(&mut self.stats.port_occupancy);
             }
             self.stats.tx_occupancy_sum += tx_occ;
             self.stats.retx_occupancy_sum += rx_occ;

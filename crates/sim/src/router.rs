@@ -25,11 +25,11 @@
 use std::collections::VecDeque;
 
 use ftnoc_core::ac::{AllocationComparator, RtEntry, SaEntry, VaEntry, VcRef};
+use ftnoc_core::buffers::{BufferOrganization, CreditLedger, PortBuffer};
 use ftnoc_core::deadlock::probe::ProbeProtocol;
 use ftnoc_core::fec::{FecHop, FecOutcome};
 use ftnoc_core::hbh::{HbhReceiver, HbhSender, ReceiverVerdict};
 use ftnoc_core::recovery::{recovery_latency, LogicFaultKind};
-use ftnoc_core::retransmission::TransmissionFifo;
 use ftnoc_fault::{FaultCounts, FaultInjector};
 use ftnoc_trace::{AcStage, DropReason, TraceEvent};
 use ftnoc_types::config::{PipelineDepth, RouterConfig};
@@ -39,7 +39,7 @@ use ftnoc_types::geom::{Direction, NodeId, Topology};
 use crate::arbiter::RoundRobinArbiter;
 use crate::config::{ErrorScheme, RoutingAlgorithm, SimConfig};
 use crate::routing::{route_candidates, xy_minimal_progress};
-use crate::stats::{ErrorStats, EventCounts};
+use crate::stats::{ErrorStats, EventCounts, OccupancyHistogram};
 
 /// Cached `FTNOC_DEMO_SKIP_CREDIT` flag: a deliberately planted
 /// credit-accounting bug (the SA stage stops decrementing credits) used
@@ -91,10 +91,11 @@ enum VcState {
     },
 }
 
-/// One input virtual channel.
+/// Per-VC control state of one input virtual channel. Flit storage
+/// lives in the owning [`InputPort`]'s [`PortBuffer`] — the buffer
+/// organisation (static partition vs. DAMQ) is a per-port concern.
 #[derive(Debug)]
 struct InputVc {
-    buffer: TransmissionFifo,
     state: VcState,
     receiver: HbhReceiver,
     fec: FecHop,
@@ -105,9 +106,8 @@ struct InputVc {
 }
 
 impl InputVc {
-    fn new(depth: usize) -> Self {
+    fn new() -> Self {
         InputVc {
-            buffer: TransmissionFifo::new(depth),
             state: VcState::Idle,
             receiver: HbhReceiver::new(),
             fec: FecHop::new(),
@@ -118,6 +118,14 @@ impl InputVc {
     }
 }
 
+/// One input port: the organisation-owned flit storage plus per-VC
+/// control state.
+#[derive(Debug)]
+struct InputPort {
+    buffer: PortBuffer,
+    vcs: Vec<InputVc>,
+}
+
 /// A granted flit waiting for its crossbar/link cycle.
 #[derive(Debug, Clone, Copy)]
 struct StEntry {
@@ -126,24 +134,25 @@ struct StEntry {
     execute_at: u64,
 }
 
-/// One output port: per-VC retransmission senders, credits, wormhole
-/// reservations and the switch-traversal queue.
+/// One output port: per-VC retransmission senders, the credit ledger
+/// mirroring the downstream buffer organisation, wormhole reservations
+/// and the switch-traversal queue.
 #[derive(Debug)]
 struct OutputPort {
     exists: bool,
     senders: Vec<HbhSender>,
-    credits: Vec<u32>,
+    credits: CreditLedger,
     /// `allocated[v]` = the input VC currently owning output VC `v`.
     allocated: Vec<Option<(usize, usize)>>,
     st_queue: VecDeque<StEntry>,
 }
 
 impl OutputPort {
-    fn new(exists: bool, vcs: usize, retrans_depth: usize, credits: u32) -> Self {
+    fn new(exists: bool, vcs: usize, retrans_depth: usize, credits: CreditLedger) -> Self {
         OutputPort {
             exists,
             senders: (0..vcs).map(|_| HbhSender::new(retrans_depth)).collect(),
-            credits: vec![credits; vcs],
+            credits,
             allocated: vec![None; vcs],
             st_queue: VecDeque::new(),
         }
@@ -243,7 +252,7 @@ pub struct LinkDrive {
 pub struct Router {
     id: NodeId,
     cfg: RouterConfig,
-    inputs: Vec<Vec<InputVc>>,
+    inputs: Vec<InputPort>,
     outputs: Vec<OutputPort>,
     va_arbiters: Vec<RoundRobinArbiter>,
     sa_in_arbiters: Vec<RoundRobinArbiter>,
@@ -282,7 +291,10 @@ impl Router {
         let v = cfg.vcs_per_port();
         let p = cfg.ports();
         let inputs = (0..p)
-            .map(|_| (0..v).map(|_| InputVc::new(cfg.buffer_depth())).collect())
+            .map(|_| InputPort {
+                buffer: PortBuffer::for_org(cfg.buffer_org(), v, cfg.buffer_depth()),
+                vcs: (0..v).map(|_| InputVc::new()).collect(),
+            })
             .collect();
         let outputs = (0..p)
             .map(|port| {
@@ -292,11 +304,13 @@ impl Router {
                 } else {
                     port_exists[port]
                 };
-                // Ejection is always consumable: effectively infinite credit.
+                // Ejection is always consumable: effectively infinite
+                // credit; cardinal ports mirror the neighbour's input
+                // organisation (uniform across the mesh).
                 let credits = if dir == Direction::Local {
-                    u32::MAX / 2
+                    CreditLedger::unbounded(v)
                 } else {
-                    cfg.buffer_depth() as u32
+                    CreditLedger::for_org(cfg.buffer_org(), v, cfg.buffer_depth())
                 };
                 OutputPort::new(exists, v, cfg.retrans_depth(), credits)
             })
@@ -353,7 +367,7 @@ impl Router {
 
     /// Handles a returned credit from downstream.
     pub fn handle_credit(&mut self, dir: Direction, vc: u8) {
-        self.outputs[dir.index()].credits[vc as usize] += 1;
+        self.outputs[dir.index()].credits.release(vc as usize);
     }
 
     /// Expires retransmission windows; call once per cycle after NACK
@@ -368,7 +382,7 @@ impl Router {
             }
         }
         for port in &mut self.inputs {
-            for vc in port.iter_mut() {
+            for vc in port.vcs.iter_mut() {
                 vc.progressed = false;
             }
         }
@@ -383,7 +397,7 @@ impl Router {
         vc: u8,
         mut flit: Flit,
     ) -> ArrivalAction {
-        let input = &mut self.inputs[dir.index()][vc as usize];
+        let input = &mut self.inputs[dir.index()].vcs[vc as usize];
         match ctx.config.scheme {
             ErrorScheme::Hbh => {
                 self.events.ecc_check += 1;
@@ -415,7 +429,7 @@ impl Router {
             }
             ErrorScheme::E2e | ErrorScheme::Unprotected => {}
         }
-        let pushed = input.buffer.push(flit);
+        let pushed = self.inputs[dir.index()].buffer.push(vc as usize, flit);
         debug_assert!(pushed, "credit flow control violated at {}", self.id);
         self.events.buffer_write += 1;
         ArrivalAction::Accepted
@@ -439,11 +453,11 @@ impl Router {
         for p in 0..ports {
             for v in 0..vcs {
                 let front_info = {
-                    let input = &self.inputs[p][v];
-                    if input.state != VcState::Idle {
+                    let input = &self.inputs[p];
+                    if input.vcs[v].state != VcState::Idle {
                         continue;
                     }
-                    input.buffer.front().copied()
+                    input.buffer.front(v).copied()
                 };
                 let Some(front) = front_info else { continue };
                 if !front.kind.is_head() {
@@ -458,7 +472,7 @@ impl Router {
                             Direction::from_index(p).expect("port")
                         );
                     }
-                    self.inputs[p][v].buffer.pop();
+                    self.inputs[p].buffer.pop(v);
                     self.errors.stranded_flits += 1;
                     self.trace.emit(|| TraceEvent::FlitDropped {
                         packet: front.packet.raw(),
@@ -555,7 +569,7 @@ impl Router {
                     });
                 }
 
-                self.inputs[p][v].state = VcState::VaWait {
+                self.inputs[p].vcs[v].state = VcState::VaWait {
                     candidates,
                     ready_at,
                 };
@@ -590,14 +604,14 @@ impl Router {
         // reservations and waiting heads stay wedged forever.
         for p in 0..ports {
             for v in 0..vcs {
-                if self.inputs[p][v].blocked_cycles < stuck {
+                if self.inputs[p].vcs[v].blocked_cycles < stuck {
                     continue;
                 }
                 // The candidate walk only reads router state, so the
                 // borrow of the waiting VC's candidate list ends before
                 // the takeover commit below — no clone needed.
                 let takeover = {
-                    let VcState::VaWait { ref candidates, .. } = self.inputs[p][v].state else {
+                    let VcState::VaWait { ref candidates, .. } = self.inputs[p].vcs[v].state else {
                         continue;
                     };
                     let mut takeover = None;
@@ -612,7 +626,7 @@ impl Router {
                         for ov in 0..vcs {
                             let stale = match self.outputs[op].allocated[ov] {
                                 Some((ip, iv)) => !matches!(
-                                    self.inputs[ip][iv].state,
+                                    self.inputs[ip].vcs[iv].state,
                                     VcState::Active { out_port, out_vc, .. }
                                         if out_port == op && out_vc == ov
                                 ),
@@ -628,10 +642,10 @@ impl Router {
                 };
                 if let Some((op, ov)) = takeover {
                     if trace_node().is_some_and(|t| t == self.id.index().to_string()) {
-                        eprintln!("cyc {}: {} TAKEOVER in ({p},{v}) head {} -> out ({op},{ov}) old_alloc {:?}", ctx.now, self.id, self.inputs[p][v].buffer.front().map(|f| f.to_string()).unwrap_or_default(), self.outputs[op].allocated[ov]);
+                        eprintln!("cyc {}: {} TAKEOVER in ({p},{v}) head {} -> out ({op},{ov}) old_alloc {:?}", ctx.now, self.id, self.inputs[p].buffer.front(v).map(|f| f.to_string()).unwrap_or_default(), self.outputs[op].allocated[ov]);
                     }
                     self.outputs[op].allocated[ov] = Some((p, v));
-                    self.inputs[p][v].state = VcState::Active {
+                    self.inputs[p].vcs[v].state = VcState::Active {
                         out_port: op,
                         out_vc: ov,
                         sa_ready_at: ctx.now + 1,
@@ -643,10 +657,10 @@ impl Router {
 
         for p in 0..ports {
             for v in 0..vcs {
-                let (op, ov) = match self.inputs[p][v].state {
+                let (op, ov) = match self.inputs[p].vcs[v].state {
                     VcState::Active {
                         out_port, out_vc, ..
-                    } if self.inputs[p][v].blocked_cycles >= stuck && out_vc < vcs => {
+                    } if self.inputs[p].vcs[v].blocked_cycles >= stuck && out_vc < vcs => {
                         (out_port, out_vc)
                     }
                     _ => continue,
@@ -668,10 +682,10 @@ impl Router {
                     if self.outputs[op].senders[ov].buffer().is_full() {
                         break;
                     }
-                    let Some(front) = self.inputs[p][v].buffer.front().copied() else {
+                    let Some(front) = self.inputs[p].buffer.front(v).copied() else {
                         break;
                     };
-                    let flit = self.inputs[p][v].buffer.pop().expect("front exists");
+                    let flit = self.inputs[p].buffer.pop(v).expect("front exists");
                     if trace_node().is_some_and(|t| t == self.id.index().to_string()) {
                         eprintln!(
                             "cyc {}: {} ABSORB {} from ({p},{v}) into out ({op},{ov})",
@@ -680,7 +694,7 @@ impl Router {
                     }
                     let absorbed = self.outputs[op].senders[ov].buffer_mut().absorb(flit);
                     debug_assert!(absorbed);
-                    self.inputs[p][v].progressed = true;
+                    self.inputs[p].vcs[v].progressed = true;
                     self.events.retrans_shift += 1;
                     if let Some(dir) = Direction::from_index(p) {
                         if dir != Direction::Local {
@@ -690,7 +704,7 @@ impl Router {
                     if front.kind.is_tail() {
                         // Whole packet absorbed; the input VC is free. The
                         // output VC stays reserved until the tail is sent.
-                        self.inputs[p][v].state = VcState::Idle;
+                        self.inputs[p].vcs[v].state = VcState::Idle;
                         break;
                     }
                 }
@@ -723,7 +737,7 @@ impl Router {
                 let VcState::VaWait {
                     ref candidates,
                     ready_at,
-                } = self.inputs[p][v].state
+                } = self.inputs[p].vcs[v].state
                 else {
                     continue;
                 };
@@ -878,9 +892,9 @@ impl Router {
                     "cyc {}: {} VA ({p},{v}) head {} -> out ({op},{ov})",
                     ctx.now,
                     self.id,
-                    self.inputs[p][v]
+                    self.inputs[p]
                         .buffer
-                        .front()
+                        .front(v)
                         .map(|f| f.to_string())
                         .unwrap_or_default()
                 );
@@ -892,7 +906,7 @@ impl Router {
                 PipelineDepth::One | PipelineDepth::Two => 0,
                 _ => 1,
             };
-            self.inputs[p][v].state = VcState::Active {
+            self.inputs[p].vcs[v].state = VcState::Active {
                 out_port: op,
                 out_vc: ov,
                 sa_ready_at: ctx.now + sa_gap,
@@ -928,15 +942,15 @@ impl Router {
                     out_port,
                     out_vc,
                     sa_ready_at,
-                } = self.inputs[p][v].state
+                } = self.inputs[p].vcs[v].state
                 else {
                     continue;
                 };
                 if sa_ready_at > ctx.now
                     || out_vc >= vcs
                     || !self.outputs[out_port].exists
-                    || self.inputs[p][v].buffer.is_empty()
-                    || self.outputs[out_port].credits[out_vc] == 0
+                    || self.inputs[p].buffer.is_empty(v)
+                    || !self.outputs[out_port].credits.available(out_vc)
                     || self.outputs[out_port].any_replaying()
                     || self.outputs[out_port].any_held()
                     || self.outputs[out_port].st_queue.len() >= 2
@@ -954,7 +968,7 @@ impl Router {
             if let Some(v) = self.sa_in_arbiters[p].grant(&sc.lines) {
                 if let VcState::Active {
                     out_port, out_vc, ..
-                } = self.inputs[p][v].state
+                } = self.inputs[p].vcs[v].state
                 {
                     sc.port_winner[p] = Some((v, out_port, out_vc));
                 }
@@ -1057,10 +1071,10 @@ impl Router {
             if !self.outputs[op].exists || ov >= vcs {
                 continue;
             }
-            let Some(mut flit) = self.inputs[p][v].buffer.pop() else {
+            let Some(mut flit) = self.inputs[p].buffer.pop(v) else {
                 continue;
             };
-            self.inputs[p][v].progressed = true;
+            self.inputs[p].vcs[v].progressed = true;
             self.events.buffer_read += 1;
             self.events.sa += 1;
             if collide {
@@ -1077,7 +1091,7 @@ impl Router {
                 }
             }
             if !demo_skip_credit() {
-                self.outputs[op].credits[ov] = self.outputs[op].credits[ov].saturating_sub(1);
+                self.outputs[op].credits.consume(ov);
             }
             self.outputs[op].st_queue.push_back(StEntry {
                 flit,
@@ -1088,7 +1102,7 @@ impl Router {
                 if self.outputs[op].allocated[ov] == Some((p, v)) {
                     self.outputs[op].allocated[ov] = None;
                 }
-                self.inputs[p][v].state = VcState::Idle;
+                self.inputs[p].vcs[v].state = VcState::Idle;
             }
         }
         self.scratch = sc;
@@ -1137,7 +1151,7 @@ impl Router {
                         .buffer()
                         .front_held()
                         .is_some()
-                        && self.outputs[port].credits[v] > 0
+                        && self.outputs[port].credits.available(v)
                 }));
                 if sc.lines.iter().any(|&b| b) {
                     let v = self.replay_rr[port].grant(&sc.lines).expect("held VC");
@@ -1145,7 +1159,7 @@ impl Router {
                         .buffer_mut()
                         .send_held(ctx.now)
                     {
-                        self.outputs[port].credits[v] -= 1;
+                        self.outputs[port].credits.consume(v);
                         if flit.kind.is_tail() {
                             // Release the reservation — unless a recovery
                             // takeover already handed this VC to a new
@@ -1155,7 +1169,7 @@ impl Router {
                             let reassigned =
                                 self.outputs[port].allocated[v].is_some_and(|(ip, iv)| {
                                     matches!(
-                                        self.inputs[ip][iv].state,
+                                        self.inputs[ip].vcs[iv].state,
                                         VcState::Active { out_port, out_vc, .. }
                                             if out_port == port && out_vc == v
                                     )
@@ -1258,10 +1272,9 @@ impl Router {
         let mut probe_request = None;
         for p in 0..self.cfg.ports() {
             for v in 0..vcs {
-                let input = &mut self.inputs[p][v];
-                let waiting = !matches!(input.state, VcState::Idle)
-                    && !input.buffer.is_empty()
-                    && !input.progressed;
+                let empty = self.inputs[p].buffer.is_empty(v);
+                let input = &mut self.inputs[p].vcs[v];
+                let waiting = !matches!(input.state, VcState::Idle) && !empty && !input.progressed;
                 if waiting {
                     input.blocked_cycles += 1;
                 } else {
@@ -1278,15 +1291,16 @@ impl Router {
             'outer: for k in 0..total {
                 let idx = (start + k) % total;
                 let (p, v) = (idx / vcs, idx % vcs);
-                let blocked = self.inputs[p][v].blocked_cycles;
-                if blocked < self.probe.cthres() || self.inputs[p][v].probe_cooldown_until > ctx.now
+                let blocked = self.inputs[p].vcs[v].blocked_cycles;
+                if blocked < self.probe.cthres()
+                    || self.inputs[p].vcs[v].probe_cooldown_until > ctx.now
                 {
                     continue;
                 }
                 // The suspected flit's onward dependency: the downstream
                 // VC it streams toward (Active), or the busy output VC a
                 // waiting head needs (VaWait).
-                let edge = match &self.inputs[p][v].state {
+                let edge = match &self.inputs[p].vcs[v].state {
                     VcState::Active {
                         out_port, out_vc, ..
                     } => {
@@ -1305,7 +1319,7 @@ impl Router {
                     self.errors.probes_sent += 1;
                     // Cool down: this VC is not re-suspected until another
                     // Cthres window has passed.
-                    self.inputs[p][v].probe_cooldown_until = ctx.now + self.probe.cthres();
+                    self.inputs[p].vcs[v].probe_cooldown_until = ctx.now + self.probe.cthres();
                     self.probe_scan_offset = (idx + 1) % total;
                     probe_request = Some((dir, named));
                     break 'outer;
@@ -1320,13 +1334,18 @@ impl Router {
         if self.probe.in_recovery() {
             let stuck = self.stuck_threshold(ctx);
             let drained = self.outputs.iter().all(|o| !o.any_held());
-            let unblocked = self
+            let unblocked = self.inputs.iter().all(|port| {
+                port.vcs
+                    .iter()
+                    .enumerate()
+                    .all(|(v, i)| i.blocked_cycles < stuck || port.buffer.is_empty(v))
+            });
+            // Track whether this recovery round is still making progress.
+            if self
                 .inputs
                 .iter()
-                .flatten()
-                .all(|i| i.blocked_cycles < stuck || i.buffer.is_empty());
-            // Track whether this recovery round is still making progress.
-            if self.inputs.iter().flatten().any(|i| i.progressed) {
+                .any(|p| p.vcs.iter().any(|i| i.progressed))
+            {
                 self.recovery_stall = 0;
             } else {
                 self.recovery_stall += 1;
@@ -1357,8 +1376,8 @@ impl Router {
         if p >= self.inputs.len() || v >= vcs {
             return (false, None);
         }
-        let input = &self.inputs[p][v];
-        let blocked = input.blocked_cycles > 0 && !input.buffer.is_empty();
+        let input = &self.inputs[p].vcs[v];
+        let blocked = input.blocked_cycles > 0 && !self.inputs[p].buffer.is_empty(v);
         let forward = match &input.state {
             VcState::Active {
                 out_port, out_vc, ..
@@ -1384,15 +1403,15 @@ impl Router {
         for p in 0..self.cfg.ports() {
             let dir = Direction::from_index(p).expect("port");
             for v in 0..vcs {
-                let i = &self.inputs[p][v];
-                if i.buffer.is_empty() && matches!(i.state, VcState::Idle) {
+                let i = &self.inputs[p].vcs[v];
+                if self.inputs[p].buffer.is_empty(v) && matches!(i.state, VcState::Idle) {
                     continue;
                 }
                 let _ = writeln!(
                     s,
                     "  in {dir}_{v}: buf {}/{} blocked {} state {:?}",
-                    i.buffer.len(),
-                    i.buffer.capacity(),
+                    self.inputs[p].buffer.len(v),
+                    self.inputs[p].buffer.vc_capacity(v),
                     i.blocked_cycles,
                     i.state
                 );
@@ -1407,16 +1426,13 @@ impl Router {
             for v in 0..vcs {
                 let occ = o.senders[v].buffer().occupancy();
                 let held = o.senders[v].buffer().held_count();
-                if occ == 0
-                    && o.allocated[v].is_none()
-                    && o.credits[v] == self.cfg.buffer_depth() as u32
-                {
+                if occ == 0 && o.allocated[v].is_none() && o.credits.is_quiescent(v) {
                     continue;
                 }
                 let _ = writeln!(
                     s,
                     "  out {dir}_{v}: credits {} alloc {:?} retx occ {occ} held {held} stq {}",
-                    o.credits[v],
+                    o.credits.count(v),
                     o.allocated[v],
                     o.st_queue.len()
                 );
@@ -1434,7 +1450,7 @@ impl Router {
             for v in 0..vcs {
                 let named = VcRef::new(Direction::from_index(p).expect("port"), v as u8);
                 let (blocked, fwd) = self.probe_forward_info(named);
-                out.push((named, self.inputs[p][v].blocked_cycles, blocked, fwd));
+                out.push((named, self.inputs[p].vcs[v].blocked_cycles, blocked, fwd));
             }
         }
         out
@@ -1481,10 +1497,10 @@ impl Router {
             if dir == Direction::Local {
                 continue;
             }
-            for v in 0..vcs {
-                tx_occ += self.inputs[p][v].buffer.len() as u64;
-                tx_cap += self.inputs[p][v].buffer.capacity() as u64;
-            }
+            // Whole-port accounting (identical sums for a static
+            // partition; the only meaningful granularity for a DAMQ).
+            tx_occ += self.inputs[p].buffer.occupied() as u64;
+            tx_cap += self.inputs[p].buffer.total_capacity() as u64;
             if self.outputs[p].exists {
                 for v in 0..vcs {
                     rx_occ += self.outputs[p].senders[v].buffer().occupancy() as u64;
@@ -1495,9 +1511,22 @@ impl Router {
         (tx_occ, tx_cap, rx_occ, rx_cap)
     }
 
+    /// Records one fill-level sample per cardinal input port into
+    /// `hist` (the per-port buffer-utilization distribution).
+    pub fn record_port_occupancy(&self, hist: &mut OccupancyHistogram) {
+        for p in 0..self.cfg.ports() {
+            let dir = Direction::from_index(p).expect("port");
+            if dir == Direction::Local {
+                continue;
+            }
+            let buffer = &self.inputs[p].buffer;
+            hist.record(buffer.occupied(), buffer.total_capacity());
+        }
+    }
+
     /// Whether any flit is resident in this router (drain checks).
     pub fn is_drained(&self) -> bool {
-        self.inputs.iter().flatten().all(|i| i.buffer.is_empty())
+        self.inputs.iter().all(|p| p.buffer.occupied() == 0)
             && self.outputs.iter().all(|o| {
                 o.st_queue.is_empty() && o.senders.iter().all(|s| s.buffer().held_count() == 0)
             })
@@ -1505,7 +1534,7 @@ impl Router {
 
     /// Free slots in the local-port VC `v`'s buffer (injection gate).
     pub fn local_free_slots(&self, v: usize) -> usize {
-        self.inputs[Direction::Local.index()][v].buffer.free_slots()
+        self.inputs[Direction::Local.index()].buffer.free_slots(v)
     }
 
     /// Injects a flit from the local PE into local VC `v`.
@@ -1515,7 +1544,7 @@ impl Router {
     /// Panics if the buffer is full — the network must check
     /// [`Router::local_free_slots`] first.
     pub fn inject_local(&mut self, v: usize, flit: Flit) {
-        let pushed = self.inputs[Direction::Local.index()][v].buffer.push(flit);
+        let pushed = self.inputs[Direction::Local.index()].buffer.push(v, flit);
         assert!(pushed, "local injection into a full VC buffer");
         self.events.buffer_write += 1;
     }
@@ -1523,8 +1552,8 @@ impl Router {
     /// The state of local VC `v` for the injection policy: `true` when a
     /// new packet may start on it (idle and empty).
     pub fn local_vc_idle(&self, v: usize) -> bool {
-        let input = &self.inputs[Direction::Local.index()][v];
-        input.state == VcState::Idle && input.buffer.is_empty()
+        let port = &self.inputs[Direction::Local.index()];
+        port.vcs[v].state == VcState::Idle && port.buffer.is_empty(v)
     }
 
     /// A plain-data copy of every architecturally observable piece of
@@ -1539,18 +1568,24 @@ impl Router {
             .inputs
             .iter()
             .map(|port| {
-                port.iter()
-                    .map(|vc| InputVcView {
-                        flits: vc.buffer.iter().copied().collect(),
-                        capacity: vc.buffer.capacity(),
-                        state: match vc.state {
-                            VcState::Idle => VcStateView::Idle,
-                            VcState::VaWait { .. } => VcStateView::VaWait,
-                            VcState::Active {
-                                out_port, out_vc, ..
-                            } => VcStateView::Active { out_port, out_vc },
-                        },
-                        blocked_cycles: vc.blocked_cycles,
+                port.vcs
+                    .iter()
+                    .enumerate()
+                    .map(|(v, vc)| {
+                        let mut flits = Vec::with_capacity(port.buffer.len(v));
+                        port.buffer.extend_flits(v, &mut flits);
+                        InputVcView {
+                            flits,
+                            capacity: port.buffer.vc_capacity(v),
+                            state: match vc.state {
+                                VcState::Idle => VcStateView::Idle,
+                                VcState::VaWait { .. } => VcStateView::VaWait,
+                                VcState::Active {
+                                    out_port, out_vc, ..
+                                } => VcStateView::Active { out_port, out_vc },
+                            },
+                            blocked_cycles: vc.blocked_cycles,
+                        }
                     })
                     .collect()
             })
@@ -1562,7 +1597,7 @@ impl Router {
                 exists: port.exists,
                 vcs: (0..port.senders.len())
                     .map(|v| OutputVcView {
-                        credits: port.credits[v],
+                        credits: port.credits.count(v),
                         allocated: port.allocated[v],
                         sender: SenderView {
                             slots: port.senders[v]

@@ -6,7 +6,7 @@ use ftnoc_trace::{NullSink, TraceSink, Tracer};
 
 use crate::config::SimConfig;
 use crate::network::{Network, Progress};
-use crate::stats::{ErrorStats, EventCounts};
+use crate::stats::{ErrorStats, EventCounts, OccupancyHistogram};
 
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -31,6 +31,10 @@ pub struct SimReport {
     pub tx_utilization: f64,
     /// Mean retransmission-buffer utilization (Figure 9).
     pub retx_utilization: f64,
+    /// Decile histogram of per-port input-buffer fill levels (one
+    /// sample per cardinal input port per measured cycle) — the
+    /// distribution behind the static-vs-DAMQ comparison.
+    pub port_occupancy: OccupancyHistogram,
     /// Event census of the window.
     pub events: EventCounts,
     /// Error-handling census of the window.
@@ -81,6 +85,18 @@ impl SimReport {
             fnum(self.energy_per_packet_nj),
             fnum(self.tx_utilization),
             fnum(self.retx_utilization),
+        );
+        let h = &self.port_occupancy;
+        let deciles = h
+            .buckets()
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(
+            s,
+            ",\"port_occupancy\":{{\"deciles\":[{deciles}],\"samples\":{}}}",
+            h.len(),
         );
         let ev = &self.events;
         let _ = write!(
@@ -258,6 +274,7 @@ impl<S: TraceSink> Simulator<S> {
             energy_per_packet_nj: stats.energy_per_packet(&model).raw(),
             tx_utilization: stats.tx_utilization(),
             retx_utilization: stats.retx_utilization(),
+            port_occupancy: stats.port_occupancy,
             events: stats.events,
             errors: stats.errors,
             faults_injected: self.network.fault_counts(),

@@ -16,6 +16,7 @@
 //! cannot perturb the simulation (oracle-on runs stay byte-identical to
 //! oracle-off runs).
 
+use ftnoc_types::config::BufferOrg;
 use ftnoc_types::flit::Flit;
 use ftnoc_types::geom::NodeId;
 use ftnoc_types::packet::PacketId;
@@ -68,7 +69,11 @@ pub struct SenderView {
 /// One output VC of an output port.
 #[derive(Debug, Clone)]
 pub struct OutputVcView {
-    /// Credits available for the downstream buffer.
+    /// Sender-side credit counter for the downstream buffer. Semantics
+    /// depend on the run's [`NetSnapshot::buffer_org`]: under
+    /// `StaticPartition` this is the *remaining credits* for the VC
+    /// (initially `buffer_depth`), under `Damq` it is the *outstanding
+    /// flit count* (sent but not yet credited back, initially 0).
     pub credits: u32,
     /// The input VC holding this output VC's wormhole reservation.
     pub allocated: Option<(usize, usize)>,
@@ -151,8 +156,14 @@ pub struct NetSnapshot {
     pub scheme: ErrorScheme,
     /// VCs per port.
     pub vcs_per_port: usize,
-    /// Input buffer depth in flits.
+    /// Input buffer depth in flits (per VC, static-partition meaning;
+    /// under a DAMQ this is still the configured depth knob, but pool
+    /// accounting goes through [`NetSnapshot::buffer_org`]).
     pub buffer_depth: usize,
+    /// Input-buffer organisation of every cardinal port — decides how
+    /// the oracle interprets [`OutputVcView::credits`] and per-port
+    /// capacity.
+    pub buffer_org: BufferOrg,
     /// Packets injected since construction.
     pub packets_injected: u64,
     /// Packets ejected since construction.

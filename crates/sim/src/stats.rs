@@ -242,6 +242,67 @@ impl LatencyHistogram {
     }
 }
 
+/// A decile histogram of per-port input-buffer fill levels: bucket `i`
+/// counts samples with `occupied / capacity` in `[i/10, (i+1)/10)`
+/// (a completely full port lands in the last bucket).
+///
+/// One sample is recorded per cardinal input port per measured cycle,
+/// so the shape shows how buffer space is actually used — the figure of
+/// merit for comparing a static per-VC partition against a DAMQ shared
+/// pool at equal flit budget. A static partition at moderate load
+/// typically piles samples into the low deciles (cold VCs dilute the
+/// port average); a DAMQ concentrates the same traffic in fewer slots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OccupancyHistogram {
+    buckets: [u64; 10],
+    count: u64,
+}
+
+impl OccupancyHistogram {
+    /// Records one port sample of `occupied` flits out of `capacity`.
+    pub fn record(&mut self, occupied: usize, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        let idx = (occupied * 10 / capacity).min(9);
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// The ten decile counts, lowest fill first.
+    pub fn buckets(&self) -> &[u64; 10] {
+        &self.buckets
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fraction of samples at or above decile `i` (`0..10`); e.g.
+    /// `frac_at_or_above(9)` is the share of port-cycles ≥ 90 % full.
+    pub fn frac_at_or_above(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let hot: u64 = self.buckets[i.min(9)..].iter().sum();
+        hot as f64 / self.count as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &OccupancyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
 /// Aggregated network statistics for one run's measurement window.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkStats {
@@ -269,6 +330,9 @@ pub struct NetworkStats {
     pub tx_capacity: u64,
     /// Retransmission-buffer capacity sampled per cycle.
     pub retx_capacity: u64,
+    /// Decile histogram of per-port input-buffer fill (one sample per
+    /// cardinal input port per measured cycle).
+    pub port_occupancy: OccupancyHistogram,
 }
 
 impl NetworkStats {
@@ -416,6 +480,26 @@ mod tests {
         let h = LatencyHistogram::new();
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn occupancy_histogram_deciles() {
+        let mut h = OccupancyHistogram::default();
+        h.record(0, 12); // 0 %  → bucket 0
+        h.record(5, 12); // 41 % → bucket 4
+        h.record(11, 12); // 91 % → bucket 9
+        h.record(12, 12); // full → bucket 9 (clamped)
+        h.record(3, 0); // capacity 0: ignored
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[4], 1);
+        assert_eq!(h.buckets()[9], 2);
+        assert!((h.frac_at_or_above(9) - 0.5).abs() < 1e-12);
+        let mut other = OccupancyHistogram::default();
+        other.record(1, 10);
+        h.merge(&other);
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.buckets()[1], 1);
     }
 
     #[test]

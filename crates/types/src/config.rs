@@ -61,6 +61,48 @@ impl PipelineDepth {
     ];
 }
 
+/// Input-buffer organisation of the router's receive side.
+///
+/// The paper's platform statically partitions each input port into
+/// per-VC FIFOs of [`RouterConfig::buffer_depth`] flits. The DAMQ
+/// organisation (dynamically-allocated multi-queue, after Jamali &
+/// Khademzadeh) instead shares one per-port flit pool between the
+/// port's VCs, with **one slot reserved per VC** so an empty VC can
+/// always accept a header flit — preserving deadlock-recovery liveness
+/// and wormhole progress even when hot VCs monopolise the shared slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BufferOrg {
+    /// Statically-partitioned per-VC FIFOs, `buffer_depth` flits each
+    /// (the paper's platform; the default).
+    #[default]
+    StaticPartition,
+    /// Per-input-port shared pool with per-VC logical queues and one
+    /// reserved slot per VC.
+    Damq {
+        /// Total flit slots in the per-port pool (reserved + shared).
+        pool_size: usize,
+    },
+}
+
+impl BufferOrg {
+    /// Total flit slots per input port under this organisation.
+    pub const fn port_slots(self, vcs: usize, buffer_depth: usize) -> usize {
+        match self {
+            BufferOrg::StaticPartition => vcs * buffer_depth,
+            BufferOrg::Damq { pool_size } => pool_size,
+        }
+    }
+
+    /// Most flits a single VC can ever hold: its static depth, or the
+    /// whole pool minus the other VCs' reserved slots.
+    pub const fn vc_capacity(self, vcs: usize, buffer_depth: usize) -> usize {
+        match self {
+            BufferOrg::StaticPartition => buffer_depth,
+            BufferOrg::Damq { pool_size } => pool_size - (vcs - 1),
+        }
+    }
+}
+
 /// Static configuration of one router (and, by replication, the network).
 ///
 /// Construct via [`RouterConfig::builder`]; [`RouterConfig::default`]
@@ -89,6 +131,7 @@ pub struct RouterConfig {
     flits_per_packet: usize,
     pipeline: PipelineDepth,
     link_width_bits: u32,
+    buffer_org: BufferOrg,
 }
 
 impl RouterConfig {
@@ -136,6 +179,25 @@ impl RouterConfig {
     pub const fn link_width_bits(&self) -> u32 {
         self.link_width_bits
     }
+
+    /// Input-buffer organisation of the receive side.
+    pub const fn buffer_org(&self) -> BufferOrg {
+        self.buffer_org
+    }
+
+    /// Total input-buffer slots per port under the configured
+    /// organisation.
+    pub const fn port_buffer_slots(&self) -> usize {
+        self.buffer_org
+            .port_slots(self.vcs_per_port, self.buffer_depth)
+    }
+
+    /// Most flits a single input VC can ever hold under the configured
+    /// organisation.
+    pub const fn vc_buffer_capacity(&self) -> usize {
+        self.buffer_org
+            .vc_capacity(self.vcs_per_port, self.buffer_depth)
+    }
 }
 
 impl Default for RouterConfig {
@@ -154,6 +216,7 @@ pub struct RouterConfigBuilder {
     retrans_depth: usize,
     flits_per_packet: usize,
     pipeline: PipelineDepth,
+    buffer_org: BufferOrg,
 }
 
 impl RouterConfigBuilder {
@@ -165,6 +228,7 @@ impl RouterConfigBuilder {
             retrans_depth: MIN_RETRANS_DEPTH,
             flits_per_packet: 4,
             pipeline: PipelineDepth::Three,
+            buffer_org: BufferOrg::StaticPartition,
         }
     }
 
@@ -198,6 +262,12 @@ impl RouterConfigBuilder {
         self
     }
 
+    /// Sets the input-buffer organisation.
+    pub fn buffer_org(&mut self, org: BufferOrg) -> &mut Self {
+        self.buffer_org = org;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -221,6 +291,18 @@ impl RouterConfigBuilder {
         if self.flits_per_packet == 0 || self.flits_per_packet > 256 {
             return Err(ConfigError::InvalidPacketLength(self.flits_per_packet));
         }
+        if let BufferOrg::Damq { pool_size } = self.buffer_org {
+            // One reserved slot per VC plus at least one shared slot —
+            // a pool without sharing is strictly worse than a static
+            // partition and defeats the organisation's purpose.
+            let minimum = self.vcs_per_port + 1;
+            if pool_size < minimum || pool_size > 1024 {
+                return Err(ConfigError::InvalidDamqPool {
+                    requested: pool_size,
+                    minimum,
+                });
+            }
+        }
         Ok(RouterConfig {
             ports: MESH_PORTS,
             vcs_per_port: self.vcs_per_port,
@@ -229,6 +311,7 @@ impl RouterConfigBuilder {
             flits_per_packet: self.flits_per_packet,
             pipeline: self.pipeline,
             link_width_bits: crate::flit::FLIT_TOTAL_BITS,
+            buffer_org: self.buffer_org,
         })
     }
 }
@@ -313,6 +396,45 @@ mod tests {
         assert!(PipelineDepth::Three.uses_lookahead_routing());
         assert!(!PipelineDepth::Four.uses_lookahead_routing());
         assert_eq!(PipelineDepth::ALL.len(), 4);
+    }
+
+    #[test]
+    fn default_buffer_org_is_static() {
+        let cfg = RouterConfig::default();
+        assert_eq!(cfg.buffer_org(), BufferOrg::StaticPartition);
+        assert_eq!(cfg.port_buffer_slots(), 12);
+        assert_eq!(cfg.vc_buffer_capacity(), 4);
+    }
+
+    #[test]
+    fn damq_capacity_accounting() {
+        let cfg = RouterConfig::builder()
+            .buffer_org(BufferOrg::Damq { pool_size: 12 })
+            .build()
+            .unwrap();
+        // 3 VCs: 12-slot pool, each VC may grow to 12 − 2 = 10 flits.
+        assert_eq!(cfg.port_buffer_slots(), 12);
+        assert_eq!(cfg.vc_buffer_capacity(), 10);
+    }
+
+    #[test]
+    fn builder_rejects_undersized_damq_pool() {
+        let err = RouterConfig::builder()
+            .buffer_org(BufferOrg::Damq { pool_size: 3 })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidDamqPool {
+                requested: 3,
+                minimum: 4
+            }
+        );
+        let err = RouterConfig::builder()
+            .buffer_org(BufferOrg::Damq { pool_size: 2048 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidDamqPool { .. }));
     }
 
     #[test]

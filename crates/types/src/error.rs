@@ -21,6 +21,14 @@ pub enum ConfigError {
     },
     /// Packet length outside `1..=256`.
     InvalidPacketLength(usize),
+    /// DAMQ pool too small for one reserved slot per VC plus a shared
+    /// slot, or above the 1024-slot sanity cap.
+    InvalidDamqPool {
+        /// Requested pool size in flits.
+        requested: usize,
+        /// Minimum required pool size (`vcs_per_port + 1`).
+        minimum: usize,
+    },
     /// Injection rate outside `(0, 1]` flits/node/cycle.
     InvalidInjectionRate(f64),
 }
@@ -40,6 +48,11 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidPacketLength(n) => {
                 write!(f, "packet length {n} outside 1..=256")
             }
+            ConfigError::InvalidDamqPool { requested, minimum } => write!(
+                f,
+                "damq pool size {requested} outside {minimum}..=1024 \
+                 (one reserved slot per VC plus at least one shared slot)"
+            ),
             ConfigError::InvalidInjectionRate(r) => {
                 write!(f, "injection rate {r} outside (0, 1] flits/node/cycle")
             }
@@ -65,6 +78,11 @@ mod tests {
             }
             .to_string(),
             ConfigError::InvalidPacketLength(0).to_string(),
+            ConfigError::InvalidDamqPool {
+                requested: 2,
+                minimum: 4,
+            }
+            .to_string(),
             ConfigError::InvalidInjectionRate(1.5).to_string(),
         ];
         for msg in msgs {

@@ -6,7 +6,7 @@
 use ftnoc_fault::FaultRates;
 use ftnoc_sim::{DeadlockConfig, ErrorScheme, RoutingAlgorithm, SimConfig};
 use ftnoc_traffic::TrafficPattern;
-use ftnoc_types::config::{PipelineDepth, RouterConfig};
+use ftnoc_types::config::{BufferOrg, PipelineDepth, RouterConfig};
 use ftnoc_types::geom::{NodeId, Topology, TopologyKind};
 
 /// The `--help` text.
@@ -33,6 +33,12 @@ OPTIONS (run):
     --no-ac             disable the Allocation Comparator
     --vcs N             virtual channels per port (default 3)
     --buffer N          per-VC buffer depth in flits (default 4)
+    --buffer-org O      static | damq — input-buffer organisation
+                        (default static: private per-VC FIFOs; damq:
+                        per-port shared flit pool with one reserved
+                        slot per VC)
+    --damq-pool N       DAMQ pool size in flits per input port
+                        (default vcs × buffer — the equal-budget pool)
     --retrans N         retransmission-buffer depth (default 3)
     --pipeline N        router pipeline stages 1-4 (default 3)
     --packet-len N      flits per packet (default 4)
@@ -59,6 +65,9 @@ OPTIONS (fuzz):
     --shrink-budget N   rerun budget for shrinking each failure (default 80)
     --repro SPEC        replay one campaign from a `k=v,...` reproducer spec
     --failures-out FILE append shrunk reproducer specs to FILE (CI artifact)
+    --org O             static | damq — coerce every campaign onto one
+                        buffer organisation (CI shards its budget across
+                        both; default: the sampler's natural mix)
 
 Every campaign is a short simulation whose every cycle is validated by
 the invariant oracle (flit conservation, credit accounting, wormhole
@@ -140,6 +149,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut ac = true;
     let mut vcs = 3usize;
     let mut buffer = 4usize;
+    let mut damq = false;
+    let mut damq_pool: Option<usize> = None;
     let mut retrans = 3usize;
     let mut pipeline = PipelineDepth::Three;
     let mut packet_len = 4usize;
@@ -220,6 +231,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--no-ac" => ac = false,
             "--vcs" => vcs = num(value(&mut it, flag)?, flag)?,
             "--buffer" => buffer = num(value(&mut it, flag)?, flag)?,
+            "--buffer-org" => {
+                damq = match value(&mut it, flag)? {
+                    "static" => false,
+                    "damq" => true,
+                    v => return Err(err(format!("--buffer-org expects static|damq, got `{v}`"))),
+                }
+            }
+            "--damq-pool" => damq_pool = Some(num(value(&mut it, flag)?, flag)?),
             "--retrans" => retrans = num(value(&mut it, flag)?, flag)?,
             "--pipeline" => {
                 pipeline = match value(&mut it, flag)? {
@@ -247,12 +266,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 
     let topology =
         Topology::try_new(topo.0, topo.1, topo.2).map_err(|e| err(format!("--topology: {e}")))?;
-    let router = RouterConfig::builder()
+    if damq_pool.is_some() && !damq {
+        return Err(err("--damq-pool requires --buffer-org damq"));
+    }
+    let mut router_b = RouterConfig::builder();
+    router_b
         .vcs_per_port(vcs)
         .buffer_depth(buffer)
         .retrans_depth(retrans)
         .flits_per_packet(packet_len)
-        .pipeline(pipeline)
+        .pipeline(pipeline);
+    if damq {
+        router_b.buffer_org(BufferOrg::Damq {
+            pool_size: damq_pool.unwrap_or(vcs * buffer),
+        });
+    }
+    let router = router_b
         .build()
         .map_err(|e| err(format!("router config: {e}")))?;
     let mut b = SimConfig::builder();
@@ -313,6 +342,13 @@ fn parse_fuzz(
             "--repro" => repro = Some(value(it, flag)?.to_string()),
             "--failures-out" => {
                 failures_out = Some(std::path::PathBuf::from(value(it, flag)?));
+            }
+            "--org" => {
+                options.org = match value(it, flag)? {
+                    "static" => Some(ftnoc_check::OrgFilter::Static),
+                    "damq" => Some(ftnoc_check::OrgFilter::Damq),
+                    v => return Err(err(format!("--org expects static|damq, got `{v}`"))),
+                }
             }
             other => return Err(err(format!("unknown fuzz flag `{other}`; try --help"))),
         }
@@ -438,6 +474,62 @@ mod tests {
         assert_eq!(config.threads, 4);
         let e = parse(&args("run --threads banana")).unwrap_err();
         assert!(e.0.contains("--threads"), "{e}");
+    }
+
+    #[test]
+    fn buffer_org_flags_parse() {
+        use ftnoc_types::config::BufferOrg;
+        let Command::Run { config, .. } = parse(&args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(config.router.buffer_org(), BufferOrg::StaticPartition);
+
+        // Equal-budget default pool: vcs × buffer.
+        let Command::Run { config, .. } =
+            parse(&args("run --vcs 2 --buffer 5 --buffer-org damq")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            config.router.buffer_org(),
+            BufferOrg::Damq { pool_size: 10 }
+        );
+
+        let Command::Run { config, .. } =
+            parse(&args("run --buffer-org damq --damq-pool 16")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            config.router.buffer_org(),
+            BufferOrg::Damq { pool_size: 16 }
+        );
+
+        let e = parse(&args("run --buffer-org hybrid")).unwrap_err();
+        assert!(e.0.contains("static|damq"), "{e}");
+        let e = parse(&args("run --damq-pool 8")).unwrap_err();
+        assert!(e.0.contains("--buffer-org damq"), "{e}");
+        // Pool below vcs + 1 is rejected by the router-config validator.
+        let e = parse(&args("run --vcs 3 --buffer-org damq --damq-pool 2")).unwrap_err();
+        assert!(e.0.contains("router config"), "{e}");
+    }
+
+    #[test]
+    fn fuzz_org_filter_parses() {
+        let Command::Fuzz { options, .. } = parse(&args("fuzz")).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(options.org, None);
+        let Command::Fuzz { options, .. } = parse(&args("fuzz --org damq")).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(options.org, Some(ftnoc_check::OrgFilter::Damq));
+        let Command::Fuzz { options, .. } = parse(&args("fuzz --org static")).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(options.org, Some(ftnoc_check::OrgFilter::Static));
+        let e = parse(&args("fuzz --org hybrid")).unwrap_err();
+        assert!(e.0.contains("static|damq"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Buffer-organisation matrix: both organisations (statically
+//! partitioned per-VC FIFOs and the DAMQ shared pool) must survive the
+//! adversarial single-VC fully-adaptive workload across all four router
+//! pipeline organisations, with deadlock recovery enabled.
+//!
+//! The workload is the §3.2.1 deadlocker from `eq1_sizing.rs`: at the
+//! Eq. (1) retransmission depth every confirmed deadlock drains, so a
+//! sound organisation ends the run with every injected packet ejected
+//! and zero misdeliveries. A DAMQ that mishandled its shared-pool
+//! credits or starved a VC of its reserved slot would either wedge
+//! (ejected < injected) or corrupt delivery — both asserted against.
+//!
+//! The multi-VC test exercises the part static partitioning never
+//! stresses: several logical queues competing for one pool while the
+//! deadlock-recovery probes (§3.2) thread through them.
+
+use std::process::Command;
+
+use ftnoc_sim::{DeadlockConfig, RoutingAlgorithm, SimConfig, SimReport, Simulator};
+use ftnoc_traffic::InjectionProcess;
+use ftnoc_types::config::{BufferOrg, PipelineDepth, RouterConfig};
+use ftnoc_types::geom::Topology;
+
+const BUFFER_DEPTH: usize = 4;
+const FLITS_PER_PACKET: usize = 4;
+/// Eq. (1) minimum retransmission depth for the single-VC mesh.
+const SOUND_DEPTH: usize = 5;
+const CYCLES: u64 = 30_000;
+const SEED: u64 = 1;
+
+fn run(org: BufferOrg, vcs: usize, pipeline: PipelineDepth, rate: f64) -> SimReport {
+    let mut router = RouterConfig::builder();
+    router
+        .vcs_per_port(vcs)
+        .buffer_depth(BUFFER_DEPTH)
+        .flits_per_packet(FLITS_PER_PACKET)
+        .retrans_depth(SOUND_DEPTH)
+        .pipeline(pipeline)
+        .buffer_org(org);
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .router(router.build().unwrap())
+        .routing(RoutingAlgorithm::FullyAdaptive)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(rate)
+        .seed(SEED)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 32,
+        })
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(CYCLES)
+        .stop_injection_after(3_000);
+    let mut sim = Simulator::new(b.build().unwrap());
+    sim.run_cycles(CYCLES)
+}
+
+/// Equal-budget organisations for a given VC count: the static
+/// partition's total slots, re-pooled.
+fn orgs(vcs: usize) -> [(&'static str, BufferOrg); 2] {
+    [
+        ("static", BufferOrg::StaticPartition),
+        (
+            "damq",
+            BufferOrg::Damq {
+                pool_size: vcs * BUFFER_DEPTH,
+            },
+        ),
+    ]
+}
+
+/// Both organisations drain the single-VC deadlocker under recovery at
+/// every pipeline depth: no stuck packets, no misdelivery.
+#[test]
+fn matrix_orgs_by_pipeline_depth_drain_under_recovery() {
+    for (name, org) in orgs(1) {
+        let mut confirmed = 0;
+        for pipeline in PipelineDepth::ALL {
+            let r = run(org, 1, pipeline, 0.25);
+            confirmed += r.errors.deadlocks_confirmed;
+            assert_eq!(
+                r.packets_ejected,
+                r.packets_injected,
+                "{name}/{pipeline:?}: {} packets stuck",
+                r.packets_injected - r.packets_ejected
+            );
+            assert_eq!(r.errors.misdelivered, 0, "{name}/{pipeline:?}");
+        }
+        // Some pipeline depths reshuffle timing enough to dodge the
+        // knot; the matrix as a whole must still exercise recovery.
+        assert!(
+            confirmed > 0,
+            "{name}: no pipeline depth ever confirmed a deadlock"
+        );
+    }
+}
+
+/// Multi-VC DAMQ under sustained load: four logical queues share one
+/// pool while recovery probes thread through it. Delivery must stay
+/// exact and the per-port occupancy histogram must have sampled.
+#[test]
+fn damq_multi_vc_probe_soundness_under_load() {
+    for pool in [BUFFER_DEPTH * 4, BUFFER_DEPTH * 2 + 1] {
+        let r = run(
+            BufferOrg::Damq { pool_size: pool },
+            4,
+            PipelineDepth::Three,
+            0.30,
+        );
+        assert_eq!(
+            r.packets_ejected,
+            r.packets_injected,
+            "pool {pool}: {} packets stuck",
+            r.packets_injected - r.packets_ejected
+        );
+        assert_eq!(r.errors.misdelivered, 0, "pool {pool}");
+        assert!(
+            !r.port_occupancy.is_empty(),
+            "pool {pool}: occupancy histogram never sampled"
+        );
+    }
+}
+
+/// The fuzz campaign space extended with the DAMQ dimension stays clean
+/// at the CI smoke budget, for both organisation filters.
+#[test]
+fn fuzz_smoke_is_clean_for_both_orgs() {
+    let campaigns = if cfg!(debug_assertions) { "15" } else { "100" };
+    for org in ["static", "damq"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_ftnoc"))
+            .args(["fuzz", "--campaigns", campaigns, "--org", org])
+            .env_remove("FTNOC_DEMO_SKIP_CREDIT")
+            .output()
+            .expect("spawn ftnoc");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "--org {org} sweep failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            stdout.contains("no invariant violations"),
+            "--org {org}: unexpected output:\n{stdout}"
+        );
+    }
+}

@@ -24,7 +24,7 @@
 use ftnoc_core::deadlock::DeadlockCycleSpec;
 use ftnoc_sim::{DeadlockConfig, RoutingAlgorithm, SimConfig, SimConfigBuilder, Simulator};
 use ftnoc_traffic::InjectionProcess;
-use ftnoc_types::config::RouterConfig;
+use ftnoc_types::config::{BufferOrg, RouterConfig};
 use ftnoc_types::geom::Topology;
 
 const BUFFER_DEPTH: usize = 4;
@@ -43,6 +43,10 @@ fn seeds() -> &'static [u64] {
 }
 
 fn mesh_config(retrans_depth: usize, seed: u64) -> SimConfigBuilder {
+    mesh_config_org(retrans_depth, seed, BufferOrg::StaticPartition)
+}
+
+fn mesh_config_org(retrans_depth: usize, seed: u64, org: BufferOrg) -> SimConfigBuilder {
     let mut b = SimConfig::builder();
     b.topology(Topology::mesh(4, 4))
         .router(
@@ -51,6 +55,7 @@ fn mesh_config(retrans_depth: usize, seed: u64) -> SimConfigBuilder {
                 .buffer_depth(BUFFER_DEPTH)
                 .flits_per_packet(FLITS_PER_PACKET)
                 .retrans_depth(retrans_depth)
+                .buffer_org(org)
                 .build()
                 .unwrap(),
         )
@@ -132,6 +137,45 @@ fn one_below_bound_recovery_thrashes() {
             below >= 3 * at.max(1),
             "seed {seed}: expected recovery thrash below the bound \
              ({below} confirmations vs {at} at the bound)"
+        );
+    }
+}
+
+/// Eq. (1) reasons about total buffering, not about how the slots are
+/// partitioned: a single-VC DAMQ whose pool equals the static depth
+/// reproduces both regimes. At the bound every knot drains in one
+/// recovery round; at the Figure 3 HBH minimum the network wedges.
+#[test]
+fn damq_pool_reproduces_both_eq1_regimes() {
+    let damq = BufferOrg::Damq {
+        pool_size: BUFFER_DEPTH,
+    };
+    for &seed in seeds() {
+        let config = mesh_config_org(MIN_SOUND_DEPTH, seed, damq)
+            .build()
+            .unwrap();
+        let report = {
+            let mut sim = Simulator::new(config);
+            sim.run_cycles(CYCLES)
+        };
+        assert!(
+            report.errors.deadlocks_confirmed > 0,
+            "seed {seed}: DAMQ workload no longer deadlocks"
+        );
+        assert_eq!(
+            report.packets_ejected, report.packets_injected,
+            "seed {seed}: DAMQ run stuck at the Eq. 1 depth"
+        );
+        assert_eq!(report.errors.misdelivered, 0, "seed {seed}");
+
+        let config = mesh_config_org(3, seed, damq).build().unwrap();
+        let report = {
+            let mut sim = Simulator::new(config);
+            sim.run_cycles(CYCLES)
+        };
+        assert!(
+            report.packets_ejected < report.packets_injected,
+            "seed {seed}: expected the DAMQ network to wedge at depth 3"
         );
     }
 }
