@@ -1,0 +1,144 @@
+//! The reproducible perf baseline for the batched fault-campaign
+//! runner: times identical campaign sweeps serially and on the worker
+//! pool, per buffer organisation, and writes the results as
+//! `BENCH_campaigns.json`.
+//!
+//! ```sh
+//! cargo run -p ftnoc-bench --bin campaign_throughput --release            # full
+//! cargo run -p ftnoc-bench --bin campaign_throughput --release -- --smoke # CI
+//! cargo run -p ftnoc-bench --bin campaign_throughput --release -- \
+//!     --out target/BENCH_campaigns.json
+//! ```
+//!
+//! Every (org, threads) cell runs the *same* plan — same master seed,
+//! same campaign count — so the runner's determinism contract (see
+//! `tests/campaign_parity.rs`) makes the cells directly comparable:
+//! only wall time may change with the thread count, never the report.
+//! The host's `available_parallelism` is recorded alongside; on a
+//! single-core host the honest expectation is ~1.0x, and the numbers
+//! published in EXPERIMENTS.md come from exactly such a host.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ftnoc_check::{CampaignPlan, NullObserver, OrgFilter};
+
+/// Thread counts timed per organisation.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// One timed cell of the sweep.
+struct Cell {
+    org: &'static str,
+    threads: usize,
+    campaigns: u64,
+    wall_secs: f64,
+    campaigns_per_sec: f64,
+    failures: usize,
+}
+
+fn org_of(name: &'static str) -> Option<OrgFilter> {
+    match name {
+        "static" => Some(OrgFilter::Static),
+        "damq" => Some(OrgFilter::Damq),
+        _ => None,
+    }
+}
+
+/// Times one full sweep of `campaigns` campaigns (best of `reps` runs).
+fn run_cell(org: &'static str, threads: usize, campaigns: u64, reps: u32) -> Cell {
+    let mut best_wall = f64::INFINITY;
+    let mut failures = 0;
+    for _ in 0..reps {
+        let plan = CampaignPlan::new()
+            .campaigns(campaigns)
+            .master_seed(0xF70C)
+            .org(org_of(org))
+            .threads(threads);
+        let t = Instant::now();
+        let report = plan.runner().run(&mut NullObserver);
+        let wall = t.elapsed().as_secs_f64();
+        failures = report.failures.len();
+        best_wall = best_wall.min(wall);
+    }
+    Cell {
+        org,
+        threads,
+        campaigns,
+        wall_secs: best_wall,
+        campaigns_per_sec: campaigns as f64 / best_wall,
+        failures,
+    }
+}
+
+fn json_report(cells: &[Cell], cores: usize, smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"campaign_throughput\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"threads_swept\": [{}],",
+        THREADS.map(|t| t.to_string()).join(", ")
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"org\": \"{}\", \"threads\": {}, \"campaigns\": {}, \
+             \"wall_secs\": {:.6}, \"campaigns_per_sec\": {:.1}, \
+             \"failures\": {}}}",
+            c.org, c.threads, c.campaigns, c.wall_secs, c.campaigns_per_sec, c.failures
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_campaigns.json".to_string());
+
+    let (campaigns, reps) = if smoke { (60, 1) } else { (400, 3) };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "campaign_throughput: 2 orgs x {:?} threads, {campaigns} campaigns/cell \
+         (best of {reps}), {cores} core(s) available",
+        THREADS
+    );
+
+    let mut cells = Vec::new();
+    for org in ["static", "damq"] {
+        let mut serial_wall = None;
+        for &threads in &THREADS {
+            let cell = run_cell(org, threads, campaigns, reps);
+            let speedup = serial_wall.map_or(1.0, |s: f64| s / cell.wall_secs);
+            if threads == 1 {
+                serial_wall = Some(cell.wall_secs);
+            }
+            eprintln!(
+                "  {:<8} threads {}: {:>7.1} campaigns/s  {:.3}s wall  \
+                 {} failure(s)  ({speedup:.2}x vs serial)",
+                cell.org, cell.threads, cell.campaigns_per_sec, cell.wall_secs, cell.failures
+            );
+            cells.push(cell);
+        }
+    }
+
+    let json = json_report(&cells, cores, smoke);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

@@ -367,11 +367,24 @@ fn pipeline_from(depth: u64) -> PipelineDepth {
     }
 }
 
-/// Runs one campaign under the oracle. `Ok` means every cycle passed;
-/// a panic anywhere in the engine (e.g. a violated `debug_assert!`) is
-/// converted into a `"panic"` violation rather than aborting the fuzz
-/// run.
-pub fn run_campaign(params: &CampaignParams) -> Result<(), Violation> {
+impl CampaignParams {
+    /// Runs this campaign under the oracle. `Ok` means every cycle
+    /// passed; a panic anywhere in the engine (e.g. a violated
+    /// `debug_assert!`) is converted into a `"panic"` violation rather
+    /// than aborting the caller.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Violation`] the oracle observed (or the converted
+    /// panic payload).
+    pub fn check(&self) -> Result<(), Violation> {
+        run_campaign(self)
+    }
+}
+
+/// Runs one campaign under the oracle (the body of
+/// [`CampaignParams::check`]).
+pub(crate) fn run_campaign(params: &CampaignParams) -> Result<(), Violation> {
     let config = match params.to_config() {
         Ok(c) => c,
         Err(e) => {
@@ -414,31 +427,53 @@ pub fn run_campaign(params: &CampaignParams) -> Result<(), Violation> {
     }
 }
 
+/// One kept shrink reduction (for [`crate::FuzzEvent::ShrinkStep`]).
+#[derive(Debug, Clone)]
+pub(crate) struct ShrinkStepRec {
+    /// Campaign reruns consumed when the reduction was accepted.
+    pub reruns: usize,
+    /// Violation observed on the reduced parameters.
+    pub violation: Violation,
+    /// Reduced reproducer spec.
+    pub spec: String,
+}
+
 /// Greedily shrinks failing campaign parameters: each transform is kept
 /// only if the failure still reproduces, and passes repeat until a
 /// fixpoint (or the rerun budget runs out). Returns the smallest
-/// failing parameters and their violation.
-pub fn shrink(params: &CampaignParams, budget: usize) -> (CampaignParams, Violation) {
+/// failing parameters, their violation, and the trace of kept
+/// reductions. Pure: depends only on `params` and `budget`, so every
+/// thread of the batched runner shrinks a given failure identically.
+pub(crate) fn shrink(
+    params: &CampaignParams,
+    budget: usize,
+) -> (CampaignParams, Violation, Vec<ShrinkStepRec>) {
     let mut best = params.clone();
     let mut violation = run_campaign(&best).expect_err("shrink requires a failing campaign");
+    let mut steps = Vec::new();
     let mut runs = 0usize;
     loop {
         let mut improved = false;
         let candidates: Vec<CampaignParams> = transforms(&best, &violation);
         for cand in candidates {
             if runs >= budget {
-                return (best, violation);
+                return (best, violation, steps);
             }
             runs += 1;
             if let Err(v) = run_campaign(&cand) {
                 best = cand;
                 violation = v;
+                steps.push(ShrinkStepRec {
+                    reruns: runs,
+                    violation: violation.clone(),
+                    spec: best.to_spec(),
+                });
                 improved = true;
                 break;
             }
         }
         if !improved || runs >= budget {
-            return (best, violation);
+            return (best, violation, steps);
         }
     }
 }
@@ -487,113 +522,14 @@ pub enum OrgFilter {
     Damq,
 }
 
-/// Options for a fuzz run.
-#[derive(Debug, Clone)]
-pub struct FuzzOptions {
-    /// Number of campaigns to run.
-    pub campaigns: u64,
-    /// Master seed (campaign `i` uses RNG stream `i` of this seed).
-    pub seed: u64,
-    /// Maximum failures to collect before stopping (≥ 1).
-    pub max_failures: usize,
-    /// Rerun budget for shrinking each failure.
-    pub shrink_budget: usize,
-    /// Coerce every campaign onto one buffer organisation (`None`
-    /// keeps the sampler's natural static/DAMQ mix).
-    pub org: Option<OrgFilter>,
-}
-
-impl Default for FuzzOptions {
-    fn default() -> Self {
-        FuzzOptions {
-            campaigns: 500,
-            seed: 0xF70C,
-            max_failures: 1,
-            shrink_budget: 80,
-            org: None,
+/// Applies an [`OrgFilter`] to freshly sampled parameters (shared by
+/// the serial and batched execution paths, so both coerce identically).
+pub(crate) fn apply_org_filter(params: &mut CampaignParams, org: Option<OrgFilter>) {
+    match org {
+        Some(OrgFilter::Static) => params.damq_pool = 0,
+        Some(OrgFilter::Damq) if params.damq_pool == 0 => {
+            params.damq_pool = params.vcs * params.buffer;
         }
-    }
-}
-
-/// One collected (and shrunk) failure.
-#[derive(Debug, Clone)]
-pub struct Failure {
-    /// Index of the campaign that failed.
-    pub campaign: u64,
-    /// Violation observed on the shrunk parameters.
-    pub violation: Violation,
-    /// Shrunk reproducer spec (feed to `ftnoc fuzz --repro`).
-    pub spec: String,
-}
-
-/// Result of a fuzz run.
-#[derive(Debug, Clone, Default)]
-pub struct FuzzReport {
-    /// Campaigns executed.
-    pub campaigns_run: u64,
-    /// Collected failures (shrunk).
-    pub failures: Vec<Failure>,
-}
-
-/// Runs `opts.campaigns` sampled campaigns, shrinking every failure.
-/// `log` receives human-readable progress lines.
-pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(String)) -> FuzzReport {
-    let mut report = FuzzReport::default();
-    // Campaigns legitimately convert engine panics into violations;
-    // keep the default hook from spraying backtraces over the output.
-    let quiet = QuietPanics::install();
-    for i in 0..opts.campaigns {
-        let mut params = CampaignParams::sample(opts.seed, i);
-        match opts.org {
-            Some(OrgFilter::Static) => params.damq_pool = 0,
-            Some(OrgFilter::Damq) if params.damq_pool == 0 => {
-                params.damq_pool = params.vcs * params.buffer;
-            }
-            _ => {}
-        }
-        report.campaigns_run += 1;
-        let Err(first) = run_campaign(&params) else {
-            continue;
-        };
-        log(format!("campaign {i}/{}: FAILED — {first}", opts.campaigns));
-        log(format!("  unshrunk spec: {}", params.to_spec()));
-        let (small, violation) = shrink(&params, opts.shrink_budget);
-        let spec = small.to_spec();
-        log(format!("  shrunk to: {violation}"));
-        log(format!("  reproduce with: ftnoc fuzz --repro \"{spec}\""));
-        report.failures.push(Failure {
-            campaign: i,
-            violation,
-            spec,
-        });
-        if report.failures.len() >= opts.max_failures {
-            break;
-        }
-    }
-    drop(quiet);
-    report
-}
-
-/// The previously installed panic hook, restored on drop.
-type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
-
-/// RAII guard that swaps in a no-op panic hook.
-struct QuietPanics {
-    prev: Option<PanicHook>,
-}
-
-impl QuietPanics {
-    fn install() -> Self {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        QuietPanics { prev: Some(prev) }
-    }
-}
-
-impl Drop for QuietPanics {
-    fn drop(&mut self) {
-        if let Some(prev) = self.prev.take() {
-            std::panic::set_hook(prev);
-        }
+        _ => {}
     }
 }

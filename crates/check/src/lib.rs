@@ -6,28 +6,49 @@
 //! uphold: flit conservation across links and buffers, per-VC credit
 //! accounting, wormhole ordering, allocation exclusivity (the §4 AC
 //! symptom classes), HBH go-back-N replay equivalence, and soundness of
-//! the §3.2.2 deadlock probes. [`run_fuzz`] drives thousands of short
-//! randomized simulations across the configuration space, checking the
-//! oracle every cycle and shrinking any failure to a minimal,
-//! replayable reproducer spec.
+//! the §3.2.2 deadlock probes. A [`CampaignPlan`] describes a fuzz run
+//! — thousands of short randomized simulations across the configuration
+//! space, checking the oracle every cycle — and its [`CampaignRunner`]
+//! executes it serially or batched across a worker pool, shrinking any
+//! failure to a minimal, replayable reproducer spec. The report (and
+//! the [`FuzzEvent`] stream observers receive) is identical at any
+//! thread count.
 //!
 //! # Examples
 //!
+//! Replaying a single reproducer spec:
+//!
 //! ```
-//! use ftnoc_check::{run_campaign, CampaignParams};
+//! use ftnoc_check::CampaignParams;
 //!
 //! let params = CampaignParams::from_spec("w=3,h=3,scheme=hbh,link=0.01,cycles=400,seed=7")?;
-//! run_campaign(&params).expect("invariants hold");
+//! params.check().expect("invariants hold");
 //! # Ok::<(), String>(())
+//! ```
+//!
+//! Sweeping sampled campaigns on a worker pool:
+//!
+//! ```
+//! use ftnoc_check::{CampaignPlan, NullObserver};
+//!
+//! let report = CampaignPlan::new()
+//!     .campaigns(4)
+//!     .threads(2)
+//!     .runner()
+//!     .run(&mut NullObserver);
+//! assert_eq!(report.campaigns_run, 4);
+//! assert!(report.failures.is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod observer;
 pub mod oracle;
+pub mod runner;
 
-pub use campaign::{
-    run_campaign, run_fuzz, shrink, CampaignParams, Failure, FuzzOptions, FuzzReport, OrgFilter,
-};
+pub use campaign::{CampaignParams, OrgFilter};
+pub use observer::{FuzzEvent, FuzzObserver, LineRenderer, MemoryObserver, NullObserver};
 pub use oracle::{ArmedInvariants, Oracle, Violation};
+pub use runner::{CampaignPlan, CampaignRunner, Failure, FuzzReport};

@@ -1,0 +1,160 @@
+//! Typed progress events for fuzz runs.
+//!
+//! The old API handed consumers a `&mut dyn FnMut(String)` log callback,
+//! which forced the CLI, CI artifacts and tests to parse the same
+//! free-form strings. [`FuzzObserver`] replaces it: the runner emits
+//! structured [`FuzzEvent`]s and every consumer — terminal rendering,
+//! `--failures-out` artifacts, parity tests — interprets the same typed
+//! stream.
+//!
+//! Events are always delivered in **campaign-index order**, whatever the
+//! runner's thread count: the batched scheduler completes campaigns out
+//! of order but buffers their outcomes and replays them in order (see
+//! [`crate::runner`]). An observer therefore sees the exact same event
+//! sequence at `--threads 1` and `--threads 16`.
+
+use crate::oracle::Violation;
+
+/// One structured progress event of a fuzz run.
+///
+/// Owned (no borrowed payloads): the batched runner records events on
+/// worker threads and replays them on the aggregation thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzEvent {
+    /// Campaign `index` of `total` is about to execute (in replay
+    /// order; under the batched runner the campaign has in fact already
+    /// finished when this is delivered).
+    CampaignStarted {
+        /// Campaign index (the RNG stream of the master seed).
+        index: u64,
+        /// Total campaigns planned.
+        total: u64,
+    },
+    /// Campaign `index` completed with every invariant intact.
+    CampaignPassed {
+        /// Campaign index.
+        index: u64,
+    },
+    /// Campaign `index` violated an invariant (pre-shrink).
+    ViolationFound {
+        /// Campaign index.
+        index: u64,
+        /// The violation as first observed.
+        violation: Violation,
+        /// The unshrunk reproducer spec.
+        spec: String,
+    },
+    /// A shrink transform was kept: the failure still reproduces on a
+    /// strictly smaller configuration.
+    ShrinkStep {
+        /// Campaign index being shrunk.
+        index: u64,
+        /// Campaign reruns consumed so far (of the shrink budget).
+        reruns: usize,
+        /// The violation observed on the reduced parameters.
+        violation: Violation,
+        /// The reduced reproducer spec.
+        spec: String,
+    },
+    /// Shrinking finished: the minimal reproducer for campaign `index`.
+    FailureShrunk {
+        /// Campaign index.
+        index: u64,
+        /// The violation on the minimal parameters.
+        violation: Violation,
+        /// The minimal reproducer spec (feed to `ftnoc fuzz --repro`).
+        spec: String,
+    },
+    /// The run is over.
+    Summary {
+        /// Campaigns executed (≤ planned when failures stopped the run).
+        campaigns_run: u64,
+        /// Failures collected.
+        failures: usize,
+    },
+}
+
+/// Consumes the typed event stream of a fuzz run.
+pub trait FuzzObserver {
+    /// Receives one event. Events arrive in campaign-index order.
+    fn on_event(&mut self, event: &FuzzEvent);
+}
+
+/// Ignores every event (benchmarks, quiet CI sweeps).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl FuzzObserver for NullObserver {
+    fn on_event(&mut self, _event: &FuzzEvent) {}
+}
+
+/// Any closure over `&FuzzEvent` is an observer.
+impl<F: FnMut(&FuzzEvent)> FuzzObserver for F {
+    fn on_event(&mut self, event: &FuzzEvent) {
+        self(event)
+    }
+}
+
+/// Collects every event (tests, programmatic analysis).
+#[derive(Debug, Default)]
+pub struct MemoryObserver {
+    /// The events, in delivery (campaign-index) order.
+    pub events: Vec<FuzzEvent>,
+}
+
+impl MemoryObserver {
+    /// An empty collector.
+    pub fn new() -> Self {
+        MemoryObserver::default()
+    }
+}
+
+impl FuzzObserver for MemoryObserver {
+    fn on_event(&mut self, event: &FuzzEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Renders events as the `ftnoc fuzz` terminal lines via a line sink
+/// (the CLI's stdout printer; also reused by output-parity tests).
+///
+/// The rendering is byte-stable across thread counts because the event
+/// stream itself is.
+pub struct LineRenderer<F: FnMut(&str)> {
+    total: u64,
+    emit: F,
+}
+
+impl<F: FnMut(&str)> LineRenderer<F> {
+    /// A renderer forwarding each formatted line to `emit`.
+    pub fn new(emit: F) -> Self {
+        LineRenderer { total: 0, emit }
+    }
+}
+
+impl<F: FnMut(&str)> FuzzObserver for LineRenderer<F> {
+    fn on_event(&mut self, event: &FuzzEvent) {
+        match event {
+            FuzzEvent::CampaignStarted { total, .. } => self.total = *total,
+            FuzzEvent::CampaignPassed { .. } | FuzzEvent::ShrinkStep { .. } => {}
+            FuzzEvent::ViolationFound {
+                index,
+                violation,
+                spec,
+            } => {
+                (self.emit)(&format!(
+                    "campaign {index}/{}: FAILED — {violation}",
+                    self.total
+                ));
+                (self.emit)(&format!("  unshrunk spec: {spec}"));
+            }
+            FuzzEvent::FailureShrunk {
+                violation, spec, ..
+            } => {
+                (self.emit)(&format!("  shrunk to: {violation}"));
+                (self.emit)(&format!("  reproduce with: ftnoc fuzz --repro \"{spec}\""));
+            }
+            FuzzEvent::Summary { .. } => {}
+        }
+    }
+}

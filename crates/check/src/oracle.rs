@@ -26,7 +26,7 @@ use ftnoc_types::flit::Flit;
 use ftnoc_types::geom::Direction;
 
 /// A violated invariant, with enough context to debug the failure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Cycle at which the violation was observed (snapshot `now`).
     pub cycle: u64,

@@ -11,7 +11,16 @@
 //! cross-router-pure (see the determinism argument in
 //! [`crate::network`]), any thread count produces byte-identical
 //! results at the same seed.
+//!
+//! Panics are part of that contract: a compute-phase panic on a worker
+//! (a violated `debug_assert!` under fault fuzzing, say) is caught,
+//! parked, and replayed on the calling thread after the cycle's `done`
+//! barrier — never a deadlocked barrier, and always the panic the
+//! serial schedule would have raised, so callers like the fuzz
+//! campaign runner can `catch_unwind` the whole run and get identical
+//! payloads at any thread count.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -32,6 +41,14 @@ struct CycleSync {
     now: AtomicU64,
     /// Shutdown flag checked by workers right after `start`.
     stop: AtomicBool,
+    /// One slot per worker holding a compute-phase panic caught this
+    /// cycle. Workers must reach `done` even when a router panics (a
+    /// violated `debug_assert!`, a poisoned cell lock), or the main
+    /// thread would park on the barrier forever; instead the panic is
+    /// parked here and the main thread replays the lowest-indexed slot
+    /// after `done` — which is the panic the serial schedule would have
+    /// hit first, so the payload is identical at any thread count.
+    panics: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
 }
 
 /// Releases the worker pool on drop (normal exit *and* unwinding), so a
@@ -73,6 +90,12 @@ impl<S: TraceSink> Stepper<'_, S> {
                 sync.now.store(now, Ordering::Release);
                 sync.start.wait();
                 sync.done.wait();
+                for slot in &sync.panics {
+                    let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(payload) = slot.take() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
             }
         }
         self.core.commit(self.env, self.cells, now);
@@ -132,6 +155,7 @@ impl<S: TraceSink> Network<S> {
             done: Barrier::new(threads + 1),
             now: AtomicU64::new(core.now),
             stop: AtomicBool::new(false),
+            panics: (0..threads).map(|_| Mutex::new(None)).collect(),
         };
         let env: &RunEnv = env;
         let cells: &[Mutex<RouterCell>] = cells;
@@ -147,8 +171,13 @@ impl<S: TraceSink> Network<S> {
                         break;
                     }
                     let now = sync.now.load(Ordering::Acquire);
-                    for cell in &cells[lo..hi] {
-                        compute_cell(env, &mut cell.lock().unwrap(), now);
+                    let compute = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for cell in &cells[lo..hi] {
+                            compute_cell(env, &mut cell.lock().unwrap(), now);
+                        }
+                    }));
+                    if let Err(payload) = compute {
+                        *sync.panics[t].lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
                     }
                     sync.done.wait();
                 });
@@ -215,6 +244,22 @@ mod tests {
         assert_eq!(sa.events, sb.events);
         assert_eq!(sa.errors, sb.errors);
         assert_eq!(a.latency_percentiles(), b.latency_percentiles());
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let mut net = Network::new(config());
+        // Poison a cell lock so the worker that owns it panics inside
+        // its compute phase (`lock().unwrap()`), as a violated
+        // debug-assert in router logic would.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = net.cells[0].lock().unwrap();
+            panic!("poison the cell");
+        }));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.with_stepper(2, |st| st.step())
+        }));
+        assert!(caught.is_err(), "worker panic must surface, not deadlock");
     }
 
     #[test]

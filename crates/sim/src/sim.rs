@@ -379,6 +379,14 @@ mod tests {
         // §3.2 machinery — and fully drains with it, provided the
         // retransmission buffers satisfy the Eq. (1) worst case
         // (T + R > 2M for unaligned packets: R ≥ 6 here).
+        //
+        // Seed 1 is one of the workloads `tests/eq1_sizing.rs` pins as
+        // reliably deadlocking: without recovery it wedges with ~90% of
+        // the traffic stuck (449/4965 delivered at the PR 5 engine).
+        // Seed-sensitive dynamics have shifted across engine fixes
+        // before (PR 3's NACK-window change let the old seed-2 run
+        // drain on its own); if this wedge ever heals, re-probe seeds
+        // the way eq1_sizing.rs does rather than weakening the assert.
         use crate::config::DeadlockConfig;
         use ftnoc_traffic::InjectionProcess;
         use ftnoc_types::config::RouterConfig;
@@ -398,7 +406,7 @@ mod tests {
                 .routing(RoutingAlgorithm::FullyAdaptive)
                 .injection(InjectionProcess::Bernoulli)
                 .injection_rate(0.25)
-                .seed(2)
+                .seed(1)
                 .deadlock(DeadlockConfig {
                     enabled: recovery,
                     cthres: 32,

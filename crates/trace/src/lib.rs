@@ -2,7 +2,8 @@
 //!
 //! A zero-dependency tracing substrate: cycle-stamped structured events
 //! ([`TraceEvent`]/[`TraceRecord`]), pluggable compile-time-dispatched
-//! sinks ([`TraceSink`]: [`NullSink`], [`MemorySink`], [`JsonlSink`]),
+//! sinks ([`TraceSink`]: [`NullSink`], [`MemorySink`], [`JsonlSink`],
+//! and the non-blocking bounded-queue [`AsyncSink`] wrapper),
 //! bounded per-router [`FlightRecorder`] rings for post-mortem dumps,
 //! and [`SpanCollector`] per-packet lifecycle spans with latency
 //! attribution.
@@ -36,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod async_sink;
 pub mod event;
 pub mod recorder;
 pub mod sink;
 pub mod span;
 
+pub use async_sink::{AsyncSink, OverflowPolicy};
 pub use event::{AcStage, DropReason, TraceEvent, TraceRecord};
 pub use recorder::FlightRecorder;
 pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};

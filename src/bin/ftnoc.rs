@@ -11,8 +11,8 @@
 
 use ftnoc::cli::{parse, Command, HELP};
 use ftnoc_power::EnergyModel;
-use ftnoc_sim::{Progress, SimReport, Simulator};
-use ftnoc_trace::{JsonlSink, TraceSink, Tracer};
+use ftnoc_sim::{Progress, SimConfig, SimReport, Simulator};
+use ftnoc_trace::{AsyncSink, JsonlSink, OverflowPolicy, TraceSink, Tracer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,10 +24,10 @@ fn main() {
         }
         Ok(Command::Help) => print!("{HELP}"),
         Ok(Command::Fuzz {
-            options,
+            plan,
             repro,
             failures_out,
-        }) => run_fuzz_command(options, repro, failures_out),
+        }) => run_fuzz_command(plan, repro, failures_out),
         Ok(Command::Table1) => {
             print!(
                 "{}",
@@ -38,6 +38,9 @@ fn main() {
             config,
             profile,
             trace,
+            trace_async,
+            trace_queue,
+            trace_policy,
             flight_recorder,
             stats_every,
             report_json,
@@ -52,18 +55,23 @@ fn main() {
                             std::process::exit(2);
                         }
                     };
-                    let nodes = config.topology.node_count();
-                    let mut sim =
-                        Simulator::with_tracer(config, Tracer::new(sink, nodes, flight_recorder));
-                    let report = run_observed(&mut sim, stats_every);
-                    let mut tracer = sim.into_tracer();
-                    tracer.flush();
-                    // Post-mortem: a wedged or misdelivering run dumps the
-                    // per-router flight recorders for offline diagnosis.
-                    if !report.completed || report.errors.misdelivered > 0 {
-                        dump_flight_recorders(&tracer);
+                    if trace_async {
+                        let sink = AsyncSink::new(sink, trace_queue, trace_policy);
+                        let (report, tracer) =
+                            run_traced(config, sink, flight_recorder, stats_every);
+                        let (_, dropped) = tracer.into_sink().finish();
+                        // Lossy traces are never silent: the drop policy
+                        // always reports its count.
+                        if trace_policy == OverflowPolicy::Drop {
+                            eprintln!(
+                                "trace: {dropped} record(s) dropped by the bounded queue \
+                                 (--trace-queue {trace_queue}, --trace-policy drop)"
+                            );
+                        }
+                        report
+                    } else {
+                        run_traced(config, sink, flight_recorder, stats_every).0
                     }
-                    report
                 }
                 None => run_observed(&mut Simulator::new(config), stats_every),
             };
@@ -76,15 +84,43 @@ fn main() {
     }
 }
 
+/// Runs a traced simulation with flight recorders, dumping them on a
+/// wedged or misdelivering run. Generic over the sink so the sync and
+/// async trace paths share one body.
+fn run_traced<S: TraceSink>(
+    config: SimConfig,
+    sink: S,
+    flight_recorder: usize,
+    stats_every: u64,
+) -> (SimReport, Tracer<S>) {
+    let nodes = config.topology.node_count();
+    let mut sim = Simulator::with_tracer(config, Tracer::new(sink, nodes, flight_recorder));
+    let report = run_observed(&mut sim, stats_every);
+    let mut tracer = sim.into_tracer();
+    tracer.flush();
+    // Post-mortem: a wedged or misdelivering run dumps the per-router
+    // flight recorders for offline diagnosis.
+    if !report.completed || report.errors.misdelivered > 0 {
+        dump_flight_recorders(&tracer);
+    }
+    (report, tracer)
+}
+
 /// The `ftnoc fuzz` subcommand: replay a single reproducer spec, or run
-/// a sampled campaign sweep with shrinking. Exits non-zero when any
+/// a sampled campaign sweep with shrinking (batched across worker
+/// threads when `--threads` asks for it). Exits non-zero when any
 /// invariant was violated.
+///
+/// Everything printed here is derived from the runner's in-order
+/// [`ftnoc_check::FuzzEvent`] stream and the aggregated report, so the
+/// terminal output and the `--failures-out` bytes are identical at any
+/// thread count.
 fn run_fuzz_command(
-    options: ftnoc_check::FuzzOptions,
+    plan: ftnoc_check::CampaignPlan,
     repro: Option<String>,
     failures_out: Option<std::path::PathBuf>,
 ) {
-    use ftnoc_check::{run_campaign, run_fuzz, CampaignParams};
+    use ftnoc_check::{CampaignParams, LineRenderer};
     if let Some(spec) = repro {
         let params = match CampaignParams::from_spec(&spec) {
             Ok(p) => p,
@@ -93,7 +129,7 @@ fn run_fuzz_command(
                 std::process::exit(2);
             }
         };
-        match run_campaign(&params) {
+        match params.check() {
             Ok(()) => println!("repro: all invariants held for {} cycles", params.cycles),
             Err(v) => {
                 println!("repro: {v}");
@@ -104,9 +140,10 @@ fn run_fuzz_command(
     }
     println!(
         "fuzz: {} campaigns, master seed {:#x}",
-        options.campaigns, options.seed
+        plan.campaigns, plan.seed
     );
-    let report = run_fuzz(&options, &mut |line| println!("{line}"));
+    let mut renderer = LineRenderer::new(|line: &str| println!("{line}"));
+    let report = plan.runner().run(&mut renderer);
     if report.failures.is_empty() {
         println!(
             "fuzz: {} campaigns passed, no invariant violations",
@@ -115,14 +152,7 @@ fn run_fuzz_command(
         return;
     }
     if let Some(path) = failures_out {
-        let mut body = String::new();
-        for f in &report.failures {
-            body.push_str(&format!(
-                "campaign {}: {}\nftnoc fuzz --repro \"{}\"\n",
-                f.campaign, f.violation, f.spec
-            ));
-        }
-        if let Err(e) = std::fs::write(&path, body) {
+        if let Err(e) = std::fs::write(&path, report.failures_artifact()) {
             eprintln!("error: cannot write {}: {e}", path.display());
         }
     }

@@ -52,6 +52,13 @@ OPTIONS (run):
 
 OBSERVABILITY (run):
     --trace FILE        stream a cycle-stamped JSONL event trace to FILE
+    --trace-async       move trace I/O onto a writer thread behind a
+                        bounded queue so emission never stalls the sim
+                        hot loop (JSONL bytes stay identical)
+    --trace-queue N     bounded queue capacity in records (default 4096)
+    --trace-policy P    block | drop — behaviour when the queue is full
+                        (default block: lossless backpressure; drop:
+                        discard and count, the count is reported)
     --flight-recorder N per-router post-mortem ring capacity (default 256;
                         dumped to stderr when a traced run wedges or
                         misdelivers)
@@ -61,6 +68,9 @@ OBSERVABILITY (run):
 OPTIONS (fuzz):
     --campaigns N       randomized campaigns to run (default 500)
     --seed N            master seed; campaign i uses RNG stream i (default 0xF70C)
+    --threads N         campaign worker threads (default 1; the report,
+                        terminal output and --failures-out bytes are
+                        identical at any thread count)
     --max-failures N    stop after collecting N shrunk failures (default 1)
     --shrink-budget N   rerun budget for shrinking each failure (default 80)
     --repro SPEC        replay one campaign from a `k=v,...` reproducer spec
@@ -87,6 +97,13 @@ pub enum Command {
         profile: bool,
         /// JSONL event-trace destination (`--trace`).
         trace: Option<std::path::PathBuf>,
+        /// Route trace I/O through the bounded-queue writer thread
+        /// (`--trace-async`).
+        trace_async: bool,
+        /// Bounded trace-queue capacity in records (`--trace-queue`).
+        trace_queue: usize,
+        /// Full-queue behaviour for the async trace (`--trace-policy`).
+        trace_policy: ftnoc_trace::OverflowPolicy,
         /// Per-router flight-recorder capacity (with `--trace`).
         flight_recorder: usize,
         /// Interval-progress period in cycles (`--stats-every`, 0 = off).
@@ -96,8 +113,8 @@ pub enum Command {
     },
     /// Run invariant-checked fault campaigns (`ftnoc fuzz`).
     Fuzz {
-        /// Fuzzing options (campaign count, master seed, shrink budget).
-        options: ftnoc_check::FuzzOptions,
+        /// The campaign plan (count, master seed, budgets, threads).
+        plan: ftnoc_check::CampaignPlan,
         /// Replay this reproducer spec instead of sampling campaigns.
         repro: Option<String>,
         /// Append shrunk reproducer specs to this file.
@@ -161,6 +178,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut threads = 1usize;
     let mut profile = false;
     let mut trace: Option<std::path::PathBuf> = None;
+    let mut trace_async = false;
+    let mut trace_queue = 4096usize;
+    let mut trace_policy = ftnoc_trace::OverflowPolicy::Block;
     let mut flight_recorder = 256usize;
     let mut stats_every = 0u64;
     let mut report_json = false;
@@ -257,6 +277,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--threads" => threads = num(value(&mut it, flag)?, flag)?,
             "--profile" => profile = true,
             "--trace" => trace = Some(std::path::PathBuf::from(value(&mut it, flag)?)),
+            "--trace-async" => trace_async = true,
+            "--trace-queue" => trace_queue = num(value(&mut it, flag)?, flag)?,
+            "--trace-policy" => {
+                trace_policy = match value(&mut it, flag)? {
+                    "block" => ftnoc_trace::OverflowPolicy::Block,
+                    "drop" => ftnoc_trace::OverflowPolicy::Drop,
+                    v => return Err(err(format!("--trace-policy expects block|drop, got `{v}`"))),
+                }
+            }
             "--flight-recorder" => flight_recorder = num(value(&mut it, flag)?, flag)?,
             "--stats-every" => stats_every = num(value(&mut it, flag)?, flag)?,
             "--report-json" => report_json = true,
@@ -268,6 +297,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Topology::try_new(topo.0, topo.1, topo.2).map_err(|e| err(format!("--topology: {e}")))?;
     if damq_pool.is_some() && !damq {
         return Err(err("--damq-pool requires --buffer-org damq"));
+    }
+    if trace_async && trace.is_none() {
+        return Err(err("--trace-async requires --trace FILE"));
+    }
+    if trace_queue == 0 {
+        return Err(err("--trace-queue must be at least 1"));
     }
     let mut router_b = RouterConfig::builder();
     router_b
@@ -306,6 +341,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         config,
         profile,
         trace,
+        trace_async,
+        trace_queue,
+        trace_policy,
         flight_recorder,
         stats_every,
         report_json,
@@ -328,33 +366,32 @@ fn parse_fuzz(
         v.parse()
             .map_err(|_| err(format!("{flag}: cannot parse `{v}`")))
     }
-    let mut options = ftnoc_check::FuzzOptions::default();
+    let mut plan = ftnoc_check::CampaignPlan::new();
     let mut repro = None;
     let mut failures_out = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--campaigns" => options.campaigns = num(value(it, flag)?, flag)?,
-            "--seed" => options.seed = num(value(it, flag)?, flag)?,
-            "--max-failures" => {
-                options.max_failures = num::<usize>(value(it, flag)?, flag)?.max(1);
-            }
-            "--shrink-budget" => options.shrink_budget = num(value(it, flag)?, flag)?,
+            "--campaigns" => plan = plan.campaigns(num(value(it, flag)?, flag)?),
+            "--seed" => plan = plan.master_seed(num(value(it, flag)?, flag)?),
+            "--threads" => plan = plan.threads(num(value(it, flag)?, flag)?),
+            "--max-failures" => plan = plan.max_failures(num(value(it, flag)?, flag)?),
+            "--shrink-budget" => plan = plan.shrink_budget(num(value(it, flag)?, flag)?),
             "--repro" => repro = Some(value(it, flag)?.to_string()),
             "--failures-out" => {
                 failures_out = Some(std::path::PathBuf::from(value(it, flag)?));
             }
             "--org" => {
-                options.org = match value(it, flag)? {
+                plan = plan.org(match value(it, flag)? {
                     "static" => Some(ftnoc_check::OrgFilter::Static),
                     "damq" => Some(ftnoc_check::OrgFilter::Damq),
                     v => return Err(err(format!("--org expects static|damq, got `{v}`"))),
-                }
+                })
             }
             other => return Err(err(format!("unknown fuzz flag `{other}`; try --help"))),
         }
     }
     Ok(Command::Fuzz {
-        options,
+        plan,
         repro,
         failures_out,
     })
@@ -385,6 +422,9 @@ mod tests {
             config,
             profile,
             trace,
+            trace_async,
+            trace_queue,
+            trace_policy,
             flight_recorder,
             stats_every,
             report_json,
@@ -397,6 +437,9 @@ mod tests {
         assert_eq!(config.scheme, ErrorScheme::Hbh);
         assert_eq!(config.injection_rate, 0.25);
         assert_eq!(trace, None);
+        assert!(!trace_async);
+        assert_eq!(trace_queue, 4096);
+        assert_eq!(trace_policy, ftnoc_trace::OverflowPolicy::Block);
         assert_eq!(flight_recorder, 256);
         assert_eq!(stats_every, 0);
         assert!(!report_json);
@@ -516,20 +559,71 @@ mod tests {
 
     #[test]
     fn fuzz_org_filter_parses() {
-        let Command::Fuzz { options, .. } = parse(&args("fuzz")).unwrap() else {
+        let Command::Fuzz { plan, .. } = parse(&args("fuzz")).unwrap() else {
             panic!("expected fuzz");
         };
-        assert_eq!(options.org, None);
-        let Command::Fuzz { options, .. } = parse(&args("fuzz --org damq")).unwrap() else {
+        assert_eq!(plan.org, None);
+        let Command::Fuzz { plan, .. } = parse(&args("fuzz --org damq")).unwrap() else {
             panic!("expected fuzz");
         };
-        assert_eq!(options.org, Some(ftnoc_check::OrgFilter::Damq));
-        let Command::Fuzz { options, .. } = parse(&args("fuzz --org static")).unwrap() else {
+        assert_eq!(plan.org, Some(ftnoc_check::OrgFilter::Damq));
+        let Command::Fuzz { plan, .. } = parse(&args("fuzz --org static")).unwrap() else {
             panic!("expected fuzz");
         };
-        assert_eq!(options.org, Some(ftnoc_check::OrgFilter::Static));
+        assert_eq!(plan.org, Some(ftnoc_check::OrgFilter::Static));
         let e = parse(&args("fuzz --org hybrid")).unwrap_err();
         assert!(e.0.contains("static|damq"), "{e}");
+    }
+
+    #[test]
+    fn fuzz_plan_flags_parse() {
+        let Command::Fuzz { plan, .. } = parse(&args("fuzz")).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(plan.campaigns, 500);
+        assert_eq!(plan.threads, 1);
+        assert_eq!(plan.max_failures, 1);
+        let Command::Fuzz { plan, .. } = parse(&args(
+            "fuzz --campaigns 2000 --threads 4 --seed 99 --max-failures 0 --shrink-budget 40",
+        ))
+        .unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(plan.campaigns, 2000);
+        assert_eq!(plan.threads, 4);
+        assert_eq!(plan.seed, 99);
+        assert_eq!(plan.max_failures, 1, "clamped to >= 1");
+        assert_eq!(plan.shrink_budget, 40);
+        let e = parse(&args("fuzz --threads banana")).unwrap_err();
+        assert!(e.0.contains("--threads"), "{e}");
+    }
+
+    #[test]
+    fn async_trace_flags_parse() {
+        use ftnoc_trace::OverflowPolicy;
+        let cmd = parse(&args(
+            "run --trace out.jsonl --trace-async --trace-queue 128 --trace-policy drop",
+        ))
+        .unwrap();
+        let Command::Run {
+            trace_async,
+            trace_queue,
+            trace_policy,
+            ..
+        } = cmd
+        else {
+            panic!("expected run");
+        };
+        assert!(trace_async);
+        assert_eq!(trace_queue, 128);
+        assert_eq!(trace_policy, OverflowPolicy::Drop);
+
+        let e = parse(&args("run --trace-async")).unwrap_err();
+        assert!(e.0.contains("--trace FILE"), "{e}");
+        let e = parse(&args("run --trace out.jsonl --trace-policy maybe")).unwrap_err();
+        assert!(e.0.contains("block|drop"), "{e}");
+        let e = parse(&args("run --trace out.jsonl --trace-queue 0")).unwrap_err();
+        assert!(e.0.contains("--trace-queue"), "{e}");
     }
 
     #[test]
