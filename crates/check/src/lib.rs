@@ -49,6 +49,8 @@ pub mod oracle;
 pub mod runner;
 
 pub use campaign::{CampaignParams, OrgFilter};
-pub use observer::{FuzzEvent, FuzzObserver, LineRenderer, MemoryObserver, NullObserver};
+pub use observer::{
+    FuzzEvent, FuzzObserver, LineRenderer, MemoryObserver, NullObserver, TelemetryObserver,
+};
 pub use oracle::{ArmedInvariants, Oracle, Violation};
 pub use runner::{CampaignPlan, CampaignRunner, Failure, FuzzReport};

@@ -115,6 +115,82 @@ impl FuzzObserver for MemoryObserver {
     }
 }
 
+/// Counts the event stream while forwarding it to another observer —
+/// the `ftnoc fuzz --metrics-out` tap. The counters summarize a whole
+/// run as one JSON line ([`TelemetryObserver::to_json_line`]) without
+/// retaining the events themselves, so the tap is O(1) memory on
+/// million-campaign sweeps. Because the event stream is delivered in
+/// campaign-index order at any thread count, the counters (and the
+/// emitted line, wall-clock aside) are thread-count-invariant too.
+#[derive(Debug)]
+pub struct TelemetryObserver<O: FuzzObserver> {
+    inner: O,
+    /// Campaigns whose outcome has been delivered.
+    pub campaigns_run: u64,
+    /// Campaigns that passed every invariant.
+    pub passed: u64,
+    /// Violations found (pre-shrink).
+    pub violations: u64,
+    /// Shrink transforms kept across all failures.
+    pub shrink_steps: u64,
+    /// Minimal reproducers produced.
+    pub failures_shrunk: u64,
+}
+
+impl<O: FuzzObserver> TelemetryObserver<O> {
+    /// Wraps `inner`, counting every event that passes through.
+    pub fn new(inner: O) -> Self {
+        TelemetryObserver {
+            inner,
+            campaigns_run: 0,
+            passed: 0,
+            violations: 0,
+            shrink_steps: 0,
+            failures_shrunk: 0,
+        }
+    }
+
+    /// Hands the wrapped observer back.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// The counters as one JSON line (the `fuzz --metrics-out` file
+    /// format). `wall_ms` and `threads` come from the caller: wall
+    /// clock is run provenance, not part of the deterministic stream.
+    pub fn to_json_line(&self, wall_ms: u64, threads: usize) -> String {
+        format!(
+            "{{\"kind\":\"fuzz\",\"campaigns_run\":{},\"passed\":{},\"violations\":{},\
+             \"shrink_steps\":{},\"failures_shrunk\":{},\"wall_ms\":{wall_ms},\
+             \"threads\":{threads}}}",
+            self.campaigns_run,
+            self.passed,
+            self.violations,
+            self.shrink_steps,
+            self.failures_shrunk
+        )
+    }
+}
+
+impl<O: FuzzObserver> FuzzObserver for TelemetryObserver<O> {
+    fn on_event(&mut self, event: &FuzzEvent) {
+        match event {
+            FuzzEvent::CampaignStarted { .. } | FuzzEvent::Summary { .. } => {}
+            FuzzEvent::CampaignPassed { .. } => {
+                self.campaigns_run += 1;
+                self.passed += 1;
+            }
+            FuzzEvent::ViolationFound { .. } => {
+                self.campaigns_run += 1;
+                self.violations += 1;
+            }
+            FuzzEvent::ShrinkStep { .. } => self.shrink_steps += 1,
+            FuzzEvent::FailureShrunk { .. } => self.failures_shrunk += 1,
+        }
+        self.inner.on_event(event);
+    }
+}
+
 /// Renders events as the `ftnoc fuzz` terminal lines via a line sink
 /// (the CLI's stdout printer; also reused by output-parity tests).
 ///
@@ -156,5 +232,64 @@ impl<F: FnMut(&str)> FuzzObserver for LineRenderer<F> {
             }
             FuzzEvent::Summary { .. } => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Violation;
+
+    fn violation() -> Violation {
+        Violation {
+            cycle: 10,
+            node: Some(0),
+            invariant: "test",
+            detail: "test".into(),
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_and_forwards() {
+        let mut tap = TelemetryObserver::new(MemoryObserver::new());
+        let events = [
+            FuzzEvent::CampaignStarted { index: 0, total: 3 },
+            FuzzEvent::CampaignPassed { index: 0 },
+            FuzzEvent::CampaignStarted { index: 1, total: 3 },
+            FuzzEvent::ViolationFound {
+                index: 1,
+                violation: violation(),
+                spec: "s".into(),
+            },
+            FuzzEvent::ShrinkStep {
+                index: 1,
+                reruns: 1,
+                violation: violation(),
+                spec: "s2".into(),
+            },
+            FuzzEvent::FailureShrunk {
+                index: 1,
+                violation: violation(),
+                spec: "s2".into(),
+            },
+            FuzzEvent::Summary {
+                campaigns_run: 2,
+                failures: 1,
+            },
+        ];
+        for e in &events {
+            tap.on_event(e);
+        }
+        assert_eq!(tap.campaigns_run, 2);
+        assert_eq!(tap.passed, 1);
+        assert_eq!(tap.violations, 1);
+        assert_eq!(tap.shrink_steps, 1);
+        assert_eq!(tap.failures_shrunk, 1);
+        let line = tap.to_json_line(1234, 4);
+        assert!(line.contains("\"campaigns_run\":2"), "{line}");
+        assert!(line.contains("\"wall_ms\":1234"), "{line}");
+        assert!(line.contains("\"threads\":4"), "{line}");
+        // The tap forwarded every event untouched.
+        assert_eq!(tap.into_inner().events.len(), events.len());
     }
 }

@@ -1,0 +1,247 @@
+//! JSONL line builders for `--metrics-out` files.
+//!
+//! A metrics file is a stream of single-line JSON objects: one
+//! [`MetaLine`] describing the run, then one [`IntervalLine`] per
+//! emission interval carrying cumulative totals, per-window deltas,
+//! the engine phase profile and the full per-router telemetry. Lines
+//! are hand-rolled (no serializer dependency) and byte-deterministic
+//! for a given sequence of inputs: field order is fixed and floats are
+//! printed with Rust's shortest-round-trip formatting.
+
+use crate::profile::ProfileSnapshot;
+use crate::telemetry::{MeshTelemetry, RouterTelemetry};
+
+/// Schema version stamped into every meta line.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The first line of a metrics file: run shape and provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct MetaLine {
+    /// Mesh width.
+    pub width: usize,
+    /// Mesh height.
+    pub height: usize,
+    /// Node count (`width * height`).
+    pub nodes: usize,
+    /// Configured worker thread count.
+    pub threads: usize,
+    /// `std::thread::available_parallelism()` on the host (0 if
+    /// unknown).
+    pub available_parallelism: usize,
+    /// Emission interval in cycles.
+    pub metrics_every: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl MetaLine {
+    /// The line as a single-line JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"meta\",\"version\":{},\"width\":{},\"height\":{},\"nodes\":{},\
+             \"threads\":{},\"available_parallelism\":{},\"metrics_every\":{},\"seed\":{}}}",
+            FORMAT_VERSION,
+            self.width,
+            self.height,
+            self.nodes,
+            self.threads,
+            self.available_parallelism,
+            self.metrics_every,
+            self.seed
+        )
+    }
+}
+
+/// One emission interval: cumulative counters, the per-window delta,
+/// the cumulative engine phase profile (if profiling is on) and the
+/// cumulative per-router telemetry.
+#[derive(Debug, Clone)]
+pub struct IntervalLine {
+    /// Simulation cycle at emission.
+    pub cycle: u64,
+    /// Cumulative packets injected.
+    pub injected: u64,
+    /// Cumulative packets ejected.
+    pub ejected: u64,
+    /// Cumulative sum of per-packet latencies (cycles).
+    pub latency_sum: u64,
+    /// Packets injected in this window.
+    pub d_injected: u64,
+    /// Packets ejected in this window.
+    pub d_ejected: u64,
+    /// Latency-sum movement in this window.
+    pub d_latency_sum: u64,
+    /// Cumulative phase profile, when the engine profiler is enabled.
+    pub phase: Option<ProfileSnapshot>,
+    /// Cumulative per-router telemetry.
+    pub routers: MeshTelemetry,
+}
+
+impl IntervalLine {
+    /// Average latency over this window's ejections (`None` when the
+    /// window ejected nothing).
+    pub fn window_avg_latency(&self) -> Option<f64> {
+        (self.d_ejected > 0).then(|| self.d_latency_sum as f64 / self.d_ejected as f64)
+    }
+
+    /// The line as a single-line JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"kind\":\"interval\",\"cycle\":{},\"injected\":{},\"ejected\":{},\
+             \"latency_sum\":{},\"delta\":{{\"injected\":{},\"ejected\":{},\
+             \"latency_sum\":{},\"avg_latency\":{}}}",
+            self.cycle,
+            self.injected,
+            self.ejected,
+            self.latency_sum,
+            self.d_injected,
+            self.d_ejected,
+            self.d_latency_sum,
+            fnum(self.window_avg_latency())
+        );
+        out.push_str(",\"phase\":");
+        match &self.phase {
+            None => out.push_str("null"),
+            Some(p) => {
+                out.push_str(&format!(
+                    "{{\"pre_ns\":{},\"commit_ns\":{},\"cycles\":{},\"compute_ns_by_lane\":[",
+                    p.pre_ns, p.commit_ns, p.cycles
+                ));
+                push_u64_list(&mut out, p.lanes.iter().map(|(c, _)| *c));
+                out.push_str("],\"barrier_ns_by_lane\":[");
+                push_u64_list(&mut out, p.lanes.iter().map(|(_, b)| *b));
+                out.push_str("]}");
+            }
+        }
+        out.push_str(",\"routers\":{");
+        for (i, metric) in RouterTelemetry::METRICS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{metric}\":["));
+            push_u64_list(
+                &mut out,
+                self.routers
+                    .routers
+                    .iter()
+                    .map(|r| r.get(metric).expect("METRICS names resolve")),
+            );
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_u64_list(out: &mut String, values: impl Iterator<Item = u64>) {
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+}
+
+/// A finite float as JSON, everything else (including `None`) as
+/// `null` — JSON has no NaN/Infinity literals.
+fn fnum(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn mesh() -> MeshTelemetry {
+        let mut routers = vec![RouterTelemetry::default(); 4];
+        routers[1].flits_routed = 7;
+        routers[3].nacks = 2;
+        MeshTelemetry {
+            width: 2,
+            height: 2,
+            routers,
+        }
+    }
+
+    #[test]
+    fn meta_line_round_trips() {
+        let m = MetaLine {
+            width: 8,
+            height: 8,
+            nodes: 64,
+            threads: 4,
+            available_parallelism: 2,
+            metrics_every: 100,
+            seed: 42,
+        };
+        let v = json::parse(&m.to_json()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("meta"));
+        assert_eq!(v.u64_field("version"), Some(FORMAT_VERSION));
+        assert_eq!(v.u64_field("nodes"), Some(64));
+        assert_eq!(v.u64_field("available_parallelism"), Some(2));
+        assert_eq!(v.u64_field("seed"), Some(42));
+    }
+
+    #[test]
+    fn interval_line_round_trips() {
+        let line = IntervalLine {
+            cycle: 200,
+            injected: 100,
+            ejected: 80,
+            latency_sum: 1000,
+            d_injected: 50,
+            d_ejected: 40,
+            d_latency_sum: 500,
+            phase: Some(ProfileSnapshot {
+                pre_ns: 10,
+                commit_ns: 20,
+                cycles: 200,
+                lanes: vec![(5, 1), (6, 2)],
+            }),
+            routers: mesh(),
+        };
+        let v = json::parse(&line.to_json()).unwrap();
+        assert_eq!(v.u64_field("cycle"), Some(200));
+        let delta = v.get("delta").unwrap();
+        assert_eq!(delta.u64_field("ejected"), Some(40));
+        assert_eq!(delta.get("avg_latency").unwrap().as_f64(), Some(12.5));
+        let phase = v.get("phase").unwrap();
+        assert_eq!(phase.u64_field("cycles"), Some(200));
+        assert_eq!(
+            phase.get("compute_ns_by_lane").unwrap().as_arr().unwrap(),
+            [json::Value::Num(5.0), json::Value::Num(6.0)]
+        );
+        let flits = v.get("routers").unwrap().get("flits_routed").unwrap();
+        assert_eq!(flits.as_arr().unwrap()[1].as_u64(), Some(7));
+        // Every telemetry metric is present with one slot per router.
+        for metric in RouterTelemetry::METRICS {
+            let arr = v.get("routers").unwrap().get(metric).unwrap();
+            assert_eq!(arr.as_arr().unwrap().len(), 4, "{metric}");
+        }
+    }
+
+    #[test]
+    fn empty_window_and_disabled_profiler_emit_nulls() {
+        let line = IntervalLine {
+            cycle: 100,
+            injected: 0,
+            ejected: 0,
+            latency_sum: 0,
+            d_injected: 0,
+            d_ejected: 0,
+            d_latency_sum: 0,
+            phase: None,
+            routers: mesh(),
+        };
+        let v = json::parse(&line.to_json()).unwrap();
+        assert_eq!(
+            v.get("delta").unwrap().get("avg_latency"),
+            Some(&json::Value::Null)
+        );
+        assert_eq!(v.get("phase"), Some(&json::Value::Null));
+    }
+}

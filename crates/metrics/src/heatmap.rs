@@ -1,0 +1,116 @@
+//! ASCII mesh heatmaps of per-router metrics.
+//!
+//! One character per router, intensity from a 10-step ramp normalized
+//! to the hottest router, with row/column rulers and a legend naming
+//! the hottest cell — enough to spot a hot link or a dead region at a
+//! glance in a terminal or a CI log.
+
+/// Intensity ramp, cold to hot. A zero cell always renders as the
+/// first character; the hottest non-zero cell as the last.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders `values` (node-id order, router `(x, y)` at `y * width + x`)
+/// as a `width × height` grid. Row 0 is printed at the top. Returns a
+/// multi-line string ending in a newline.
+///
+/// # Panics
+///
+/// Panics if `values.len() != width * height`.
+pub fn render(label: &str, width: usize, height: usize, values: &[u64]) -> String {
+    assert_eq!(
+        values.len(),
+        width * height,
+        "heatmap shape mismatch: {} values for {width}x{height}",
+        values.len()
+    );
+    let max = values.iter().copied().max().unwrap_or(0);
+    let total: u64 = values.iter().sum();
+    let mut out = String::new();
+    out.push_str(&format!("{label} (total {total}, max {max})\n"));
+    out.push_str("    ");
+    for x in 0..width {
+        out.push_str(&format!("{:>2}", x % 100));
+    }
+    out.push('\n');
+    for y in 0..height {
+        out.push_str(&format!("{y:>3} "));
+        for x in 0..width {
+            let v = values[y * width + x];
+            out.push(' ');
+            out.push(cell(v, max));
+        }
+        out.push('\n');
+    }
+    if max > 0 {
+        let (hx, hy) = hottest(width, values);
+        out.push_str(&format!(
+            "    scale `{}` 0..{max}, hottest ({hx},{hy})\n",
+            std::str::from_utf8(RAMP).expect("ascii ramp")
+        ));
+    }
+    out
+}
+
+/// The ramp character for `v` against the run maximum.
+fn cell(v: u64, max: u64) -> char {
+    if v == 0 || max == 0 {
+        return RAMP[0] as char;
+    }
+    // Linear bucket into ramp steps 1..=9 (0 is reserved for zero), so
+    // any non-zero activity is visibly distinct from none.
+    let idx = 1 + (v.saturating_mul(RAMP.len() as u64 - 2) / max) as usize;
+    RAMP[idx.min(RAMP.len() - 1)] as char
+}
+
+/// Coordinates of the (first) maximum cell.
+fn hottest(width: usize, values: &[u64]) -> (usize, usize) {
+    let (i, _) = values
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &v)| (v, std::cmp::Reverse(*i)))
+        .expect("non-empty values");
+    (i % width, i / width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_extremes() {
+        let mut values = vec![0u64; 12];
+        values[5] = 100; // (1, 1) on a 4-wide grid
+        values[0] = 1;
+        let s = render("flits_routed", 4, 3, &values);
+        assert!(s.contains("flits_routed (total 101, max 100)"));
+        assert!(s.contains("hottest (1,1)"), "{s}");
+        let rows: Vec<&str> = s.lines().collect();
+        // header + ruler + 3 rows + legend
+        assert_eq!(rows.len(), 6, "{s}");
+        // Hot cell renders the last ramp char, zero cells the first.
+        assert!(rows[3].contains('@'), "{s}");
+        assert!(!rows[4].contains('@'), "{s}");
+    }
+
+    #[test]
+    fn all_zero_has_no_legend() {
+        let s = render("nacks", 2, 2, &[0, 0, 0, 0]);
+        assert!(!s.contains("hottest"));
+        assert!(s.contains("nacks (total 0, max 0)"));
+    }
+
+    #[test]
+    fn nonzero_cells_are_never_blank() {
+        for v in 1..=10u64 {
+            assert_ne!(cell(v, 10), ' ', "value {v} must be visible");
+        }
+        assert_eq!(cell(0, 10), ' ');
+        assert_eq!(cell(10, 10), '@');
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_shape_panics() {
+        render("x", 2, 2, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # ftnoc-metrics — deterministic observability for the simulator
+//!
+//! A zero-dependency metrics substrate with one hard rule: **enabling
+//! metrics must never perturb the simulation**. Every collector in this
+//! crate is a pure *reader* of simulator state (or of wall-clock time,
+//! which lives strictly outside the simulated machine), so traces,
+//! reports and fuzz outcomes are byte-identical metrics-on vs
+//! metrics-off, at any thread count. The parity suite pins this.
+//!
+//! The pieces:
+//!
+//! - [`registry`] — a named schema of counters/gauges/histograms with
+//!   per-worker [`registry::Accum`] buffers merged commutatively at
+//!   commit boundaries, plus snapshot/delta plumbing for periodic
+//!   interval emission.
+//! - [`profile`] — the [`profile::EngineProfile`] wall-clock phase
+//!   profiler for the two-phase cycle engine: per-worker compute and
+//!   barrier-wait lanes plus the serial pre/commit spans, all plain
+//!   atomics so workers can report without synchronising with the
+//!   simulation.
+//! - [`telemetry`] — [`telemetry::MeshTelemetry`] per-router hotspot
+//!   counters (flits routed, buffer stalls, retransmissions, NACKs,
+//!   probes, faults, recoveries) harvested from the routers' own
+//!   censuses.
+//! - [`heatmap`] — ASCII mesh heatmaps of any per-router metric.
+//! - [`emit`] — hand-rolled JSONL serialization of the periodic
+//!   interval snapshots (`--metrics-out`).
+//! - [`json`] — a minimal JSON reader for those files.
+//! - [`report`] — the `ftnoc report` renderer: summary tables, phase
+//!   timing totals, interval deltas and router heatmaps from a metrics
+//!   JSONL file.
+//!
+//! Determinism argument, in one paragraph: counters and telemetry are
+//! derived from simulator state that already exists (they add reads,
+//! never writes, and consume no RNG draws); the profiler reads
+//! `std::time::Instant`, whose values flow only into these metrics and
+//! never back into simulation or trace state. Wall-clock numbers are
+//! therefore *excluded* from determinism checks — two runs of the same
+//! seed produce identical traces and identical metric *counts* but
+//! different nanosecond readings, and that is the intended contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod heatmap;
+pub mod json;
+pub mod profile;
+pub mod registry;
+pub mod report;
+pub mod telemetry;
+
+pub use emit::{IntervalLine, MetaLine};
+pub use profile::{EngineProfile, ProfileSnapshot};
+pub use registry::{Accum, CounterId, GaugeId, HistId, Registry};
+pub use telemetry::{MeshTelemetry, RouterTelemetry};

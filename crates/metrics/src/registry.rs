@@ -1,0 +1,334 @@
+//! A named metrics schema with per-worker accumulators.
+//!
+//! [`Registry`] defines *what* is measured (names and kinds);
+//! [`Accum`] holds *values* for one measuring context — the main
+//! thread, or one worker of the parallel engine. Workers accumulate
+//! into private `Accum`s during the compute phase and the engine merges
+//! them at the commit boundary with [`Accum::merge`], which is
+//! commutative and associative: the merged totals are independent of
+//! worker count and merge order, so metrics stay deterministic even
+//! though the work they describe is scheduled dynamically.
+//!
+//! Interval emission uses the same value type: keep the previous
+//! snapshot (a plain [`Accum`] clone) and call [`Accum::delta_since`]
+//! to get the per-window movement.
+
+/// Handle to a registered counter (monotone u64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (last-write-wins u64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered power-of-two histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// A power-of-two-bucketed histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` (bucket 0 covers 0 and 1). Fixed memory, O(1)
+/// insert, merge by element-wise addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pow2Hist {
+    buckets: [u64; 32],
+    count: u64,
+}
+
+impl Pow2Hist {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.max(1).leading_zeros() - 1).min(31) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// (`0 < q <= 1`), or 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (2u64 << i).saturating_sub(1);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Element-wise merge (commutative, associative).
+    pub fn merge(&mut self, other: &Pow2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// The 32 bucket counts, lowest bound first.
+    pub fn buckets(&self) -> &[u64; 32] {
+        &self.buckets
+    }
+}
+
+/// What kind of metric a name is registered as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Hist,
+}
+
+/// The metric schema: an append-only list of `(name, kind)` pairs.
+/// Registration happens once at setup; after that the registry is
+/// read-only and any number of [`Accum`]s can be created from it.
+#[derive(Debug, Default)]
+pub struct Registry {
+    names: Vec<(String, Kind)>,
+    counters: usize,
+    gauges: usize,
+    hists: usize,
+}
+
+impl Registry {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a counter. Panics if `name` is already taken (schema
+    /// bugs should fail loudly at setup, not silently alias).
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.insert(name, Kind::Counter);
+        self.counters += 1;
+        CounterId(self.counters - 1)
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.insert(name, Kind::Gauge);
+        self.gauges += 1;
+        GaugeId(self.gauges - 1)
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(&mut self, name: &str) -> HistId {
+        self.insert(name, Kind::Hist);
+        self.hists += 1;
+        HistId(self.hists - 1)
+    }
+
+    fn insert(&mut self, name: &str, kind: Kind) {
+        assert!(
+            self.names.iter().all(|(n, _)| n != name),
+            "metric `{name}` registered twice"
+        );
+        self.names.push((name.to_string(), kind));
+    }
+
+    /// A zeroed accumulator matching this schema.
+    pub fn accum(&self) -> Accum {
+        Accum {
+            counters: vec![0; self.counters],
+            gauges: vec![0; self.gauges],
+            hists: vec![Pow2Hist::default(); self.hists],
+        }
+    }
+
+    /// Counter names in registration order (for emission).
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.names
+            .iter()
+            .filter(|(_, k)| *k == Kind::Counter)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// Gauge names in registration order.
+    pub fn gauge_names(&self) -> impl Iterator<Item = &str> {
+        self.names
+            .iter()
+            .filter(|(_, k)| *k == Kind::Gauge)
+            .map(|(n, _)| n.as_str())
+    }
+}
+
+/// One measuring context's values for a [`Registry`] schema: the
+/// per-worker buffer of the merge discipline, and also the snapshot
+/// type for interval deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accum {
+    counters: Vec<u64>,
+    gauges: Vec<u64>,
+    hists: Vec<Pow2Hist>,
+}
+
+impl Accum {
+    /// Adds to a counter.
+    pub fn add(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0] += by;
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Sets a gauge.
+    pub fn set(&mut self, id: GaugeId, value: u64) {
+        self.gauges[id.0] = value;
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0]
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, id: HistId, value: u64) {
+        self.hists[id.0].record(value);
+    }
+
+    /// Reads a histogram.
+    pub fn hist(&self, id: HistId) -> &Pow2Hist {
+        &self.hists[id.0]
+    }
+
+    /// Merges another accumulator in (commit-boundary worker merge):
+    /// counters and histograms add element-wise; gauges take the
+    /// element-wise maximum, the only merge that is order-independent
+    /// without a notion of "latest" across concurrent workers.
+    pub fn merge(&mut self, other: &Accum) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            *a = (*a).max(*b);
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Per-window movement since `snapshot`: counters subtract (they
+    /// are monotone), gauges pass through current values (a gauge has
+    /// no meaningful delta), histogram counts subtract per bucket.
+    pub fn delta_since(&self, snapshot: &Accum) -> Accum {
+        Accum {
+            counters: self
+                .counters
+                .iter()
+                .zip(snapshot.counters.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+            gauges: self.gauges.clone(),
+            hists: self
+                .hists
+                .iter()
+                .zip(snapshot.hists.iter())
+                .map(|(a, b)| {
+                    let mut h = Pow2Hist::default();
+                    for (i, (x, y)) in a.buckets.iter().zip(b.buckets.iter()).enumerate() {
+                        h.buckets[i] = x - y;
+                    }
+                    h.count = a.count - b.count;
+                    h
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_delta() {
+        let mut r = Registry::new();
+        let injected = r.counter("injected");
+        let ejected = r.counter("ejected");
+        let mut a = r.accum();
+        a.add(injected, 10);
+        a.inc(ejected);
+        let snap = a.clone();
+        a.add(injected, 5);
+        a.add(ejected, 2);
+        let d = a.delta_since(&snap);
+        assert_eq!(d.counter(injected), 5);
+        assert_eq!(d.counter(ejected), 2);
+        assert_eq!(a.counter(injected), 15);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("depth");
+        let h = r.histogram("lat");
+        let mut a = r.accum();
+        let mut b = r.accum();
+        a.add(c, 3);
+        a.set(g, 7);
+        a.observe(h, 100);
+        b.add(c, 4);
+        b.set(g, 5);
+        b.observe(h, 3);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter(c), 7);
+        assert_eq!(ab.gauge(g), 7, "gauge merge takes the max");
+        assert_eq!(ab.hist(h).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_panic() {
+        let mut r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn names_iterate_in_registration_order() {
+        let mut r = Registry::new();
+        r.counter("one");
+        r.gauge("depth");
+        r.counter("two");
+        let names: Vec<_> = r.counter_names().collect();
+        assert_eq!(names, ["one", "two"]);
+        assert_eq!(r.gauge_names().collect::<Vec<_>>(), ["depth"]);
+    }
+
+    #[test]
+    fn pow2_hist_quantiles() {
+        let mut h = Pow2Hist::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram yields 0");
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 1023);
+    }
+}

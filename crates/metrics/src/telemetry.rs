@@ -1,0 +1,170 @@
+//! Per-router hotspot telemetry.
+//!
+//! The paper's fault-tolerance story is about *localized* behaviour —
+//! which routers absorb the retransmissions, probes and faults — so
+//! network-wide averages are not enough. [`MeshTelemetry`] is a
+//! harvested copy of every router's own counters, one
+//! [`RouterTelemetry`] per node in node-id order, cheap enough to take
+//! at interval boundaries and diffable for per-window heat.
+
+/// One router's hotspot counters (cumulative since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterTelemetry {
+    /// Flits that traversed this router's crossbar.
+    pub flits_routed: u64,
+    /// Port-VC cycles spent blocked with buffered flits and no progress.
+    pub buffer_stalls: u64,
+    /// Flits replayed from this router's retransmission buffers.
+    pub retransmissions: u64,
+    /// NACKs this router signalled upstream.
+    pub nacks: u64,
+    /// Deadlock probes this router launched.
+    pub probes_sent: u64,
+    /// Deadlocks confirmed by probes returning to this router.
+    pub deadlocks_confirmed: u64,
+    /// Faults injected into this router (all classes).
+    pub faults_injected: u64,
+    /// Times this router entered deadlock recovery.
+    pub recoveries: u64,
+}
+
+impl RouterTelemetry {
+    /// Metric names, in the order [`RouterTelemetry::get`] understands.
+    pub const METRICS: [&'static str; 8] = [
+        "flits_routed",
+        "buffer_stalls",
+        "retransmissions",
+        "nacks",
+        "probes_sent",
+        "deadlocks_confirmed",
+        "faults_injected",
+        "recoveries",
+    ];
+
+    /// Reads one metric by name (`None` for an unknown name).
+    pub fn get(&self, metric: &str) -> Option<u64> {
+        Some(match metric {
+            "flits_routed" => self.flits_routed,
+            "buffer_stalls" => self.buffer_stalls,
+            "retransmissions" => self.retransmissions,
+            "nacks" => self.nacks,
+            "probes_sent" => self.probes_sent,
+            "deadlocks_confirmed" => self.deadlocks_confirmed,
+            "faults_injected" => self.faults_injected,
+            "recoveries" => self.recoveries,
+            _ => return None,
+        })
+    }
+
+    /// Element-wise difference (for per-interval heat).
+    pub fn delta_since(&self, s: &RouterTelemetry) -> RouterTelemetry {
+        RouterTelemetry {
+            flits_routed: self.flits_routed - s.flits_routed,
+            buffer_stalls: self.buffer_stalls - s.buffer_stalls,
+            retransmissions: self.retransmissions - s.retransmissions,
+            nacks: self.nacks - s.nacks,
+            probes_sent: self.probes_sent - s.probes_sent,
+            deadlocks_confirmed: self.deadlocks_confirmed - s.deadlocks_confirmed,
+            faults_injected: self.faults_injected - s.faults_injected,
+            recoveries: self.recoveries - s.recoveries,
+        }
+    }
+}
+
+/// Per-router telemetry for a whole `width × height` mesh, router
+/// `(x, y)` at index `y * width + x` (node-id order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MeshTelemetry {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// One entry per router, node-id order.
+    pub routers: Vec<RouterTelemetry>,
+}
+
+impl MeshTelemetry {
+    /// One metric's per-router values, node-id order (`None` for an
+    /// unknown metric name).
+    pub fn metric_values(&self, metric: &str) -> Option<Vec<u64>> {
+        self.routers.first()?.get(metric)?;
+        Some(
+            self.routers
+                .iter()
+                .map(|r| r.get(metric).expect("validated above"))
+                .collect(),
+        )
+    }
+
+    /// Network-wide sum of one metric.
+    pub fn total(&self, metric: &str) -> Option<u64> {
+        self.metric_values(metric).map(|v| v.iter().sum())
+    }
+
+    /// Element-wise difference (for per-interval heat). Panics if the
+    /// meshes disagree in shape — they must come from the same run.
+    pub fn delta_since(&self, s: &MeshTelemetry) -> MeshTelemetry {
+        assert_eq!(
+            (self.width, self.height, self.routers.len()),
+            (s.width, s.height, s.routers.len()),
+            "telemetry snapshots from different meshes"
+        );
+        MeshTelemetry {
+            width: self.width,
+            height: self.height,
+            routers: self
+                .routers
+                .iter()
+                .zip(s.routers.iter())
+                .map(|(a, b)| a.delta_since(b))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> MeshTelemetry {
+        MeshTelemetry {
+            width: 2,
+            height: 1,
+            routers: vec![
+                RouterTelemetry {
+                    flits_routed: 10,
+                    nacks: 2,
+                    ..Default::default()
+                },
+                RouterTelemetry {
+                    flits_routed: 5,
+                    recoveries: 1,
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn metric_access_by_name() {
+        let m = mesh();
+        assert_eq!(m.metric_values("flits_routed"), Some(vec![10, 5]));
+        assert_eq!(m.total("nacks"), Some(2));
+        assert_eq!(m.metric_values("bogus"), None);
+        for name in RouterTelemetry::METRICS {
+            assert!(m.routers[0].get(name).is_some(), "{name} must resolve");
+        }
+    }
+
+    #[test]
+    fn delta_subtracts_per_router() {
+        let a = mesh();
+        let mut b = a.clone();
+        b.routers[0].flits_routed = 25;
+        b.routers[1].recoveries = 3;
+        let d = b.delta_since(&a);
+        assert_eq!(d.routers[0].flits_routed, 15);
+        assert_eq!(d.routers[1].recoveries, 2);
+        assert_eq!(d.routers[1].flits_routed, 0);
+    }
+}

@@ -23,10 +23,14 @@
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
+use ftnoc_metrics::{MeshTelemetry, ProfileSnapshot};
 use ftnoc_trace::TraceSink;
 
-use crate::network::{compute_cell, NetCore, Network, Progress, RouterCell, RunEnv};
+use crate::network::{
+    collect_telemetry, compute_cell, NetCore, Network, Progress, RouterCell, RunEnv,
+};
 
 /// Shared cycle-synchronisation state between the main thread and the
 /// compute workers.
@@ -77,13 +81,27 @@ pub struct Stepper<'a, S: TraceSink> {
 
 impl<S: TraceSink> Stepper<'_, S> {
     /// Advances the network by one clock cycle.
+    ///
+    /// When the phase profiler is enabled, the serial pre and commit
+    /// spans are timed here and the compute span per worker lane (lane
+    /// 0 for the serial in-place path). Timing reads wall clock into
+    /// relaxed atomics only — it cannot perturb the simulation.
     pub fn step(&mut self) {
+        let profile = self.env.profile.as_ref();
         let now = self.core.now;
+        let span = profile.map(|_| Instant::now());
         self.core.pre(self.env, self.cells, now);
+        if let (Some(p), Some(t)) = (profile, span) {
+            p.add_pre(t);
+        }
         match self.sync {
             None => {
+                let span = profile.map(|_| Instant::now());
                 for cell in self.cells {
                     compute_cell(self.env, &mut cell.lock().unwrap(), now);
+                }
+                if let (Some(p), Some(t)) = (profile, span) {
+                    p.lane(0).add_compute(t);
                 }
             }
             Some(sync) => {
@@ -98,7 +116,11 @@ impl<S: TraceSink> Stepper<'_, S> {
                 }
             }
         }
+        let span = profile.map(|_| Instant::now());
         self.core.commit(self.env, self.cells, now);
+        if let (Some(p), Some(t)) = (profile, span) {
+            p.add_commit(t);
+        }
     }
 
     /// Current cycle.
@@ -126,6 +148,18 @@ impl<S: TraceSink> Stepper<'_, S> {
     /// Marks the beginning of the measurement window.
     pub fn start_measurement(&mut self) {
         self.core.start_measurement(self.cells);
+    }
+
+    /// Harvests every router's hotspot counters (same snapshot
+    /// [`Network::telemetry`] takes after the run).
+    pub fn telemetry(&self) -> MeshTelemetry {
+        collect_telemetry(self.env, self.cells)
+    }
+
+    /// A snapshot of the phase profiler (`None` unless
+    /// [`Network::enable_profiling`] was called before stepping).
+    pub fn profile_snapshot(&self) -> Option<ProfileSnapshot> {
+        self.env.profile.as_ref().map(|p| p.snapshot())
     }
 }
 
@@ -165,12 +199,23 @@ impl<S: TraceSink> Network<S> {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(cells.len());
                 let sync = &sync;
+                let profile = env.profile.as_ref();
                 scope.spawn(move || loop {
+                    // Worker-side phase timing (when profiling is on):
+                    // time parked on either barrier is "barrier wait" —
+                    // both chunk imbalance and the serial phases the
+                    // main thread runs in between — and the chunk loop
+                    // is this lane's compute span.
+                    let wait = profile.map(|_| Instant::now());
                     sync.start.wait();
                     if sync.stop.load(Ordering::Acquire) {
                         break;
                     }
+                    if let (Some(p), Some(w)) = (profile, wait) {
+                        p.lane(t).add_barrier(w);
+                    }
                     let now = sync.now.load(Ordering::Acquire);
+                    let span = profile.map(|_| Instant::now());
                     let compute = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         for cell in &cells[lo..hi] {
                             compute_cell(env, &mut cell.lock().unwrap(), now);
@@ -179,7 +224,14 @@ impl<S: TraceSink> Network<S> {
                     if let Err(payload) = compute {
                         *sync.panics[t].lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
                     }
+                    if let (Some(p), Some(s)) = (profile, span) {
+                        p.lane(t).add_compute(s);
+                    }
+                    let wait = profile.map(|_| Instant::now());
                     sync.done.wait();
+                    if let (Some(p), Some(w)) = (profile, wait) {
+                        p.lane(t).add_barrier(w);
+                    }
                 });
             }
             let guard = StopGuard { sync: &sync };

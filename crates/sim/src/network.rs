@@ -36,6 +36,7 @@ use ftnoc_core::deadlock::probe::{ActivationAction, ActivationSignal, ProbeActio
 use ftnoc_core::e2e::{E2eDestination, E2eSource, E2eVerdict};
 use ftnoc_ecc::protect_flit;
 use ftnoc_fault::FaultCounts;
+use ftnoc_metrics::{EngineProfile, MeshTelemetry, ProfileSnapshot, RouterTelemetry};
 use ftnoc_rng::Rng;
 use ftnoc_trace::{DropReason, NullSink, TraceEvent, TraceSink, Tracer};
 use ftnoc_traffic::Injector;
@@ -115,6 +116,10 @@ pub(crate) struct RunEnv {
     pub config: SimConfig,
     /// The network topology.
     pub topo: Topology,
+    /// Wall-clock phase profiler, when enabled. Lives in the shared
+    /// context so compute workers can time themselves; the atomics
+    /// inside never feed back into simulation state.
+    pub profile: Option<EngineProfile>,
 }
 
 /// Serial state owned by the main thread: traffic endpoints, the
@@ -162,6 +167,9 @@ pub struct Progress {
     pub packets_injected: u64,
     /// Packets ejected since construction.
     pub packets_ejected: u64,
+    /// Sum of per-packet latencies since construction (cycles) — lets
+    /// observers derive a per-window average latency from two samples.
+    pub latency_sum: u64,
     /// Whether any node is currently in deadlock-recovery mode.
     pub any_in_recovery: bool,
 }
@@ -321,7 +329,11 @@ impl<S: TraceSink> Network<S> {
             .collect();
         let rng = Rng::seed_from_u64(config.seed);
         Network {
-            env: RunEnv { config, topo },
+            env: RunEnv {
+                config,
+                topo,
+                profile: None,
+            },
             cells,
             core: NetCore {
                 pes,
@@ -444,6 +456,27 @@ impl<S: TraceSink> Network<S> {
     pub fn progress(&self) -> Progress {
         let Network { cells, core, .. } = self;
         core.progress(cells)
+    }
+
+    /// Turns on the engine phase profiler, with one timing lane per
+    /// configured worker thread. Wall-clock readings accumulate in
+    /// relaxed atomics and never touch simulation state, so profiled
+    /// and unprofiled runs produce byte-identical results.
+    pub fn enable_profiling(&mut self) {
+        let lanes = self.env.config.threads.clamp(1, self.cells.len().max(1));
+        self.env.profile = Some(EngineProfile::new(lanes));
+    }
+
+    /// A snapshot of the phase profiler (`None` unless
+    /// [`Network::enable_profiling`] was called).
+    pub fn profile_snapshot(&self) -> Option<ProfileSnapshot> {
+        self.env.profile.as_ref().map(|p| p.snapshot())
+    }
+
+    /// Harvests every router's hotspot counters (cumulative since
+    /// construction).
+    pub fn telemetry(&self) -> MeshTelemetry {
+        collect_telemetry(&self.env, &self.cells)
     }
 
     /// Advances the network by one clock cycle (the serial engine; the
@@ -588,6 +621,7 @@ impl<S: TraceSink> NetCore<S> {
             now: self.now,
             packets_injected: self.packets_injected,
             packets_ejected: self.packets_ejected,
+            latency_sum: self.latency_sum,
             any_in_recovery: cells
                 .iter()
                 .any(|c| c.lock().unwrap().router.probe.in_recovery()),
@@ -1109,9 +1143,17 @@ impl<S: TraceSink> NetCore<S> {
             let action = {
                 let mut cell = cells[at.index()].lock().unwrap();
                 cell.router.events.link += 1;
-                cell.router.probe.on_activation(ActivationSignal {
+                // Count recovery *entries* (rising edges only): a node
+                // already recovering still answers EnterRecoveryAndForward
+                // for forwarding purposes, which must not double-count.
+                let was_recovering = cell.router.probe.in_recovery();
+                let action = cell.router.probe.on_activation(ActivationSignal {
                     origin: flight.origin,
-                })
+                });
+                if !was_recovering && cell.router.probe.in_recovery() {
+                    cell.router.recoveries += 1;
+                }
+                action
             };
             match action {
                 ActivationAction::EnterRecoveryAndForward => {
@@ -1122,6 +1164,33 @@ impl<S: TraceSink> NetCore<S> {
                 ActivationAction::RecoveryComplete | ActivationAction::Discard => {}
             }
         }
+    }
+}
+
+/// Harvests one [`RouterTelemetry`] per router (node-id order) into a
+/// mesh-shaped snapshot. Shared by [`Network::telemetry`] and the
+/// stepper so interval emission and post-run reads agree exactly.
+pub(crate) fn collect_telemetry(env: &RunEnv, cells: &[Mutex<RouterCell>]) -> MeshTelemetry {
+    MeshTelemetry {
+        width: env.topo.width() as usize,
+        height: env.topo.height() as usize,
+        routers: cells
+            .iter()
+            .map(|cell| {
+                let cell = cell.lock().unwrap();
+                let r = &cell.router;
+                RouterTelemetry {
+                    flits_routed: r.events.crossbar,
+                    buffer_stalls: r.buffer_stalls,
+                    retransmissions: r.events.retransmission,
+                    nacks: r.events.nack,
+                    probes_sent: r.errors.probes_sent,
+                    deadlocks_confirmed: r.errors.deadlocks_confirmed,
+                    faults_injected: r.fault_counts().total(),
+                    recoveries: r.recoveries,
+                }
+            })
+            .collect(),
     }
 }
 

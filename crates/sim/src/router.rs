@@ -273,6 +273,13 @@ pub struct Router {
     pub events: EventCounts,
     /// Error-handling census.
     pub errors: ErrorStats,
+    /// Hotspot telemetry: port-VC cycles spent blocked with buffered
+    /// flits and no progress (cumulative since construction — not
+    /// warmup-windowed, unlike `events`).
+    pub buffer_stalls: u64,
+    /// Hotspot telemetry: times this router *entered* deadlock recovery
+    /// (rising edges of `probe.in_recovery()`, cumulative).
+    pub recoveries: u64,
     va_vc_offset: usize,
     /// Per-router fault injector: an independent, node-seeded stream so
     /// fault draws do not depend on router visitation order (the
@@ -333,6 +340,8 @@ impl Router {
             drives: Vec::new(),
             events: EventCounts::default(),
             errors: ErrorStats::default(),
+            buffer_stalls: 0,
+            recoveries: 0,
             va_vc_offset: 0,
             fi: FaultInjector::new(config.faults, Self::fault_seed(config.seed, id)),
             trace: TraceBuf::default(),
@@ -1270,6 +1279,7 @@ impl Router {
     pub fn end_cycle(&mut self, ctx: &Ctx<'_>) -> Option<(Direction, VcRef)> {
         let vcs = self.cfg.vcs_per_port();
         let mut probe_request = None;
+        let mut stalled = 0u64;
         for p in 0..self.cfg.ports() {
             for v in 0..vcs {
                 let empty = self.inputs[p].buffer.is_empty(v);
@@ -1277,11 +1287,13 @@ impl Router {
                 let waiting = !matches!(input.state, VcState::Idle) && !empty && !input.progressed;
                 if waiting {
                     input.blocked_cycles += 1;
+                    stalled += 1;
                 } else {
                     input.blocked_cycles = 0;
                 }
             }
         }
+        self.buffer_stalls += stalled;
         if ctx.config.deadlock.enabled && !self.probe.in_recovery() {
             // Rotate the scan start so successive suspicions probe
             // different blocked VCs (the deadlock cycle may not pass

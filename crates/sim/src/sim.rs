@@ -5,6 +5,7 @@ use ftnoc_power::EnergyModel;
 use ftnoc_trace::{NullSink, TraceSink, Tracer};
 
 use crate::config::SimConfig;
+use crate::engine::Stepper;
 use crate::network::{Network, Progress};
 use crate::stats::{ErrorStats, EventCounts, OccupancyHistogram};
 
@@ -46,6 +47,17 @@ pub struct SimReport {
     /// `retrans_depth` flits per VC instead — the §3 buffer-cost
     /// comparison.
     pub e2e_peak_source_buffer_flits: u64,
+    /// Configured worker thread count (a config echo — the simulation
+    /// result is byte-identical at any value).
+    pub threads: usize,
+    /// `std::thread::available_parallelism()` on the reporting host
+    /// (0 when the platform cannot say) — provenance for wall-clock
+    /// comparisons, not a simulation result.
+    pub available_parallelism: usize,
+    /// Async trace-sink queue stats `(dropped_records, max_depth)`,
+    /// when the run traced through an async sink (set by the CLI after
+    /// the sink is recovered).
+    pub trace_queue: Option<(u64, u64)>,
     /// Whether the run ended by reaching the packet target (vs the
     /// cycle cap — a capped saturated/wedged run reports `false`).
     pub completed: bool,
@@ -156,6 +168,17 @@ impl SimReport {
         );
         let _ = write!(
             s,
+            ",\"threads\":{},\"available_parallelism\":{}",
+            self.threads, self.available_parallelism
+        );
+        if let Some((dropped, max_depth)) = self.trace_queue {
+            let _ = write!(
+                s,
+                ",\"trace_queue\":{{\"dropped\":{dropped},\"max_depth\":{max_depth}}}"
+            );
+        }
+        let _ = write!(
+            s,
             ",\"e2e_peak_source_buffer_flits\":{},\"completed\":{}}}",
             self.e2e_peak_source_buffer_flits, self.completed
         );
@@ -215,6 +238,19 @@ impl<S: TraceSink> Simulator<S> {
     /// long runs. The whole run executes under one worker-pool session
     /// sized by [`SimConfig::threads`].
     pub fn run_observed<F: FnMut(Progress)>(&mut self, every: u64, mut observer: F) -> SimReport {
+        self.run_instrumented(|st| {
+            if every > 0 && st.now().is_multiple_of(every) {
+                observer(st.progress());
+            }
+        })
+    }
+
+    /// The fully-instrumented run driver: like [`Simulator::run`], but
+    /// `each_cycle` sees the borrowed [`Stepper`] after every step and
+    /// can take [`Progress`], telemetry and profile snapshots at its
+    /// own cadence (the CLI's `--metrics-out` emitter). Read-only
+    /// access: observation cannot perturb the run.
+    pub fn run_instrumented<F: FnMut(&Stepper<'_, S>)>(&mut self, mut each_cycle: F) -> SimReport {
         let warmup_target = self.config.warmup_packets;
         let measure_packets = self.config.measure_packets;
         let max_cycles = self.config.max_cycles;
@@ -227,9 +263,7 @@ impl<S: TraceSink> Simulator<S> {
             }
             while st.now() < max_cycles {
                 st.step();
-                if every > 0 && st.now().is_multiple_of(every) {
-                    observer(st.progress());
-                }
+                each_cycle(st);
                 if !measuring && st.packets_ejected() >= warmup_target {
                     st.start_measurement();
                     // Anchor the window at the actual crossing point so
@@ -278,6 +312,11 @@ impl<S: TraceSink> Simulator<S> {
             events: stats.events,
             errors: stats.errors,
             faults_injected: self.network.fault_counts(),
+            threads: self.config.threads,
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0),
+            trace_queue: None,
             e2e_peak_source_buffer_flits: self.network.e2e_peak_source_flits(),
             completed,
         }
@@ -463,5 +502,45 @@ mod tests {
         .run();
         assert!(report.completed);
         assert!(report.errors.link_corrected_inline > 0);
+    }
+
+    #[test]
+    fn report_json_renders_non_finite_floats_as_null() {
+        let mut report = Simulator::new(
+            small_config()
+                .warmup_packets(0)
+                .measure_packets(10)
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(report.to_json().contains("\"avg_latency\":"));
+        // JSON has no NaN/Infinity literals; a degenerate window must
+        // serialize as null, never as an unparsable token.
+        report.avg_latency = f64::NAN;
+        report.throughput = f64::INFINITY;
+        let json = report.to_json();
+        assert!(json.contains("\"avg_latency\":null"), "{json}");
+        assert!(json.contains("\"throughput\":null"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn report_json_includes_trace_queue_when_set() {
+        let mut report = Simulator::new(
+            small_config()
+                .warmup_packets(0)
+                .measure_packets(10)
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(!report.to_json().contains("\"trace_queue\""));
+        report.trace_queue = Some((3, 17));
+        let json = report.to_json();
+        assert!(
+            json.contains("\"trace_queue\":{\"dropped\":3,\"max_depth\":17}"),
+            "{json}"
+        );
     }
 }

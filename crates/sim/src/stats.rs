@@ -480,6 +480,31 @@ mod tests {
         let h = LatencyHistogram::new();
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.5), 0);
+        // An empty measurement window must report all-zero percentiles,
+        // not garbage from a zero-count division.
+        assert_eq!(h.percentiles(), (0, 0, 0));
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(37);
+        assert_eq!(h.len(), 1);
+        // One sample in [32, 64): every quantile reports that bucket's
+        // upper bound.
+        let (p50, p95, p99) = h.percentiles();
+        assert_eq!((p50, p95, p99), (63, 63, 63));
+        assert_eq!(h.quantile(0.01), 63);
+        assert_eq!(h.quantile(1.0), 63);
+    }
+
+    #[test]
+    fn zero_latency_sample_lands_in_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.percentiles(), (1, 1, 1));
     }
 
     #[test]

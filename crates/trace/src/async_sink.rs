@@ -24,60 +24,43 @@
 //! blocks until the writer has recorded *and flushed* everything
 //! accepted before the call — the ordering guarantee callers of a
 //! synchronous flush already rely on.
-
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+//!
+//! The queueing itself lives in the generic [`crate::queue`] module
+//! ([`AsyncQueue`] + [`QueueConsumer`]); this file only adapts it to
+//! the [`TraceSink`] seam.
 
 use crate::event::TraceRecord;
+use crate::queue::{AsyncQueue, QueueConsumer};
 use crate::sink::TraceSink;
 
-/// What [`AsyncSink::record`] does when the bounded queue is full.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum OverflowPolicy {
-    /// Wait for the writer thread to free a slot (lossless
-    /// backpressure; the hot loop stalls only while the queue is full).
-    #[default]
-    Block,
-    /// Discard the newest record and count the loss (bounded overhead;
-    /// see [`AsyncSink::dropped`]).
-    Drop,
+pub use crate::queue::OverflowPolicy;
+
+/// Adapts a [`TraceSink`] to the consuming end of an [`AsyncQueue`].
+struct SinkWriter<S: TraceSink>(S);
+
+impl<S: TraceSink + Send> QueueConsumer<TraceRecord> for SinkWriter<S> {
+    fn consume(&mut self, rec: &TraceRecord) {
+        self.0.record(rec);
+    }
+
+    fn flush(&mut self) {
+        self.0.flush();
+    }
 }
 
-/// Queue state shared between the producer and the writer thread.
-struct Queue {
-    buf: VecDeque<TraceRecord>,
-    /// Sequence number of the last accepted (enqueued) record.
-    accepted: u64,
-    /// Sequence number through which the writer has called
-    /// `inner.record`.
-    written: u64,
-    /// Sequence number through which the writer has called
-    /// `inner.flush`.
-    flushed: u64,
-    /// Highest sequence number a flush has been requested for.
-    flush_target: u64,
-    /// Producer gone: drain and exit.
-    closed: bool,
-}
-
-struct Shared {
-    q: Mutex<Queue>,
-    /// Writer waits here for records, flush requests, or close.
-    work: Condvar,
-    /// Producer waits here for space (Block) or flush completion.
-    space: Condvar,
+/// Queue-health statistics of an [`AsyncSink`] (surfaced in the CLI's
+/// `--report-json` as `trace_queue`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyncSinkStats {
     /// Records discarded under [`OverflowPolicy::Drop`].
-    dropped: AtomicU64,
+    pub dropped: u64,
+    /// High-water queue depth in records.
+    pub max_depth: u64,
 }
 
 /// Bounded-queue writer-thread sink wrapper. See the module docs.
 pub struct AsyncSink<S: TraceSink + Send + 'static> {
-    shared: Arc<Shared>,
-    capacity: usize,
-    policy: OverflowPolicy,
-    handle: Option<JoinHandle<S>>,
+    queue: AsyncQueue<TraceRecord, SinkWriter<S>>,
 }
 
 impl<S: TraceSink + Send + 'static> AsyncSink<S> {
@@ -85,38 +68,29 @@ impl<S: TraceSink + Send + 'static> AsyncSink<S> {
     /// bound in records (clamped to ≥ 1); `policy` picks the behaviour
     /// at that bound.
     pub fn new(inner: S, capacity: usize, policy: OverflowPolicy) -> Self {
-        let shared = Arc::new(Shared {
-            q: Mutex::new(Queue {
-                buf: VecDeque::with_capacity(capacity.clamp(1, 1 << 20)),
-                accepted: 0,
-                written: 0,
-                flushed: 0,
-                flush_target: 0,
-                closed: false,
-            }),
-            work: Condvar::new(),
-            space: Condvar::new(),
-            dropped: AtomicU64::new(0),
-        });
-        let handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("ftnoc-trace-writer".into())
-                .spawn(move || writer_loop(&shared, inner))
-                .expect("spawn trace writer thread")
-        };
         AsyncSink {
-            shared,
-            capacity: capacity.max(1),
-            policy,
-            handle: Some(handle),
+            queue: AsyncQueue::new(SinkWriter(inner), capacity, policy),
         }
     }
 
     /// Records discarded so far under [`OverflowPolicy::Drop`] (always
     /// 0 under [`OverflowPolicy::Block`]).
     pub fn dropped(&self) -> u64 {
-        self.shared.dropped.load(Ordering::Relaxed)
+        self.queue.dropped()
+    }
+
+    /// High-water queue depth so far — how close the hot loop came to
+    /// the bound (and, under Block, to stalling).
+    pub fn max_depth(&self) -> u64 {
+        self.queue.max_depth()
+    }
+
+    /// Both queue-health numbers as one snapshot.
+    pub fn stats(&self) -> AsyncSinkStats {
+        AsyncSinkStats {
+            dropped: self.dropped(),
+            max_depth: self.max_depth(),
+        }
     }
 
     /// Stops the writer thread (draining everything queued), and
@@ -124,124 +98,19 @@ impl<S: TraceSink + Send + 'static> AsyncSink<S> {
     ///
     /// The drop count is part of the return value on purpose: a lossy
     /// trace must be reported, not silently written.
-    pub fn finish(mut self) -> (S, u64) {
-        let inner = self.shutdown().expect("writer thread still attached");
-        (inner, self.dropped())
-    }
-
-    /// Closes the queue and joins the writer, recovering the inner
-    /// sink. `None` if already shut down.
-    fn shutdown(&mut self) -> Option<S> {
-        let handle = self.handle.take()?;
-        {
-            let mut q = self.shared.q.lock().unwrap();
-            q.closed = true;
-            self.shared.work.notify_all();
-        }
-        // A panicking writer means the inner sink is gone; surface the
-        // panic rather than pretending the trace was written.
-        Some(handle.join().expect("trace writer thread panicked"))
+    pub fn finish(self) -> (S, u64) {
+        let (writer, dropped) = self.queue.finish();
+        (writer.0, dropped)
     }
 }
 
 impl<S: TraceSink + Send + 'static> TraceSink for AsyncSink<S> {
     fn record(&mut self, rec: &TraceRecord) {
-        let mut q = self.shared.q.lock().unwrap();
-        if q.buf.len() >= self.capacity {
-            match self.policy {
-                OverflowPolicy::Block => {
-                    while q.buf.len() >= self.capacity {
-                        q = self.shared.space.wait(q).unwrap();
-                    }
-                }
-                OverflowPolicy::Drop => {
-                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-            }
-        }
-        q.buf.push_back(*rec);
-        q.accepted += 1;
-        self.shared.work.notify_one();
+        self.queue.push(*rec);
     }
 
     fn flush(&mut self) {
-        let mut q = self.shared.q.lock().unwrap();
-        let target = q.accepted;
-        q.flush_target = q.flush_target.max(target);
-        self.shared.work.notify_one();
-        while q.flushed < target {
-            q = self.shared.space.wait(q).unwrap();
-        }
-    }
-}
-
-impl<S: TraceSink + Send + 'static> Drop for AsyncSink<S> {
-    /// Joining on drop (rather than detaching) guarantees queued
-    /// records reach the inner sink even when the owner never calls
-    /// [`AsyncSink::finish`].
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            // Avoid a double panic if the writer also died; the trace
-            // is forfeit anyway.
-            if let Some(handle) = self.handle.take() {
-                let mut q = self.shared.q.lock().unwrap();
-                q.closed = true;
-                self.shared.work.notify_all();
-                drop(q);
-                let _ = handle.join();
-            }
-            return;
-        }
-        let _ = self.shutdown();
-    }
-}
-
-/// The writer thread: drain batches FIFO, record them into the inner
-/// sink outside the lock, honour sequence-numbered flush requests, and
-/// hand the inner sink back on close.
-fn writer_loop<S: TraceSink>(shared: &Shared, mut inner: S) -> S {
-    let mut batch: Vec<TraceRecord> = Vec::new();
-    loop {
-        let (flush_to, done) = {
-            let mut q = shared.q.lock().unwrap();
-            loop {
-                let flush_pending = q.flushed < q.flush_target && q.written >= q.flush_target;
-                if !q.buf.is_empty() || flush_pending || q.closed {
-                    break;
-                }
-                q = shared.work.wait(q).unwrap();
-            }
-            batch.extend(q.buf.drain(..));
-            // Space freed: wake a producer blocked on the bound.
-            shared.space.notify_all();
-            let after = q.written + batch.len() as u64;
-            let flush_to = if q.flushed < q.flush_target && after >= q.flush_target {
-                q.flush_target
-            } else {
-                0
-            };
-            (flush_to, q.closed && batch.is_empty())
-        };
-        if done {
-            inner.flush();
-            return inner;
-        }
-        for rec in &batch {
-            inner.record(rec);
-        }
-        if flush_to > 0 {
-            inner.flush();
-        }
-        let mut q = shared.q.lock().unwrap();
-        q.written += batch.len() as u64;
-        if flush_to > 0 {
-            q.flushed = q.flushed.max(flush_to);
-        }
-        // Wake a producer waiting in `flush`.
-        shared.space.notify_all();
-        drop(q);
-        batch.clear();
+        self.queue.flush();
     }
 }
 
@@ -250,6 +119,7 @@ mod tests {
     use super::*;
     use crate::event::TraceEvent;
     use crate::sink::{JsonlSink, MemorySink};
+    use std::sync::{Arc, Mutex};
     use std::time::Duration;
 
     fn rec(cycle: u64) -> TraceRecord {
@@ -296,6 +166,7 @@ mod tests {
         for c in 0..300 {
             sink.record(&rec(c));
         }
+        let stats = sink.stats();
         let (slow, dropped) = sink.finish();
         assert_eq!(dropped, 0);
         assert_eq!(slow.inner.records.len(), 300);
@@ -304,6 +175,11 @@ mod tests {
             .records
             .windows(2)
             .all(|w| w[0].cycle < w[1].cycle));
+        assert!(
+            stats.max_depth >= 1 && stats.max_depth <= 2,
+            "high-water {} out of range for a 2-slot queue",
+            stats.max_depth
+        );
     }
 
     #[test]

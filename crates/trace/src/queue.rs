@@ -1,0 +1,352 @@
+//! A bounded producer/consumer queue with a dedicated consumer thread —
+//! the machinery behind [`crate::AsyncSink`], generic so other streams
+//! (e.g. periodic metrics lines) can reuse it.
+//!
+//! One producer pushes items of type `T`; a spawned thread drains them
+//! FIFO into a [`QueueConsumer`], which observes the exact sequence a
+//! synchronous call chain would. The queue is bounded and the behaviour
+//! at the bound is an explicit [`OverflowPolicy`], never a silent
+//! choice. Flushing is sequence-numbered: every accepted item gets a
+//! monotonically increasing sequence number and [`AsyncQueue::flush`]
+//! blocks until the consumer has consumed *and flushed* everything
+//! accepted before the call.
+//!
+//! The queue also keeps its own health telemetry: a count of items
+//! discarded under [`OverflowPolicy::Drop`] and the high-water queue
+//! depth, so a lossy or near-saturated stream is always observable.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// What [`AsyncQueue::push`] does when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Wait for the consumer thread to free a slot (lossless
+    /// backpressure; the producer stalls only while the queue is full).
+    #[default]
+    Block,
+    /// Discard the newest item and count the loss (bounded overhead;
+    /// see [`AsyncQueue::dropped`]).
+    Drop,
+}
+
+/// The consuming end of an [`AsyncQueue`]: owned by the consumer
+/// thread, handed back by [`AsyncQueue::finish`].
+pub trait QueueConsumer<T>: Send {
+    /// Consumes one item (called on the consumer thread, in FIFO
+    /// order).
+    fn consume(&mut self, item: &T);
+
+    /// Makes everything consumed so far durable (a flush request from
+    /// the producer side, and once more on close).
+    fn flush(&mut self) {}
+}
+
+/// Queue state shared between the producer and the consumer thread.
+struct Queue<T> {
+    buf: VecDeque<T>,
+    /// Sequence number of the last accepted (enqueued) item.
+    accepted: u64,
+    /// Sequence number through which the consumer has been called.
+    consumed: u64,
+    /// Sequence number through which the consumer has flushed.
+    flushed: u64,
+    /// Highest sequence number a flush has been requested for.
+    flush_target: u64,
+    /// High-water queue depth (in items).
+    max_depth: u64,
+    /// Producer gone: drain and exit.
+    closed: bool,
+}
+
+struct Shared<T> {
+    q: Mutex<Queue<T>>,
+    /// Consumer waits here for items, flush requests, or close.
+    work: Condvar,
+    /// Producer waits here for space (Block) or flush completion.
+    space: Condvar,
+    /// Items discarded under [`OverflowPolicy::Drop`].
+    dropped: AtomicU64,
+}
+
+/// Bounded queue + consumer thread. See the module docs.
+pub struct AsyncQueue<T: Send + 'static, C: QueueConsumer<T> + 'static> {
+    shared: Arc<Shared<T>>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    handle: Option<JoinHandle<C>>,
+}
+
+impl<T: Send + 'static, C: QueueConsumer<T> + 'static> AsyncQueue<T, C> {
+    /// Spawns the consumer thread around `consumer`. `capacity` is the
+    /// queue bound in items (clamped to ≥ 1); `policy` picks the
+    /// behaviour at that bound.
+    pub fn new(consumer: C, capacity: usize, policy: OverflowPolicy) -> Self {
+        let shared = Arc::new(Shared {
+            q: Mutex::new(Queue {
+                buf: VecDeque::with_capacity(capacity.clamp(1, 1 << 20)),
+                accepted: 0,
+                consumed: 0,
+                flushed: 0,
+                flush_target: 0,
+                max_depth: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            dropped: AtomicU64::new(0),
+        });
+        let handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ftnoc-queue-writer".into())
+                .spawn(move || consumer_loop(&shared, consumer))
+                .expect("spawn queue consumer thread")
+        };
+        AsyncQueue {
+            shared,
+            capacity: capacity.max(1),
+            policy,
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueues one item, applying the overflow policy at the bound.
+    pub fn push(&mut self, item: T) {
+        let mut q = self.shared.q.lock().unwrap();
+        if q.buf.len() >= self.capacity {
+            match self.policy {
+                OverflowPolicy::Block => {
+                    while q.buf.len() >= self.capacity {
+                        q = self.shared.space.wait(q).unwrap();
+                    }
+                }
+                OverflowPolicy::Drop => {
+                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        q.buf.push_back(item);
+        q.accepted += 1;
+        q.max_depth = q.max_depth.max(q.buf.len() as u64);
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until everything accepted before this call has been
+    /// consumed and the consumer's own `flush` has covered it.
+    pub fn flush(&mut self) {
+        let mut q = self.shared.q.lock().unwrap();
+        let target = q.accepted;
+        q.flush_target = q.flush_target.max(target);
+        self.shared.work.notify_one();
+        while q.flushed < target {
+            q = self.shared.space.wait(q).unwrap();
+        }
+    }
+
+    /// Items discarded so far under [`OverflowPolicy::Drop`] (always 0
+    /// under [`OverflowPolicy::Block`]).
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// High-water queue depth so far (in items) — how close the
+    /// producer came to the bound.
+    pub fn max_depth(&self) -> u64 {
+        self.shared.q.lock().unwrap().max_depth
+    }
+
+    /// Stops the consumer thread (draining everything queued), and
+    /// returns the consumer plus the number of dropped items.
+    ///
+    /// The drop count is part of the return value on purpose: a lossy
+    /// stream must be reported, not silently written.
+    pub fn finish(mut self) -> (C, u64) {
+        let consumer = self.shutdown().expect("consumer thread still attached");
+        (consumer, self.dropped())
+    }
+
+    /// Closes the queue and joins the consumer thread. `None` if
+    /// already shut down.
+    fn shutdown(&mut self) -> Option<C> {
+        let handle = self.handle.take()?;
+        {
+            let mut q = self.shared.q.lock().unwrap();
+            q.closed = true;
+            self.shared.work.notify_all();
+        }
+        // A panicking consumer means its state is gone; surface the
+        // panic rather than pretending the stream was written.
+        Some(handle.join().expect("queue consumer thread panicked"))
+    }
+}
+
+impl<T: Send + 'static, C: QueueConsumer<T> + 'static> Drop for AsyncQueue<T, C> {
+    /// Joining on drop (rather than detaching) guarantees queued items
+    /// reach the consumer even when the owner never calls
+    /// [`AsyncQueue::finish`].
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Avoid a double panic if the consumer also died; the
+            // stream is forfeit anyway.
+            if let Some(handle) = self.handle.take() {
+                let mut q = self.shared.q.lock().unwrap();
+                q.closed = true;
+                self.shared.work.notify_all();
+                drop(q);
+                let _ = handle.join();
+            }
+            return;
+        }
+        let _ = self.shutdown();
+    }
+}
+
+/// The consumer thread: drain batches FIFO, feed them to the consumer
+/// outside the lock, honour sequence-numbered flush requests, and hand
+/// the consumer back on close.
+fn consumer_loop<T, C: QueueConsumer<T>>(shared: &Shared<T>, mut consumer: C) -> C {
+    let mut batch: Vec<T> = Vec::new();
+    loop {
+        let (flush_to, done) = {
+            let mut q = shared.q.lock().unwrap();
+            loop {
+                let flush_pending = q.flushed < q.flush_target && q.consumed >= q.flush_target;
+                if !q.buf.is_empty() || flush_pending || q.closed {
+                    break;
+                }
+                q = shared.work.wait(q).unwrap();
+            }
+            batch.extend(q.buf.drain(..));
+            // Space freed: wake a producer blocked on the bound.
+            shared.space.notify_all();
+            let after = q.consumed + batch.len() as u64;
+            let flush_to = if q.flushed < q.flush_target && after >= q.flush_target {
+                q.flush_target
+            } else {
+                0
+            };
+            (flush_to, q.closed && batch.is_empty())
+        };
+        if done {
+            consumer.flush();
+            return consumer;
+        }
+        for item in &batch {
+            consumer.consume(item);
+        }
+        if flush_to > 0 {
+            consumer.flush();
+        }
+        let mut q = shared.q.lock().unwrap();
+        q.consumed += batch.len() as u64;
+        if flush_to > 0 {
+            q.flushed = q.flushed.max(flush_to);
+        }
+        // Wake a producer waiting in `flush`.
+        shared.space.notify_all();
+        drop(q);
+        batch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Collects consumed items behind a shared handle, optionally
+    /// slowly (to make the bounded queue fill).
+    #[derive(Clone, Default)]
+    struct Collector {
+        items: Arc<Mutex<Vec<u64>>>,
+        flushes: Arc<Mutex<Vec<usize>>>,
+        delay: Duration,
+    }
+
+    impl QueueConsumer<u64> for Collector {
+        fn consume(&mut self, item: &u64) {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            self.items.lock().unwrap().push(*item);
+        }
+
+        fn flush(&mut self) {
+            let n = self.items.lock().unwrap().len();
+            self.flushes.lock().unwrap().push(n);
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_drain_on_finish() {
+        let mut q = AsyncQueue::new(Collector::default(), 8, OverflowPolicy::Block);
+        for i in 0..500u64 {
+            q.push(i);
+        }
+        let (c, dropped) = q.finish();
+        assert_eq!(dropped, 0);
+        let items = c.items.lock().unwrap();
+        assert_eq!(items.len(), 500);
+        assert!(items.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn max_depth_tracks_the_high_water_mark() {
+        let slow = Collector {
+            delay: Duration::from_micros(300),
+            ..Collector::default()
+        };
+        let mut q = AsyncQueue::new(slow, 4, OverflowPolicy::Block);
+        for i in 0..100u64 {
+            q.push(i);
+        }
+        let depth = q.max_depth();
+        assert!(depth >= 2, "a slow consumer must back the queue up");
+        assert!(depth <= 4, "depth can never exceed the bound");
+        let (_, dropped) = q.finish();
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn drop_policy_counts_losses_and_keeps_order() {
+        let slow = Collector {
+            delay: Duration::from_micros(500),
+            ..Collector::default()
+        };
+        let mut q = AsyncQueue::new(slow, 2, OverflowPolicy::Drop);
+        for i in 0..400u64 {
+            q.push(i);
+        }
+        let (c, dropped) = q.finish();
+        assert!(dropped > 0, "a 2-slot queue at full speed must overflow");
+        let items = c.items.lock().unwrap();
+        assert_eq!(items.len() as u64 + dropped, 400);
+        assert!(items.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn flush_covers_everything_accepted_before_it() {
+        let probe = Collector {
+            delay: Duration::from_micros(100),
+            ..Collector::default()
+        };
+        let items = Arc::clone(&probe.items);
+        let flushes = Arc::clone(&probe.flushes);
+        let mut q = AsyncQueue::new(probe, 64, OverflowPolicy::Block);
+        for i in 0..50u64 {
+            q.push(i);
+        }
+        q.flush();
+        assert_eq!(items.lock().unwrap().len(), 50);
+        assert!(
+            flushes.lock().unwrap().iter().any(|&n| n >= 50),
+            "consumer flush must cover every item accepted before flush()"
+        );
+        let (_, dropped) = q.finish();
+        assert_eq!(dropped, 0);
+    }
+}

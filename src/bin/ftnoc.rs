@@ -10,6 +10,7 @@
 //! ```
 
 use ftnoc::cli::{parse, Command, HELP};
+use ftnoc::metrics_io::MetricsEmitter;
 use ftnoc_power::EnergyModel;
 use ftnoc_sim::{Progress, SimConfig, SimReport, Simulator};
 use ftnoc_trace::{AsyncSink, JsonlSink, OverflowPolicy, TraceSink, Tracer};
@@ -27,7 +28,24 @@ fn main() {
             plan,
             repro,
             failures_out,
-        }) => run_fuzz_command(plan, repro, failures_out),
+            metrics_out,
+        }) => run_fuzz_command(plan, repro, failures_out, metrics_out),
+        Ok(Command::Report { file }) => {
+            let content = match std::fs::read_to_string(&file) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", file.display());
+                    std::process::exit(2);
+                }
+            };
+            match ftnoc::metrics::report::render(&content) {
+                Ok(rendered) => print!("{rendered}"),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", file.display());
+                    std::process::exit(2);
+                }
+            }
+        }
         Ok(Command::Table1) => {
             print!(
                 "{}",
@@ -44,8 +62,19 @@ fn main() {
             flight_recorder,
             stats_every,
             report_json,
+            metrics_out,
+            metrics_every,
         }) => {
             let config = *config;
+            let mut emitter = metrics_out.map(|path| {
+                match MetricsEmitter::create(&path, metrics_every, &config) {
+                    Ok(em) => em,
+                    Err(e) => {
+                        eprintln!("error: cannot open metrics file {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            });
             let report = match trace {
                 Some(path) => {
                     let sink = match JsonlSink::create(&path) {
@@ -57,8 +86,17 @@ fn main() {
                     };
                     if trace_async {
                         let sink = AsyncSink::new(sink, trace_queue, trace_policy);
-                        let (report, tracer) =
-                            run_traced(config, sink, flight_recorder, stats_every);
+                        let (mut report, tracer) = run_traced(
+                            config,
+                            sink,
+                            flight_recorder,
+                            stats_every,
+                            emitter.as_mut(),
+                        );
+                        // Queue health goes into the report before the
+                        // sink is torn down.
+                        let stats = tracer.sink().stats();
+                        report.trace_queue = Some((stats.dropped, stats.max_depth));
                         let (_, dropped) = tracer.into_sink().finish();
                         // Lossy traces are never silent: the drop policy
                         // always reports its count.
@@ -70,11 +108,17 @@ fn main() {
                         }
                         report
                     } else {
-                        run_traced(config, sink, flight_recorder, stats_every).0
+                        run_traced(config, sink, flight_recorder, stats_every, emitter.as_mut()).0
                     }
                 }
-                None => run_observed(&mut Simulator::new(config), stats_every),
+                None => run_observed(&mut Simulator::new(config), stats_every, emitter.as_mut()),
             };
+            if let Some(em) = emitter {
+                let dropped = em.finish();
+                if dropped > 0 {
+                    eprintln!("metrics: {dropped} interval line(s) dropped");
+                }
+            }
             if report_json {
                 println!("{}", report.to_json());
             } else {
@@ -92,10 +136,11 @@ fn run_traced<S: TraceSink>(
     sink: S,
     flight_recorder: usize,
     stats_every: u64,
+    metrics: Option<&mut MetricsEmitter>,
 ) -> (SimReport, Tracer<S>) {
     let nodes = config.topology.node_count();
     let mut sim = Simulator::with_tracer(config, Tracer::new(sink, nodes, flight_recorder));
-    let report = run_observed(&mut sim, stats_every);
+    let report = run_observed(&mut sim, stats_every, metrics);
     let mut tracer = sim.into_tracer();
     tracer.flush();
     // Post-mortem: a wedged or misdelivering run dumps the per-router
@@ -119,8 +164,9 @@ fn run_fuzz_command(
     plan: ftnoc_check::CampaignPlan,
     repro: Option<String>,
     failures_out: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
 ) {
-    use ftnoc_check::{CampaignParams, LineRenderer};
+    use ftnoc_check::{CampaignParams, LineRenderer, TelemetryObserver};
     if let Some(spec) = repro {
         let params = match CampaignParams::from_spec(&spec) {
             Ok(p) => p,
@@ -142,8 +188,18 @@ fn run_fuzz_command(
         "fuzz: {} campaigns, master seed {:#x}",
         plan.campaigns, plan.seed
     );
-    let mut renderer = LineRenderer::new(|line: &str| println!("{line}"));
-    let report = plan.runner().run(&mut renderer);
+    let threads = plan.threads;
+    let started = std::time::Instant::now();
+    // The telemetry tap counts the in-order event stream while the
+    // renderer prints it; its counters are thread-count-invariant.
+    let mut tap = TelemetryObserver::new(LineRenderer::new(|line: &str| println!("{line}")));
+    let report = plan.runner().run(&mut tap);
+    if let Some(path) = &metrics_out {
+        let line = tap.to_json_line(started.elapsed().as_millis() as u64, threads);
+        if let Err(e) = std::fs::write(path, line + "\n") {
+            eprintln!("error: cannot write {}: {e}", path.display());
+        }
+    }
     if report.failures.is_empty() {
         println!(
             "fuzz: {} campaigns passed, no invariant violations",
@@ -164,22 +220,65 @@ fn run_fuzz_command(
     std::process::exit(1);
 }
 
-/// Runs the simulation, printing interval progress to stderr every
-/// `every` cycles (0 disables it).
-fn run_observed<S: TraceSink>(sim: &mut Simulator<S>, every: u64) -> SimReport {
-    sim.run_observed(every, |p: Progress| {
-        eprintln!(
-            "cycle {:>9}: injected {:>8} ejected {:>8}{}",
-            p.now,
-            p.packets_injected,
-            p.packets_ejected,
-            if p.any_in_recovery {
-                " [recovering]"
+/// Runs the simulation with the CLI's periodic observers attached:
+/// `--stats-every` progress lines on stderr (cumulative totals plus
+/// per-window deltas) and the `--metrics-out` interval emitter. Both
+/// read commit-boundary snapshots only — observation cannot perturb
+/// the run.
+fn run_observed<S: TraceSink>(
+    sim: &mut Simulator<S>,
+    every: u64,
+    mut metrics: Option<&mut MetricsEmitter>,
+) -> SimReport {
+    if metrics.is_some() {
+        // Phase profiling rides along with metrics emission: its
+        // wall-clock timers live strictly outside simulation state.
+        sim.network_mut().enable_profiling();
+    }
+    let mut prev: Option<Progress> = None;
+    let report = sim.run_instrumented(|st| {
+        if every > 0 && st.now().is_multiple_of(every) {
+            let p = st.progress();
+            let (d_inj, d_ej, d_lat) = match prev {
+                Some(q) => (
+                    p.packets_injected - q.packets_injected,
+                    p.packets_ejected - q.packets_ejected,
+                    p.latency_sum - q.latency_sum,
+                ),
+                None => (p.packets_injected, p.packets_ejected, p.latency_sum),
+            };
+            let window_lat = if d_ej > 0 {
+                format!("{:.1}", d_lat as f64 / d_ej as f64)
             } else {
-                ""
+                "-".to_string()
+            };
+            eprintln!(
+                "cycle {:>9}: injected {:>8} (+{d_inj}) ejected {:>8} (+{d_ej}) \
+                 window-lat {window_lat}{}",
+                p.now,
+                p.packets_injected,
+                p.packets_ejected,
+                if p.any_in_recovery {
+                    " [recovering]"
+                } else {
+                    ""
+                }
+            );
+            prev = Some(p);
+        }
+        if let Some(em) = metrics.as_deref_mut() {
+            if em.due(st.now()) {
+                em.record(st.progress(), st.telemetry(), st.profile_snapshot());
             }
-        );
-    })
+        }
+    });
+    // Close the metrics stream with the run's final state (a no-op when
+    // the run ended exactly on an interval boundary).
+    if let Some(em) = metrics {
+        let net = sim.network();
+        em.record(net.progress(), net.telemetry(), net.profile_snapshot());
+    }
+    report
 }
 
 /// Dumps every non-empty per-router flight recorder to stderr.

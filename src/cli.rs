@@ -7,7 +7,7 @@ use ftnoc_fault::FaultRates;
 use ftnoc_sim::{DeadlockConfig, ErrorScheme, RoutingAlgorithm, SimConfig};
 use ftnoc_traffic::TrafficPattern;
 use ftnoc_types::config::{BufferOrg, PipelineDepth, RouterConfig};
-use ftnoc_types::geom::{NodeId, Topology, TopologyKind};
+use ftnoc_types::geom::{Direction, NodeId, Topology, TopologyKind};
 
 /// The `--help` text.
 pub const HELP: &str = "\
@@ -16,6 +16,8 @@ ftnoc — cycle-accurate fault-tolerant NoC simulator (Park et al., DSN 2006)
 USAGE:
     ftnoc run [OPTIONS]     simulate and print a run report
     ftnoc fuzz [OPTIONS]    run invariant-checked fault campaigns
+    ftnoc report FILE       render a --metrics-out file as tables and
+                            per-router heatmaps
     ftnoc table1            print the Table 1 power/area reproduction
     ftnoc --help            this text
 
@@ -46,6 +48,10 @@ OPTIONS (run):
     --warmup N          warm-up packets (default 1000)
     --seed N            RNG seed (default 0xF70C)
     --deadlock-recovery enable probing + recovery (Cthres 32)
+    --kill-link N:D     hard-fail the link at node N toward D (n|e|s|w);
+                        repeatable; the surviving network must stay
+                        connected (pair with an adaptive routing such as
+                        --routing ad so traffic can detour)
     --threads N         compute-phase worker threads (default 1; any N
                         gives byte-identical results at the same seed)
     --profile           print the per-event energy breakdown
@@ -63,7 +69,13 @@ OBSERVABILITY (run):
                         dumped to stderr when a traced run wedges or
                         misdelivers)
     --stats-every N     print interval progress to stderr every N cycles
+                        (cumulative totals plus per-window deltas)
     --report-json       print the run report as a JSON object
+    --metrics-out FILE  stream periodic metrics intervals to FILE as
+                        JSONL (cumulative + per-window counters, engine
+                        phase profile, per-router hotspot telemetry);
+                        render with `ftnoc report FILE`
+    --metrics-every N   metrics emission interval in cycles (default 1000)
 
 OPTIONS (fuzz):
     --campaigns N       randomized campaigns to run (default 500)
@@ -78,6 +90,8 @@ OPTIONS (fuzz):
     --org O             static | damq — coerce every campaign onto one
                         buffer organisation (CI shards its budget across
                         both; default: the sampler's natural mix)
+    --metrics-out FILE  write a one-line JSON summary of the sweep
+                        (campaign/violation/shrink counters, wall time)
 
 Every campaign is a short simulation whose every cycle is validated by
 the invariant oracle (flit conservation, credit accounting, wormhole
@@ -110,6 +124,10 @@ pub enum Command {
         stats_every: u64,
         /// Whether to emit the report as JSON (`--report-json`).
         report_json: bool,
+        /// Periodic metrics JSONL destination (`--metrics-out`).
+        metrics_out: Option<std::path::PathBuf>,
+        /// Metrics emission interval in cycles (`--metrics-every`).
+        metrics_every: u64,
     },
     /// Run invariant-checked fault campaigns (`ftnoc fuzz`).
     Fuzz {
@@ -119,6 +137,14 @@ pub enum Command {
         repro: Option<String>,
         /// Append shrunk reproducer specs to this file.
         failures_out: Option<std::path::PathBuf>,
+        /// Write the one-line sweep summary to this file
+        /// (`--metrics-out`).
+        metrics_out: Option<std::path::PathBuf>,
+    },
+    /// Render a `--metrics-out` file (`ftnoc report FILE`).
+    Report {
+        /// The metrics JSONL file to render.
+        file: std::path::PathBuf,
     },
     /// Print the Table 1 reproduction.
     Table1,
@@ -153,6 +179,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         None | Some("--help") | Some("-h") | Some("help") => return Ok(Command::Help),
         Some("table1") => return Ok(Command::Table1),
         Some("fuzz") => return parse_fuzz(&mut it),
+        Some("report") => {
+            let file = it
+                .next()
+                .ok_or_else(|| err("report needs a metrics FILE argument"))?;
+            if let Some(extra) = it.next() {
+                return Err(err(format!("report takes one FILE, got extra `{extra}`")));
+            }
+            return Ok(Command::Report {
+                file: std::path::PathBuf::from(file),
+            });
+        }
         Some("run") => {}
         Some(other) => return Err(err(format!("unknown command `{other}`; try --help"))),
     }
@@ -184,6 +221,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut flight_recorder = 256usize;
     let mut stats_every = 0u64;
     let mut report_json = false;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut metrics_every = 1_000u64;
+    let mut kill_links: Vec<(NodeId, Direction)> = Vec::new();
 
     fn value<'a>(
         it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
@@ -289,6 +329,29 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--flight-recorder" => flight_recorder = num(value(&mut it, flag)?, flag)?,
             "--stats-every" => stats_every = num(value(&mut it, flag)?, flag)?,
             "--report-json" => report_json = true,
+            "--metrics-out" => {
+                metrics_out = Some(std::path::PathBuf::from(value(&mut it, flag)?));
+            }
+            "--metrics-every" => metrics_every = num(value(&mut it, flag)?, flag)?,
+            "--kill-link" => {
+                let v = value(&mut it, flag)?;
+                let (node, dir) = v
+                    .split_once(':')
+                    .ok_or_else(|| err(format!("--kill-link expects N:D, got `{v}`")))?;
+                let node: u16 = num(node, flag)?;
+                let dir = match dir {
+                    "n" | "N" => Direction::North,
+                    "e" | "E" => Direction::East,
+                    "s" | "S" => Direction::South,
+                    "w" | "W" => Direction::West,
+                    d => {
+                        return Err(err(format!(
+                            "--kill-link direction must be n|e|s|w, got `{d}`"
+                        )))
+                    }
+                };
+                kill_links.push((NodeId::new(node), dir));
+            }
             other => return Err(err(format!("unknown flag `{other}`; try --help"))),
         }
     }
@@ -303,6 +366,27 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
     if trace_queue == 0 {
         return Err(err("--trace-queue must be at least 1"));
+    }
+    if metrics_every == 0 {
+        return Err(err("--metrics-every must be at least 1"));
+    }
+    let mut hard_faults = ftnoc_fault::HardFaults::new();
+    for (node, dir) in &kill_links {
+        if node.index() >= topology.node_count() {
+            return Err(err(format!(
+                "--kill-link: node {} out of range for a {}x{} grid",
+                node.raw(),
+                topology.width(),
+                topology.height()
+            )));
+        }
+        hard_faults.kill_link(topology, *node, *dir);
+    }
+    if !hard_faults.network_is_connected(topology) {
+        return Err(err(
+            "--kill-link: the surviving network is disconnected — some \
+             node pair has no fault-free path left",
+        ));
     }
     let mut router_b = RouterConfig::builder();
     router_b
@@ -335,6 +419,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             enabled: deadlock,
             cthres: 32,
         })
+        .hard_faults(hard_faults)
         .threads(threads);
     let config = Box::new(b.build().map_err(|e| err(format!("config: {e}")))?);
     Ok(Command::Run {
@@ -347,6 +432,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         flight_recorder,
         stats_every,
         report_json,
+        metrics_out,
+        metrics_every,
     })
 }
 
@@ -369,6 +456,7 @@ fn parse_fuzz(
     let mut plan = ftnoc_check::CampaignPlan::new();
     let mut repro = None;
     let mut failures_out = None;
+    let mut metrics_out = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--campaigns" => plan = plan.campaigns(num(value(it, flag)?, flag)?),
@@ -379,6 +467,9 @@ fn parse_fuzz(
             "--repro" => repro = Some(value(it, flag)?.to_string()),
             "--failures-out" => {
                 failures_out = Some(std::path::PathBuf::from(value(it, flag)?));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(std::path::PathBuf::from(value(it, flag)?));
             }
             "--org" => {
                 plan = plan.org(match value(it, flag)? {
@@ -394,6 +485,7 @@ fn parse_fuzz(
         plan,
         repro,
         failures_out,
+        metrics_out,
     })
 }
 
@@ -428,6 +520,8 @@ mod tests {
             flight_recorder,
             stats_every,
             report_json,
+            metrics_out,
+            metrics_every,
         } = parse(&args("run")).unwrap()
         else {
             panic!("expected run");
@@ -443,6 +537,9 @@ mod tests {
         assert_eq!(flight_recorder, 256);
         assert_eq!(stats_every, 0);
         assert!(!report_json);
+        assert_eq!(metrics_out, None);
+        assert_eq!(metrics_every, 1000);
+        assert!(config.hard_faults.is_empty());
     }
 
     #[test]
@@ -624,6 +721,88 @@ mod tests {
         assert!(e.0.contains("block|drop"), "{e}");
         let e = parse(&args("run --trace out.jsonl --trace-queue 0")).unwrap_err();
         assert!(e.0.contains("--trace-queue"), "{e}");
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        let cmd = parse(&args("run --metrics-out m.jsonl --metrics-every 250")).unwrap();
+        let Command::Run {
+            metrics_out,
+            metrics_every,
+            ..
+        } = cmd
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            metrics_out.as_deref(),
+            Some(std::path::Path::new("m.jsonl"))
+        );
+        assert_eq!(metrics_every, 250);
+
+        let e = parse(&args("run --metrics-out m.jsonl --metrics-every 0")).unwrap_err();
+        assert!(e.0.contains("--metrics-every"), "{e}");
+        let e = parse(&args("run --metrics-out")).unwrap_err();
+        assert!(e.0.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn report_command_parses() {
+        let Command::Report { file } = parse(&args("report m.jsonl")).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(file, std::path::Path::new("m.jsonl"));
+        let e = parse(&args("report")).unwrap_err();
+        assert!(e.0.contains("FILE"), "{e}");
+        let e = parse(&args("report a.jsonl b.jsonl")).unwrap_err();
+        assert!(e.0.contains("extra"), "{e}");
+    }
+
+    #[test]
+    fn kill_link_parses_and_validates_connectivity() {
+        use ftnoc_types::geom::Direction;
+        let Command::Run { config, .. } =
+            parse(&args("run --routing ad --kill-link 27:e --kill-link 0:s")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert!(config
+            .hard_faults
+            .link_is_dead(NodeId::new(27), Direction::East));
+        // Killing a link marks both endpoints.
+        assert!(config
+            .hard_faults
+            .link_is_dead(NodeId::new(28), Direction::West));
+        assert!(config
+            .hard_faults
+            .link_is_dead(NodeId::new(0), Direction::South));
+
+        let e = parse(&args("run --kill-link banana")).unwrap_err();
+        assert!(e.0.contains("N:D"), "{e}");
+        let e = parse(&args("run --kill-link 3:x")).unwrap_err();
+        assert!(e.0.contains("n|e|s|w"), "{e}");
+        let e = parse(&args("run --kill-link 99:e")).unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+        // Cutting off a corner node entirely disconnects the mesh.
+        let e = parse(&args("run --kill-link 0:e --kill-link 0:s")).unwrap_err();
+        assert!(e.0.contains("disconnected"), "{e}");
+    }
+
+    #[test]
+    fn fuzz_metrics_out_parses() {
+        let Command::Fuzz { metrics_out, .. } = parse(&args("fuzz")).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(metrics_out, None);
+        let Command::Fuzz { metrics_out, .. } =
+            parse(&args("fuzz --metrics-out fuzz.json")).unwrap()
+        else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(
+            metrics_out.as_deref(),
+            Some(std::path::Path::new("fuzz.json"))
+        );
     }
 
     #[test]

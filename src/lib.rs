@@ -20,6 +20,7 @@
 //! | [`core`] | `ftnoc-core` | HBH/E2E/FEC schemes, deadlock recovery, AC |
 //! | [`sim`] | `ftnoc-sim` | the cycle-accurate network simulator |
 //! | [`check`] | `ftnoc-check` | cycle-level invariant oracle, fault-campaign fuzzer |
+//! | [`metrics`] | `ftnoc-metrics` | metrics registry, phase profiler, hotspot telemetry |
 //!
 //! # Quickstart
 //!
@@ -52,11 +53,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod metrics_io;
 
 pub use ftnoc_check as check;
 pub use ftnoc_core as core;
 pub use ftnoc_ecc as ecc;
 pub use ftnoc_fault as fault;
+pub use ftnoc_metrics as metrics;
 pub use ftnoc_netlist as netlist;
 pub use ftnoc_power as power;
 pub use ftnoc_sim as sim;

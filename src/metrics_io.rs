@@ -1,0 +1,190 @@
+//! The `--metrics-out` file emitter: periodic JSONL interval lines off
+//! the simulation hot path.
+//!
+//! [`MetricsEmitter`] owns a bounded [`AsyncQueue`] in front of a
+//! buffered file on a writer thread (the same machinery the async
+//! trace sink uses), so serializing and writing a metrics line never
+//! stalls the cycle loop. Lines are built from read-only snapshots
+//! ([`ftnoc_sim::Progress`], [`MeshTelemetry`], [`ProfileSnapshot`])
+//! taken at commit boundaries — emission cannot perturb the run, and a
+//! metrics-enabled run produces byte-identical traces and reports to a
+//! metrics-free one.
+//!
+//! File format: one [`MetaLine`] describing the run, then one
+//! [`IntervalLine`] per emission with cumulative totals and per-window
+//! deltas. Render it with `ftnoc report FILE`.
+
+use ftnoc_metrics::{IntervalLine, MeshTelemetry, MetaLine, ProfileSnapshot};
+use ftnoc_sim::{Progress, SimConfig};
+use ftnoc_trace::{AsyncQueue, OverflowPolicy, QueueConsumer};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Writes each queued line (newline-terminated) through a buffered
+/// file on the queue's writer thread.
+struct LineFileWriter(BufWriter<File>);
+
+impl QueueConsumer<String> for LineFileWriter {
+    fn consume(&mut self, line: &String) {
+        // A mid-run I/O failure surfaces as a writer-thread panic at
+        // the next queue join — the run itself is never perturbed.
+        writeln!(self.0, "{line}").expect("write metrics line");
+    }
+
+    fn flush(&mut self) {
+        self.0.flush().expect("flush metrics file");
+    }
+}
+
+/// Periodic metrics emission for one run. See the module docs.
+pub struct MetricsEmitter {
+    queue: AsyncQueue<String, LineFileWriter>,
+    every: u64,
+    /// Cumulative (injected, ejected, latency_sum) at the previous
+    /// emission — the baseline for per-window deltas.
+    prev: (u64, u64, u64),
+    /// Cycle of the last emitted interval (dedups the final flush when
+    /// the run ends exactly on an interval boundary).
+    last_cycle: Option<u64>,
+}
+
+impl MetricsEmitter {
+    /// Opens `path`, spawns the writer thread and queues the meta
+    /// line. `every` is the emission interval in cycles (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be
+    /// created.
+    pub fn create(path: &Path, every: u64, config: &SimConfig) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        let writer = LineFileWriter(BufWriter::new(file));
+        // Interval lines are rare (one per `every` cycles) and the
+        // policy is lossless: a metrics file is never silently partial.
+        let mut queue = AsyncQueue::new(writer, 64, OverflowPolicy::Block);
+        let meta = MetaLine {
+            width: config.topology.width() as usize,
+            height: config.topology.height() as usize,
+            nodes: config.topology.node_count(),
+            threads: config.threads,
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0),
+            metrics_every: every.max(1),
+            seed: config.seed,
+        };
+        queue.push(meta.to_json());
+        Ok(MetricsEmitter {
+            queue,
+            every: every.max(1),
+            prev: (0, 0, 0),
+            last_cycle: None,
+        })
+    }
+
+    /// Whether `cycle` lands on an emission boundary.
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.every)
+    }
+
+    /// Queues one interval line from commit-boundary snapshots. A
+    /// repeat call for an already-emitted cycle is a no-op (the final
+    /// flush at run end reuses this).
+    pub fn record(
+        &mut self,
+        progress: Progress,
+        routers: MeshTelemetry,
+        phase: Option<ProfileSnapshot>,
+    ) {
+        if self.last_cycle == Some(progress.now) {
+            return;
+        }
+        self.last_cycle = Some(progress.now);
+        let (p_inj, p_ej, p_lat) = self.prev;
+        let line = IntervalLine {
+            cycle: progress.now,
+            injected: progress.packets_injected,
+            ejected: progress.packets_ejected,
+            latency_sum: progress.latency_sum,
+            d_injected: progress.packets_injected.saturating_sub(p_inj),
+            d_ejected: progress.packets_ejected.saturating_sub(p_ej),
+            d_latency_sum: progress.latency_sum.saturating_sub(p_lat),
+            phase,
+            routers,
+        };
+        self.prev = (
+            progress.packets_injected,
+            progress.packets_ejected,
+            progress.latency_sum,
+        );
+        self.queue.push(line.to_json());
+    }
+
+    /// Drains and closes the file, returning the number of dropped
+    /// lines (always 0 under the lossless policy; the count exists so
+    /// a policy change can never lose data silently).
+    pub fn finish(self) -> u64 {
+        let (_, dropped) = self.queue.finish();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftnoc_metrics::json;
+
+    fn config() -> SimConfig {
+        SimConfig::builder()
+            .measure_packets(10)
+            .warmup_packets(0)
+            .build()
+            .unwrap()
+    }
+
+    fn progress(now: u64, injected: u64, ejected: u64, latency_sum: u64) -> Progress {
+        Progress {
+            now,
+            packets_injected: injected,
+            packets_ejected: ejected,
+            latency_sum,
+            any_in_recovery: false,
+        }
+    }
+
+    fn mesh() -> MeshTelemetry {
+        MeshTelemetry {
+            width: 8,
+            height: 8,
+            routers: vec![Default::default(); 64],
+        }
+    }
+
+    #[test]
+    fn emits_meta_then_intervals_with_deltas() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ftnoc-metrics-io-test.jsonl");
+        let mut em = MetricsEmitter::create(&path, 100, &config()).unwrap();
+        assert!(em.due(100) && em.due(200) && !em.due(150));
+        em.record(progress(100, 40, 30, 600), mesh(), None);
+        em.record(progress(200, 90, 70, 1400), mesh(), None);
+        // The final flush at an already-emitted cycle is a no-op.
+        em.record(progress(200, 90, 70, 1400), mesh(), None);
+        assert_eq!(em.finish(), 0);
+
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<_> = content.lines().collect();
+        assert_eq!(lines.len(), 3, "meta + 2 intervals:\n{content}");
+        let meta = json::parse(lines[0]).unwrap();
+        assert_eq!(meta.get("kind").unwrap().as_str(), Some("meta"));
+        assert_eq!(meta.u64_field("nodes"), Some(64));
+        let second = json::parse(lines[2]).unwrap();
+        assert_eq!(second.u64_field("cycle"), Some(200));
+        let delta = second.get("delta").unwrap();
+        assert_eq!(delta.u64_field("injected"), Some(50));
+        assert_eq!(delta.u64_field("ejected"), Some(40));
+        assert_eq!(delta.get("avg_latency").unwrap().as_f64(), Some(20.0));
+    }
+}

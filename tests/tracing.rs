@@ -295,6 +295,8 @@ fn report_json_is_valid_and_complete() {
         "\"events\"",
         "\"errors\"",
         "\"faults_injected\"",
+        "\"threads\"",
+        "\"available_parallelism\"",
         "\"completed\"",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
