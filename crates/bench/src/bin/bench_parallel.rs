@@ -1,6 +1,7 @@
 //! The reproducible perf baseline for the two-phase cycle engine:
 //! times the paper-platform sweep points serially and on the worker
-//! pool, and writes the results as `BENCH_parallel.json`.
+//! pool, with activity gating on and off, and writes the results as
+//! `BENCH_parallel.json`.
 //!
 //! ```sh
 //! cargo run -p ftnoc-bench --bin bench_parallel --release             # full
@@ -9,67 +10,104 @@
 //!     --out target/BENCH_parallel.json
 //! ```
 //!
-//! Every (point, threads) cell reports wall time, cycles/sec and
-//! ejected flits/sec for an identical fixed-cycle run; the engine's
-//! parity guarantee (see `tests/parallel_parity.rs`) means every thread
-//! count simulates the *same* network, so the cells are directly
-//! comparable. The host's `available_parallelism` is recorded alongside
-//! — speedups are only meaningful relative to the cores that were
-//! actually there.
+//! Every (point, gating, threads) cell reports wall time, cycles/sec,
+//! ejected flits/sec and the activity skip rate for an identical
+//! fixed-cycle run; the engine's parity guarantees (see
+//! `tests/parallel_parity.rs` and `tests/activity_parity.rs`) mean
+//! every thread count and both gating modes simulate the *same*
+//! network, so the cells are directly comparable. The host's
+//! `available_parallelism` is recorded alongside — speedups are only
+//! meaningful relative to the cores that were actually there.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ftnoc_fault::FaultRates;
 use ftnoc_sim::{Network, SimConfig};
+use ftnoc_types::geom::Topology;
 
 /// Thread counts timed per sweep point.
 const THREADS: [usize; 3] = [1, 2, 4];
 
-/// One sweep point: the paper's 8×8 HBH platform at a given load.
+/// One sweep point: the paper's HBH platform at a given size and load.
 struct SweepPoint {
     name: &'static str,
+    width: u8,
+    height: u8,
     injection_rate: f64,
     link_error_rate: f64,
 }
 
-const POINTS: [SweepPoint; 4] = [
+const POINTS: [SweepPoint; 6] = [
+    // Sparse traffic: most routers idle most cycles — the activity
+    // worklist's showcase regime.
+    SweepPoint {
+        name: "8x8_inj0.02",
+        width: 8,
+        height: 8,
+        injection_rate: 0.02,
+        link_error_rate: 0.0,
+    },
     SweepPoint {
         name: "8x8_inj0.10",
+        width: 8,
+        height: 8,
         injection_rate: 0.10,
         link_error_rate: 0.0,
     },
     SweepPoint {
         name: "8x8_inj0.25",
+        width: 8,
+        height: 8,
         injection_rate: 0.25,
         link_error_rate: 0.0,
     },
+    // Saturation: everything is active, gating can only add overhead —
+    // this point bounds that overhead.
     SweepPoint {
         name: "8x8_inj0.40",
+        width: 8,
+        height: 8,
         injection_rate: 0.40,
         link_error_rate: 0.0,
     },
     SweepPoint {
         name: "8x8_inj0.25_err1e-3",
+        width: 8,
+        height: 8,
         injection_rate: 0.25,
         link_error_rate: 1e-3,
+    },
+    // A bigger mesh at light load: skip fraction grows with idle area.
+    SweepPoint {
+        name: "16x16_inj0.05",
+        width: 16,
+        height: 16,
+        injection_rate: 0.05,
+        link_error_rate: 0.0,
     },
 ];
 
 /// One timed cell of the sweep.
 struct Cell {
     point: &'static str,
+    gating: bool,
     threads: usize,
     cycles: u64,
     wall_secs: f64,
     cycles_per_sec: f64,
     flits_per_sec: f64,
     packets_ejected: u64,
+    /// Fraction of router-cycles skipped as quiescent (0 with gating
+    /// off, by construction).
+    skip_rate: f64,
 }
 
-fn config(point: &SweepPoint) -> SimConfig {
+fn config(point: &SweepPoint, gating: bool) -> SimConfig {
     let mut b = SimConfig::builder();
-    b.injection_rate(point.injection_rate)
+    b.topology(Topology::mesh(point.width, point.height))
+        .injection_rate(point.injection_rate)
+        .activity_gating(gating)
         .warmup_packets(0)
         .measure_packets(u64::MAX)
         .max_cycles(u64::MAX);
@@ -81,12 +119,19 @@ fn config(point: &SweepPoint) -> SimConfig {
 
 /// Times `cycles` cycles of `point` on `threads` workers (best of
 /// `reps` runs, fresh network each rep so state never accumulates).
-fn run_cell(point: &'static SweepPoint, threads: usize, cycles: u64, reps: u32) -> Cell {
-    let flits_per_packet = config(point).router.flits_per_packet() as u64;
+fn run_cell(
+    point: &'static SweepPoint,
+    gating: bool,
+    threads: usize,
+    cycles: u64,
+    reps: u32,
+) -> Cell {
+    let flits_per_packet = config(point, gating).router.flits_per_packet() as u64;
     let mut best_wall = f64::INFINITY;
     let mut packets_ejected = 0u64;
+    let mut skip_rate = 0.0f64;
     for _ in 0..reps {
-        let mut net = Network::new(config(point));
+        let mut net = Network::new(config(point, gating));
         let t = Instant::now();
         net.with_stepper(threads, |st| {
             for _ in 0..cycles {
@@ -95,16 +140,26 @@ fn run_cell(point: &'static SweepPoint, threads: usize, cycles: u64, reps: u32) 
         });
         let wall = t.elapsed().as_secs_f64();
         packets_ejected = net.packets_ejected();
+        let computed: u64 = net
+            .telemetry()
+            .routers
+            .iter()
+            .map(|r| r.computed_cycles)
+            .sum();
+        let possible = cycles * u64::from(point.width) * u64::from(point.height);
+        skip_rate = 1.0 - computed as f64 / possible as f64;
         best_wall = best_wall.min(wall);
     }
     Cell {
         point: point.name,
+        gating,
         threads,
         cycles,
         wall_secs: best_wall,
         cycles_per_sec: cycles as f64 / best_wall,
         flits_per_sec: (packets_ejected * flits_per_packet) as f64 / best_wall,
         packets_ejected,
+        skip_rate,
     }
 }
 
@@ -123,16 +178,18 @@ fn json_report(cells: &[Cell], cores: usize, smoke: bool) -> String {
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"point\": \"{}\", \"threads\": {}, \"cycles\": {}, \
+            "    {{\"point\": \"{}\", \"gating\": {}, \"threads\": {}, \"cycles\": {}, \
              \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \
-             \"flits_per_sec\": {:.1}, \"packets_ejected\": {}}}",
+             \"flits_per_sec\": {:.1}, \"packets_ejected\": {}, \"skip_rate\": {:.4}}}",
             c.point,
+            c.gating,
             c.threads,
             c.cycles,
             c.wall_secs,
             c.cycles_per_sec,
             c.flits_per_sec,
-            c.packets_ejected
+            c.packets_ejected,
+            c.skip_rate
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -153,27 +210,37 @@ fn main() {
     let (cycles, reps) = if smoke { (2_000, 1) } else { (20_000, 3) };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
-        "bench_parallel: {} points x {:?} threads, {cycles} cycles/cell \
-         (best of {reps}), {cores} core(s) available",
+        "bench_parallel: {} points x {{ungated, gated}} x {:?} threads, \
+         {cycles} cycles/cell (best of {reps}), {cores} core(s) available",
         POINTS.len(),
         THREADS
     );
 
     let mut cells = Vec::new();
     for point in &POINTS {
-        let mut serial_wall = None;
-        for &threads in &THREADS {
-            let cell = run_cell(point, threads, cycles, reps);
-            let speedup = serial_wall.map_or(1.0, |s: f64| s / cell.wall_secs);
-            if threads == 1 {
-                serial_wall = Some(cell.wall_secs);
+        // The ungated serial cell is the reference every other cell of
+        // the point is compared against.
+        let mut reference_wall = None;
+        for gating in [false, true] {
+            for &threads in &THREADS {
+                let cell = run_cell(point, gating, threads, cycles, reps);
+                let speedup = reference_wall.map_or(1.0, |s: f64| s / cell.wall_secs);
+                if !gating && threads == 1 {
+                    reference_wall = Some(cell.wall_secs);
+                }
+                eprintln!(
+                    "  {:<22} {} threads {}: {:>9.1} cycles/s  {:>9.1} flits/s  \
+                     {:.3}s wall  skip {:>5.1}%  ({speedup:.2}x vs ungated serial)",
+                    cell.point,
+                    if gating { "gated  " } else { "ungated" },
+                    cell.threads,
+                    cell.cycles_per_sec,
+                    cell.flits_per_sec,
+                    cell.wall_secs,
+                    cell.skip_rate * 100.0
+                );
+                cells.push(cell);
             }
-            eprintln!(
-                "  {:<22} threads {}: {:>9.1} cycles/s  {:>9.1} flits/s  \
-                 {:.3}s wall  ({speedup:.2}x vs serial)",
-                cell.point, cell.threads, cell.cycles_per_sec, cell.flits_per_sec, cell.wall_secs
-            );
-            cells.push(cell);
         }
     }
 

@@ -71,6 +71,10 @@ pub struct CampaignParams {
     /// DAMQ shared-pool size in flits per input port (`0` = static
     /// per-VC partition, the paper's platform).
     pub damq_pool: usize,
+    /// Activity gating on (the shipped engine) or off (the full-sweep
+    /// reference schedule). Byte-identical by contract; fuzzing both
+    /// cross-checks that contract across the whole config space.
+    pub gating: bool,
 }
 
 fn pattern_name(p: &TrafficPattern) -> &'static str {
@@ -153,6 +157,7 @@ impl CampaignParams {
             cycles,
             threads: [1, 1, 1, 2, 4][r.gen_range(0..5usize)],
             damq_pool: 0,
+            gating: true,
         };
         // The buffer-organisation dimension is drawn last so every
         // earlier parameter of a given (seed, index) is unchanged from
@@ -164,6 +169,13 @@ impl CampaignParams {
             let hi = (p.vcs * p.buffer + 5) as u64;
             p.damq_pool = r.gen_range(lo..hi) as usize;
         }
+        // The activity-gating dimension is drawn last for the same
+        // reason: every earlier parameter of a given (seed, index) is
+        // unchanged from pre-gating fuzz runs. Most campaigns run the
+        // gated engine the simulator ships with; a quarter pin the
+        // full-sweep reference so the byte-identity contract is
+        // cross-checked over the whole sampled space.
+        p.gating = !r.gen_bool(0.25);
         p
     }
 
@@ -209,6 +221,7 @@ impl CampaignParams {
                 cthres: self.cthres,
             })
             .seed(self.seed)
+            .activity_gating(self.gating)
             .warmup_packets(0)
             .measure_packets(u64::MAX)
             .max_cycles(self.cycles.max(1));
@@ -225,7 +238,7 @@ impl CampaignParams {
             s,
             "w={},h={},vcs={},buf={},rtx={},pipe={},route={},scheme={},ac={},\
              pat={},proc={},inj={},link={},hs={},rt={},va={},sa={},xbar={},rbuf={},\
-             dl={},cth={},stop={},seed={},cycles={},threads={},pool={}",
+             dl={},cth={},stop={},seed={},cycles={},threads={},pool={},gate={}",
             self.width,
             self.height,
             self.vcs,
@@ -265,6 +278,7 @@ impl CampaignParams {
             self.cycles,
             self.threads,
             self.damq_pool,
+            u8::from(self.gating),
         );
         s
     }
@@ -279,6 +293,7 @@ impl CampaignParams {
         let mut p = CampaignParams::sample(0, 0);
         p.logic = [0.0; 5];
         p.damq_pool = 0;
+        p.gating = true;
         for item in spec.split(',') {
             let item = item.trim();
             if item.is_empty() {
@@ -351,6 +366,7 @@ impl CampaignParams {
                 "cycles" => p.cycles = v.parse().map_err(bad!())?,
                 "threads" => p.threads = v.parse().map_err(bad!())?,
                 "pool" => p.damq_pool = v.parse().map_err(bad!())?,
+                "gate" => p.gating = v != "0",
                 _ => return Err(format!("unknown key {k:?}")),
             }
         }
@@ -489,6 +505,9 @@ fn transforms(p: &CampaignParams, v: &Violation) -> Vec<CampaignParams> {
         }
     };
     push(&|c| c.threads = 1);
+    // Reduce toward the full-sweep reference schedule: if the failure
+    // survives with gating off, it is not an activity-gating bug.
+    push(&|c| c.gating = false);
     if v.cycle > 0 && v.cycle < p.cycles {
         push(&|c| c.cycles = v.cycle);
     }

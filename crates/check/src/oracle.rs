@@ -205,6 +205,7 @@ impl Oracle {
             self.sized = true;
         }
         let mut first = self.check_structural(snap).err();
+        first = first.or_else(|| self.check_activity(snap).err());
         if self.arm.exclusivity {
             first = first.or_else(|| self.check_exclusivity(snap).err());
         }
@@ -292,6 +293,100 @@ impl Oracle {
                             ),
                         ));
                     }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Activity-gating soundness (armed in every configuration, like
+    /// the structural bounds): a router whose compute phase was skipped
+    /// this cycle (`!snap.computed[n]`) must have been provably
+    /// quiescent — empty input buffers with idle VC state machines,
+    /// empty ST queues, no output reservations, empty retransmission
+    /// senders, and no inbound wire entry that was already due (a due
+    /// entry left unpopped is a missed wake-up). "No armed fault"
+    /// needs no check of its own: the fault RNG is counter-based,
+    /// keyed on `(router, cycle)`, so a skipped cycle consumes no
+    /// draws by construction — there is no stream position to desync.
+    ///
+    /// `in_recovery` is deliberately *not* required to be false: a
+    /// deadlock activation delivered during the same cycle's commit can
+    /// flip a legitimately-skipped router into recovery after its
+    /// (skipped) compute slot; the wake-up wheel guarantees it computes
+    /// next cycle.
+    fn check_activity(&self, snap: &NetSnapshot) -> Result<(), Violation> {
+        for (n, r) in snap.routers.iter().enumerate() {
+            if snap.computed.get(n).copied().unwrap_or(true) {
+                continue;
+            }
+            for (p, port) in r.inputs.iter().enumerate() {
+                for (v, ivc) in port.iter().enumerate() {
+                    if !ivc.flits.is_empty() || ivc.state != VcStateView::Idle {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "activity",
+                            format!(
+                                "compute skipped but input {p}.{v} holds {} flits in state {:?}",
+                                ivc.flits.len(),
+                                ivc.state
+                            ),
+                        ));
+                    }
+                }
+            }
+            for (p, out) in r.outputs.iter().enumerate() {
+                if !out.st_queue.is_empty() {
+                    return Err(Violation::new(
+                        snap.now,
+                        n,
+                        "activity",
+                        format!("compute skipped but output {p} ST queue is non-empty"),
+                    ));
+                }
+                for (v, ovc) in out.vcs.iter().enumerate() {
+                    if ovc.allocated.is_some()
+                        || !ovc.sender.slots.is_empty()
+                        || ovc.sender.replaying
+                    {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "activity",
+                            format!(
+                                "compute skipped but output {p}.{v} has a reservation or \
+                                 occupied retransmission sender"
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Wire entries due strictly before `snap.now` were due at the
+            // skipped cycle (`now - 1`) and would have been popped by a
+            // computing router; entries due at `snap.now` were scheduled
+            // during this commit and are fine.
+            let w = &snap.wires[n];
+            for (p, slot) in w.flit_in.iter().enumerate() {
+                if let Some((_, _, at)) = slot {
+                    if *at < snap.now {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "activity",
+                            format!("compute skipped but a flit was due on port {p} at {at}"),
+                        ));
+                    }
+                }
+            }
+            for (d, (credits, nacks)) in w.credits_in.iter().zip(&w.nacks_in).enumerate() {
+                if let Some(&(_, at)) = credits.iter().chain(nacks).find(|(_, at)| *at < snap.now) {
+                    return Err(Violation::new(
+                        snap.now,
+                        n,
+                        "activity",
+                        format!("compute skipped but a credit/NACK was due on link {d} at {at}"),
+                    ));
                 }
             }
         }

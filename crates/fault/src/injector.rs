@@ -1,6 +1,6 @@
 //! The seeded fault injector and its census counters.
 
-use ftnoc_rng::Rng;
+use ftnoc_rng::CounterRng;
 use ftnoc_types::flit::{FlitPayload, FLIT_TOTAL_BITS};
 
 use crate::rates::FaultRates;
@@ -63,12 +63,18 @@ impl FaultCounts {
 
 /// Seeded source of fault events.
 ///
-/// One injector per simulation; determinism follows from the seed, so any
-/// run can be replayed bit-for-bit.
+/// One injector per router; determinism follows from the seed, so any
+/// run can be replayed bit-for-bit. Draws are **counter-based**
+/// ([`CounterRng`]): every sample is a pure hash of
+/// `(seed, cycle, draw-index)`, so a router whose cycle is skipped by
+/// the activity-gated engine consumes nothing — the fault sequence of a
+/// computed cycle is identical whether or not earlier cycles ran.
+/// Callers must position the injector with
+/// [`FaultInjector::begin_cycle`] before the first draw of each cycle.
 #[derive(Debug)]
 pub struct FaultInjector {
     rates: FaultRates,
-    rng: Rng,
+    rng: CounterRng,
     counts: FaultCounts,
 }
 
@@ -83,9 +89,15 @@ impl FaultInjector {
         rates.assert_valid();
         FaultInjector {
             rates,
-            rng: Rng::seed_from_u64(seed),
+            rng: CounterRng::new(seed),
             counts: FaultCounts::default(),
         }
+    }
+
+    /// Positions the fault stream at `cycle` and resets the per-cycle
+    /// draw index. Idempotent; skipped cycles need no call at all.
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        self.rng.set_cycle(cycle);
     }
 
     /// The configured rates.
@@ -124,10 +136,10 @@ impl FaultInjector {
     /// Applies a sampled link error to a physical word: flips one random
     /// bit, or two distinct random bits for [`LinkErrorKind::MultiBit`].
     pub fn corrupt_payload(&mut self, payload: &mut FlitPayload, kind: LinkErrorKind) {
-        let first = self.rng.gen_range(0..FLIT_TOTAL_BITS);
+        let first = self.rng.bounded(u64::from(FLIT_TOTAL_BITS)) as u32;
         payload.flip_bit(first);
         if kind == LinkErrorKind::MultiBit {
-            let mut second = self.rng.gen_range(0..FLIT_TOTAL_BITS - 1);
+            let mut second = self.rng.bounded(u64::from(FLIT_TOTAL_BITS - 1)) as u32;
             if second >= first {
                 second += 1;
             }
@@ -207,7 +219,7 @@ impl FaultInjector {
     /// Panics if `range < 2`.
     pub fn corrupt_choice(&mut self, correct: usize, range: usize) -> usize {
         assert!(range >= 2, "cannot corrupt a choice over {range} values");
-        let mut v = self.rng.gen_range(0..range - 1);
+        let mut v = self.rng.bounded((range - 1) as u64) as usize;
         if v >= correct.min(range - 1) {
             v += 1;
         }
@@ -224,7 +236,7 @@ impl FaultInjector {
         range_with_invalid: usize,
     ) -> usize {
         debug_assert!(range_with_invalid >= range);
-        let mut v = self.rng.gen_range(0..range_with_invalid - 1);
+        let mut v = self.rng.bounded((range_with_invalid - 1) as u64) as usize;
         if v >= correct.min(range_with_invalid - 1) {
             v += 1;
         }
@@ -233,7 +245,7 @@ impl FaultInjector {
 
     /// Draws a random bit index over the 72-bit flit word.
     pub fn random_bit(&mut self) -> u32 {
-        self.rng.gen_range(0..FLIT_TOTAL_BITS)
+        self.rng.bounded(u64::from(FLIT_TOTAL_BITS)) as u32
     }
 }
 
@@ -367,9 +379,35 @@ mod tests {
     fn same_seed_is_deterministic() {
         let mut a = FaultInjector::new(FaultRates::link_only(0.3), 77);
         let mut b = FaultInjector::new(FaultRates::link_only(0.3), 77);
-        for _ in 0..1000 {
+        for cycle in 0..1000 {
+            a.begin_cycle(cycle);
+            b.begin_cycle(cycle);
             assert_eq!(a.link_error(), b.link_error());
         }
+    }
+
+    #[test]
+    fn skipped_cycles_consume_no_draws() {
+        // The activity-gating contract: an injector that only computes
+        // cycle 500 sees the same fault sequence there as one that
+        // computed every cycle up to it.
+        let rates = FaultRates {
+            link: 0.5,
+            sa: 0.5,
+            ..FaultRates::default()
+        };
+        let mut dense = FaultInjector::new(rates, 0xF70C);
+        for cycle in 0..=500 {
+            dense.begin_cycle(cycle);
+            let _ = dense.link_error();
+            let _ = dense.sa_upset();
+        }
+        let mut sparse = FaultInjector::new(rates, 0xF70C);
+        sparse.begin_cycle(500);
+        // Replay cycle 500 on the dense injector for comparison.
+        dense.begin_cycle(500);
+        assert_eq!(dense.link_error(), sparse.link_error());
+        assert_eq!(dense.sa_upset(), sparse.sa_upset());
     }
 
     #[test]

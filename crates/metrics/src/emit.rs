@@ -128,7 +128,20 @@ impl IntervalLine {
             );
             out.push(']');
         }
-        out.push_str("}}");
+        out.push('}');
+        // Network-wide activity totals, derived from the per-router
+        // `computed_cycles` telemetry: how many router-cycles the gated
+        // engine actually computed vs. skipped as quiescent. With
+        // gating off, `skipped` is 0 by construction.
+        let computed: u64 = self.routers.routers.iter().map(|r| r.computed_cycles).sum();
+        let possible = self.cycle * self.routers.routers.len() as u64;
+        out.push_str(&format!(
+            ",\"activity\":{{\"routers_computed\":{},\"routers_skipped\":{},\"skip_rate\":{}}}",
+            computed,
+            possible.saturating_sub(computed),
+            fnum((possible > 0).then(|| 1.0 - computed as f64 / possible as f64))
+        ));
+        out.push('}');
         out
     }
 }

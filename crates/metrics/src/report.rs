@@ -45,6 +45,7 @@ pub fn render(content: &str) -> Result<String, String> {
     render_interval_table(&mut out, &intervals)?;
     let last = intervals.last().expect("non-empty");
     render_phases(&mut out, last);
+    render_activity(&mut out, last);
     render_heatmaps(&mut out, last, width, height)?;
     Ok(out)
 }
@@ -141,6 +142,26 @@ fn render_phases(out: &mut String, last: &Value) {
     }
 }
 
+/// Activity-gating totals from the final interval. Absent in metrics
+/// files written before the gated engine existed — the section is
+/// simply omitted then.
+fn render_activity(out: &mut String, last: &Value) {
+    let Some(act) = last.get("activity") else {
+        return;
+    };
+    let computed = act.u64_field("routers_computed").unwrap_or(0);
+    let skipped = act.u64_field("routers_skipped").unwrap_or(0);
+    out.push_str("\nactivity gating (router-cycles, cumulative)\n");
+    for (name, v) in [("computed", computed), ("skipped", skipped)] {
+        out.push_str(&format!("  {name:<16} {v:>12}\n"));
+    }
+    out.push_str(&format!(
+        "  {:<16} {:>12}\n",
+        "skip rate",
+        pct(skipped, computed + skipped)
+    ));
+}
+
 fn render_heatmaps(
     out: &mut String,
     last: &Value,
@@ -215,6 +236,9 @@ mod tests {
         routers[0].flits_routed = 10;
         routers[3].flits_routed = 40;
         routers[3].nacks = 3;
+        for (i, r) in routers.iter_mut().enumerate() {
+            r.computed_cycles = 100 - 10 * i as u64;
+        }
         let interval = IntervalLine {
             cycle: 100,
             injected: 20,
@@ -250,6 +274,10 @@ mod tests {
         assert!(report.contains("nacks (total 3, max 3)"), "{report}");
         assert!(!report.contains("retransmissions (total"), "{report}");
         assert!(report.contains("hottest (1,1)"), "{report}");
+        // 340 of 400 router-cycles computed → 15% skipped.
+        assert!(report.contains("activity gating"), "{report}");
+        assert!(report.contains("15.0%"), "{report}");
+        assert!(report.contains("computed_cycles (total 340"), "{report}");
     }
 
     #[test]

@@ -26,11 +26,15 @@ pub struct RouterTelemetry {
     pub faults_injected: u64,
     /// Times this router entered deadlock recovery.
     pub recoveries: u64,
+    /// Cycles this router's compute phase actually ran (equal to the
+    /// run's cycle count when activity gating is off; lower under
+    /// gating — the gap is the skip rate).
+    pub computed_cycles: u64,
 }
 
 impl RouterTelemetry {
     /// Metric names, in the order [`RouterTelemetry::get`] understands.
-    pub const METRICS: [&'static str; 8] = [
+    pub const METRICS: [&'static str; 9] = [
         "flits_routed",
         "buffer_stalls",
         "retransmissions",
@@ -39,6 +43,7 @@ impl RouterTelemetry {
         "deadlocks_confirmed",
         "faults_injected",
         "recoveries",
+        "computed_cycles",
     ];
 
     /// Reads one metric by name (`None` for an unknown name).
@@ -52,6 +57,7 @@ impl RouterTelemetry {
             "deadlocks_confirmed" => self.deadlocks_confirmed,
             "faults_injected" => self.faults_injected,
             "recoveries" => self.recoveries,
+            "computed_cycles" => self.computed_cycles,
             _ => return None,
         })
     }
@@ -67,6 +73,7 @@ impl RouterTelemetry {
             deadlocks_confirmed: self.deadlocks_confirmed - s.deadlocks_confirmed,
             faults_injected: self.faults_injected - s.faults_injected,
             recoveries: self.recoveries - s.recoveries,
+            computed_cycles: self.computed_cycles - s.computed_cycles,
         }
     }
 }

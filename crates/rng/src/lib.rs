@@ -139,6 +139,129 @@ impl Rng {
     }
 }
 
+/// A stateless counter-based generator: every output is a pure hash of
+/// `(key, cycle, sequence-number)`, so a consumer that never reaches a
+/// given `(cycle, seq)` coordinate consumes nothing from any stream.
+///
+/// This is what makes activity gating sound for fault injection: a
+/// router skipped on cycle *t* draws nothing at *t*, and a router
+/// computed on cycle *t* draws exactly the values it would have drawn
+/// had every earlier cycle been computed too. Contrast with [`Rng`],
+/// whose draw *positions* depend on how many draws preceded them.
+///
+/// The hash is three rounds of the SplitMix64 finalizer over the key
+/// and both counters — the same mixer [`Rng::seed_from_u64`] trusts for
+/// seed expansion — and the draw helpers reproduce [`Rng`]'s exact
+/// per-draw math (53-bit `f64` mantissa, Lemire bounded multiply), so
+/// statistical behaviour is unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use ftnoc_rng::CounterRng;
+///
+/// let mut a = CounterRng::new(7);
+/// let mut b = CounterRng::new(7);
+/// a.set_cycle(100);
+/// b.set_cycle(100);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same coordinate, same value
+///
+/// // Skipping cycles 0..100 changes nothing: draws are addressed, not
+/// // consumed from a sequence.
+/// let mut c = CounterRng::new(7);
+/// for cycle in 0..=100 {
+///     c.set_cycle(cycle);
+/// }
+/// assert_eq!(CounterRng::new(7).at(100).next_u64(), c.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRng {
+    key: u64,
+    cycle: u64,
+    seq: u64,
+}
+
+impl CounterRng {
+    /// Creates a generator keyed on `key` (e.g. a per-router seed
+    /// already mixed from the master seed), positioned at cycle 0.
+    pub fn new(key: u64) -> Self {
+        CounterRng {
+            key,
+            cycle: 0,
+            seq: 0,
+        }
+    }
+
+    /// Repositions the generator at `cycle` and resets the per-cycle
+    /// draw counter. Call once at the top of each computed cycle.
+    #[inline]
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        self.seq = 0;
+    }
+
+    /// Builder form of [`CounterRng::set_cycle`] for tests and docs.
+    pub fn at(mut self, cycle: u64) -> Self {
+        self.set_cycle(cycle);
+        self
+    }
+
+    /// The next 64 uniformly distributed bits at this `(cycle, seq)`
+    /// coordinate; advances only the per-cycle draw counter.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        // Three finalizer rounds, folding one coordinate in per round.
+        // Each round's *output* (not its Weyl state) seeds the next, so
+        // nearby keys/cycles are fully mixed before the next coordinate
+        // is XORed in — adjacent coordinates land in decorrelated
+        // states exactly as distant SplitMix64 stream positions do.
+        let mut s = self.key;
+        let h = splitmix64(&mut s);
+        s = h ^ self.cycle;
+        let h = splitmix64(&mut s);
+        s = h ^ seq;
+        splitmix64(&mut s)
+    }
+
+    /// A uniform `f64` in `[0, 1)` — bit-compatible with
+    /// [`Rng::next_f64`]'s mantissa construction.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`. Consumes one
+    /// counter coordinate, like [`Rng::gen_bool`] consumes one stream
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1` (NaN rejected).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        if p == 1.0 {
+            let _ = self.next_u64();
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, bound)` via the same rejection-free
+    /// Lemire multiply as [`Rng`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range 0..0");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
 /// Scalars that [`Rng::gen_range`] can draw uniformly.
 pub trait UniformRange: Copy {
     /// Draws a uniform value in `[lo, hi)`.
@@ -263,6 +386,72 @@ mod tests {
         assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
         assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn counter_rng_is_coordinate_addressed() {
+        // Reaching a coordinate directly or after touring every earlier
+        // cycle yields the same value: nothing is "consumed".
+        let direct = CounterRng::new(0xF70C).at(5_000).next_u64();
+        let mut toured = CounterRng::new(0xF70C);
+        for cycle in 0..=5_000 {
+            toured.set_cycle(cycle);
+            if cycle % 3 == 0 {
+                let _ = toured.next_u64(); // stray draws on other cycles
+            }
+            toured.set_cycle(cycle);
+        }
+        assert_eq!(direct, toured.next_u64());
+    }
+
+    #[test]
+    fn counter_rng_decorrelates_neighbours() {
+        // Adjacent cycles, sequence numbers and keys must not collide or
+        // correlate visibly.
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..4u64 {
+            for cycle in 0..64u64 {
+                let mut r = CounterRng::new(key).at(cycle);
+                for _ in 0..4 {
+                    assert!(seen.insert(r.next_u64()), "collision at {key}/{cycle}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_rng_frequencies_track_p() {
+        let mut r = CounterRng::new(11);
+        let mut hits = 0;
+        for cycle in 0..100_000u64 {
+            r.set_cycle(cycle);
+            if r.gen_bool(0.3) {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+    }
+
+    #[test]
+    fn counter_rng_bounded_is_roughly_uniform() {
+        let mut r = CounterRng::new(17);
+        let mut counts = [0u32; 8];
+        for cycle in 0..80_000u64 {
+            r.set_cycle(cycle);
+            counts[r.bounded(8) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((9_000..11_000).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn counter_rng_zero_bound_panics() {
+        let _ = CounterRng::new(1).bounded(0);
     }
 
     #[test]

@@ -152,6 +152,12 @@ pub struct SimConfig {
     /// Results are byte-identical for every value at the same seed —
     /// this is purely a wall-clock knob.
     pub threads: usize,
+    /// Activity gating: skip the compute phase of routers with no
+    /// scheduled wake-up (quiescent routers). Results are byte-identical
+    /// with gating on or off at the same seed — like `threads`, this is
+    /// purely a wall-clock knob; `false` forces the full-sweep engine
+    /// (the parity reference, CLI `--no-activity-gating`).
+    pub activity_gating: bool,
 }
 
 impl SimConfig {
@@ -207,6 +213,7 @@ impl SimConfigBuilder {
                 e2e_max_attempts: 16,
                 stop_injection_after: None,
                 threads: 1,
+                activity_gating: true,
             },
         }
     }
@@ -326,6 +333,14 @@ impl SimConfigBuilder {
     /// mean serial execution on the calling thread).
     pub fn threads(&mut self, threads: usize) -> &mut Self {
         self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables activity gating (skipping quiescent routers'
+    /// compute phase). Byte-identical either way; `false` is the
+    /// full-sweep parity reference.
+    pub fn activity_gating(&mut self, enabled: bool) -> &mut Self {
+        self.config.activity_gating = enabled;
         self
     }
 

@@ -97,8 +97,10 @@ impl<S: TraceSink> Stepper<'_, S> {
         match self.sync {
             None => {
                 let span = profile.map(|_| Instant::now());
-                for cell in self.cells {
-                    compute_cell(self.env, &mut cell.lock().unwrap(), now);
+                for (n, cell) in self.cells.iter().enumerate() {
+                    if self.env.active.is_active(n) {
+                        compute_cell(self.env, &mut cell.lock().unwrap(), now);
+                    }
                 }
                 if let (Some(p), Some(t)) = (profile, span) {
                     p.lane(0).add_compute(t);
@@ -217,8 +219,10 @@ impl<S: TraceSink> Network<S> {
                     let now = sync.now.load(Ordering::Acquire);
                     let span = profile.map(|_| Instant::now());
                     let compute = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        for cell in &cells[lo..hi] {
-                            compute_cell(env, &mut cell.lock().unwrap(), now);
+                        for (i, cell) in cells[lo..hi].iter().enumerate() {
+                            if env.active.is_active(lo + i) {
+                                compute_cell(env, &mut cell.lock().unwrap(), now);
+                            }
                         }
                     }));
                     if let Err(payload) = compute {

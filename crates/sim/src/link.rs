@@ -124,6 +124,15 @@ impl RevWire {
         self.nacks.push_back((vc, now + 2));
     }
 
+    /// Whether a NACK strobe is due at cycle `now` (the sender samples
+    /// the side-band — and draws its handshake-upset fault — only when
+    /// a strobe is actually asserted; an idle side-band consumes no
+    /// fault draws, which keeps skipped cycles free of RNG traffic).
+    #[inline]
+    pub fn nack_due(&self, now: u64) -> bool {
+        self.nacks.front().is_some_and(|&(_, at)| at <= now)
+    }
+
     /// Pops the next NACK visible at cycle `now`, passing the strobe
     /// through a TMR voter. `upset` flips one replica (the §4.6
     /// handshake-fault model); the voter masks it.

@@ -29,6 +29,7 @@
 //! serial engine.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use ftnoc_core::ac::VcRef;
@@ -60,6 +61,94 @@ const CLASS_NACK: u8 = 2;
 /// so this only bounds memory in above-capacity sweeps (e.g. the
 /// Figure 8/9 utilization curves at injection rates up to 1.0).
 const SOURCE_QUEUE_CAP: usize = 512;
+
+/// Slots in the wake-up wheel. Every wake-up the engine schedules lands
+/// at most two cycles out (the NACK side-band's `now + 2` visibility),
+/// so a small power-of-two horizon suffices: slot `t % WHEEL_SLOTS` is
+/// drained and cleared at the start of cycle `t`, then reused for
+/// `t + WHEEL_SLOTS`.
+const WHEEL_SLOTS: u64 = 4;
+
+/// A cycle-indexed timing wheel of router wake-ups: one bitset of node
+/// indices per upcoming cycle. Owned by the serial core — only the pre
+/// and commit phases schedule into it — so it needs no synchronisation.
+pub(crate) struct ActivityWheel {
+    slots: [Vec<u64>; WHEEL_SLOTS as usize],
+    /// Mirror of `SimConfig::activity_gating`; `false` turns
+    /// [`ActivityWheel::schedule`] into a no-op (the full-sweep engine
+    /// has no use for wake-ups).
+    gating: bool,
+}
+
+impl ActivityWheel {
+    fn new(n: usize, gating: bool) -> Self {
+        ActivityWheel {
+            slots: std::array::from_fn(|_| vec![0u64; n.div_ceil(64)]),
+            gating,
+        }
+    }
+
+    /// Schedules router `node` to be computed at cycle `at` (at most
+    /// `WHEEL_SLOTS - 1` cycles ahead). Idempotent — a bit-set.
+    #[inline]
+    pub(crate) fn schedule(&mut self, node: usize, at: u64) {
+        if self.gating {
+            self.slots[(at % WHEEL_SLOTS) as usize][node / 64] |= 1 << (node % 64);
+        }
+    }
+}
+
+/// The per-cycle active set: one "compute this router this cycle" bit
+/// per node, refreshed serially from the wheel at the start of each pre
+/// phase and read by the compute workers. Atomic words only so the
+/// shared [`RunEnv`] can be written through `&self`; every write
+/// happens on the main thread before the cycle-start barrier releases
+/// the workers, so they always observe the fully refreshed set (the
+/// barrier is the synchronisation edge — relaxed accesses suffice).
+pub(crate) struct ActiveSet {
+    words: Vec<AtomicU64>,
+    gating: bool,
+}
+
+impl ActiveSet {
+    fn new(n: usize, gating: bool) -> Self {
+        ActiveSet {
+            words: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            gating,
+        }
+    }
+
+    /// Whether router `n` is in this cycle's active set (always, when
+    /// gating is off).
+    #[inline]
+    pub(crate) fn is_active(&self, n: usize) -> bool {
+        !self.gating || self.words[n / 64].load(Ordering::Relaxed) & (1 << (n % 64)) != 0
+    }
+
+    /// Adds router `n` to the *current* cycle's active set (the
+    /// injection phase wakes a router the moment it hands it a flit).
+    #[inline]
+    fn wake_now(&self, n: usize) {
+        if self.gating {
+            self.words[n / 64].fetch_or(1 << (n % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// Replaces the active set with cycle `now`'s wheel slot (clearing
+    /// the slot for reuse). Cycle 0 wakes the whole mesh: every router
+    /// must compute once to discover it is idle.
+    fn refresh(&self, wheel: &mut ActivityWheel, now: u64) {
+        if !self.gating {
+            return;
+        }
+        let slot = &mut wheel.slots[(now % WHEEL_SLOTS) as usize];
+        for (word, bits) in self.words.iter().zip(slot.iter_mut()) {
+            let value = if now == 0 { !0 } else { *bits };
+            word.store(value, Ordering::Relaxed);
+            *bits = 0;
+        }
+    }
+}
 
 /// Per-node processing element: open-loop source + protocol endpoints.
 struct ProcessingElement {
@@ -108,6 +197,12 @@ pub(crate) struct RouterCell {
     pub probe_req: Option<(Direction, VcRef)>,
     /// Arrival NACKs to send upstream: (arrival port, vc).
     pub arrival_nacks: Vec<(Direction, u8)>,
+    /// Set by the compute phase: this router wants to be computed again
+    /// next cycle (it is non-quiescent, or its inbound wires still hold
+    /// undelivered traffic). Read by the commit phase, which turns it
+    /// into a `now + 1` wheel entry. Meaningless for skipped cells —
+    /// commit never reads it for them.
+    pub wants_wake: bool,
 }
 
 /// The immutable run context shared by every compute worker.
@@ -120,6 +215,10 @@ pub(crate) struct RunEnv {
     /// context so compute workers can time themselves; the atomics
     /// inside never feed back into simulation state.
     pub profile: Option<EngineProfile>,
+    /// This cycle's active set (activity gating). Lives in the shared
+    /// context so compute workers can test their cells without touching
+    /// the serial core.
+    pub active: ActiveSet,
 }
 
 /// Serial state owned by the main thread: traffic endpoints, the
@@ -154,6 +253,8 @@ pub(crate) struct NetCore<S: TraceSink> {
     prev_recovering: Vec<bool>,
     /// Reusable per-cycle recovery snapshot (pre phase).
     recovering_scratch: Vec<bool>,
+    /// Pending router wake-ups, indexed by cycle (activity gating).
+    wheel: ActivityWheel,
 }
 
 /// A periodic progress sample handed to run observers (the CLI's
@@ -212,17 +313,27 @@ pub(crate) fn compute_cell(env: &RunEnv, cell: &mut RouterCell, now: u64) {
         neighbor_recovering,
         probe_req,
         arrival_nacks,
+        wants_wake,
     } = cell;
     arrival_nacks.clear();
 
+    // Position the counter-based fault stream at this cycle: every draw
+    // below is a pure function of (node seed, cycle, draw index), so a
+    // skipped cycle consumes nothing and gated runs match full sweeps
+    // draw for draw.
+    router.fi.begin_cycle(now);
+    router.computed_cycles += 1;
+
     // 1. Reverse channels: NACKs first (they must beat window expiry),
     //    then credits. One handshake-upset draw per direction per cycle,
-    //    applied to the first strobe (mirroring one wire sample).
+    //    applied to the first strobe (mirroring one wire sample) — and
+    //    drawn only when a strobe is actually due, so an idle side-band
+    //    leaves no RNG or fault-census footprint.
     for d in Direction::CARDINAL {
         let Some(rw) = io.rev_in[d.index()].as_mut() else {
             continue;
         };
-        let mut upset = router.fi.handshake_upset();
+        let mut upset = rw.nack_due(now) && router.fi.handshake_upset();
         while let Some((vc, masked)) = rw.pop_nack(now, upset) {
             upset = false;
             router.errors.handshake_masked += u64::from(masked);
@@ -280,6 +391,15 @@ pub(crate) fn compute_cell(env: &RunEnv, cell: &mut RouterCell, now: u64) {
 
     // 8. Blocked tracking, probe-launch decision, statistics.
     *probe_req = router.end_cycle(&ctx);
+
+    // Wake-up bookkeeping: stay in the active set while any local work
+    // or undelivered inbound wire traffic remains. Commit-side
+    // scheduling covers wire arrivals independently; this self-wake is
+    // the only wake source for purely internal state (an open wormhole,
+    // unexpired retransmission copies, recovery mode).
+    *wants_wake = !router.is_quiescent()
+        || io.rev_in.iter().flatten().any(|rw| !rw.reverse_idle())
+        || io.flit_in.iter().flatten().any(|fw| !fw.forward_free());
 }
 
 impl Network<NullSink> {
@@ -310,6 +430,7 @@ impl<S: TraceSink> Network<S> {
                     neighbor_recovering: [false; 4],
                     probe_req: None,
                     arrival_nacks: Vec::new(),
+                    wants_wake: false,
                 })
             })
             .collect();
@@ -328,11 +449,13 @@ impl<S: TraceSink> Network<S> {
             })
             .collect();
         let rng = Rng::seed_from_u64(config.seed);
+        let gating = config.activity_gating;
         Network {
             env: RunEnv {
                 config,
                 topo,
                 profile: None,
+                active: ActiveSet::new(n, gating),
             },
             cells,
             core: NetCore {
@@ -358,6 +481,7 @@ impl<S: TraceSink> Network<S> {
                 tracer,
                 prev_recovering: vec![false; n],
                 recovering_scratch: Vec::with_capacity(n),
+                wheel: ActivityWheel::new(n, gating),
             },
         }
     }
@@ -485,8 +609,10 @@ impl<S: TraceSink> Network<S> {
         let Network { env, cells, core } = self;
         let now = core.now;
         core.pre(env, cells, now);
-        for cell in cells.iter() {
-            compute_cell(env, &mut cell.lock().unwrap(), now);
+        for (n, cell) in cells.iter().enumerate() {
+            if env.active.is_active(n) {
+                compute_cell(env, &mut cell.lock().unwrap(), now);
+            }
         }
         core.commit(env, cells, now);
     }
@@ -572,6 +698,10 @@ pub(crate) fn build_snapshot<S: TraceSink>(
                 .unwrap_or_default(),
         })
         .collect();
+    // After a full step the active set still holds cycle `now - 1`'s
+    // membership (the refresh for `now` happens in the next pre phase),
+    // which is exactly the cycle this snapshot reflects.
+    let computed = (0..cells.len()).map(|n| env.active.is_active(n)).collect();
     NetSnapshot {
         now: core.now,
         scheme: env.config.scheme,
@@ -585,6 +715,7 @@ pub(crate) fn build_snapshot<S: TraceSink>(
         routers,
         wires,
         pes,
+        computed,
     }
 }
 
@@ -597,6 +728,9 @@ impl<S: TraceSink> NetCore<S> {
     /// Pre phase (serial): refresh the `neighbor_recovering` snapshots,
     /// then run injection and the E2E timeout scans.
     pub(crate) fn pre(&mut self, env: &RunEnv, cells: &[Mutex<RouterCell>], now: u64) {
+        // Publish this cycle's active set before anything below can add
+        // to it (injection wakes the routers it feeds).
+        env.active.refresh(&mut self.wheel, now);
         self.recovering_scratch.clear();
         for cell in cells {
             self.recovering_scratch
@@ -696,6 +830,17 @@ impl<S: TraceSink> NetCore<S> {
                 );
             }
 
+            // Nothing queued, nothing mid-injection, no timeout scan
+            // due: the rest of the loop body is a no-op — skip the cell
+            // lock. (The injector draw above always happens, so the
+            // traffic RNG stream is independent of this shortcut.)
+            if self.pes[n].source_queue.is_empty()
+                && self.pes[n].injecting.is_none()
+                && !(scheme.uses_end_to_end_control() && now.is_multiple_of(32))
+            {
+                continue;
+            }
+
             let mut cell = cell.lock().unwrap();
 
             // E2E/FEC timeouts (scanned every 32 cycles to bound cost).
@@ -722,6 +867,9 @@ impl<S: TraceSink> NetCore<S> {
                 if cell.router.local_free_slots(vc) > 0 {
                     if let Some(flit) = flits.pop_front() {
                         cell.router.inject_local(vc, flit);
+                        // The router just gained a flit: it must compute
+                        // this very cycle (pre runs before compute).
+                        env.active.wake_now(n);
                     }
                 }
                 if !flits.is_empty() {
@@ -737,6 +885,12 @@ impl<S: TraceSink> NetCore<S> {
     pub(crate) fn commit(&mut self, env: &RunEnv, cells: &[Mutex<RouterCell>], now: u64) {
         let topo = env.topo;
         for n in 0..cells.len() {
+            // A skipped router ran no compute phase: its output buffers
+            // are exactly as this loop left them last time (empty), so
+            // there is nothing to drain and no wake-up to schedule.
+            if !env.active.is_active(n) {
+                continue;
+            }
             let mut cell = cells[n].lock().unwrap();
 
             // Buffered trace events, in the phase order they occurred.
@@ -759,6 +913,7 @@ impl<S: TraceSink> NetCore<S> {
                     .as_mut()
                     .expect("forward wire exists")
                     .send_flit(drive.flit, drive.vc, now);
+                self.wheel.schedule(m.index(), now + 1);
             }
             cell.router.drives.clear();
 
@@ -780,6 +935,7 @@ impl<S: TraceSink> NetCore<S> {
                     .as_mut()
                     .expect("reverse wire exists")
                     .send_credit(vc, now);
+                self.wheel.schedule(up.index(), now + 1);
             }
             cell.router.freed_credits.clear();
 
@@ -794,6 +950,7 @@ impl<S: TraceSink> NetCore<S> {
                     .as_mut()
                     .expect("reverse wire exists")
                     .send_nack(vc, now);
+                self.wheel.schedule(up.index(), now + 2);
             }
             cell.arrival_nacks.clear();
 
@@ -835,6 +992,12 @@ impl<S: TraceSink> NetCore<S> {
                         );
                     }
                 }
+            }
+
+            // The self-requested re-wake this cell's compute phase asked
+            // for (non-quiescent state, or pending inbound wire traffic).
+            if cell.wants_wake {
+                self.wheel.schedule(n, now + 1);
             }
         }
 
@@ -1041,6 +1204,9 @@ impl<S: TraceSink> NetCore<S> {
                         .on_probe(flight.signal, blocked, fwd.map(|(_, vc)| vc));
                 (blocked, fwd, action)
             };
+            // The probe mutated this router's protocol state: make sure
+            // it computes next cycle to act on it.
+            self.wheel.schedule(at.index(), now + 1);
             match action {
                 ProbeAction::Forward(sig) => {
                     let (dir, _) = fwd.expect("forward implies a next hop");
@@ -1065,6 +1231,7 @@ impl<S: TraceSink> NetCore<S> {
                                 origin.router.probe.probe_lost();
                                 origin.router.errors.probes_discarded += 1;
                             }
+                            self.wheel.schedule(flight.signal.origin.index(), now + 1);
                             self.tracer.emit(
                                 now,
                                 at.index() as u16,
@@ -1087,6 +1254,7 @@ impl<S: TraceSink> NetCore<S> {
                         origin.router.probe.probe_lost();
                         origin.router.errors.probes_discarded += 1;
                     }
+                    self.wheel.schedule(flight.signal.origin.index(), now + 1);
                     self.tracer.emit(
                         now,
                         at.index() as u16,
@@ -1155,6 +1323,9 @@ impl<S: TraceSink> NetCore<S> {
                 }
                 action
             };
+            // The activation may have flipped this router into recovery
+            // mode: it must compute next cycle to start absorbing.
+            self.wheel.schedule(at.index(), now + 1);
             match action {
                 ActivationAction::EnterRecoveryAndForward => {
                     flight.next_index += 1;
@@ -1188,6 +1359,7 @@ pub(crate) fn collect_telemetry(env: &RunEnv, cells: &[Mutex<RouterCell>]) -> Me
                     deadlocks_confirmed: r.errors.deadlocks_confirmed,
                     faults_injected: r.fault_counts().total(),
                     recoveries: r.recoveries,
+                    computed_cycles: r.computed_cycles,
                 }
             })
             .collect(),

@@ -280,7 +280,9 @@ pub struct Router {
     /// Hotspot telemetry: times this router *entered* deadlock recovery
     /// (rising edges of `probe.in_recovery()`, cumulative).
     pub recoveries: u64,
-    va_vc_offset: usize,
+    /// Cycles this router's compute phase actually ran (activity-gating
+    /// telemetry; cumulative since construction, like `buffer_stalls`).
+    pub computed_cycles: u64,
     /// Per-router fault injector: an independent, node-seeded stream so
     /// fault draws do not depend on router visitation order (the
     /// property that makes the parallel compute phase deterministic).
@@ -342,7 +344,7 @@ impl Router {
             errors: ErrorStats::default(),
             buffer_stalls: 0,
             recoveries: 0,
-            va_vc_offset: 0,
+            computed_cycles: 0,
             fi: FaultInjector::new(config.faults, Self::fault_seed(config.seed, id)),
             trace: TraceBuf::default(),
             scratch: Scratch::default(),
@@ -762,7 +764,13 @@ impl Router {
                         continue;
                     }
                     for dv in 0..vcs {
-                        let ov = (dv + self.va_vc_offset) % vcs;
+                        // Rotate the preferred output VC by the cycle
+                        // count rather than a stateful per-phase counter:
+                        // the same fairness rotation, but derived from
+                        // `now`, so a router skipped by activity gating
+                        // resumes at exactly the offset a full-sweep run
+                        // would have.
+                        let ov = (dv + (ctx.now as usize % vcs)) % vcs;
                         if self.outputs[op].allocated[ov].is_none()
                             && self.outputs[op].senders[ov].buffer().is_empty()
                         {
@@ -773,7 +781,6 @@ impl Router {
                 }
             }
         }
-        self.va_vc_offset = (self.va_vc_offset + 1) % vcs;
 
         // Stage 2: arbitrate per output VC. Only output VCs with at
         // least one request consult their arbiter: `grant` leaves the
@@ -844,7 +851,6 @@ impl Router {
 
         // Allocation Comparator: evaluate the RT/VA/SA state (Figure 12).
         if ctx.config.ac_enabled {
-            self.events.ac_check += 1;
             sc.rt_entries.clear();
             for &(input, _, _, rt_port) in winners.iter() {
                 sc.rt_entries.push(RtEntry {
@@ -871,24 +877,31 @@ impl Router {
                     out_vc: ov as u8,
                 });
             }
-            let findings = self.ac.check(&sc.rt_entries, &sc.va_entries, &[], vcs);
-            if !findings.is_empty() {
-                // Invalidate this cycle's (corrupted) allocations: the
-                // affected inputs retry next cycle — 1-cycle penalty.
-                sc.flagged.clear();
-                let corrupted = &sc.corrupted;
-                sc.flagged
-                    .extend((0..winners.len()).filter(|&i| corrupted[i]));
-                self.errors.va_corrected += sc.flagged.len() as u64;
-                if !sc.flagged.is_empty() {
-                    let removed = sc.flagged.len() as u32;
-                    self.trace.emit(|| TraceEvent::AcFlagged {
-                        stage: AcStage::Va,
-                        removed,
-                    });
-                }
-                for i in sc.flagged.iter().rev() {
-                    winners.remove(*i);
+            // An idle router presents the AC with an empty table; skip
+            // the comparator (and its census tick) so a quiescent cycle
+            // stays a complete no-op — the property activity gating
+            // relies on to make skipped and computed cycles equivalent.
+            if !sc.rt_entries.is_empty() || !sc.va_entries.is_empty() {
+                self.events.ac_check += 1;
+                let findings = self.ac.check(&sc.rt_entries, &sc.va_entries, &[], vcs);
+                if !findings.is_empty() {
+                    // Invalidate this cycle's (corrupted) allocations: the
+                    // affected inputs retry next cycle — 1-cycle penalty.
+                    sc.flagged.clear();
+                    let corrupted = &sc.corrupted;
+                    sc.flagged
+                        .extend((0..winners.len()).filter(|&i| corrupted[i]));
+                    self.errors.va_corrected += sc.flagged.len() as u64;
+                    if !sc.flagged.is_empty() {
+                        let removed = sc.flagged.len() as u32;
+                        self.trace.emit(|| TraceEvent::AcFlagged {
+                            stage: AcStage::Va,
+                            removed,
+                        });
+                    }
+                    for i in sc.flagged.iter().rev() {
+                        winners.remove(*i);
+                    }
                 }
             }
         }
@@ -1534,6 +1547,30 @@ impl Router {
             let buffer = &self.inputs[p].buffer;
             hist.record(buffer.occupied(), buffer.total_capacity());
         }
+    }
+
+    /// Whether this router holds no work at all: nothing buffered, no
+    /// wormhole open or reserved, no retransmission copies resident, no
+    /// replay or deadlock-recovery state in flight. A quiescent router's
+    /// compute phase is a complete no-op — no state change, no RNG
+    /// draws, no event counts — which is what lets the activity-gated
+    /// engine skip it without perturbing the simulation. (Stricter than
+    /// [`Router::is_drained`]: unexpired retransmission copies and open
+    /// VC reservations keep a router non-quiescent even though the drain
+    /// check ignores them.)
+    pub fn is_quiescent(&self) -> bool {
+        !self.probe.in_recovery()
+            && self
+                .inputs
+                .iter()
+                .all(|p| p.buffer.occupied() == 0 && p.vcs.iter().all(|v| v.state == VcState::Idle))
+            && self.outputs.iter().all(|o| {
+                o.st_queue.is_empty()
+                    && o.allocated.iter().all(|a| a.is_none())
+                    && o.senders
+                        .iter()
+                        .all(|s| s.buffer().occupancy() == 0 && !s.is_replaying())
+            })
     }
 
     /// Whether any flit is resident in this router (drain checks).

@@ -179,4 +179,10 @@ pub struct NetSnapshot {
     pub wires: Vec<WireSnapshot>,
     /// Per-node traffic endpoints.
     pub pes: Vec<PeSnapshot>,
+    /// `computed[n]`: whether router `n`'s compute phase ran during the
+    /// cycle this snapshot reflects (`now - 1`). All-true when activity
+    /// gating is disabled; under gating a `false` entry asserts the
+    /// router was provably quiescent — which the oracle cross-checks
+    /// against the structural state above.
+    pub computed: Vec<bool>,
 }

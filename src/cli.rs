@@ -54,6 +54,11 @@ OPTIONS (run):
                         --routing ad so traffic can detour)
     --threads N         compute-phase worker threads (default 1; any N
                         gives byte-identical results at the same seed)
+    --no-activity-gating
+                        compute every router every cycle instead of
+                        skipping provably quiescent ones (byte-identical
+                        results either way; the full sweep is the slower
+                        parity reference)
     --profile           print the per-event energy breakdown
 
 OBSERVABILITY (run):
@@ -213,6 +218,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut seed = 0xF7_0Cu64;
     let mut deadlock = false;
     let mut threads = 1usize;
+    let mut activity_gating = true;
     let mut profile = false;
     let mut trace: Option<std::path::PathBuf> = None;
     let mut trace_async = false;
@@ -315,6 +321,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--seed" => seed = num(value(&mut it, flag)?, flag)?,
             "--deadlock-recovery" => deadlock = true,
             "--threads" => threads = num(value(&mut it, flag)?, flag)?,
+            "--no-activity-gating" => activity_gating = false,
             "--profile" => profile = true,
             "--trace" => trace = Some(std::path::PathBuf::from(value(&mut it, flag)?)),
             "--trace-async" => trace_async = true,
@@ -420,7 +427,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             cthres: 32,
         })
         .hard_faults(hard_faults)
-        .threads(threads);
+        .threads(threads)
+        .activity_gating(activity_gating);
     let config = Box::new(b.build().map_err(|e| err(format!("config: {e}")))?);
     Ok(Command::Run {
         config,
@@ -614,6 +622,18 @@ mod tests {
         assert_eq!(config.threads, 4);
         let e = parse(&args("run --threads banana")).unwrap_err();
         assert!(e.0.contains("--threads"), "{e}");
+    }
+
+    #[test]
+    fn activity_gating_flag_parses_and_defaults_on() {
+        let Command::Run { config, .. } = parse(&args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(config.activity_gating);
+        let Command::Run { config, .. } = parse(&args("run --no-activity-gating")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!config.activity_gating);
     }
 
     #[test]

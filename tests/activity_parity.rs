@@ -1,0 +1,218 @@
+//! Activity-gating parity: skipping quiescent routers must be **byte
+//! identical** to the full-sweep engine at the same seed — same JSONL
+//! event trace, same final report — across fault-free, dead-link,
+//! transient-error and deadlock-recovery scenarios, at any thread
+//! count.
+//!
+//! This is the soundness contract of the active-set worklist (see
+//! `ftnoc-sim`'s `network` module docs): a skipped router's compute
+//! phase would have been a complete no-op — no state change, no
+//! counter ticks and (because the fault RNG is counter-based, keyed on
+//! the cycle) no RNG draws — so the gated schedule is
+//! observation-equivalent to the full sweep.
+
+use ftnoc_check::{ArmedInvariants, Oracle};
+use ftnoc_fault::{FaultRates, HardFaults};
+use ftnoc_sim::{
+    DeadlockConfig, Network, RoutingAlgorithm, SimConfig, SimConfigBuilder, Simulator,
+};
+use ftnoc_trace::{MemorySink, Tracer};
+use ftnoc_traffic::InjectionProcess;
+use ftnoc_types::config::RouterConfig;
+use ftnoc_types::geom::{Coord, Direction, Topology};
+
+/// A clean 4×4 mesh, no faults, light load (lots of quiescent cycles).
+fn fault_free(seed: u64) -> SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .injection_rate(0.1)
+        .seed(seed)
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(10_000);
+    b
+}
+
+/// A dead link with adaptive detours (`--kill-link` scenario): probes
+/// are discarded at the fault boundary, blocking clusters around it.
+fn kill_link(seed: u64) -> SimConfigBuilder {
+    let topo = Topology::mesh(4, 4);
+    let mut hard = HardFaults::new();
+    hard.kill_link(topo, topo.id_of(Coord::new(1, 1)), Direction::East);
+    let mut b = fault_free(seed);
+    b.routing(RoutingAlgorithm::WestFirstAdaptive)
+        .hard_faults(hard)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 32,
+        });
+    b
+}
+
+/// HBH with link soft errors: drops, NACKs and replays in play.
+fn transient_error(seed: u64) -> SimConfigBuilder {
+    let mut b = fault_free(seed);
+    b.injection_rate(0.2).faults(FaultRates::link_only(0.01));
+    b
+}
+
+/// The single-VC fully-adaptive configuration that deadlocks under
+/// bursty traffic and drains through §3.2 recovery.
+fn deadlock_recovery(seed: u64) -> SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .router(
+            RouterConfig::builder()
+                .vcs_per_port(1)
+                .buffer_depth(4)
+                .retrans_depth(6)
+                .build()
+                .unwrap(),
+        )
+        .routing(RoutingAlgorithm::FullyAdaptive)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(0.25)
+        .seed(seed)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 32,
+        })
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(12_000)
+        .stop_injection_after(4_000);
+    b
+}
+
+/// Runs `cycles` cycles and returns the full JSONL trace plus the JSON
+/// run report.
+fn run(
+    mut builder: SimConfigBuilder,
+    gating: bool,
+    threads: usize,
+    cycles: u64,
+) -> (String, String) {
+    builder.threads(threads).activity_gating(gating);
+    let config = builder.build().unwrap();
+    let nodes = config.topology.node_count();
+    let mut sim = Simulator::with_tracer(config, Tracer::new(MemorySink::new(), nodes, 0));
+    let report = sim.run_cycles(cycles);
+    (sim.into_tracer().into_sink().to_jsonl(), report.to_json())
+}
+
+/// Debug builds step an order of magnitude slower; the byte-identity
+/// contract is cycle-for-cycle, so a shorter window loses no coverage
+/// class (release CI runs the full-length windows).
+const fn dbg_capped(cycles: u64) -> u64 {
+    if cfg!(debug_assertions) {
+        cycles / 4
+    } else {
+        cycles
+    }
+}
+
+fn assert_gating_parity(name: &str, make: fn(u64) -> SimConfigBuilder, cycles: u64) {
+    for seed in [1u64, 42, 0xF70C] {
+        let (trace_ref, report_ref) = run(make(seed), false, 1, cycles);
+        assert!(
+            trace_ref.lines().count() > 50,
+            "{name}/seed {seed}: trace suspiciously short"
+        );
+        for threads in [1usize, 4] {
+            let (trace, report) = run(make(seed), true, threads, cycles);
+            assert_eq!(
+                trace, trace_ref,
+                "{name}/seed {seed}: gated @{threads}t trace diverged from full sweep"
+            );
+            // The report echoes the configured thread count (a config
+            // echo, not a simulation result) — normalize before
+            // comparing. Gating itself is deliberately *not* echoed.
+            let report = report.replace(&format!("\"threads\":{threads}"), "\"threads\":1");
+            assert_eq!(
+                report, report_ref,
+                "{name}/seed {seed}: gated @{threads}t report diverged from full sweep"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_free_runs_are_gating_invariant() {
+    assert_gating_parity("fault-free", fault_free, dbg_capped(10_000));
+}
+
+#[test]
+fn kill_link_runs_are_gating_invariant() {
+    assert_gating_parity("kill-link", kill_link, dbg_capped(10_000));
+}
+
+#[test]
+fn transient_error_runs_are_gating_invariant() {
+    assert_gating_parity("transient-error", transient_error, dbg_capped(10_000));
+}
+
+#[test]
+fn deadlock_recovery_runs_are_gating_invariant() {
+    assert_gating_parity("deadlock-recovery", deadlock_recovery, dbg_capped(12_000));
+}
+
+/// Gating must actually *skip* work, not just match the full sweep: at
+/// 10% injection on a 4×4 mesh a meaningful share of router-cycles is
+/// quiescent. (The full sweep computes every router every cycle by
+/// definition; the telemetry counter makes the gap observable.)
+#[test]
+fn gating_skips_a_meaningful_share_of_quiescent_cycles() {
+    let cycles = dbg_capped(10_000);
+    let config = fault_free(7).build().unwrap();
+    let nodes = config.topology.node_count() as u64;
+    let mut net = Network::new(config);
+    for _ in 0..cycles {
+        net.step();
+    }
+    let computed: u64 = net
+        .telemetry()
+        .routers
+        .iter()
+        .map(|r| r.computed_cycles)
+        .sum();
+    let full = nodes * cycles;
+    assert!(
+        computed < full * 7 / 10,
+        "gating computed {computed}/{full} router-cycles — expected a >30% skip rate at 10% injection"
+    );
+    assert!(computed > 0, "nothing computed at all?");
+}
+
+/// The oracle's activity invariant: claiming a router was skipped while
+/// its buffers hold flits must be flagged. (Real gated runs are checked
+/// positively by the stepped oracle runs in `parallel_parity.rs`; this
+/// doctors a snapshot to prove the check has teeth.)
+#[test]
+fn oracle_flags_a_skipped_router_that_was_not_quiescent() {
+    let config = {
+        let mut b = fault_free(3);
+        b.injection_rate(0.4);
+        b.build().unwrap()
+    };
+    // The history-tracking invariants (arrival order, probe soundness)
+    // need one snapshot per cycle; this test inspects a single boundary,
+    // so arm nothing — the structural and activity checks always run.
+    let mut oracle = Oracle::with_arming(ArmedInvariants::none());
+    let mut net = Network::new(config);
+    for _ in 0..200 {
+        net.step();
+    }
+    let mut snap = net.snapshot();
+    oracle.check(&snap).expect("honest snapshot must pass");
+    let busy = snap
+        .routers
+        .iter()
+        .position(|r| r.inputs.iter().flatten().any(|ivc| !ivc.flits.is_empty()))
+        .expect("saturating traffic must occupy some buffer");
+    snap.computed[busy] = false;
+    let violation = oracle
+        .check(&snap)
+        .expect_err("a skipped-but-busy router must be flagged");
+    assert_eq!(violation.invariant, "activity");
+    assert_eq!(violation.node, Some(busy));
+}
