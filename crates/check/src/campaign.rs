@@ -11,13 +11,13 @@
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ftnoc_fault::FaultRates;
+use ftnoc_fault::{FaultRates, ScheduledKill};
 use ftnoc_rng::Rng;
 use ftnoc_sim::config::{DeadlockConfig, ErrorScheme, RoutingAlgorithm};
 use ftnoc_sim::{Network, SimConfig};
 use ftnoc_traffic::{InjectionProcess, TrafficPattern};
 use ftnoc_types::config::{BufferOrg, PipelineDepth, RouterConfig};
-use ftnoc_types::geom::Topology;
+use ftnoc_types::geom::{Direction, NodeId, Topology};
 use ftnoc_types::ConfigError;
 
 use crate::oracle::{Oracle, Violation};
@@ -75,6 +75,17 @@ pub struct CampaignParams {
     /// reference schedule). Byte-identical by contract; fuzzing both
     /// cross-checks that contract across the whole config space.
     pub gating: bool,
+    /// Mid-run hard fault: the cycle one live link is killed (`0` = no
+    /// scheduled kill — the kill fields below are then ignored).
+    pub kill_at: u64,
+    /// Victim endpoint of the scheduled kill (row-major node index).
+    pub kill_node: u16,
+    /// Direction of the killed link as seen from `kill_node`.
+    pub kill_dir: Direction,
+    /// Fault-notification latency: cycles between local detection at
+    /// the kill's endpoints and network-wide publication of the new
+    /// fault tables.
+    pub notify: u64,
 }
 
 fn pattern_name(p: &TrafficPattern) -> &'static str {
@@ -158,6 +169,10 @@ impl CampaignParams {
             threads: [1, 1, 1, 2, 4][r.gen_range(0..5usize)],
             damq_pool: 0,
             gating: true,
+            kill_at: 0,
+            kill_node: 0,
+            kill_dir: Direction::East,
+            notify: 4,
         };
         // The buffer-organisation dimension is drawn last so every
         // earlier parameter of a given (seed, index) is unchanged from
@@ -176,6 +191,39 @@ impl CampaignParams {
         // full-sweep reference so the byte-identity contract is
         // cross-checked over the whole sampled space.
         p.gating = !r.gen_bool(0.25);
+        // The mid-run hard-fault dimension is drawn last for the same
+        // reason (and every draw is taken unconditionally so any future
+        // dimension appended after this one sees a stable stream). One
+        // campaign in eight kills a live link mid-run; three of those
+        // four are coerced onto fault-aware routing with the deadlock
+        // net armed for the reconfiguration transition, the rest keep
+        // the sampled algorithm — legacy routing must still honour the
+        // dead-port invariant while the network wedges or drains.
+        let kill = r.gen_bool(0.125);
+        let east_links = (p.width as u64 - 1) * p.height as u64;
+        let south_links = p.width as u64 * (p.height as u64 - 1);
+        let pick = r.gen_range(0..east_links + south_links);
+        let at = r.gen_range(1..p.cycles);
+        let nfy = r.gen_range(0..9u64);
+        let coerce = r.gen_bool(0.75);
+        if kill {
+            // A single-link kill keeps every ≥2×2 mesh connected, so
+            // the fault-aware spanning tree always spans all nodes.
+            if pick < east_links {
+                let w = p.width as u64 - 1;
+                p.kill_node = ((pick / w) * p.width as u64 + pick % w) as u16;
+                p.kill_dir = Direction::East;
+            } else {
+                p.kill_node = (pick - east_links) as u16;
+                p.kill_dir = Direction::South;
+            }
+            p.kill_at = at;
+            p.notify = nfy;
+            if coerce {
+                p.routing = RoutingAlgorithm::FaultAware;
+                p.deadlock = true;
+            }
+        }
         p
     }
 
@@ -228,6 +276,14 @@ impl CampaignParams {
         if self.stop_after > 0 {
             b.stop_injection_after(self.stop_after);
         }
+        if self.kill_at > 0 {
+            b.scheduled_kills(vec![ScheduledKill {
+                at: self.kill_at,
+                node: NodeId::new(self.kill_node),
+                dir: self.kill_dir,
+            }])
+            .fault_notify_latency(self.notify);
+        }
         b.build()
     }
 
@@ -250,6 +306,7 @@ impl CampaignParams {
                 RoutingAlgorithm::WestFirstAdaptive => "wf",
                 RoutingAlgorithm::FullyAdaptive => "fa",
                 RoutingAlgorithm::OddEven => "oe",
+                RoutingAlgorithm::FaultAware => "fta",
             },
             match self.scheme {
                 ErrorScheme::Hbh => "hbh",
@@ -280,6 +337,22 @@ impl CampaignParams {
             self.damq_pool,
             u8::from(self.gating),
         );
+        if self.kill_at > 0 {
+            let _ = write!(
+                s,
+                ",nfy={},kill@{}={}:{}",
+                self.notify,
+                self.kill_at,
+                self.kill_node,
+                match self.kill_dir {
+                    Direction::North => "n",
+                    Direction::East => "e",
+                    Direction::South => "s",
+                    Direction::West => "w",
+                    Direction::Local => "l",
+                },
+            );
+        }
         s
     }
 
@@ -294,6 +367,10 @@ impl CampaignParams {
         p.logic = [0.0; 5];
         p.damq_pool = 0;
         p.gating = true;
+        p.kill_at = 0;
+        p.kill_node = 0;
+        p.kill_dir = Direction::East;
+        p.notify = 4;
         for item in spec.split(',') {
             let item = item.trim();
             if item.is_empty() {
@@ -320,6 +397,7 @@ impl CampaignParams {
                         "wf" => RoutingAlgorithm::WestFirstAdaptive,
                         "fa" => RoutingAlgorithm::FullyAdaptive,
                         "oe" => RoutingAlgorithm::OddEven,
+                        "fta" => RoutingAlgorithm::FaultAware,
                         _ => return Err(format!("unknown routing {v:?}")),
                     }
                 }
@@ -367,6 +445,24 @@ impl CampaignParams {
                 "threads" => p.threads = v.parse().map_err(bad!())?,
                 "pool" => p.damq_pool = v.parse().map_err(bad!())?,
                 "gate" => p.gating = v != "0",
+                "nfy" => p.notify = v.parse().map_err(bad!())?,
+                _ if k.starts_with("kill@") => {
+                    p.kill_at = k["kill@".len()..].parse().map_err(bad!())?;
+                    if p.kill_at == 0 {
+                        return Err(format!("bad value for {k}: kill cycle must be > 0"));
+                    }
+                    let (n, d) = v
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad value for {k}: {v:?} (expected N:D)"))?;
+                    p.kill_node = n.parse().map_err(bad!())?;
+                    p.kill_dir = match d {
+                        "n" => Direction::North,
+                        "e" => Direction::East,
+                        "s" => Direction::South,
+                        "w" => Direction::West,
+                        _ => return Err(format!("unknown kill direction {d:?}")),
+                    };
+                }
                 _ => return Err(format!("unknown key {k:?}")),
             }
         }
@@ -508,6 +604,13 @@ fn transforms(p: &CampaignParams, v: &Violation) -> Vec<CampaignParams> {
     // Reduce toward the full-sweep reference schedule: if the failure
     // survives with gating off, it is not an activity-gating bug.
     push(&|c| c.gating = false);
+    // Reduce toward no mid-run fault: if the failure survives without
+    // the scheduled kill, it is not a reconfiguration bug. Failing
+    // that, try instant publication (no detection/publication skew).
+    push(&|c| c.kill_at = 0);
+    if p.kill_at > 0 {
+        push(&|c| c.notify = 0);
+    }
     if v.cycle > 0 && v.cycle < p.cycles {
         push(&|c| c.cycles = v.cycle);
     }
@@ -550,5 +653,44 @@ pub(crate) fn apply_org_filter(params: &mut CampaignParams, org: Option<OrgFilte
             params.damq_pool = params.vcs * params.buffer;
         }
         _ => {}
+    }
+}
+
+/// Coerces every sampled campaign into the mid-run hard-fault scenario
+/// class: fault-aware routing with a link kill landing mid-run — the
+/// online-reconfiguration path (detection → publication → reroute) on
+/// every single campaign instead of the sampler's one-in-eight mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioFilter {
+    /// Force fault-aware routing, the deadlock-recovery transition net,
+    /// and a scheduled mid-run link kill.
+    MidRunFault,
+}
+
+/// Applies a [`ScenarioFilter`] to freshly sampled parameters (shared
+/// by the serial and batched execution paths, so both coerce
+/// identically). Campaigns the sampler left kill-free get one planted
+/// deterministically from already-sampled parameters — a pure function
+/// of the campaign, no extra RNG draws.
+pub(crate) fn apply_scenario_filter(params: &mut CampaignParams, scenario: Option<ScenarioFilter>) {
+    let Some(ScenarioFilter::MidRunFault) = scenario else {
+        return;
+    };
+    params.routing = RoutingAlgorithm::FaultAware;
+    params.deadlock = true;
+    if params.kill_at == 0 {
+        let east_links = (params.width as u64 - 1) * params.height as u64;
+        let south_links = params.width as u64 * (params.height as u64 - 1);
+        let pick = params.seed % (east_links + south_links);
+        if pick < east_links {
+            let w = params.width as u64 - 1;
+            params.kill_node = ((pick / w) * params.width as u64 + pick % w) as u16;
+            params.kill_dir = Direction::East;
+        } else {
+            params.kill_node = (pick - east_links) as u16;
+            params.kill_dir = Direction::South;
+        }
+        params.kill_at = 1 + (params.seed >> 32) % params.cycles.max(2).div_euclid(2);
+        params.notify = (params.seed >> 56) % 9;
     }
 }

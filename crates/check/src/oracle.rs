@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use ftnoc_core::ac::VcRef;
+use ftnoc_fault::FaultTimeline;
 use ftnoc_sim::config::ErrorScheme;
 use ftnoc_sim::router::BlockedVcSummary;
 use ftnoc_sim::snapshot::{NetSnapshot, VcStateView};
@@ -71,6 +72,7 @@ impl fmt::Display for Violation {
 /// | credit bound | no logic upsets |
 /// | credit equality | no logic or link upsets |
 /// | probe soundness (§3.2.2) | no logic upsets |
+/// | dead-port allocation | AC enabled, or no VA upsets |
 #[derive(Debug, Clone, Copy)]
 pub struct ArmedInvariants {
     /// Exclusivity of VC/crossbar allocations (the AC's §4 guarantees).
@@ -88,6 +90,12 @@ pub struct ArmedInvariants {
     pub credit_exact: bool,
     /// Confirmed deadlocks imply a real channel-wait cycle (Rules 1–4).
     pub probe: bool,
+    /// No output-VC reservation lands on a known-dead port on or after
+    /// its death cycle. Gated only by VA-upset coverage: an uncaught VA
+    /// upset (AC disabled) can commit a corrupted winner onto an
+    /// arbitrary port, which is the §4 symptom the exclusivity family
+    /// tracks, not a routing bug.
+    pub dead_port: bool,
 }
 
 impl ArmedInvariants {
@@ -112,6 +120,7 @@ impl ArmedInvariants {
             credit_bound: logic_free,
             credit_exact: logic_free && f.link == 0.0,
             probe: logic_free,
+            dead_port: config.ac_enabled || f.va == 0.0,
         }
     }
 
@@ -125,6 +134,7 @@ impl ArmedInvariants {
             credit_bound: false,
             credit_exact: false,
             probe: false,
+            dead_port: false,
         }
     }
 }
@@ -155,6 +165,11 @@ pub struct Oracle {
     hist: VecDeque<WaitFrame>,
     /// Scratch for conservation: packet → seq bitmask.
     resident: HashMap<u64, u128>,
+    /// The run's hard-fault history, for cross-checking the snapshot's
+    /// published fault table against what the configuration implies
+    /// (`None` when constructed via [`Oracle::with_arming`] — the
+    /// snapshot's own table is then trusted as-is).
+    timeline: Option<FaultTimeline>,
     sized: bool,
 }
 
@@ -170,6 +185,7 @@ impl Oracle {
     pub fn new(config: &SimConfig) -> Self {
         let mut oracle = Oracle::with_arming(ArmedInvariants::from_config(config));
         oracle.cthres = config.deadlock.cthres;
+        oracle.timeline = Some(config.fault_timeline());
         oracle
     }
 
@@ -185,6 +201,7 @@ impl Oracle {
             cthres: 1,
             hist: VecDeque::new(),
             resident: HashMap::new(),
+            timeline: None,
             sized: false,
         }
     }
@@ -206,6 +223,7 @@ impl Oracle {
         }
         let mut first = self.check_structural(snap).err();
         first = first.or_else(|| self.check_activity(snap).err());
+        first = first.or_else(|| self.check_dead_ports(snap).err());
         if self.arm.exclusivity {
             first = first.or_else(|| self.check_exclusivity(snap).err());
         }
@@ -386,6 +404,75 @@ impl Oracle {
                         n,
                         "activity",
                         format!("compute skipped but a credit/NACK was due on link {d} at {at}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-table consistency and the dead-port allocation invariant.
+    ///
+    /// Consistency (armed whenever the oracle knows the run's fault
+    /// history, i.e. it was built with [`Oracle::new`]): the snapshot's
+    /// published `dead_ports` table must equal, entry for entry, what
+    /// the configuration's [`FaultTimeline`] implies for the snapshot
+    /// cycle — the simulator may neither hide a dead link nor invent
+    /// one.
+    ///
+    /// Dead-port allocation (armed per [`ArmedInvariants::dead_port`]):
+    /// no output VC on a dead port may hold a reservation granted at or
+    /// after the link's death cycle. Reservations granted strictly
+    /// before the death are legal — that wormhole is draining through
+    /// the reconfiguration transition — but a *new* grant onto a port
+    /// the router already knows is dead means the fault-aware VA filter
+    /// (or a legacy algorithm's live-link fallback) let a packet route
+    /// into the hole.
+    fn check_dead_ports(&self, snap: &NetSnapshot) -> Result<(), Violation> {
+        if let Some(tl) = &self.timeline {
+            // Snapshots are taken after `step()`, so the table reflects
+            // deaths detectable by the end of cycle `now - 1`.
+            let expect: Vec<(usize, usize, u64)> = tl
+                .dead_ports_at(snap.now.saturating_sub(1))
+                .into_iter()
+                .map(|(n, d, since)| (n.index(), d.index(), since))
+                .collect();
+            if snap.dead_ports != expect {
+                return Err(Violation {
+                    cycle: snap.now,
+                    node: None,
+                    invariant: "fault-table",
+                    detail: format!(
+                        "snapshot publishes dead ports {:?} but the run's fault \
+                         history implies {:?}",
+                        snap.dead_ports, expect
+                    ),
+                });
+            }
+        }
+        if !self.arm.dead_port {
+            return Ok(());
+        }
+        for &(n, d, since) in &snap.dead_ports {
+            let Some(r) = snap.routers.get(n) else {
+                continue;
+            };
+            let Some(out) = r.outputs.get(d) else {
+                continue;
+            };
+            for (ov, ovc) in out.vcs.iter().enumerate() {
+                let (Some((p, v)), Some(at)) = (ovc.allocated, ovc.allocated_at) else {
+                    continue;
+                };
+                if at >= since {
+                    return Err(Violation::new(
+                        snap.now,
+                        n,
+                        "dead-port",
+                        format!(
+                            "output {d}.{ov} is on a link dead since cycle {since} but \
+                             holds a reservation for input {p}.{v} granted at cycle {at}"
+                        ),
                     ));
                 }
             }

@@ -30,7 +30,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 
 use crate::campaign::{
-    apply_org_filter, run_campaign, shrink, CampaignParams, OrgFilter, ShrinkStepRec,
+    apply_org_filter, apply_scenario_filter, run_campaign, shrink, CampaignParams, OrgFilter,
+    ScenarioFilter, ShrinkStepRec,
 };
 use crate::observer::{FuzzEvent, FuzzObserver};
 use crate::oracle::Violation;
@@ -103,6 +104,9 @@ pub struct CampaignPlan {
     /// Coerce every campaign onto one buffer organisation (`None`
     /// keeps the sampler's natural static/DAMQ mix).
     pub org: Option<OrgFilter>,
+    /// Coerce every campaign into one scenario class (`None` keeps the
+    /// sampler's natural mix).
+    pub scenario: Option<ScenarioFilter>,
     /// Worker threads executing campaigns (`<= 1` runs serially on the
     /// calling thread; any value produces the identical report).
     pub threads: usize,
@@ -116,6 +120,7 @@ impl Default for CampaignPlan {
             max_failures: 1,
             shrink_budget: 80,
             org: None,
+            scenario: None,
             threads: 1,
         }
     }
@@ -155,6 +160,12 @@ impl CampaignPlan {
     /// Coerces every campaign onto one buffer organisation.
     pub fn org(mut self, org: Option<OrgFilter>) -> Self {
         self.org = org;
+        self
+    }
+
+    /// Coerces every campaign into one scenario class.
+    pub fn scenario(mut self, scenario: Option<ScenarioFilter>) -> Self {
+        self.scenario = scenario;
         self
     }
 
@@ -225,6 +236,7 @@ impl CampaignRunner {
     fn execute(&self, index: u64) -> Outcome {
         let mut params = CampaignParams::sample(self.plan.seed, index);
         apply_org_filter(&mut params, self.plan.org);
+        apply_scenario_filter(&mut params, self.plan.scenario);
         let failure = run_campaign(&params).err().map(|first| {
             let unshrunk_spec = params.to_spec();
             let (small, violation, steps) = shrink(&params, self.plan.shrink_budget);

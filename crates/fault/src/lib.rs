@@ -26,7 +26,9 @@
 pub mod hard;
 pub mod injector;
 pub mod rates;
+pub mod schedule;
 
 pub use hard::HardFaults;
 pub use injector::{FaultCounts, FaultInjector, LinkErrorKind};
 pub use rates::{ErrorMix, FaultRates};
+pub use schedule::{FaultTimeline, ScheduledKill};

@@ -1,0 +1,310 @@
+//! Runtime hard-fault notification: links that die *mid-run*.
+//!
+//! A [`ScheduledKill`] plants a hard link fault at a specific cycle; the
+//! [`FaultTimeline`] turns the static base registry plus the schedule
+//! into the two views the router stack needs:
+//!
+//! * **Local detection** — the routers adjacent to a link observe its
+//!   death the cycle it happens ([`FaultTimeline::link_dead_now`]).
+//!   From that cycle on they stop granting new wormholes onto the port
+//!   and stop offering it as a route candidate; wormholes allocated
+//!   earlier drain gracefully (the control plane dies, the wires keep
+//!   carrying already-committed flits).
+//! * **Network-wide publication** — `notify_latency` cycles later the
+//!   fault is published to every router ([`FaultTimeline::epoch_at`]
+//!   advances), at which point route plans are recomputed against the
+//!   enlarged effective fault set ([`FaultTimeline::effective`]).
+//!
+//! Everything here is a pure function of the configuration: the
+//! timeline draws no randomness and holds no mutable state, so runs
+//! stay byte-identical at any thread count and under activity gating.
+
+use ftnoc_types::geom::{Direction, NodeId, Topology};
+
+use crate::hard::HardFaults;
+
+/// A hard link fault that lands at a specific cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledKill {
+    /// The cycle the link dies. Detection at the adjacent routers is
+    /// immediate; publication to the rest of the network lags by the
+    /// timeline's notify latency.
+    pub at: u64,
+    /// One endpoint of the link.
+    pub node: NodeId,
+    /// The direction of the link as seen from `node`.
+    pub dir: Direction,
+}
+
+/// The complete hard-fault history of a run: the static base set plus
+/// every scheduled mid-run kill, pre-expanded into per-epoch effective
+/// fault registries.
+#[derive(Debug, Clone)]
+pub struct FaultTimeline {
+    topo: Topology,
+    notify_latency: u64,
+    /// Kills sorted by `(at, node, dir)`.
+    kills: Vec<ScheduledKill>,
+    /// `(published_since, effective set)` — `epochs[0]` is `(0, base)`;
+    /// each later entry folds in every kill published by that cycle.
+    epochs: Vec<(u64, HardFaults)>,
+}
+
+impl FaultTimeline {
+    /// Builds the timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kill targets the `Local` port, a link missing from
+    /// the topology, or a link already dead in the base set (or killed
+    /// twice) — all configuration errors, not runtime conditions.
+    pub fn new(
+        topo: Topology,
+        base: HardFaults,
+        mut kills: Vec<ScheduledKill>,
+        notify_latency: u64,
+    ) -> Self {
+        kills.sort_by_key(|k| (k.at, k.node, k.dir));
+        let mut epochs = vec![(0u64, base)];
+        for k in &kills {
+            assert!(k.dir.is_cardinal(), "the PE port is not a link");
+            assert!(
+                topo.neighbor(topo.coord_of(k.node), k.dir).is_some(),
+                "scheduled kill {}:{} targets a link absent from {topo}",
+                k.node,
+                k.dir
+            );
+            let (_, current) = epochs.last().unwrap();
+            assert!(
+                !current.link_is_dead(k.node, k.dir),
+                "scheduled kill {}:{} targets an already-dead link",
+                k.node,
+                k.dir
+            );
+            let published = k.at.saturating_add(notify_latency);
+            let mut next = current.clone();
+            next.kill_link(topo, k.node, k.dir);
+            if epochs.last().unwrap().0 == published {
+                epochs.last_mut().unwrap().1 = next;
+            } else {
+                epochs.push((published, next));
+            }
+        }
+        FaultTimeline {
+            topo,
+            notify_latency,
+            kills,
+            epochs,
+        }
+    }
+
+    /// A timeline with no mid-run kills: the base set, forever.
+    pub fn static_only(topo: Topology, base: HardFaults) -> Self {
+        FaultTimeline::new(topo, base, Vec::new(), 0)
+    }
+
+    /// The topology the timeline was built for.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The configured notification latency in cycles.
+    pub fn notify_latency(&self) -> u64 {
+        self.notify_latency
+    }
+
+    /// The scheduled kills, sorted by cycle.
+    pub fn kills(&self) -> &[ScheduledKill] {
+        &self.kills
+    }
+
+    /// Whether the timeline has no mid-run kills (faults are static).
+    pub fn is_static(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// Number of publication epochs (`1` when static).
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// The publication epoch in force at cycle `now`.
+    pub fn epoch_at(&self, now: u64) -> usize {
+        // Epochs are few (one per kill at most): a linear scan beats a
+        // binary search at these sizes and is branch-predictable.
+        let mut e = 0;
+        while e + 1 < self.epochs.len() && self.epochs[e + 1].0 <= now {
+            e += 1;
+        }
+        e
+    }
+
+    /// The network-wide published fault set of an epoch.
+    pub fn effective(&self, epoch: usize) -> &HardFaults {
+        &self.epochs[epoch].1
+    }
+
+    /// The fault set every router agrees on at cycle `now`.
+    pub fn published_at(&self, now: u64) -> &HardFaults {
+        self.effective(self.epoch_at(now))
+    }
+
+    /// Ground truth at cycle `now`: whether the link leaving `node` in
+    /// `dir` is dead — base faults plus every kill with `at <= now`,
+    /// published or not. This is what the routers *adjacent* to the
+    /// link know (detection is local and immediate), and therefore what
+    /// route-candidate filtering and VC allocation at `node` consult
+    /// for `node`'s own ports.
+    pub fn link_dead_now(&self, now: u64, node: NodeId, dir: Direction) -> bool {
+        if self.epochs[0].1.link_is_dead(node, dir) {
+            return true;
+        }
+        self.kills.iter().take_while(|k| k.at <= now).any(|k| {
+            (k.node == node && k.dir == dir)
+                || self
+                    .topo
+                    .neighbor(self.topo.coord_of(k.node), k.dir)
+                    .is_some_and(|c| self.topo.id_of(c) == node && k.dir.opposite() == dir)
+        })
+    }
+
+    /// Every cycle at which fault state changes somewhere: each kill's
+    /// detection cycle and its publication cycle, sorted and deduped.
+    /// The engine wakes the whole network at these boundaries so
+    /// activity gating cannot sleep through a reconfiguration.
+    pub fn boundaries(&self) -> Vec<u64> {
+        let mut b: Vec<u64> = self
+            .kills
+            .iter()
+            .flat_map(|k| [k.at, k.at.saturating_add(self.notify_latency)])
+            .collect();
+        b.sort_unstable();
+        b.dedup();
+        b
+    }
+
+    /// Every directed dead link endpoint as of cycle `now`, with the
+    /// cycle its death became locally known: `(node, dir, since)`.
+    /// Base faults carry `since == 0`. This is the network's fault
+    /// table as the snapshot exposes it to the invariant oracle.
+    pub fn dead_ports_at(&self, now: u64) -> Vec<(NodeId, Direction, u64)> {
+        let mut out = Vec::new();
+        for node in self.topo.nodes() {
+            for dir in Direction::CARDINAL {
+                if self.epochs[0].1.link_is_dead(node, dir) {
+                    out.push((node, dir, 0));
+                }
+            }
+        }
+        for k in self.kills.iter().take_while(|k| k.at <= now) {
+            out.push((k.node, k.dir, k.at));
+            if let Some(c) = self.topo.neighbor(self.topo.coord_of(k.node), k.dir) {
+                out.push((self.topo.id_of(c), k.dir.opposite(), k.at));
+            }
+        }
+        out.sort_by_key(|&(n, d, s)| (n, d, s));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::mesh(4, 4)
+    }
+
+    fn kill(at: u64, node: u16, dir: Direction) -> ScheduledKill {
+        ScheduledKill {
+            at,
+            node: NodeId::new(node),
+            dir,
+        }
+    }
+
+    #[test]
+    fn static_timeline_has_one_epoch() {
+        let tl = FaultTimeline::static_only(topo(), HardFaults::new());
+        assert!(tl.is_static());
+        assert_eq!(tl.epoch_count(), 1);
+        assert_eq!(tl.epoch_at(0), 0);
+        assert_eq!(tl.epoch_at(u64::MAX), 0);
+        assert!(tl.boundaries().is_empty());
+        assert!(tl.dead_ports_at(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn detection_precedes_publication() {
+        let tl = FaultTimeline::new(
+            topo(),
+            HardFaults::new(),
+            vec![kill(100, 5, Direction::East)],
+            8,
+        );
+        // Before the kill: nothing is dead anywhere.
+        assert!(!tl.link_dead_now(99, NodeId::new(5), Direction::East));
+        // At the kill cycle: both endpoints know, the network does not.
+        assert!(tl.link_dead_now(100, NodeId::new(5), Direction::East));
+        assert!(tl.link_dead_now(100, NodeId::new(6), Direction::West));
+        assert_eq!(tl.epoch_at(100), 0);
+        assert!(!tl
+            .published_at(100)
+            .link_is_dead(NodeId::new(5), Direction::East));
+        // After the latency: the whole network agrees.
+        assert_eq!(tl.epoch_at(108), 1);
+        assert!(tl
+            .published_at(108)
+            .link_is_dead(NodeId::new(5), Direction::East));
+        assert_eq!(tl.boundaries(), vec![100, 108]);
+    }
+
+    #[test]
+    fn dead_ports_table_lists_both_endpoints_with_since() {
+        let mut base = HardFaults::new();
+        base.kill_link(topo(), NodeId::new(0), Direction::East);
+        let tl = FaultTimeline::new(topo(), base, vec![kill(50, 9, Direction::South)], 4);
+        let before = tl.dead_ports_at(49);
+        assert_eq!(before.len(), 2); // base endpoints only
+        assert!(before.iter().all(|&(_, _, s)| s == 0));
+        let after = tl.dead_ports_at(50);
+        assert_eq!(after.len(), 4);
+        assert!(after.contains(&(NodeId::new(9), Direction::South, 50)));
+        assert!(after.contains(&(NodeId::new(13), Direction::North, 50)));
+    }
+
+    #[test]
+    fn kills_merge_into_cumulative_epochs() {
+        let tl = FaultTimeline::new(
+            topo(),
+            HardFaults::new(),
+            vec![
+                kill(200, 10, Direction::North),
+                kill(100, 5, Direction::East),
+            ],
+            4,
+        );
+        assert_eq!(tl.epoch_count(), 3);
+        let last = tl.effective(2);
+        assert!(last.link_is_dead(NodeId::new(5), Direction::East));
+        assert!(last.link_is_dead(NodeId::new(10), Direction::North));
+        // Middle epoch only has the earlier kill.
+        assert!(tl
+            .effective(1)
+            .link_is_dead(NodeId::new(5), Direction::East));
+        assert!(!tl
+            .effective(1)
+            .link_is_dead(NodeId::new(10), Direction::North));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-dead")]
+    fn double_kill_is_rejected() {
+        let _ = FaultTimeline::new(
+            topo(),
+            HardFaults::new(),
+            vec![kill(10, 5, Direction::East), kill(20, 6, Direction::West)],
+            4,
+        );
+    }
+}

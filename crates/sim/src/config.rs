@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use ftnoc_fault::{FaultRates, HardFaults};
+use ftnoc_fault::{FaultRates, FaultTimeline, HardFaults, ScheduledKill};
 use ftnoc_traffic::{InjectionProcess, TrafficPattern};
 use ftnoc_types::config::RouterConfig;
 use ftnoc_types::error::ConfigError;
@@ -22,6 +22,12 @@ pub enum RoutingAlgorithm {
     FullyAdaptive,
     /// Odd-even turn-model routing (extension; deadlock-free).
     OddEven,
+    /// Fault-aware adaptive routing over the live-link graph: an
+    /// up*/down* relation rebuilt per fault-publication epoch, with
+    /// FASHION-style rectangular fault regions steering candidate
+    /// preference. Deadlock-free for any connected fault set — minimal
+    /// where possible, safely non-minimal around faults.
+    FaultAware,
 }
 
 impl RoutingAlgorithm {
@@ -43,6 +49,7 @@ impl RoutingAlgorithm {
             RoutingAlgorithm::WestFirstAdaptive => "AD",
             RoutingAlgorithm::FullyAdaptive => "FA",
             RoutingAlgorithm::OddEven => "OE",
+            RoutingAlgorithm::FaultAware => "FTA",
         }
     }
 }
@@ -129,6 +136,16 @@ pub struct SimConfig {
     pub faults: FaultRates,
     /// Permanent link/router failures.
     pub hard_faults: HardFaults,
+    /// Hard link faults that land mid-run (online reconfiguration).
+    /// The adjacent routers detect a kill the cycle it happens; the
+    /// rest of the network learns of it [`fault_notify_latency`] cycles
+    /// later, when route plans are recomputed.
+    ///
+    /// [`fault_notify_latency`]: SimConfig::fault_notify_latency
+    pub scheduled_kills: Vec<ScheduledKill>,
+    /// Cycles between a mid-run fault's local detection and its
+    /// network-wide publication.
+    pub fault_notify_latency: u64,
     /// Deadlock detection/recovery.
     pub deadlock: DeadlockConfig,
     /// RNG seed (traffic and faults).
@@ -173,6 +190,17 @@ impl SimConfig {
     pub fn flits_per_packet(&self) -> usize {
         self.router.flits_per_packet()
     }
+
+    /// Expands the static hard faults plus the kill schedule into the
+    /// run's [`FaultTimeline`].
+    pub fn fault_timeline(&self) -> FaultTimeline {
+        FaultTimeline::new(
+            self.topology,
+            self.hard_faults.clone(),
+            self.scheduled_kills.clone(),
+            self.fault_notify_latency,
+        )
+    }
 }
 
 impl Default for SimConfig {
@@ -204,6 +232,8 @@ impl SimConfigBuilder {
                 injection_rate: 0.25,
                 faults: FaultRates::none(),
                 hard_faults: HardFaults::new(),
+                scheduled_kills: Vec::new(),
+                fault_notify_latency: 4,
                 deadlock: DeadlockConfig::default(),
                 seed: 0xF7_0C,
                 warmup_packets: 2_000,
@@ -284,6 +314,19 @@ impl SimConfigBuilder {
     /// Sets permanent failures.
     pub fn hard_faults(&mut self, hard_faults: HardFaults) -> &mut Self {
         self.config.hard_faults = hard_faults;
+        self
+    }
+
+    /// Schedules hard link faults that land mid-run.
+    pub fn scheduled_kills(&mut self, kills: Vec<ScheduledKill>) -> &mut Self {
+        self.config.scheduled_kills = kills;
+        self
+    }
+
+    /// Sets the local-detection → network-publication latency for
+    /// mid-run faults.
+    pub fn fault_notify_latency(&mut self, cycles: u64) -> &mut Self {
+        self.config.fault_notify_latency = cycles;
         self
     }
 
@@ -401,6 +444,20 @@ mod tests {
         assert!(RoutingAlgorithm::WestFirstAdaptive.is_adaptive());
         assert_eq!(RoutingAlgorithm::XyDeterministic.short_name(), "DT");
         assert_eq!(RoutingAlgorithm::WestFirstAdaptive.short_name(), "AD");
+        // Fault-aware is adaptive and deadlock-free by construction
+        // (acyclic up*/down* relation) — recovery is optional, a
+        // transition safety net, never a correctness requirement.
+        assert!(!RoutingAlgorithm::FaultAware.can_deadlock());
+        assert!(RoutingAlgorithm::FaultAware.is_adaptive());
+        assert_eq!(RoutingAlgorithm::FaultAware.short_name(), "FTA");
+    }
+
+    #[test]
+    fn fault_timeline_defaults_to_static() {
+        let c = SimConfig::default();
+        assert_eq!(c.fault_notify_latency, 4);
+        assert!(c.scheduled_kills.is_empty());
+        assert!(c.fault_timeline().is_static());
     }
 
     #[test]

@@ -49,6 +49,7 @@ use ftnoc_types::Header;
 use crate::config::{ErrorScheme, SimConfig};
 use crate::link::PortIo;
 use crate::router::{ArrivalAction, Ctx, Router};
+use crate::routing::FaultState;
 use crate::stats::{ErrorStats, EventCounts, LatencyHistogram, NetworkStats};
 
 /// Message classes carried in the packed header.
@@ -219,6 +220,11 @@ pub(crate) struct RunEnv {
     /// context so compute workers can test their cells without touching
     /// the serial core.
     pub active: ActiveSet,
+    /// The run's fault state: the hard-fault timeline (static base set
+    /// plus scheduled mid-run kills) with one pre-built fault-aware
+    /// routing plan per publication epoch. Immutable, so compute
+    /// workers query it freely.
+    pub faults: FaultState,
 }
 
 /// Serial state owned by the main thread: traffic endpoints, the
@@ -255,6 +261,12 @@ pub(crate) struct NetCore<S: TraceSink> {
     recovering_scratch: Vec<bool>,
     /// Pending router wake-ups, indexed by cycle (activity gating).
     wheel: ActivityWheel,
+    /// Cycles at which fault state changes somewhere (kill detection
+    /// and publication instants, sorted). Fault notification is a
+    /// wake-up source: the commit phase wakes the whole mesh at each
+    /// boundary so activity gating cannot sleep through a
+    /// reconfiguration. Empty on static-fault runs.
+    fault_boundaries: Vec<u64>,
 }
 
 /// A periodic progress sample handed to run observers (the CLI's
@@ -306,6 +318,7 @@ pub(crate) fn compute_cell(env: &RunEnv, cell: &mut RouterCell, now: u64) {
         config: &env.config,
         topo: env.topo,
         now,
+        faults: &env.faults,
     };
     let RouterCell {
         router,
@@ -450,12 +463,15 @@ impl<S: TraceSink> Network<S> {
             .collect();
         let rng = Rng::seed_from_u64(config.seed);
         let gating = config.activity_gating;
+        let faults = FaultState::new(config.fault_timeline());
+        let fault_boundaries = faults.timeline().boundaries();
         Network {
             env: RunEnv {
                 config,
                 topo,
                 profile: None,
                 active: ActiveSet::new(n, gating),
+                faults,
             },
             cells,
             core: NetCore {
@@ -482,6 +498,7 @@ impl<S: TraceSink> Network<S> {
                 prev_recovering: vec![false; n],
                 recovering_scratch: Vec::with_capacity(n),
                 wheel: ActivityWheel::new(n, gating),
+                fault_boundaries,
             },
         }
     }
@@ -702,8 +719,19 @@ pub(crate) fn build_snapshot<S: TraceSink>(
     // membership (the refresh for `now` happens in the next pre phase),
     // which is exactly the cycle this snapshot reflects.
     let computed = (0..cells.len()).map(|n| env.active.is_active(n)).collect();
+    // The network's fault table as of the snapshot cycle: every
+    // directed dead link endpoint with the cycle its death became
+    // locally known (the oracle checks allocations against it).
+    let dead_ports = env
+        .faults
+        .timeline()
+        .dead_ports_at(core.now.saturating_sub(1))
+        .into_iter()
+        .map(|(n, d, since)| (n.index(), d.index(), since))
+        .collect();
     NetSnapshot {
         now: core.now,
+        dead_ports,
         scheme: env.config.scheme,
         vcs_per_port: env.config.router.vcs_per_port(),
         buffer_depth: env.config.router.buffer_depth(),
@@ -1050,6 +1078,17 @@ impl<S: TraceSink> NetCore<S> {
             self.stats.tx_capacity = tx_cap;
             self.stats.retx_capacity = rx_cap;
             self.stats.cycles += 1;
+        }
+
+        // Fault notification as a wake-up source: at every kill
+        // detection/publication instant the whole mesh computes, so a
+        // gated run observes the reconfiguration on exactly the cycle a
+        // full sweep would. (A no-op for static-fault runs and when
+        // gating is off.)
+        if self.fault_boundaries.binary_search(&(now + 1)).is_ok() {
+            for n in 0..cells.len() {
+                self.wheel.schedule(n, now + 1);
+            }
         }
 
         self.now += 1;

@@ -38,7 +38,7 @@ use ftnoc_types::geom::{Direction, NodeId, Topology};
 
 use crate::arbiter::RoundRobinArbiter;
 use crate::config::{ErrorScheme, RoutingAlgorithm, SimConfig};
-use crate::routing::{route_candidates, xy_minimal_progress};
+use crate::routing::{route_candidates, xy_minimal_progress, FaultState};
 use crate::stats::{ErrorStats, EventCounts, OccupancyHistogram};
 
 /// Cached `FTNOC_DEMO_SKIP_CREDIT` flag: a deliberately planted
@@ -69,6 +69,10 @@ pub struct Ctx<'a> {
     pub topo: Topology,
     /// Current cycle.
     pub now: u64,
+    /// The run's fault state: the hard-fault timeline plus the
+    /// per-epoch fault-aware routing plans. Immutable and shared across
+    /// worker threads; every query is a pure function of `now`.
+    pub faults: &'a FaultState,
 }
 
 /// Wormhole progress of one input VC.
@@ -144,6 +148,12 @@ struct OutputPort {
     credits: CreditLedger,
     /// `allocated[v]` = the input VC currently owning output VC `v`.
     allocated: Vec<Option<(usize, usize)>>,
+    /// The cycle `allocated[v]` was last granted (meaningful only while
+    /// `allocated[v]` is `Some`). The oracle's dead-port invariant
+    /// compares this against the link's death cycle: a wormhole may
+    /// drain over a dead wire only if it was allocated strictly before
+    /// the death was detectable.
+    allocated_at: Vec<u64>,
     st_queue: VecDeque<StEntry>,
 }
 
@@ -154,6 +164,7 @@ impl OutputPort {
             senders: (0..vcs).map(|_| HbhSender::new(retrans_depth)).collect(),
             credits,
             allocated: vec![None; vcs],
+            allocated_at: vec![0; vcs],
             st_queue: VecDeque::new(),
         }
     }
@@ -254,6 +265,11 @@ pub struct Router {
     cfg: RouterConfig,
     inputs: Vec<InputPort>,
     outputs: Vec<OutputPort>,
+    /// The last fault-publication epoch this router acted on. When the
+    /// published epoch advances, every head still waiting for VC
+    /// allocation re-routes against the new plan (online
+    /// reconfiguration). `0` forever on static-fault runs.
+    seen_epoch: usize,
     va_arbiters: Vec<RoundRobinArbiter>,
     sa_in_arbiters: Vec<RoundRobinArbiter>,
     sa_out_arbiters: Vec<RoundRobinArbiter>,
@@ -329,6 +345,7 @@ impl Router {
             cfg,
             inputs,
             outputs,
+            seen_epoch: 0,
             va_arbiters: (0..p * v).map(|_| RoundRobinArbiter::new(p * v)).collect(),
             sa_in_arbiters: (0..p).map(|_| RoundRobinArbiter::new(v)).collect(),
             sa_out_arbiters: (0..p).map(|_| RoundRobinArbiter::new(p)).collect(),
@@ -461,6 +478,11 @@ impl Router {
     pub fn control_phase(&mut self, ctx: &Ctx<'_>) {
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
+        let epoch = ctx.faults.epoch_at(ctx.now);
+        if epoch != self.seen_epoch {
+            self.seen_epoch = epoch;
+            self.reroute_waiting(ctx);
+        }
         for p in 0..ports {
             for v in 0..vcs {
                 let front_info = {
@@ -500,12 +522,15 @@ impl Router {
                 // Route computation (look-ahead folded into this stage for
                 // depths < 4; an extra cycle for the canonical 4-stage).
                 let dest = Self::routed_dest(ctx.config.scheme, &front);
+                let came_from = Direction::from_index(p).expect("port");
                 let mut candidates = route_candidates(
                     ctx.config.routing,
                     ctx.topo,
                     self.id,
+                    came_from,
                     dest,
-                    &ctx.config.hard_faults,
+                    ctx.faults,
+                    ctx.now,
                 );
                 self.events.route += 1;
                 let rc_extra = u64::from(ctx.config.router.pipeline() == PipelineDepth::Four);
@@ -517,10 +542,9 @@ impl Router {
                     let correct = candidates[0].index();
                     let wrong = Direction::from_index(self.fi.corrupt_choice(correct, ports))
                         .expect("port index");
-                    let came_from = Direction::from_index(p).expect("port");
                     let link_missing = wrong != Direction::Local
                         && !self.outputs[wrong.index()].exists
-                        || ctx.config.hard_faults.link_is_dead(self.id, wrong);
+                        || ctx.faults.link_dead_now(ctx.now, self.id, wrong);
                     let wrong_ejection = wrong == Direction::Local && dest != self.id;
                     if link_missing || wrong_ejection {
                         // Caught by the VA's link-state knowledge: re-route.
@@ -538,7 +562,6 @@ impl Router {
                         // packet really goes the wrong way and re-routes
                         // minimally from there. Undetected by design.
                         candidates = vec![wrong];
-                        let _ = came_from;
                     } else if wrong != Direction::Local {
                         // Deterministic (or turn-model) routing: the next
                         // router detects the illegal move and NACKs; the
@@ -592,6 +615,43 @@ impl Router {
         }
     }
 
+    /// Online reconfiguration: a new fault epoch was published, so every
+    /// head still waiting for VC allocation recomputes its candidates
+    /// against the new routing plan (its old list may steer into the
+    /// enlarged fault set, or a previously-empty list may now have legal
+    /// continuations). RNG-free and a no-op when nothing is waiting, so
+    /// static-fault runs are byte-identical with or without this pass.
+    fn reroute_waiting(&mut self, ctx: &Ctx<'_>) {
+        let ports = self.cfg.ports();
+        let vcs = self.cfg.vcs_per_port();
+        for p in 0..ports {
+            for v in 0..vcs {
+                let VcState::VaWait { ready_at, .. } = self.inputs[p].vcs[v].state else {
+                    continue;
+                };
+                let Some(front) = self.inputs[p].buffer.front(v).copied() else {
+                    continue;
+                };
+                let dest = Self::routed_dest(ctx.config.scheme, &front);
+                let came_from = Direction::from_index(p).expect("port");
+                let candidates = route_candidates(
+                    ctx.config.routing,
+                    ctx.topo,
+                    self.id,
+                    came_from,
+                    dest,
+                    ctx.faults,
+                    ctx.now,
+                );
+                self.events.route += 1;
+                self.inputs[p].vcs[v].state = VcState::VaWait {
+                    candidates,
+                    ready_at,
+                };
+            }
+        }
+    }
+
     /// Blocking level at which recovery absorbs a VC (and below which a
     /// recovering node considers its deadlock resolved).
     fn stuck_threshold(&self, ctx: &Ctx<'_>) -> u64 {
@@ -631,7 +691,9 @@ impl Router {
                             continue;
                         }
                         let op = cand.index();
-                        if !self.outputs[op].exists {
+                        if !self.outputs[op].exists
+                            || ctx.faults.link_dead_now(ctx.now, self.id, *cand)
+                        {
                             continue;
                         }
                         for ov in 0..vcs {
@@ -656,6 +718,7 @@ impl Router {
                         eprintln!("cyc {}: {} TAKEOVER in ({p},{v}) head {} -> out ({op},{ov}) old_alloc {:?}", ctx.now, self.id, self.inputs[p].buffer.front(v).map(|f| f.to_string()).unwrap_or_default(), self.outputs[op].allocated[ov]);
                     }
                     self.outputs[op].allocated[ov] = Some((p, v));
+                    self.outputs[op].allocated_at[ov] = ctx.now;
                     self.inputs[p].vcs[v].state = VcState::Active {
                         out_port: op,
                         out_vc: ov,
@@ -760,7 +823,14 @@ impl Router {
                     if !self.outputs[op].exists {
                         continue;
                     }
-                    if cand != Direction::Local && neighbor_recovering[op] {
+                    if cand != Direction::Local
+                        && (neighbor_recovering[op]
+                            // The fault-status table: no new wormhole may
+                            // be granted onto a locally-known-dead port
+                            // (the stale candidate list of a head routed
+                            // before the kill could still name it).
+                            || ctx.faults.link_dead_now(ctx.now, self.id, cand))
+                    {
                         continue;
                     }
                     for dv in 0..vcs {
@@ -923,6 +993,7 @@ impl Router {
             }
             if ov < vcs {
                 self.outputs[op].allocated[ov] = Some((p, v));
+                self.outputs[op].allocated_at[ov] = ctx.now;
             }
             let sa_gap = match ctx.config.router.pipeline() {
                 PipelineDepth::One | PipelineDepth::Two => 0,
@@ -1648,6 +1719,7 @@ impl Router {
                     .map(|v| OutputVcView {
                         credits: port.credits.count(v),
                         allocated: port.allocated[v],
+                        allocated_at: port.allocated[v].map(|_| port.allocated_at[v]),
                         sender: SenderView {
                             slots: port.senders[v]
                                 .buffer()

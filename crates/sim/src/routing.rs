@@ -1,26 +1,430 @@
 //! Route computation: XY dimension-order, west-first, odd-even and
-//! minimal fully adaptive algorithms, plus the XY-compliance check the
+//! minimal fully adaptive algorithms, the fault-aware up*/down* layer
+//! built over the live-link graph, plus the XY-compliance check the
 //! §4.2 misdirection-detection path relies on.
+//!
+//! # Fault-aware routing
+//!
+//! The turn-model algorithms above tolerate *no* faults: west-first
+//! cannot detour around a dead West link without a forbidden turn, and
+//! the generic "any live cardinal" detour below breaks the turn model
+//! outright (the PR 6 experiment shows west-first deadlocking
+//! permanently around a single killed link). [`FaultAwarePlan`] instead
+//! rebuilds the routing relation from the surviving links:
+//!
+//! 1. A BFS spanning tree is grown from the lowest-id live router, and
+//!    every live link is classified **up** (toward the root in
+//!    `(level, id)` order) or **down** (away from it).
+//! 2. A legal path is any sequence of up-hops followed by down-hops —
+//!    the down→up turn is forbidden. Because up-hops strictly decrease
+//!    `(level, id)` and down-hops strictly increase it, the channel
+//!    dependency graph of the full relation is acyclic, so the relation
+//!    is deadlock-free for *any* connected fault set with no extra
+//!    virtual channels (Autonet's up*/down* argument).
+//! 3. Candidates are reachability-guarded: a direction is offered only
+//!    if the destination stays reachable within the remaining legal
+//!    phase, so a packet is never steered into a corner where the
+//!    relation has no continuation — delivery needs no fallback detour.
+//! 4. Adjacent dead elements are aggregated into rectangular fault
+//!    regions (FASHION-style); candidate *preference* steers minimal
+//!    and region-avoiding first. Regions only order the safe set — the
+//!    up*/down* relation alone carries the safety argument.
 
-use ftnoc_fault::HardFaults;
+use ftnoc_fault::{FaultTimeline, HardFaults};
 use ftnoc_types::geom::{Coord, Direction, NodeId, Topology};
 
 use crate::config::RoutingAlgorithm;
 
+/// Classification of a directed link in a [`FaultAwarePlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkClass {
+    /// The link is missing or dead in the plan's fault epoch.
+    None,
+    /// Hop toward the spanning-tree root: strictly decreasing
+    /// `(level, id)`.
+    Up,
+    /// Hop away from the root: strictly increasing `(level, id)`.
+    Down,
+}
+
+/// A rectangular fault region: the bounding box of one connected
+/// component of faulty elements (dead routers and dead-link endpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRect {
+    x0: u8,
+    y0: u8,
+    x1: u8,
+    y1: u8,
+}
+
+impl FaultRect {
+    /// Whether `c` lies inside the rectangle (inclusive bounds).
+    pub fn contains(&self, c: Coord) -> bool {
+        (self.x0..=self.x1).contains(&c.x()) && (self.y0..=self.y1).contains(&c.y())
+    }
+}
+
+/// The up*/down* routing relation for one fault-publication epoch.
+///
+/// Built once per epoch from the published fault set; all queries are
+/// pure reads, so a plan can be shared freely across worker threads.
+#[derive(Debug, Clone)]
+pub struct FaultAwarePlan {
+    topo: Topology,
+    /// BFS level from the root over live links (`u32::MAX` =
+    /// unreachable or dead).
+    level: Vec<u32>,
+    /// Per-node, per-cardinal-direction link classification.
+    class: Vec<[LinkClass; 4]>,
+    /// `down_reach[n]`: bitset of destinations reachable from `n`
+    /// using down-hops only (includes `n` itself).
+    down_reach: Vec<Vec<u64>>,
+    /// `full_reach[n]`: destinations reachable from `n` while the up
+    /// phase is still open (up-hops then down-hops).
+    full_reach: Vec<Vec<u64>>,
+    /// FASHION-style rectangular fault regions (preference only).
+    regions: Vec<FaultRect>,
+}
+
+impl FaultAwarePlan {
+    /// Builds the plan for `topo` under the fault set `hard`.
+    pub fn build(topo: Topology, hard: &HardFaults) -> Self {
+        let n = topo.node_count();
+        let words = n.div_ceil(64);
+        let live_link = |u: NodeId, d: Direction| -> Option<NodeId> {
+            if hard.router_is_dead(u) || hard.link_is_dead(u, d) {
+                return None;
+            }
+            let vc = topo.neighbor(topo.coord_of(u), d)?;
+            let v = topo.id_of(vc);
+            if hard.router_is_dead(v) {
+                None
+            } else {
+                Some(v)
+            }
+        };
+
+        // BFS levels from the lowest-id live router.
+        let mut level = vec![u32::MAX; n];
+        let root = topo.nodes().find(|id| !hard.router_is_dead(*id));
+        if let Some(root) = root {
+            let mut queue = std::collections::VecDeque::new();
+            level[root.index()] = 0;
+            queue.push_back(root);
+            while let Some(u) = queue.pop_front() {
+                for d in Direction::CARDINAL {
+                    if let Some(v) = live_link(u, d) {
+                        if level[v.index()] == u32::MAX {
+                            level[v.index()] = level[u.index()] + 1;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Link classification: up = toward smaller (level, id).
+        let key = |i: usize| (level[i], i);
+        let mut class = vec![[LinkClass::None; 4]; n];
+        for u in topo.nodes() {
+            for d in Direction::CARDINAL {
+                if let Some(v) = live_link(u, d) {
+                    if level[u.index()] == u32::MAX || level[v.index()] == u32::MAX {
+                        continue;
+                    }
+                    class[u.index()][d.index()] = if key(v.index()) < key(u.index()) {
+                        LinkClass::Up
+                    } else {
+                        LinkClass::Down
+                    };
+                }
+            }
+        }
+
+        // Reachability, each in one pass thanks to key monotonicity:
+        // down-hops strictly increase the key, so processing nodes in
+        // decreasing key order sees every down-neighbour finished; the
+        // up-phase pass runs in increasing order for the same reason.
+        let mut order: Vec<usize> = (0..n).filter(|&i| level[i] != u32::MAX).collect();
+        order.sort_by_key(|&i| key(i));
+        let neighbor_of = |i: usize, d: Direction| -> Option<usize> {
+            topo.neighbor(topo.coord_of(NodeId::new(i as u16)), d)
+                .map(|c| topo.id_of(c).index())
+        };
+        let mut down_reach = vec![vec![0u64; words]; n];
+        for &u in order.iter().rev() {
+            down_reach[u][u >> 6] |= 1 << (u & 63);
+            for d in Direction::CARDINAL {
+                if class[u][d.index()] == LinkClass::Down {
+                    let v = neighbor_of(u, d).expect("classified link has a neighbour");
+                    let src = down_reach[v].clone();
+                    for (w, bits) in down_reach[u].iter_mut().enumerate() {
+                        *bits |= src[w];
+                    }
+                }
+            }
+        }
+        let mut full_reach = vec![vec![0u64; words]; n];
+        for &u in order.iter() {
+            full_reach[u][u >> 6] |= 1 << (u & 63);
+            for d in Direction::CARDINAL {
+                let v = match class[u][d.index()] {
+                    LinkClass::None => continue,
+                    _ => neighbor_of(u, d).expect("classified link has a neighbour"),
+                };
+                let src = match class[u][d.index()] {
+                    LinkClass::Up => full_reach[v].clone(),
+                    _ => down_reach[v].clone(),
+                };
+                for (w, bits) in full_reach[u].iter_mut().enumerate() {
+                    *bits |= src[w];
+                }
+            }
+        }
+
+        FaultAwarePlan {
+            topo,
+            level,
+            class,
+            down_reach,
+            full_reach,
+            regions: fault_regions(topo, hard),
+        }
+    }
+
+    /// The classification of the link leaving `node` in `dir`.
+    pub fn link_class(&self, node: NodeId, dir: Direction) -> LinkClass {
+        if dir.is_cardinal() {
+            self.class[node.index()][dir.index()]
+        } else {
+            LinkClass::None
+        }
+    }
+
+    /// The BFS level of `node` (`None` when dead or unreachable).
+    pub fn level(&self, node: NodeId) -> Option<u32> {
+        let l = self.level[node.index()];
+        (l != u32::MAX).then_some(l)
+    }
+
+    /// Whether the relation can carry a packet from `from` to `dest`
+    /// (up phase open, as at injection).
+    pub fn reachable(&self, from: NodeId, dest: NodeId) -> bool {
+        has_bit(&self.full_reach[from.index()], dest.index())
+    }
+
+    /// The rectangular fault regions of this epoch.
+    pub fn regions(&self) -> &[FaultRect] {
+        &self.regions
+    }
+
+    /// The legal next hops at `here` for a packet that arrived through
+    /// input port `came_from` (`Local` = freshly injected) and heads to
+    /// `dest`, in preference order: minimal and region-avoiding first.
+    ///
+    /// Every returned direction keeps `dest` reachable in the remaining
+    /// legal phase. An empty result means `dest` is unreachable in this
+    /// epoch's relation from this arrival phase — the caller waits (the
+    /// next published epoch recomputes).
+    pub fn candidates(&self, here: NodeId, came_from: Direction, dest: NodeId) -> Vec<Direction> {
+        let dest = NodeId::new(dest.raw() % self.topo.node_count() as u16);
+        if here == dest {
+            return vec![Direction::Local];
+        }
+        // The hop that delivered the packet: `came_from` names the
+        // input port, which faces the sender. A down-hop into `here`
+        // closes the up phase.
+        let arrived_down = came_from.is_cardinal()
+            && self
+                .topo
+                .neighbor(self.topo.coord_of(here), came_from)
+                .is_some_and(|prev| {
+                    self.link_class(self.topo.id_of(prev), came_from.opposite()) == LinkClass::Down
+                });
+        let mut out = self.phase_candidates(here, dest, arrived_down);
+        if out.is_empty() && arrived_down {
+            // Online reconfiguration restart: the plan changed under an
+            // in-flight packet and its down phase no longer reaches the
+            // destination. Re-open the up phase as if freshly injected;
+            // the cross-epoch dependency this can create is exactly
+            // what the deadlock-recovery transition net covers. Within
+            // a single epoch the reach guard makes this unreachable.
+            out = self.phase_candidates(here, dest, false);
+        }
+        let here_c = self.topo.coord_of(here);
+        let dest_c = self.topo.coord_of(dest);
+        out.sort_by_key(|&d| {
+            let v_c = self
+                .topo
+                .neighbor(here_c, d)
+                .expect("candidate has a neighbour");
+            let minimal =
+                self.topo.hop_distance(v_c, dest_c) < self.topo.hop_distance(here_c, dest_c);
+            let into_region = self
+                .regions
+                .iter()
+                .any(|r| r.contains(v_c) && !r.contains(dest_c) && !r.contains(here_c));
+            u8::from(!minimal) * 2 + u8::from(into_region)
+        });
+        out
+    }
+
+    fn phase_candidates(&self, here: NodeId, dest: NodeId, arrived_down: bool) -> Vec<Direction> {
+        let here_c = self.topo.coord_of(here);
+        let mut out = Vec::with_capacity(4);
+        for d in Direction::CARDINAL {
+            let Some(vc) = self.topo.neighbor(here_c, d) else {
+                continue;
+            };
+            let v = self.topo.id_of(vc).index();
+            match self.class[here.index()][d.index()] {
+                LinkClass::Down if has_bit(&self.down_reach[v], dest.index()) => out.push(d),
+                LinkClass::Up if !arrived_down && has_bit(&self.full_reach[v], dest.index()) => {
+                    out.push(d)
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+fn has_bit(row: &[u64], bit: usize) -> bool {
+    row[bit >> 6] & (1 << (bit & 63)) != 0
+}
+
+/// Aggregates faulty elements into rectangular regions: the faulty node
+/// set (dead routers plus dead-link endpoints) is split into
+/// 4-connected components and each component contributes its bounding
+/// box.
+fn fault_regions(topo: Topology, hard: &HardFaults) -> Vec<FaultRect> {
+    let n = topo.node_count();
+    let faulty: Vec<bool> = topo
+        .nodes()
+        .map(|id| {
+            hard.router_is_dead(id)
+                || Direction::CARDINAL
+                    .iter()
+                    .any(|&d| hard.link_is_dead(id, d))
+        })
+        .collect();
+    let mut seen = vec![false; n];
+    let mut regions = Vec::new();
+    for start in 0..n {
+        if !faulty[start] || seen[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        seen[start] = true;
+        let c0 = topo.coord_of(NodeId::new(start as u16));
+        let mut rect = FaultRect {
+            x0: c0.x(),
+            y0: c0.y(),
+            x1: c0.x(),
+            y1: c0.y(),
+        };
+        while let Some(u) = stack.pop() {
+            let uc = topo.coord_of(NodeId::new(u as u16));
+            rect.x0 = rect.x0.min(uc.x());
+            rect.y0 = rect.y0.min(uc.y());
+            rect.x1 = rect.x1.max(uc.x());
+            rect.y1 = rect.y1.max(uc.y());
+            for d in Direction::CARDINAL {
+                if let Some(vc) = topo.neighbor(uc, d) {
+                    let v = topo.id_of(vc).index();
+                    if faulty[v] && !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        regions.push(rect);
+    }
+    regions
+}
+
+/// The run's complete fault-routing state: the [`FaultTimeline`] plus
+/// one pre-built [`FaultAwarePlan`] per publication epoch. Immutable
+/// after construction — safe to share across worker threads, draws no
+/// randomness, and equals the static base faults when no kills are
+/// scheduled (which is what keeps legacy runs byte-identical).
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    timeline: FaultTimeline,
+    plans: Vec<FaultAwarePlan>,
+}
+
+impl FaultState {
+    /// Builds the per-epoch plans from a timeline.
+    pub fn new(timeline: FaultTimeline) -> Self {
+        let plans = (0..timeline.epoch_count())
+            .map(|e| FaultAwarePlan::build(timeline.topology(), timeline.effective(e)))
+            .collect();
+        FaultState { timeline, plans }
+    }
+
+    /// Static faults only (tests and direct construction).
+    pub fn from_hard(topo: Topology, hard: HardFaults) -> Self {
+        FaultState::new(FaultTimeline::static_only(topo, hard))
+    }
+
+    /// No faults at all.
+    pub fn fault_free(topo: Topology) -> Self {
+        FaultState::from_hard(topo, HardFaults::new())
+    }
+
+    /// The underlying timeline.
+    pub fn timeline(&self) -> &FaultTimeline {
+        &self.timeline
+    }
+
+    /// The publication epoch in force at cycle `now`.
+    pub fn epoch_at(&self, now: u64) -> usize {
+        self.timeline.epoch_at(now)
+    }
+
+    /// The up*/down* plan of a specific epoch.
+    pub fn plan(&self, epoch: usize) -> &FaultAwarePlan {
+        &self.plans[epoch]
+    }
+
+    /// The up*/down* plan in force at cycle `now`.
+    pub fn plan_at(&self, now: u64) -> &FaultAwarePlan {
+        self.plan(self.epoch_at(now))
+    }
+
+    /// Ground truth at `now` for `node`'s own port `dir` — published
+    /// faults plus kills the adjacent routers have already detected
+    /// locally (see [`FaultTimeline::link_dead_now`]).
+    pub fn link_dead_now(&self, now: u64, node: NodeId, dir: Direction) -> bool {
+        self.timeline.link_dead_now(now, node, dir)
+    }
+}
+
 /// The candidate output ports for a packet at `here` heading to `dest`,
 /// in preference order (the router tries earlier candidates first and
 /// falls back under congestion when the algorithm is adaptive).
+/// `came_from` is the input port the packet arrived through (`Local`
+/// for fresh injections); the legacy algorithms ignore it, the
+/// fault-aware relation needs it to know whether the up phase is still
+/// open. `now` selects the fault epoch.
 ///
-/// Returns `[Local]` when `here == dest`. Dead links (hard faults) are
-/// filtered out; if filtering empties the candidate set of an adaptive
-/// algorithm, any live productive-or-not direction is returned so the
-/// packet can detour around the fault.
+/// Returns `[Local]` when `here == dest`. Locally-known-dead links are
+/// filtered out; if filtering empties the candidate set of a *legacy*
+/// adaptive algorithm, any live productive-or-not direction is returned
+/// so the packet can detour around the fault (this fallback breaks the
+/// turn model — the historical behaviour fault-aware routing exists to
+/// replace). Fault-aware candidates never fall back: an empty result
+/// means "wait for reconfiguration", never "turn illegally".
 pub fn route_candidates(
     algorithm: RoutingAlgorithm,
     topo: Topology,
     here: NodeId,
+    came_from: Direction,
     dest: NodeId,
-    hard: &HardFaults,
+    faults: &FaultState,
+    now: u64,
 ) -> Vec<Direction> {
     let here_c = topo.coord_of(here);
     // A corrupted destination field can point outside the grid; clamp by
@@ -29,6 +433,14 @@ pub fn route_candidates(
     let dest_c = topo.coord_of(dest);
     if here_c == dest_c {
         return vec![Direction::Local];
+    }
+    if algorithm == RoutingAlgorithm::FaultAware {
+        let mut candidates = faults.plan_at(now).candidates(here, came_from, dest);
+        // The plan knows published faults; the router additionally
+        // knows its own ports' locally-detected (not yet published)
+        // deaths the cycle they happen.
+        candidates.retain(|d| !faults.link_dead_now(now, here, *d));
+        return candidates;
     }
     let minimal = topo.minimal_directions(here_c, dest_c);
     let mut candidates = match algorithm {
@@ -57,13 +469,14 @@ pub fn route_candidates(
         }
         RoutingAlgorithm::OddEven => odd_even_candidates(topo, here_c, dest_c, &minimal),
         RoutingAlgorithm::FullyAdaptive => minimal,
+        RoutingAlgorithm::FaultAware => unreachable!("handled above"),
     };
-    candidates.retain(|d| !hard.link_is_dead(here, *d));
+    candidates.retain(|d| !faults.link_dead_now(now, here, *d));
     if candidates.is_empty() {
         // Detour around hard faults: any live cardinal link.
         candidates = Direction::CARDINAL
             .into_iter()
-            .filter(|d| topo.neighbor(here_c, *d).is_some() && !hard.link_is_dead(here, *d))
+            .filter(|d| topo.neighbor(here_c, *d).is_some() && !faults.link_dead_now(now, here, *d))
             .collect();
     }
     candidates
@@ -144,24 +557,64 @@ mod tests {
         topo().id_of(Coord::new(x, y))
     }
 
-    fn no_faults() -> HardFaults {
-        HardFaults::new()
+    fn no_faults() -> FaultState {
+        FaultState::fault_free(topo())
+    }
+
+    fn with_hard(hard: HardFaults) -> FaultState {
+        FaultState::from_hard(topo(), hard)
+    }
+
+    fn route(alg: RoutingAlgorithm, here: NodeId, dest: NodeId, f: &FaultState) -> Vec<Direction> {
+        route_candidates(alg, topo(), here, Direction::Local, dest, f, 0)
+    }
+
+    const ALL: [RoutingAlgorithm; 5] = [
+        RoutingAlgorithm::XyDeterministic,
+        RoutingAlgorithm::WestFirstAdaptive,
+        RoutingAlgorithm::FullyAdaptive,
+        RoutingAlgorithm::OddEven,
+        RoutingAlgorithm::FaultAware,
+    ];
+
+    /// Greedy first-candidate walk; returns the hop count. The
+    /// up*/down* phase discipline bounds any legal walk by `2n` hops
+    /// (up-hops strictly descend the key order, down-hops ascend).
+    fn walk(alg: RoutingAlgorithm, src: NodeId, dest: NodeId, f: &FaultState) -> u32 {
+        let mut here = src;
+        let mut came_from = Direction::Local;
+        let mut hops = 0u32;
+        loop {
+            let c = route_candidates(alg, topo(), here, came_from, dest, f, 0);
+            assert!(!c.is_empty(), "{alg:?} {src}->{dest} stuck at {here}");
+            if c[0] == Direction::Local {
+                return hops;
+            }
+            let next = topo()
+                .neighbor(topo().coord_of(here), c[0])
+                .unwrap_or_else(|| panic!("{alg:?} walked off the mesh"));
+            came_from = c[0].opposite();
+            here = topo().id_of(next);
+            hops += 1;
+            assert!(
+                hops <= 2 * topo().node_count() as u32,
+                "{alg:?} {src}->{dest} exceeded the up*/down* walk bound"
+            );
+        }
     }
 
     #[test]
     fn xy_goes_east_before_south() {
-        let c = route_candidates(
+        let c = route(
             RoutingAlgorithm::XyDeterministic,
-            topo(),
             id(1, 1),
             id(4, 5),
             &no_faults(),
         );
         assert_eq!(c, vec![Direction::East]);
         // X resolved: now Y.
-        let c = route_candidates(
+        let c = route(
             RoutingAlgorithm::XyDeterministic,
-            topo(),
             id(4, 1),
             id(4, 5),
             &no_faults(),
@@ -171,22 +624,16 @@ mod tests {
 
     #[test]
     fn arrival_at_destination_routes_local() {
-        for alg in [
-            RoutingAlgorithm::XyDeterministic,
-            RoutingAlgorithm::WestFirstAdaptive,
-            RoutingAlgorithm::FullyAdaptive,
-            RoutingAlgorithm::OddEven,
-        ] {
-            let c = route_candidates(alg, topo(), id(3, 3), id(3, 3), &no_faults());
+        for alg in ALL {
+            let c = route(alg, id(3, 3), id(3, 3), &no_faults());
             assert_eq!(c, vec![Direction::Local], "{alg:?}");
         }
     }
 
     #[test]
     fn fully_adaptive_offers_both_minimal_directions() {
-        let c = route_candidates(
+        let c = route(
             RoutingAlgorithm::FullyAdaptive,
-            topo(),
             id(1, 1),
             id(4, 5),
             &no_faults(),
@@ -198,18 +645,16 @@ mod tests {
 
     #[test]
     fn west_first_forces_west_when_needed() {
-        let c = route_candidates(
+        let c = route(
             RoutingAlgorithm::WestFirstAdaptive,
-            topo(),
             id(5, 2),
             id(2, 6),
             &no_faults(),
         );
         assert_eq!(c, vec![Direction::West]);
         // No westward component: behaves adaptively.
-        let c = route_candidates(
+        let c = route(
             RoutingAlgorithm::WestFirstAdaptive,
-            topo(),
             id(2, 2),
             id(5, 6),
             &no_faults(),
@@ -220,31 +665,11 @@ mod tests {
     #[test]
     fn every_algorithm_reaches_every_destination() {
         // Walk greedily using the first candidate; must terminate at dest
-        // within the network diameter for every (src, dest) pair.
-        for alg in [
-            RoutingAlgorithm::XyDeterministic,
-            RoutingAlgorithm::WestFirstAdaptive,
-            RoutingAlgorithm::FullyAdaptive,
-            RoutingAlgorithm::OddEven,
-        ] {
+        // for every (src, dest) pair.
+        for alg in ALL {
             for src in topo().nodes() {
                 for dest in topo().nodes() {
-                    let mut here = src;
-                    let mut hops = 0;
-                    loop {
-                        let c = route_candidates(alg, topo(), here, dest, &no_faults());
-                        assert!(!c.is_empty(), "{alg:?} {src}->{dest} stuck at {here}");
-                        if c[0] == Direction::Local {
-                            break;
-                        }
-                        let next = topo()
-                            .neighbor(topo().coord_of(here), c[0])
-                            .unwrap_or_else(|| panic!("{alg:?} walked off the mesh"));
-                        here = topo().id_of(next);
-                        hops += 1;
-                        assert!(hops <= 14, "{alg:?} {src}->{dest} exceeded diameter");
-                    }
-                    assert_eq!(here, dest, "{alg:?}");
+                    walk(alg, src, dest, &no_faults());
                 }
             }
         }
@@ -257,44 +682,33 @@ mod tests {
             RoutingAlgorithm::WestFirstAdaptive,
             RoutingAlgorithm::FullyAdaptive,
         ] {
-            let src = id(0, 0);
-            let dest = id(7, 7);
-            let mut here = src;
-            let mut hops = 0u32;
-            while here != dest {
-                let c = route_candidates(alg, topo(), here, dest, &no_faults());
-                let next = topo().neighbor(topo().coord_of(here), c[0]).unwrap();
-                here = topo().id_of(next);
-                hops += 1;
-            }
-            assert_eq!(hops, 14, "{alg:?} not minimal");
+            assert_eq!(
+                walk(alg, id(0, 0), id(7, 7), &no_faults()),
+                14,
+                "{alg:?} not minimal"
+            );
         }
     }
 
     #[test]
     fn corrupted_destination_is_clamped() {
         // Destination 60000 on a 64-node grid: modulo keeps routing sane.
-        let c = route_candidates(
-            RoutingAlgorithm::XyDeterministic,
-            topo(),
-            id(0, 0),
-            NodeId::new(60_000),
-            &no_faults(),
-        );
-        assert!(!c.is_empty());
-        assert_ne!(c[0], Direction::Local);
+        for alg in ALL {
+            let c = route(alg, id(0, 0), NodeId::new(60_000), &no_faults());
+            assert!(!c.is_empty(), "{alg:?}");
+            assert_ne!(c[0], Direction::Local, "{alg:?}");
+        }
     }
 
     #[test]
     fn dead_link_is_avoided() {
         let mut hard = HardFaults::new();
         hard.kill_link(topo(), id(1, 1), Direction::East);
-        let c = route_candidates(
+        let c = route(
             RoutingAlgorithm::FullyAdaptive,
-            topo(),
             id(1, 1),
             id(4, 5),
-            &hard,
+            &with_hard(hard),
         );
         assert_eq!(c, vec![Direction::South]);
     }
@@ -304,15 +718,10 @@ mod tests {
         let mut hard = HardFaults::new();
         hard.kill_link(topo(), id(1, 1), Direction::East);
         hard.kill_link(topo(), id(1, 1), Direction::South);
-        let c = route_candidates(
-            RoutingAlgorithm::FullyAdaptive,
-            topo(),
-            id(1, 1),
-            id(4, 5),
-            &hard,
-        );
+        let f = with_hard(hard);
+        let c = route(RoutingAlgorithm::FullyAdaptive, id(1, 1), id(4, 5), &f);
         assert!(!c.is_empty(), "must offer a detour");
-        assert!(c.iter().all(|d| !hard.link_is_dead(id(1, 1), *d)));
+        assert!(c.iter().all(|d| !f.link_dead_now(0, id(1, 1), *d)));
     }
 
     #[test]
@@ -355,16 +764,221 @@ mod tests {
     #[test]
     fn odd_even_is_minimal_and_complete() {
         // Completeness is covered by the walk test; check minimality here.
-        let mut here = id(0, 0);
-        let dest = id(7, 5);
-        let mut hops = 0u32;
-        while here != dest {
-            let c = route_candidates(RoutingAlgorithm::OddEven, topo(), here, dest, &no_faults());
-            let next = topo().neighbor(topo().coord_of(here), c[0]).unwrap();
-            here = topo().id_of(next);
-            hops += 1;
-            assert!(hops <= 12);
+        assert_eq!(
+            walk(RoutingAlgorithm::OddEven, id(0, 0), id(7, 5), &no_faults()),
+            12
+        );
+    }
+
+    // ---- fault-aware up*/down* -------------------------------------
+
+    #[test]
+    fn fault_aware_is_minimal_when_fault_free() {
+        // The preference ordering (minimal candidates first) makes the
+        // greedy walk take a shortest path for every pair when no
+        // faults restrict the relation.
+        let f = no_faults();
+        for src in topo().nodes() {
+            for dest in topo().nodes() {
+                let hops = walk(RoutingAlgorithm::FaultAware, src, dest, &f);
+                let min = topo().hop_distance(topo().coord_of(src), topo().coord_of(dest));
+                assert_eq!(hops, min, "{src}->{dest}");
+            }
         }
-        assert_eq!(hops, 12);
+    }
+
+    #[test]
+    fn fault_aware_delivers_around_the_27e_fault() {
+        // The PR 6 scenario: the link n27 -> East dead. West-first
+        // deadlocks around it; the up*/down* relation must keep every
+        // pair deliverable.
+        let mut hard = HardFaults::new();
+        hard.kill_link(topo(), NodeId::new(27), Direction::East);
+        let f = with_hard(hard);
+        let plan = f.plan_at(0);
+        assert_eq!(plan.regions().len(), 1);
+        assert!(plan.regions()[0].contains(Coord::new(3, 3)));
+        assert!(plan.regions()[0].contains(Coord::new(4, 3)));
+        for src in topo().nodes() {
+            for dest in topo().nodes() {
+                walk(RoutingAlgorithm::FaultAware, src, dest, &f);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_aware_never_offers_a_dead_or_illegal_link() {
+        let mut hard = HardFaults::new();
+        hard.kill_link(topo(), id(3, 3), Direction::East);
+        hard.kill_link(topo(), id(3, 4), Direction::East);
+        let f = with_hard(hard.clone());
+        let plan = f.plan_at(0);
+        for here in topo().nodes() {
+            for came_from in Direction::ALL {
+                for dest in topo().nodes() {
+                    let c = route_candidates(
+                        RoutingAlgorithm::FaultAware,
+                        topo(),
+                        here,
+                        came_from,
+                        dest,
+                        &f,
+                        0,
+                    );
+                    for &d in &c {
+                        if d == Direction::Local {
+                            continue;
+                        }
+                        assert!(!hard.link_is_dead(here, d), "{here} {d}");
+                        assert_ne!(plan.link_class(here, d), LinkClass::None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kahn's algorithm over the channel-dependency graph of the
+    /// up*/down* *turn superset*: an edge chains channel `u->v` to
+    /// `v->w` unless it is the forbidden down->up turn. Acyclicity of
+    /// the superset implies acyclicity of the reach-guarded relation
+    /// the router actually uses (guards only remove pairs).
+    fn cdg_is_acyclic(plan: &FaultAwarePlan) -> bool {
+        let t = topo();
+        let n = t.node_count();
+        // Channel id: node * 4 + dir, for live classified links.
+        let chan = |u: usize, d: Direction| u * 4 + d.index();
+        let mut indegree = vec![0usize; n * 4];
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n * 4];
+        for u in t.nodes() {
+            for d1 in Direction::CARDINAL {
+                if plan.link_class(u, d1) == LinkClass::None {
+                    continue;
+                }
+                let v = t.id_of(t.neighbor(t.coord_of(u), d1).unwrap());
+                for d2 in Direction::CARDINAL {
+                    if plan.link_class(v, d2) == LinkClass::None {
+                        continue;
+                    }
+                    let forbidden = plan.link_class(u, d1) == LinkClass::Down
+                        && plan.link_class(v, d2) == LinkClass::Up;
+                    if !forbidden {
+                        edges[chan(u.index(), d1)].push(chan(v.index(), d2));
+                        indegree[chan(v.index(), d2)] += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n * 4).filter(|&c| indegree[c] == 0).collect();
+        let mut removed = 0;
+        while let Some(c) = queue.pop() {
+            removed += 1;
+            for &e in &edges[c] {
+                indegree[e] -= 1;
+                if indegree[e] == 0 {
+                    queue.push(e);
+                }
+            }
+        }
+        removed == n * 4
+    }
+
+    fn check_placement(hard: &HardFaults) {
+        let plan = FaultAwarePlan::build(topo(), hard);
+        assert!(
+            cdg_is_acyclic(&plan),
+            "routing-function cycle under {hard:?}"
+        );
+        // Completeness: the relation still reaches every pair.
+        for src in topo().nodes() {
+            for dest in topo().nodes() {
+                assert!(plan.reachable(src, dest), "{src}->{dest} under {hard:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_routing_cycle_for_any_single_or_double_link_fault() {
+        // The satellite property: for every single- and (connectivity
+        // preserving) double-link fault placement on the 8×8 mesh, the
+        // fault-aware routing function has an acyclic channel
+        // dependency graph and still connects every pair.
+        let t = topo();
+        let mut links: Vec<(NodeId, Direction)> = Vec::new();
+        for u in t.nodes() {
+            for d in [Direction::East, Direction::South] {
+                if t.neighbor(t.coord_of(u), d).is_some() {
+                    links.push((u, d));
+                }
+            }
+        }
+        assert_eq!(links.len(), 112);
+        let mut singles = 0u32;
+        let mut doubles = 0u32;
+        for i in 0..links.len() {
+            let mut h1 = HardFaults::new();
+            h1.kill_link(t, links[i].0, links[i].1);
+            check_placement(&h1);
+            singles += 1;
+            for &(n2, d2) in links.iter().skip(i + 1) {
+                let mut h2 = h1.clone();
+                h2.kill_link(t, n2, d2);
+                if !h2.network_is_connected(t) {
+                    continue;
+                }
+                check_placement(&h2);
+                doubles += 1;
+            }
+        }
+        assert_eq!(singles, 112);
+        // The only 2-edge cuts of an 8×8 grid are the four pairs that
+        // isolate a corner (every other node set has boundary ≥ 3), so
+        // the sweep covers every unordered pair but those.
+        assert_eq!(doubles, 112 * 111 / 2 - 4);
+    }
+
+    #[test]
+    fn mid_run_kill_switches_plans_at_publication() {
+        use ftnoc_fault::{FaultTimeline, ScheduledKill};
+        let tl = FaultTimeline::new(
+            topo(),
+            HardFaults::new(),
+            vec![ScheduledKill {
+                at: 100,
+                node: NodeId::new(27),
+                dir: Direction::East,
+            }],
+            8,
+        );
+        let f = FaultState::new(tl);
+        // Before publication the plan still offers the doomed link, but
+        // the local-knowledge filter strips it at the adjacent router
+        // from the detection cycle onward.
+        let before: Vec<_> = route_candidates(
+            RoutingAlgorithm::FaultAware,
+            topo(),
+            NodeId::new(27),
+            Direction::Local,
+            NodeId::new(31),
+            &f,
+            99,
+        );
+        assert!(before.contains(&Direction::East));
+        let detected = route_candidates(
+            RoutingAlgorithm::FaultAware,
+            topo(),
+            NodeId::new(27),
+            Direction::Local,
+            NodeId::new(31),
+            &f,
+            100,
+        );
+        assert!(!detected.contains(&Direction::East));
+        assert!(!detected.is_empty(), "a detour must survive the filter");
+        // After publication the new epoch's plan excludes it outright.
+        assert_eq!(f.epoch_at(108), 1);
+        assert_eq!(
+            f.plan_at(108).link_class(NodeId::new(27), Direction::East),
+            LinkClass::None
+        );
     }
 }

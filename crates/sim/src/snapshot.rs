@@ -77,6 +77,11 @@ pub struct OutputVcView {
     pub credits: u32,
     /// The input VC holding this output VC's wormhole reservation.
     pub allocated: Option<(usize, usize)>,
+    /// The cycle the current reservation was granted (`None` when
+    /// `allocated` is `None`). The dead-port invariant compares this
+    /// against the link's death cycle: reservations granted strictly
+    /// before the death may drain, later ones are a routing bug.
+    pub allocated_at: Option<u64>,
     /// The HBH retransmission sender.
     pub sender: SenderView,
 }
@@ -152,6 +157,13 @@ pub struct NetSnapshot {
     /// The cycle that just committed (snapshots are taken after
     /// `step()`, so state reflects the end of cycle `now - 1`).
     pub now: u64,
+    /// The network's fault table as of the snapshot cycle: every
+    /// directed dead link endpoint as `(node, dir, since)` where
+    /// `since` is the cycle the death became locally detectable (0 for
+    /// static base faults). Sorted by `(node, dir, since)`. The oracle
+    /// both validates this table against the run configuration and
+    /// arms the dead-port allocation invariant with it.
+    pub dead_ports: Vec<(usize, usize, u64)>,
     /// The link-error handling scheme of the run.
     pub scheme: ErrorScheme,
     /// VCs per port.

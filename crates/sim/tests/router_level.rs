@@ -3,6 +3,7 @@
 
 use ftnoc_ecc::protect_flit;
 use ftnoc_sim::router::{Ctx, LinkDrive, Router};
+use ftnoc_sim::routing::FaultState;
 use ftnoc_sim::SimConfig;
 use ftnoc_types::flit::FlitKind;
 use ftnoc_types::geom::{Direction, NodeId, Topology};
@@ -13,6 +14,7 @@ use ftnoc_types::{Flit, Header};
 struct Harness {
     router: Router,
     config: SimConfig,
+    faults: FaultState,
     now: u64,
 }
 
@@ -21,6 +23,7 @@ impl Harness {
         let config = SimConfig::builder().build().expect("valid config");
         Harness {
             router: Router::new(NodeId::new(9), &config, [true; 4]),
+            faults: FaultState::fault_free(Topology::mesh(8, 8)),
             config,
             now: 0,
         }
@@ -31,6 +34,7 @@ impl Harness {
             config: &self.config,
             topo: Topology::mesh(8, 8),
             now: self.now,
+            faults: &self.faults,
         };
         self.router.begin_cycle(self.now);
         self.router.control_phase(&ctx);

@@ -25,7 +25,9 @@ OPTIONS (run):
     --topology WxH      grid size, e.g. 8x8 (default 8x8)
     --torus             wrap-around links (default: mesh)
     --scheme S          hbh | e2e | fec | none        (default hbh)
-    --routing R         dt | ad | fa | oe             (default dt)
+    --routing R         dt | ad | fa | oe | fta       (default dt; fta =
+                        fault-aware up*/down* — deadlock-free around any
+                        connected set of dead links, static or mid-run)
     --pattern P         nr | bc | tn | tp | br | sh | nn | hs (default nr)
     --inj F             injection rate, flits/node/cycle (default 0.25)
     --error-rate F      link soft-error rate per flit traversal (default 0)
@@ -52,6 +54,16 @@ OPTIONS (run):
                         repeatable; the surviving network must stay
                         connected (pair with an adaptive routing such as
                         --routing ad so traffic can detour)
+    --kill-link-at C:N:D
+                        hard-fail the link at node N toward D at cycle C
+                        (mid-run); adjacent routers detect immediately,
+                        the rest of the network learns when the updated
+                        fault tables publish after the notification
+                        latency; repeatable; pair with --routing fta so
+                        traffic reroutes around the hole
+    --fault-notify N    fault-notification latency in cycles between
+                        local detection of a mid-run kill and
+                        network-wide fault-table publication (default 4)
     --threads N         compute-phase worker threads (default 1; any N
                         gives byte-identical results at the same seed)
     --no-activity-gating
@@ -95,6 +107,10 @@ OPTIONS (fuzz):
     --org O             static | damq — coerce every campaign onto one
                         buffer organisation (CI shards its budget across
                         both; default: the sampler's natural mix)
+    --scenario S        midrun-fault — coerce every campaign into the
+                        mid-run hard-fault class: fault-aware routing
+                        with a link kill landing mid-run, the dead-port
+                        invariant armed (default: the sampler's mix)
     --metrics-out FILE  write a one-line JSON summary of the sweep
                         (campaign/violation/shrink counters, wall time)
 
@@ -230,6 +246,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut metrics_every = 1_000u64;
     let mut kill_links: Vec<(NodeId, Direction)> = Vec::new();
+    let mut kill_links_at: Vec<(u64, NodeId, Direction)> = Vec::new();
+    let mut fault_notify = 4u64;
 
     fn value<'a>(
         it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
@@ -270,6 +288,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "ad" | "wf" => RoutingAlgorithm::WestFirstAdaptive,
                     "fa" => RoutingAlgorithm::FullyAdaptive,
                     "oe" => RoutingAlgorithm::OddEven,
+                    "fta" | "fault-aware" => RoutingAlgorithm::FaultAware,
                     v => return Err(err(format!("unknown routing `{v}`"))),
                 }
             }
@@ -359,6 +378,35 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 };
                 kill_links.push((NodeId::new(node), dir));
             }
+            "--kill-link-at" => {
+                let v = value(&mut it, flag)?;
+                let mut parts = v.splitn(3, ':');
+                let (Some(c), Some(node), Some(dir)) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(err(format!("--kill-link-at expects C:N:D, got `{v}`")));
+                };
+                let at: u64 = num(c, flag)?;
+                if at == 0 {
+                    return Err(err(
+                        "--kill-link-at: the kill cycle must be > 0 (a link dead \
+                         from cycle 0 is a static fault — use --kill-link)",
+                    ));
+                }
+                let node: u16 = num(node, flag)?;
+                let dir = match dir {
+                    "n" | "N" => Direction::North,
+                    "e" | "E" => Direction::East,
+                    "s" | "S" => Direction::South,
+                    "w" | "W" => Direction::West,
+                    d => {
+                        return Err(err(format!(
+                            "--kill-link-at direction must be n|e|s|w, got `{d}`"
+                        )))
+                    }
+                };
+                kill_links_at.push((at, NodeId::new(node), dir));
+            }
+            "--fault-notify" => fault_notify = num(value(&mut it, flag)?, flag)?,
             other => return Err(err(format!("unknown flag `{other}`; try --help"))),
         }
     }
@@ -395,6 +443,43 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
              node pair has no fault-free path left",
         ));
     }
+    // Validate scheduled kills against the end-of-run fault state: the
+    // same checks `FaultTimeline::new` enforces by panic, surfaced as
+    // CLI errors, plus connectivity of the final surviving network.
+    let mut end_state = hard_faults.clone();
+    for (at, node, dir) in &kill_links_at {
+        if node.index() >= topology.node_count() {
+            return Err(err(format!(
+                "--kill-link-at: node {} out of range for a {}x{} grid",
+                node.raw(),
+                topology.width(),
+                topology.height()
+            )));
+        }
+        if topology.neighbor(topology.coord_of(*node), *dir).is_none() {
+            return Err(err(format!(
+                "--kill-link-at: node {} has no link toward {dir:?}",
+                node.raw()
+            )));
+        }
+        if end_state.link_is_dead(*node, *dir) {
+            return Err(err(format!(
+                "--kill-link-at: the link {}:{dir:?} is already dead at cycle {at}",
+                node.raw()
+            )));
+        }
+        end_state.kill_link(topology, *node, *dir);
+    }
+    if !end_state.network_is_connected(topology) {
+        return Err(err(
+            "--kill-link-at: the surviving network is disconnected once \
+             every scheduled kill has landed",
+        ));
+    }
+    let scheduled_kills: Vec<ftnoc_fault::ScheduledKill> = kill_links_at
+        .iter()
+        .map(|&(at, node, dir)| ftnoc_fault::ScheduledKill { at, node, dir })
+        .collect();
     let mut router_b = RouterConfig::builder();
     router_b
         .vcs_per_port(vcs)
@@ -427,6 +512,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             cthres: 32,
         })
         .hard_faults(hard_faults)
+        .scheduled_kills(scheduled_kills)
+        .fault_notify_latency(fault_notify)
         .threads(threads)
         .activity_gating(activity_gating);
     let config = Box::new(b.build().map_err(|e| err(format!("config: {e}")))?);
@@ -484,6 +571,12 @@ fn parse_fuzz(
                     "static" => Some(ftnoc_check::OrgFilter::Static),
                     "damq" => Some(ftnoc_check::OrgFilter::Damq),
                     v => return Err(err(format!("--org expects static|damq, got `{v}`"))),
+                })
+            }
+            "--scenario" => {
+                plan = plan.scenario(match value(it, flag)? {
+                    "midrun-fault" => Some(ftnoc_check::ScenarioFilter::MidRunFault),
+                    v => return Err(err(format!("--scenario expects midrun-fault, got `{v}`"))),
                 })
             }
             other => return Err(err(format!("unknown fuzz flag `{other}`; try --help"))),
@@ -806,6 +899,72 @@ mod tests {
         // Cutting off a corner node entirely disconnects the mesh.
         let e = parse(&args("run --kill-link 0:e --kill-link 0:s")).unwrap_err();
         assert!(e.0.contains("disconnected"), "{e}");
+    }
+
+    #[test]
+    fn kill_link_at_parses_and_validates() {
+        use ftnoc_types::geom::Direction;
+        let Command::Run { config, .. } = parse(&args(
+            "run --routing fta --kill-link-at 500:27:e --fault-notify 8",
+        ))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(config.routing, RoutingAlgorithm::FaultAware);
+        assert_eq!(config.scheduled_kills.len(), 1);
+        assert_eq!(config.scheduled_kills[0].at, 500);
+        assert_eq!(config.scheduled_kills[0].node, NodeId::new(27));
+        assert_eq!(config.scheduled_kills[0].dir, Direction::East);
+        assert_eq!(config.fault_notify_latency, 8);
+
+        // Mid-run kills never appear in the static base set.
+        assert!(config.hard_faults.is_empty());
+
+        let e = parse(&args("run --kill-link-at banana")).unwrap_err();
+        assert!(e.0.contains("C:N:D"), "{e}");
+        let e = parse(&args("run --kill-link-at 0:27:e")).unwrap_err();
+        assert!(e.0.contains("--kill-link"), "{e}");
+        let e = parse(&args("run --kill-link-at 10:99:e")).unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+        let e = parse(&args("run --kill-link-at 10:0:n")).unwrap_err();
+        assert!(e.0.contains("no link"), "{e}");
+        // A static kill plus a scheduled kill of the same link is a
+        // configuration error.
+        let e = parse(&args("run --kill-link 27:e --kill-link-at 10:27:e")).unwrap_err();
+        assert!(e.0.contains("already dead"), "{e}");
+        // Scheduled kills that eventually isolate a corner are rejected.
+        let e = parse(&args("run --kill-link-at 10:0:e --kill-link-at 20:0:s")).unwrap_err();
+        assert!(e.0.contains("disconnected"), "{e}");
+    }
+
+    #[test]
+    fn fault_aware_routing_aliases_parse() {
+        for alias in ["fta", "fault-aware"] {
+            let Command::Run { config, .. } =
+                parse(&args(&format!("run --routing {alias}"))).unwrap()
+            else {
+                panic!("expected run");
+            };
+            assert_eq!(config.routing, RoutingAlgorithm::FaultAware);
+        }
+    }
+
+    #[test]
+    fn fuzz_scenario_filter_parses() {
+        let Command::Fuzz { plan, .. } = parse(&args("fuzz")).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(plan.scenario, None);
+        let Command::Fuzz { plan, .. } = parse(&args("fuzz --scenario midrun-fault")).unwrap()
+        else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(
+            plan.scenario,
+            Some(ftnoc_check::ScenarioFilter::MidRunFault)
+        );
+        let e = parse(&args("fuzz --scenario banana")).unwrap_err();
+        assert!(e.0.contains("midrun-fault"), "{e}");
     }
 
     #[test]

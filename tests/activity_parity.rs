@@ -12,7 +12,7 @@
 //! observation-equivalent to the full sweep.
 
 use ftnoc_check::{ArmedInvariants, Oracle};
-use ftnoc_fault::{FaultRates, HardFaults};
+use ftnoc_fault::{FaultRates, HardFaults, ScheduledKill};
 use ftnoc_sim::{
     DeadlockConfig, Network, RoutingAlgorithm, SimConfig, SimConfigBuilder, Simulator,
 };
@@ -81,6 +81,28 @@ fn deadlock_recovery(seed: u64) -> SimConfigBuilder {
         .measure_packets(u64::MAX)
         .max_cycles(12_000)
         .stop_injection_after(4_000);
+    b
+}
+
+/// Fault-aware routing with a mid-run kill: the fault-notification
+/// boundaries are wake-up sources, so the gated engine must cross
+/// detection, publication and the epoch-wide reroute byte-identically
+/// to the full sweep — including for routers that were asleep when the
+/// fault published.
+fn fault_aware_midrun(seed: u64) -> SimConfigBuilder {
+    let topo = Topology::mesh(4, 4);
+    let mut b = fault_free(seed);
+    b.routing(RoutingAlgorithm::FaultAware)
+        .scheduled_kills(vec![ScheduledKill {
+            at: 1_000,
+            node: topo.id_of(Coord::new(1, 1)),
+            dir: Direction::East,
+        }])
+        .fault_notify_latency(6)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 32,
+        });
     b
 }
 
@@ -154,6 +176,11 @@ fn transient_error_runs_are_gating_invariant() {
 #[test]
 fn deadlock_recovery_runs_are_gating_invariant() {
     assert_gating_parity("deadlock-recovery", deadlock_recovery, dbg_capped(12_000));
+}
+
+#[test]
+fn fault_aware_midrun_kill_runs_are_gating_invariant() {
+    assert_gating_parity("fault-aware-midrun", fault_aware_midrun, dbg_capped(10_000));
 }
 
 /// Gating must actually *skip* work, not just match the full sweep: at

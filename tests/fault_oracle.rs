@@ -1,0 +1,166 @@
+//! The oracle's fault-table machinery: consistency of the published
+//! dead-port table, the dead-port allocation invariant (proved to have
+//! teeth on doctored snapshots), and full-run quiet across an online
+//! reconfiguration transition with every history-tracking invariant —
+//! including the §3.2.2 wait-for/probe window — armed.
+
+use ftnoc::check::{ArmedInvariants, Oracle};
+use ftnoc::prelude::*;
+use ftnoc::sim::Network;
+
+/// A 4×4 fault-aware run with one mid-run kill: link 5→east dies at
+/// cycle 300, publication lags 6 cycles, recovery armed as the
+/// transition net.
+fn midrun_config() -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .router(
+            RouterConfig::builder()
+                .vcs_per_port(1)
+                .buffer_depth(4)
+                .retrans_depth(6)
+                .build()
+                .expect("valid router"),
+        )
+        .routing(RoutingAlgorithm::FaultAware)
+        .scheduled_kills(vec![ScheduledKill {
+            at: 300,
+            node: NodeId::new(5),
+            dir: Direction::East,
+        }])
+        .fault_notify_latency(6)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(0.25)
+        .seed(1)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 16,
+        })
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(4_000)
+        .stop_injection_after(1_500);
+    b.build().expect("valid config")
+}
+
+/// Every invariant the configuration arms — conservation, credits,
+/// probe soundness, the wait-for window, fault-table consistency and
+/// the dead-port check — stays quiet through detection, publication,
+/// reroute and drain of a mid-run kill.
+#[test]
+fn oracle_stays_quiet_across_an_online_reconfiguration() {
+    let config = midrun_config();
+    let mut oracle = Oracle::new(&config);
+    assert!(oracle.arming().dead_port, "fault-free logic arms dead-port");
+    assert!(
+        oracle.arming().probe,
+        "fault-free logic arms the probe window"
+    );
+    let mut net = Network::new(config);
+    for _ in 0..4_000 {
+        net.step();
+        if let Err(v) = oracle.check(&net.snapshot()) {
+            panic!("oracle violation across the reconfiguration: {v}");
+        }
+    }
+    assert_eq!(
+        net.packets_ejected(),
+        net.packets_injected(),
+        "the reconfigured network must drain"
+    );
+    // The transition actually happened: the snapshot publishes both
+    // endpoints of the killed link with the detection cycle.
+    let snap = net.snapshot();
+    assert!(snap.dead_ports.contains(&(5, Direction::East.index(), 300)));
+    assert!(snap.dead_ports.contains(&(6, Direction::West.index(), 300)));
+}
+
+/// Doctored snapshot: claiming a link died while the simulator's table
+/// says otherwise must trip the fault-table consistency check in both
+/// directions (hidden death and invented death).
+#[test]
+fn oracle_flags_a_fault_table_mismatch() {
+    let config = midrun_config();
+    let mut oracle = Oracle::new(&config);
+    let mut net = Network::new(config);
+    // The history-tracking invariants (arrival order, probe soundness)
+    // need one snapshot per cycle, so check all the way to the boundary
+    // this test doctors.
+    for _ in 0..400 {
+        net.step();
+        oracle.check(&net.snapshot()).expect("honest run must pass");
+    }
+    let snap = net.snapshot();
+
+    let mut hidden = snap.clone();
+    hidden.dead_ports.clear();
+    let v = oracle
+        .check(&hidden)
+        .expect_err("a hidden dead link must be flagged");
+    assert_eq!(v.invariant, "fault-table");
+
+    let mut invented = snap;
+    invented.dead_ports.push((0, Direction::East.index(), 17));
+    let v = oracle
+        .check(&invented)
+        .expect_err("an invented dead link must be flagged");
+    assert_eq!(v.invariant, "fault-table");
+}
+
+/// Doctored snapshot: a reservation granted *at or after* its port's
+/// death cycle violates the dead-port invariant; one granted strictly
+/// before the death is a legally draining wormhole and must pass.
+#[test]
+fn oracle_flags_an_allocation_onto_a_dead_port() {
+    let config = {
+        let mut b = SimConfig::builder();
+        b.topology(Topology::mesh(4, 4))
+            .injection_rate(0.4)
+            .seed(3)
+            .warmup_packets(0)
+            .measure_packets(u64::MAX)
+            .max_cycles(300);
+        b.build().expect("valid config")
+    };
+    // Arm only the dead-port check, with no timeline: the snapshot's
+    // own table is trusted, so the test can doctor it freely.
+    let mut arm = ArmedInvariants::none();
+    arm.dead_port = true;
+    let mut oracle = Oracle::with_arming(arm);
+    let mut net = Network::new(config);
+    for _ in 0..200 {
+        net.step();
+    }
+    let snap = net.snapshot();
+    oracle.check(&snap).expect("honest snapshot must pass");
+    // Find a live reservation on a cardinal output port.
+    let (node, port, granted_at) = snap
+        .routers
+        .iter()
+        .enumerate()
+        .find_map(|(n, r)| {
+            r.outputs.iter().enumerate().take(4).find_map(|(p, out)| {
+                out.vcs
+                    .iter()
+                    .find_map(|ovc| ovc.allocated_at.map(|at| (n, p, at)))
+            })
+        })
+        .expect("saturating traffic must hold some reservation");
+
+    // Death strictly after the grant: the wormhole may drain.
+    let mut draining = snap.clone();
+    draining.dead_ports = vec![(node, port, granted_at + 1)];
+    oracle
+        .check(&draining)
+        .expect("a pre-death reservation is a draining wormhole, not a violation");
+
+    // Death at (or before) the grant cycle: the router routed a packet
+    // into a port it already knew was dead.
+    let mut doctored = snap;
+    doctored.dead_ports = vec![(node, port, granted_at)];
+    let v = oracle
+        .check(&doctored)
+        .expect_err("a post-death reservation must be flagged");
+    assert_eq!(v.invariant, "dead-port");
+    assert_eq!(v.node, Some(node));
+}

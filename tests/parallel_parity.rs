@@ -8,14 +8,14 @@
 //! cross-router-pure, so the thread count is purely a wall-clock knob.
 
 use ftnoc_check::Oracle;
-use ftnoc_fault::FaultRates;
+use ftnoc_fault::{FaultRates, ScheduledKill};
 use ftnoc_sim::{
     DeadlockConfig, Network, RoutingAlgorithm, SimConfig, SimConfigBuilder, Simulator,
 };
 use ftnoc_trace::{MemorySink, Tracer};
 use ftnoc_traffic::InjectionProcess;
 use ftnoc_types::config::RouterConfig;
-use ftnoc_types::geom::Topology;
+use ftnoc_types::geom::{Direction, NodeId, Topology};
 
 /// A clean 4×4 mesh, no faults.
 fn fault_free(seed: u64) -> SimConfigBuilder {
@@ -60,6 +60,34 @@ fn deadlock_recovery(seed: u64) -> SimConfigBuilder {
         .warmup_packets(0)
         .measure_packets(u64::MAX)
         .max_cycles(12_000)
+        .stop_injection_after(4_000);
+    b
+}
+
+/// Fault-aware routing with a planted mid-run kill: link 5→east dies
+/// at cycle 1000 (publication lagging 6 cycles), so the run crosses a
+/// detection boundary, a publication boundary and an epoch-wide reroute
+/// — the whole online-reconfiguration path — under load.
+fn fault_aware_midrun(seed: u64) -> SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .routing(RoutingAlgorithm::FaultAware)
+        .scheduled_kills(vec![ScheduledKill {
+            at: 1_000,
+            node: NodeId::new(5),
+            dir: Direction::East,
+        }])
+        .fault_notify_latency(6)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(0.2)
+        .seed(seed)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 32,
+        })
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(10_000)
         .stop_injection_after(4_000);
     b
 }
@@ -110,6 +138,11 @@ fn link_fault_runs_are_thread_count_invariant() {
 #[test]
 fn deadlock_recovery_runs_are_thread_count_invariant() {
     assert_parity("deadlock-recovery", deadlock_recovery, 12_000);
+}
+
+#[test]
+fn fault_aware_midrun_kill_runs_are_thread_count_invariant() {
+    assert_parity("fault-aware-midrun", fault_aware_midrun, 10_000);
 }
 
 /// Steps the network cycle by cycle, optionally validating every commit
@@ -178,4 +211,9 @@ fn oracle_is_transparent_on_link_fault_runs() {
 #[test]
 fn oracle_is_transparent_on_deadlock_recovery_runs() {
     assert_oracle_transparent("deadlock-recovery", deadlock_recovery, dbg_capped(12_000));
+}
+
+#[test]
+fn oracle_is_transparent_on_fault_aware_midrun_runs() {
+    assert_oracle_transparent("fault-aware-midrun", fault_aware_midrun, dbg_capped(10_000));
 }
