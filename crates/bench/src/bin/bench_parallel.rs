@@ -29,19 +29,29 @@ use ftnoc_types::geom::Topology;
 /// Thread counts timed per sweep point.
 const THREADS: [usize; 3] = [1, 2, 4];
 
+/// Topology of a sweep point's router grid.
+enum BenchTopo {
+    Mesh,
+    Torus,
+    /// Concentrated mesh with `conc` terminals per router.
+    CMesh(u8),
+}
+
 /// One sweep point: the paper's HBH platform at a given size and load.
 struct SweepPoint {
     name: &'static str,
+    topo: BenchTopo,
     width: u8,
     height: u8,
     injection_rate: f64,
     link_error_rate: f64,
 }
 
-const POINTS: [SweepPoint; 6] = [
+const POINTS: [SweepPoint; 8] = [
     // Sparse traffic: most routers idle most cycles — the activity
     // worklist's showcase regime.
     SweepPoint {
+        topo: BenchTopo::Mesh,
         name: "8x8_inj0.02",
         width: 8,
         height: 8,
@@ -49,6 +59,7 @@ const POINTS: [SweepPoint; 6] = [
         link_error_rate: 0.0,
     },
     SweepPoint {
+        topo: BenchTopo::Mesh,
         name: "8x8_inj0.10",
         width: 8,
         height: 8,
@@ -56,6 +67,7 @@ const POINTS: [SweepPoint; 6] = [
         link_error_rate: 0.0,
     },
     SweepPoint {
+        topo: BenchTopo::Mesh,
         name: "8x8_inj0.25",
         width: 8,
         height: 8,
@@ -65,6 +77,7 @@ const POINTS: [SweepPoint; 6] = [
     // Saturation: everything is active, gating can only add overhead —
     // this point bounds that overhead.
     SweepPoint {
+        topo: BenchTopo::Mesh,
         name: "8x8_inj0.40",
         width: 8,
         height: 8,
@@ -72,6 +85,7 @@ const POINTS: [SweepPoint; 6] = [
         link_error_rate: 0.0,
     },
     SweepPoint {
+        topo: BenchTopo::Mesh,
         name: "8x8_inj0.25_err1e-3",
         width: 8,
         height: 8,
@@ -80,10 +94,32 @@ const POINTS: [SweepPoint; 6] = [
     },
     // A bigger mesh at light load: skip fraction grows with idle area.
     SweepPoint {
+        topo: BenchTopo::Mesh,
         name: "16x16_inj0.05",
         width: 16,
         height: 16,
         injection_rate: 0.05,
+        link_error_rate: 0.0,
+    },
+    // Topology rows at the 8×8-equivalent scale: a torus over the same
+    // 64 routers (wrap links shorten average hop count, so the same
+    // per-terminal rate ejects more flits), and a 4×4 concentration-4
+    // cmesh with the same 64 terminals funnelled through 16 routers
+    // (radix-8 ports, denser per-router work, smaller sweep).
+    SweepPoint {
+        topo: BenchTopo::Torus,
+        name: "8x8_torus_inj0.10",
+        width: 8,
+        height: 8,
+        injection_rate: 0.10,
+        link_error_rate: 0.0,
+    },
+    SweepPoint {
+        topo: BenchTopo::CMesh(4),
+        name: "4x4c4_cmesh_inj0.10",
+        width: 4,
+        height: 4,
+        injection_rate: 0.10,
         link_error_rate: 0.0,
     },
 ];
@@ -104,8 +140,15 @@ struct Cell {
 }
 
 fn config(point: &SweepPoint, gating: bool) -> SimConfig {
+    let topology = match point.topo {
+        BenchTopo::Mesh => Topology::mesh(point.width, point.height),
+        BenchTopo::Torus => Topology::torus(point.width, point.height),
+        BenchTopo::CMesh(conc) => {
+            Topology::try_cmesh(point.width, point.height, conc).expect("valid cmesh point")
+        }
+    };
     let mut b = SimConfig::builder();
-    b.topology(Topology::mesh(point.width, point.height))
+    b.topology(topology)
         .injection_rate(point.injection_rate)
         .activity_gating(gating)
         .warmup_packets(0)

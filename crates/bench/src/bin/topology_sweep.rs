@@ -1,0 +1,208 @@
+//! The §5 topology sweep: mesh vs torus vs concentrated mesh under
+//! fault-aware up*/down* routing, healthy and with a link dying
+//! mid-run, as a finite drain workload (inject for a fixed window,
+//! then run until the network empties — delivery is all-or-nothing,
+//! not an artifact of where a measurement window closed).
+//!
+//! ```sh
+//! cargo run -p ftnoc-bench --bin topology_sweep --release
+//! ```
+//!
+//! All three networks carry 64 terminals. Two rate sets:
+//!
+//! - *equal per-terminal offered load* — every terminal injects at the
+//!   same rate, so the networks see identical demand;
+//! - *equal bisection utilization* — the rate is scaled by each
+//!   topology's bisection-links-per-terminal relative to the mesh
+//!   (torus 2x: wraps double the cut; cmesh 0.5x: 4 links carry 64
+//!   terminals), so the *cut* sees identical demand.
+//!
+//! Honest caveats printed with the table; see EXPERIMENTS.md §5.
+
+use ftnoc_fault::ScheduledKill;
+use ftnoc_sim::{Network, RoutingAlgorithm, SimConfig};
+use ftnoc_traffic::InjectionProcess;
+use ftnoc_types::geom::{Direction, NodeId, Topology};
+
+/// Injection window (cycles); the drain budget is `MAX_CYCLES`.
+const INJECT_FOR: u64 = 3_000;
+const MAX_CYCLES: u64 = 120_000;
+/// Mid-run kill cycle (inside the injection window, so rerouted
+/// traffic still contends with fresh traffic).
+const KILL_AT: u64 = 1_000;
+
+struct Row {
+    label: &'static str,
+    topo: fn() -> Topology,
+    rate: f64,
+    kill: Option<(u64, u16, Direction)>,
+}
+
+fn run(row: &Row) -> (u64, u64, u64, f64, u64) {
+    let mut b = SimConfig::builder();
+    b.topology((row.topo)())
+        .routing(RoutingAlgorithm::FaultAware)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(row.rate)
+        .seed(0xF70C)
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(MAX_CYCLES)
+        .stop_injection_after(INJECT_FOR);
+    if let Some((at, node, dir)) = row.kill {
+        b.scheduled_kills(vec![ScheduledKill {
+            at,
+            node: NodeId::new(node),
+            dir,
+        }]);
+    }
+    let config = b.build().expect("valid sweep config");
+    let mut net = Network::new(config);
+    // Step in chunks so the drain point (network empty after injection
+    // stopped) is observable between stepper sessions.
+    let mut first = true;
+    while net.now() < MAX_CYCLES {
+        net.with_stepper(1, |st| {
+            if first {
+                st.start_measurement();
+            }
+            let target = (st.now() + 500).min(MAX_CYCLES);
+            while st.now() < target {
+                st.step();
+            }
+        });
+        first = false;
+        if net.now() > INJECT_FOR && net.packets_injected() == net.packets_ejected() {
+            break;
+        }
+    }
+    let stats = net.stats();
+    (
+        stats.packets_injected,
+        stats.packets_ejected,
+        net.now(),
+        stats.avg_latency(),
+        stats.errors.deadlocks_confirmed,
+    )
+}
+
+fn main() {
+    let mesh = || Topology::mesh(8, 8);
+    let torus = || Topology::torus(8, 8);
+    let cmesh = || Topology::try_cmesh(4, 4, 4).expect("valid cmesh");
+    let e = Direction::East;
+    // 27 = (3,3) of the 8x8 grid (the paper-scale kill link); 31 =
+    // (7,3), whose east link is a torus wrap; 5 = (1,1) of the 4x4
+    // cmesh grid, the 27:e analog at the smaller radix-8 scale.
+    let sets: [(&str, Vec<Row>); 2] = [
+        (
+            "equal per-terminal offered load (0.10 flits/terminal/cycle)",
+            vec![
+                Row {
+                    label: "mesh  8x8    healthy",
+                    topo: mesh,
+                    rate: 0.10,
+                    kill: None,
+                },
+                Row {
+                    label: "mesh  8x8    kill 27:e @1000",
+                    topo: mesh,
+                    rate: 0.10,
+                    kill: Some((KILL_AT, 27, e)),
+                },
+                Row {
+                    label: "torus 8x8    healthy",
+                    topo: torus,
+                    rate: 0.10,
+                    kill: None,
+                },
+                Row {
+                    label: "torus 8x8    kill 27:e @1000",
+                    topo: torus,
+                    rate: 0.10,
+                    kill: Some((KILL_AT, 27, e)),
+                },
+                Row {
+                    label: "torus 8x8    kill 31:e @1000 (wrap)",
+                    topo: torus,
+                    rate: 0.10,
+                    kill: Some((KILL_AT, 31, e)),
+                },
+                Row {
+                    label: "cmesh 4x4:4  healthy",
+                    topo: cmesh,
+                    rate: 0.10,
+                    kill: None,
+                },
+                Row {
+                    label: "cmesh 4x4:4  kill 5:e @1000",
+                    topo: cmesh,
+                    rate: 0.10,
+                    kill: Some((KILL_AT, 5, e)),
+                },
+            ],
+        ),
+        (
+            "equal bisection utilization (mesh 0.10, torus 0.20, cmesh 0.05)",
+            vec![
+                Row {
+                    label: "torus 8x8    healthy",
+                    topo: torus,
+                    rate: 0.20,
+                    kill: None,
+                },
+                Row {
+                    label: "torus 8x8    kill 31:e @1000 (wrap)",
+                    topo: torus,
+                    rate: 0.20,
+                    kill: Some((KILL_AT, 31, e)),
+                },
+                Row {
+                    label: "cmesh 4x4:4  healthy",
+                    topo: cmesh,
+                    rate: 0.05,
+                    kill: None,
+                },
+                Row {
+                    label: "cmesh 4x4:4  kill 5:e @1000",
+                    topo: cmesh,
+                    rate: 0.05,
+                    kill: Some((KILL_AT, 5, e)),
+                },
+            ],
+        ),
+    ];
+
+    println!(
+        "Topology sweep (§5): 64 terminals, fta routing, no recovery, \
+         inject {INJECT_FOR} cycles then drain"
+    );
+    let mut all_delivered = true;
+    for (title, rows) in &sets {
+        println!("\n== {title} ==");
+        println!(
+            "{:<36} {:>8} {:>8} {:>9} {:>10} {:>10} {:>4}",
+            "scenario", "injected", "ejected", "delivered", "drain cyc", "avg lat", "dl"
+        );
+        for row in rows {
+            let (inj, ej, cycles, lat, dl) = run(row);
+            all_delivered &= inj == ej;
+            println!(
+                "{:<36} {inj:>8} {ej:>8} {:>8.2}% {cycles:>10} {lat:>10.2} {dl:>4}",
+                row.label,
+                100.0 * ej as f64 / inj as f64,
+            );
+        }
+    }
+    println!(
+        "\ncaveats: fta funnels traffic through its spanning tree, so the \
+         torus's doubled bisection is only partly usable and saturation \
+         sits below a mesh-optimal router's; per-terminal injection means \
+         the cmesh's 16 routers absorb 4x the per-router demand."
+    );
+    if !all_delivered {
+        eprintln!("error: a drain workload left packets stuck");
+        std::process::exit(1);
+    }
+    println!("every workload drained completely (100% delivery, 0 stuck)");
+}

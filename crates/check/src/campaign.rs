@@ -22,13 +22,33 @@ use ftnoc_types::ConfigError;
 
 use crate::oracle::{Oracle, Violation};
 
+/// Topology class of a fuzzed network. Chiplet grids are deliberately
+/// excluded from sampling: their suppressed boundary links invalidate
+/// the planted-kill arithmetic (which picks from the full mesh link
+/// set) and they hard-require fault-aware routing, so they get
+/// dedicated directed tests instead of fuzz coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzTopology {
+    /// Plain 2D mesh (the paper's platform; the shrink target).
+    Mesh,
+    /// 2D torus — same grid plus wrap links, so the mesh link set used
+    /// by the kill planting still exists.
+    Torus,
+    /// Concentrated mesh with `conc` terminals per router; the
+    /// inter-router graph is exactly the mesh graph.
+    CMesh {
+        /// Terminals per router (2–8).
+        conc: u8,
+    },
+}
+
 /// One campaign: a complete, self-describing simulation configuration.
 /// Round-trips through the `k=v,...` reproducer spec.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignParams {
-    /// Mesh width.
+    /// Grid width in routers.
     pub width: u8,
-    /// Mesh height.
+    /// Grid height in routers.
     pub height: u8,
     /// VCs per port.
     pub vcs: usize,
@@ -86,6 +106,8 @@ pub struct CampaignParams {
     /// the kill's endpoints and network-wide publication of the new
     /// fault tables.
     pub notify: u64,
+    /// Topology class of the fuzzed network.
+    pub topo: FuzzTopology,
 }
 
 fn pattern_name(p: &TrafficPattern) -> &'static str {
@@ -173,6 +195,7 @@ impl CampaignParams {
             kill_node: 0,
             kill_dir: Direction::East,
             notify: 4,
+            topo: FuzzTopology::Mesh,
         };
         // The buffer-organisation dimension is drawn last so every
         // earlier parameter of a given (seed, index) is unchanged from
@@ -224,6 +247,24 @@ impl CampaignParams {
                 p.deadlock = true;
             }
         }
+        // The topology dimension is drawn last for the same reason, and
+        // every draw is taken unconditionally so any dimension appended
+        // after this one sees a stable stream. Mesh stays the bulk of
+        // the budget; torus and cmesh each get a slice. The planted
+        // kill above remains valid on both: a torus is the mesh link
+        // set plus wraps, and a cmesh's inter-router graph *is* the
+        // mesh graph. Torus campaigns arm the deadlock-recovery net —
+        // wrap channels let even dimension-ordered routing wedge, and
+        // only fault-aware routing is documented deadlock-free here.
+        let torus = r.gen_bool(0.2);
+        let cmesh = r.gen_bool(0.25);
+        let conc = r.gen_range(2..5u64) as u8;
+        if torus {
+            p.topo = FuzzTopology::Torus;
+            p.deadlock = true;
+        } else if cmesh {
+            p.topo = FuzzTopology::CMesh { conc };
+        }
         p
     }
 
@@ -245,8 +286,13 @@ impl CampaignParams {
                 pool_size: self.damq_pool,
             });
         }
+        let topology = match self.topo {
+            FuzzTopology::Mesh => Topology::mesh(self.width, self.height),
+            FuzzTopology::Torus => Topology::torus(self.width, self.height),
+            FuzzTopology::CMesh { conc } => Topology::try_cmesh(self.width, self.height, conc)?,
+        };
         let mut b = SimConfig::builder();
-        b.topology(Topology::mesh(self.width, self.height))
+        b.topology(topology)
             .router(router.build()?)
             .routing(self.routing)
             .scheme(self.scheme)
@@ -337,6 +383,13 @@ impl CampaignParams {
             self.damq_pool,
             u8::from(self.gating),
         );
+        match self.topo {
+            FuzzTopology::Mesh => {}
+            FuzzTopology::Torus => s.push_str(",topo=torus"),
+            FuzzTopology::CMesh { conc } => {
+                let _ = write!(s, ",topo=cmesh,conc={conc}");
+            }
+        }
         if self.kill_at > 0 {
             let _ = write!(
                 s,
@@ -371,6 +424,11 @@ impl CampaignParams {
         p.kill_node = 0;
         p.kill_dir = Direction::East;
         p.notify = 4;
+        p.topo = FuzzTopology::Mesh;
+        // `topo`/`conc` are order-independent: both are collected here
+        // and resolved after the loop.
+        let mut topo_key: Option<String> = None;
+        let mut conc_key: Option<u8> = None;
         for item in spec.split(',') {
             let item = item.trim();
             if item.is_empty() {
@@ -445,6 +503,8 @@ impl CampaignParams {
                 "threads" => p.threads = v.parse().map_err(bad!())?,
                 "pool" => p.damq_pool = v.parse().map_err(bad!())?,
                 "gate" => p.gating = v != "0",
+                "topo" => topo_key = Some(v.to_string()),
+                "conc" => conc_key = Some(v.parse().map_err(bad!())?),
                 "nfy" => p.notify = v.parse().map_err(bad!())?,
                 _ if k.starts_with("kill@") => {
                     p.kill_at = k["kill@".len()..].parse().map_err(bad!())?;
@@ -465,6 +525,17 @@ impl CampaignParams {
                 }
                 _ => return Err(format!("unknown key {k:?}")),
             }
+        }
+        p.topo = match topo_key.as_deref() {
+            None | Some("mesh") => FuzzTopology::Mesh,
+            Some("torus") => FuzzTopology::Torus,
+            Some("cmesh") => FuzzTopology::CMesh {
+                conc: conc_key.unwrap_or(2),
+            },
+            Some(other) => return Err(format!("unknown topology {other:?}")),
+        };
+        if conc_key.is_some() && !matches!(p.topo, FuzzTopology::CMesh { .. }) {
+            return Err("conc only applies to topo=cmesh".into());
         }
         Ok(p)
     }
@@ -601,6 +672,16 @@ fn transforms(p: &CampaignParams, v: &Violation) -> Vec<CampaignParams> {
         }
     };
     push(&|c| c.threads = 1);
+    // Reduce toward the plain mesh: if the failure survives there, it
+    // is not a wrap-link or concentration bug. Concentration steps down
+    // before collapsing to the mesh so a cmesh-specific failure keeps
+    // the smallest radix that still reproduces it.
+    if let FuzzTopology::CMesh { conc } = p.topo {
+        if conc > 2 {
+            push(&|c| c.topo = FuzzTopology::CMesh { conc: conc - 1 });
+        }
+    }
+    push(&|c| c.topo = FuzzTopology::Mesh);
     // Reduce toward the full-sweep reference schedule: if the failure
     // survives with gating off, it is not an activity-gating bug.
     push(&|c| c.gating = false);
@@ -665,17 +746,39 @@ pub enum ScenarioFilter {
     /// Force fault-aware routing, the deadlock-recovery transition net,
     /// and a scheduled mid-run link kill.
     MidRunFault,
+    /// Force a non-mesh topology: campaigns the sampler left on the
+    /// plain mesh are coerced onto a torus or a concentrated mesh,
+    /// chosen deterministically from already-sampled parameters.
+    Topology,
 }
 
 /// Applies a [`ScenarioFilter`] to freshly sampled parameters (shared
 /// by the serial and batched execution paths, so both coerce
-/// identically). Campaigns the sampler left kill-free get one planted
+/// identically). Coercions the sampler did not already make are derived
 /// deterministically from already-sampled parameters — a pure function
 /// of the campaign, no extra RNG draws.
 pub(crate) fn apply_scenario_filter(params: &mut CampaignParams, scenario: Option<ScenarioFilter>) {
-    let Some(ScenarioFilter::MidRunFault) = scenario else {
-        return;
-    };
+    match scenario {
+        None => return,
+        Some(ScenarioFilter::Topology) => {
+            if params.topo == FuzzTopology::Mesh {
+                params.topo = if params.seed & 1 == 0 {
+                    FuzzTopology::Torus
+                } else {
+                    FuzzTopology::CMesh {
+                        conc: 2 + ((params.seed >> 8) % 3) as u8,
+                    }
+                };
+            }
+            if params.topo == FuzzTopology::Torus {
+                // Same wedge semantics as the sampler: wrap channels
+                // can deadlock legacy routing, so arm the recovery net.
+                params.deadlock = true;
+            }
+            return;
+        }
+        Some(ScenarioFilter::MidRunFault) => {}
+    }
     params.routing = RoutingAlgorithm::FaultAware;
     params.deadlock = true;
     if params.kill_at == 0 {

@@ -48,7 +48,7 @@ pub mod observer;
 pub mod oracle;
 pub mod runner;
 
-pub use campaign::{CampaignParams, OrgFilter, ScenarioFilter};
+pub use campaign::{CampaignParams, FuzzTopology, OrgFilter, ScenarioFilter};
 pub use observer::{
     FuzzEvent, FuzzObserver, LineRenderer, MemoryObserver, NullObserver, TelemetryObserver,
 };

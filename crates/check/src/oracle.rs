@@ -215,7 +215,7 @@ impl Oracle {
     /// violation found; internal tracking state is updated either way.
     pub fn check(&mut self, snap: &NetSnapshot) -> Result<(), Violation> {
         if !self.sized {
-            let slots = snap.routers.len() * 5 * snap.vcs_per_port;
+            let slots = snap.routers.len() * snap.ports * snap.vcs_per_port;
             self.prev_back = vec![None; slots];
             self.last_arrival = vec![None; slots];
             self.prev_confirmed = vec![0; snap.routers.len()];
@@ -774,7 +774,7 @@ impl Oracle {
             for d in Direction::CARDINAL {
                 let p = d.index();
                 for v in 0..vcs {
-                    let idx = (n * 5 + p) * vcs + v;
+                    let idx = (n * snap.ports + p) * vcs + v;
                     let back = r.inputs[p][v].flits.last();
                     let cur = back.map(key);
                     if cur.is_some() && cur != self.prev_back[idx] {

@@ -8,6 +8,7 @@
 //! for a given sequence of inputs: field order is fixed and floats are
 //! printed with Rust's shortest-round-trip formatting.
 
+use crate::heatmap::LayoutKind;
 use crate::profile::ProfileSnapshot;
 use crate::telemetry::{MeshTelemetry, RouterTelemetry};
 
@@ -17,12 +18,15 @@ pub const FORMAT_VERSION: u64 = 1;
 /// The first line of a metrics file: run shape and provenance.
 #[derive(Debug, Clone, Copy)]
 pub struct MetaLine {
-    /// Mesh width.
+    /// Router-grid width.
     pub width: usize,
-    /// Mesh height.
+    /// Router-grid height.
     pub height: usize,
-    /// Node count (`width * height`).
+    /// Router count (`width * height`).
     pub nodes: usize,
+    /// Topology drawing style (stamped as e.g. `"torus"`, `"cmesh:4"`;
+    /// readers treat an absent field as a plain mesh).
+    pub topology: LayoutKind,
     /// Configured worker thread count.
     pub threads: usize,
     /// `std::thread::available_parallelism()` on the host (0 if
@@ -39,11 +43,13 @@ impl MetaLine {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"kind\":\"meta\",\"version\":{},\"width\":{},\"height\":{},\"nodes\":{},\
-             \"threads\":{},\"available_parallelism\":{},\"metrics_every\":{},\"seed\":{}}}",
+             \"topology\":\"{}\",\"threads\":{},\"available_parallelism\":{},\
+             \"metrics_every\":{},\"seed\":{}}}",
             FORMAT_VERSION,
             self.width,
             self.height,
             self.nodes,
+            self.topology.meta_str(),
             self.threads,
             self.available_parallelism,
             self.metrics_every,
@@ -186,6 +192,7 @@ mod tests {
             width: 8,
             height: 8,
             nodes: 64,
+            topology: LayoutKind::CMesh { concentration: 4 },
             threads: 4,
             available_parallelism: 2,
             metrics_every: 100,
@@ -195,6 +202,7 @@ mod tests {
         assert_eq!(v.get("kind").unwrap().as_str(), Some("meta"));
         assert_eq!(v.u64_field("version"), Some(FORMAT_VERSION));
         assert_eq!(v.u64_field("nodes"), Some(64));
+        assert_eq!(v.get("topology").unwrap().as_str(), Some("cmesh:4"));
         assert_eq!(v.u64_field("available_parallelism"), Some(2));
         assert_eq!(v.u64_field("seed"), Some(42));
     }

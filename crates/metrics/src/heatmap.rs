@@ -1,13 +1,185 @@
-//! ASCII mesh heatmaps of per-router metrics.
+//! ASCII router-grid heatmaps of per-router metrics.
 //!
 //! One character per router, intensity from a 10-step ramp normalized
 //! to the hottest router, with row/column rulers and a legend naming
 //! the hottest cell — enough to spot a hot link or a dead region at a
-//! glance in a terminal or a CI log.
+//! glance in a terminal or a CI log. [`render_layout`] adapts the grid
+//! to the run's topology: wrap annotations for a torus, a
+//! terminals-per-router note for a concentrated mesh, and tile
+//! separators for a chiplet NoI.
 
 /// Intensity ramp, cold to hot. A zero cell always renders as the
 /// first character; the hottest non-zero cell as the last.
 const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Topology-specific drawing style for a router grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Plain 2D mesh — the bare grid.
+    Mesh,
+    /// Torus — the mesh grid plus a legend note that both dimensions
+    /// wrap (column 0 is adjacent to the last column, ditto rows).
+    Torus,
+    /// Concentrated mesh — one cell per *router*; the legend notes how
+    /// many terminals each cell aggregates.
+    CMesh {
+        /// Terminals per router.
+        concentration: usize,
+    },
+    /// Chiplet NoI — the grid is drawn with `|`/`-` separators between
+    /// `chip_w × chip_h` tiles (inter-tile traffic funnels through one
+    /// gateway per facing edge, so per-tile hot borders are the thing
+    /// to look for).
+    Chiplet {
+        /// Tile width in routers.
+        chip_w: usize,
+        /// Tile height in routers.
+        chip_h: usize,
+    },
+}
+
+impl LayoutKind {
+    /// The compact string stamped into a metrics meta line
+    /// (`mesh`, `torus`, `cmesh:C`, `chiplet:CWxCH`).
+    pub fn meta_str(&self) -> String {
+        match self {
+            LayoutKind::Mesh => "mesh".to_string(),
+            LayoutKind::Torus => "torus".to_string(),
+            LayoutKind::CMesh { concentration } => format!("cmesh:{concentration}"),
+            LayoutKind::Chiplet { chip_w, chip_h } => format!("chiplet:{chip_w}x{chip_h}"),
+        }
+    }
+
+    /// Parses a meta-line topology string. Anything unrecognised
+    /// (including the absent field of pre-topology metrics files)
+    /// falls back to [`LayoutKind::Mesh`] so old files keep rendering.
+    pub fn parse(s: &str) -> LayoutKind {
+        if s == "torus" {
+            return LayoutKind::Torus;
+        }
+        if let Some(c) = s.strip_prefix("cmesh:") {
+            if let Ok(concentration) = c.parse() {
+                return LayoutKind::CMesh { concentration };
+            }
+        }
+        if let Some(dims) = s.strip_prefix("chiplet:") {
+            if let Some((w, h)) = dims.split_once('x') {
+                if let (Ok(chip_w), Ok(chip_h)) = (w.parse(), h.parse()) {
+                    return LayoutKind::Chiplet { chip_w, chip_h };
+                }
+            }
+        }
+        LayoutKind::Mesh
+    }
+}
+
+/// Grid shape plus topology annotations for [`render_layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopoLayout {
+    /// Grid width in routers.
+    pub width: usize,
+    /// Grid height in routers.
+    pub height: usize,
+    /// Drawing style.
+    pub kind: LayoutKind,
+}
+
+/// Renders `values` (router-id order) under a topology-aware layout.
+/// Mesh draws the bare grid; torus and cmesh add a legend note;
+/// chiplet draws tile separators.
+///
+/// # Panics
+///
+/// Panics if `values.len() != layout.width * layout.height`, or if a
+/// chiplet layout's tile dimensions are zero.
+pub fn render_layout(label: &str, layout: &TopoLayout, values: &[u64]) -> String {
+    match layout.kind {
+        LayoutKind::Mesh => render(label, layout.width, layout.height, values),
+        LayoutKind::Torus => {
+            let mut s = render(label, layout.width, layout.height, values);
+            s.push_str("    torus: rows and columns wrap around\n");
+            s
+        }
+        LayoutKind::CMesh { concentration } => {
+            let mut s = render(label, layout.width, layout.height, values);
+            s.push_str(&format!(
+                "    cmesh: each cell aggregates {concentration} terminals\n"
+            ));
+            s
+        }
+        LayoutKind::Chiplet { chip_w, chip_h } => {
+            render_chiplet(label, layout.width, layout.height, chip_w, chip_h, values)
+        }
+    }
+}
+
+/// The chiplet two-level view: the router grid with `|` and `-`
+/// separators between tiles.
+fn render_chiplet(
+    label: &str,
+    width: usize,
+    height: usize,
+    chip_w: usize,
+    chip_h: usize,
+    values: &[u64],
+) -> String {
+    assert_eq!(
+        values.len(),
+        width * height,
+        "heatmap shape mismatch: {} values for {width}x{height}",
+        values.len()
+    );
+    assert!(chip_w > 0 && chip_h > 0, "zero chiplet tile");
+    let max = values.iter().copied().max().unwrap_or(0);
+    let total: u64 = values.iter().sum();
+    let mut out = String::new();
+    out.push_str(&format!("{label} (total {total}, max {max})\n"));
+    out.push_str("    ");
+    for x in 0..width {
+        if x > 0 && x % chip_w == 0 {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{:>2}", x % 100));
+    }
+    out.push('\n');
+    for y in 0..height {
+        if y > 0 && y % chip_h == 0 {
+            out.push_str("    ");
+            for x in 0..width {
+                if x > 0 && x % chip_w == 0 {
+                    out.push_str("-+");
+                }
+                out.push_str("--");
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{y:>3} "));
+        for x in 0..width {
+            if x > 0 && x % chip_w == 0 {
+                out.push_str(" |");
+            }
+            let v = values[y * width + x];
+            out.push(' ');
+            out.push(cell(v, max));
+        }
+        out.push('\n');
+    }
+    if max > 0 {
+        let (hx, hy) = hottest(width, values);
+        out.push_str(&format!(
+            "    scale `{}` 0..{max}, hottest ({hx},{hy}) in chip ({},{})\n",
+            std::str::from_utf8(RAMP).expect("ascii ramp"),
+            hx / chip_w,
+            hy / chip_h,
+        ));
+    }
+    out.push_str(&format!(
+        "    chiplet: {}x{} tiles of {chip_w}x{chip_h} routers, one gateway per facing edge\n",
+        width / chip_w,
+        height / chip_h,
+    ));
+    out
+}
 
 /// Renders `values` (node-id order, router `(x, y)` at `y * width + x`)
 /// as a `width × height` grid. Row 0 is printed at the top. Returns a
@@ -112,5 +284,65 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn wrong_shape_panics() {
         render("x", 2, 2, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn layout_kind_meta_round_trips() {
+        for kind in [
+            LayoutKind::Mesh,
+            LayoutKind::Torus,
+            LayoutKind::CMesh { concentration: 4 },
+            LayoutKind::Chiplet {
+                chip_w: 4,
+                chip_h: 2,
+            },
+        ] {
+            assert_eq!(LayoutKind::parse(&kind.meta_str()), kind);
+        }
+        // Unknown or absent strings fall back to mesh (old files).
+        assert_eq!(LayoutKind::parse("banana"), LayoutKind::Mesh);
+        assert_eq!(LayoutKind::parse(""), LayoutKind::Mesh);
+        assert_eq!(LayoutKind::parse("cmesh:x"), LayoutKind::Mesh);
+    }
+
+    #[test]
+    fn torus_and_cmesh_annotate_the_mesh_grid() {
+        let layout = |kind| TopoLayout {
+            width: 2,
+            height: 2,
+            kind,
+        };
+        let mesh = render_layout("m", &layout(LayoutKind::Mesh), &[1, 2, 3, 4]);
+        assert_eq!(mesh, render("m", 2, 2, &[1, 2, 3, 4]));
+        let torus = render_layout("m", &layout(LayoutKind::Torus), &[1, 2, 3, 4]);
+        assert!(torus.starts_with(&mesh), "{torus}");
+        assert!(torus.contains("wrap around"), "{torus}");
+        let cm = render_layout(
+            "m",
+            &layout(LayoutKind::CMesh { concentration: 4 }),
+            &[1, 2, 3, 4],
+        );
+        assert!(cm.contains("aggregates 4 terminals"), "{cm}");
+    }
+
+    #[test]
+    fn chiplet_grid_draws_tile_separators() {
+        let layout = TopoLayout {
+            width: 4,
+            height: 4,
+            kind: LayoutKind::Chiplet {
+                chip_w: 2,
+                chip_h: 2,
+            },
+        };
+        let mut values = vec![0u64; 16];
+        values[15] = 9; // router (3, 3) → chip (1, 1)
+        let s = render_layout("gw", &layout, &values);
+        assert!(s.contains(" |"), "column separator missing:\n{s}");
+        assert!(s.contains("-+"), "row separator missing:\n{s}");
+        assert!(s.contains("hottest (3,3) in chip (1,1)"), "{s}");
+        assert!(s.contains("2x2 tiles of 2x2 routers"), "{s}");
+        // header + ruler + 4 rows + 1 separator row + legend + note
+        assert_eq!(s.lines().count(), 9, "{s}");
     }
 }

@@ -22,7 +22,9 @@
 //!   counters (flits routed, buffer stalls, retransmissions, NACKs,
 //!   probes, faults, recoveries) harvested from the routers' own
 //!   censuses.
-//! - [`heatmap`] — ASCII mesh heatmaps of any per-router metric.
+//! - [`heatmap`] — ASCII router-grid heatmaps of any per-router
+//!   metric, with topology-aware layouts (torus wrap annotations,
+//!   cmesh concentration notes, chiplet tile separators).
 //! - [`emit`] — hand-rolled JSONL serialization of the periodic
 //!   interval snapshots (`--metrics-out`).
 //! - [`json`] — a minimal JSON reader for those files.
@@ -51,6 +53,7 @@ pub mod report;
 pub mod telemetry;
 
 pub use emit::{IntervalLine, MetaLine};
+pub use heatmap::{LayoutKind, TopoLayout};
 pub use profile::{EngineProfile, ProfileSnapshot};
 pub use registry::{Accum, CounterId, GaugeId, HistId, Registry};
 pub use telemetry::{MeshTelemetry, RouterTelemetry};

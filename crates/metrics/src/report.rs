@@ -5,7 +5,7 @@
 //! run profiled), and ASCII heatmaps of the per-router telemetry from
 //! the final interval.
 
-use crate::heatmap;
+use crate::heatmap::{self, LayoutKind, TopoLayout};
 use crate::json::{self, Value};
 use crate::telemetry::RouterTelemetry;
 
@@ -35,6 +35,16 @@ pub fn render(content: &str) -> Result<String, String> {
     let meta = meta.ok_or("no meta line found — is this a --metrics-out file?")?;
     let width = meta.u64_field("width").ok_or("meta line missing width")? as usize;
     let height = meta.u64_field("height").ok_or("meta line missing height")? as usize;
+    // Absent in pre-topology metrics files: those were all meshes.
+    let layout = TopoLayout {
+        width,
+        height,
+        kind: LayoutKind::parse(
+            meta.get("topology")
+                .and_then(Value::as_str)
+                .unwrap_or("mesh"),
+        ),
+    };
 
     let mut out = String::new();
     render_summary(&mut out, &meta, intervals.len());
@@ -46,12 +56,15 @@ pub fn render(content: &str) -> Result<String, String> {
     let last = intervals.last().expect("non-empty");
     render_phases(&mut out, last);
     render_activity(&mut out, last);
-    render_heatmaps(&mut out, last, width, height)?;
+    render_heatmaps(&mut out, last, &layout)?;
     Ok(out)
 }
 
 fn render_summary(out: &mut String, meta: &Value, intervals: usize) {
     out.push_str("run summary\n");
+    if let Some(t) = meta.get("topology").and_then(Value::as_str) {
+        out.push_str(&format!("  {:<22} {t}\n", "topology"));
+    }
     for key in [
         "width",
         "height",
@@ -162,27 +175,24 @@ fn render_activity(out: &mut String, last: &Value) {
     ));
 }
 
-fn render_heatmaps(
-    out: &mut String,
-    last: &Value,
-    width: usize,
-    height: usize,
-) -> Result<(), String> {
+fn render_heatmaps(out: &mut String, last: &Value, layout: &TopoLayout) -> Result<(), String> {
     let routers = last.get("routers").ok_or("interval missing routers")?;
     out.push_str("\nrouter heatmaps (cumulative, final interval)\n");
     for metric in RouterTelemetry::METRICS {
         let values = u64_list(routers.get(metric));
-        if values.len() != width * height {
+        if values.len() != layout.width * layout.height {
             return Err(format!(
-                "metric {metric}: {} values for a {width}x{height} mesh",
-                values.len()
+                "metric {metric}: {} values for a {}x{} grid",
+                values.len(),
+                layout.width,
+                layout.height
             ));
         }
         // flits_routed is always shown (the baseline traffic picture);
         // the fault/stall metrics only when they actually fired.
         if metric == "flits_routed" || values.iter().any(|&v| v > 0) {
             out.push('\n');
-            out.push_str(&heatmap::render(metric, width, height, &values));
+            out.push_str(&heatmap::render_layout(metric, layout, &values));
         }
     }
     Ok(())
@@ -227,6 +237,7 @@ mod tests {
             width: 2,
             height: 2,
             nodes: 4,
+            topology: LayoutKind::Mesh,
             threads: 2,
             available_parallelism: 1,
             metrics_every: 100,
@@ -278,6 +289,20 @@ mod tests {
         assert!(report.contains("activity gating"), "{report}");
         assert!(report.contains("15.0%"), "{report}");
         assert!(report.contains("computed_cycles (total 340"), "{report}");
+    }
+
+    #[test]
+    fn topology_flows_from_meta_to_summary_and_heatmaps() {
+        let file = sample_file().replace("\"topology\":\"mesh\"", "\"topology\":\"torus\"");
+        let report = render(&file).unwrap();
+        assert!(report.contains("topology               torus"), "{report}");
+        assert!(report.contains("rows and columns wrap"), "{report}");
+        // Files written before the topology field existed still render
+        // (as plain meshes, without a topology summary row).
+        let old = sample_file().replace("\"topology\":\"mesh\",", "");
+        let report = render(&old).unwrap();
+        assert!(!report.contains("topology  "), "{report}");
+        assert!(report.contains("flits_routed (total 50"), "{report}");
     }
 
     #[test]

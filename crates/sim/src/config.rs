@@ -399,7 +399,23 @@ impl SimConfigBuilder {
             return Err(ConfigError::InvalidInjectionRate(c.injection_rate));
         }
         c.faults.assert_valid();
-        Ok(c.clone())
+        let mut config = c.clone();
+        // The router radix follows the topology: 4 cardinals plus one
+        // local port per attached terminal. Re-derived here so callers
+        // set the topology and the router knobs independently.
+        let radix = config.topology.radix();
+        if config.router.ports() != radix {
+            let mut rb = RouterConfig::builder();
+            rb.ports(radix)
+                .vcs_per_port(config.router.vcs_per_port())
+                .buffer_depth(config.router.buffer_depth())
+                .retrans_depth(config.router.retrans_depth())
+                .flits_per_packet(config.router.flits_per_packet())
+                .pipeline(config.router.pipeline())
+                .buffer_org(config.router.buffer_org());
+            config.router = rb.build()?;
+        }
+        Ok(config)
     }
 }
 

@@ -151,7 +151,10 @@ impl ActiveSet {
     }
 }
 
-/// Per-node processing element: open-loop source + protocol endpoints.
+/// Per-terminal processing element: open-loop source + protocol
+/// endpoints. One per terminal (`topo.terminal_count()`), which is one
+/// per router everywhere except a concentrated mesh; terminal `t` hangs
+/// off router `t % n` through local port `4 + t / n`.
 struct ProcessingElement {
     injector: Injector,
     /// Packets awaiting injection (unbounded open-loop source queue).
@@ -447,7 +450,7 @@ impl<S: TraceSink> Network<S> {
                 })
             })
             .collect();
-        let pes = (0..n)
+        let pes = (0..topo.terminal_count())
             .map(|_| ProcessingElement {
                 injector: Injector::new(
                     config.injection_rate,
@@ -733,6 +736,7 @@ pub(crate) fn build_snapshot<S: TraceSink>(
         now: core.now,
         dead_ports,
         scheme: env.config.scheme,
+        ports: env.config.router.ports(),
         vcs_per_port: env.config.router.vcs_per_port(),
         buffer_depth: env.config.router.buffer_depth(),
         buffer_org: env.config.router.buffer_org(),
@@ -817,19 +821,25 @@ impl<S: TraceSink> NetCore<S> {
     fn inject_phase(&mut self, env: &RunEnv, cells: &[Mutex<RouterCell>], now: u64) {
         let scheme = env.config.scheme;
         let vcs = env.config.router.vcs_per_port();
+        let n_routers = cells.len();
         let source_open = env
             .config
             .stop_injection_after
             .is_none_or(|stop| now < stop);
-        for (n, cell) in cells.iter().enumerate() {
+        // Terminals in id order: with a concentration of 1 (`t == n`)
+        // this is exactly the node order, so the traffic RNG stream is
+        // untouched on plain meshes and tori.
+        for t in 0..self.pes.len() {
+            let node = t % n_routers;
+            let port = 4 + t / n_routers;
             // New traffic.
-            let count = if source_open && self.pes[n].source_queue.len() < SOURCE_QUEUE_CAP {
-                self.pes[n].injector.packets_this_cycle(&mut self.rng)
+            let count = if source_open && self.pes[t].source_queue.len() < SOURCE_QUEUE_CAP {
+                self.pes[t].injector.packets_this_cycle(&mut self.rng)
             } else {
                 0
             };
             for _ in 0..count {
-                let src = NodeId::new(n as u16);
+                let src = NodeId::new(t as u16);
                 let dest = env.config.pattern.destination(src, env.topo, &mut self.rng);
                 let id = PacketId::new(self.next_packet);
                 self.next_packet += 1;
@@ -843,16 +853,16 @@ impl<S: TraceSink> NetCore<S> {
                     protect_flit(f);
                 }
                 if scheme.uses_end_to_end_control() {
-                    self.pes[n].e2e_source.on_send(packet.clone(), now);
+                    self.pes[t].e2e_source.on_send(packet.clone(), now);
                 }
-                self.pes[n].source_queue.push_back(packet);
+                self.pes[t].source_queue.push_back(packet);
                 self.packets_injected += 1;
                 self.tracer.emit(
                     now,
-                    n as u16,
+                    node as u16,
                     TraceEvent::PacketInjected {
                         packet: id.raw(),
-                        src: n as u16,
+                        src: t as u16,
                         dest: dest.index() as u16,
                     },
                 );
@@ -862,46 +872,46 @@ impl<S: TraceSink> NetCore<S> {
             // due: the rest of the loop body is a no-op — skip the cell
             // lock. (The injector draw above always happens, so the
             // traffic RNG stream is independent of this shortcut.)
-            if self.pes[n].source_queue.is_empty()
-                && self.pes[n].injecting.is_none()
+            if self.pes[t].source_queue.is_empty()
+                && self.pes[t].injecting.is_none()
                 && !(scheme.uses_end_to_end_control() && now.is_multiple_of(32))
             {
                 continue;
             }
 
-            let mut cell = cell.lock().unwrap();
+            let mut cell = cells[node].lock().unwrap();
 
             // E2E/FEC timeouts (scanned every 32 cycles to bound cost).
             if scheme.uses_end_to_end_control() && now.is_multiple_of(32) {
-                let expired = self.pes[n].e2e_source.take_expired(now);
+                let expired = self.pes[t].e2e_source.take_expired(now);
                 for packet in expired {
                     cell.router.errors.e2e_retransmissions += 1;
-                    self.pes[n].source_queue.push_back(packet);
+                    self.pes[t].source_queue.push_back(packet);
                 }
             }
 
-            // Continue or start a wormhole into the local port. New
-            // packets are not admitted while the router is in deadlock
-            // recovery (§3.2.1).
-            if self.pes[n].injecting.is_none() && !cell.router.probe.in_recovery() {
-                if let Some(vc) = (0..vcs).find(|&v| cell.router.local_vc_idle(v)) {
-                    if let Some(packet) = self.pes[n].source_queue.pop_front() {
+            // Continue or start a wormhole into this terminal's local
+            // port. New packets are not admitted while the router is in
+            // deadlock recovery (§3.2.1).
+            if self.pes[t].injecting.is_none() && !cell.router.probe.in_recovery() {
+                if let Some(vc) = (0..vcs).find(|&v| cell.router.local_vc_idle(port, v)) {
+                    if let Some(packet) = self.pes[t].source_queue.pop_front() {
                         let flits: VecDeque<Flit> = packet.into_flits().into();
-                        self.pes[n].injecting = Some((vc, flits));
+                        self.pes[t].injecting = Some((vc, flits));
                     }
                 }
             }
-            if let Some((vc, mut flits)) = self.pes[n].injecting.take() {
-                if cell.router.local_free_slots(vc) > 0 {
+            if let Some((vc, mut flits)) = self.pes[t].injecting.take() {
+                if cell.router.local_free_slots(port, vc) > 0 {
                     if let Some(flit) = flits.pop_front() {
-                        cell.router.inject_local(vc, flit);
+                        cell.router.inject_local(port, vc, flit);
                         // The router just gained a flit: it must compute
                         // this very cycle (pre runs before compute).
-                        env.active.wake_now(n);
+                        env.active.wake_now(node);
                     }
                 }
                 if !flits.is_empty() {
-                    self.pes[n].injecting = Some((vc, flits));
+                    self.pes[t].injecting = Some((vc, flits));
                 }
             }
         }
@@ -945,10 +955,18 @@ impl<S: TraceSink> NetCore<S> {
             }
             cell.router.drives.clear();
 
-            // Ejections to the local PE.
+            // Ejections to the local PEs (the out port picks the
+            // terminal on concentrated topologies).
             for i in 0..cell.router.ejected.len() {
-                let flit = cell.router.ejected[i];
-                self.eject_flit(env, &mut cell.router, NodeId::new(n as u16), flit, now);
+                let (flit, port) = cell.router.ejected[i];
+                self.eject_flit(
+                    env,
+                    &mut cell.router,
+                    NodeId::new(n as u16),
+                    flit,
+                    port,
+                    now,
+                );
             }
             cell.router.ejected.clear();
 
@@ -1094,17 +1112,22 @@ impl<S: TraceSink> NetCore<S> {
         self.now += 1;
     }
 
-    /// Handles one flit leaving the network at `node`.
+    /// Handles one flit leaving the network at `node` through local out
+    /// port `port` (which names the receiving terminal's PE).
     fn eject_flit(
         &mut self,
         env: &RunEnv,
         router: &mut Router,
         node: NodeId,
         flit: Flit,
+        port: u8,
         now: u64,
     ) {
         self.flits_ejected += 1;
         let scheme = env.config.scheme;
+        // The terminal this local port serves: `t == node` everywhere
+        // except a concentrated mesh.
+        let term = NodeId::new(((port as usize - 4) * env.topo.node_count() + node.index()) as u16);
         let fields = ftnoc_types::flit::PackedFields::unpack(flit.payload.data());
         let class = match scheme {
             ErrorScheme::Hbh | ErrorScheme::Fec => flit.header.class,
@@ -1114,7 +1137,7 @@ impl<S: TraceSink> NetCore<S> {
         if class == CLASS_ACK || class == CLASS_NACK {
             // Control packets are single flits; resolve their reference.
             if let Some((kind, data_id)) = self.control_refs.remove(&flit.packet) {
-                let pe = &mut self.pes[node.index()];
+                let pe = &mut self.pes[term.index()];
                 if kind == CLASS_ACK {
                     pe.e2e_source.on_ack(data_id);
                 } else if let Some(packet) = pe.e2e_source.on_nack(data_id, now) {
@@ -1128,7 +1151,7 @@ impl<S: TraceSink> NetCore<S> {
         match scheme {
             ErrorScheme::Hbh => {
                 if flit.kind.is_tail() {
-                    if flit.header.dest == node {
+                    if flit.header.dest == term {
                         self.complete_packet(node, flit, now);
                     } else {
                         router.errors.misdelivered += 1;
@@ -1144,7 +1167,7 @@ impl<S: TraceSink> NetCore<S> {
             }
             ErrorScheme::Unprotected => {
                 if flit.kind.is_tail() {
-                    if fields.dest == node {
+                    if fields.dest == term {
                         self.complete_packet(node, flit, now);
                     } else {
                         router.errors.misdelivered += 1;
@@ -1159,17 +1182,17 @@ impl<S: TraceSink> NetCore<S> {
                 }
             }
             ErrorScheme::E2e | ErrorScheme::Fec => {
-                let verdict = self.pes[node.index()].e2e_dest.on_flit(node, &flit);
+                let verdict = self.pes[term.index()].e2e_dest.on_flit(term, &flit);
                 match verdict {
                     Some(E2eVerdict::AcceptAndAck) => {
                         let fresh = self.delivered.insert(flit.packet);
                         if fresh {
                             self.complete_packet(node, flit, now);
                         }
-                        self.send_control(node, flit.header.src, CLASS_ACK, flit.packet, now);
+                        self.send_control(term, flit.header.src, CLASS_ACK, flit.packet, now);
                     }
                     Some(E2eVerdict::RejectAndNack { src }) => {
-                        self.send_control(node, src, CLASS_NACK, flit.packet, now);
+                        self.send_control(term, src, CLASS_NACK, flit.packet, now);
                     }
                     None => {}
                 }

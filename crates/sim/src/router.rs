@@ -279,8 +279,10 @@ pub struct Router {
     pub probe: ProbeProtocol,
     probe_scan_offset: usize,
     recovery_stall: u64,
-    /// Flits ejected to the local PE this cycle (drained by the network).
-    pub ejected: Vec<Flit>,
+    /// Flits ejected this cycle, tagged with the local out port they
+    /// left through (drained by the network; the port picks the PE on
+    /// concentrated topologies).
+    pub ejected: Vec<(Flit, u8)>,
     /// Upstream credits freed this cycle: (input port, vc).
     pub freed_credits: Vec<(Direction, u8)>,
     /// Flits driven onto outgoing links this cycle (drained at commit).
@@ -310,7 +312,9 @@ pub struct Router {
 
 impl Router {
     /// Builds the router for node `id`; `port_exists[d]` says which
-    /// cardinal links exist (mesh edges lack some).
+    /// cardinal links exist (mesh edges and chiplet tile boundaries lack
+    /// some). Ports `4..cfg.ports()` are the local (PE) ports — one on a
+    /// mesh/torus/chiplet, `C` on a concentrated mesh — and always exist.
     pub fn new(id: NodeId, config: &SimConfig, port_exists: [bool; 4]) -> Self {
         let cfg = config.router;
         let v = cfg.vcs_per_port();
@@ -323,16 +327,12 @@ impl Router {
             .collect();
         let outputs = (0..p)
             .map(|port| {
-                let dir = Direction::from_index(port).expect("port index");
-                let exists = if dir == Direction::Local {
-                    true
-                } else {
-                    port_exists[port]
-                };
+                let is_local = port >= 4;
+                let exists = is_local || port_exists[port];
                 // Ejection is always consumable: effectively infinite
                 // credit; cardinal ports mirror the neighbour's input
-                // organisation (uniform across the mesh).
-                let credits = if dir == Direction::Local {
+                // organisation (uniform across the network).
+                let credits = if is_local {
                     CreditLedger::unbounded(v)
                 } else {
                     CreditLedger::for_org(cfg.buffer_org(), v, cfg.buffer_depth())
@@ -502,7 +502,7 @@ impl Router {
                             ctx.now,
                             front,
                             self.id,
-                            Direction::from_index(p).expect("port")
+                            Direction::for_port(p)
                         );
                     }
                     self.inputs[p].buffer.pop(v);
@@ -513,16 +513,15 @@ impl Router {
                         port: p as u8,
                         reason: DropReason::Stranded,
                     });
-                    if Direction::from_index(p) != Some(Direction::Local) {
-                        self.freed_credits
-                            .push((Direction::from_index(p).expect("port"), v as u8));
+                    if p < 4 {
+                        self.freed_credits.push((Direction::for_port(p), v as u8));
                     }
                     continue;
                 }
                 // Route computation (look-ahead folded into this stage for
                 // depths < 4; an extra cycle for the canonical 4-stage).
                 let dest = Self::routed_dest(ctx.config.scheme, &front);
-                let came_from = Direction::from_index(p).expect("port");
+                let came_from = Direction::for_port(p);
                 let mut candidates = route_candidates(
                     ctx.config.routing,
                     ctx.topo,
@@ -540,12 +539,17 @@ impl Router {
                 let rt_before = self.errors.rt_corrected;
                 if self.fi.rt_upset() && !candidates.is_empty() {
                     let correct = candidates[0].index();
-                    let wrong = Direction::from_index(self.fi.corrupt_choice(correct, ports))
-                        .expect("port index");
+                    let wrong_port = self.fi.corrupt_choice(correct, ports);
+                    let wrong = Direction::for_port(wrong_port);
                     let link_missing = wrong != Direction::Local
-                        && !self.outputs[wrong.index()].exists
+                        && !self.outputs[wrong_port].exists
                         || ctx.faults.link_dead_now(ctx.now, self.id, wrong);
-                    let wrong_ejection = wrong == Direction::Local && dest != self.id;
+                    // Ejecting through any local port is benign only when
+                    // the routed destination is a terminal attached to
+                    // this router (out-of-range destinations are never).
+                    let wrong_ejection = wrong == Direction::Local
+                        && !(dest.index() < ctx.topo.terminal_count()
+                            && ctx.topo.router_of_terminal(dest) == self.id);
                     if link_missing || wrong_ejection {
                         // Caught by the VA's link-state knowledge: re-route.
                         let penalty = recovery_latency(
@@ -633,7 +637,7 @@ impl Router {
                     continue;
                 };
                 let dest = Self::routed_dest(ctx.config.scheme, &front);
-                let came_from = Direction::from_index(p).expect("port");
+                let came_from = Direction::for_port(p);
                 let candidates = route_candidates(
                     ctx.config.routing,
                     ctx.topo,
@@ -739,7 +743,7 @@ impl Router {
                     }
                     _ => continue,
                 };
-                if Direction::from_index(op) == Some(Direction::Local) {
+                if op >= 4 {
                     continue;
                 }
                 // A switch-granted flit of this VC may still be queued for
@@ -770,10 +774,8 @@ impl Router {
                     debug_assert!(absorbed);
                     self.inputs[p].vcs[v].progressed = true;
                     self.events.retrans_shift += 1;
-                    if let Some(dir) = Direction::from_index(p) {
-                        if dir != Direction::Local {
-                            self.freed_credits.push((dir, v as u8));
-                        }
+                    if p < 4 {
+                        self.freed_credits.push((Direction::for_port(p), v as u8));
                     }
                     if front.kind.is_tail() {
                         // Whole packet absorbed; the input VC is free. The
@@ -819,7 +821,19 @@ impl Router {
                     continue;
                 }
                 'cand: for &cand in candidates {
-                    let op = cand.index();
+                    let op = if cand == Direction::Local {
+                        // Deliver through the local port the destination
+                        // terminal hangs off (`4 + dest / node_count`);
+                        // port 4 everywhere except a concentrated mesh.
+                        // Out-of-range (corrupted) destinations clamp like
+                        // the address decode in routing does.
+                        let front = self.inputs[p].buffer.front(v).expect("VaWait head");
+                        let dest = Self::routed_dest(ctx.config.scheme, front);
+                        let n = ctx.topo.node_count();
+                        4 + (dest.index() / n) % ctx.topo.local_ports()
+                    } else {
+                        cand.index()
+                    };
                     if !self.outputs[op].exists {
                         continue;
                     }
@@ -934,7 +948,7 @@ impl Router {
                     if let Some((ip, iv)) = self.outputs[op].allocated[ov] {
                         sc.va_entries.push(VaEntry {
                             input_vc: self.input_vcref(ip * vcs + iv),
-                            out_port: Direction::from_index(op).expect("port"),
+                            out_port: Direction::for_port(op),
                             out_vc: ov as u8,
                         });
                     }
@@ -943,7 +957,7 @@ impl Router {
             for &(input, op, ov, _) in winners.iter() {
                 sc.va_entries.push(VaEntry {
                     input_vc: self.input_vcref(input),
-                    out_port: Direction::from_index(op).expect("port"),
+                    out_port: Direction::for_port(op),
                     out_vc: ov as u8,
                 });
             }
@@ -1011,10 +1025,7 @@ impl Router {
 
     fn input_vcref(&self, input: usize) -> VcRef {
         let vcs = self.cfg.vcs_per_port();
-        VcRef::new(
-            Direction::from_index(input / vcs).expect("port"),
-            (input % vcs) as u8,
-        )
+        VcRef::new(Direction::for_port(input / vcs), (input % vcs) as u8)
     }
 
     /// Switch allocation (§4.3 faults + AC protection).
@@ -1051,7 +1062,7 @@ impl Router {
                     continue;
                 }
                 if scheme == ErrorScheme::Hbh
-                    && Direction::from_index(out_port) != Some(Direction::Local)
+                    && out_port < 4
                     && !self.outputs[out_port].senders[out_vc].can_send_new()
                 {
                     continue;
@@ -1115,9 +1126,9 @@ impl Router {
                         sc.sa_entries.clear();
                         for &(p, v, op, _) in grants.iter() {
                             sc.sa_entries.push(SaEntry {
-                                input_port: Direction::from_index(p).expect("port"),
+                                input_port: Direction::for_port(p),
                                 winning_vc: v as u8,
-                                out_port: Direction::from_index(op).expect("port"),
+                                out_port: Direction::for_port(op),
                             });
                         }
                         let _ = self.ac.check(&[], &[], &sc.sa_entries, vcs);
@@ -1178,10 +1189,8 @@ impl Router {
                     flit.payload.flip_bit(b);
                 }
             }
-            if let Some(dir) = Direction::from_index(p) {
-                if dir != Direction::Local {
-                    self.freed_credits.push((dir, v as u8));
-                }
+            if p < 4 {
+                self.freed_credits.push((Direction::for_port(p), v as u8));
             }
             if !demo_skip_credit() {
                 self.outputs[op].credits.consume(ov);
@@ -1209,7 +1218,7 @@ impl Router {
         let vcs = self.cfg.vcs_per_port();
         let mut sc = std::mem::take(&mut self.scratch);
         for port in 0..self.cfg.ports() {
-            let dir = Direction::from_index(port).expect("port");
+            let dir = Direction::for_port(port);
             if !self.outputs[port].exists {
                 continue;
             }
@@ -1302,7 +1311,7 @@ impl Router {
                 let entry = self.outputs[port].st_queue.pop_front().expect("due entry");
                 self.events.crossbar += 1;
                 if dir == Direction::Local {
-                    self.ejected.push(entry.flit);
+                    self.ejected.push((entry.flit, port as u8));
                 } else {
                     if ctx.config.scheme == ErrorScheme::Hbh {
                         self.outputs[port].senders[entry.out_vc as usize]
@@ -1400,7 +1409,7 @@ impl Router {
                     VcState::Active {
                         out_port, out_vc, ..
                     } => {
-                        let dir = Direction::from_index(*out_port).expect("port");
+                        let dir = Direction::for_port(*out_port);
                         if dir == Direction::Local || *out_vc >= vcs {
                             None
                         } else {
@@ -1464,11 +1473,20 @@ impl Router {
     }
 
     /// Probe Rule 2 support: whether the named input VC is blocked here,
-    /// and where the probe should travel next.
+    /// and where the probe should travel next. Probes only ever name
+    /// cardinal arrival VCs (a forward edge's `VcRef` is built from a
+    /// link direction), so resolving `Local` to port 4 is exact for
+    /// every caller; per-port diagnostics use [`Router::port_wait_info`]
+    /// directly, which distinguishes the concentrated local ports.
     pub fn probe_forward_info(&self, named: VcRef) -> (bool, Option<(Direction, VcRef)>) {
+        self.port_wait_info(named.port.index(), named.vc as usize)
+    }
+
+    /// Whether input VC `(p, v)` is blocked, and its onward dependency
+    /// edge (the body of [`Router::probe_forward_info`], addressed by
+    /// raw port index so local ports beyond 4 resolve correctly).
+    fn port_wait_info(&self, p: usize, v: usize) -> (bool, Option<(Direction, VcRef)>) {
         let vcs = self.cfg.vcs_per_port();
-        let p = named.port.index();
-        let v = named.vc as usize;
         if p >= self.inputs.len() || v >= vcs {
             return (false, None);
         }
@@ -1478,7 +1496,7 @@ impl Router {
             VcState::Active {
                 out_port, out_vc, ..
             } => {
-                let dir = Direction::from_index(*out_port).expect("port");
+                let dir = Direction::for_port(*out_port);
                 if dir == Direction::Local || *out_vc >= vcs {
                     None
                 } else {
@@ -1497,7 +1515,7 @@ impl Router {
         let vcs = self.cfg.vcs_per_port();
         let mut s = format!("router {} recovery={}\n", self.id, self.probe.in_recovery());
         for p in 0..self.cfg.ports() {
-            let dir = Direction::from_index(p).expect("port");
+            let dir = Direction::for_port(p);
             for v in 0..vcs {
                 let i = &self.inputs[p].vcs[v];
                 if self.inputs[p].buffer.is_empty(v) && matches!(i.state, VcState::Idle) {
@@ -1514,7 +1532,7 @@ impl Router {
             }
         }
         for p in 0..self.cfg.ports() {
-            let dir = Direction::from_index(p).expect("port");
+            let dir = Direction::for_port(p);
             let o = &self.outputs[p];
             if !o.exists {
                 continue;
@@ -1544,8 +1562,8 @@ impl Router {
         let mut out = Vec::new();
         for p in 0..self.cfg.ports() {
             for v in 0..vcs {
-                let named = VcRef::new(Direction::from_index(p).expect("port"), v as u8);
-                let (blocked, fwd) = self.probe_forward_info(named);
+                let named = VcRef::new(Direction::for_port(p), v as u8);
+                let (blocked, fwd) = self.port_wait_info(p, v);
                 out.push((named, self.inputs[p].vcs[v].blocked_cycles, blocked, fwd));
             }
         }
@@ -1589,8 +1607,7 @@ impl Router {
         let mut rx_occ = 0;
         let mut rx_cap = 0;
         for p in 0..self.cfg.ports() {
-            let dir = Direction::from_index(p).expect("port");
-            if dir == Direction::Local {
+            if p >= 4 {
                 continue;
             }
             // Whole-port accounting (identical sums for a static
@@ -1610,11 +1627,7 @@ impl Router {
     /// Records one fill-level sample per cardinal input port into
     /// `hist` (the per-port buffer-utilization distribution).
     pub fn record_port_occupancy(&self, hist: &mut OccupancyHistogram) {
-        for p in 0..self.cfg.ports() {
-            let dir = Direction::from_index(p).expect("port");
-            if dir == Direction::Local {
-                continue;
-            }
+        for p in 0..self.cfg.ports().min(4) {
             let buffer = &self.inputs[p].buffer;
             hist.record(buffer.occupied(), buffer.total_capacity());
         }
@@ -1652,27 +1665,31 @@ impl Router {
             })
     }
 
-    /// Free slots in the local-port VC `v`'s buffer (injection gate).
-    pub fn local_free_slots(&self, v: usize) -> usize {
-        self.inputs[Direction::Local.index()].buffer.free_slots(v)
+    /// Free slots in VC `v` of local input `port`'s buffer (injection
+    /// gate). `port` is an absolute port index (`>= 4`).
+    pub fn local_free_slots(&self, port: usize, v: usize) -> usize {
+        debug_assert!(port >= 4);
+        self.inputs[port].buffer.free_slots(v)
     }
 
-    /// Injects a flit from the local PE into local VC `v`.
+    /// Injects a flit from a local PE into VC `v` of local input `port`.
     ///
     /// # Panics
     ///
     /// Panics if the buffer is full — the network must check
     /// [`Router::local_free_slots`] first.
-    pub fn inject_local(&mut self, v: usize, flit: Flit) {
-        let pushed = self.inputs[Direction::Local.index()].buffer.push(v, flit);
+    pub fn inject_local(&mut self, port: usize, v: usize, flit: Flit) {
+        debug_assert!(port >= 4);
+        let pushed = self.inputs[port].buffer.push(v, flit);
         assert!(pushed, "local injection into a full VC buffer");
         self.events.buffer_write += 1;
     }
 
-    /// The state of local VC `v` for the injection policy: `true` when a
-    /// new packet may start on it (idle and empty).
-    pub fn local_vc_idle(&self, v: usize) -> bool {
-        let port = &self.inputs[Direction::Local.index()];
+    /// The state of VC `v` on local input `port` for the injection
+    /// policy: `true` when a new packet may start on it (idle and empty).
+    pub fn local_vc_idle(&self, port: usize, v: usize) -> bool {
+        debug_assert!(port >= 4);
+        let port = &self.inputs[port];
         port.vcs[v].state == VcState::Idle && port.buffer.is_empty(v)
     }
 

@@ -166,6 +166,9 @@ pub struct NetSnapshot {
     pub dead_ports: Vec<(usize, usize, u64)>,
     /// The link-error handling scheme of the run.
     pub scheme: ErrorScheme,
+    /// Router radix: 4 cardinal ports plus one local port per attached
+    /// terminal (5 everywhere except a concentrated mesh).
+    pub ports: usize,
     /// VCs per port.
     pub vcs_per_port: usize,
     /// Input buffer depth in flits (per VC, static-partition meaning;

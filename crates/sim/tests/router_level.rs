@@ -75,7 +75,7 @@ fn flit(packet: u64, seq: u8, len: u8, dest: u16) -> Flit {
 fn head_flit_drives_link_at_cycle_three() {
     let mut h = Harness::new();
     // Node 9 = (1,1); dest node 14 = (6,1): XY says East.
-    h.router.inject_local(0, flit(1, 0, 4, 14));
+    h.router.inject_local(4, 0, flit(1, 0, 4, 14));
     for now in 0..3 {
         let drives = h.step();
         assert!(drives.is_empty(), "premature drive at cycle {now}");
@@ -92,7 +92,7 @@ fn head_flit_drives_link_at_cycle_three() {
 fn packet_streams_one_flit_per_cycle() {
     let mut h = Harness::new();
     for seq in 0..4 {
-        h.router.inject_local(0, flit(1, seq, 4, 14));
+        h.router.inject_local(4, 0, flit(1, seq, 4, 14));
     }
     let mut sent = Vec::new();
     for _ in 0..10 {
@@ -117,8 +117,8 @@ fn credit_exhaustion_stalls_at_buffer_depth() {
     let mut out_vc = None;
     for _ in 0..16 {
         // Feed the 6-flit packet in as local buffer space allows.
-        while queued < 6 && h.router.local_free_slots(0) > 0 {
-            h.router.inject_local(0, flit(1, queued, 6, 14));
+        while queued < 6 && h.router.local_free_slots(4, 0) > 0 {
+            h.router.inject_local(4, 0, flit(1, queued, 6, 14));
             queued += 1;
         }
         for d in h.step() {
@@ -133,8 +133,8 @@ fn credit_exhaustion_stalls_at_buffer_depth() {
     h.router.handle_credit(Direction::East, vc);
     let mut more = 0;
     for _ in 0..8 {
-        while queued < 6 && h.router.local_free_slots(0) > 0 {
-            h.router.inject_local(0, flit(1, queued, 6, 14));
+        while queued < 6 && h.router.local_free_slots(4, 0) > 0 {
+            h.router.inject_local(4, 0, flit(1, queued, 6, 14));
             queued += 1;
         }
         more += h.step().len();
@@ -149,8 +149,8 @@ fn wormholes_never_share_a_vc() {
     let mut h = Harness::new();
     // Both packets go East (dest 14), injected on different local VCs.
     for seq in 0..4 {
-        h.router.inject_local(0, flit(1, seq, 4, 14));
-        h.router.inject_local(1, flit(2, seq, 4, 14));
+        h.router.inject_local(4, 0, flit(1, seq, 4, 14));
+        h.router.inject_local(4, 1, flit(2, seq, 4, 14));
     }
     let mut per_vc: std::collections::HashMap<u8, Vec<u64>> = std::collections::HashMap::new();
     for _ in 0..30 {
@@ -177,14 +177,14 @@ fn wormholes_never_share_a_vc() {
 fn tail_releases_output_vc() {
     let mut h = Harness::new();
     for seq in 0..4 {
-        h.router.inject_local(0, flit(1, seq, 4, 14));
+        h.router.inject_local(4, 0, flit(1, seq, 4, 14));
     }
     for _ in 0..10 {
         h.step();
     }
     // Second packet on the same local VC reuses the path.
     for seq in 0..4 {
-        h.router.inject_local(0, flit(2, seq, 4, 14));
+        h.router.inject_local(4, 0, flit(2, seq, 4, 14));
     }
     // Return credits on every VC so it can flow wherever allocated.
     for vc in 0..3 {
@@ -205,7 +205,7 @@ fn tail_releases_output_vc() {
 fn nack_replay_preempts_new_traffic() {
     let mut h = Harness::new();
     for seq in 0..4 {
-        h.router.inject_local(0, flit(1, seq, 4, 14));
+        h.router.inject_local(4, 0, flit(1, seq, 4, 14));
     }
     // Let the head and one body go out (cycles 3 and 4).
     let mut out_vc = None;
@@ -230,7 +230,7 @@ fn local_delivery_ejects() {
     let mut h = Harness::new();
     // Packet destined to this very node.
     for seq in 0..4 {
-        h.router.inject_local(0, flit(1, seq, 4, 9));
+        h.router.inject_local(4, 0, flit(1, seq, 4, 9));
     }
     let mut ejected = 0;
     for _ in 0..12 {

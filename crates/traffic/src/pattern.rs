@@ -139,22 +139,33 @@ impl TrafficPattern {
         }
     }
 
-    /// Draws the destination for a packet injected at `src`.
+    /// Draws the destination for a packet injected at terminal `src`.
+    ///
+    /// Sources and destinations are terminal ids — equal to node ids
+    /// everywhere except a concentrated mesh, where terminal `t` hangs
+    /// off router `t % n`. Permutation patterns act on the router part
+    /// and preserve the concentration index; random patterns draw over
+    /// the full terminal space.
     ///
     /// Never returns `src` itself: self-addressed mappings are redirected
-    /// to the next node in id order.
+    /// to the next terminal in id order.
     ///
     /// # Panics
     ///
-    /// Panics if the topology has fewer than two nodes (no valid
+    /// Panics if the topology has fewer than two terminals (no valid
     /// destination exists).
     pub fn destination(&self, src: NodeId, topo: Topology, rng: &mut Rng) -> NodeId {
         let n = topo.node_count();
-        assert!(n >= 2, "traffic requires at least two nodes");
+        let terms = topo.terminal_count();
+        assert!(terms >= 2, "traffic requires at least two terminals");
+        // Factor the terminal id: router part `r`, concentration
+        // index `k` (always 0 when concentration is 1).
+        let k = src.index() / n;
+        let r = NodeId::new((src.index() % n) as u16);
         let raw = match self {
             TrafficPattern::Uniform => {
-                // Draw uniformly over the n-1 other nodes.
-                let d = rng.gen_range(0..n - 1);
+                // Draw uniformly over the other terminals.
+                let d = rng.gen_range(0..terms - 1);
                 let d = if d >= src.index() { d + 1 } else { d };
                 return NodeId::new(d as u16);
             }
@@ -162,13 +173,13 @@ impl TrafficPattern {
                 if n.is_power_of_two() {
                     let bits = n.trailing_zeros();
                     let mask = (n - 1) as u16;
-                    (!src.raw()) & mask & ((1u32 << bits) - 1) as u16
+                    (!r.raw()) & mask & ((1u32 << bits) - 1) as u16
                 } else {
-                    (n - 1 - src.index()) as u16
+                    (n - 1 - r.index()) as u16
                 }
             }
             TrafficPattern::Tornado => {
-                let c = topo.coord_of(src);
+                let c = topo.coord_of(r);
                 let w = topo.width() as u16;
                 let h = topo.height() as u16;
                 let dx = ((c.x() as u16) + w.div_ceil(2) - 1) % w;
@@ -176,7 +187,7 @@ impl TrafficPattern {
                 topo.id_of(Coord::new(dx as u8, dy as u8)).raw()
             }
             TrafficPattern::Transpose => {
-                let c = topo.coord_of(src);
+                let c = topo.coord_of(r);
                 let x = c.y().min(topo.width() - 1);
                 let y = c.x().min(topo.height() - 1);
                 topo.id_of(Coord::new(x, y)).raw()
@@ -184,44 +195,44 @@ impl TrafficPattern {
             TrafficPattern::BitReverse => {
                 if n.is_power_of_two() {
                     let bits = n.trailing_zeros();
-                    (src.raw().reverse_bits() >> (16 - bits)) & ((n - 1) as u16)
+                    (r.raw().reverse_bits() >> (16 - bits)) & ((n - 1) as u16)
                 } else {
-                    (n - 1 - src.index()) as u16
+                    (n - 1 - r.index()) as u16
                 }
             }
             TrafficPattern::Shuffle => {
                 if n.is_power_of_two() {
                     let bits = n.trailing_zeros();
                     let mask = (n - 1) as u16;
-                    let s = src.raw() & mask;
+                    let s = r.raw() & mask;
                     ((s << 1) | (s >> (bits - 1))) & mask
                 } else {
-                    ((src.index() + 1) % n) as u16
+                    ((r.index() + 1) % n) as u16
                 }
             }
             TrafficPattern::Hotspot { hotspot, fraction } => {
                 if rng.gen_bool(fraction.clamp(0.0, 1.0)) && *hotspot != src {
-                    hotspot.raw()
-                } else {
-                    let d = rng.gen_range(0..n - 1);
-                    let d = if d >= src.index() { d + 1 } else { d };
-                    return NodeId::new(d as u16);
+                    return *hotspot;
                 }
+                let d = rng.gen_range(0..terms - 1);
+                let d = if d >= src.index() { d + 1 } else { d };
+                return NodeId::new(d as u16);
             }
-            TrafficPattern::Neighbor => ((src.index() + 1) % n) as u16,
+            TrafficPattern::Neighbor => ((r.index() + 1) % n) as u16,
             TrafficPattern::Flows(table) => match table.pick(src, rng) {
-                Some(d) if d != src && d.index() < n => return d,
+                Some(d) if d != src && d.index() < terms => return d,
                 _ => {
-                    let d = rng.gen_range(0..n - 1);
+                    let d = rng.gen_range(0..terms - 1);
                     let d = if d >= src.index() { d + 1 } else { d };
                     return NodeId::new(d as u16);
                 }
             },
         };
-        if raw as usize == src.index() {
-            NodeId::new(((src.index() + 1) % n) as u16)
+        let dest = raw as usize + k * n;
+        if dest == src.index() {
+            NodeId::new(((src.index() + 1) % terms) as u16)
         } else {
-            NodeId::new(raw)
+            NodeId::new(dest as u16)
         }
     }
 }

@@ -211,6 +211,7 @@ impl Default for RouterConfig {
 /// Builder for [`RouterConfig`].
 #[derive(Debug, Clone)]
 pub struct RouterConfigBuilder {
+    ports: usize,
     vcs_per_port: usize,
     buffer_depth: usize,
     retrans_depth: usize,
@@ -223,6 +224,7 @@ impl RouterConfigBuilder {
     /// Creates a builder initialised to the paper's §2.2 platform.
     pub fn new() -> Self {
         RouterConfigBuilder {
+            ports: MESH_PORTS,
             vcs_per_port: 3,
             buffer_depth: 4,
             retrans_depth: MIN_RETRANS_DEPTH,
@@ -230,6 +232,13 @@ impl RouterConfigBuilder {
             pipeline: PipelineDepth::Three,
             buffer_org: BufferOrg::StaticPartition,
         }
+    }
+
+    /// Sets the router radix: 4 cardinal ports plus one local port per
+    /// attached terminal (5 everywhere except a concentrated mesh).
+    pub fn ports(&mut self, ports: usize) -> &mut Self {
+        self.ports = ports;
+        self
     }
 
     /// Sets the number of virtual channels per physical channel.
@@ -279,6 +288,11 @@ impl RouterConfigBuilder {
         if self.vcs_per_port == 0 || self.vcs_per_port > 64 {
             return Err(ConfigError::InvalidVcCount(self.vcs_per_port));
         }
+        if self.ports < MESH_PORTS || self.ports > 12 {
+            return Err(ConfigError::InvalidConcentration(
+                (self.ports.max(4) - 4) as u8,
+            ));
+        }
         if self.buffer_depth == 0 {
             return Err(ConfigError::ZeroBufferDepth);
         }
@@ -304,7 +318,7 @@ impl RouterConfigBuilder {
             }
         }
         Ok(RouterConfig {
-            ports: MESH_PORTS,
+            ports: self.ports,
             vcs_per_port: self.vcs_per_port,
             buffer_depth: self.buffer_depth,
             retrans_depth: self.retrans_depth,

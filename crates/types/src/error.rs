@@ -31,6 +31,20 @@ pub enum ConfigError {
     },
     /// Injection rate outside `(0, 1]` flits/node/cycle.
     InvalidInjectionRate(f64),
+    /// Concentrated-mesh concentration outside `1..=8`.
+    InvalidConcentration(u8),
+    /// Chiplet tile dimensions that are zero or do not evenly divide the
+    /// router grid.
+    InvalidChipletDims {
+        /// Router-grid width.
+        width: u8,
+        /// Router-grid height.
+        height: u8,
+        /// Tile width in routers.
+        chip_w: u8,
+        /// Tile height in routers.
+        chip_h: u8,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -56,6 +70,19 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidInjectionRate(r) => {
                 write!(f, "injection rate {r} outside (0, 1] flits/node/cycle")
             }
+            ConfigError::InvalidConcentration(c) => {
+                write!(f, "concentration {c} outside 1..=8")
+            }
+            ConfigError::InvalidChipletDims {
+                width,
+                height,
+                chip_w,
+                chip_h,
+            } => write!(
+                f,
+                "chiplet tile {chip_w}x{chip_h} must be non-zero and evenly divide \
+                 the {width}x{height} router grid"
+            ),
         }
     }
 }

@@ -1,9 +1,23 @@
 //! Network geometry: node identifiers, 2-D coordinates, port directions and
-//! the mesh/torus topology of the simulated network.
+//! the topology layer of the simulated network.
 //!
-//! The paper evaluates an 8×8 MESH (§2.2); [`Topology`] also supports a
-//! torus so that the tornado traffic pattern and wrap-around studies can be
-//! expressed.
+//! The paper evaluates an 8×8 mesh (§2.2); [`Topology`] also models the
+//! §5 exploration space: a torus (wrap-around links), a concentrated mesh
+//! (several processing elements share one router through extra local
+//! ports), and a two-level chiplet arrangement (full router grid split
+//! into tiles, with one gateway link per facing tile edge standing in for
+//! the interposer NoI).
+//!
+//! # Port-radix model
+//!
+//! Every router has exactly four *cardinal* ports (N/E/S/W, indices
+//! `0..4`) — a cardinal port whose link does not exist in the topology is
+//! simply absent, exactly like a mesh edge — plus [`Topology::local_ports`]
+//! PE ports at indices `4..radix()`. Mesh, torus and chiplet keep one
+//! local port; a concentrated mesh has `C` of them. Processing elements
+//! are numbered in *terminal* space: terminal `t` attaches to router
+//! `t % node_count` at local port `4 + t / node_count`, so for
+//! concentration 1 terminal ids and router ids coincide.
 
 use std::fmt;
 
@@ -160,6 +174,20 @@ impl Direction {
     pub const fn is_cardinal(self) -> bool {
         !matches!(self, Direction::Local)
     }
+
+    /// The direction a port index maps to under the variable-radix port
+    /// model: indices `0..4` are the cardinals, every index `>= 4` is a
+    /// local (PE) port. Unlike [`Direction::from_index`] this never
+    /// fails, so routers with several local ports can label any port.
+    pub const fn for_port(index: usize) -> Direction {
+        match index {
+            0 => Direction::North,
+            1 => Direction::East,
+            2 => Direction::South,
+            3 => Direction::West,
+            _ => Direction::Local,
+        }
+    }
 }
 
 impl fmt::Display for Direction {
@@ -183,6 +211,13 @@ pub enum TopologyKind {
     Mesh,
     /// Wrap-around links in both dimensions.
     Torus,
+    /// Concentrated mesh: mesh connectivity between routers, with
+    /// `concentration` processing elements per router.
+    CMesh,
+    /// Two-level chiplet arrangement: the router grid is divided into
+    /// rectangular tiles and inter-tile links are suppressed except one
+    /// gateway per facing tile edge (the NoI uplink).
+    Chiplet,
 }
 
 /// A rectangular grid topology (mesh or torus).
@@ -204,6 +239,12 @@ pub struct Topology {
     width: u8,
     height: u8,
     kind: TopologyKind,
+    /// Processing elements per router (1 except for `CMesh`).
+    concentration: u8,
+    /// Tile width in routers (0 except for `Chiplet`).
+    chip_w: u8,
+    /// Tile height in routers (0 except for `Chiplet`).
+    chip_h: u8,
 }
 
 impl Topology {
@@ -227,12 +268,42 @@ impl Topology {
         Topology::try_new(width, height, TopologyKind::Torus).expect("dimensions must be non-zero")
     }
 
-    /// Fallible constructor validating the dimensions.
+    /// Creates a concentrated mesh of `width × height` routers with
+    /// `concentration` processing elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid dimensions or concentration; use
+    /// [`Topology::try_cmesh`] for a fallible constructor.
+    pub fn cmesh(width: u8, height: u8, concentration: u8) -> Self {
+        Topology::try_cmesh(width, height, concentration).expect("invalid cmesh configuration")
+    }
+
+    /// Creates a chiplet topology: a `width × height` router grid divided
+    /// into `chip_w × chip_h` tiles, with a single gateway link per facing
+    /// tile edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid dimensions; use [`Topology::try_chiplet`] for a
+    /// fallible constructor.
+    pub fn chiplet(width: u8, height: u8, chip_w: u8, chip_h: u8) -> Self {
+        Topology::try_chiplet(width, height, chip_w, chip_h).expect("invalid chiplet configuration")
+    }
+
+    /// Fallible constructor validating the dimensions. `CMesh` gets
+    /// concentration 1 (use [`Topology::try_cmesh`] for more) and
+    /// `Chiplet` a single whole-grid tile (use [`Topology::try_chiplet`]).
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError::ZeroDimension`] when `width == 0 || height == 0`.
     pub fn try_new(width: u8, height: u8, kind: TopologyKind) -> Result<Self, ConfigError> {
+        match kind {
+            TopologyKind::CMesh => return Topology::try_cmesh(width, height, 1),
+            TopologyKind::Chiplet => return Topology::try_chiplet(width, height, width, height),
+            TopologyKind::Mesh | TopologyKind::Torus => {}
+        }
         if width == 0 || height == 0 {
             return Err(ConfigError::ZeroDimension);
         }
@@ -240,6 +311,66 @@ impl Topology {
             width,
             height,
             kind,
+            concentration: 1,
+            chip_w: 0,
+            chip_h: 0,
+        })
+    }
+
+    /// Fallible concentrated-mesh constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroDimension`] on a zero grid dimension and
+    /// [`ConfigError::InvalidConcentration`] when `concentration` is
+    /// outside `1..=8`.
+    pub fn try_cmesh(width: u8, height: u8, concentration: u8) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::ZeroDimension);
+        }
+        if concentration == 0 || concentration > 8 {
+            return Err(ConfigError::InvalidConcentration(concentration));
+        }
+        Ok(Topology {
+            width,
+            height,
+            kind: TopologyKind::CMesh,
+            concentration,
+            chip_w: 0,
+            chip_h: 0,
+        })
+    }
+
+    /// Fallible chiplet constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroDimension`] on a zero grid dimension and
+    /// [`ConfigError::InvalidChipletDims`] when the tile is zero-sized or
+    /// does not evenly divide the grid.
+    pub fn try_chiplet(width: u8, height: u8, chip_w: u8, chip_h: u8) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::ZeroDimension);
+        }
+        if chip_w == 0
+            || chip_h == 0
+            || !width.is_multiple_of(chip_w)
+            || !height.is_multiple_of(chip_h)
+        {
+            return Err(ConfigError::InvalidChipletDims {
+                width,
+                height,
+                chip_w,
+                chip_h,
+            });
+        }
+        Ok(Topology {
+            width,
+            height,
+            kind: TopologyKind::Chiplet,
+            concentration: 1,
+            chip_w,
+            chip_h,
         })
     }
 
@@ -253,12 +384,12 @@ impl Topology {
         self.height
     }
 
-    /// Mesh or torus.
+    /// The connectivity rule.
     pub const fn kind(self) -> TopologyKind {
         self.kind
     }
 
-    /// Total number of nodes.
+    /// Total number of nodes (routers).
     pub const fn node_count(self) -> usize {
         self.width as usize * self.height as usize
     }
@@ -266,6 +397,71 @@ impl Topology {
     /// Iterates over every node id in row-major order.
     pub fn nodes(self) -> impl Iterator<Item = NodeId> {
         (0..self.node_count() as u16).map(NodeId::new)
+    }
+
+    /// Processing elements per router (`1` except for a concentrated
+    /// mesh).
+    pub const fn concentration(self) -> u8 {
+        self.concentration
+    }
+
+    /// Number of local (PE) ports per router.
+    pub const fn local_ports(self) -> usize {
+        self.concentration as usize
+    }
+
+    /// Ports per router: four cardinals plus the local ports. This is
+    /// what the router data path sizes its port arrays from.
+    pub const fn radix(self) -> usize {
+        4 + self.local_ports()
+    }
+
+    /// Total processing elements (terminals) in the network.
+    pub const fn terminal_count(self) -> usize {
+        self.node_count() * self.local_ports()
+    }
+
+    /// Iterates over every terminal id: `t = k * node_count + r` for
+    /// local-port offset `k` and router `r`, so terminals `0..node_count`
+    /// are each router's first PE.
+    pub fn terminals(self) -> impl Iterator<Item = NodeId> {
+        (0..self.terminal_count() as u16).map(NodeId::new)
+    }
+
+    /// The router a terminal attaches to (`t % node_count`). For
+    /// concentration 1 this is the identity, which is also why a
+    /// corrupted destination clamped modulo `node_count` lands on the
+    /// intended router of any valid terminal.
+    pub fn router_of_terminal(self, terminal: NodeId) -> NodeId {
+        NodeId::new(terminal.raw() % self.node_count() as u16)
+    }
+
+    /// The router port a terminal injects/ejects through
+    /// (`4 + t / node_count`).
+    pub fn local_port_of_terminal(self, terminal: NodeId) -> usize {
+        4 + terminal.index() / self.node_count()
+    }
+
+    /// The terminal attached to `router` at local-port offset `k`
+    /// (`0 <= k < local_ports()`).
+    pub fn terminal_on(self, router: NodeId, k: usize) -> NodeId {
+        debug_assert!(k < self.local_ports());
+        NodeId::new((k * self.node_count()) as u16 + router.raw())
+    }
+
+    /// Tile dimensions in routers for a chiplet topology, `None`
+    /// otherwise.
+    pub const fn chip_dims(self) -> Option<(u8, u8)> {
+        match self.kind {
+            TopologyKind::Chiplet => Some((self.chip_w, self.chip_h)),
+            _ => None,
+        }
+    }
+
+    /// The tile a coordinate belongs to (chiplet topologies only).
+    pub fn chip_of(self, coord: Coord) -> Option<(u8, u8)> {
+        self.chip_dims()
+            .map(|(cw, ch)| (coord.x() / cw, coord.y() / ch))
     }
 
     /// Whether `coord` lies inside the grid.
@@ -318,7 +514,7 @@ impl Topology {
             Direction::Local => return None,
         };
         match self.kind {
-            TopologyKind::Mesh => {
+            TopologyKind::Mesh | TopologyKind::CMesh => {
                 if nx < 0 || ny < 0 || nx >= self.width as i16 || ny >= self.height as i16 {
                     None
                 } else {
@@ -329,17 +525,83 @@ impl Topology {
                 nx.rem_euclid(self.width as i16) as u8,
                 ny.rem_euclid(self.height as i16) as u8,
             )),
+            TopologyKind::Chiplet => {
+                if nx < 0 || ny < 0 || nx >= self.width as i16 || ny >= self.height as i16 {
+                    return None;
+                }
+                let next = Coord::new(nx as u8, ny as u8);
+                if self.chip_of(coord) == self.chip_of(next) || self.is_gateway(coord, dir) {
+                    Some(next)
+                } else {
+                    None
+                }
+            }
         }
+    }
+
+    /// Whether the link leaving `coord` in `dir` is a chiplet gateway:
+    /// it crosses a tile boundary at the designated mid-edge offset.
+    /// Always `false` outside chiplet topologies.
+    pub fn is_gateway(self, coord: Coord, dir: Direction) -> bool {
+        let TopologyKind::Chiplet = self.kind else {
+            return false;
+        };
+        // One gateway per facing tile edge, at the middle of the edge
+        // (rounded down), so every tile pair shares exactly one link and
+        // the radix never exceeds the mesh radix.
+        match dir {
+            Direction::East | Direction::West => coord.y() % self.chip_h == (self.chip_h - 1) / 2,
+            Direction::North | Direction::South => coord.x() % self.chip_w == (self.chip_w - 1) / 2,
+            Direction::Local => false,
+        }
+    }
+
+    /// Whether the link leaving `coord` in `dir` wraps around the torus
+    /// boundary. Always `false` on the other topologies.
+    pub fn wrap_link(self, coord: Coord, dir: Direction) -> bool {
+        if self.kind != TopologyKind::Torus {
+            return false;
+        }
+        match dir {
+            Direction::North => coord.y() == 0,
+            Direction::South => coord.y() == self.height - 1,
+            Direction::West => coord.x() == 0,
+            Direction::East => coord.x() == self.width - 1,
+            Direction::Local => false,
+        }
+    }
+
+    /// Enumerates every inter-router link exactly once as
+    /// `(node, direction)` pairs: the East and South link of each node
+    /// that has one (on a torus this includes the wrap links, seen from
+    /// the East/South edge). Self-loops of degenerate 1-wide tori are
+    /// skipped.
+    pub fn links(self) -> Vec<(NodeId, Direction)> {
+        let mut out = Vec::new();
+        for id in self.nodes() {
+            let c = self.coord_of(id);
+            for dir in [Direction::East, Direction::South] {
+                if let Some(n) = self.neighbor(c, dir) {
+                    if n != c {
+                        out.push((id, dir));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Minimal hop distance between two coordinates.
     ///
-    /// On a torus the per-dimension distance wraps.
+    /// On a torus the per-dimension distance wraps. On a chiplet the
+    /// Manhattan distance is an approximation (routes crossing a tile
+    /// boundary must detour through the gateway); it is used only for
+    /// statistics and route-preference ordering, never for correctness.
     pub fn hop_distance(self, a: Coord, b: Coord) -> u32 {
         let dx = (a.x() as i32 - b.x() as i32).unsigned_abs();
         let dy = (a.y() as i32 - b.y() as i32).unsigned_abs();
         match self.kind {
-            TopologyKind::Mesh => dx + dy,
+            TopologyKind::Mesh | TopologyKind::CMesh | TopologyKind::Chiplet => dx + dy,
             TopologyKind::Torus => {
                 let wx = self.width as u32;
                 let wy = self.height as u32;
@@ -351,13 +613,16 @@ impl Topology {
     /// The directions a minimal route may take from `from` toward `to`.
     ///
     /// Returns up to two cardinal directions (one per dimension with
-    /// remaining offset). An empty vector means `from == to`.
-    pub fn minimal_directions(self, from: Coord, to: Coord) -> Vec<Direction> {
-        let mut dirs = Vec::with_capacity(2);
+    /// remaining offset). An empty set means `from == to`. On a chiplet
+    /// this is the mesh rule — the preference ordering; a minimal
+    /// direction may lack a link at a tile boundary and callers filter on
+    /// link existence as they already do for mesh edges.
+    pub fn minimal_directions(self, from: Coord, to: Coord) -> DirSet {
+        let mut dirs = DirSet::new();
         let (fx, fy) = (from.x() as i16, from.y() as i16);
         let (tx, ty) = (to.x() as i16, to.y() as i16);
         match self.kind {
-            TopologyKind::Mesh => {
+            TopologyKind::Mesh | TopologyKind::CMesh | TopologyKind::Chiplet => {
                 if tx > fx {
                     dirs.push(Direction::East);
                 } else if tx < fx {
@@ -394,6 +659,77 @@ impl Topology {
     }
 }
 
+/// A fixed-capacity set of up to two cardinal directions, the result of
+/// [`Topology::minimal_directions`]. Replaces the `Vec<Direction>` the
+/// routing hot path used to allocate per flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirSet {
+    dirs: [Direction; 2],
+    len: u8,
+}
+
+impl DirSet {
+    /// An empty set.
+    pub const fn new() -> Self {
+        DirSet {
+            dirs: [Direction::North; 2],
+            len: 0,
+        }
+    }
+
+    /// Adds a direction (capacity 2; one per grid dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the set is already full.
+    pub fn push(&mut self, dir: Direction) {
+        assert!((self.len as usize) < self.dirs.len(), "DirSet overflow");
+        self.dirs[self.len as usize] = dir;
+        self.len += 1;
+    }
+
+    /// Number of directions in the set.
+    pub const fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty (`from == to`).
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `dir` is in the set.
+    pub fn contains(self, dir: Direction) -> bool {
+        self.as_slice().contains(&dir)
+    }
+
+    /// The directions as a slice, in insertion (x-then-y) order.
+    pub fn as_slice(&self) -> &[Direction] {
+        &self.dirs[..self.len as usize]
+    }
+
+    /// Iterates over the directions by value.
+    pub fn iter(self) -> impl Iterator<Item = Direction> {
+        let len = self.len as usize;
+        self.dirs.into_iter().take(len)
+    }
+}
+
+impl Default for DirSet {
+    fn default() -> Self {
+        DirSet::new()
+    }
+}
+
+impl IntoIterator for DirSet {
+    type Item = Direction;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Direction, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.dirs.into_iter().take(self.len as usize)
+    }
+}
+
 impl Default for Topology {
     /// The paper's 8×8 mesh.
     fn default() -> Self {
@@ -403,11 +739,20 @@ impl Default for Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = match self.kind {
-            TopologyKind::Mesh => "mesh",
-            TopologyKind::Torus => "torus",
-        };
-        write!(f, "{}x{} {kind}", self.width, self.height)
+        match self.kind {
+            TopologyKind::Mesh => write!(f, "{}x{} mesh", self.width, self.height),
+            TopologyKind::Torus => write!(f, "{}x{} torus", self.width, self.height),
+            TopologyKind::CMesh => write!(
+                f,
+                "{}x{} cmesh c{}",
+                self.width, self.height, self.concentration
+            ),
+            TopologyKind::Chiplet => write!(
+                f,
+                "{}x{} chiplet {}x{}",
+                self.width, self.height, self.chip_w, self.chip_h
+            ),
+        }
     }
 }
 
@@ -493,9 +838,11 @@ mod tests {
     fn minimal_directions_mesh() {
         let topo = Topology::mesh(8, 8);
         let dirs = topo.minimal_directions(Coord::new(0, 0), Coord::new(3, 3));
-        assert_eq!(dirs, vec![Direction::East, Direction::South]);
+        assert_eq!(dirs.as_slice(), [Direction::East, Direction::South]);
+        assert!(dirs.contains(Direction::East));
+        assert!(!dirs.contains(Direction::West));
         let dirs = topo.minimal_directions(Coord::new(3, 3), Coord::new(3, 0));
-        assert_eq!(dirs, vec![Direction::North]);
+        assert_eq!(dirs.as_slice(), [Direction::North]);
         assert!(topo
             .minimal_directions(Coord::new(2, 2), Coord::new(2, 2))
             .is_empty());
@@ -505,9 +852,123 @@ mod tests {
     fn minimal_directions_torus_prefers_short_way() {
         let topo = Topology::torus(8, 8);
         let dirs = topo.minimal_directions(Coord::new(0, 0), Coord::new(7, 0));
-        assert_eq!(dirs, vec![Direction::West]);
+        assert_eq!(dirs.as_slice(), [Direction::West]);
         let dirs = topo.minimal_directions(Coord::new(0, 0), Coord::new(3, 0));
-        assert_eq!(dirs, vec![Direction::East]);
+        assert_eq!(dirs.as_slice(), [Direction::East]);
+    }
+
+    #[test]
+    fn dirset_iterates_in_insertion_order() {
+        let topo = Topology::mesh(8, 8);
+        let dirs = topo.minimal_directions(Coord::new(5, 5), Coord::new(2, 1));
+        let collected: Vec<Direction> = dirs.into_iter().collect();
+        assert_eq!(collected, vec![Direction::West, Direction::North]);
+        assert_eq!(dirs.len(), 2);
+    }
+
+    #[test]
+    fn cmesh_terminal_numbering_round_trips() {
+        let topo = Topology::cmesh(4, 4, 4);
+        assert_eq!(topo.local_ports(), 4);
+        assert_eq!(topo.radix(), 8);
+        assert_eq!(topo.terminal_count(), 64);
+        for t in topo.terminals() {
+            let r = topo.router_of_terminal(t);
+            let k = topo.local_port_of_terminal(t) - 4;
+            assert_eq!(topo.terminal_on(r, k), t);
+        }
+        // Terminal 0..16 are each router's first PE: identity mapping.
+        assert_eq!(topo.router_of_terminal(NodeId::new(5)), NodeId::new(5));
+        assert_eq!(topo.local_port_of_terminal(NodeId::new(5)), 4);
+        // Terminal 21 = 1*16 + 5: router 5, second local port.
+        assert_eq!(topo.router_of_terminal(NodeId::new(21)), NodeId::new(5));
+        assert_eq!(topo.local_port_of_terminal(NodeId::new(21)), 5);
+    }
+
+    #[test]
+    fn mesh_terminals_coincide_with_nodes() {
+        let topo = Topology::mesh(8, 8);
+        assert_eq!(topo.local_ports(), 1);
+        assert_eq!(topo.radix(), 5);
+        assert_eq!(topo.terminal_count(), topo.node_count());
+        for t in topo.terminals() {
+            assert_eq!(topo.router_of_terminal(t), t);
+            assert_eq!(topo.local_port_of_terminal(t), 4);
+        }
+    }
+
+    #[test]
+    fn chiplet_suppresses_non_gateway_boundary_links() {
+        // 8x8 grid of 4x4 tiles: boundary between x=3 and x=4.
+        let topo = Topology::chiplet(8, 8, 4, 4);
+        // Gateway row within a tile: y % 4 == 1.
+        assert_eq!(
+            topo.neighbor(Coord::new(3, 1), Direction::East),
+            Some(Coord::new(4, 1))
+        );
+        assert_eq!(topo.neighbor(Coord::new(3, 0), Direction::East), None);
+        assert_eq!(topo.neighbor(Coord::new(3, 2), Direction::East), None);
+        // The reverse direction of the gateway exists too.
+        assert_eq!(
+            topo.neighbor(Coord::new(4, 1), Direction::West),
+            Some(Coord::new(3, 1))
+        );
+        assert_eq!(topo.neighbor(Coord::new(4, 0), Direction::West), None);
+        // Links inside a tile are untouched.
+        assert_eq!(
+            topo.neighbor(Coord::new(1, 1), Direction::East),
+            Some(Coord::new(2, 1))
+        );
+        // Vertical boundary between y=3 and y=4: gateway column x % 4 == 1.
+        assert_eq!(
+            topo.neighbor(Coord::new(1, 3), Direction::South),
+            Some(Coord::new(1, 4))
+        );
+        assert_eq!(topo.neighbor(Coord::new(2, 3), Direction::South), None);
+    }
+
+    #[test]
+    fn chiplet_dims_must_divide_grid() {
+        assert!(Topology::try_chiplet(8, 8, 3, 4).is_err());
+        assert!(Topology::try_chiplet(8, 8, 0, 4).is_err());
+        assert!(Topology::try_chiplet(8, 8, 4, 4).is_ok());
+        assert!(Topology::try_cmesh(4, 4, 0).is_err());
+        assert!(Topology::try_cmesh(4, 4, 9).is_err());
+    }
+
+    #[test]
+    fn link_enumeration_counts() {
+        // 8x8 mesh: 2 * 8 * 7 = 112 links.
+        assert_eq!(Topology::mesh(8, 8).links().len(), 112);
+        // 8x8 torus: 2 * 64 = 128 links.
+        assert_eq!(Topology::torus(8, 8).links().len(), 128);
+        // cmesh router graph == mesh graph.
+        assert_eq!(Topology::cmesh(4, 4, 4).links().len(), 24);
+        // 8x8 chiplet of 4x4 tiles: 4 tiles * 24 internal + 4 gateways.
+        let chiplet = Topology::chiplet(8, 8, 4, 4);
+        assert_eq!(chiplet.links().len(), 4 * 24 + 4);
+        // Every enumerated link exists and is distinct.
+        for (n, d) in chiplet.links() {
+            assert!(chiplet.neighbor(chiplet.coord_of(n), d).is_some());
+        }
+    }
+
+    #[test]
+    fn wrap_links_only_on_torus_boundary() {
+        let torus = Topology::torus(8, 8);
+        assert!(torus.wrap_link(Coord::new(7, 3), Direction::East));
+        assert!(torus.wrap_link(Coord::new(0, 3), Direction::West));
+        assert!(torus.wrap_link(Coord::new(3, 0), Direction::North));
+        assert!(!torus.wrap_link(Coord::new(3, 3), Direction::East));
+        assert!(!Topology::mesh(8, 8).wrap_link(Coord::new(7, 3), Direction::East));
+    }
+
+    #[test]
+    fn direction_for_port_maps_extra_locals() {
+        assert_eq!(Direction::for_port(0), Direction::North);
+        assert_eq!(Direction::for_port(3), Direction::West);
+        assert_eq!(Direction::for_port(4), Direction::Local);
+        assert_eq!(Direction::for_port(7), Direction::Local);
     }
 
     #[test]

@@ -22,8 +22,12 @@ USAGE:
     ftnoc --help            this text
 
 OPTIONS (run):
-    --topology WxH      grid size, e.g. 8x8 (default 8x8)
-    --torus             wrap-around links (default: mesh)
+    --topology T        mesh:WxH | torus:WxH | cmesh:WxH:C (C terminals
+                        per router) | chiplet:WxH:CWxCH (CWxCH tiles,
+                        requires --routing fta) | bare WxH = mesh
+                        (default 8x8)
+    --torus             wrap-around links on a bare WxH grid
+                        (same as --topology torus:WxH)
     --scheme S          hbh | e2e | fec | none        (default hbh)
     --routing R         dt | ad | fa | oe | fta       (default dt; fta =
                         fault-aware up*/down* — deadlock-free around any
@@ -107,10 +111,11 @@ OPTIONS (fuzz):
     --org O             static | damq — coerce every campaign onto one
                         buffer organisation (CI shards its budget across
                         both; default: the sampler's natural mix)
-    --scenario S        midrun-fault — coerce every campaign into the
-                        mid-run hard-fault class: fault-aware routing
-                        with a link kill landing mid-run, the dead-port
-                        invariant armed (default: the sampler's mix)
+    --scenario S        midrun-fault | topology — coerce every campaign
+                        into one scenario class: a mid-run link kill
+                        under fault-aware routing, or a non-mesh
+                        topology (torus / concentrated mesh); default:
+                        the sampler's natural mix
     --metrics-out FILE  write a one-line JSON summary of the sweep
                         (campaign/violation/shrink counters, wall time)
 
@@ -216,6 +221,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 
     let mut topo = (8u8, 8u8, TopologyKind::Mesh);
+    let mut concentration = 1u8;
+    let mut chip: Option<(u8, u8)> = None;
+    let mut torus_flag = false;
     let mut scheme = ErrorScheme::Hbh;
     let mut routing = RoutingAlgorithm::XyDeterministic;
     let mut pattern = TrafficPattern::Uniform;
@@ -266,13 +274,41 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         match flag.as_str() {
             "--topology" => {
                 let v = value(&mut it, flag)?;
-                let (w, h) = v
-                    .split_once(['x', 'X'])
-                    .ok_or_else(|| err(format!("--topology expects WxH, got `{v}`")))?;
-                topo.0 = num(w, flag)?;
-                topo.1 = num(h, flag)?;
+                fn grid(v: &str, flag: &str) -> Result<(u8, u8), CliError> {
+                    let (w, h) = v
+                        .split_once(['x', 'X'])
+                        .ok_or_else(|| err(format!("{flag} expects WxH, got `{v}`")))?;
+                    Ok((num(w, flag)?, num(h, flag)?))
+                }
+                if let Some(rest) = v.strip_prefix("mesh:") {
+                    (topo.0, topo.1) = grid(rest, flag)?;
+                    topo.2 = TopologyKind::Mesh;
+                } else if let Some(rest) = v.strip_prefix("torus:") {
+                    (topo.0, topo.1) = grid(rest, flag)?;
+                    topo.2 = TopologyKind::Torus;
+                } else if let Some(rest) = v.strip_prefix("cmesh:") {
+                    let (wh, c) = rest.split_once(':').ok_or_else(|| {
+                        err(format!("--topology cmesh expects cmesh:WxH:C, got `{v}`"))
+                    })?;
+                    (topo.0, topo.1) = grid(wh, flag)?;
+                    concentration = num(c, flag)?;
+                    topo.2 = TopologyKind::CMesh;
+                } else if let Some(rest) = v.strip_prefix("chiplet:") {
+                    let (wh, tile) = rest.split_once(':').ok_or_else(|| {
+                        err(format!(
+                            "--topology chiplet expects chiplet:WxH:CWxCH, got `{v}`"
+                        ))
+                    })?;
+                    (topo.0, topo.1) = grid(wh, flag)?;
+                    chip = Some(grid(tile, flag)?);
+                    topo.2 = TopologyKind::Chiplet;
+                } else {
+                    // Legacy form: a bare WxH grid (mesh, or torus when
+                    // the --torus flag is also given).
+                    (topo.0, topo.1) = grid(v, flag)?;
+                }
             }
-            "--torus" => topo.2 = TopologyKind::Torus,
+            "--torus" => torus_flag = true,
             "--scheme" => {
                 scheme = match value(&mut it, flag)? {
                     "hbh" => ErrorScheme::Hbh,
@@ -411,8 +447,30 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
     }
 
-    let topology =
-        Topology::try_new(topo.0, topo.1, topo.2).map_err(|e| err(format!("--topology: {e}")))?;
+    if torus_flag {
+        if !matches!(topo.2, TopologyKind::Mesh | TopologyKind::Torus) {
+            return Err(err(
+                "--torus only applies to a plain WxH grid; use --topology torus:WxH instead",
+            ));
+        }
+        topo.2 = TopologyKind::Torus;
+    }
+    let topology = match topo.2 {
+        TopologyKind::Mesh | TopologyKind::Torus => Topology::try_new(topo.0, topo.1, topo.2),
+        TopologyKind::CMesh => Topology::try_cmesh(topo.0, topo.1, concentration),
+        TopologyKind::Chiplet => {
+            let (cw, ch) = chip.expect("chiplet form parsed tile dims");
+            Topology::try_chiplet(topo.0, topo.1, cw, ch)
+        }
+    }
+    .map_err(|e| err(format!("--topology: {e}")))?;
+    if topology.kind() == TopologyKind::Chiplet && routing != RoutingAlgorithm::FaultAware {
+        return Err(err(
+            "--topology chiplet requires --routing fta: only the fault-aware \
+             up*/down* plan understands the sparse inter-chiplet gateways \
+             (the legacy mesh algorithms would route into missing links)",
+        ));
+    }
     if damq_pool.is_some() && !damq {
         return Err(err("--damq-pool requires --buffer-org damq"));
     }
@@ -576,7 +634,12 @@ fn parse_fuzz(
             "--scenario" => {
                 plan = plan.scenario(match value(it, flag)? {
                     "midrun-fault" => Some(ftnoc_check::ScenarioFilter::MidRunFault),
-                    v => return Err(err(format!("--scenario expects midrun-fault, got `{v}`"))),
+                    "topology" => Some(ftnoc_check::ScenarioFilter::Topology),
+                    v => {
+                        return Err(err(format!(
+                            "--scenario expects midrun-fault|topology, got `{v}`"
+                        )))
+                    }
                 })
             }
             other => return Err(err(format!("unknown fuzz flag `{other}`; try --help"))),
@@ -671,6 +734,51 @@ mod tests {
         assert_eq!(config.router.pipeline(), PipelineDepth::Two);
         assert_eq!(config.seed, 42);
         assert!(config.deadlock.enabled);
+    }
+
+    #[test]
+    fn topology_forms_parse() {
+        let Command::Run { config, .. } = parse(&args("run --topology torus:4x4")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(config.topology.kind(), TopologyKind::Torus);
+        assert_eq!(config.topology.node_count(), 16);
+
+        let Command::Run { config, .. } = parse(&args("run --topology cmesh:4x4:4")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(config.topology.kind(), TopologyKind::CMesh);
+        assert_eq!(config.topology.node_count(), 16);
+        assert_eq!(config.topology.terminal_count(), 64);
+        assert_eq!(config.router.ports(), 8, "4 cardinals + 4 local ports");
+
+        let cmd = parse(&args("run --topology chiplet:8x8:4x4 --routing fta")).unwrap();
+        let Command::Run { config, .. } = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(config.topology.kind(), TopologyKind::Chiplet);
+        assert_eq!(config.topology.chip_dims(), Some((4, 4)));
+    }
+
+    #[test]
+    fn chiplet_requires_fault_aware_routing() {
+        let e = parse(&args("run --topology chiplet:8x8:4x4")).unwrap_err();
+        assert!(e.0.contains("--routing fta"), "{e}");
+        let e = parse(&args("run --topology chiplet:8x8:4x4 --routing xy")).unwrap_err();
+        assert!(e.0.contains("--routing fta"), "{e}");
+    }
+
+    #[test]
+    fn malformed_topology_forms_are_rejected() {
+        let e = parse(&args("run --topology cmesh:4x4")).unwrap_err();
+        assert!(e.0.contains("cmesh:WxH:C"), "{e}");
+        let e = parse(&args("run --topology chiplet:8x8")).unwrap_err();
+        assert!(e.0.contains("chiplet:WxH:CWxCH"), "{e}");
+        let e = parse(&args("run --topology chiplet:8x8:3x3")).unwrap_err();
+        assert!(e.0.contains("--topology"), "{e}");
+        let e = parse(&args("run --topology cmesh:4x4:2 --torus")).unwrap_err();
+        assert!(e.0.contains("--torus only applies"), "{e}");
     }
 
     #[test]

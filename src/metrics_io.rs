@@ -14,9 +14,10 @@
 //! [`IntervalLine`] per emission with cumulative totals and per-window
 //! deltas. Render it with `ftnoc report FILE`.
 
-use ftnoc_metrics::{IntervalLine, MeshTelemetry, MetaLine, ProfileSnapshot};
+use ftnoc_metrics::{IntervalLine, LayoutKind, MeshTelemetry, MetaLine, ProfileSnapshot};
 use ftnoc_sim::{Progress, SimConfig};
 use ftnoc_trace::{AsyncQueue, OverflowPolicy, QueueConsumer};
+use ftnoc_types::geom::TopologyKind;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -63,10 +64,25 @@ impl MetricsEmitter {
         // Interval lines are rare (one per `every` cycles) and the
         // policy is lossless: a metrics file is never silently partial.
         let mut queue = AsyncQueue::new(writer, 64, OverflowPolicy::Block);
+        let topology = match config.topology.kind() {
+            TopologyKind::Mesh => LayoutKind::Mesh,
+            TopologyKind::Torus => LayoutKind::Torus,
+            TopologyKind::CMesh => LayoutKind::CMesh {
+                concentration: config.topology.local_ports(),
+            },
+            TopologyKind::Chiplet => {
+                let (cw, ch) = config.topology.chip_dims().expect("chiplet has tile dims");
+                LayoutKind::Chiplet {
+                    chip_w: cw as usize,
+                    chip_h: ch as usize,
+                }
+            }
+        };
         let meta = MetaLine {
             width: config.topology.width() as usize,
             height: config.topology.height() as usize,
             nodes: config.topology.node_count(),
+            topology,
             threads: config.threads,
             available_parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())

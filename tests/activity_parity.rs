@@ -106,6 +106,22 @@ fn fault_aware_midrun(seed: u64) -> SimConfigBuilder {
     b
 }
 
+/// The torus row: the mid-run reconfiguration on a 4×4 torus, killing
+/// the *wrap* link east of (3,1). Wrap neighbours mean a sleeping
+/// router's wake-up sources now include links that cross the grid
+/// boundary — the gated engine must track them like any other edge.
+fn torus_midrun(seed: u64) -> SimConfigBuilder {
+    let topo = Topology::torus(4, 4);
+    let kill = ScheduledKill {
+        at: 1_000,
+        node: topo.id_of(Coord::new(3, 1)),
+        dir: Direction::East,
+    };
+    let mut b = fault_aware_midrun(seed);
+    b.topology(topo).scheduled_kills(vec![kill]);
+    b
+}
+
 /// Runs `cycles` cycles and returns the full JSONL trace plus the JSON
 /// run report.
 fn run(
@@ -181,6 +197,11 @@ fn deadlock_recovery_runs_are_gating_invariant() {
 #[test]
 fn fault_aware_midrun_kill_runs_are_gating_invariant() {
     assert_gating_parity("fault-aware-midrun", fault_aware_midrun, dbg_capped(10_000));
+}
+
+#[test]
+fn torus_wrap_link_kill_runs_are_gating_invariant() {
+    assert_gating_parity("torus-midrun", torus_midrun, dbg_capped(10_000));
 }
 
 /// Gating must actually *skip* work, not just match the full sweep: at

@@ -47,8 +47,17 @@ fn mesh_config(retrans_depth: usize, seed: u64) -> SimConfigBuilder {
 }
 
 fn mesh_config_org(retrans_depth: usize, seed: u64, org: BufferOrg) -> SimConfigBuilder {
+    topo_config(Topology::mesh(4, 4), retrans_depth, seed, org)
+}
+
+fn topo_config(
+    topo: Topology,
+    retrans_depth: usize,
+    seed: u64,
+    org: BufferOrg,
+) -> SimConfigBuilder {
     let mut b = SimConfig::builder();
-    b.topology(Topology::mesh(4, 4))
+    b.topology(topo)
         .router(
             RouterConfig::builder()
                 .vcs_per_port(1)
@@ -177,6 +186,64 @@ fn damq_pool_reproduces_both_eq1_regimes() {
             report.packets_ejected < report.packets_injected,
             "seed {seed}: expected the DAMQ network to wedge at depth 3"
         );
+    }
+}
+
+/// Eq. (1) is a per-node argument — nothing in the bound mentions the
+/// mesh. The same sweep on a 4×4 torus (wrap links add cycles to every
+/// dimension) and a 4×4 concentration-2 cmesh (two terminals share
+/// every router, doubling injection pressure per node) reproduces the
+/// at-bound regime: the workload still deadlocks, and retransmission
+/// depth 5 still drains every knot without misdelivery.
+///
+/// Rates and seeds are topology-specific, re-probed the way the mesh
+/// rows were: injection is per *terminal*, so the cmesh needs roughly
+/// half the mesh rate for equal per-router pressure, and the torus's
+/// wrap paths shift which seeds actually knot at 0.25.
+#[test]
+fn at_bound_regime_holds_on_torus_and_cmesh() {
+    let torus_seeds: &[u64] = if cfg!(debug_assertions) {
+        &[7]
+    } else {
+        &[7, 5]
+    };
+    let cmesh_seeds: &[u64] = if cfg!(debug_assertions) {
+        &[1]
+    } else {
+        &[1, 10]
+    };
+    /// (label, topology, per-terminal rate, seeds known to deadlock).
+    type TopoRow<'a> = (&'a str, fn() -> Topology, f64, &'a [u64]);
+    let topos: &[TopoRow<'_>] = &[
+        ("torus", || Topology::torus(4, 4), 0.25, torus_seeds),
+        (
+            "cmesh",
+            || Topology::try_cmesh(4, 4, 2).expect("valid cmesh"),
+            0.1,
+            cmesh_seeds,
+        ),
+    ];
+    for (name, topo, rate, seeds) in topos {
+        for &seed in *seeds {
+            let mut b = topo_config(topo(), MIN_SOUND_DEPTH, seed, BufferOrg::StaticPartition);
+            b.injection_rate(*rate);
+            let config = b.build().unwrap();
+            let report = {
+                let mut sim = Simulator::new(config);
+                sim.run_cycles(CYCLES)
+            };
+            assert!(
+                report.errors.deadlocks_confirmed > 0,
+                "{name} seed {seed}: workload no longer deadlocks"
+            );
+            assert_eq!(
+                report.packets_ejected,
+                report.packets_injected,
+                "{name} seed {seed}: {} packets stuck at the Eq. 1 depth",
+                report.packets_injected - report.packets_ejected
+            );
+            assert_eq!(report.errors.misdelivered, 0, "{name} seed {seed}");
+        }
     }
 }
 

@@ -13,7 +13,15 @@ use ftnoc::prelude::*;
 /// collide hard), bursty Bernoulli injection, finite traffic that must
 /// fully drain, recovery off unless a test opts in.
 fn build(routing: RoutingAlgorithm, recovery: bool, kills: Vec<ScheduledKill>) -> SimConfig {
-    let topo = Topology::mesh(8, 8);
+    build_on(Topology::mesh(8, 8), routing, recovery, kills)
+}
+
+fn build_on(
+    topo: Topology,
+    routing: RoutingAlgorithm,
+    recovery: bool,
+    kills: Vec<ScheduledKill>,
+) -> SimConfig {
     let mut hard = HardFaults::new();
     if kills.is_empty() {
         hard.kill_link(topo, NodeId::new(27), Direction::East);
@@ -104,5 +112,31 @@ fn fault_aware_survives_a_mid_run_kill() {
     assert_eq!(
         ej, inj,
         "online reconfiguration must deliver every packet ({ej}/{inj})"
+    );
+}
+
+/// The torus analog of the mid-run kill: an 8×8 torus loses the *wrap*
+/// link `31:e` (node (7,3) → (0,3)) at cycle 1000, with deadlock
+/// recovery off. Up*/down* routing never needed the wrap channels for
+/// deadlock freedom — the post-fault plan is still a spanning tree of
+/// the live graph — so the reconfigured routing function alone must
+/// deliver the whole workload, no recovery crutch.
+#[test]
+fn fault_aware_survives_a_torus_wrap_link_kill() {
+    let kills = vec![ScheduledKill {
+        at: 1_000,
+        node: NodeId::new(31),
+        dir: Direction::East,
+    }];
+    let (inj, ej) = drain(build_on(
+        Topology::torus(8, 8),
+        RoutingAlgorithm::FaultAware,
+        false,
+        kills,
+    ));
+    assert!(inj > 0, "workload must inject traffic");
+    assert_eq!(
+        ej, inj,
+        "fta must deliver every packet across the dead wrap link ({ej}/{inj})"
     );
 }

@@ -92,6 +92,22 @@ fn fault_aware_midrun(seed: u64) -> SimConfigBuilder {
     b
 }
 
+/// The torus row: the same online-reconfiguration path on a 4×4 torus,
+/// where the dying link is a *wrap* link (node 7 = (3,1), whose east
+/// neighbour wraps to (0,1)). Wrap channels exercise the radix-generic
+/// link tables and the fault plan's spanning tree over a graph with
+/// cycles in every dimension.
+fn torus_midrun(seed: u64) -> SimConfigBuilder {
+    let mut b = fault_aware_midrun(seed);
+    b.topology(Topology::torus(4, 4))
+        .scheduled_kills(vec![ScheduledKill {
+            at: 1_000,
+            node: NodeId::new(7),
+            dir: Direction::East,
+        }]);
+    b
+}
+
 /// Runs `cycles` cycles on `threads` workers and returns the full JSONL
 /// trace plus the JSON run report.
 fn run(mut builder: SimConfigBuilder, threads: usize, cycles: u64) -> (String, String) {
@@ -143,6 +159,11 @@ fn deadlock_recovery_runs_are_thread_count_invariant() {
 #[test]
 fn fault_aware_midrun_kill_runs_are_thread_count_invariant() {
     assert_parity("fault-aware-midrun", fault_aware_midrun, 10_000);
+}
+
+#[test]
+fn torus_wrap_link_kill_runs_are_thread_count_invariant() {
+    assert_parity("torus-midrun", torus_midrun, 10_000);
 }
 
 /// Steps the network cycle by cycle, optionally validating every commit
@@ -216,4 +237,9 @@ fn oracle_is_transparent_on_deadlock_recovery_runs() {
 #[test]
 fn oracle_is_transparent_on_fault_aware_midrun_runs() {
     assert_oracle_transparent("fault-aware-midrun", fault_aware_midrun, dbg_capped(10_000));
+}
+
+#[test]
+fn oracle_is_transparent_on_torus_runs() {
+    assert_oracle_transparent("torus-midrun", torus_midrun, dbg_capped(10_000));
 }
