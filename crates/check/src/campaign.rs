@@ -11,7 +11,7 @@
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ftnoc_fault::{FaultRates, ScheduledKill};
+use ftnoc_fault::{FaultRates, ScheduledKill, ScheduledRouterKill, WearoutSpec};
 use ftnoc_rng::Rng;
 use ftnoc_sim::config::{DeadlockConfig, ErrorScheme, RoutingAlgorithm};
 use ftnoc_sim::{Network, SimConfig};
@@ -108,6 +108,14 @@ pub struct CampaignParams {
     pub notify: u64,
     /// Topology class of the fuzzed network.
     pub topo: FuzzTopology,
+    /// Mid-run whole-router death: the cycle one router is killed and
+    /// its buffered flits purged into the loss ledger (`0` = none).
+    pub rkill_at: u64,
+    /// Victim of the whole-router kill (row-major node index).
+    pub rkill_node: u16,
+    /// Wear-out mean lifetime budget in flits per link (`0` = no
+    /// wear-out model; budgets derive from the campaign seed).
+    pub wear_budget: u64,
 }
 
 fn pattern_name(p: &TrafficPattern) -> &'static str {
@@ -196,6 +204,9 @@ impl CampaignParams {
             kill_dir: Direction::East,
             notify: 4,
             topo: FuzzTopology::Mesh,
+            rkill_at: 0,
+            rkill_node: 0,
+            wear_budget: 0,
         };
         // The buffer-organisation dimension is drawn last so every
         // earlier parameter of a given (seed, index) is unchanged from
@@ -265,6 +276,52 @@ impl CampaignParams {
         } else if cmesh {
             p.topo = FuzzTopology::CMesh { conc };
         }
+        // The whole-router-death and wear-out dimensions are drawn last
+        // for the same reason, every draw taken unconditionally so any
+        // future dimension sees a stable stream. Router-kill campaigns
+        // are coerced onto fault-aware routing with the recovery net
+        // armed (the documented drain story), and off end-to-end
+        // control: E2E/FEC retransmit amputated packets from the
+        // source, which resurrects packet ids the loss ledger already
+        // claims — a semantics clash, not a bug to hunt. Wear-out keeps
+        // whatever routing was sampled: legacy algorithms must honour
+        // the dead-port invariant while worn links wedge the network.
+        let rkill = r.gen_bool(0.06);
+        let rnode = r.gen_range(0..p.width as u64 * p.height as u64) as u16;
+        let rat = r.gen_range(1..p.cycles);
+        let wear = r.gen_bool(0.08);
+        let budget = r.gen_range(40..400u64);
+        if rkill {
+            // Any single router death keeps a ≥2×2 grid's survivors
+            // connected (grid graphs are 2-connected), so fault-aware
+            // routing always finds the remaining routes.
+            p.rkill_at = rat;
+            p.rkill_node = rnode;
+            p.routing = RoutingAlgorithm::FaultAware;
+            p.deadlock = true;
+            if matches!(p.scheme, ErrorScheme::E2e | ErrorScheme::Fec) {
+                p.scheme = ErrorScheme::Hbh;
+            }
+            // A link kill landing on one of the victim's own links is
+            // moot once the router dies (and the timeline rejects kills
+            // of already-dead links), so drop it.
+            if p.kill_at > 0 {
+                let n = u64::from(p.kill_node);
+                let other = match p.kill_dir {
+                    Direction::East => n + 1,
+                    _ => n + u64::from(p.width),
+                };
+                let victim = u64::from(rnode);
+                if n == victim || other == victim {
+                    p.kill_at = 0;
+                    p.kill_node = 0;
+                    p.kill_dir = Direction::East;
+                }
+            }
+        }
+        if wear {
+            p.wear_budget = budget;
+        }
         p
     }
 
@@ -327,8 +384,22 @@ impl CampaignParams {
                 at: self.kill_at,
                 node: NodeId::new(self.kill_node),
                 dir: self.kill_dir,
-            }])
-            .fault_notify_latency(self.notify);
+            }]);
+        }
+        if self.rkill_at > 0 {
+            b.router_kills(vec![ScheduledRouterKill {
+                at: self.rkill_at,
+                node: NodeId::new(self.rkill_node),
+            }]);
+        }
+        if self.wear_budget > 0 {
+            b.wearout(Some(WearoutSpec {
+                mean_budget: self.wear_budget,
+                seed: 0, // derive the budget seed from the run seed
+            }));
+        }
+        if self.kill_at > 0 || self.rkill_at > 0 || self.wear_budget > 0 {
+            b.fault_notify_latency(self.notify);
         }
         b.build()
     }
@@ -390,11 +461,13 @@ impl CampaignParams {
                 let _ = write!(s, ",topo=cmesh,conc={conc}");
             }
         }
+        if self.kill_at > 0 || self.rkill_at > 0 || self.wear_budget > 0 {
+            let _ = write!(s, ",nfy={}", self.notify);
+        }
         if self.kill_at > 0 {
             let _ = write!(
                 s,
-                ",nfy={},kill@{}={}:{}",
-                self.notify,
+                ",kill@{}={}:{}",
                 self.kill_at,
                 self.kill_node,
                 match self.kill_dir {
@@ -405,6 +478,14 @@ impl CampaignParams {
                     Direction::Local => "l",
                 },
             );
+        }
+        // Runtime fault dimensions use the `--fault SPEC` grammar so a
+        // reproducer reads the same as the CLI flag that plants it.
+        if self.rkill_at > 0 {
+            let _ = write!(s, ",fault=router:{}@{}", self.rkill_node, self.rkill_at);
+        }
+        if self.wear_budget > 0 {
+            let _ = write!(s, ",fault=wearout:{}", self.wear_budget);
         }
         s
     }
@@ -425,6 +506,9 @@ impl CampaignParams {
         p.kill_dir = Direction::East;
         p.notify = 4;
         p.topo = FuzzTopology::Mesh;
+        p.rkill_at = 0;
+        p.rkill_node = 0;
+        p.wear_budget = 0;
         // `topo`/`conc` are order-independent: both are collected here
         // and resolved after the loop.
         let mut topo_key: Option<String> = None;
@@ -506,6 +590,25 @@ impl CampaignParams {
                 "topo" => topo_key = Some(v.to_string()),
                 "conc" => conc_key = Some(v.parse().map_err(bad!())?),
                 "nfy" => p.notify = v.parse().map_err(bad!())?,
+                "fault" => {
+                    if let Some(rest) = v.strip_prefix("router:") {
+                        let (n, at) = rest.split_once('@').ok_or_else(|| {
+                            format!("bad value for fault: {v:?} (expected router:N@C)")
+                        })?;
+                        p.rkill_node = n.parse().map_err(bad!())?;
+                        p.rkill_at = at.parse().map_err(bad!())?;
+                        if p.rkill_at == 0 {
+                            return Err(format!("bad value for fault: {v:?} (cycle must be > 0)"));
+                        }
+                    } else if let Some(rest) = v.strip_prefix("wearout:") {
+                        p.wear_budget = rest.parse().map_err(bad!())?;
+                        if p.wear_budget == 0 {
+                            return Err(format!("bad value for fault: {v:?} (budget must be > 0)"));
+                        }
+                    } else {
+                        return Err(format!("unknown fault spec {v:?}"));
+                    }
+                }
                 _ if k.starts_with("kill@") => {
                     p.kill_at = k["kill@".len()..].parse().map_err(bad!())?;
                     if p.kill_at == 0 {
@@ -686,10 +789,13 @@ fn transforms(p: &CampaignParams, v: &Violation) -> Vec<CampaignParams> {
     // survives with gating off, it is not an activity-gating bug.
     push(&|c| c.gating = false);
     // Reduce toward no mid-run fault: if the failure survives without
-    // the scheduled kill, it is not a reconfiguration bug. Failing
-    // that, try instant publication (no detection/publication skew).
+    // the router death, the wear-out model, or the scheduled link kill,
+    // it is not a reconfiguration/drain bug. Failing that, try instant
+    // publication (no detection/publication skew).
+    push(&|c| c.rkill_at = 0);
+    push(&|c| c.wear_budget = 0);
     push(&|c| c.kill_at = 0);
-    if p.kill_at > 0 {
+    if p.kill_at > 0 || p.rkill_at > 0 || p.wear_budget > 0 {
         push(&|c| c.notify = 0);
     }
     if v.cycle > 0 && v.cycle < p.cycles {
@@ -710,6 +816,73 @@ fn transforms(p: &CampaignParams, v: &Violation) -> Vec<CampaignParams> {
     push(&|c| c.injection = InjectionProcess::Regular);
     push(&|c| c.rate = (c.rate / 2.0).max(0.05));
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every sampled campaign's reproducer spec round-trips exactly —
+    /// including the router-kill and wear-out dimensions appended in
+    /// this revision.
+    #[test]
+    fn sampled_specs_round_trip() {
+        let mut rkills = 0;
+        let mut wears = 0;
+        for i in 0..300 {
+            let p = CampaignParams::sample(0xF70C, i);
+            let rt = CampaignParams::from_spec(&p.to_spec())
+                .unwrap_or_else(|e| panic!("campaign {i} spec rejected: {e}"));
+            assert_eq!(p, rt, "campaign {i} spec did not round-trip");
+            rkills += u64::from(p.rkill_at > 0);
+            wears += u64::from(p.wear_budget > 0);
+        }
+        assert!(rkills > 5, "router-kill dimension never sampled");
+        assert!(wears > 10, "wear-out dimension never sampled");
+    }
+
+    /// The new dimensions are drawn after every pre-existing one, so a
+    /// seed that predates them replays with identical earlier fields.
+    #[test]
+    fn runtime_fault_dims_parse_like_the_cli_grammar() {
+        let p = CampaignParams::from_spec("w=3,h=3,fault=router:5@300,fault=wearout:123,nfy=2")
+            .unwrap();
+        assert_eq!((p.rkill_node, p.rkill_at), (5, 300));
+        assert_eq!(p.wear_budget, 123);
+        assert_eq!(p.notify, 2);
+        let s = p.to_spec();
+        assert!(s.contains("fault=router:5@300"), "{s}");
+        assert!(s.contains("fault=wearout:123"), "{s}");
+
+        assert!(CampaignParams::from_spec("fault=router:5").is_err());
+        assert!(CampaignParams::from_spec("fault=router:5@0").is_err());
+        assert!(CampaignParams::from_spec("fault=wearout:0").is_err());
+        assert!(CampaignParams::from_spec("fault=banana").is_err());
+    }
+
+    /// Router-kill campaigns are always well-formed: fault-aware
+    /// routing, recovery net armed, no end-to-end control, and no link
+    /// kill left on one of the victim's own links.
+    #[test]
+    fn router_kill_campaigns_are_coherent() {
+        let mut seen = 0;
+        for i in 0..400 {
+            let p = CampaignParams::sample(7, i);
+            if p.rkill_at == 0 {
+                continue;
+            }
+            seen += 1;
+            assert_eq!(p.routing, RoutingAlgorithm::FaultAware, "campaign {i}");
+            assert!(p.deadlock, "campaign {i}");
+            assert!(
+                !matches!(p.scheme, ErrorScheme::E2e | ErrorScheme::Fec),
+                "campaign {i}: end-to-end control under a router kill"
+            );
+            p.to_config()
+                .unwrap_or_else(|e| panic!("campaign {i} config rejected: {e}"));
+        }
+        assert!(seen > 10, "router-kill dimension never sampled");
+    }
 }
 
 /// Coerces every sampled campaign onto one buffer organisation —
@@ -750,6 +923,11 @@ pub enum ScenarioFilter {
     /// plain mesh are coerced onto a torus or a concentrated mesh,
     /// chosen deterministically from already-sampled parameters.
     Topology,
+    /// Force the wear-out model: every campaign ages its links under a
+    /// small lifetime budget on fault-aware routing, so the online
+    /// budget-crossing → publication → reroute path runs on every
+    /// single campaign instead of the sampler's one-in-twelve mix.
+    Wearout,
 }
 
 /// Applies a [`ScenarioFilter`] to freshly sampled parameters (shared
@@ -775,6 +953,16 @@ pub(crate) fn apply_scenario_filter(params: &mut CampaignParams, scenario: Optio
                 // can deadlock legacy routing, so arm the recovery net.
                 params.deadlock = true;
             }
+            return;
+        }
+        Some(ScenarioFilter::Wearout) => {
+            if params.wear_budget == 0 {
+                // Same band the sampler draws from, derived from
+                // already-sampled parameters — no extra RNG draws.
+                params.wear_budget = 40 + params.seed % 360;
+            }
+            params.routing = RoutingAlgorithm::FaultAware;
+            params.deadlock = true;
             return;
         }
         Some(ScenarioFilter::MidRunFault) => {}

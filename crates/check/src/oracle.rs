@@ -17,14 +17,14 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use ftnoc_core::ac::VcRef;
-use ftnoc_fault::FaultTimeline;
+use ftnoc_fault::{FaultCause, FaultEvent, FaultEventKind, FaultLog, FaultTimeline};
 use ftnoc_sim::config::ErrorScheme;
 use ftnoc_sim::router::BlockedVcSummary;
-use ftnoc_sim::snapshot::{NetSnapshot, VcStateView};
-use ftnoc_sim::SimConfig;
+use ftnoc_sim::snapshot::{FaultEventView, NetSnapshot, VcStateView};
+use ftnoc_sim::{RoutingAlgorithm, SimConfig};
 use ftnoc_types::config::BufferOrg;
 use ftnoc_types::flit::Flit;
-use ftnoc_types::geom::Direction;
+use ftnoc_types::geom::{Direction, NodeId};
 
 /// A violated invariant, with enough context to debug the failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,12 +65,13 @@ impl fmt::Display for Violation {
 /// | invariant | armed when |
 /// |---|---|
 /// | structural | always |
+/// | fault events / dead routers | always |
 /// | exclusivity (§4) | AC enabled, or no VA/SA upsets |
 /// | wormhole order | no logic upsets, and (HBH or no link upsets) |
-/// | arrival monotonicity (§3.1) | same as wormhole order |
-/// | flit conservation | no logic upsets, and (HBH or no link upsets) |
+/// | arrival monotonicity (§3.1) | same as wormhole order, and no router kills |
+/// | flit conservation | no logic upsets, and (HBH or no link upsets); under router kills additionally a clean drain (fault-aware routing, zero notify latency, no link upsets, no E2E control) — then with the loss seam |
 /// | credit bound | no logic upsets |
-/// | credit equality | no logic or link upsets |
+/// | credit equality | no logic, link upsets or router kills |
 /// | probe soundness (§3.2.2) | no logic upsets |
 /// | dead-port allocation | AC enabled, or no VA upsets |
 #[derive(Debug, Clone, Copy)]
@@ -112,13 +113,28 @@ impl ArmedInvariants {
         // and are always voted away (§3.1), so they never change delivery
         // behaviour and do not gate any invariant.
         let lossless = hbh || f.link == 0.0;
+        // Whole-router deaths amputate in-flight packets: the drain
+        // purge interrupts streams mid-wormhole (arrival monotonicity)
+        // and frees buffer slots without returning credits (credit
+        // equality), so both step down; the credit *bound* stays armed.
+        // Conservation survives — with the loss seam — only when the
+        // drain story is airtight: fault-aware routing with zero
+        // publication lag (so nothing streams into a corpse after the
+        // purge and wedges half-lost in a retransmission sender), no
+        // link upsets, and no end-to-end control traffic (whose source
+        // buffers sit outside the flit ledger).
+        let lossy = !config.router_kills.is_empty();
+        let clean_drain = config.routing == RoutingAlgorithm::FaultAware
+            && config.fault_notify_latency == 0
+            && f.link == 0.0
+            && !config.scheme.uses_end_to_end_control();
         ArmedInvariants {
             exclusivity: config.ac_enabled || (f.va == 0.0 && f.sa == 0.0),
             ordering: logic_free && lossless,
-            arrival: logic_free && lossless,
-            conservation: logic_free && lossless,
+            arrival: logic_free && lossless && !lossy,
+            conservation: logic_free && lossless && (!lossy || clean_drain),
             credit_bound: logic_free,
-            credit_exact: logic_free && f.link == 0.0,
+            credit_exact: logic_free && f.link == 0.0 && !lossy,
             probe: logic_free,
             dead_port: config.ac_enabled || f.va == 0.0,
         }
@@ -168,9 +184,40 @@ pub struct Oracle {
     /// The run's hard-fault history, for cross-checking the snapshot's
     /// published fault table against what the configuration implies
     /// (`None` when constructed via [`Oracle::with_arming`] — the
-    /// snapshot's own table is then trusted as-is).
+    /// snapshot's own table is then trusted as-is). Realized wear-out
+    /// events from the snapshot's fault log are folded into this mirror
+    /// as they appear, so the table comparison tracks online deaths the
+    /// configuration could not predict.
     timeline: Option<FaultTimeline>,
+    /// The configured (non-wear-out) fault events the timeline implies,
+    /// in log order — the snapshot's log must carry exactly these.
+    expected_configured: Vec<FaultEventView>,
+    /// Wear-out events already validated and folded into the mirror (a
+    /// count works because the wear-out subsequence of the log is
+    /// realized strictly forward in time, hence append-only).
+    wear_folded: usize,
+    /// Whether the run configures a wear-out model (a wear-out event in
+    /// a run without one is an invented fault).
+    wearout_armed: bool,
+    /// The run's fault publication latency (validates `published_at`).
+    notify: u64,
     sized: bool,
+}
+
+/// A [`ftnoc_fault::FaultLog`] entry as the snapshot renders it.
+fn event_view(ev: &FaultEvent) -> FaultEventView {
+    let (router, node, dir) = match ev.kind {
+        FaultEventKind::RouterDown { node } => (true, node.index(), 0),
+        FaultEventKind::LinkDown { node, dir } => (false, node.index(), dir.index()),
+    };
+    FaultEventView {
+        at: ev.at,
+        published_at: ev.published_at,
+        wearout: ev.cause == FaultCause::Wearout,
+        router,
+        node,
+        dir,
+    }
 }
 
 /// One cycle of per-node probe-relevant state: `(in_recovery,
@@ -185,7 +232,15 @@ impl Oracle {
     pub fn new(config: &SimConfig) -> Self {
         let mut oracle = Oracle::with_arming(ArmedInvariants::from_config(config));
         oracle.cthres = config.deadlock.cthres;
-        oracle.timeline = Some(config.fault_timeline());
+        let tl = config.fault_timeline();
+        oracle.expected_configured = FaultLog::from_timeline(&tl)
+            .events()
+            .iter()
+            .map(event_view)
+            .collect();
+        oracle.timeline = Some(tl);
+        oracle.wearout_armed = config.wearout.is_some();
+        oracle.notify = config.fault_notify_latency;
         oracle
     }
 
@@ -202,6 +257,10 @@ impl Oracle {
             hist: VecDeque::new(),
             resident: HashMap::new(),
             timeline: None,
+            expected_configured: Vec::new(),
+            wear_folded: 0,
+            wearout_armed: false,
+            notify: 0,
             sized: false,
         }
     }
@@ -222,8 +281,17 @@ impl Oracle {
             self.sized = true;
         }
         let mut first = self.check_structural(snap).err();
-        first = first.or_else(|| self.check_activity(snap).err());
+        // Fault-event validation folds realized wear-out kills into the
+        // oracle's timeline mirror, so it must run every cycle (before
+        // the table comparison, and even after an earlier failure) for
+        // callers that log and continue.
+        first = first.or(self.check_fault_events(snap));
         first = first.or_else(|| self.check_dead_ports(snap).err());
+        // Before the activity check: a dead router is also a skipped
+        // router, and a corpse holding traffic should be diagnosed as a
+        // dead-router violation, not a missed wake-up.
+        first = first.or_else(|| self.check_dead_routers(snap).err());
+        first = first.or_else(|| self.check_activity(snap).err());
         if self.arm.exclusivity {
             first = first.or_else(|| self.check_exclusivity(snap).err());
         }
@@ -480,6 +548,223 @@ impl Oracle {
         Ok(())
     }
 
+    /// Fault-log validation (armed whenever the oracle knows the run's
+    /// configuration): the snapshot's fault-event feed must carry
+    /// exactly the configured kills the timeline implies, and every
+    /// wear-out entry must be one the run could legally realize — a
+    /// wear-out model is configured, the target is an existing link not
+    /// already dead, the event is realized (not from the future) and
+    /// published with the configured lag. Each valid new wear-out event
+    /// is folded into the oracle's timeline mirror so the dead-port
+    /// table comparison keeps tracking online deaths.
+    fn check_fault_events(&mut self, snap: &NetSnapshot) -> Option<Violation> {
+        self.timeline.as_ref()?;
+        let violation = |detail: String| {
+            Some(Violation {
+                cycle: snap.now,
+                node: None,
+                invariant: "fault-events",
+                detail,
+            })
+        };
+        let configured: Vec<FaultEventView> = snap
+            .fault_events
+            .iter()
+            .filter(|e| !e.wearout)
+            .copied()
+            .collect();
+        if configured != self.expected_configured {
+            return violation(format!(
+                "snapshot logs configured fault events {configured:?} but the \
+                 run configuration implies {:?}",
+                self.expected_configured
+            ));
+        }
+        let wear: Vec<FaultEventView> = snap
+            .fault_events
+            .iter()
+            .filter(|e| e.wearout)
+            .copied()
+            .collect();
+        if wear.len() < self.wear_folded
+            || wear[..self.wear_folded]
+                .windows(2)
+                .any(|w| w[0].at > w[1].at)
+        {
+            return violation(format!(
+                "the realized wear-out subsequence rewrote history: {} events \
+                 were already validated, log now holds {wear:?}",
+                self.wear_folded
+            ));
+        }
+        while self.wear_folded < wear.len() {
+            let ev = wear[self.wear_folded];
+            if !self.wearout_armed {
+                return violation(format!(
+                    "wear-out event {ev:?} in a run with no wear-out model"
+                ));
+            }
+            if ev.router {
+                return violation(format!(
+                    "wear-out event {ev:?} claims a whole router; wear-out \
+                     kills links"
+                ));
+            }
+            if ev.at > snap.now {
+                return violation(format!(
+                    "wear-out event {ev:?} is logged before being realized \
+                     (snapshot cycle {})",
+                    snap.now
+                ));
+            }
+            if ev.published_at != ev.at.saturating_add(self.notify) {
+                return violation(format!(
+                    "wear-out event {ev:?} publishes with the wrong lag \
+                     (configured notify latency {})",
+                    self.notify
+                ));
+            }
+            if ev.dir >= 4
+                || snap
+                    .neighbors
+                    .get(ev.node)
+                    .is_none_or(|row| row[ev.dir].is_none())
+            {
+                return violation(format!(
+                    "wear-out event {ev:?} names a link the topology does not \
+                     have"
+                ));
+            }
+            let tl = self.timeline.as_mut().expect("checked above");
+            if !tl.push_link_kill(
+                ev.at,
+                NodeId::new(ev.node as u16),
+                Direction::CARDINAL[ev.dir],
+            ) {
+                return violation(format!(
+                    "wear-out event {ev:?} kills a link that is already dead"
+                ));
+            }
+            self.wear_folded += 1;
+        }
+        None
+    }
+
+    /// Dead-router consistency (armed whenever the oracle knows the
+    /// run's fault history) and the structural corpse invariant (always
+    /// armed): the snapshot's dead-router table must match the
+    /// configuration, the per-router `dead` flags must agree with the
+    /// table, and a dead router must be an empty shell — the death
+    /// purge drained its buffers, queues, reservations and wires, and
+    /// its terminals neither hold nor generate traffic.
+    fn check_dead_routers(&self, snap: &NetSnapshot) -> Result<(), Violation> {
+        if let Some(tl) = &self.timeline {
+            // `now`, not `now - 1`: the kill purge runs in the commit of
+            // cycle `at - 1`, so a router dying at `now` is already dead
+            // in a snapshot taken at `now` (see the snapshot builder).
+            let expect: Vec<(usize, u64)> = tl
+                .dead_routers_at(snap.now)
+                .into_iter()
+                .map(|(n, since)| (n.index(), since))
+                .collect();
+            if snap.dead_routers != expect {
+                return Err(Violation {
+                    cycle: snap.now,
+                    node: None,
+                    invariant: "fault-table",
+                    detail: format!(
+                        "snapshot publishes dead routers {:?} but the run's \
+                         fault history implies {:?}",
+                        snap.dead_routers, expect
+                    ),
+                });
+            }
+        }
+        let n_routers = snap.routers.len();
+        for (n, r) in snap.routers.iter().enumerate() {
+            let listed = snap.dead_routers.iter().any(|&(m, _)| m == n);
+            if r.dead != listed {
+                return Err(Violation::new(
+                    snap.now,
+                    n,
+                    "dead-router",
+                    format!(
+                        "router dead flag is {} but the dead-router table \
+                         {} it",
+                        r.dead,
+                        if listed { "lists" } else { "omits" }
+                    ),
+                ));
+            }
+            if !r.dead {
+                continue;
+            }
+            for (p, port) in r.inputs.iter().enumerate() {
+                for (v, ivc) in port.iter().enumerate() {
+                    if !ivc.flits.is_empty() || ivc.state != VcStateView::Idle {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "dead-router",
+                            format!(
+                                "dead router still holds {} flits in input \
+                                 {p}.{v} (state {:?})",
+                                ivc.flits.len(),
+                                ivc.state
+                            ),
+                        ));
+                    }
+                }
+            }
+            for (p, out) in r.outputs.iter().enumerate() {
+                if !out.st_queue.is_empty() {
+                    return Err(Violation::new(
+                        snap.now,
+                        n,
+                        "dead-router",
+                        format!("dead router has a non-empty ST queue on output {p}"),
+                    ));
+                }
+                for (v, ovc) in out.vcs.iter().enumerate() {
+                    if ovc.allocated.is_some() || !ovc.sender.slots.is_empty() {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "dead-router",
+                            format!(
+                                "dead router output {p}.{v} holds a reservation \
+                                 or retransmission slots"
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Some(w) = snap.wires.get(n) {
+                for (p, slot) in w.flit_in.iter().enumerate() {
+                    if slot.is_some() {
+                        return Err(Violation::new(
+                            snap.now,
+                            n,
+                            "dead-router",
+                            format!("a flit is in flight into dead router port {p}"),
+                        ));
+                    }
+                }
+            }
+            for (t, pe) in snap.pes.iter().enumerate() {
+                if t % n_routers == n && (!pe.queued.is_empty() || !pe.injecting.is_empty()) {
+                    return Err(Violation::new(
+                        snap.now,
+                        n,
+                        "dead-router",
+                        format!("terminal {t} of a dead router still holds traffic"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// §4 exclusivity: committed VC allocations are single-owner and
     /// in-range, and reservations match their owners. Routers in
     /// deadlock recovery are skipped — recovery takeovers legitimately
@@ -704,10 +989,14 @@ impl Oracle {
         Ok(())
     }
 
-    /// Flit conservation: for every packet, the union of resident
-    /// copies (injection front, input buffers, ST queues, wires,
-    /// retransmission slots) covers a contiguous seq range. A hole
-    /// means a flit was lost with no copy left anywhere to replay.
+    /// Flit conservation, with the loss-accounting seam: for every
+    /// packet, the union of resident copies (injection front, input
+    /// buffers, ST queues, wires, retransmission slots) **and the loss
+    /// ledger** covers a contiguous seq range — a hole means a flit
+    /// vanished with neither a replay copy nor a loss record. The
+    /// ledger itself must be exact: its per-packet masks sum to the
+    /// `flits_lost` counter and never overlap a resident copy (a flit
+    /// is delivered, in flight, or lost — never two at once).
     fn check_conservation(&mut self, snap: &NetSnapshot) -> Result<(), Violation> {
         self.resident.clear();
         let mut mark = |f: &Flit| {
@@ -742,18 +1031,72 @@ impl Oracle {
                 mark(&slot.0);
             }
         }
-        for (pkt, mask) in &self.resident {
+        let ledgered: u64 = snap
+            .lost
+            .iter()
+            .map(|&(_, m)| u64::from(m.count_ones()))
+            .sum();
+        if ledgered != snap.flits_lost {
+            return Err(Violation {
+                cycle: snap.now,
+                node: None,
+                invariant: "conservation",
+                detail: format!(
+                    "the loss ledger's masks name {ledgered} flits but the \
+                     flits_lost counter says {}",
+                    snap.flits_lost
+                ),
+            });
+        }
+        let lost_mask = |pkt: u64| -> u128 {
+            snap.lost
+                .binary_search_by_key(&pkt, |&(p, _)| p)
+                .map_or(0, |i| snap.lost[i].1)
+        };
+        let contiguous = |pkt: u64, mask: u128| -> Result<(), Violation> {
             let span = mask >> mask.trailing_zeros();
-            if !span.wrapping_add(1).is_power_of_two() {
+            if span.wrapping_add(1).is_power_of_two() {
+                Ok(())
+            } else {
+                Err(Violation {
+                    cycle: snap.now,
+                    node: None,
+                    invariant: "conservation",
+                    detail: format!(
+                        "packet p{pkt} resident∪lost seq mask {mask:#b} has a \
+                         hole — a flit vanished with neither a retransmission \
+                         copy nor a loss record"
+                    ),
+                })
+            }
+        };
+        for (&pkt, &mask) in &self.resident {
+            let lost = lost_mask(pkt);
+            if mask & lost != 0 {
                 return Err(Violation {
                     cycle: snap.now,
                     node: None,
                     invariant: "conservation",
                     detail: format!(
-                        "packet p{pkt} resident seq mask {mask:#b} has a hole — a flit \
-                         was lost with no retransmission copy left"
+                        "packet p{pkt} has flits both resident ({mask:#b}) and \
+                         in the loss ledger ({lost:#b}) — the death purge left \
+                         a copy of an amputated flit"
                     ),
                 });
+            }
+            contiguous(pkt, mask | lost)?;
+        }
+        for &(pkt, mask) in &snap.lost {
+            if mask == 0 {
+                return Err(Violation {
+                    cycle: snap.now,
+                    node: None,
+                    invariant: "conservation",
+                    detail: format!("packet p{pkt} has an empty loss-ledger entry"),
+                });
+            }
+            if !self.resident.contains_key(&pkt) {
+                contiguous(pkt, mask)?;
             }
         }
         Ok(())

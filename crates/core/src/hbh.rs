@@ -92,6 +92,12 @@ impl HbhSender {
     pub fn next_replay(&mut self, now: u64) -> Option<Flit> {
         self.buffer.next_replay(now)
     }
+
+    /// Removes every buffered slot whose flit matches `pred` (see
+    /// [`RetransmissionBuffer::purge`]). Returns `(flit, held)` pairs.
+    pub fn purge(&mut self, pred: impl FnMut(&Flit) -> bool) -> Vec<(Flit, bool)> {
+        self.buffer.purge(pred)
+    }
 }
 
 /// What the receiver decided about an arriving flit.

@@ -262,6 +262,28 @@ impl RetransmissionBuffer {
         self.slots.iter().map(|s| &s.flit)
     }
 
+    /// Removes every slot whose flit matches `pred`, returning the
+    /// removed flits front-first with their held flag (`true` = the
+    /// slot held the sole live instance of the flit, not a protective
+    /// copy). Supports whole-router fault purges: when a router dies,
+    /// the wormholes feeding it are amputated and their in-window
+    /// copies (and any recovery-absorbed originals) must leave the
+    /// barrel shifter so they can neither replay nor leak slots. Any
+    /// replay burst in progress simply continues over the surviving
+    /// slots; counters are lifetime statistics and are not rewound.
+    pub fn purge(&mut self, mut pred: impl FnMut(&Flit) -> bool) -> Vec<(Flit, bool)> {
+        let mut removed = Vec::new();
+        self.slots.retain(|s| {
+            if pred(&s.flit) {
+                removed.push((s.flit, s.state == SlotState::Held));
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
     /// Iterates over buffered flits with their held flag (`true` for
     /// recovery-absorbed slots that never expire), front first. Read-only
     /// inspection for the invariant oracle.

@@ -23,12 +23,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod hard;
 pub mod injector;
+pub mod plan;
 pub mod rates;
 pub mod schedule;
 
+pub use events::{FaultCause, FaultEvent, FaultEventKind, FaultLog};
 pub use hard::HardFaults;
 pub use injector::{FaultCounts, FaultInjector, LinkErrorKind};
+pub use plan::{FaultPlan, WearoutSpec};
 pub use rates::{ErrorMix, FaultRates};
-pub use schedule::{FaultTimeline, ScheduledKill};
+pub use schedule::{FaultTimeline, ScheduledKill, ScheduledRouterKill};

@@ -1,6 +1,7 @@
-//! Runtime hard-fault notification: links that die *mid-run*.
+//! Runtime hard-fault notification: links and routers that die *mid-run*.
 //!
-//! A [`ScheduledKill`] plants a hard link fault at a specific cycle; the
+//! A [`ScheduledKill`] plants a hard link fault at a specific cycle and a
+//! [`ScheduledRouterKill`] plants a whole-router death; the
 //! [`FaultTimeline`] turns the static base registry plus the schedule
 //! into the two views the router stack needs:
 //!
@@ -9,15 +10,20 @@
 //!   From that cycle on they stop granting new wormholes onto the port
 //!   and stop offering it as a route candidate; wormholes allocated
 //!   earlier drain gracefully (the control plane dies, the wires keep
-//!   carrying already-committed flits).
+//!   carrying already-committed flits). A dead *router* kills every one
+//!   of its links at once, and additionally purges its buffered flits
+//!   into the network's loss ledger (the drain story lives in the sim).
 //! * **Network-wide publication** — `notify_latency` cycles later the
 //!   fault is published to every router ([`FaultTimeline::epoch_at`]
 //!   advances), at which point route plans are recomputed against the
 //!   enlarged effective fault set ([`FaultTimeline::effective`]).
 //!
-//! Everything here is a pure function of the configuration: the
-//! timeline draws no randomness and holds no mutable state, so runs
-//! stay byte-identical at any thread count and under activity gating.
+//! The timeline built from configuration is a pure function of that
+//! configuration. Wear-out kills are the one extension point: the sim
+//! realizes them at runtime through [`FaultTimeline::push_link_kill`],
+//! but only from the serial commit phase and only as a deterministic
+//! function of traffic, so runs still stay byte-identical at any thread
+//! count and under activity gating.
 
 use ftnoc_types::geom::{Direction, NodeId, Topology};
 
@@ -36,6 +42,43 @@ pub struct ScheduledKill {
     pub dir: Direction,
 }
 
+/// A whole-router death that lands at a specific cycle: every link of
+/// the router dies at once and the router stops computing. Flits
+/// buffered inside it at that cycle are lost (the sim's drain story
+/// counts them into the `flits_lost` ledger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledRouterKill {
+    /// The cycle the router dies.
+    pub at: u64,
+    /// The router.
+    pub node: NodeId,
+}
+
+/// One entry of the merged kill schedule, in time order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillEvent {
+    Link(ScheduledKill),
+    Router(ScheduledRouterKill),
+}
+
+impl KillEvent {
+    fn at(&self) -> u64 {
+        match self {
+            KillEvent::Link(k) => k.at,
+            KillEvent::Router(k) => k.at,
+        }
+    }
+
+    /// Deterministic total order: time, then routers before links (a
+    /// router death subsumes link deaths), then node/dir.
+    fn sort_key(&self) -> (u64, u8, u16, u8) {
+        match self {
+            KillEvent::Router(k) => (k.at, 0, k.node.index() as u16, 0),
+            KillEvent::Link(k) => (k.at, 1, k.node.index() as u16, k.dir.index() as u8),
+        }
+    }
+}
+
 /// The complete hard-fault history of a run: the static base set plus
 /// every scheduled mid-run kill, pre-expanded into per-epoch effective
 /// fault registries.
@@ -43,64 +86,154 @@ pub struct ScheduledKill {
 pub struct FaultTimeline {
     topo: Topology,
     notify_latency: u64,
-    /// Kills sorted by `(at, node, dir)`.
+    /// Merged link/router kill events sorted by [`KillEvent::sort_key`].
+    events: Vec<KillEvent>,
+    /// Link kills sorted by `(at, node, dir)` (projection of `events`).
     kills: Vec<ScheduledKill>,
+    /// Router kills sorted by `(at, node)` (projection of `events`).
+    router_kills: Vec<ScheduledRouterKill>,
     /// `(published_since, effective set)` — `epochs[0]` is `(0, base)`;
     /// each later entry folds in every kill published by that cycle.
     epochs: Vec<(u64, HardFaults)>,
 }
 
 impl FaultTimeline {
-    /// Builds the timeline.
+    /// Builds a link-kills-only timeline (the pre-router-kill API).
     ///
     /// # Panics
     ///
-    /// Panics if a kill targets the `Local` port, a link missing from
-    /// the topology, or a link already dead in the base set (or killed
-    /// twice) — all configuration errors, not runtime conditions.
+    /// See [`FaultTimeline::with_events`].
     pub fn new(
         topo: Topology,
         base: HardFaults,
-        mut kills: Vec<ScheduledKill>,
+        kills: Vec<ScheduledKill>,
         notify_latency: u64,
     ) -> Self {
-        kills.sort_by_key(|k| (k.at, k.node, k.dir));
-        let mut epochs = vec![(0u64, base)];
-        for k in &kills {
-            assert!(k.dir.is_cardinal(), "the PE port is not a link");
-            assert!(
-                topo.neighbor(topo.coord_of(k.node), k.dir).is_some(),
-                "scheduled kill {}:{} targets a link absent from {topo}",
-                k.node,
-                k.dir
-            );
-            let (_, current) = epochs.last().unwrap();
-            assert!(
-                !current.link_is_dead(k.node, k.dir),
-                "scheduled kill {}:{} targets an already-dead link",
-                k.node,
-                k.dir
-            );
-            let published = k.at.saturating_add(notify_latency);
-            let mut next = current.clone();
-            next.kill_link(topo, k.node, k.dir);
-            if epochs.last().unwrap().0 == published {
-                epochs.last_mut().unwrap().1 = next;
-            } else {
-                epochs.push((published, next));
-            }
-        }
-        FaultTimeline {
+        FaultTimeline::with_events(topo, base, kills, Vec::new(), notify_latency)
+    }
+
+    /// Builds the timeline from both link and router kill schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link kill targets the `Local` port, a link missing
+    /// from the topology, or a link already dead at its cycle (base
+    /// fault, earlier kill, or earlier router death) — and if a router
+    /// kill targets an already-dead router. All configuration errors,
+    /// not runtime conditions. A router kill *is* allowed to cover links
+    /// that died earlier: the router death subsumes them.
+    pub fn with_events(
+        topo: Topology,
+        base: HardFaults,
+        kills: Vec<ScheduledKill>,
+        router_kills: Vec<ScheduledRouterKill>,
+        notify_latency: u64,
+    ) -> Self {
+        let mut events: Vec<KillEvent> = kills
+            .into_iter()
+            .map(KillEvent::Link)
+            .chain(router_kills.into_iter().map(KillEvent::Router))
+            .collect();
+        events.sort_by_key(KillEvent::sort_key);
+        let mut tl = FaultTimeline {
             topo,
             notify_latency,
-            kills,
-            epochs,
+            events,
+            kills: Vec::new(),
+            router_kills: Vec::new(),
+            epochs: vec![(0, base)],
+        };
+        tl.rebuild(true);
+        tl
+    }
+
+    /// Recomputes the projections and per-epoch effective sets from
+    /// `self.events` and the base set in `epochs[0]`. `validate` runs
+    /// the configuration assertions (skipped when re-folding after a
+    /// runtime wear-out insertion, which pre-checks liveness itself).
+    fn rebuild(&mut self, validate: bool) {
+        let topo = self.topo;
+        self.kills.clear();
+        self.router_kills.clear();
+        self.epochs.truncate(1);
+        self.epochs[0].0 = 0;
+        for ev in &self.events {
+            let (_, current) = self.epochs.last().unwrap();
+            let mut next = current.clone();
+            match ev {
+                KillEvent::Link(k) => {
+                    assert!(k.dir.is_cardinal(), "the PE port is not a link");
+                    assert!(
+                        topo.neighbor(topo.coord_of(k.node), k.dir).is_some(),
+                        "scheduled kill {}:{} targets a link absent from {topo}",
+                        k.node,
+                        k.dir
+                    );
+                    if validate {
+                        assert!(
+                            !current.link_is_dead(k.node, k.dir),
+                            "scheduled kill {}:{} targets an already-dead link",
+                            k.node,
+                            k.dir
+                        );
+                    }
+                    next.kill_link(topo, k.node, k.dir);
+                    self.kills.push(*k);
+                }
+                KillEvent::Router(k) => {
+                    if validate {
+                        assert!(
+                            !current.router_is_dead(k.node),
+                            "scheduled kill of {} targets an already-dead router",
+                            k.node
+                        );
+                    }
+                    next.kill_router(topo, k.node);
+                    self.router_kills.push(*k);
+                }
+            }
+            let published = ev.at().saturating_add(self.notify_latency);
+            if self.epochs.last().unwrap().0 == published {
+                self.epochs.last_mut().unwrap().1 = next;
+            } else {
+                self.epochs.push((published, next));
+            }
         }
     }
 
     /// A timeline with no mid-run kills: the base set, forever.
     pub fn static_only(topo: Topology, base: HardFaults) -> Self {
         FaultTimeline::new(topo, base, Vec::new(), 0)
+    }
+
+    /// Realizes a runtime (wear-out) link kill at cycle `at`. Returns
+    /// `false` without changing anything when the link does not exist or
+    /// is already dead by `at` (base fault, earlier kill, router death).
+    /// A *later* scheduled kill of the same link is pre-empted: the
+    /// wear-out death happens first, so the moot schedule entry is
+    /// dropped. Only the serial commit phase may call this.
+    pub fn push_link_kill(&mut self, at: u64, node: NodeId, dir: Direction) -> bool {
+        if !dir.is_cardinal() || self.topo.neighbor(self.topo.coord_of(node), dir).is_none() {
+            return false;
+        }
+        if self.link_dead_now(at, node, dir) {
+            return false;
+        }
+        // Drop any later link kill of the same physical link.
+        let topo = self.topo;
+        let covers = move |k: &ScheduledKill| {
+            (k.node == node && k.dir == dir)
+                || topo
+                    .neighbor(topo.coord_of(k.node), k.dir)
+                    .is_some_and(|c| topo.id_of(c) == node && k.dir.opposite() == dir)
+        };
+        self.events
+            .retain(|ev| !matches!(ev, KillEvent::Link(k) if k.at > at && covers(k)));
+        self.events
+            .push(KillEvent::Link(ScheduledKill { at, node, dir }));
+        self.events.sort_by_key(KillEvent::sort_key);
+        self.rebuild(false);
+        true
     }
 
     /// The topology the timeline was built for.
@@ -113,14 +246,20 @@ impl FaultTimeline {
         self.notify_latency
     }
 
-    /// The scheduled kills, sorted by cycle.
+    /// The scheduled link kills, sorted by cycle (wear-out kills appear
+    /// here too once realized).
     pub fn kills(&self) -> &[ScheduledKill] {
         &self.kills
     }
 
+    /// The scheduled router kills, sorted by cycle.
+    pub fn router_kills(&self) -> &[ScheduledRouterKill] {
+        &self.router_kills
+    }
+
     /// Whether the timeline has no mid-run kills (faults are static).
     pub fn is_static(&self) -> bool {
-        self.kills.is_empty()
+        self.events.is_empty()
     }
 
     /// Number of publication epochs (`1` when static).
@@ -159,13 +298,32 @@ impl FaultTimeline {
         if self.epochs[0].1.link_is_dead(node, dir) {
             return true;
         }
-        self.kills.iter().take_while(|k| k.at <= now).any(|k| {
-            (k.node == node && k.dir == dir)
-                || self
-                    .topo
-                    .neighbor(self.topo.coord_of(k.node), k.dir)
-                    .is_some_and(|c| self.topo.id_of(c) == node && k.dir.opposite() == dir)
-        })
+        let other = self
+            .topo
+            .neighbor(self.topo.coord_of(node), dir)
+            .map(|c| self.topo.id_of(c));
+        self.events
+            .iter()
+            .take_while(|ev| ev.at() <= now)
+            .any(|ev| match ev {
+                KillEvent::Link(k) => {
+                    (k.node == node && k.dir == dir)
+                        || (Some(k.node) == other && k.dir == dir.opposite())
+                }
+                KillEvent::Router(k) => k.node == node || Some(k.node) == other,
+            })
+    }
+
+    /// Ground truth at cycle `now`: whether router `node` is dead —
+    /// base dead routers plus every router kill with `at <= now`.
+    pub fn router_dead_now(&self, now: u64, node: NodeId) -> bool {
+        if self.epochs[0].1.router_is_dead(node) {
+            return true;
+        }
+        self.events
+            .iter()
+            .take_while(|ev| ev.at() <= now)
+            .any(|ev| matches!(ev, KillEvent::Router(k) if k.node == node))
     }
 
     /// Every cycle at which fault state changes somewhere: each kill's
@@ -174,9 +332,9 @@ impl FaultTimeline {
     /// activity gating cannot sleep through a reconfiguration.
     pub fn boundaries(&self) -> Vec<u64> {
         let mut b: Vec<u64> = self
-            .kills
+            .events
             .iter()
-            .flat_map(|k| [k.at, k.at.saturating_add(self.notify_latency)])
+            .flat_map(|ev| [ev.at(), ev.at().saturating_add(self.notify_latency)])
             .collect();
         b.sort_unstable();
         b.dedup();
@@ -185,24 +343,66 @@ impl FaultTimeline {
 
     /// Every directed dead link endpoint as of cycle `now`, with the
     /// cycle its death became locally known: `(node, dir, since)`.
-    /// Base faults carry `since == 0`. This is the network's fault
-    /// table as the snapshot exposes it to the invariant oracle.
+    /// Base faults carry `since == 0`; an endpoint killed twice (a link
+    /// kill later subsumed by a router death) keeps its earliest
+    /// `since`. This is the network's fault table as the snapshot
+    /// exposes it to the invariant oracle.
     pub fn dead_ports_at(&self, now: u64) -> Vec<(NodeId, Direction, u64)> {
+        let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
+        let mut push = |out: &mut Vec<_>, node: NodeId, dir: Direction, since: u64| {
+            if seen.insert((node, dir)) {
+                out.push((node, dir, since));
+            }
+        };
         for node in self.topo.nodes() {
             for dir in Direction::CARDINAL {
                 if self.epochs[0].1.link_is_dead(node, dir) {
-                    out.push((node, dir, 0));
+                    push(&mut out, node, dir, 0);
                 }
             }
         }
-        for k in self.kills.iter().take_while(|k| k.at <= now) {
-            out.push((k.node, k.dir, k.at));
-            if let Some(c) = self.topo.neighbor(self.topo.coord_of(k.node), k.dir) {
-                out.push((self.topo.id_of(c), k.dir.opposite(), k.at));
+        for ev in self.events.iter().take_while(|ev| ev.at() <= now) {
+            match ev {
+                KillEvent::Link(k) => {
+                    push(&mut out, k.node, k.dir, k.at);
+                    if let Some(c) = self.topo.neighbor(self.topo.coord_of(k.node), k.dir) {
+                        push(&mut out, self.topo.id_of(c), k.dir.opposite(), k.at);
+                    }
+                }
+                KillEvent::Router(k) => {
+                    for dir in Direction::CARDINAL {
+                        let Some(c) = self.topo.neighbor(self.topo.coord_of(k.node), dir) else {
+                            continue;
+                        };
+                        push(&mut out, k.node, dir, k.at);
+                        push(&mut out, self.topo.id_of(c), dir.opposite(), k.at);
+                    }
+                }
             }
         }
         out.sort_by_key(|&(n, d, s)| (n, d, s));
+        out
+    }
+
+    /// Every dead router as of cycle `now` with the cycle it died:
+    /// `(node, since)`, sorted by node. Base dead routers carry
+    /// `since == 0`.
+    pub fn dead_routers_at(&self, now: u64) -> Vec<(NodeId, u64)> {
+        let mut out: Vec<(NodeId, u64)> = self
+            .topo
+            .nodes()
+            .filter(|&n| self.epochs[0].1.router_is_dead(n))
+            .map(|n| (n, 0))
+            .collect();
+        for ev in self.events.iter().take_while(|ev| ev.at() <= now) {
+            if let KillEvent::Router(k) = ev {
+                if !out.iter().any(|&(n, _)| n == k.node) {
+                    out.push((k.node, k.at));
+                }
+            }
+        }
+        out.sort_by_key(|&(n, _)| n);
         out
     }
 }
@@ -223,6 +423,13 @@ mod tests {
         }
     }
 
+    fn rkill(at: u64, node: u16) -> ScheduledRouterKill {
+        ScheduledRouterKill {
+            at,
+            node: NodeId::new(node),
+        }
+    }
+
     #[test]
     fn static_timeline_has_one_epoch() {
         let tl = FaultTimeline::static_only(topo(), HardFaults::new());
@@ -232,6 +439,7 @@ mod tests {
         assert_eq!(tl.epoch_at(u64::MAX), 0);
         assert!(tl.boundaries().is_empty());
         assert!(tl.dead_ports_at(u64::MAX).is_empty());
+        assert!(tl.dead_routers_at(u64::MAX).is_empty());
     }
 
     #[test]
@@ -306,5 +514,94 @@ mod tests {
             vec![kill(10, 5, Direction::East), kill(20, 6, Direction::West)],
             4,
         );
+    }
+
+    #[test]
+    fn router_kill_kills_every_link_at_its_cycle() {
+        let tl = FaultTimeline::with_events(
+            topo(),
+            HardFaults::new(),
+            Vec::new(),
+            vec![rkill(100, 5)],
+            8,
+        );
+        assert!(!tl.is_static());
+        assert!(!tl.router_dead_now(99, NodeId::new(5)));
+        assert!(tl.router_dead_now(100, NodeId::new(5)));
+        // Node 5 of a 4x4 mesh is interior: all four links die, seen
+        // from both endpoints.
+        for dir in Direction::CARDINAL {
+            assert!(tl.link_dead_now(100, NodeId::new(5), dir), "{dir}");
+            assert!(!tl.link_dead_now(99, NodeId::new(5), dir), "{dir}");
+        }
+        assert!(tl.link_dead_now(100, NodeId::new(4), Direction::East));
+        assert!(tl.link_dead_now(100, NodeId::new(6), Direction::West));
+        assert!(tl.link_dead_now(100, NodeId::new(1), Direction::South));
+        assert!(tl.link_dead_now(100, NodeId::new(9), Direction::North));
+        // Publication lags by the notify latency.
+        assert_eq!(tl.epoch_at(107), 0);
+        assert_eq!(tl.epoch_at(108), 1);
+        assert!(tl.published_at(108).router_is_dead(NodeId::new(5)));
+        assert_eq!(tl.boundaries(), vec![100, 108]);
+        // The fault table lists all eight directed endpoints with since.
+        let ports = tl.dead_ports_at(100);
+        assert_eq!(ports.len(), 8);
+        assert!(ports.iter().all(|&(_, _, s)| s == 100));
+        assert_eq!(tl.dead_routers_at(100), vec![(NodeId::new(5), 100)]);
+        assert!(tl.dead_routers_at(99).is_empty());
+    }
+
+    #[test]
+    fn router_kill_subsumes_an_earlier_link_kill() {
+        // Link 5:e dies at 50, then router 5 dies at 100: legal — the
+        // router death covers the already-dead link without relisting it.
+        let tl = FaultTimeline::with_events(
+            topo(),
+            HardFaults::new(),
+            vec![kill(50, 5, Direction::East)],
+            vec![rkill(100, 5)],
+            0,
+        );
+        assert_eq!(tl.epoch_count(), 3);
+        let ports = tl.dead_ports_at(100);
+        // 2 endpoints since 50, 6 more since 100 (no duplicates).
+        assert_eq!(ports.len(), 8);
+        assert!(ports.contains(&(NodeId::new(5), Direction::East, 50)));
+        assert!(ports.contains(&(NodeId::new(6), Direction::West, 50)));
+        assert!(ports.contains(&(NodeId::new(5), Direction::West, 100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-dead router")]
+    fn double_router_kill_is_rejected() {
+        let _ = FaultTimeline::with_events(
+            topo(),
+            HardFaults::new(),
+            Vec::new(),
+            vec![rkill(10, 5), rkill(20, 5)],
+            4,
+        );
+    }
+
+    #[test]
+    fn wearout_push_realizes_and_preempts() {
+        let mut tl = FaultTimeline::new(
+            topo(),
+            HardFaults::new(),
+            vec![kill(1000, 5, Direction::East)],
+            4,
+        );
+        // Realize a wear-out death of the same link at cycle 200: the
+        // later scheduled kill is moot and gets dropped.
+        assert!(tl.push_link_kill(200, NodeId::new(6), Direction::West));
+        assert!(tl.link_dead_now(200, NodeId::new(5), Direction::East));
+        assert!(!tl.link_dead_now(199, NodeId::new(5), Direction::East));
+        assert_eq!(tl.kills().len(), 1);
+        assert_eq!(tl.kills()[0].at, 200);
+        // A second realization of the same (already dead) link is a no-op.
+        assert!(!tl.push_link_kill(300, NodeId::new(5), Direction::East));
+        // Nonexistent link: no-op.
+        assert!(!tl.push_link_kill(300, NodeId::new(0), Direction::North));
+        assert_eq!(tl.boundaries(), vec![200, 204]);
     }
 }

@@ -134,6 +134,17 @@ impl IntervalLine {
             );
             out.push(']');
         }
+        // Dead flags ride beside the counters as 0/1 (state, not a
+        // counter, hence not in `METRICS`): readers render a dead
+        // router's heatmap cell as ✖ instead of an intensity. Absent in
+        // files written before router deaths existed — readers treat a
+        // missing array as all-alive.
+        out.push_str(",\"dead\":[");
+        push_u64_list(
+            &mut out,
+            self.routers.routers.iter().map(|r| u64::from(r.dead)),
+        );
+        out.push(']');
         out.push('}');
         // Network-wide activity totals, derived from the per-router
         // `computed_cycles` telemetry: how many router-cycles the gated
@@ -179,6 +190,7 @@ mod tests {
         let mut routers = vec![RouterTelemetry::default(); 4];
         routers[1].flits_routed = 7;
         routers[3].nacks = 2;
+        routers[2].dead = true;
         MeshTelemetry {
             width: 2,
             height: 2,
@@ -243,6 +255,15 @@ mod tests {
             let arr = v.get("routers").unwrap().get(metric).unwrap();
             assert_eq!(arr.as_arr().unwrap().len(), 4, "{metric}");
         }
+        // Dead flags serialize as a parallel 0/1 array.
+        let dead = v.get("routers").unwrap().get("dead").unwrap();
+        let dead: Vec<u64> = dead
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(|d| d.as_u64())
+            .collect();
+        assert_eq!(dead, [0, 0, 1, 0]);
     }
 
     #[test]

@@ -12,6 +12,11 @@
 /// first character; the hottest non-zero cell as the last.
 const RAMP: &[u8] = b" .:-=+*#%@";
 
+/// A dead router's cell. Distinct from the idle blank: `' '` means the
+/// router computed nothing this run, `✖` means it is no longer part of
+/// the network at all (killed by schedule or wear-out).
+const DEAD: char = '✖';
+
 /// Topology-specific drawing style for a router grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LayoutKind {
@@ -86,30 +91,38 @@ pub struct TopoLayout {
 
 /// Renders `values` (router-id order) under a topology-aware layout.
 /// Mesh draws the bare grid; torus and cmesh add a legend note;
-/// chiplet draws tile separators.
+/// chiplet draws tile separators. `dead[i]` marks router `i` as dead —
+/// its cell renders `✖` instead of an intensity; pass `&[]` when
+/// the run had no router deaths (old metrics files).
 ///
 /// # Panics
 ///
 /// Panics if `values.len() != layout.width * layout.height`, or if a
 /// chiplet layout's tile dimensions are zero.
-pub fn render_layout(label: &str, layout: &TopoLayout, values: &[u64]) -> String {
+pub fn render_layout(label: &str, layout: &TopoLayout, values: &[u64], dead: &[bool]) -> String {
     match layout.kind {
-        LayoutKind::Mesh => render(label, layout.width, layout.height, values),
+        LayoutKind::Mesh => render(label, layout.width, layout.height, values, dead),
         LayoutKind::Torus => {
-            let mut s = render(label, layout.width, layout.height, values);
+            let mut s = render(label, layout.width, layout.height, values, dead);
             s.push_str("    torus: rows and columns wrap around\n");
             s
         }
         LayoutKind::CMesh { concentration } => {
-            let mut s = render(label, layout.width, layout.height, values);
+            let mut s = render(label, layout.width, layout.height, values, dead);
             s.push_str(&format!(
                 "    cmesh: each cell aggregates {concentration} terminals\n"
             ));
             s
         }
-        LayoutKind::Chiplet { chip_w, chip_h } => {
-            render_chiplet(label, layout.width, layout.height, chip_w, chip_h, values)
-        }
+        LayoutKind::Chiplet { chip_w, chip_h } => render_chiplet(
+            label,
+            layout.width,
+            layout.height,
+            chip_w,
+            chip_h,
+            values,
+            dead,
+        ),
     }
 }
 
@@ -122,6 +135,7 @@ fn render_chiplet(
     chip_w: usize,
     chip_h: usize,
     values: &[u64],
+    dead: &[bool],
 ) -> String {
     assert_eq!(
         values.len(),
@@ -158,9 +172,9 @@ fn render_chiplet(
             if x > 0 && x % chip_w == 0 {
                 out.push_str(" |");
             }
-            let v = values[y * width + x];
+            let i = y * width + x;
             out.push(' ');
-            out.push(cell(v, max));
+            out.push(glyph(values[i], max, is_dead(dead, i)));
         }
         out.push('\n');
     }
@@ -173,6 +187,7 @@ fn render_chiplet(
             hy / chip_h,
         ));
     }
+    push_dead_note(&mut out, dead);
     out.push_str(&format!(
         "    chiplet: {}x{} tiles of {chip_w}x{chip_h} routers, one gateway per facing edge\n",
         width / chip_w,
@@ -182,13 +197,14 @@ fn render_chiplet(
 }
 
 /// Renders `values` (node-id order, router `(x, y)` at `y * width + x`)
-/// as a `width × height` grid. Row 0 is printed at the top. Returns a
-/// multi-line string ending in a newline.
+/// as a `width × height` grid. Row 0 is printed at the top. `dead[i]`
+/// overrides router `i`'s cell with `✖` (`&[]` = nobody died).
+/// Returns a multi-line string ending in a newline.
 ///
 /// # Panics
 ///
 /// Panics if `values.len() != width * height`.
-pub fn render(label: &str, width: usize, height: usize, values: &[u64]) -> String {
+pub fn render(label: &str, width: usize, height: usize, values: &[u64], dead: &[bool]) -> String {
     assert_eq!(
         values.len(),
         width * height,
@@ -207,9 +223,9 @@ pub fn render(label: &str, width: usize, height: usize, values: &[u64]) -> Strin
     for y in 0..height {
         out.push_str(&format!("{y:>3} "));
         for x in 0..width {
-            let v = values[y * width + x];
+            let i = y * width + x;
             out.push(' ');
-            out.push(cell(v, max));
+            out.push(glyph(values[i], max, is_dead(dead, i)));
         }
         out.push('\n');
     }
@@ -220,6 +236,7 @@ pub fn render(label: &str, width: usize, height: usize, values: &[u64]) -> Strin
             std::str::from_utf8(RAMP).expect("ascii ramp")
         ));
     }
+    push_dead_note(&mut out, dead);
     out
 }
 
@@ -232,6 +249,33 @@ fn cell(v: u64, max: u64) -> char {
     // any non-zero activity is visibly distinct from none.
     let idx = 1 + (v.saturating_mul(RAMP.len() as u64 - 2) / max) as usize;
     RAMP[idx.min(RAMP.len() - 1)] as char
+}
+
+/// A cell glyph: dead routers show [`DEAD`] whatever their cumulative
+/// counter says (the counter is pre-death history, the glyph is current
+/// state); live routers show the intensity ramp.
+fn glyph(v: u64, max: u64, dead: bool) -> char {
+    if dead {
+        DEAD
+    } else {
+        cell(v, max)
+    }
+}
+
+/// `dead` is allowed to be shorter than the grid (in particular empty,
+/// for metrics files that predate router deaths): missing means alive.
+fn is_dead(dead: &[bool], i: usize) -> bool {
+    dead.get(i).copied().unwrap_or(false)
+}
+
+/// Legend line naming the dead-router glyph, only when someone died.
+fn push_dead_note(out: &mut String, dead: &[bool]) {
+    let n = dead.iter().filter(|&&d| d).count();
+    if n > 0 {
+        out.push_str(&format!(
+            "    {DEAD} = dead router ({n}), distinct from idle ` `\n"
+        ));
+    }
 }
 
 /// Coordinates of the (first) maximum cell.
@@ -253,7 +297,7 @@ mod tests {
         let mut values = vec![0u64; 12];
         values[5] = 100; // (1, 1) on a 4-wide grid
         values[0] = 1;
-        let s = render("flits_routed", 4, 3, &values);
+        let s = render("flits_routed", 4, 3, &values, &[]);
         assert!(s.contains("flits_routed (total 101, max 100)"));
         assert!(s.contains("hottest (1,1)"), "{s}");
         let rows: Vec<&str> = s.lines().collect();
@@ -266,7 +310,7 @@ mod tests {
 
     #[test]
     fn all_zero_has_no_legend() {
-        let s = render("nacks", 2, 2, &[0, 0, 0, 0]);
+        let s = render("nacks", 2, 2, &[0, 0, 0, 0], &[]);
         assert!(!s.contains("hottest"));
         assert!(s.contains("nacks (total 0, max 0)"));
     }
@@ -283,7 +327,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "shape mismatch")]
     fn wrong_shape_panics() {
-        render("x", 2, 2, &[1, 2, 3]);
+        render("x", 2, 2, &[1, 2, 3], &[]);
     }
 
     #[test]
@@ -312,17 +356,69 @@ mod tests {
             height: 2,
             kind,
         };
-        let mesh = render_layout("m", &layout(LayoutKind::Mesh), &[1, 2, 3, 4]);
-        assert_eq!(mesh, render("m", 2, 2, &[1, 2, 3, 4]));
-        let torus = render_layout("m", &layout(LayoutKind::Torus), &[1, 2, 3, 4]);
+        let mesh = render_layout("m", &layout(LayoutKind::Mesh), &[1, 2, 3, 4], &[]);
+        assert_eq!(mesh, render("m", 2, 2, &[1, 2, 3, 4], &[]));
+        let torus = render_layout("m", &layout(LayoutKind::Torus), &[1, 2, 3, 4], &[]);
         assert!(torus.starts_with(&mesh), "{torus}");
         assert!(torus.contains("wrap around"), "{torus}");
         let cm = render_layout(
             "m",
             &layout(LayoutKind::CMesh { concentration: 4 }),
             &[1, 2, 3, 4],
+            &[],
         );
         assert!(cm.contains("aggregates 4 terminals"), "{cm}");
+    }
+
+    #[test]
+    fn dead_routers_render_crosses_not_blanks() {
+        // Router 1 died with history (non-zero counter), router 2 died
+        // idle, router 0 is alive-but-idle: the dead ones get ✖, the
+        // idle one stays blank — state, not activity.
+        let s = render(
+            "flits_routed",
+            2,
+            2,
+            &[0, 7, 0, 9],
+            &[false, true, true, false],
+        );
+        // Two dead cells plus the one in the legend line.
+        assert_eq!(s.matches('✖').count(), 3, "{s}");
+        assert!(s.contains("✖ = dead router (2)"), "{s}");
+        let rows: Vec<&str> = s.lines().collect();
+        assert!(rows[2].contains('✖'), "{s}"); // row 0: routers 0,1
+        assert!(rows[3].contains('✖'), "{s}"); // row 1: routers 2,3
+                                               // The live hot router still ramps; totals keep pre-death history.
+        assert!(s.contains("(total 16, max 9)"), "{s}");
+        assert!(rows[3].contains('@'), "{s}");
+        // No deaths → no legend line, byte-identical to the old output.
+        let alive = render("flits_routed", 2, 2, &[0, 7, 0, 9], &[]);
+        assert!(!alive.contains('✖'), "{alive}");
+        assert!(!alive.contains("dead router"), "{alive}");
+    }
+
+    #[test]
+    fn dead_note_rides_every_layout() {
+        let dead = [true, false, false, false];
+        for kind in [
+            LayoutKind::Mesh,
+            LayoutKind::Torus,
+            LayoutKind::CMesh { concentration: 4 },
+            LayoutKind::Chiplet {
+                chip_w: 1,
+                chip_h: 1,
+            },
+        ] {
+            let layout = TopoLayout {
+                width: 2,
+                height: 2,
+                kind,
+            };
+            let s = render_layout("m", &layout, &[1, 2, 3, 4], &dead);
+            // One dead cell plus the one in the legend line.
+            assert_eq!(s.matches('✖').count(), 2, "{kind:?}:\n{s}");
+            assert!(s.contains("✖ = dead router (1)"), "{kind:?}:\n{s}");
+        }
     }
 
     #[test]
@@ -337,7 +433,7 @@ mod tests {
         };
         let mut values = vec![0u64; 16];
         values[15] = 9; // router (3, 3) → chip (1, 1)
-        let s = render_layout("gw", &layout, &values);
+        let s = render_layout("gw", &layout, &values, &[]);
         assert!(s.contains(" |"), "column separator missing:\n{s}");
         assert!(s.contains("-+"), "row separator missing:\n{s}");
         assert!(s.contains("hottest (3,3) in chip (1,1)"), "{s}");

@@ -177,6 +177,22 @@ fn render_activity(out: &mut String, last: &Value) {
 
 fn render_heatmaps(out: &mut String, last: &Value, layout: &TopoLayout) -> Result<(), String> {
     let routers = last.get("routers").ok_or("interval missing routers")?;
+    // Dead flags (0/1 array beside the counters) mark routers killed by
+    // schedule or wear-out; their cells draw as ✖ instead of an
+    // intensity. Files from before router deaths existed have no array
+    // — everyone is alive then.
+    let dead: Vec<bool> = u64_list(routers.get("dead"))
+        .iter()
+        .map(|&d| d != 0)
+        .collect();
+    if !dead.is_empty() && dead.len() != layout.width * layout.height {
+        return Err(format!(
+            "dead flags: {} values for a {}x{} grid",
+            dead.len(),
+            layout.width,
+            layout.height
+        ));
+    }
     out.push_str("\nrouter heatmaps (cumulative, final interval)\n");
     for metric in RouterTelemetry::METRICS {
         let values = u64_list(routers.get(metric));
@@ -192,7 +208,7 @@ fn render_heatmaps(out: &mut String, last: &Value, layout: &TopoLayout) -> Resul
         // the fault/stall metrics only when they actually fired.
         if metric == "flits_routed" || values.iter().any(|&v| v > 0) {
             out.push('\n');
-            out.push_str(&heatmap::render_layout(metric, layout, &values));
+            out.push_str(&heatmap::render_layout(metric, layout, &values, &dead));
         }
     }
     Ok(())
@@ -303,6 +319,28 @@ mod tests {
         let report = render(&old).unwrap();
         assert!(!report.contains("topology  "), "{report}");
         assert!(report.contains("flits_routed (total 50"), "{report}");
+    }
+
+    #[test]
+    fn dead_routers_show_as_crosses_in_heatmaps() {
+        // Kill router 2 in the final interval: every rendered heatmap
+        // marks its cell ✖ and the legend names the glyph.
+        let file = sample_file().replace("\"dead\":[0,0,0,0]", "\"dead\":[0,0,1,0]");
+        let report = render(&file).unwrap();
+        assert!(report.contains('✖'), "{report}");
+        assert!(report.contains("✖ = dead router (1)"), "{report}");
+        // An all-alive run keeps the old output shape.
+        let report = render(&sample_file()).unwrap();
+        assert!(!report.contains('✖'), "{report}");
+        // Pre-death files (no dead array at all) still render.
+        let old = sample_file().replace(",\"dead\":[0,0,0,0]", "");
+        let report = render(&old).unwrap();
+        assert!(!report.contains('✖'), "{report}");
+        assert!(report.contains("flits_routed (total 50"), "{report}");
+        // A malformed dead array is diagnosed, not mis-painted.
+        let bad = sample_file().replace("\"dead\":[0,0,0,0]", "\"dead\":[1]");
+        let err = render(&bad).unwrap_err();
+        assert!(err.contains("dead flags"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct RouterTelemetry {
     /// run's cycle count when activity gating is off; lower under
     /// gating — the gap is the skip rate).
     pub computed_cycles: u64,
+    /// Whether the router has been killed by a whole-router fault.
+    /// Heatmaps render a dead router as `✖`, distinct from a merely
+    /// idle `0` cell.
+    pub dead: bool,
 }
 
 impl RouterTelemetry {
@@ -74,6 +78,9 @@ impl RouterTelemetry {
             faults_injected: self.faults_injected - s.faults_injected,
             recoveries: self.recoveries - s.recoveries,
             computed_cycles: self.computed_cycles - s.computed_cycles,
+            // Death is a state, not a counter: an interval delta of a
+            // dead router is still a dead router.
+            dead: self.dead,
         }
     }
 }

@@ -1,6 +1,9 @@
 //! Simulation configuration.
 
-use ftnoc_fault::{FaultRates, FaultTimeline, HardFaults, ScheduledKill};
+use ftnoc_fault::{
+    FaultPlan, FaultRates, FaultTimeline, HardFaults, ScheduledKill, ScheduledRouterKill,
+    WearoutSpec,
+};
 use ftnoc_traffic::{InjectionProcess, TrafficPattern};
 use ftnoc_types::config::RouterConfig;
 use ftnoc_types::error::ConfigError;
@@ -143,6 +146,14 @@ pub struct SimConfig {
     ///
     /// [`fault_notify_latency`]: SimConfig::fault_notify_latency
     pub scheduled_kills: Vec<ScheduledKill>,
+    /// Whole-router deaths that land mid-run: every link of the router
+    /// dies at once, the router stops computing, and its buffered flits
+    /// are counted into the run's `flits_lost` ledger.
+    pub router_kills: Vec<ScheduledRouterKill>,
+    /// The wear-out (aging) model: seeded per-link lifetime budgets in
+    /// flits; a link dies when the traffic it has carried exhausts its
+    /// budget. `None` disables wear-out.
+    pub wearout: Option<WearoutSpec>,
     /// Cycles between a mid-run fault's local detection and its
     /// network-wide publication.
     pub fault_notify_latency: u64,
@@ -191,15 +202,34 @@ impl SimConfig {
         self.router.flits_per_packet()
     }
 
-    /// Expands the static hard faults plus the kill schedule into the
-    /// run's [`FaultTimeline`].
+    /// Expands the static hard faults plus the kill schedules into the
+    /// run's [`FaultTimeline`]. Wear-out kills are not part of the
+    /// configured timeline — the sim realizes them online from traffic.
     pub fn fault_timeline(&self) -> FaultTimeline {
-        FaultTimeline::new(
+        FaultTimeline::with_events(
             self.topology,
             self.hard_faults.clone(),
             self.scheduled_kills.clone(),
+            self.router_kills.clone(),
             self.fault_notify_latency,
         )
+    }
+
+    /// The wear-out budget seed the run actually uses: the spec's
+    /// explicit seed, or one derived from the run seed.
+    pub fn wearout_seed(&self) -> u64 {
+        match self.wearout {
+            Some(w) if w.seed != 0 => w.seed,
+            _ => self.seed ^ 0x00AE_510F_BADE,
+        }
+    }
+
+    /// Whether the run can lose flits (a router death purges buffers):
+    /// any configured router kill or the wear-out model being armed.
+    /// Wear-out alone never loses flits (link deaths drain gracefully),
+    /// but it shares the relaxed credit-accounting invariants.
+    pub fn can_lose_flits(&self) -> bool {
+        !self.router_kills.is_empty()
     }
 }
 
@@ -233,6 +263,8 @@ impl SimConfigBuilder {
                 faults: FaultRates::none(),
                 hard_faults: HardFaults::new(),
                 scheduled_kills: Vec::new(),
+                router_kills: Vec::new(),
+                wearout: None,
                 fault_notify_latency: 4,
                 deadlock: DeadlockConfig::default(),
                 seed: 0xF7_0C,
@@ -320,6 +352,36 @@ impl SimConfigBuilder {
     /// Schedules hard link faults that land mid-run.
     pub fn scheduled_kills(&mut self, kills: Vec<ScheduledKill>) -> &mut Self {
         self.config.scheduled_kills = kills;
+        self
+    }
+
+    /// Schedules whole-router deaths that land mid-run.
+    pub fn router_kills(&mut self, kills: Vec<ScheduledRouterKill>) -> &mut Self {
+        self.config.router_kills = kills;
+        self
+    }
+
+    /// Arms (or disarms, with `None`) the wear-out model.
+    pub fn wearout(&mut self, spec: Option<WearoutSpec>) -> &mut Self {
+        self.config.wearout = spec;
+        self
+    }
+
+    /// Lowers a [`FaultPlan`] into the configuration: the at-reset
+    /// entries become `hard_faults`, the schedules become
+    /// `scheduled_kills`/`router_kills`, and the wear-out/notify knobs
+    /// land in their fields. This is the single seam every fault
+    /// front-end (the `--fault` grammar, the legacy flag shims, the
+    /// fuzzer) goes through. Call [`FaultPlan::validate`] first — the
+    /// lowering itself does not re-check the topology.
+    pub fn fault_plan(&mut self, plan: &FaultPlan) -> &mut Self {
+        self.config.hard_faults = plan.base_faults(self.config.topology);
+        self.config.scheduled_kills = plan.link_kills().to_vec();
+        self.config.router_kills = plan.router_kills().to_vec();
+        self.config.wearout = plan.wearout_spec();
+        if let Some(latency) = plan.notify() {
+            self.config.fault_notify_latency = latency;
+        }
         self
     }
 
@@ -428,6 +490,7 @@ impl Default for SimConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftnoc_types::geom::Direction;
 
     #[test]
     fn default_config_matches_paper_platform() {
@@ -473,7 +536,40 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.fault_notify_latency, 4);
         assert!(c.scheduled_kills.is_empty());
+        assert!(c.router_kills.is_empty());
+        assert!(c.wearout.is_none());
         assert!(c.fault_timeline().is_static());
+        assert!(!c.can_lose_flits());
+    }
+
+    #[test]
+    fn fault_plan_lowers_into_the_config() {
+        let mut plan = FaultPlan::new();
+        plan.add_spec("link:0:e").unwrap();
+        plan.add_spec("link:5:s@100").unwrap();
+        plan.add_spec("router:9@250").unwrap();
+        plan.add_spec("wearout:1000:7").unwrap();
+        plan.add_spec("notify:8").unwrap();
+        let c = SimConfig::builder().fault_plan(&plan).build().unwrap();
+        assert!(c
+            .hard_faults
+            .link_is_dead(ftnoc_types::geom::NodeId::new(0), Direction::East));
+        assert_eq!(c.scheduled_kills.len(), 1);
+        assert_eq!(c.router_kills.len(), 1);
+        assert_eq!(c.router_kills[0].at, 250);
+        assert_eq!(
+            c.wearout,
+            Some(WearoutSpec {
+                mean_budget: 1000,
+                seed: 7
+            })
+        );
+        assert_eq!(c.wearout_seed(), 7);
+        assert_eq!(c.fault_notify_latency, 8);
+        assert!(c.can_lose_flits());
+        let tl = c.fault_timeline();
+        assert_eq!(tl.router_kills().len(), 1);
+        assert_eq!(tl.kills().len(), 1);
     }
 
     #[test]

@@ -71,6 +71,20 @@ impl FlitWire {
         self.in_flight
     }
 
+    /// Removes the in-flight flit when it matches `pred`, regardless of
+    /// its delivery cycle. Whole-router fault purges use this: a flit
+    /// en route toward (or belonging to a wormhole amputated by) a dead
+    /// router is physically lost on the wire.
+    pub fn purge_if(&mut self, pred: impl FnOnce(&Flit) -> bool) -> Option<(Flit, u8)> {
+        match self.in_flight {
+            Some((flit, vc, _)) if pred(&flit) => {
+                self.in_flight = None;
+                Some((flit, vc))
+            }
+            _ => None,
+        }
+    }
+
     /// Takes the flit due for delivery at cycle `now`, if any.
     #[inline]
     pub fn deliver_flit(&mut self, now: u64) -> Option<(Flit, u8)> {
@@ -172,6 +186,15 @@ impl RevWire {
     /// Whether any reverse-channel activity is pending (for tests).
     pub fn reverse_idle(&self) -> bool {
         self.credits.is_empty() && self.nacks.is_empty()
+    }
+
+    /// Drops every pending credit and NACK: the link's other endpoint
+    /// died with these signals mid-wire, so they never arrive. Credits
+    /// lost this way are a deliberate ledger leak (the oracle's exact
+    /// credit check disarms once a run can lose flits).
+    pub fn clear(&mut self) {
+        self.credits.clear();
+        self.nacks.clear();
     }
 }
 

@@ -30,13 +30,13 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, RwLock};
 
 use ftnoc_core::ac::VcRef;
 use ftnoc_core::deadlock::probe::{ActivationAction, ActivationSignal, ProbeAction, ProbeSignal};
 use ftnoc_core::e2e::{E2eDestination, E2eSource, E2eVerdict};
 use ftnoc_ecc::protect_flit;
-use ftnoc_fault::FaultCounts;
+use ftnoc_fault::{FaultCause, FaultCounts, FaultEventKind, FaultLog, ScheduledRouterKill};
 use ftnoc_metrics::{EngineProfile, MeshTelemetry, ProfileSnapshot, RouterTelemetry};
 use ftnoc_rng::Rng;
 use ftnoc_trace::{DropReason, NullSink, TraceEvent, TraceSink, Tracer};
@@ -176,6 +176,38 @@ struct ProbeFlight {
     path: Vec<NodeId>,
 }
 
+/// Runtime wear-out accumulator: per-directed-link flit traffic counted
+/// against seeded lifetime budgets. Owned by the serial core and fed by
+/// the commit phase's drive drain, so it is a pure function of the
+/// delivered traffic — deterministic at any thread count and identical
+/// under activity gating (a skipped router moved no flits).
+struct WearState {
+    /// The configured notify latency (publication lag of a realized
+    /// death, mirroring scheduled kills).
+    notify: u64,
+    /// `budgets[n][d]`: flits the link leaving `n` in direction `d`
+    /// survives. `u64::MAX` where the topology has no link.
+    budgets: Vec<[u64; 4]>,
+    /// `counts[n][d]`: flits carried so far.
+    counts: Vec<[u64; 4]>,
+    /// Budget crossings observed this cycle, realized after the drain
+    /// in `(node, dir)` order.
+    pending: Vec<(usize, usize)>,
+}
+
+impl WearState {
+    /// Books one flit onto the link leaving `node` in direction `d`,
+    /// queueing a kill when the crossing is exact (each budget crosses
+    /// once, so the pending list never duplicates).
+    #[inline]
+    fn note(&mut self, node: usize, d: usize) {
+        self.counts[node][d] += 1;
+        if self.counts[node][d] == self.budgets[node][d] {
+            self.pending.push((node, d));
+        }
+    }
+}
+
 /// A recovery-activation signal walking the recorded probe path.
 struct ActivationFlight {
     origin: NodeId,
@@ -225,9 +257,12 @@ pub(crate) struct RunEnv {
     pub active: ActiveSet,
     /// The run's fault state: the hard-fault timeline (static base set
     /// plus scheduled mid-run kills) with one pre-built fault-aware
-    /// routing plan per publication epoch. Immutable, so compute
-    /// workers query it freely.
-    pub faults: FaultState,
+    /// routing plan per publication epoch. Compute workers take
+    /// uncontended read locks; the only writer is the serial commit
+    /// phase when the wear-out model realizes a link death, which
+    /// happens strictly between compute sweeps — so readers never
+    /// observe a half-updated plan at any thread count.
+    pub faults: RwLock<FaultState>,
 }
 
 /// Serial state owned by the main thread: traffic endpoints, the
@@ -268,8 +303,31 @@ pub(crate) struct NetCore<S: TraceSink> {
     /// and publication instants, sorted). Fault notification is a
     /// wake-up source: the commit phase wakes the whole mesh at each
     /// boundary so activity gating cannot sleep through a
-    /// reconfiguration. Empty on static-fault runs.
+    /// reconfiguration. Empty on static-fault runs. Wear-out deaths
+    /// insert their detection/publication instants as they realize.
     fault_boundaries: Vec<u64>,
+    /// Flits that physically entered the network (router injections).
+    flits_injected: u64,
+    /// Flits lost to whole-router deaths (buffered in, en route to, or
+    /// amputated by a dead router). The conservation oracle closes the
+    /// ledger: injected == ejected + in-flight + lost.
+    flits_lost: u64,
+    /// Per-packet bitmask of lost flit sequence numbers (seq < 128),
+    /// keyed by raw packet id — the loss ledger the oracle audits.
+    lost: HashMap<u64, u128>,
+    /// Time-ordered fault event log: configured kills up front, wear-out
+    /// deaths appended as they realize. The single observer feed the
+    /// snapshot, metrics emitter and trace sink all consume.
+    fault_log: FaultLog,
+    /// Wear-out accumulator, when the model is armed.
+    wearout: Option<WearState>,
+    /// Scheduled router kills sorted by cycle, with a cursor over the
+    /// ones already executed.
+    router_kills: Vec<ScheduledRouterKill>,
+    kills_done: usize,
+    /// Whether each router is dead right now (commit-phase mirror of
+    /// the timeline's ground truth, kept for O(1) drain checks).
+    dead_now: Vec<bool>,
 }
 
 /// A periodic progress sample handed to run observers (the CLI's
@@ -317,11 +375,20 @@ pub struct Network<S: TraceSink = NullSink> {
 /// `cell`, which is what makes running it concurrently across cells
 /// race-free (and thread-count-independent) by construction.
 pub(crate) fn compute_cell(env: &RunEnv, cell: &mut RouterCell, now: u64) {
+    // A dead router computes nothing, draws nothing, counts nothing —
+    // before the fault stream is positioned and before the computed
+    // cycle is booked, so gated and full-sweep runs stay byte-identical
+    // through a death (a boundary wake-all may still schedule it).
+    if cell.router.is_dead() {
+        cell.wants_wake = false;
+        return;
+    }
+    let faults = env.faults.read().unwrap();
     let ctx = Ctx {
         config: &env.config,
         topo: env.topo,
         now,
-        faults: &env.faults,
+        faults: &faults,
     };
     let RouterCell {
         router,
@@ -468,13 +535,50 @@ impl<S: TraceSink> Network<S> {
         let gating = config.activity_gating;
         let faults = FaultState::new(config.fault_timeline());
         let fault_boundaries = faults.timeline().boundaries();
+        let fault_log = FaultLog::from_timeline(faults.timeline());
+        let router_kills = faults.timeline().router_kills().to_vec();
+        // Routers dead from reset (base faults or kills at cycle 0)
+        // never compute at all; they are empty, so nothing is lost.
+        let mut dead_now = vec![false; n];
+        let mut kills_done = 0;
+        for node in topo.nodes() {
+            if faults.timeline().router_dead_now(0, node) {
+                dead_now[node.index()] = true;
+                cells[node.index()].lock().unwrap().router.dead = true;
+            }
+        }
+        while kills_done < router_kills.len() && router_kills[kills_done].at == 0 {
+            kills_done += 1;
+        }
+        let wearout = config.wearout.map(|spec| {
+            let seed = config.wearout_seed();
+            let budgets = topo
+                .nodes()
+                .map(|id| {
+                    let coord = topo.coord_of(id);
+                    let mut b = [u64::MAX; 4];
+                    for d in Direction::CARDINAL {
+                        if topo.neighbor(coord, d).is_some() {
+                            b[d.index()] = spec.budget_for(seed, id, d);
+                        }
+                    }
+                    b
+                })
+                .collect::<Vec<_>>();
+            WearState {
+                notify: config.fault_notify_latency,
+                counts: vec![[0; 4]; budgets.len()],
+                budgets,
+                pending: Vec::new(),
+            }
+        });
         Network {
             env: RunEnv {
                 config,
                 topo,
                 profile: None,
                 active: ActiveSet::new(n, gating),
-                faults,
+                faults: RwLock::new(faults),
             },
             cells,
             core: NetCore {
@@ -502,6 +606,14 @@ impl<S: TraceSink> Network<S> {
                 recovering_scratch: Vec::with_capacity(n),
                 wheel: ActivityWheel::new(n, gating),
                 fault_boundaries,
+                flits_injected: 0,
+                flits_lost: 0,
+                lost: HashMap::new(),
+                fault_log,
+                wearout,
+                router_kills,
+                kills_done,
+                dead_now,
             },
         }
     }
@@ -656,6 +768,32 @@ impl<S: TraceSink> Network<S> {
         self.core.flits_ejected
     }
 
+    /// Flits that physically entered the network since construction.
+    pub fn flits_injected(&self) -> u64 {
+        self.core.flits_injected
+    }
+
+    /// Flits lost to whole-router deaths since construction.
+    pub fn flits_lost(&self) -> u64 {
+        self.core.flits_lost
+    }
+
+    /// Raw ids of every packet with at least one flit in the loss
+    /// ledger, sorted — the packets a router death truncated. Tests use
+    /// this to separate "must still deliver" from "correctly lost".
+    pub fn lost_packets(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.core.lost.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The run's fault event log: configured kills up front, wear-out
+    /// deaths appended as they realize — the single observer feed that
+    /// the oracle, metrics emitter and trace sink all consume.
+    pub fn fault_events(&self) -> &[ftnoc_fault::FaultEvent] {
+        self.core.fault_log.events()
+    }
+
     /// Whether every flit has left the network (buffers, ST queues and
     /// recovery-held slots empty everywhere; in-flight wires may still
     /// carry expired-replica traffic).
@@ -725,12 +863,43 @@ pub(crate) fn build_snapshot<S: TraceSink>(
     // The network's fault table as of the snapshot cycle: every
     // directed dead link endpoint with the cycle its death became
     // locally known (the oracle checks allocations against it).
-    let dead_ports = env
-        .faults
+    let faults = env.faults.read().unwrap();
+    let dead_ports = faults
         .timeline()
         .dead_ports_at(core.now.saturating_sub(1))
         .into_iter()
         .map(|(n, d, since)| (n.index(), d.index(), since))
+        .collect();
+    // Router deaths use `now`, not `now - 1`: the kill purge runs in
+    // the commit of cycle `at - 1` so that cycle `at` opens with the
+    // victim dead — a snapshot taken at `now` (the start of cycle
+    // `now`) therefore already shows a router dying at `now` as dead.
+    let dead_routers = faults
+        .timeline()
+        .dead_routers_at(core.now)
+        .into_iter()
+        .map(|(n, since)| (n.index(), since))
+        .collect();
+    let mut lost: Vec<(u64, u128)> = core.lost.iter().map(|(&id, &mask)| (id, mask)).collect();
+    lost.sort_unstable_by_key(|&(id, _)| id);
+    let fault_events = core
+        .fault_log
+        .events()
+        .iter()
+        .map(|ev| {
+            let (router, node, dir) = match ev.kind {
+                FaultEventKind::RouterDown { node } => (true, node.index(), 0),
+                FaultEventKind::LinkDown { node, dir } => (false, node.index(), dir.index()),
+            };
+            crate::snapshot::FaultEventView {
+                at: ev.at,
+                published_at: ev.published_at,
+                wearout: ev.cause == FaultCause::Wearout,
+                router,
+                node,
+                dir,
+            }
+        })
         .collect();
     NetSnapshot {
         now: core.now,
@@ -743,6 +912,11 @@ pub(crate) fn build_snapshot<S: TraceSink>(
         packets_injected: core.packets_injected,
         packets_ejected: core.packets_ejected,
         flits_ejected: core.flits_ejected,
+        flits_injected: core.flits_injected,
+        flits_lost: core.flits_lost,
+        lost,
+        dead_routers,
+        fault_events,
         neighbors,
         routers,
         wires,
@@ -832,6 +1006,12 @@ impl<S: TraceSink> NetCore<S> {
         for t in 0..self.pes.len() {
             let node = t % n_routers;
             let port = 4 + t / n_routers;
+            // A dead router takes its terminals with it: the PE stops
+            // generating (its pending traffic was purged at death) and
+            // draws nothing — the node is gone, not merely idle.
+            if self.dead_now[node] {
+                continue;
+            }
             // New traffic.
             let count = if source_open && self.pes[t].source_queue.len() < SOURCE_QUEUE_CAP {
                 self.pes[t].injector.packets_this_cycle(&mut self.rng)
@@ -841,6 +1021,12 @@ impl<S: TraceSink> NetCore<S> {
             for _ in 0..count {
                 let src = NodeId::new(t as u16);
                 let dest = env.config.pattern.destination(src, env.topo, &mut self.rng);
+                // Traffic addressed to a dead router is stillborn: the
+                // destination draw is consumed (the RNG stream stays a
+                // pure function of the cycle) but no packet exists.
+                if self.dead_now[dest.index() % n_routers] {
+                    continue;
+                }
                 let id = PacketId::new(self.next_packet);
                 self.next_packet += 1;
                 let mut packet = Packet::new(
@@ -885,6 +1071,13 @@ impl<S: TraceSink> NetCore<S> {
             if scheme.uses_end_to_end_control() && now.is_multiple_of(32) {
                 let expired = self.pes[t].e2e_source.take_expired(now);
                 for packet in expired {
+                    // A retransmission to a dead router would bounce
+                    // forever: the destination died, so the copy is
+                    // abandoned rather than requeued.
+                    let dest = packet.flits()[0].header.dest;
+                    if self.dead_now[dest.index() % n_routers] {
+                        continue;
+                    }
                     cell.router.errors.e2e_retransmissions += 1;
                     self.pes[t].source_queue.push_back(packet);
                 }
@@ -904,6 +1097,7 @@ impl<S: TraceSink> NetCore<S> {
             if let Some((vc, mut flits)) = self.pes[t].injecting.take() {
                 if cell.router.local_free_slots(port, vc) > 0 {
                     if let Some(flit) = flits.pop_front() {
+                        self.flits_injected += 1;
                         cell.router.inject_local(port, vc, flit);
                         // The router just gained a flit: it must compute
                         // this very cycle (pre runs before compute).
@@ -940,17 +1134,33 @@ impl<S: TraceSink> NetCore<S> {
             }
             cell.router.trace.events.clear();
 
-            // Link drives onto the receiving router's forward wires.
+            // Link drives onto the receiving router's forward wires. A
+            // drive aimed at a dead router (the sender not yet notified,
+            // or mid-wormhole toward the corpse) is lost at the pins —
+            // booked into the loss ledger, never onto a wire, so the
+            // skipped victim accumulates no due traffic.
             for i in 0..cell.router.drives.len() {
                 let drive = cell.router.drives[i];
                 let m = topo
                     .neighbor(topo.coord_of(NodeId::new(n as u16)), drive.dir)
                     .map(|c| topo.id_of(c))
                     .expect("drive targets an existing link");
+                if self.dead_now[m.index()] {
+                    self.record_lost_flit(
+                        m.index() as u16,
+                        drive.flit,
+                        drive.dir.index() as u8,
+                        now,
+                    );
+                    continue;
+                }
                 cells[m.index()].lock().unwrap().io.flit_in[drive.dir.opposite().index()]
                     .as_mut()
                     .expect("forward wire exists")
                     .send_flit(drive.flit, drive.vc, now);
+                if let Some(w) = self.wearout.as_mut() {
+                    w.note(n, drive.dir.index());
+                }
                 self.wheel.schedule(m.index(), now + 1);
             }
             cell.router.drives.clear();
@@ -977,6 +1187,9 @@ impl<S: TraceSink> NetCore<S> {
                     .neighbor(topo.coord_of(NodeId::new(n as u16)), dir_in)
                     .map(|c| topo.id_of(c))
                     .expect("credit for an existing link");
+                if self.dead_now[up.index()] {
+                    continue;
+                }
                 cells[up.index()].lock().unwrap().io.rev_in[dir_in.opposite().index()]
                     .as_mut()
                     .expect("reverse wire exists")
@@ -992,6 +1205,9 @@ impl<S: TraceSink> NetCore<S> {
                     .neighbor(topo.coord_of(NodeId::new(n as u16)), p)
                     .map(|c| topo.id_of(c))
                     .expect("nack for an existing link");
+                if self.dead_now[up.index()] {
+                    continue;
+                }
                 cells[up.index()].lock().unwrap().io.rev_in[p.opposite().index()]
                     .as_mut()
                     .expect("reverse wire exists")
@@ -1007,7 +1223,9 @@ impl<S: TraceSink> NetCore<S> {
                     .neighbor(topo.coord_of(origin), via)
                     .map(|c| topo.id_of(c))
                 {
-                    Some(to) => {
+                    // A probe aimed at a dead router is driven into dead
+                    // pins — same silent loss as an unconnected port.
+                    Some(to) if !self.dead_now[to.index()] => {
                         self.probes.push(ProbeFlight {
                             signal: ProbeSignal { origin, vc: named },
                             to,
@@ -1024,7 +1242,7 @@ impl<S: TraceSink> NetCore<S> {
                             },
                         );
                     }
-                    None => {
+                    _ => {
                         // A logic upset (unprotected VA/RT) can leave the
                         // suspected VC waiting on a port with no link —
                         // the probe is driven into an unconnected wire
@@ -1045,6 +1263,56 @@ impl<S: TraceSink> NetCore<S> {
             if cell.wants_wake {
                 self.wheel.schedule(n, now + 1);
             }
+        }
+
+        // Wear-out realization: links whose lifetime budget was crossed
+        // by this cycle's traffic die at `now + 1`, in (node, dir) order.
+        // The realization rewrites the shared fault state (timeline +
+        // routing plans) — the only write the RwLock exists for, taken
+        // strictly between compute sweeps.
+        let pending = match self.wearout.as_mut() {
+            Some(w) if !w.pending.is_empty() => {
+                let mut p = std::mem::take(&mut w.pending);
+                p.sort_unstable();
+                p
+            }
+            _ => Vec::new(),
+        };
+        if !pending.is_empty() {
+            let notify = self.wearout.as_ref().map_or(0, |w| w.notify);
+            let at = now + 1;
+            let mut faults = env.faults.write().unwrap();
+            for (node, d) in pending {
+                let nid = NodeId::new(node as u16);
+                let dir = Direction::CARDINAL[d];
+                // False when the link is already dead by `at` (both
+                // directions of a link wear independently; the second
+                // crossing of a dead link is a no-op).
+                if !faults.push_wearout_kill(at, nid, dir) {
+                    continue;
+                }
+                let published = at.saturating_add(notify);
+                self.fault_log.record_wearout(at, published, nid, dir);
+                for b in [at, published] {
+                    if let Err(i) = self.fault_boundaries.binary_search(&b) {
+                        self.fault_boundaries.insert(i, b);
+                    }
+                }
+                self.tracer
+                    .emit(now, node as u16, TraceEvent::LinkWoreOut { port: d as u8 });
+            }
+        }
+
+        // Scheduled whole-router deaths land at `now + 1`: the purge
+        // runs in this commit so cycle `now + 1` opens with the victim
+        // dead, its flits in the loss ledger, and every neighbour's
+        // control state normalized.
+        while self.kills_done < self.router_kills.len()
+            && self.router_kills[self.kills_done].at <= now + 1
+        {
+            let victim = self.router_kills[self.kills_done].node;
+            self.kills_done += 1;
+            self.kill_router(env, cells, victim, now);
         }
 
         self.deliver_probes(env, cells, now);
@@ -1110,6 +1378,193 @@ impl<S: TraceSink> NetCore<S> {
         }
 
         self.now += 1;
+    }
+
+    /// Books one flit into the loss ledger: the flit count, the
+    /// per-packet mask of lost sequence numbers (the conservation
+    /// oracle audits both), and the structured drop event.
+    fn record_lost_flit(&mut self, at_node: u16, flit: Flit, port: u8, now: u64) {
+        self.flits_lost += 1;
+        if flit.seq < 128 {
+            *self.lost.entry(flit.packet.raw()).or_insert(0) |= 1 << u32::from(flit.seq);
+        }
+        self.tracer.emit(
+            now,
+            at_node,
+            TraceEvent::FlitDropped {
+                packet: flit.packet.raw(),
+                seq: flit.seq,
+                port,
+                reason: DropReason::RouterDead,
+            },
+        );
+    }
+
+    /// Executes a whole-router death scheduled for cycle `now + 1`:
+    /// builds the truncated-packet set (pass A), then sweeps it out of
+    /// every structure in the network (pass B), crediting each drained
+    /// original to the loss ledger. Serial-commit only — structural
+    /// mutation with no RNG draws, so gated/ungated runs and every
+    /// thread count stay byte-identical through a death.
+    fn kill_router(&mut self, env: &RunEnv, cells: &[Mutex<RouterCell>], victim: NodeId, now: u64) {
+        let topo = env.topo;
+        let v = victim.index();
+        let n_routers = cells.len();
+        let dest_router = |f: &Flit| f.header.dest.index() % n_routers;
+
+        // Pass A: membership. A packet is truncated by this death when
+        // it has an original flit inside the victim, an open wormhole
+        // through (or held traffic toward) the victim, a flit on a wire
+        // into the victim, or a destination terminal behind it.
+        let mut members: HashSet<u64> = HashSet::new();
+        {
+            let vcell = cells[v].lock().unwrap();
+            vcell.router.scan_flits(|flit, original| {
+                if original {
+                    members.insert(flit.packet.raw());
+                }
+            });
+            vcell.router.open_wormholes(|_, _, _, packet| {
+                members.insert(packet.raw());
+            });
+            for d in Direction::CARDINAL {
+                if let Some(fw) = vcell.io.flit_in[d.index()].as_ref() {
+                    if let Some((flit, _, _)) = fw.peek() {
+                        members.insert(flit.packet.raw());
+                    }
+                }
+            }
+        }
+        for d in Direction::CARDINAL {
+            let Some(nc) = topo.neighbor(topo.coord_of(victim), d) else {
+                continue;
+            };
+            let m = topo.id_of(nc).index();
+            if self.dead_now[m] {
+                continue;
+            }
+            let c = cells[m].lock().unwrap();
+            let toward = d.opposite().index();
+            c.router.open_wormholes(|_, _, out_port, packet| {
+                if out_port == toward {
+                    members.insert(packet.raw());
+                }
+            });
+            c.router.sender_slots_on(toward, |flit, held| {
+                if held {
+                    members.insert(flit.packet.raw());
+                }
+            });
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            if i == v || self.dead_now[i] {
+                continue;
+            }
+            let c = cell.lock().unwrap();
+            c.router.scan_flits(|flit, _| {
+                if dest_router(flit) == v {
+                    members.insert(flit.packet.raw());
+                }
+            });
+            for d in Direction::CARDINAL {
+                if let Some(fw) = c.io.flit_in[d.index()].as_ref() {
+                    if let Some((flit, _, _)) = fw.peek() {
+                        if dest_router(&flit) == v {
+                            members.insert(flit.packet.raw());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass B: the sweep. The victim drains everything it holds;
+        // every live router, wire and terminal sheds the member
+        // packets; reverse side-bands crossing the corpse go quiet.
+        let mut lost: Vec<(u16, Flit, u8)> = Vec::new();
+        {
+            let mut vcell = cells[v].lock().unwrap();
+            for (flit, port) in vcell.router.die() {
+                lost.push((v as u16, flit, port));
+            }
+            vcell.router.probe.exit_recovery();
+            for d in Direction::CARDINAL {
+                if let Some(fw) = vcell.io.flit_in[d.index()].as_mut() {
+                    if let Some((flit, _)) = fw.purge_if(|_| true) {
+                        lost.push((v as u16, flit, d.index() as u8));
+                    }
+                }
+                if let Some(rw) = vcell.io.rev_in[d.index()].as_mut() {
+                    rw.clear();
+                }
+            }
+            vcell.probe_req = None;
+            vcell.arrival_nacks.clear();
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            if i == v || self.dead_now[i] {
+                continue;
+            }
+            let mut c = cell.lock().unwrap();
+            for (flit, port) in c.router.purge_packets(&members) {
+                lost.push((i as u16, flit, port));
+            }
+            for d in Direction::CARDINAL {
+                if let Some(fw) = c.io.flit_in[d.index()].as_mut() {
+                    if let Some((flit, _)) = fw.purge_if(|f| members.contains(&f.packet.raw())) {
+                        lost.push((i as u16, flit, d.index() as u8));
+                    }
+                }
+            }
+        }
+        for d in Direction::CARDINAL {
+            let Some(nc) = topo.neighbor(topo.coord_of(victim), d) else {
+                continue;
+            };
+            let m = topo.id_of(nc).index();
+            if self.dead_now[m] {
+                continue;
+            }
+            let mut c = cells[m].lock().unwrap();
+            if let Some(rw) = c.io.rev_in[d.opposite().index()].as_mut() {
+                rw.clear();
+            }
+        }
+
+        // Side-band flights touching the corpse die with it.
+        self.probes
+            .retain(|p| p.signal.origin.index() != v && p.to.index() != v);
+        self.activations.retain(|a| a.origin.index() != v);
+
+        // Terminals: the victim's PEs die with their router (queued
+        // traffic was never injected, so it is dropped, not "lost");
+        // live terminals abandon packets addressed to the corpse.
+        for t in 0..self.pes.len() {
+            let node = t % n_routers;
+            let pe = &mut self.pes[t];
+            if node == v {
+                pe.source_queue.clear();
+                pe.injecting = None;
+            } else {
+                pe.source_queue
+                    .retain(|p| p.flits()[0].header.dest.index() % n_routers != v);
+                if let Some((_, flits)) = &pe.injecting {
+                    if flits
+                        .front()
+                        .is_some_and(|f| members.contains(&f.packet.raw()) || dest_router(f) == v)
+                    {
+                        pe.injecting = None;
+                    }
+                }
+            }
+        }
+
+        let count = lost.len() as u64;
+        for (at_node, flit, port) in lost {
+            self.record_lost_flit(at_node, flit, port, now);
+        }
+        self.dead_now[v] = true;
+        self.tracer
+            .emit(now, v as u16, TraceEvent::RouterKilled { lost: count });
     }
 
     /// Handles one flit leaving the network at `node` through local out
@@ -1255,6 +1710,24 @@ impl<S: TraceSink> NetCore<S> {
             }
             let mut flight = self.probes.swap_remove(i);
             let at = flight.to;
+            // Delivered into dead pins: the corpse absorbs the probe
+            // and the origin gives up on it, like any mid-path discard.
+            if self.dead_now[at.index()] {
+                {
+                    let mut origin = cells[flight.signal.origin.index()].lock().unwrap();
+                    origin.router.probe.probe_lost();
+                    origin.router.errors.probes_discarded += 1;
+                }
+                self.wheel.schedule(flight.signal.origin.index(), now + 1);
+                self.tracer.emit(
+                    now,
+                    at.index() as u16,
+                    TraceEvent::ProbeDiscarded {
+                        origin: flight.signal.origin.index() as u16,
+                    },
+                );
+                continue;
+            }
             let (blocked, fwd, action) = {
                 let mut cell = cells[at.index()].lock().unwrap();
                 // Probes travel as regular flits: charge a link traversal.
@@ -1370,6 +1843,11 @@ impl<S: TraceSink> NetCore<S> {
             let Some(&at) = flight.path.get(flight.next_index) else {
                 continue;
             };
+            // The recorded path runs through a corpse: the activation
+            // dies there (downstream nodes recover via their own probes).
+            if self.dead_now[at.index()] {
+                continue;
+            }
             let action = {
                 let mut cell = cells[at.index()].lock().unwrap();
                 cell.router.events.link += 1;
@@ -1422,6 +1900,7 @@ pub(crate) fn collect_telemetry(env: &RunEnv, cells: &[Mutex<RouterCell>]) -> Me
                     faults_injected: r.fault_counts().total(),
                     recoveries: r.recoveries,
                     computed_cycles: r.computed_cycles,
+                    dead: r.is_dead(),
                 }
             })
             .collect(),

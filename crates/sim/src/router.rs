@@ -35,6 +35,7 @@ use ftnoc_trace::{AcStage, DropReason, TraceEvent};
 use ftnoc_types::config::{PipelineDepth, RouterConfig};
 use ftnoc_types::flit::{Flit, PackedFields};
 use ftnoc_types::geom::{Direction, NodeId, Topology};
+use ftnoc_types::packet::PacketId;
 
 use crate::arbiter::RoundRobinArbiter;
 use crate::config::{ErrorScheme, RoutingAlgorithm, SimConfig};
@@ -88,10 +89,14 @@ enum VcState {
         ready_at: u64,
     },
     /// Wormhole open: flits stream toward `(out_port, out_vc)`.
+    /// `packet` names the wormhole's owner so a whole-router fault
+    /// purge can identify amputated wormholes even when the buffer has
+    /// momentarily drained (flits in flight further downstream).
     Active {
         out_port: usize,
         out_vc: usize,
         sa_ready_at: u64,
+        packet: PacketId,
     },
 }
 
@@ -307,6 +312,10 @@ pub struct Router {
     pub(crate) fi: FaultInjector,
     /// Buffered trace events of the current cycle.
     pub(crate) trace: TraceBuf,
+    /// Whether this router has been killed mid-run (whole-router hard
+    /// fault). A dead router's compute phase is a no-op; its structures
+    /// were emptied by the death purge and stay empty.
+    pub(crate) dead: bool,
     scratch: Scratch,
 }
 
@@ -364,6 +373,7 @@ impl Router {
             computed_cycles: 0,
             fi: FaultInjector::new(config.faults, Self::fault_seed(config.seed, id)),
             trace: TraceBuf::default(),
+            dead: false,
             scratch: Scratch::default(),
         }
     }
@@ -383,6 +393,208 @@ impl Router {
     /// The node id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// Whether this router has been killed by a whole-router fault.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Visits every packet flit physically inside this router. The
+    /// second argument is `true` for sole live instances (input-buffer
+    /// flits, switch-traversal entries, recovery-held sender slots) and
+    /// `false` for protective retransmission copies whose original
+    /// lives downstream. Read-only; the death purge uses it to build
+    /// the truncated-packet set.
+    pub(crate) fn scan_flits(&self, mut f: impl FnMut(&Flit, bool)) {
+        let mut tmp = Vec::new();
+        for input in &self.inputs {
+            for v in 0..input.buffer.vcs() {
+                tmp.clear();
+                input.buffer.extend_flits(v, &mut tmp);
+                for flit in &tmp {
+                    f(flit, true);
+                }
+            }
+        }
+        for output in &self.outputs {
+            for entry in &output.st_queue {
+                f(&entry.flit, true);
+            }
+            for sender in &output.senders {
+                for (flit, held) in sender.buffer().iter_slots() {
+                    f(flit, held);
+                }
+            }
+        }
+    }
+
+    /// Visits every open wormhole: `(in_port, in_vc, out_port, packet)`
+    /// for each input VC in the `Active` state. The death purge uses
+    /// this to find wormholes whose buffered flits have momentarily
+    /// drained but whose packet is still streaming.
+    pub(crate) fn open_wormholes(&self, mut f: impl FnMut(usize, usize, usize, PacketId)) {
+        for (p, input) in self.inputs.iter().enumerate() {
+            for (v, vc) in input.vcs.iter().enumerate() {
+                if let VcState::Active {
+                    out_port, packet, ..
+                } = vc.state
+                {
+                    f(p, v, out_port, packet);
+                }
+            }
+        }
+    }
+
+    /// Visits `(flit, held)` for every slot of the retransmission
+    /// senders on output port `op` (the port facing a dying neighbour).
+    pub(crate) fn sender_slots_on(&self, op: usize, mut f: impl FnMut(&Flit, bool)) {
+        for sender in &self.outputs[op].senders {
+            for (flit, held) in sender.buffer().iter_slots() {
+                f(flit, held);
+            }
+        }
+    }
+
+    /// Removes every flit whose packet is in `members` (raw packet ids)
+    /// from this router's input buffers, switch-traversal queues and
+    /// retransmission senders, and resets the control state of every
+    /// amputated wormhole so surviving traffic re-routes cleanly.
+    ///
+    /// Returns the removed **originals** as `(flit, port)` — protective
+    /// sender copies vanish silently, their originals are accounted
+    /// where they physically live. Serial-commit only: structural
+    /// mutation, no RNG draws, so gated/ungated and any thread count
+    /// stay byte-identical.
+    pub(crate) fn purge_packets(
+        &mut self,
+        members: &std::collections::HashSet<u64>,
+    ) -> Vec<(Flit, u8)> {
+        let mut lost = Vec::new();
+        let ports = self.cfg.ports();
+        let vcs = self.cfg.vcs_per_port();
+        // Input buffers: pop/re-push through the organisation so pool
+        // accounting (DAMQ free lists) stays exact and FIFO order is
+        // preserved for survivors.
+        let mut touched = vec![false; ports * vcs];
+        for (p, input) in self.inputs.iter_mut().enumerate() {
+            for v in 0..vcs {
+                let n = input.buffer.len(v);
+                for _ in 0..n {
+                    let flit = input.buffer.pop(v).expect("counted flit");
+                    if members.contains(&flit.packet.raw()) {
+                        touched[p * vcs + v] = true;
+                        lost.push((flit, p as u8));
+                    } else {
+                        let ok = input.buffer.push(v, flit);
+                        debug_assert!(ok, "re-push after pop cannot fail");
+                    }
+                }
+            }
+        }
+        for (op, output) in self.outputs.iter_mut().enumerate() {
+            output.st_queue.retain(|entry| {
+                if members.contains(&entry.flit.packet.raw()) {
+                    lost.push((entry.flit, op as u8));
+                    false
+                } else {
+                    true
+                }
+            });
+            for sender in &mut output.senders {
+                for (flit, held) in sender.purge(|f| members.contains(&f.packet.raw())) {
+                    if held {
+                        lost.push((flit, op as u8));
+                    }
+                }
+            }
+        }
+        // Normalize control state: amputated wormholes close, VA-waiting
+        // heads that were purged re-enter bring-up on the next compute.
+        for p in 0..ports {
+            for v in 0..vcs {
+                match self.inputs[p].vcs[v].state {
+                    VcState::Active {
+                        out_port,
+                        out_vc,
+                        packet,
+                        ..
+                    } if members.contains(&packet.raw()) => {
+                        if out_vc < vcs && self.outputs[out_port].allocated[out_vc] == Some((p, v))
+                        {
+                            self.outputs[out_port].allocated[out_vc] = None;
+                        }
+                        self.inputs[p].vcs[v].state = VcState::Idle;
+                        self.inputs[p].vcs[v].blocked_cycles = 0;
+                    }
+                    VcState::VaWait { .. } if touched[p * vcs + v] => {
+                        self.inputs[p].vcs[v].state = VcState::Idle;
+                        self.inputs[p].vcs[v].blocked_cycles = 0;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // A reservation can outlive its owner's Active state: after a
+        // deadlock-recovery takeover the old owner's flits drain as
+        // held sender slots, and only the last held send releases the
+        // output VC. Purging those held flits above removes the final
+        // anchor, so reconcile: any reservation backed by neither an
+        // Active owner nor held sender flits is released here, else the
+        // output VC leaks and survivors block on it forever.
+        for op in 0..ports {
+            for ov in 0..vcs {
+                let Some((p, v)) = self.outputs[op].allocated[ov] else {
+                    continue;
+                };
+                let active = matches!(
+                    self.inputs[p].vcs[v].state,
+                    VcState::Active { out_port, out_vc, .. } if out_port == op && out_vc == ov
+                );
+                let held = self.outputs[op].senders[ov].buffer().held_count() > 0;
+                if !active && !held {
+                    self.outputs[op].allocated[ov] = None;
+                }
+            }
+        }
+        lost
+    }
+
+    /// Kills this router: every resident original is drained into the
+    /// returned loss list, protective copies vanish, all wormhole state
+    /// and reservations clear, and the router is marked dead. Its
+    /// compute phase never runs again; neighbours stop granting toward
+    /// it through the fault timeline (a dead router presents all-dead
+    /// links from its death cycle on).
+    pub(crate) fn die(&mut self) -> Vec<(Flit, u8)> {
+        let mut lost = Vec::new();
+        let vcs = self.cfg.vcs_per_port();
+        for (p, input) in self.inputs.iter_mut().enumerate() {
+            for v in 0..vcs {
+                while let Some(flit) = input.buffer.pop(v) {
+                    lost.push((flit, p as u8));
+                }
+                input.vcs[v].state = VcState::Idle;
+                input.vcs[v].blocked_cycles = 0;
+            }
+        }
+        for (op, output) in self.outputs.iter_mut().enumerate() {
+            while let Some(entry) = output.st_queue.pop_front() {
+                lost.push((entry.flit, op as u8));
+            }
+            for sender in &mut output.senders {
+                for (flit, held) in sender.purge(|_| true) {
+                    if held {
+                        lost.push((flit, op as u8));
+                    }
+                }
+            }
+            for slot in &mut output.allocated {
+                *slot = None;
+            }
+        }
+        self.dead = true;
+        lost
     }
 
     /// Handles a NACK arriving at cycle `now` from the downstream
@@ -723,10 +935,12 @@ impl Router {
                     }
                     self.outputs[op].allocated[ov] = Some((p, v));
                     self.outputs[op].allocated_at[ov] = ctx.now;
+                    let packet = self.inputs[p].buffer.front(v).expect("VaWait head").packet;
                     self.inputs[p].vcs[v].state = VcState::Active {
                         out_port: op,
                         out_vc: ov,
                         sa_ready_at: ctx.now + 1,
+                        packet,
                     };
                     self.events.va += 1;
                 }
@@ -1013,10 +1227,16 @@ impl Router {
                 PipelineDepth::One | PipelineDepth::Two => 0,
                 _ => 1,
             };
+            let packet = self.inputs[p]
+                .buffer
+                .front(v)
+                .expect("VA winner head")
+                .packet;
             self.inputs[p].vcs[v].state = VcState::Active {
                 out_port: op,
                 out_vc: ov,
                 sa_ready_at: ctx.now + sa_gap,
+                packet,
             };
             self.events.va += 1;
         }
@@ -1046,6 +1266,7 @@ impl Router {
                     out_port,
                     out_vc,
                     sa_ready_at,
+                    ..
                 } = self.inputs[p].vcs[v].state
                 else {
                     continue;
@@ -1476,7 +1697,7 @@ impl Router {
     /// and where the probe should travel next. Probes only ever name
     /// cardinal arrival VCs (a forward edge's `VcRef` is built from a
     /// link direction), so resolving `Local` to port 4 is exact for
-    /// every caller; per-port diagnostics use [`Router::port_wait_info`]
+    /// every caller; per-port diagnostics use `Router::port_wait_info`
     /// directly, which distinguishes the concentrated local ports.
     pub fn probe_forward_info(&self, named: VcRef) -> (bool, Option<(Direction, VcRef)>) {
         self.port_wait_info(named.port.index(), named.vc as usize)
@@ -1761,6 +1982,7 @@ impl Router {
             .collect();
         RouterSnapshot {
             id: self.id,
+            dead: self.dead,
             in_recovery: self.probe.in_recovery(),
             deadlocks_confirmed: self.errors.deadlocks_confirmed,
             inputs,

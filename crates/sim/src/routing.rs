@@ -345,10 +345,14 @@ fn fault_regions(topo: Topology, hard: &HardFaults) -> Vec<FaultRect> {
 }
 
 /// The run's complete fault-routing state: the [`FaultTimeline`] plus
-/// one pre-built [`FaultAwarePlan`] per publication epoch. Immutable
-/// after construction — safe to share across worker threads, draws no
-/// randomness, and equals the static base faults when no kills are
-/// scheduled (which is what keeps legacy runs byte-identical).
+/// one pre-built [`FaultAwarePlan`] per publication epoch. Draws no
+/// randomness and equals the static base faults when no kills are
+/// scheduled (which is what keeps legacy runs byte-identical). All
+/// queries are pure reads; the single mutation seam is
+/// [`FaultState::push_wearout_kill`], which the network calls only from
+/// its serial commit phase (behind a lock) when the wear-out model
+/// exhausts a link budget — worker threads never observe a mutation in
+/// flight.
 #[derive(Debug, Clone)]
 pub struct FaultState {
     timeline: FaultTimeline,
@@ -399,6 +403,26 @@ impl FaultState {
     /// locally (see [`FaultTimeline::link_dead_now`]).
     pub fn link_dead_now(&self, now: u64, node: NodeId, dir: Direction) -> bool {
         self.timeline.link_dead_now(now, node, dir)
+    }
+
+    /// Ground truth at `now`: whether router `node` is dead.
+    pub fn router_dead_now(&self, now: u64, node: NodeId) -> bool {
+        self.timeline.router_dead_now(now, node)
+    }
+
+    /// Realizes a wear-out link kill at cycle `at` and rebuilds the
+    /// per-epoch plans against the extended timeline. Returns `false`
+    /// (and changes nothing) when the link is already dead by `at` or
+    /// does not exist. Serial-commit-phase only: callers hold the
+    /// network's fault lock exclusively while the plans rebuild.
+    pub fn push_wearout_kill(&mut self, at: u64, node: NodeId, dir: Direction) -> bool {
+        if !self.timeline.push_link_kill(at, node, dir) {
+            return false;
+        }
+        self.plans = (0..self.timeline.epoch_count())
+            .map(|e| FaultAwarePlan::build(self.timeline.topology(), self.timeline.effective(e)))
+            .collect();
+        true
     }
 }
 
@@ -967,6 +991,81 @@ mod tests {
         assert_eq!(singles, 24);
         // As on the 8×8 mesh, the only 2-edge cuts isolate a corner.
         assert_eq!(doubles, 24 * 23 / 2 - 4);
+    }
+
+    /// Like [`check_placement_on`] but for whole-router deaths: dead
+    /// routers are unreachable by definition, so the all-pairs
+    /// completeness check skips pairs that source or sink at one.
+    fn check_router_placement_on(t: Topology, hard: &HardFaults) {
+        let plan = FaultAwarePlan::build(t, hard);
+        assert!(
+            cdg_is_acyclic_on(t, &plan),
+            "routing-function cycle under {hard:?}"
+        );
+        for src in t.nodes() {
+            if hard.router_is_dead(src) {
+                continue;
+            }
+            for dest in t.nodes() {
+                if hard.router_is_dead(dest) {
+                    continue;
+                }
+                assert!(plan.reachable(src, dest), "{src}->{dest} under {hard:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_routing_cycle_for_every_single_router_death_on_the_mesh() {
+        // The satellite property: killing any one router of the 8×8
+        // mesh (all its links die with it) leaves the up*/down* CDG
+        // acyclic and every live pair connected.
+        let t = topo();
+        for victim in t.nodes() {
+            let mut hard = HardFaults::new();
+            hard.kill_router(t, victim);
+            assert!(
+                hard.network_is_connected(t),
+                "killing {victim} cut the mesh"
+            );
+            check_router_placement_on(t, &hard);
+        }
+    }
+
+    #[test]
+    fn no_routing_cycle_for_every_single_router_death_on_the_torus() {
+        let t = Topology::torus(8, 8);
+        for victim in t.nodes() {
+            let mut hard = HardFaults::new();
+            hard.kill_router(t, victim);
+            assert!(
+                hard.network_is_connected(t),
+                "killing {victim} cut the torus"
+            );
+            check_router_placement_on(t, &hard);
+        }
+    }
+
+    #[test]
+    fn wearout_push_extends_the_state_and_rebuilds_plans() {
+        let mut f = no_faults();
+        assert_eq!(f.timeline().epoch_count(), 1);
+        assert!(f.push_wearout_kill(500, NodeId::new(27), Direction::East));
+        assert_eq!(f.timeline().epoch_count(), 2);
+        assert!(f.link_dead_now(500, NodeId::new(27), Direction::East));
+        assert!(!f.link_dead_now(499, NodeId::new(27), Direction::East));
+        // Once published (notify latency 0 here), the new epoch's plan
+        // excludes the link outright.
+        let e = f.epoch_at(500);
+        assert_eq!(e, 1);
+        assert_eq!(
+            f.plan(e).link_class(NodeId::new(27), Direction::East),
+            LinkClass::None
+        );
+        // Killing the same physical link again (from either endpoint)
+        // is a no-op.
+        assert!(!f.push_wearout_kill(600, NodeId::new(28), Direction::West));
+        assert_eq!(f.timeline().epoch_count(), 2);
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub struct SimReport {
     pub errors: ErrorStats,
     /// Injected-fault census (whole run).
     pub faults_injected: ftnoc_fault::FaultCounts,
+    /// Flits lost to whole-router deaths (whole run, not windowed —
+    /// losses are rare discrete events and the ledger is cumulative).
+    pub flits_lost: u64,
     /// Peak per-node E2E/FEC source-buffer occupancy in flits (0 for
     /// schemes without end-to-end control). HBH needs exactly
     /// `retrans_depth` flits per VC instead — the §3 buffer-cost
@@ -179,8 +182,8 @@ impl SimReport {
         }
         let _ = write!(
             s,
-            ",\"e2e_peak_source_buffer_flits\":{},\"completed\":{}}}",
-            self.e2e_peak_source_buffer_flits, self.completed
+            ",\"flits_lost\":{},\"e2e_peak_source_buffer_flits\":{},\"completed\":{}}}",
+            self.flits_lost, self.e2e_peak_source_buffer_flits, self.completed
         );
         s
     }
@@ -312,6 +315,7 @@ impl<S: TraceSink> Simulator<S> {
             events: stats.events,
             errors: stats.errors,
             faults_injected: self.network.fault_counts(),
+            flits_lost: self.network.flits_lost(),
             threads: self.config.threads,
             available_parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())

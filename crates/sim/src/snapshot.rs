@@ -113,6 +113,10 @@ pub struct OutputPortView {
 pub struct RouterSnapshot {
     /// The node id.
     pub id: NodeId,
+    /// Whether the router has been killed by a whole-router fault. A
+    /// dead router is structurally empty (the death purge drained it)
+    /// and never computes again.
+    pub dead: bool,
     /// Whether the node is in deadlock-recovery mode.
     pub in_recovery: bool,
     /// Deadlocks confirmed by this node's own probes (cumulative).
@@ -151,6 +155,27 @@ pub struct PeSnapshot {
     pub injecting: Vec<Flit>,
 }
 
+/// One mid-run fault event as the snapshot exposes it — a plain-data
+/// view of the network's [`ftnoc_fault::FaultLog`], the single observer
+/// feed the oracle, the metrics emitter and the trace sink all consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEventView {
+    /// The cycle the fault lands (local detection).
+    pub at: u64,
+    /// The cycle it is published network-wide.
+    pub published_at: u64,
+    /// `true` when realized online by the wear-out model (budget
+    /// exhausted), `false` for configured kills.
+    pub wearout: bool,
+    /// `true` for a whole-router death, `false` for a single link.
+    pub router: bool,
+    /// The node (the router for a router death, one endpoint for a
+    /// link death).
+    pub node: usize,
+    /// The link direction as seen from `node` (0 for router deaths).
+    pub dir: usize,
+}
+
 /// The whole network at a commit boundary.
 #[derive(Debug, Clone)]
 pub struct NetSnapshot {
@@ -185,6 +210,23 @@ pub struct NetSnapshot {
     pub packets_ejected: u64,
     /// Flits ejected since construction.
     pub flits_ejected: u64,
+    /// Flits that physically entered the network since construction.
+    pub flits_injected: u64,
+    /// Flits lost to whole-router deaths since construction. The
+    /// conservation oracle closes the ledger against the per-packet
+    /// masks in [`NetSnapshot::lost`].
+    pub flits_lost: u64,
+    /// The loss ledger: per-packet bitmask of lost flit sequence
+    /// numbers, `(raw packet id, mask)` sorted by id.
+    pub lost: Vec<(u64, u128)>,
+    /// Every dead router as of the snapshot cycle, `(node, since)`
+    /// sorted by node (0 for routers dead from reset).
+    pub dead_routers: Vec<(usize, u64)>,
+    /// Every mid-run fault event of the run, realized or still
+    /// scheduled, in time order (the oracle validates wear-out entries
+    /// against the configuration and folds realized ones into its
+    /// fault-table mirror).
+    pub fault_events: Vec<FaultEventView>,
     /// `neighbors[n][d]`: the node index reached from node `n` in
     /// cardinal direction `d`, if the link exists.
     pub neighbors: Vec<[Option<usize>; 4]>,

@@ -23,6 +23,9 @@ pub enum DropReason {
     InvalidVc,
     /// Buffer overflow: no credit-tracked slot free on arrival.
     NoBuffer,
+    /// Lost to a whole-router death: the flit sat inside (or was
+    /// wormholing toward) a router that was killed mid-run.
+    RouterDead,
 }
 
 impl DropReason {
@@ -32,6 +35,7 @@ impl DropReason {
             DropReason::Stranded => "stranded",
             DropReason::InvalidVc => "invalid_vc",
             DropReason::NoBuffer => "no_buffer",
+            DropReason::RouterDead => "router_dead",
         }
     }
 }
@@ -165,6 +169,18 @@ pub enum TraceEvent {
         /// Packet id.
         packet: u64,
     },
+    /// This router died (scheduled whole-router kill); `lost` is the
+    /// network-wide flit count amputated by its drain purge.
+    RouterKilled {
+        /// Flits lost to this death across the whole network.
+        lost: u64,
+    },
+    /// The link leaving this node on `port` exhausted its wear-out
+    /// budget and failed permanently.
+    LinkWoreOut {
+        /// Outgoing port index of the worn-out link.
+        port: u8,
+    },
 }
 
 impl TraceEvent {
@@ -185,6 +201,8 @@ impl TraceEvent {
             TraceEvent::AcFlagged { .. } => "ac_flagged",
             TraceEvent::PacketEjected { .. } => "packet_ejected",
             TraceEvent::Misdelivered { .. } => "misdelivered",
+            TraceEvent::RouterKilled { .. } => "router_killed",
+            TraceEvent::LinkWoreOut { .. } => "link_wearout",
         }
     }
 }
@@ -287,6 +305,12 @@ impl TraceRecord {
             }
             TraceEvent::Misdelivered { packet } => {
                 let _ = write!(out, ",\"packet\":{packet}");
+            }
+            TraceEvent::RouterKilled { lost } => {
+                let _ = write!(out, ",\"lost\":{lost}");
+            }
+            TraceEvent::LinkWoreOut { port } => {
+                let _ = write!(out, ",\"port\":\"{}\"", dir_name(port));
             }
         }
         out.push('}');
@@ -391,6 +415,8 @@ mod tests {
                 latency: 30,
             },
             TraceEvent::Misdelivered { packet: 1 },
+            TraceEvent::RouterKilled { lost: 12 },
+            TraceEvent::LinkWoreOut { port: 1 },
         ];
         for event in events {
             let rec = TraceRecord {

@@ -54,20 +54,32 @@ OPTIONS (run):
     --warmup N          warm-up packets (default 1000)
     --seed N            RNG seed (default 0xF70C)
     --deadlock-recovery enable probing + recovery (Cthres 32)
-    --kill-link N:D     hard-fail the link at node N toward D (n|e|s|w);
-                        repeatable; the surviving network must stay
-                        connected (pair with an adaptive routing such as
-                        --routing ad so traffic can detour)
+    --fault SPEC        one hard-fault spec; repeat the flag to stack
+                        them. Grammar (directions n|e|s|w):
+                          link:N:D      link at node N toward D dead at
+                                        reset (network must stay
+                                        connected; pair with --routing
+                                        ad so traffic can detour)
+                          link:N:D@C    the same link dies at cycle C
+                                        (mid-run; pair with --routing
+                                        fta so traffic reroutes)
+                          router:N      router N dead at reset
+                          router:N@C    router N dies at cycle C —
+                                        neighbours stop granting toward
+                                        it and its buffered flits are
+                                        counted into the loss ledger
+                          wearout:M     every link draws a seeded
+                                        lifetime budget (mean M flits)
+                                        and dies online when its
+                                        cumulative traffic exhausts it
+                          wearout:M:S   the same with budget seed S
+                          notify:L      fault-table publication lags
+                                        local detection by L cycles
+                                        (default 4)
+    --kill-link N:D     compat shim for --fault link:N:D (repeatable)
     --kill-link-at C:N:D
-                        hard-fail the link at node N toward D at cycle C
-                        (mid-run); adjacent routers detect immediately,
-                        the rest of the network learns when the updated
-                        fault tables publish after the notification
-                        latency; repeatable; pair with --routing fta so
-                        traffic reroutes around the hole
-    --fault-notify N    fault-notification latency in cycles between
-                        local detection of a mid-run kill and
-                        network-wide fault-table publication (default 4)
+                        compat shim for --fault link:N:D@C (repeatable)
+    --fault-notify N    compat shim for --fault notify:N
     --threads N         compute-phase worker threads (default 1; any N
                         gives byte-identical results at the same seed)
     --no-activity-gating
@@ -111,11 +123,12 @@ OPTIONS (fuzz):
     --org O             static | damq — coerce every campaign onto one
                         buffer organisation (CI shards its budget across
                         both; default: the sampler's natural mix)
-    --scenario S        midrun-fault | topology — coerce every campaign
-                        into one scenario class: a mid-run link kill
-                        under fault-aware routing, or a non-mesh
-                        topology (torus / concentrated mesh); default:
-                        the sampler's natural mix
+    --scenario S        midrun-fault | topology | wearout — coerce every
+                        campaign into one scenario class: a mid-run
+                        link kill under fault-aware routing, a non-mesh
+                        topology (torus / concentrated mesh), or the
+                        link wear-out model with a small lifetime
+                        budget; default: the sampler's natural mix
     --metrics-out FILE  write a one-line JSON summary of the sweep
                         (campaign/violation/shrink counters, wall time)
 
@@ -194,6 +207,17 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Direction letter of the legacy kill flags (case-insensitive).
+fn parse_cli_dir(d: &str) -> Option<Direction> {
+    match d {
+        "n" | "N" => Some(Direction::North),
+        "e" | "E" => Some(Direction::East),
+        "s" | "S" => Some(Direction::South),
+        "w" | "W" => Some(Direction::West),
+        _ => None,
+    }
+}
+
 /// Parses an argument vector (without the program name).
 ///
 /// # Errors
@@ -253,9 +277,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut report_json = false;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut metrics_every = 1_000u64;
-    let mut kill_links: Vec<(NodeId, Direction)> = Vec::new();
-    let mut kill_links_at: Vec<(u64, NodeId, Direction)> = Vec::new();
-    let mut fault_notify = 4u64;
+    // Every hard-fault flag — the --fault grammar and the legacy
+    // shims alike — lowers into this one plan.
+    let mut fplan = ftnoc_fault::FaultPlan::new();
 
     fn value<'a>(
         it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
@@ -395,24 +419,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 metrics_out = Some(std::path::PathBuf::from(value(&mut it, flag)?));
             }
             "--metrics-every" => metrics_every = num(value(&mut it, flag)?, flag)?,
+            "--fault" => {
+                fplan.add_spec(value(&mut it, flag)?).map_err(err)?;
+            }
             "--kill-link" => {
                 let v = value(&mut it, flag)?;
                 let (node, dir) = v
                     .split_once(':')
                     .ok_or_else(|| err(format!("--kill-link expects N:D, got `{v}`")))?;
                 let node: u16 = num(node, flag)?;
-                let dir = match dir {
-                    "n" | "N" => Direction::North,
-                    "e" | "E" => Direction::East,
-                    "s" | "S" => Direction::South,
-                    "w" | "W" => Direction::West,
-                    d => {
-                        return Err(err(format!(
-                            "--kill-link direction must be n|e|s|w, got `{d}`"
-                        )))
-                    }
-                };
-                kill_links.push((NodeId::new(node), dir));
+                let dir = parse_cli_dir(dir).ok_or_else(|| {
+                    err(format!(
+                        "--kill-link direction must be n|e|s|w, got `{dir}`"
+                    ))
+                })?;
+                fplan.link_at_reset(NodeId::new(node), dir);
             }
             "--kill-link-at" => {
                 let v = value(&mut it, flag)?;
@@ -429,20 +450,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     ));
                 }
                 let node: u16 = num(node, flag)?;
-                let dir = match dir {
-                    "n" | "N" => Direction::North,
-                    "e" | "E" => Direction::East,
-                    "s" | "S" => Direction::South,
-                    "w" | "W" => Direction::West,
-                    d => {
-                        return Err(err(format!(
-                            "--kill-link-at direction must be n|e|s|w, got `{d}`"
-                        )))
-                    }
-                };
-                kill_links_at.push((at, NodeId::new(node), dir));
+                let dir = parse_cli_dir(dir).ok_or_else(|| {
+                    err(format!(
+                        "--kill-link-at direction must be n|e|s|w, got `{dir}`"
+                    ))
+                })?;
+                fplan.kill_link_at(at, NodeId::new(node), dir);
             }
-            "--fault-notify" => fault_notify = num(value(&mut it, flag)?, flag)?,
+            "--fault-notify" => {
+                fplan.notify_latency(num(value(&mut it, flag)?, flag)?);
+            }
             other => return Err(err(format!("unknown flag `{other}`; try --help"))),
         }
     }
@@ -483,61 +500,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     if metrics_every == 0 {
         return Err(err("--metrics-every must be at least 1"));
     }
-    let mut hard_faults = ftnoc_fault::HardFaults::new();
-    for (node, dir) in &kill_links {
-        if node.index() >= topology.node_count() {
-            return Err(err(format!(
-                "--kill-link: node {} out of range for a {}x{} grid",
-                node.raw(),
-                topology.width(),
-                topology.height()
-            )));
-        }
-        hard_faults.kill_link(topology, *node, *dir);
-    }
-    if !hard_faults.network_is_connected(topology) {
-        return Err(err(
-            "--kill-link: the surviving network is disconnected — some \
-             node pair has no fault-free path left",
-        ));
-    }
-    // Validate scheduled kills against the end-of-run fault state: the
-    // same checks `FaultTimeline::new` enforces by panic, surfaced as
-    // CLI errors, plus connectivity of the final surviving network.
-    let mut end_state = hard_faults.clone();
-    for (at, node, dir) in &kill_links_at {
-        if node.index() >= topology.node_count() {
-            return Err(err(format!(
-                "--kill-link-at: node {} out of range for a {}x{} grid",
-                node.raw(),
-                topology.width(),
-                topology.height()
-            )));
-        }
-        if topology.neighbor(topology.coord_of(*node), *dir).is_none() {
-            return Err(err(format!(
-                "--kill-link-at: node {} has no link toward {dir:?}",
-                node.raw()
-            )));
-        }
-        if end_state.link_is_dead(*node, *dir) {
-            return Err(err(format!(
-                "--kill-link-at: the link {}:{dir:?} is already dead at cycle {at}",
-                node.raw()
-            )));
-        }
-        end_state.kill_link(topology, *node, *dir);
-    }
-    if !end_state.network_is_connected(topology) {
-        return Err(err(
-            "--kill-link-at: the surviving network is disconnected once \
-             every scheduled kill has landed",
-        ));
-    }
-    let scheduled_kills: Vec<ftnoc_fault::ScheduledKill> = kill_links_at
-        .iter()
-        .map(|&(at, node, dir)| ftnoc_fault::ScheduledKill { at, node, dir })
-        .collect();
+    // One validation seam for every fault front-end: node ranges, link
+    // existence, double kills (in schedule order), and connectivity of
+    // the end state once every scheduled kill has landed.
+    fplan
+        .validate(topology)
+        .map_err(|e| err(format!("--fault: {e}")))?;
     let mut router_b = RouterConfig::builder();
     router_b
         .vcs_per_port(vcs)
@@ -569,9 +537,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             enabled: deadlock,
             cthres: 32,
         })
-        .hard_faults(hard_faults)
-        .scheduled_kills(scheduled_kills)
-        .fault_notify_latency(fault_notify)
+        .fault_plan(&fplan)
         .threads(threads)
         .activity_gating(activity_gating);
     let config = Box::new(b.build().map_err(|e| err(format!("config: {e}")))?);
@@ -635,9 +601,10 @@ fn parse_fuzz(
                 plan = plan.scenario(match value(it, flag)? {
                     "midrun-fault" => Some(ftnoc_check::ScenarioFilter::MidRunFault),
                     "topology" => Some(ftnoc_check::ScenarioFilter::Topology),
+                    "wearout" => Some(ftnoc_check::ScenarioFilter::Wearout),
                     v => {
                         return Err(err(format!(
-                            "--scenario expects midrun-fault|topology, got `{v}`"
+                            "--scenario expects midrun-fault|topology|wearout, got `{v}`"
                         )))
                     }
                 })
@@ -1043,6 +1010,71 @@ mod tests {
         // Scheduled kills that eventually isolate a corner are rejected.
         let e = parse(&args("run --kill-link-at 10:0:e --kill-link-at 20:0:s")).unwrap_err();
         assert!(e.0.contains("disconnected"), "{e}");
+    }
+
+    #[test]
+    fn fault_specs_parse_and_lower() {
+        use ftnoc_types::geom::Direction;
+        let Command::Run { config, .. } = parse(&args(
+            "run --routing fta --fault link:0:e --fault router:27@400 \
+             --fault wearout:800:7 --fault notify:8",
+        ))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert!(config
+            .hard_faults
+            .link_is_dead(NodeId::new(0), Direction::East));
+        assert_eq!(config.router_kills.len(), 1);
+        assert_eq!(config.router_kills[0].at, 400);
+        assert_eq!(config.router_kills[0].node, NodeId::new(27));
+        assert_eq!(
+            config.wearout,
+            Some(ftnoc_fault::WearoutSpec {
+                mean_budget: 800,
+                seed: 7
+            })
+        );
+        assert_eq!(config.fault_notify_latency, 8);
+
+        let e = parse(&args("run --fault gamma:1")).unwrap_err();
+        assert!(e.0.contains("expected"), "{e}");
+        let e = parse(&args("run --fault router:99")).unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+        let e = parse(&args("run --fault router:0@0")).unwrap_err();
+        assert!(e.0.contains("at-reset"), "{e}");
+    }
+
+    /// The compat contract: the legacy kill flags lower to exactly the
+    /// configuration the unified `--fault` grammar produces.
+    #[test]
+    fn legacy_kill_flags_lower_to_the_equivalent_fault_plan() {
+        use ftnoc_types::geom::Direction;
+        let legacy = parse(&args(
+            "run --routing fta --kill-link 27:e --kill-link-at 500:12:s --fault-notify 8",
+        ))
+        .unwrap();
+        let unified = parse(&args(
+            "run --routing fta --fault link:27:e --fault link:12:s@500 --fault notify:8",
+        ))
+        .unwrap();
+        let (Command::Run { config: a, .. }, Command::Run { config: b, .. }) = (legacy, unified)
+        else {
+            panic!("expected run commands");
+        };
+        for n in 0..a.topology.node_count() as u16 {
+            for dir in Direction::CARDINAL {
+                assert_eq!(
+                    a.hard_faults.link_is_dead(NodeId::new(n), dir),
+                    b.hard_faults.link_is_dead(NodeId::new(n), dir),
+                    "base fault sets diverge at {n}:{dir:?}"
+                );
+            }
+        }
+        assert_eq!(a.scheduled_kills, b.scheduled_kills);
+        assert_eq!(a.router_kills, b.router_kills);
+        assert_eq!(a.wearout, b.wearout);
+        assert_eq!(a.fault_notify_latency, b.fault_notify_latency);
     }
 
     #[test]

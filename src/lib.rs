@@ -70,7 +70,10 @@ pub use ftnoc_types as types;
 pub mod prelude {
     pub use ftnoc_core::deadlock::{DeadlockCycleSpec, RecoveryRing};
     pub use ftnoc_core::{AllocationComparator, HbhReceiver, HbhSender};
-    pub use ftnoc_fault::{FaultRates, FaultTimeline, HardFaults, ScheduledKill};
+    pub use ftnoc_fault::{
+        FaultCause, FaultEvent, FaultPlan, FaultRates, FaultTimeline, HardFaults, ScheduledKill,
+        ScheduledRouterKill, WearoutSpec,
+    };
     pub use ftnoc_power::{EnergyModel, Table1};
     pub use ftnoc_sim::{
         DeadlockConfig, ErrorScheme, RoutingAlgorithm, SimConfig, SimReport, Simulator,

@@ -6,6 +6,7 @@
 
 use ftnoc::check::{ArmedInvariants, Oracle};
 use ftnoc::prelude::*;
+use ftnoc::sim::snapshot::FaultEventView;
 use ftnoc::sim::Network;
 
 /// A 4×4 fault-aware run with one mid-run kill: link 5→east dies at
@@ -105,6 +106,218 @@ fn oracle_flags_a_fault_table_mismatch() {
         .check(&invented)
         .expect_err("an invented dead link must be flagged");
     assert_eq!(v.invariant, "fault-table");
+}
+
+/// A 4×4 fault-aware run with a whole-router kill: router 5 dies at
+/// cycle 300 with zero publication lag — the clean-drain configuration
+/// that keeps conservation armed (with the loss seam).
+fn router_death_config() -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .routing(RoutingAlgorithm::FaultAware)
+        .router_kills(vec![ScheduledRouterKill {
+            at: 300,
+            node: NodeId::new(5),
+        }])
+        .fault_notify_latency(0)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(0.2)
+        .seed(1)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 16,
+        })
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(4_000)
+        .stop_injection_after(1_500);
+    b.build().expect("valid config")
+}
+
+/// A 4×4 fault-aware run whose links wear out online (no configured
+/// kills at all): the oracle must validate the wear-out events against
+/// the configuration and fold them into its fault-table mirror, or the
+/// dead-port comparison would flag every online death as invented.
+fn wearout_config() -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.topology(Topology::mesh(4, 4))
+        .routing(RoutingAlgorithm::FaultAware)
+        .wearout(Some(WearoutSpec {
+            mean_budget: 800,
+            seed: 0,
+        }))
+        .fault_notify_latency(4)
+        .injection(InjectionProcess::Bernoulli)
+        .injection_rate(0.2)
+        .seed(42)
+        .deadlock(DeadlockConfig {
+            enabled: true,
+            cthres: 16,
+        })
+        .warmup_packets(0)
+        .measure_packets(u64::MAX)
+        .max_cycles(6_000)
+        .stop_injection_after(2_000);
+    b.build().expect("valid config")
+}
+
+/// Conservation (with the loss seam), dead-router structure, fault-event
+/// and fault-table consistency all stay quiet through a whole-router
+/// death, its network-wide drain purge and the post-death epoch.
+#[test]
+fn oracle_stays_quiet_across_a_router_death() {
+    let config = router_death_config();
+    let mut oracle = Oracle::new(&config);
+    assert!(
+        oracle.arming().conservation,
+        "a clean-drain router-kill run arms conservation with the loss seam"
+    );
+    assert!(
+        !oracle.arming().credit_exact,
+        "router kills step credit accounting down from equality to a bound"
+    );
+    let mut net = Network::new(config);
+    for _ in 0..4_000 {
+        net.step();
+        if let Err(v) = oracle.check(&net.snapshot()) {
+            panic!("oracle violation across the router death: {v}");
+        }
+    }
+    let snap = net.snapshot();
+    assert!(
+        snap.dead_routers.contains(&(5, 300)),
+        "the snapshot must publish the dead router with its death cycle"
+    );
+    assert!(
+        snap.flits_lost > 0 && !snap.lost.is_empty(),
+        "a mid-traffic death must leave a non-empty loss ledger"
+    );
+}
+
+/// The oracle follows online wear-out: every realized event is
+/// validated, folded into the fault-table mirror, and the dead-port
+/// table comparison stays quiet while links die that the configuration
+/// never scheduled.
+#[test]
+fn oracle_follows_online_wearout_deaths() {
+    let config = wearout_config();
+    let mut oracle = Oracle::new(&config);
+    let mut net = Network::new(config);
+    for _ in 0..6_000 {
+        net.step();
+        if let Err(v) = oracle.check(&net.snapshot()) {
+            panic!("oracle violation across online wear-out: {v}");
+        }
+    }
+    let snap = net.snapshot();
+    assert!(
+        snap.fault_events.iter().any(|e| e.wearout),
+        "mean budget 800 under load must realize at least one wear-out kill"
+    );
+    assert!(
+        !snap.dead_ports.is_empty(),
+        "realized wear-out kills must surface in the dead-port table"
+    );
+}
+
+/// Doctored snapshots against the loss seam: a flits_lost counter that
+/// disagrees with the ledger masks, a ledger entry overlapping a
+/// resident flit, and a hidden dead router must each be flagged.
+#[test]
+fn oracle_flags_doctored_loss_accounting() {
+    let config = router_death_config();
+    let mut oracle = Oracle::new(&config);
+    let mut net = Network::new(config);
+    for _ in 0..400 {
+        net.step();
+        oracle.check(&net.snapshot()).expect("honest run must pass");
+    }
+    let snap = net.snapshot();
+    assert!(
+        !snap.lost.is_empty(),
+        "the kill at 300 must have lost flits"
+    );
+
+    // Counter out of step with the masks.
+    let mut skimmed = snap.clone();
+    skimmed.flits_lost += 1;
+    let v = oracle
+        .check(&skimmed)
+        .expect_err("a flits_lost counter exceeding the ledger masks must be flagged");
+    assert_eq!(v.invariant, "conservation");
+
+    // A ledger entry claiming a flit that is still resident: pick any
+    // buffered flit and book its seq bit as lost (keeping the counter
+    // consistent so the overlap check, not the sum check, fires).
+    let resident_flit = *snap
+        .routers
+        .iter()
+        .flat_map(|r| r.inputs.iter())
+        .flat_map(|port| port.iter())
+        .flat_map(|ivc| ivc.flits.iter())
+        .next()
+        .expect("traffic in flight at cycle 400");
+    let mut overlapping = snap.clone();
+    let key = resident_flit.packet.raw();
+    let bit = 1u128 << resident_flit.seq;
+    match overlapping.lost.binary_search_by_key(&key, |&(p, _)| p) {
+        Ok(i) => overlapping.lost[i].1 |= bit,
+        Err(i) => overlapping.lost.insert(i, (key, bit)),
+    }
+    overlapping.flits_lost += 1;
+    let v = oracle
+        .check(&overlapping)
+        .expect_err("a resident flit in the loss ledger must be flagged");
+    assert_eq!(v.invariant, "conservation");
+    assert!(
+        v.detail.contains("resident"),
+        "unexpected detail: {}",
+        v.detail
+    );
+
+    // Hiding the death entirely.
+    let mut hidden = snap.clone();
+    hidden.dead_routers.clear();
+    let v = oracle
+        .check(&hidden)
+        .expect_err("a hidden dead router must be flagged");
+    assert_eq!(v.invariant, "fault-table");
+
+    // A corpse that still holds traffic: plant a buffered flit inside
+    // the dead router (table and flag left honest).
+    let mut haunted = snap;
+    haunted.routers[5].inputs[0][0].flits.push(resident_flit);
+    let v = oracle
+        .check(&haunted)
+        .expect_err("a non-empty dead router must be flagged");
+    assert_eq!(v.invariant, "dead-router");
+    assert_eq!(v.node, Some(5));
+}
+
+/// Doctored snapshot: a wear-out event in a run that configures no
+/// wear-out model is an invented fault and must be flagged.
+#[test]
+fn oracle_flags_an_invented_wearout_event() {
+    let config = router_death_config();
+    let mut oracle = Oracle::new(&config);
+    let mut net = Network::new(config);
+    for _ in 0..100 {
+        net.step();
+        oracle.check(&net.snapshot()).expect("honest run must pass");
+    }
+    let mut snap = net.snapshot();
+    snap.fault_events.push(FaultEventView {
+        at: 50,
+        published_at: 50,
+        wearout: true,
+        router: false,
+        node: 1,
+        dir: Direction::East.index(),
+    });
+    let v = oracle
+        .check(&snap)
+        .expect_err("an invented wear-out event must be flagged");
+    assert_eq!(v.invariant, "fault-events");
 }
 
 /// Doctored snapshot: a reservation granted *at or after* its port's
